@@ -1,0 +1,34 @@
+//! Criterion benches: one group per paper table/figure, at test scale.
+//!
+//! `cargo bench -p tpi-bench --bench experiments` regenerates every
+//! experiment's code path under the measurement harness; the `repro`
+//! binary produces the full paper-scale tables. (Criterion measures the
+//! harness's own runtime — useful to track simulator performance — while
+//! the experiment *results* are printed by `repro`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tpi_bench::run_experiment;
+use tpi_workloads::Scale;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    // Simulation experiments are heavy even at test scale; keep sampling
+    // modest so `cargo bench` finishes promptly.
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for id in tpi_bench::ALL_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let out = run_experiment(black_box(id), Scale::Test).expect("known id");
+                black_box(out.tables.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the individual pipeline stages: compiler marking,
+//! trace generation, and each coherence engine's replay throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tpi::ExperimentConfig;
+use tpi_compiler::{mark_program, CompilerOptions};
+use tpi_proto::{build_engine, SchemeKind};
+use tpi_sim::run_trace;
+use tpi_trace::generate_trace;
+use tpi_workloads::{Kernel, Scale};
+
+fn bench_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler-marking");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kernel in Kernel::ALL {
+        let program = kernel.build(Scale::Test);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let m = mark_program(black_box(&program), &CompilerOptions::default());
+                black_box(m.summary().shared_reads)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let cfg = ExperimentConfig::paper();
+    let mut group = c.benchmark_group("trace-generation");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kernel in [Kernel::Flo52, Kernel::Qcd2] {
+        let program = kernel.build(Scale::Test);
+        let marking = mark_program(&program, &cfg.compiler_options());
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let t = generate_trace(black_box(&program), &marking, &cfg.trace_options())
+                    .expect("race-free");
+                black_box(t.stats.reads)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = ExperimentConfig::paper();
+    let program = Kernel::Flo52.build(Scale::Test);
+    let marking = mark_program(&program, &cfg.compiler_options());
+    let trace = generate_trace(&program, &marking, &cfg.trace_options()).expect("race-free");
+    let mut group = c.benchmark_group("engine-replay");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for scheme in SchemeKind::MAIN {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut engine =
+                    build_engine(scheme, cfg.engine_config(trace.layout.total_words()));
+                let r = run_trace(black_box(&trace), engine.as_mut(), &cfg.sim_options());
+                black_box(r.total_cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_marking,
+    bench_trace_generation,
+    bench_engines
+);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! `tpi-run` — compile, mark, and simulate a textual-format program.
+//!
+//! ```text
+//! tpi-run program.tpi                       # run under TPI on the paper machine
+//! tpi-run program.tpi --scheme all          # compare all schemes
+//! tpi-run program.tpi --scheme hw --procs 32 --line-words 16 --tag-bits 4
+//! tpi-run program.tpi --show-program        # echo the parsed IR
+//! tpi-run program.tpi --show-marking        # dump the compiler's decisions
+//! tpi-run program.tpi --verify              # panic if any hit observes stale data
+//! ```
+
+use std::process::ExitCode;
+use tpi::tables::{pct, Table};
+use tpi::{run_program, ExperimentConfig};
+use tpi_compiler::{mark_program, OptLevel};
+use tpi_ir::{display, parse_program, RefSite};
+use tpi_mem::ReadKind;
+use tpi_proto::SchemeKind;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tpi-run <file> [--scheme tpi|hw|sc|base|ll|ideal|all] [--procs N]\n\
+         \x20       [--line-words N] [--tag-bits N] [--cache-kb N] [--opt naive|intra|full]\n\
+         \x20       [--show-program] [--show-marking] [--verify] [--export]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut schemes: Vec<SchemeKind> = vec![SchemeKind::Tpi];
+    let mut cfg = ExperimentConfig::paper();
+    let mut show_program = false;
+    let mut show_marking = false;
+    let mut export = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => {
+                let Some(v) = it.next() else { return usage() };
+                schemes = match v.as_str() {
+                    "tpi" => vec![SchemeKind::Tpi],
+                    "hw" => vec![SchemeKind::FullMap],
+                    "sc" => vec![SchemeKind::Sc],
+                    "base" => vec![SchemeKind::Base],
+                    "ll" => vec![SchemeKind::LimitLess],
+                    "ideal" => vec![SchemeKind::Ideal],
+                    "all" => vec![
+                        SchemeKind::Base,
+                        SchemeKind::Sc,
+                        SchemeKind::Tpi,
+                        SchemeKind::FullMap,
+                        SchemeKind::Ideal,
+                    ],
+                    _ => return usage(),
+                };
+            }
+            "--procs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.procs = v,
+                None => return usage(),
+            },
+            "--line-words" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.line_words = v,
+                None => return usage(),
+            },
+            "--tag-bits" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tag_bits = v,
+                None => return usage(),
+            },
+            "--cache-kb" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => cfg.cache_bytes = v * 1024,
+                None => return usage(),
+            },
+            "--opt" => match it.next().map(String::as_str) {
+                Some("naive") => cfg.opt_level = OptLevel::Naive,
+                Some("intra") => cfg.opt_level = OptLevel::Intra,
+                Some("full") => cfg.opt_level = OptLevel::Full,
+                _ => return usage(),
+            },
+            "--verify" => cfg.verify_freshness = true,
+            "--export" => export = true,
+            "--show-program" => show_program = true,
+            "--show-marking" => show_marking = true,
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_owned());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if export {
+        // Canonicalize: print the parsed program back in the textual
+        // format and exit.
+        print!("{}", tpi_ir::program_to_source(&program));
+        return ExitCode::SUCCESS;
+    }
+    if show_program {
+        println!("{}", display::program_to_string(&program));
+    }
+    if show_marking {
+        let marking = mark_program(&program, &cfg.compiler_options());
+        let mut t = Table::new(format!("Compiler marking ({} analysis)", cfg.opt_level));
+        t.headers(["site", "verdict"]);
+        program.for_each_assign(|_, a| {
+            for idx in 0..a.reads.len() as u32 {
+                let site = RefSite { stmt: a.id, idx };
+                let verdict = match marking.tpi_kind(site) {
+                    ReadKind::Plain => "plain".to_owned(),
+                    ReadKind::TimeRead { distance } => format!("time-read(d={distance})"),
+                    other => other.to_string(),
+                };
+                t.row([format!("S{} read #{idx}", a.id.0), verdict]);
+            }
+        });
+        println!("{t}");
+        let s = marking.summary();
+        println!(
+            "{} shared reads: {} marked, {} plain ({} covered)\n",
+            s.shared_reads, s.marked, s.plain, s.covered
+        );
+    }
+    let mut t = Table::new(format!("{file} on {} processors", cfg.procs));
+    t.headers([
+        "scheme",
+        "cycles",
+        "miss rate",
+        "avg miss lat",
+        "net words",
+        "lock waits",
+    ]);
+    let mut hot: Option<Table> = None;
+    for scheme in schemes {
+        cfg.scheme = scheme;
+        match run_program(&program, &cfg) {
+            Ok(r) => {
+                t.row([
+                    scheme.label().to_string(),
+                    r.sim.total_cycles.to_string(),
+                    pct(r.sim.miss_rate()),
+                    format!("{:.1}", r.sim.avg_miss_latency()),
+                    r.sim.traffic.total_words().to_string(),
+                    r.sim.lock_wait_cycles.to_string(),
+                ]);
+                if scheme == SchemeKind::Tpi {
+                    hot = Some(tpi::report::hot_arrays(
+                        "Hot arrays under TPI (read misses by array)",
+                        &r,
+                        8,
+                    ));
+                }
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{t}");
+    if let Some(hot) = hot {
+        if !hot.is_empty() {
+            println!("{hot}");
+        }
+    }
+    ExitCode::SUCCESS
+}

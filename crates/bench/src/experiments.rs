@@ -1,0 +1,1029 @@
+//! The experiment implementations, one per table/figure of the paper.
+
+use crate::harness::{cfg_for, run};
+use tpi::tables::{f, pct, BarChart, Table};
+use tpi::ExperimentConfig;
+use tpi_cache::{ResetStrategy, WriteBufferKind};
+use tpi_compiler::OptLevel;
+use tpi_net::TrafficClass;
+use tpi_proto::storage::{
+    full_map, limitless_as_tabulated, limitless_pointer_width, tpi as tpi_storage, StorageParams,
+};
+use tpi_proto::{MissClass, SchemeKind};
+use tpi_trace::SchedulePolicy;
+use tpi_workloads::{Kernel, Scale};
+
+/// All experiment ids, in presentation order.
+pub const ALL_IDS: [&str; 22] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+];
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (`e1`..`e20`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+    /// Figure-style bar charts.
+    pub charts: Vec<BarChart>,
+}
+
+impl std::fmt::Display for ExperimentOutput {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(out, "=== {} — {} ===", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(out, "{t}")?;
+        }
+        for c in &self.charts {
+            writeln!(out, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the experiment with the given id at `scale`; `None` for unknown
+/// ids.
+#[must_use]
+pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentOutput> {
+    Some(match id {
+        "e1" => e1_storage(),
+        "e2" => e2_parameters(),
+        "e3" => e3_miss_rates(scale),
+        "e4" => e4_miss_classes(scale),
+        "e5" => e5_miss_latency(scale),
+        "e6" => e6_traffic(scale),
+        "e7" => e7_exec_time(scale),
+        "e8" => e8_timetag_bits(scale),
+        "e9" => e9_line_size(scale),
+        "e10" => e10_cache_size(scale),
+        "e11" => e11_reset_ablation(scale),
+        "e12" => e12_write_buffer(scale),
+        "e13" => e13_scheduling(scale),
+        "e14" => e14_scaling(scale),
+        "e15" => e15_opt_levels(scale),
+        "e16" => e16_critical_sections(scale),
+        "e17" => e17_restamp_ablation(scale),
+        "e18" => e18_write_policy(scale),
+        "e19" => e19_coherence_overhead(scale),
+        "e20" => e20_doacross(scale),
+        "e21" => e21_two_level(scale),
+        "e22" => e22_fetch_granularity(scale),
+        _ => return None,
+    })
+}
+
+/// E1 / Figure 5: storage overhead of full-map, LimitLess and TPI.
+#[must_use]
+pub fn e1_storage() -> ExperimentOutput {
+    let p = StorageParams::paper_figure5();
+    let mut t = Table::new(
+        "Figure 5 — bookkeeping storage at P=1024, C=16K lines, L=4 words, M=512K blocks, i=10, b=8",
+    );
+    t.headers(["scheme", "SRAM (MiB)", "DRAM (GiB)"]);
+    for (name, o) in [
+        ("full-map directory", full_map(p)),
+        (
+            "LimitLess (i+2 per block, as tabulated)",
+            limitless_as_tabulated(p),
+        ),
+        (
+            "LimitLess (i*log2(P)+2 per block)",
+            limitless_pointer_width(p),
+        ),
+        ("TPI (two-phase invalidation)", tpi_storage(p)),
+    ] {
+        t.row([name.to_string(), f(o.sram_mib(), 2), f(o.dram_gib(), 2)]);
+    }
+    let mut scaling = Table::new("Directory DRAM grows as O(P^2); TPI SRAM as O(P)");
+    scaling.headers(["P", "full-map DRAM (GiB)", "TPI SRAM (MiB)"]);
+    for procs in [64u64, 256, 1024, 4096] {
+        let mut pp = p;
+        pp.processors = procs;
+        scaling.row([
+            procs.to_string(),
+            f(full_map(pp).dram_gib(), 2),
+            f(tpi_storage(pp).sram_mib(), 2),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e1",
+        title: "storage overhead (Figure 5)",
+        tables: vec![t, scaling],
+    }
+}
+
+/// E2 / Figure 8: the simulated machine's parameters.
+#[must_use]
+pub fn e2_parameters() -> ExperimentOutput {
+    let c = ExperimentConfig::paper();
+    let e = c.engine_config(0);
+    let mut t = Table::new("Figure 8 — simulation parameters");
+    t.headers(["parameter", "value"]);
+    t.row([
+        "CPU".to_string(),
+        "single-issue, 1 cycle/ALU op".to_string(),
+    ]);
+    t.row(["processors".to_string(), c.procs.to_string()]);
+    t.row([
+        "cache size".to_string(),
+        format!("{} KB, {}-way", c.cache_bytes / 1024, c.assoc),
+    ]);
+    t.row([
+        "line size".to_string(),
+        format!("{} 32-bit words", c.line_words),
+    ]);
+    t.row(["cache hit".to_string(), "1 CPU cycle".to_string()]);
+    t.row([
+        "line base miss latency".to_string(),
+        format!(
+            "{} CPU cycles",
+            tpi_net::Network::new(e.net).line_fetch(c.line_words)
+        ),
+    ]);
+    t.row(["timetag size".to_string(), format!("{} bits", c.tag_bits)]);
+    t.row([
+        "two-phase reset".to_string(),
+        format!("{} cycles", c.reset_cycles),
+    ]);
+    t.row([
+        "network".to_string(),
+        format!(
+            "Kruskal-Snir multistage, {} stages of {}x{} switches",
+            e.net.stages(),
+            e.net.switch_degree,
+            e.net.switch_degree
+        ),
+    ]);
+    t.row([
+        "epoch setup/barrier".to_string(),
+        format!("{} cycles", c.epoch_setup_cycles),
+    ]);
+    t.row([
+        "consistency".to_string(),
+        "weak (infinite write buffer)".to_string(),
+    ]);
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e2",
+        title: "simulation parameters (Figure 8)",
+        tables: vec![t],
+    }
+}
+
+/// E3 / Figure 11: read miss rates per scheme and benchmark.
+#[must_use]
+pub fn e3_miss_rates(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("Figure 11 — read miss rates (64 KB direct-mapped, 16 B lines)");
+    t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
+    let mut chart = BarChart::new("Mean read miss rate across the suite", "%");
+    let mut sums = [0.0f64; 4];
+    for kernel in Kernel::ALL {
+        let mut row = vec![kernel.name().to_string()];
+        for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+            let r = run(kernel, scale, &cfg_for(*scheme));
+            sums[si] += r.sim.miss_rate();
+            row.push(pct(r.sim.miss_rate()));
+        }
+        t.row(row);
+    }
+    for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+        chart.bar(scheme.label(), 100.0 * sums[si] / Kernel::ALL.len() as f64);
+    }
+    ExperimentOutput {
+        charts: vec![chart],
+        id: "e3",
+        title: "miss rates (Figure 11)",
+        tables: vec![t],
+    }
+}
+
+/// E4: classification of read misses into necessary and unnecessary.
+#[must_use]
+pub fn e4_miss_classes(scale: Scale) -> ExperimentOutput {
+    let mut tables = Vec::new();
+    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        let mut t = Table::new(format!(
+            "{} — misses by cause (% of all read misses)",
+            scheme.label()
+        ));
+        t.headers([
+            "bench",
+            "cold",
+            "repl",
+            "reset",
+            "true-shr",
+            "false-shr",
+            "conserv",
+            "unnecessary",
+        ]);
+        for kernel in Kernel::ALL {
+            let r = run(kernel, scale, &cfg_for(scheme));
+            let total = r.sim.agg.read_misses().max(1) as f64;
+            let share = |c: MissClass| pct(r.sim.agg.misses(c) as f64 / total);
+            let unnecessary = (r.sim.agg.misses(MissClass::FalseSharing)
+                + r.sim.agg.misses(MissClass::Conservative)) as f64
+                / total;
+            t.row([
+                kernel.name().to_string(),
+                share(MissClass::Cold),
+                share(MissClass::Replacement),
+                share(MissClass::Reset),
+                share(MissClass::CoherenceTrue),
+                share(MissClass::FalseSharing),
+                share(MissClass::Conservative),
+                pct(unnecessary),
+            ]);
+        }
+        tables.push(t);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e4",
+        title: "miss classification: necessary vs unnecessary",
+        tables,
+    }
+}
+
+/// E5: average read-miss latency, TPI vs HW, 16-byte and 64-byte lines.
+#[must_use]
+pub fn e5_miss_latency(scale: Scale) -> ExperimentOutput {
+    let kernels = [
+        Kernel::Spec77,
+        Kernel::Ocean,
+        Kernel::Flo52,
+        Kernel::Qcd2,
+        Kernel::Trfd,
+    ];
+    let mut t = Table::new("Average miss latency (cycles): TPI vs full-map directory");
+    t.headers(["bench", "TPI 16B", "TPI 64B", "HW 16B", "HW 64B"]);
+    for kernel in kernels {
+        let mut row = vec![kernel.name().to_string()];
+        for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+            for line_words in [4u32, 16] {
+                let mut cfg = cfg_for(scheme);
+                cfg.line_words = line_words;
+                let r = run(kernel, scale, &cfg);
+                row.push(f(r.sim.avg_miss_latency(), 1));
+            }
+        }
+        t.row(row);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e5",
+        title: "average miss latency table",
+        tables: vec![t],
+    }
+}
+
+/// E6: network traffic breakdown per scheme (words per shared reference).
+#[must_use]
+pub fn e6_traffic(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("Network traffic (words per memory reference), by class");
+    t.headers(["bench", "scheme", "read", "write", "coherence", "total"]);
+    for kernel in Kernel::ALL {
+        for scheme in [SchemeKind::Sc, SchemeKind::Tpi, SchemeKind::FullMap] {
+            let r = run(kernel, scale, &cfg_for(scheme));
+            let refs = (r.sim.agg.reads + r.sim.agg.writes).max(1) as f64;
+            let per = |c: TrafficClass| f(r.sim.traffic.words(c) as f64 / refs, 3);
+            t.row([
+                kernel.name().to_string(),
+                scheme.label().to_string(),
+                per(TrafficClass::Read),
+                per(TrafficClass::Write),
+                per(TrafficClass::Coherence),
+                f(r.sim.words_per_reference(), 3),
+            ]);
+        }
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e6",
+        title: "network traffic breakdown",
+        tables: vec![t],
+    }
+}
+
+/// E7: execution time comparison (the headline figure).
+#[must_use]
+pub fn e7_exec_time(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("Execution time (cycles; parenthesized: normalized to HW)");
+    t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
+    let mut log_sums = [0.0f64; 4];
+    for kernel in Kernel::ALL {
+        let results: Vec<_> = SchemeKind::MAIN
+            .iter()
+            .map(|&s| run(kernel, scale, &cfg_for(s)))
+            .collect();
+        let hw = results[3].sim.total_cycles.max(1) as f64;
+        let mut row = vec![kernel.name().to_string()];
+        for (si, r) in results.iter().enumerate() {
+            let norm = r.sim.total_cycles as f64 / hw;
+            log_sums[si] += norm.ln();
+            row.push(format!("{} ({})", r.sim.total_cycles, f(norm, 2)));
+        }
+        t.row(row);
+    }
+    let mut chart = BarChart::new(
+        "Geometric-mean execution time, normalized to the full-map directory",
+        "x",
+    );
+    for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+        chart.bar(
+            scheme.label(),
+            (log_sums[si] / Kernel::ALL.len() as f64).exp(),
+        );
+    }
+    ExperimentOutput {
+        charts: vec![chart],
+        id: "e7",
+        title: "execution time comparison",
+        tables: vec![t],
+    }
+}
+
+/// E8: timetag-width sensitivity ("4 or 8 bits is enough").
+#[must_use]
+pub fn e8_timetag_bits(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("TPI execution time vs timetag width (normalized to 8-bit)");
+    t.headers(["bench", "2b", "3b", "4b", "6b", "8b", "reset words @2b"]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.tag_bits = 8;
+        let base = run(kernel, scale, &cfg).sim.total_cycles.max(1) as f64;
+        let mut row = vec![kernel.name().to_string()];
+        let mut reset2 = 0;
+        for bits in [2u32, 3, 4, 6, 8] {
+            cfg.tag_bits = bits;
+            let r = run(kernel, scale, &cfg);
+            if bits == 2 {
+                reset2 = r.sim.agg.reset_words;
+            }
+            row.push(f(r.sim.total_cycles as f64 / base, 3));
+        }
+        row.push(reset2.to_string());
+        t.row(row);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e8",
+        title: "timetag-width sensitivity",
+        tables: vec![t],
+    }
+}
+
+/// E9: line-size sensitivity for TPI and HW.
+#[must_use]
+pub fn e9_line_size(scale: Scale) -> ExperimentOutput {
+    let mut tables = Vec::new();
+    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        let mut t = Table::new(format!("{} read miss rate vs line size", scheme.label()));
+        t.headers(["bench", "4B", "8B", "16B", "32B", "64B"]);
+        for kernel in Kernel::ALL {
+            let mut row = vec![kernel.name().to_string()];
+            for line_words in [1u32, 2, 4, 8, 16] {
+                let mut cfg = cfg_for(scheme);
+                cfg.line_words = line_words;
+                let r = run(kernel, scale, &cfg);
+                row.push(pct(r.sim.miss_rate()));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e9",
+        title: "line-size sensitivity",
+        tables,
+    }
+}
+
+/// E10: cache-size sensitivity.
+#[must_use]
+pub fn e10_cache_size(scale: Scale) -> ExperimentOutput {
+    let mut tables = Vec::new();
+    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        let mut t = Table::new(format!("{} read miss rate vs cache size", scheme.label()));
+        t.headers(["bench", "16KB", "32KB", "64KB", "128KB", "256KB"]);
+        for kernel in Kernel::ALL {
+            let mut row = vec![kernel.name().to_string()];
+            for kb in [16usize, 32, 64, 128, 256] {
+                let mut cfg = cfg_for(scheme);
+                cfg.cache_bytes = kb * 1024;
+                let r = run(kernel, scale, &cfg);
+                row.push(pct(r.sim.miss_rate()));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e10",
+        title: "cache-size sensitivity",
+        tables,
+    }
+}
+
+/// E11: two-phase reset vs full cache flush at counter wrap.
+#[must_use]
+pub fn e11_reset_ablation(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("TPI with 3-bit tags: two-phase reset vs flush-on-wrap");
+    t.headers([
+        "bench",
+        "two-phase cycles",
+        "flush cycles",
+        "flush/two-phase",
+        "tp resets",
+        "flush resets",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.tag_bits = 3;
+        cfg.reset_strategy = ResetStrategy::TwoPhase;
+        let tp = run(kernel, scale, &cfg);
+        cfg.reset_strategy = ResetStrategy::FullFlushOnWrap;
+        let fl = run(kernel, scale, &cfg);
+        t.row([
+            kernel.name().to_string(),
+            tp.sim.total_cycles.to_string(),
+            fl.sim.total_cycles.to_string(),
+            f(
+                fl.sim.total_cycles as f64 / tp.sim.total_cycles.max(1) as f64,
+                3,
+            ),
+            tp.sim.agg.reset_words.to_string(),
+            fl.sim.agg.reset_words.to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e11",
+        title: "reset-strategy ablation",
+        tables: vec![t],
+    }
+}
+
+/// E12: plain FIFO write buffer vs write-buffer-organized-as-cache.
+#[must_use]
+pub fn e12_write_buffer(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("TPI write traffic: FIFO vs coalescing write buffer");
+    t.headers([
+        "bench",
+        "fifo wr words",
+        "coal wr words",
+        "eliminated",
+        "fifo cycles",
+        "coal cycles",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.wbuffer = WriteBufferKind::Fifo;
+        let fifo = run(kernel, scale, &cfg);
+        cfg.wbuffer = WriteBufferKind::Coalescing;
+        let coal = run(kernel, scale, &cfg);
+        let fw = fifo.sim.traffic.words(TrafficClass::Write);
+        let cw = coal.sim.traffic.words(TrafficClass::Write);
+        t.row([
+            kernel.name().to_string(),
+            fw.to_string(),
+            cw.to_string(),
+            pct(1.0 - cw as f64 / fw.max(1) as f64),
+            fifo.sim.total_cycles.to_string(),
+            coal.sim.total_cycles.to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e12",
+        title: "write-buffer ablation",
+        tables: vec![t],
+    }
+}
+
+/// E13 / Section 5: scheduling policies and task migration under TPI.
+#[must_use]
+pub fn e13_scheduling(scale: Scale) -> ExperimentOutput {
+    let policies: [(&str, SchedulePolicy); 4] = [
+        ("static-block", SchedulePolicy::StaticBlock),
+        ("static-cyclic", SchedulePolicy::StaticCyclic),
+        ("dynamic(4)", SchedulePolicy::Dynamic { chunk: 4 }),
+        (
+            "dyn+migration",
+            SchedulePolicy::DynamicMigrating {
+                chunk: 4,
+                migrate_per_1024: 256,
+            },
+        ),
+    ];
+    let mut t = Table::new("TPI under different DOALL schedules (cycles; miss rate)");
+    t.headers([
+        "bench",
+        "static-block",
+        "static-cyclic",
+        "dynamic(4)",
+        "dyn+migration",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut row = vec![kernel.name().to_string()];
+        for (_, policy) in policies {
+            let mut cfg = cfg_for(SchemeKind::Tpi);
+            cfg.policy = policy;
+            let r = run(kernel, scale, &cfg);
+            row.push(format!(
+                "{} ({})",
+                r.sim.total_cycles,
+                pct(r.sim.miss_rate())
+            ));
+        }
+        t.row(row);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e13",
+        title: "scheduling & migration (Section 5)",
+        tables: vec![t],
+    }
+}
+
+/// E14: processor-count scaling.
+#[must_use]
+pub fn e14_scaling(scale: Scale) -> ExperimentOutput {
+    let mut tables = Vec::new();
+    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        let mut t = Table::new(format!(
+            "{} execution cycles vs processor count (speedup over P=4)",
+            scheme.label()
+        ));
+        t.headers(["bench", "P=4", "P=8", "P=16", "P=32", "P=64"]);
+        for kernel in Kernel::ALL {
+            let mut row = vec![kernel.name().to_string()];
+            let mut base = 0u64;
+            for procs in [4u32, 8, 16, 32, 64] {
+                let mut cfg = cfg_for(scheme);
+                cfg.procs = procs;
+                let r = run(kernel, scale, &cfg);
+                if procs == 4 {
+                    base = r.sim.total_cycles.max(1);
+                }
+                row.push(format!(
+                    "{} ({}x)",
+                    r.sim.total_cycles,
+                    f(base as f64 / r.sim.total_cycles.max(1) as f64, 2)
+                ));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e14",
+        title: "processor-count scaling",
+        tables,
+    }
+}
+
+/// E15: compiler optimization-level ablation (extension experiment).
+#[must_use]
+pub fn e15_opt_levels(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("TPI under naive / intraprocedural / full compiler analysis");
+    t.headers([
+        "bench",
+        "naive cycles",
+        "intra cycles",
+        "full cycles",
+        "naive marked",
+        "full marked",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut row = vec![kernel.name().to_string()];
+        let mut marked = Vec::new();
+        for level in [OptLevel::Naive, OptLevel::Intra, OptLevel::Full] {
+            let mut cfg = cfg_for(SchemeKind::Tpi);
+            cfg.opt_level = level;
+            let r = run(kernel, scale, &cfg);
+            row.push(r.sim.total_cycles.to_string());
+            marked.push(pct(r.marking.marked_fraction()));
+        }
+        row.push(marked[0].clone());
+        row.push(marked[2].clone());
+        t.row(row);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e15",
+        title: "compiler optimization levels",
+        tables: vec![t],
+    }
+}
+
+/// E16 / Section 5: lock-guarded critical sections (MDG extension
+/// workload).
+#[must_use]
+pub fn e16_critical_sections(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("MDG (lock-guarded accumulation) across the schemes");
+    t.headers([
+        "scheme",
+        "cycles",
+        "miss rate",
+        "lock acquires",
+        "lock wait cycles",
+    ]);
+    for scheme in SchemeKind::MAIN {
+        let r = run(Kernel::Mdg, scale, &cfg_for(scheme));
+        t.row([
+            scheme.label().to_string(),
+            r.sim.total_cycles.to_string(),
+            pct(r.sim.miss_rate()),
+            r.sim.lock_acquires.to_string(),
+            r.sim.lock_wait_cycles.to_string(),
+        ]);
+    }
+    let mut s = Table::new("MDG under TPI vs processor count: the lock bounds scaling");
+    s.headers(["P", "cycles", "speedup over P=2", "lock wait share"]);
+    let mut base = 0u64;
+    for procs in [2u32, 4, 8, 16, 32] {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.procs = procs;
+        let r = run(Kernel::Mdg, scale, &cfg);
+        if procs == 2 {
+            base = r.sim.total_cycles.max(1);
+        }
+        s.row([
+            procs.to_string(),
+            r.sim.total_cycles.to_string(),
+            f(base as f64 / r.sim.total_cycles.max(1) as f64, 2),
+            pct(r.sim.lock_wait_cycles as f64
+                / (r.sim.total_cycles.max(1) as f64 * f64::from(procs))),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e16",
+        title: "critical sections & locks (Section 5)",
+        tables: vec![t, s],
+    }
+}
+
+/// E17: verified-hit re-stamping ablation.
+///
+/// A verified Time-Read proves the word fresh *now*, so stamping it with
+/// the current epoch is sound and keeps long-lived read-mostly data (the
+/// SPEC77 coefficient table) alive indefinitely. This design point is
+/// implied by the scheme's hardware (tags live next to the data in SRAM);
+/// the ablation measures what it is worth.
+#[must_use]
+pub fn e17_restamp_ablation(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("TPI with and without re-stamping verified Time-Read hits");
+    t.headers([
+        "bench",
+        "restamp cycles",
+        "no-restamp cycles",
+        "ratio",
+        "restamp miss",
+        "no-restamp miss",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.restamp_verified_hits = true;
+        let on = run(kernel, scale, &cfg);
+        cfg.restamp_verified_hits = false;
+        let off = run(kernel, scale, &cfg);
+        t.row([
+            kernel.name().to_string(),
+            on.sim.total_cycles.to_string(),
+            off.sim.total_cycles.to_string(),
+            f(
+                off.sim.total_cycles as f64 / on.sim.total_cycles.max(1) as f64,
+                3,
+            ),
+            pct(on.sim.miss_rate()),
+            pct(off.sim.miss_rate()),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e17",
+        title: "verified-hit re-stamp ablation",
+        tables: vec![t],
+    }
+}
+
+/// E18: write-through vs write-back-at-task-boundary (the \[10\] policy
+/// discussion the paper cites when justifying write-through).
+#[must_use]
+pub fn e18_write_policy(scale: Scale) -> ExperimentOutput {
+    use tpi_cache::WritePolicy;
+    let mut t = Table::new(
+        "TPI write policy: write-through (FIFO buffer) vs write-back at epoch boundaries",
+    );
+    t.headers([
+        "bench",
+        "WT cycles",
+        "WB cycles",
+        "WB/WT",
+        "WT wr words",
+        "WB wr words",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.write_policy = WritePolicy::Through;
+        let wt = run(kernel, scale, &cfg);
+        cfg.write_policy = WritePolicy::BackAtBoundary;
+        let wb = run(kernel, scale, &cfg);
+        t.row([
+            kernel.name().to_string(),
+            wt.sim.total_cycles.to_string(),
+            wb.sim.total_cycles.to_string(),
+            f(
+                wb.sim.total_cycles as f64 / wt.sim.total_cycles.max(1) as f64,
+                3,
+            ),
+            wt.sim.traffic.words(TrafficClass::Write).to_string(),
+            wb.sim.traffic.words(TrafficClass::Write).to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e18",
+        title: "write-policy ablation",
+        tables: vec![t],
+    }
+}
+
+/// E19: coherence overhead over a perfect-coherence oracle, plus an
+/// epoch-by-epoch timeline (extension figure).
+#[must_use]
+pub fn e19_coherence_overhead(scale: Scale) -> ExperimentOutput {
+    let mut t = Table::new("Execution time over the perfect-coherence oracle (coherence overhead)");
+    t.headers(["bench", "IDEAL cycles", "TPI/IDEAL", "HW/IDEAL", "SC/IDEAL"]);
+    for kernel in Kernel::ALL {
+        let ideal = run(kernel, scale, &cfg_for(SchemeKind::Ideal))
+            .sim
+            .total_cycles
+            .max(1);
+        let tpi = run(kernel, scale, &cfg_for(SchemeKind::Tpi))
+            .sim
+            .total_cycles;
+        let hw = run(kernel, scale, &cfg_for(SchemeKind::FullMap))
+            .sim
+            .total_cycles;
+        let sc = run(kernel, scale, &cfg_for(SchemeKind::Sc))
+            .sim
+            .total_cycles;
+        t.row([
+            kernel.name().to_string(),
+            ideal.to_string(),
+            f(tpi as f64 / ideal as f64, 2),
+            f(hw as f64 / ideal as f64, 2),
+            f(sc as f64 / ideal as f64, 2),
+        ]);
+    }
+    // Timeline figure: per-epoch cycles for ARC2D under TPI vs HW (the
+    // alternating x/y sweeps are visible as alternating epoch costs).
+    let mut tl = Table::new("ARC2D per-epoch cycles (first 12 epochs): TPI vs HW");
+    tl.headers([
+        "epoch",
+        "TPI cycles",
+        "TPI misses",
+        "HW cycles",
+        "HW misses",
+    ]);
+    let rt = run(Kernel::Arc2d, scale, &cfg_for(SchemeKind::Tpi));
+    let rh = run(Kernel::Arc2d, scale, &cfg_for(SchemeKind::FullMap));
+    for (pt, ph) in rt.sim.profile.iter().zip(&rh.sim.profile).take(12) {
+        tl.row([
+            pt.epoch.to_string(),
+            pt.cycles.to_string(),
+            pt.misses.to_string(),
+            ph.cycles.to_string(),
+            ph.misses.to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e19",
+        title: "coherence overhead vs oracle + epoch timeline",
+        tables: vec![t, tl],
+    }
+}
+
+/// E20 / Section 5: doacross pipelining via post/wait — synchronization
+/// granularity and schedule sweep on a 2-D wavefront (extension).
+#[must_use]
+pub fn e20_doacross(scale: Scale) -> ExperimentOutput {
+    use tpi::ir::{subs, Cond, Program, ProgramBuilder};
+    let n: i64 = match scale {
+        Scale::Test => 32,
+        Scale::Paper => 96,
+    };
+    let pipeline = |g: i64| -> Program {
+        let mut p = ProgramBuilder::new();
+        let x = p.shared("X", [n as u64, n as u64]);
+        let ev = p.event();
+        let main = p.proc("main", |f| {
+            f.doall(0, n - 1, |i, f| {
+                f.serial(0, n - 1, |j, f| f.store(x.at(subs![i, j]), vec![], 1));
+            });
+            f.doall(0, n - 1, |i, f| {
+                f.serial_step(0, n - 1, g, |jj, f| {
+                    f.if_else(
+                        Cond::EveryN {
+                            var: i,
+                            modulus: i64::MAX,
+                            phase: 0,
+                        },
+                        |f| {
+                            f.serial(jj, jj + g - 1, |j, f| {
+                                f.store(x.at(subs![i, j]), vec![x.at(subs![i, j])], 4);
+                            });
+                        },
+                        |f| {
+                            f.wait(ev, (i - 1) * n + jj);
+                            f.serial(jj, jj + g - 1, |j, f| {
+                                f.store(
+                                    x.at(subs![i, j]),
+                                    vec![x.at(subs![i - 1, j]), x.at(subs![i, j])],
+                                    4,
+                                );
+                            });
+                        },
+                    );
+                    f.post(ev, i * n + jj);
+                });
+            });
+        });
+        p.finish(main).expect("pipeline is well-formed")
+    };
+    let mut t = Table::new(format!(
+        "{n}x{n} wavefront: post granularity x schedule (TPI cycles)"
+    ));
+    t.headers(["post every", "static-block", "static-cyclic"]);
+    for g in [2i64, 4, 8, 16, 32] {
+        if n % g != 0 {
+            continue;
+        }
+        let prog = pipeline(g);
+        let mut row = vec![format!("{g} cols")];
+        for policy in [SchedulePolicy::StaticBlock, SchedulePolicy::StaticCyclic] {
+            let mut cfg = cfg_for(SchemeKind::Tpi);
+            cfg.policy = policy;
+            let r = tpi::run_program(&prog, &cfg).expect("wavefront is synchronized");
+            row.push(r.sim.total_cycles.to_string());
+        }
+        t.row(row);
+    }
+    let mut s = Table::new("Wavefront (post every 8, cyclic) across schemes");
+    s.headers(["scheme", "cycles", "wait cycles"]);
+    let prog = pipeline(8);
+    for scheme in SchemeKind::MAIN {
+        let mut cfg = cfg_for(scheme);
+        cfg.policy = SchedulePolicy::StaticCyclic;
+        let r = tpi::run_program(&prog, &cfg).expect("wavefront is synchronized");
+        t_row_push(
+            &mut s,
+            scheme.label(),
+            r.sim.total_cycles,
+            r.sim.lock_wait_cycles,
+        );
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e20",
+        title: "doacross pipelining (Section 5)",
+        tables: vec![t, s],
+    }
+}
+
+/// E21 / Section 3: one-level tagged cache vs the off-the-shelf two-level
+/// arrangement (stock on-chip L1 over the tagged off-chip cache).
+#[must_use]
+pub fn e21_two_level(scale: Scale) -> ExperimentOutput {
+    use tpi_proto::L1Config;
+    let mut t = Table::new(
+        "TPI: one-level tagged cache vs stock 8 KB L1 + tagged off-chip cache (5-cycle)",
+    );
+    t.headers([
+        "bench",
+        "1-level cycles",
+        "2-level cycles",
+        "2L/1L",
+        "plain hit share",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        let one = run(kernel, scale, &cfg);
+        cfg.l1 = Some(L1Config::paper_default());
+        let two = run(kernel, scale, &cfg);
+        let plain_share = two.sim.agg.read_hits as f64 / two.sim.agg.reads.max(1) as f64;
+        t.row([
+            kernel.name().to_string(),
+            one.sim.total_cycles.to_string(),
+            two.sim.total_cycles.to_string(),
+            f(
+                two.sim.total_cycles as f64 / one.sim.total_cycles.max(1) as f64,
+                3,
+            ),
+            pct(plain_share),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e21",
+        title: "off-the-shelf two-level implementation (Section 3)",
+        tables: vec![t],
+    }
+}
+
+/// E22: what a failed tag check should fetch — the whole line (spatial
+/// refresh, the paper's organization) or just the word (minimal traffic).
+#[must_use]
+pub fn e22_fetch_granularity(scale: Scale) -> ExperimentOutput {
+    use tpi_proto::FetchGranularity;
+    let mut t = Table::new("TPI coherence-miss fetch granularity: line vs word");
+    t.headers([
+        "bench",
+        "line cycles",
+        "word cycles",
+        "word/line",
+        "line rd words",
+        "word rd words",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut cfg = cfg_for(SchemeKind::Tpi);
+        cfg.coherence_fetch = FetchGranularity::Line;
+        let line = run(kernel, scale, &cfg);
+        cfg.coherence_fetch = FetchGranularity::Word;
+        let word = run(kernel, scale, &cfg);
+        t.row([
+            kernel.name().to_string(),
+            line.sim.total_cycles.to_string(),
+            word.sim.total_cycles.to_string(),
+            f(
+                word.sim.total_cycles as f64 / line.sim.total_cycles.max(1) as f64,
+                3,
+            ),
+            line.sim.traffic.words(TrafficClass::Read).to_string(),
+            word.sim.traffic.words(TrafficClass::Read).to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        charts: Vec::new(),
+        id: "e22",
+        title: "coherence-miss fetch granularity ablation",
+        tables: vec![t],
+    }
+}
+
+fn t_row_push(t: &mut Table, label: &str, cycles: u64, waits: u64) {
+    t.row([label.to_string(), cycles.to_string(), waits.to_string()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_experiments_render() {
+        let e1 = run_experiment("e1", Scale::Test).unwrap();
+        assert_eq!(e1.tables.len(), 2);
+        assert!(e1.to_string().contains("full-map"));
+        let e2 = run_experiment("e2", Scale::Test).unwrap();
+        assert!(e2.to_string().contains("timetag"));
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("e99", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn miss_rate_table_has_all_benchmarks() {
+        let out = e3_miss_rates(Scale::Test);
+        assert_eq!(out.tables[0].len(), 6);
+    }
+
+    #[test]
+    fn full_matrix_covers_24_runs() {
+        assert_eq!(crate::harness::full_matrix(Scale::Test).len(), 24);
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        for id in ALL_IDS {
+            // Only the cheap, closed-form ones are actually executed here;
+            // the simulated ones are covered by the integration tests and
+            // the Criterion benches at test scale.
+            if id == "e1" || id == "e2" {
+                assert!(run_experiment(id, Scale::Test).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared plumbing for the experiment implementations.
+
+use tpi::{run_kernel, ExperimentConfig, ExperimentResult};
+use tpi_proto::SchemeKind;
+use tpi_workloads::{Kernel, Scale};
+
+/// Runs `kernel` under `cfg`, panicking on the (impossible for the shipped
+/// kernels) race error so experiment code stays declarative.
+///
+/// # Panics
+///
+/// Panics if the kernel traces with a race (a bug in the suite).
+#[must_use]
+pub fn run(kernel: Kernel, scale: Scale, cfg: &ExperimentConfig) -> ExperimentResult {
+    run_kernel(kernel, scale, cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"))
+}
+
+/// The paper configuration with the scheme swapped.
+#[must_use]
+pub fn cfg_for(scheme: SchemeKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.scheme = scheme;
+    cfg
+}
+
+/// Runs every benchmark under every main scheme; yields
+/// `(kernel, scheme, result)` in a deterministic order.
+#[must_use]
+pub fn full_matrix(scale: Scale) -> Vec<(Kernel, SchemeKind, ExperimentResult)> {
+    let mut out = Vec::new();
+    for kernel in Kernel::ALL {
+        for scheme in SchemeKind::MAIN {
+            let r = run(kernel, scale, &cfg_for(scheme));
+            out.push((kernel, scheme, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_for_swaps_scheme_only() {
+        let c = cfg_for(SchemeKind::Sc);
+        assert_eq!(c.scheme, SchemeKind::Sc);
+        assert_eq!(c.procs, ExperimentConfig::paper().procs);
+    }
+
+    #[test]
+    fn single_run_works() {
+        let r = run(Kernel::Ocean, Scale::Test, &cfg_for(SchemeKind::Tpi));
+        assert!(r.sim.total_cycles > 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The cache array: set-associative storage with per-word valid bits,
+//! per-word timetags, and per-line coherence state.
+//!
+//! One structure serves every scheme in the study:
+//!
+//! * the TPI scheme uses the per-word valid bits and timetags;
+//! * the SC scheme uses the per-word valid bits only;
+//! * the directory schemes use the per-line MSI state and dirty bits.
+//!
+//! The `versions` and `accessed` fields are *simulation shadow state*, not
+//! modelled hardware: versions let the simulator decide whether a miss was
+//! necessary (the word really changed) or an artifact of conservatism /
+//! false sharing, and the accessed bits implement the Tullsen–Eggers
+//! false-sharing classification the paper cites (\[34\]).
+
+use crate::timetag::ResetEvent;
+use tpi_mem::{LineAddr, LineGeometry, WordAddr};
+
+/// Geometry and capacity of one processor's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes (the paper's default: 64 KB).
+    pub size_bytes: usize,
+    /// Associativity (1 = direct-mapped, the paper's default).
+    pub assoc: u32,
+    /// Line geometry (the paper's default: 4 words = 16 bytes).
+    pub geometry: LineGeometry,
+}
+
+impl CacheConfig {
+    /// The paper's default node cache: 64 KB direct-mapped, 4-word lines.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 1,
+            geometry: LineGeometry::new(4),
+        }
+    }
+
+    /// Total number of lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (capacity not a multiple
+    /// of the line size, zero associativity, more than 64 words per line,
+    /// or a non-power-of-two number of sets).
+    #[must_use]
+    pub fn num_lines(&self) -> usize {
+        let lb = self.geometry.line_bytes();
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            self.geometry.words_per_line() <= 64,
+            "at most 64 words per line (bitmask representation)"
+        );
+        assert_eq!(
+            self.size_bytes % lb,
+            0,
+            "capacity must be a multiple of the line size"
+        );
+        let lines = self.size_bytes / lb;
+        assert_eq!(
+            lines % self.assoc as usize,
+            0,
+            "lines must divide evenly into sets"
+        );
+        lines
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        let sets = self.num_lines() / self.assoc as usize;
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        sets
+    }
+}
+
+/// Per-line coherence state (used by the directory protocols; TPI and SC
+/// keep every present line in `Shared`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Readable copy; memory is up to date (for write-back protocols).
+    Shared,
+    /// Sole writable copy; memory may be stale.
+    Exclusive,
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Line address (full address stored in lieu of a tag).
+    pub addr: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    valid: u64,
+    dirty: u64,
+    accessed: u64,
+    tags: Vec<u16>,
+    versions: Vec<u64>,
+}
+
+impl Line {
+    /// A new line with no valid words.
+    #[must_use]
+    pub fn new(addr: LineAddr, words_per_line: u32) -> Self {
+        Line {
+            addr,
+            state: LineState::Shared,
+            valid: 0,
+            dirty: 0,
+            accessed: 0,
+            tags: vec![0; words_per_line as usize],
+            versions: vec![0; words_per_line as usize],
+        }
+    }
+
+    fn bit(word: u32) -> u64 {
+        1u64 << word
+    }
+
+    /// Whether `word` holds valid data.
+    #[must_use]
+    pub fn word_valid(&self, word: u32) -> bool {
+        self.valid & Self::bit(word) != 0
+    }
+
+    /// Marks `word` valid or invalid.
+    pub fn set_word_valid(&mut self, word: u32, valid: bool) {
+        if valid {
+            self.valid |= Self::bit(word);
+        } else {
+            self.valid &= !Self::bit(word);
+        }
+    }
+
+    /// Whether any word is valid.
+    #[must_use]
+    pub fn any_valid(&self) -> bool {
+        self.valid != 0
+    }
+
+    /// Whether every word of the line is valid.
+    #[must_use]
+    pub fn all_valid(&self, words_per_line: u32) -> bool {
+        let full = if words_per_line == 64 {
+            u64::MAX
+        } else {
+            Self::bit(words_per_line) - 1
+        };
+        self.valid & full == full
+    }
+
+    /// Whether `word` is dirty (write-back protocols).
+    #[must_use]
+    pub fn word_dirty(&self, word: u32) -> bool {
+        self.dirty & Self::bit(word) != 0
+    }
+
+    /// Marks `word` dirty or clean.
+    pub fn set_word_dirty(&mut self, word: u32, dirty: bool) {
+        if dirty {
+            self.dirty |= Self::bit(word);
+        } else {
+            self.dirty &= !Self::bit(word);
+        }
+    }
+
+    /// Whether any word is dirty.
+    #[must_use]
+    pub fn any_dirty(&self) -> bool {
+        self.dirty != 0
+    }
+
+    /// Clears all dirty bits.
+    pub fn clean_all(&mut self) {
+        self.dirty = 0;
+    }
+
+    /// Whether the local processor touched `word` since the line was filled
+    /// (Tullsen–Eggers bookkeeping).
+    #[must_use]
+    pub fn word_accessed(&self, word: u32) -> bool {
+        self.accessed & Self::bit(word) != 0
+    }
+
+    /// Records a local access to `word`.
+    pub fn set_word_accessed(&mut self, word: u32) {
+        self.accessed |= Self::bit(word);
+    }
+
+    /// Timetag of `word`.
+    #[must_use]
+    pub fn timetag(&self, word: u32) -> u16 {
+        self.tags[word as usize]
+    }
+
+    /// Stamps `word` with `tag`.
+    pub fn set_timetag(&mut self, word: u32, tag: u16) {
+        self.tags[word as usize] = tag;
+    }
+
+    /// Shadow version of `word` (what value generation it holds).
+    #[must_use]
+    pub fn version(&self, word: u32) -> u64 {
+        self.versions[word as usize]
+    }
+
+    /// Sets the shadow version of `word`.
+    pub fn set_version(&mut self, word: u32, version: u64) {
+        self.versions[word as usize] = version;
+    }
+
+    /// Invalidates words whose timetag lies in `[lo, hi]`; returns how many
+    /// valid words were dropped.
+    pub fn invalidate_tag_range(&mut self, lo: u16, hi: u16) -> u32 {
+        let mut dropped = 0;
+        for (w, &t) in self.tags.iter().enumerate() {
+            let b = Self::bit(w as u32);
+            if self.valid & b != 0 && t >= lo && t <= hi {
+                self.valid &= !b;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Number of valid words.
+    #[must_use]
+    pub fn valid_count(&self) -> u32 {
+        self.valid.count_ones()
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` ordered most-recently-used first.
+    sets: Vec<Vec<Line>>,
+}
+
+impl Cache {
+    /// An empty cache of the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`CacheConfig::num_lines`]).
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![Vec::new(); cfg.num_sets()];
+        Cache { cfg, sets }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Word offset of `addr` within its line.
+    #[must_use]
+    pub fn word_of(&self, addr: WordAddr) -> u32 {
+        self.cfg.geometry.word_in_line(addr)
+    }
+
+    /// Line address containing `addr`.
+    #[must_use]
+    pub fn line_of(&self, addr: WordAddr) -> LineAddr {
+        self.cfg.geometry.line_of(addr)
+    }
+
+    /// The resident line at `addr`, if present (does not touch LRU).
+    #[must_use]
+    pub fn peek(&self, addr: LineAddr) -> Option<&Line> {
+        let s = self.set_of(addr);
+        self.sets[s].iter().find(|l| l.addr == addr)
+    }
+
+    /// Mutable access to the resident line at `addr`, moving it to MRU.
+    pub fn touch_mut(&mut self, addr: LineAddr) -> Option<&mut Line> {
+        let s = self.set_of(addr);
+        let pos = self.sets[s].iter().position(|l| l.addr == addr)?;
+        let line = self.sets[s].remove(pos);
+        self.sets[s].insert(0, line);
+        Some(&mut self.sets[s][0])
+    }
+
+    /// Inserts `line` (as MRU); returns the evicted victim if the set was
+    /// full. A resident line with the same address is replaced (and
+    /// returned).
+    pub fn insert(&mut self, line: Line) -> Option<Line> {
+        let s = self.set_of(line.addr);
+        if let Some(pos) = self.sets[s].iter().position(|l| l.addr == line.addr) {
+            let old = self.sets[s].remove(pos);
+            self.sets[s].insert(0, line);
+            return Some(old);
+        }
+        let victim = if self.sets[s].len() >= self.cfg.assoc as usize {
+            self.sets[s].pop()
+        } else {
+            None
+        };
+        self.sets[s].insert(0, line);
+        victim
+    }
+
+    /// Removes and returns the line at `addr`.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<Line> {
+        let s = self.set_of(addr);
+        let pos = self.sets[s].iter().position(|l| l.addr == addr)?;
+        Some(self.sets[s].remove(pos))
+    }
+
+    /// Applies a timetag reset event; returns the number of invalidated
+    /// words. Lines left with no valid word are dropped.
+    pub fn apply_reset(&mut self, ev: ResetEvent) -> u64 {
+        let mut dropped = 0u64;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                match ev {
+                    ResetEvent::InvalidateTagRange { lo, hi } => {
+                        dropped += u64::from(line.invalidate_tag_range(lo, hi));
+                    }
+                    ResetEvent::InvalidateAll => {
+                        dropped += u64::from(line.valid_count());
+                        line.valid = 0;
+                    }
+                }
+            }
+            set.retain(Line::any_valid);
+        }
+        dropped
+    }
+
+    /// Visits every resident line.
+    pub fn for_each_line(&self, mut f: impl FnMut(&Line)) {
+        for set in &self.sets {
+            for line in set {
+                f(line);
+            }
+        }
+    }
+
+    /// Visits every resident line mutably; lines for which `f` returns
+    /// `false` are removed.
+    pub fn retain_lines(&mut self, mut f: impl FnMut(&mut Line) -> bool) {
+        for set in &mut self.sets {
+            set.retain_mut(|l| f(l));
+        }
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Drops every resident line.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(assoc: u32) -> CacheConfig {
+        // 8 lines of 4 words.
+        CacheConfig {
+            size_bytes: 128,
+            assoc,
+            geometry: LineGeometry::new(4),
+        }
+    }
+
+    #[test]
+    fn config_arithmetic() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.num_lines(), 4096);
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(small_cfg(2).num_sets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the line size")]
+    fn bad_capacity_rejected() {
+        let c = CacheConfig {
+            size_bytes: 100,
+            assoc: 1,
+            geometry: LineGeometry::new(4),
+        };
+        let _ = c.num_lines();
+    }
+
+    #[test]
+    fn word_flags_roundtrip() {
+        let mut l = Line::new(LineAddr(7), 4);
+        assert!(!l.word_valid(2));
+        l.set_word_valid(2, true);
+        l.set_word_dirty(2, true);
+        l.set_word_accessed(2);
+        l.set_timetag(2, 9);
+        l.set_version(2, 42);
+        assert!(l.word_valid(2) && l.word_dirty(2) && l.word_accessed(2));
+        assert_eq!(l.timetag(2), 9);
+        assert_eq!(l.version(2), 42);
+        assert!(l.any_valid() && l.any_dirty());
+        assert!(!l.all_valid(4));
+        for w in 0..4 {
+            l.set_word_valid(w, true);
+        }
+        assert!(l.all_valid(4));
+        l.set_word_dirty(2, false);
+        assert!(!l.any_dirty());
+        assert_eq!(l.valid_count(), 4);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = Cache::new(small_cfg(1)); // 8 sets
+        let a = Line::new(LineAddr(3), 4);
+        let b = Line::new(LineAddr(11), 4); // 11 % 8 == 3: conflicts with a
+        assert!(c.insert(a).is_none());
+        let victim = c.insert(b).expect("conflict must evict");
+        assert_eq!(victim.addr, LineAddr(3));
+        assert!(c.peek(LineAddr(3)).is_none());
+        assert!(c.peek(LineAddr(11)).is_some());
+    }
+
+    #[test]
+    fn lru_order_in_associative_set() {
+        let mut c = Cache::new(small_cfg(2)); // 4 sets, 2-way
+        c.insert(Line::new(LineAddr(0), 4));
+        c.insert(Line::new(LineAddr(4), 4)); // same set 0
+                                             // Touch 0 to make it MRU, then insert another conflicting line.
+        assert!(c.touch_mut(LineAddr(0)).is_some());
+        let victim = c.insert(Line::new(LineAddr(8), 4)).expect("evicts LRU");
+        assert_eq!(victim.addr, LineAddr(4), "LRU is the untouched line");
+    }
+
+    #[test]
+    fn reinsert_same_address_replaces() {
+        let mut c = Cache::new(small_cfg(2));
+        let mut l = Line::new(LineAddr(5), 4);
+        l.set_word_valid(0, true);
+        c.insert(l);
+        let replaced = c
+            .insert(Line::new(LineAddr(5), 4))
+            .expect("old copy returned");
+        assert!(replaced.word_valid(0));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn reset_invalidates_only_tag_range() {
+        let mut c = Cache::new(small_cfg(1));
+        let mut l = Line::new(LineAddr(1), 4);
+        for w in 0..4 {
+            l.set_word_valid(w, true);
+        }
+        l.set_timetag(0, 1);
+        l.set_timetag(1, 5);
+        l.set_timetag(2, 6);
+        l.set_timetag(3, 2);
+        c.insert(l);
+        let dropped = c.apply_reset(ResetEvent::InvalidateTagRange { lo: 4, hi: 7 });
+        assert_eq!(dropped, 2);
+        let line = c.peek(LineAddr(1)).unwrap();
+        assert!(line.word_valid(0) && line.word_valid(3));
+        assert!(!line.word_valid(1) && !line.word_valid(2));
+        // Full flush drops the rest and removes the line entirely.
+        let dropped = c.apply_reset(ResetEvent::InvalidateAll);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = Cache::new(small_cfg(1));
+        c.insert(Line::new(LineAddr(2), 4));
+        assert!(c.remove(LineAddr(2)).is_some());
+        assert!(c.remove(LineAddr(2)).is_none());
+        c.insert(Line::new(LineAddr(3), 4));
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The hardware epoch counter and the two-phase invalidation clock.
+//!
+//! Each cache word carries a `b`-bit *timetag* — the (truncated) epoch
+//! number at which the word was last written, fetched, or verified fresh.
+//! Because the tag is finite the epoch counter wraps, and tag values must be
+//! recycled without ambiguity. The paper proposes a **two-phase reset**: the
+//! tag space is split into two halves ("phases"); whenever the counter
+//! crosses into a new half, the hardware bulk-invalidates exactly the words
+//! whose tags lie in the half being entered (those are one full cycle old).
+//! This maintains the invariant that every surviving tag is less than `2^b`
+//! epochs old, making the modular age computation exact:
+//!
+//! ```text
+//! age(tag) = (counter - tag) mod 2^b      — true age, given the invariant
+//! Time-Read(d) hits  ⇔  word valid ∧ age(tag) ≤ d
+//! ```
+//!
+//! The simple alternative the paper rejects (flush the entire cache when
+//! the counter wraps) is also provided for the reset-strategy ablation.
+
+use tpi_mem::Epoch;
+
+/// How tag values are recycled at counter wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResetStrategy {
+    /// The paper's scheme: invalidate only out-of-phase words at each
+    /// half-space crossing.
+    TwoPhase,
+    /// Invalidate the whole cache when the counter wraps to zero.
+    FullFlushOnWrap,
+}
+
+/// A reset event the cache must perform after an epoch advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetEvent {
+    /// Invalidate every valid word whose tag falls in `[lo, hi]`.
+    InvalidateTagRange {
+        /// First tag value of the entered phase.
+        lo: u16,
+        /// Last tag value of the entered phase.
+        hi: u16,
+    },
+    /// Invalidate every valid word.
+    InvalidateAll,
+}
+
+/// The per-processor hardware epoch counter with `bits`-wide timetags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagClock {
+    bits: u32,
+    strategy: ResetStrategy,
+    epoch: u64,
+}
+
+impl TagClock {
+    /// Creates a clock with `bits`-wide tags (the paper uses 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    #[must_use]
+    pub fn new(bits: u32, strategy: ResetStrategy) -> Self {
+        assert!(
+            (2..=16).contains(&bits),
+            "timetag width must be in 2..=16, got {bits}"
+        );
+        TagClock {
+            bits,
+            strategy,
+            epoch: 0,
+        }
+    }
+
+    /// Tag width in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct tag values.
+    #[must_use]
+    pub fn modulus(self) -> u64 {
+        1 << self.bits
+    }
+
+    /// The reset strategy in use.
+    #[must_use]
+    pub fn strategy(self) -> ResetStrategy {
+        self.strategy
+    }
+
+    /// Current (unbounded) epoch number.
+    #[must_use]
+    pub fn epoch(self) -> Epoch {
+        Epoch(self.epoch)
+    }
+
+    /// Current truncated hardware tag.
+    #[must_use]
+    pub fn hw_tag(self) -> u16 {
+        (self.epoch % self.modulus()) as u16
+    }
+
+    /// Advances to the next epoch; returns the reset the cache must apply,
+    /// if the counter crossed a phase (or wrapped, for the flush strategy).
+    pub fn advance(&mut self) -> Option<ResetEvent> {
+        self.epoch += 1;
+        let m = self.modulus();
+        let half = (m / 2) as u16;
+        let tag = self.hw_tag();
+        match self.strategy {
+            ResetStrategy::TwoPhase => {
+                if tag == 0 {
+                    Some(ResetEvent::InvalidateTagRange {
+                        lo: 0,
+                        hi: half - 1,
+                    })
+                } else if tag == half {
+                    Some(ResetEvent::InvalidateTagRange {
+                        lo: half,
+                        hi: (m - 1) as u16,
+                    })
+                } else {
+                    None
+                }
+            }
+            ResetStrategy::FullFlushOnWrap => (tag == 0).then_some(ResetEvent::InvalidateAll),
+        }
+    }
+
+    /// True age of a surviving tag, in epochs.
+    ///
+    /// Exact provided the reset discipline has been applied (see module
+    /// docs); without resets the result is only the age modulo `2^bits`.
+    #[must_use]
+    pub fn age_of(self, tag: u16) -> u64 {
+        let m = self.modulus();
+        (self.epoch.wrapping_sub(u64::from(tag))) % m
+    }
+
+    /// Whether a word stamped `tag` satisfies a Time-Read with the given
+    /// compiler distance.
+    #[must_use]
+    pub fn fresh_within(self, tag: u16, distance: u32) -> bool {
+        self.age_of(tag) <= u64::from(distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_wrap_modulo() {
+        let mut c = TagClock::new(4, ResetStrategy::TwoPhase);
+        for _ in 0..20 {
+            c.advance();
+        }
+        assert_eq!(c.epoch(), Epoch(20));
+        assert_eq!(c.hw_tag(), 4);
+        assert_eq!(c.modulus(), 16);
+    }
+
+    #[test]
+    fn two_phase_resets_fire_at_half_crossings() {
+        let mut c = TagClock::new(3, ResetStrategy::TwoPhase); // tags 0..8, half=4
+        let mut events = Vec::new();
+        for _ in 0..16 {
+            if let Some(e) = c.advance() {
+                events.push((c.epoch().0, e));
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                (4, ResetEvent::InvalidateTagRange { lo: 4, hi: 7 }),
+                (8, ResetEvent::InvalidateTagRange { lo: 0, hi: 3 }),
+                (12, ResetEvent::InvalidateTagRange { lo: 4, hi: 7 }),
+                (16, ResetEvent::InvalidateTagRange { lo: 0, hi: 3 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_flush_fires_at_wrap_only() {
+        let mut c = TagClock::new(3, ResetStrategy::FullFlushOnWrap);
+        let mut events = Vec::new();
+        for _ in 0..17 {
+            if let Some(e) = c.advance() {
+                events.push((c.epoch().0, e));
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                (8, ResetEvent::InvalidateAll),
+                (16, ResetEvent::InvalidateAll)
+            ]
+        );
+    }
+
+    #[test]
+    fn age_is_exact_within_invariant() {
+        let mut c = TagClock::new(4, ResetStrategy::TwoPhase);
+        for _ in 0..19 {
+            c.advance();
+        }
+        // Current epoch 19, tag 3. A word stamped at epoch 17 has tag 1.
+        assert_eq!(c.age_of(1), 2);
+        assert!(c.fresh_within(1, 2));
+        assert!(!c.fresh_within(1, 1));
+        // A word stamped "now".
+        assert_eq!(c.age_of(c.hw_tag()), 0);
+        assert!(c.fresh_within(c.hw_tag(), 0));
+    }
+
+    #[test]
+    fn reset_discipline_preserves_age_exactness() {
+        // Simulate words stamped at every epoch; apply resets; verify that
+        // every *surviving* word's modular age equals its true age.
+        let bits = 4;
+        let mut c = TagClock::new(bits, ResetStrategy::TwoPhase);
+        let mut words: Vec<(u64, u16)> = Vec::new(); // (stamp_epoch, tag)
+        for _ in 0..200 {
+            words.push((c.epoch().0, c.hw_tag()));
+            match c.advance() {
+                Some(ResetEvent::InvalidateTagRange { lo, hi }) => {
+                    words.retain(|&(_, t)| t < lo || t > hi);
+                }
+                Some(ResetEvent::InvalidateAll) => words.clear(),
+                None => {}
+            }
+            for &(stamp, tag) in &words {
+                let true_age = c.epoch().0 - stamp;
+                assert_eq!(
+                    c.age_of(tag),
+                    true_age,
+                    "tag age must be exact after resets"
+                );
+            }
+        }
+        assert!(!words.is_empty(), "some recent words must survive");
+    }
+
+    #[test]
+    #[should_panic(expected = "timetag width")]
+    fn rejects_one_bit_tags() {
+        let _ = TagClock::new(1, ResetStrategy::TwoPhase);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the cache hardware models.
+//!
+//! * The two-phase reset discipline must keep every surviving timetag's
+//!   modular age *exact* for arbitrarily long epoch sequences — that is
+//!   the invariant the whole TPI hit check rests on.
+//! * The set-associative cache must agree with a naive reference model of
+//!   true-LRU replacement.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tpi_cache::{Cache, CacheConfig, Line, ResetEvent, ResetStrategy, TagClock};
+use tpi_mem::{LineAddr, LineGeometry};
+
+proptest! {
+    #[test]
+    fn reset_discipline_keeps_ages_exact(
+        bits in 2u32..8,
+        strategy_two_phase in any::<bool>(),
+        epochs in 1usize..400,
+        stamp_pattern in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let strategy = if strategy_two_phase {
+            ResetStrategy::TwoPhase
+        } else {
+            ResetStrategy::FullFlushOnWrap
+        };
+        let mut clock = TagClock::new(bits, strategy);
+        // (stamp_epoch, tag) of simulated surviving words.
+        let mut words: Vec<(u64, u16)> = Vec::new();
+        for e in 0..epochs {
+            if stamp_pattern[e % stamp_pattern.len()] {
+                words.push((clock.epoch().0, clock.hw_tag()));
+            }
+            match clock.advance() {
+                Some(ResetEvent::InvalidateTagRange { lo, hi }) => {
+                    words.retain(|&(_, t)| t < lo || t > hi);
+                }
+                Some(ResetEvent::InvalidateAll) => words.clear(),
+                None => {}
+            }
+            for &(stamp, tag) in &words {
+                let true_age = clock.epoch().0 - stamp;
+                prop_assert_eq!(
+                    clock.age_of(tag),
+                    true_age,
+                    "bits={} strategy={:?} epoch={}",
+                    bits,
+                    strategy,
+                    clock.epoch().0
+                );
+                // fresh_within must agree with the true age.
+                prop_assert_eq!(clock.fresh_within(tag, true_age as u32), true);
+                if true_age > 0 {
+                    prop_assert_eq!(clock.fresh_within(tag, (true_age - 1) as u32), false);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_matches_reference_lru(
+        assoc in 1u32..5,
+        accesses in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        // 16-line cache with `assoc`-way sets (assoc must divide 16).
+        let assoc = [1u32, 2, 4][assoc as usize % 3];
+        let cfg = CacheConfig {
+            size_bytes: 16 * 16,
+            assoc,
+            geometry: LineGeometry::new(4),
+        };
+        let mut cache = Cache::new(cfg);
+        let sets = cfg.num_sets() as u64;
+        // Reference model: per set, a vector MRU-first.
+        let mut reference: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &a in &accesses {
+            let set = a % sets;
+            let entry = reference.entry(set).or_default();
+            // Reference LRU update.
+            if let Some(pos) = entry.iter().position(|&x| x == a) {
+                entry.remove(pos);
+            } else if entry.len() >= assoc as usize {
+                entry.pop();
+            }
+            entry.insert(0, a);
+            // Model update: touch or insert.
+            if cache.touch_mut(LineAddr(a)).is_none() {
+                cache.insert(Line::new(LineAddr(a), 4));
+            }
+        }
+        // Every line the reference holds must be resident, and vice versa.
+        let mut expected = 0usize;
+        for lines in reference.values() {
+            for &l in lines {
+                expected += 1;
+                prop_assert!(cache.peek(LineAddr(l)).is_some(), "line {l} missing");
+            }
+        }
+        prop_assert_eq!(cache.resident_lines(), expected);
+    }
+
+    #[test]
+    fn reset_never_invalidates_current_epoch_words(
+        bits in 2u32..6,
+        epochs in 1u64..200,
+    ) {
+        // A word stamped in the epoch right before a crossing always
+        // survives it (age 1 < half-range for every width >= 2).
+        let mut clock = TagClock::new(bits, ResetStrategy::TwoPhase);
+        for _ in 0..epochs {
+            let tag = clock.hw_tag();
+            if let Some(ResetEvent::InvalidateTagRange { lo, hi }) = clock.advance() {
+                prop_assert!(
+                    tag < lo || tag > hi,
+                    "freshly stamped tag {tag} would be dropped by [{lo},{hi}]"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Edge cases of the epoch flow graph and distance computation: skip
+//! edges, provably-nonempty loops, multi-site merging, call chains, and
+//! zero-iteration epochs.
+
+use tpi_compiler::{mark_program, CompilerOptions, MarkReason, OptLevel};
+use tpi_ir::{subs, Cond, ProgramBuilder, RefSite, StmtId};
+
+fn full() -> CompilerOptions {
+    CompilerOptions {
+        level: OptLevel::Full,
+    }
+}
+
+fn site(stmt: u32, idx: u32) -> RefSite {
+    RefSite {
+        stmt: StmtId(stmt),
+        idx,
+    }
+}
+
+#[test]
+fn provably_nonempty_loop_lengthens_distance() {
+    // writer; loop (definitely >= 1 iteration) { unrelated doall }; reader.
+    // The loop body cannot be skipped, so the minimum distance is 2.
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S0
+        f.serial(0, 1, |_t, f| {
+            f.doall(0, 31, |i, f| f.store(b.at(subs![i]), vec![], 1)); // S1
+        });
+        f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S2
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(m.decision(site(2, 0)).unwrap().distance, 2);
+}
+
+#[test]
+fn possibly_empty_loop_adds_skip_edge() {
+    // Same shape but the inner loop's bounds depend on an outer variable,
+    // so the analysis cannot prove it executes: the skip edge shortens the
+    // sound distance to 1.
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let main = p.proc("main", |f| {
+        f.serial(0, 1, |t, f| {
+            f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S0
+                                                                       // Loop from t..=0: empty when t = 1.
+            f.serial(t, 0, |_u, f| {
+                f.doall(0, 31, |i, f| f.store(b.at(subs![i]), vec![], 1)); // S1
+            });
+            f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S2
+        });
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(
+        m.decision(site(2, 0)).unwrap().distance,
+        1,
+        "skippable epoch must not widen the window"
+    );
+}
+
+#[test]
+fn empty_branch_arm_is_a_passthrough() {
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let main = p.proc("main", |f| {
+        f.serial(0, 3, |t, f| {
+            f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S0
+                                                                       // Branch whose taken arm has an epoch and whose else arm is
+                                                                       // empty: the reader may follow either path.
+            f.if_then(
+                Cond::EveryN {
+                    var: t,
+                    modulus: 2,
+                    phase: 0,
+                },
+                |f| {
+                    f.doall(0, 31, |i, f| f.store(b.at(subs![i]), vec![], 1)); // S1
+                },
+            );
+            f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S2
+        });
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(m.decision(site(2, 0)).unwrap().distance, 1);
+}
+
+#[test]
+fn multi_call_site_marking_merges_to_minimum() {
+    // A reader procedure invoked from two contexts: right after the writer
+    // (distance 1) and two epochs after it (distance 2). The single static
+    // site must carry the sound minimum, 1.
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let reader = p.proc("reader", |f| {
+        f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S0
+    });
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S1
+        f.call(reader); // context 1: distance 1
+        f.doall(0, 31, |i, f| f.store(b.at(subs![i]), vec![], 1)); // S2
+        f.call(reader); // context 2: distance 3 (through reader + b-epoch)
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(m.decision(site(0, 0)).unwrap().distance, 1);
+}
+
+#[test]
+fn three_deep_call_chain_is_analyzed() {
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let leaf = p.proc("leaf", |f| {
+        f.doall(0, 31, |i, f| f.store(b.at(subs![i]), vec![], 1)); // S0
+    });
+    let mid = p.proc("mid", |f| {
+        f.call(leaf);
+        f.call(leaf);
+    });
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S1
+        f.call(mid); // expands to two b-writing epochs
+        f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S2
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    // Two epochs of `leaf` sit between writer and reader.
+    assert_eq!(m.decision(site(2, 0)).unwrap().distance, 3);
+}
+
+#[test]
+fn serial_only_call_is_inlined_into_the_epoch() {
+    // A call to a DOALL-free procedure merges into the surrounding serial
+    // epoch; its writes count as same-processor (non-staling) writes.
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let helper = p.proc("helper", |f| {
+        f.store(a.at(subs![3]), vec![], 1); // S0, serial
+    });
+    let main = p.proc("main", |f| {
+        f.call(helper);
+        f.load(vec![a.at(subs![3])], 1); // S1: same serial epoch, covered
+        f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S2: d=1
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    let d1 = m.decision(site(1, 0)).unwrap();
+    assert!(!d1.stale, "helper's write covers the same-epoch read");
+    assert_eq!(d1.reason, MarkReason::Covered);
+    let d2 = m.decision(site(2, 0)).unwrap();
+    assert_eq!(d2.distance, 1);
+}
+
+#[test]
+fn two_dimensional_disjoint_sections() {
+    // Writers touch the upper half of a matrix, readers the lower half:
+    // never stale despite both being "the same array".
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [64, 64]);
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| {
+            f.serial(0, 63, |j, f| f.store(a.at(subs![i, j]), vec![], 1));
+        });
+        f.doall(32, 63, |i, f| {
+            f.serial(0, 63, |j, f| f.load(vec![a.at(subs![i, j])], 1)); // S1
+        });
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(m.decision(site(1, 0)).unwrap().reason, MarkReason::NoWriter);
+}
+
+#[test]
+fn branch_arms_inside_a_task_are_both_analyzed() {
+    // Reads in both arms of an if inside a DOALL body get decisions.
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let b = p.shared("B", [32]);
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S0
+        f.doall(0, 31, |i, f| {
+            f.if_else(
+                Cond::EveryN {
+                    var: i,
+                    modulus: 2,
+                    phase: 0,
+                },
+                |f| f.store(b.at(subs![i]), vec![a.at(subs![i])], 1), // S1
+                |f| f.store(b.at(subs![i]), vec![a.at(subs![i])], 2), // S2
+            );
+        });
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    assert_eq!(m.decision(site(1, 0)).unwrap().distance, 1);
+    assert_eq!(m.decision(site(2, 0)).unwrap().distance, 1);
+}
+
+#[test]
+fn unreachable_procedures_are_not_marked_in_full_mode() {
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [32]);
+    let _orphan = p.proc("orphan", |f| {
+        f.doall(0, 31, |i, f| f.load(vec![a.at(subs![i])], 1)); // S0
+    });
+    let main = p.proc("main", |f| {
+        f.doall(0, 31, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S1
+    });
+    let prog = p.finish(main).unwrap();
+    let m = mark_program(&prog, &full());
+    // Both modes analyze only procedures reachable from the entry; the
+    // orphan's site is unseen and defaults to Plain — sound only because
+    // it never executes.
+    assert!(m.decision(site(0, 0)).is_none());
+    let mi = mark_program(
+        &prog,
+        &CompilerOptions {
+            level: OptLevel::Intra,
+        },
+    );
+    assert!(mi.decision(site(0, 0)).is_none());
+    // The reachable writer is seen by both.
+    assert!(
+        m.decision(site(1, 0)).is_none(),
+        "writes have no read decisions"
+    );
+}

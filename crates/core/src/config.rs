@@ -1,0 +1,189 @@
+//! One configuration object spanning compiler, trace, machine, and scheme.
+
+use tpi_cache::{CacheConfig, ResetStrategy, WriteBufferKind, WritePolicy};
+use tpi_compiler::OptLevel;
+use tpi_mem::{Cycle, LineGeometry};
+use tpi_net::NetworkConfig;
+use tpi_proto::{EngineConfig, SchemeKind};
+use tpi_sim::SimOptions;
+use tpi_trace::{SchedulePolicy, TraceOptions};
+
+/// Every knob of one simulated experiment.
+///
+/// [`ExperimentConfig::paper`] reproduces the paper's Figure 8 machine:
+/// 16 single-issue processors, 64 KB direct-mapped caches with 4-word
+/// (16-byte) lines, 8-bit timetags with a 128-cycle two-phase reset, an
+/// analytic multistage network with a 100-cycle base line-miss latency,
+/// write-through write-allocate caches with infinite write buffers for the
+/// HSCD schemes, and weak consistency throughout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Coherence scheme under test.
+    pub scheme: SchemeKind,
+    /// Compiler optimization level (marking quality).
+    pub opt_level: OptLevel,
+    /// Number of processors.
+    pub procs: u32,
+    /// Cache capacity per node, bytes.
+    pub cache_bytes: usize,
+    /// Words per cache line.
+    pub line_words: u32,
+    /// Cache associativity.
+    pub assoc: u32,
+    /// Timetag width (TPI).
+    pub tag_bits: u32,
+    /// Timetag recycling strategy (TPI).
+    pub reset_strategy: ResetStrategy,
+    /// Stall per two-phase reset (TPI).
+    pub reset_cycles: Cycle,
+    /// Write buffer organization (write-through schemes).
+    pub wbuffer: WriteBufferKind,
+    /// HSCD cache write policy (TPI).
+    pub write_policy: WritePolicy,
+    /// DOALL scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Seed for dynamic scheduling and opaque subscripts.
+    pub seed: u64,
+    /// Barrier / loop-scheduling overhead per epoch.
+    pub epoch_setup_cycles: Cycle,
+    /// LimitLess hardware pointers.
+    pub limitless_pointers: u32,
+    /// LimitLess software-trap penalty.
+    pub limitless_trap_cycles: Cycle,
+    /// Whether verified Time-Read hits re-stamp their word (TPI).
+    pub restamp_verified_hits: bool,
+    /// Panic if any cache hit observes stale data (always on in debug
+    /// builds; enable in release to make soundness executable).
+    pub verify_freshness: bool,
+    /// Optional on-chip L1 in front of the tagged TPI cache (two-level
+    /// operation, Section 3).
+    pub l1: Option<tpi_proto::L1Config>,
+    /// Rotate serial epochs across processors instead of pinning them to
+    /// processor 0.
+    pub rotate_serial: bool,
+    /// What a failed TPI tag check refetches.
+    pub coherence_fetch: tpi_proto::FetchGranularity,
+}
+
+impl ExperimentConfig {
+    /// The paper's default machine, running the TPI scheme.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            scheme: SchemeKind::Tpi,
+            opt_level: OptLevel::Full,
+            procs: 16,
+            cache_bytes: 64 * 1024,
+            line_words: 4,
+            assoc: 1,
+            tag_bits: 8,
+            reset_strategy: ResetStrategy::TwoPhase,
+            reset_cycles: 128,
+            wbuffer: WriteBufferKind::Fifo,
+            write_policy: WritePolicy::Through,
+            policy: SchedulePolicy::StaticBlock,
+            seed: 0xC0FF_EE00,
+            epoch_setup_cycles: 100,
+            limitless_pointers: 10,
+            limitless_trap_cycles: 50,
+            restamp_verified_hits: true,
+            verify_freshness: cfg!(debug_assertions),
+            l1: None,
+            rotate_serial: false,
+            coherence_fetch: tpi_proto::FetchGranularity::Line,
+        }
+    }
+
+    /// Line geometry derived from `line_words`.
+    #[must_use]
+    pub fn geometry(&self) -> LineGeometry {
+        LineGeometry::new(self.line_words)
+    }
+
+    /// The trace-generation options this configuration induces.
+    #[must_use]
+    pub fn trace_options(&self) -> TraceOptions {
+        TraceOptions {
+            num_procs: self.procs,
+            policy: self.policy,
+            seed: self.seed,
+            check_races: true,
+            geometry: self.geometry(),
+            rotate_serial: self.rotate_serial,
+        }
+    }
+
+    /// The engine configuration this experiment induces, given the shared
+    /// segment bound (total words of the program's layout).
+    #[must_use]
+    pub fn engine_config(&self, shared_limit: u64) -> EngineConfig {
+        EngineConfig {
+            procs: self.procs,
+            cache: CacheConfig {
+                size_bytes: self.cache_bytes,
+                assoc: self.assoc,
+                geometry: self.geometry(),
+            },
+            net: NetworkConfig::paper_default(self.procs),
+            tag_bits: self.tag_bits,
+            reset_strategy: self.reset_strategy,
+            reset_cycles: self.reset_cycles,
+            wbuffer: self.wbuffer,
+            write_policy: self.write_policy,
+            shared_limit,
+            limitless_pointers: self.limitless_pointers,
+            limitless_trap_cycles: self.limitless_trap_cycles,
+            restamp_verified_hits: self.restamp_verified_hits,
+            verify_freshness: self.verify_freshness,
+            l1: self.l1,
+            coherence_fetch: self.coherence_fetch,
+        }
+    }
+
+    /// The simulator options this experiment induces.
+    #[must_use]
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            epoch_setup_cycles: self.epoch_setup_cycles,
+        }
+    }
+
+    /// Compiler options this experiment induces.
+    #[must_use]
+    pub fn compiler_options(&self) -> tpi_compiler::CompilerOptions {
+        tpi_compiler::CompilerOptions {
+            level: self.opt_level,
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_figure8() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.procs, 16);
+        assert_eq!(c.cache_bytes, 64 * 1024);
+        assert_eq!(c.line_words, 4);
+        assert_eq!(c.assoc, 1);
+        assert_eq!(c.tag_bits, 8);
+        assert_eq!(c.reset_cycles, 128);
+        let e = c.engine_config(1000);
+        assert_eq!(e.cache.num_lines(), 4096);
+        assert_eq!(e.shared_limit, 1000);
+        assert_eq!(c.trace_options().num_procs, 16);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper());
+    }
+}

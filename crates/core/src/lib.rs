@@ -1,0 +1,58 @@
+//! `tpi` — hardware-supported, compiler-directed cache coherence, end to
+//! end.
+//!
+//! This crate is the public facade of the reproduction of Choi & Yew,
+//! *"Compiler and Hardware Support for Cache Coherence in Large-Scale
+//! Multiprocessors"* (ISCA 1996). It wires the layers together:
+//!
+//! 1. a parallel program (one of the six Perfect-Club-like kernels from
+//!    [`tpi_workloads`], or your own [`tpi_ir`] program),
+//! 2. the Polaris-style stale-reference marking pass ([`tpi_compiler`]),
+//! 3. execution-driven trace generation ([`tpi_trace`]),
+//! 4. a coherence engine — BASE / SC / TPI / full-map directory /
+//!    LimitLess ([`tpi_proto`]) — timed by the multiprocessor simulator
+//!    ([`tpi_sim`]) over a Kruskal–Snir network model ([`tpi_net`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpi::{ExperimentConfig, run_kernel};
+//! use tpi_proto::SchemeKind;
+//! use tpi_workloads::{Kernel, Scale};
+//!
+//! let mut cfg = ExperimentConfig::paper();
+//! cfg.scheme = SchemeKind::Tpi;
+//! let tpi = run_kernel(Kernel::Flo52, Scale::Test, &cfg)?;
+//! cfg.scheme = SchemeKind::FullMap;
+//! let hw = run_kernel(Kernel::Flo52, Scale::Test, &cfg)?;
+//! println!(
+//!     "TPI: {} cycles ({:.2}% miss), HW: {} cycles ({:.2}% miss)",
+//!     tpi.sim.total_cycles,
+//!     100.0 * tpi.sim.miss_rate(),
+//!     hw.sim.total_cycles,
+//!     100.0 * hw.sim.miss_rate(),
+//! );
+//! # Ok::<(), tpi_trace::TraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod report;
+pub mod tables;
+
+pub use config::ExperimentConfig;
+pub use experiment::{run_kernel, run_program, ExperimentResult};
+pub use tables::{BarChart, Table};
+
+// Re-export the layer crates so downstream users need only one dependency.
+pub use tpi_cache as cache;
+pub use tpi_compiler as compiler;
+pub use tpi_ir as ir;
+pub use tpi_mem as mem;
+pub use tpi_net as net;
+pub use tpi_proto as proto;
+pub use tpi_sim as sim;
+pub use tpi_trace as trace;
+pub use tpi_workloads as workloads;

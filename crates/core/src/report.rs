@@ -1,0 +1,190 @@
+//! Canonical report tables built from experiment results.
+//!
+//! The `repro` harness, the `tpi-run` tool and the examples all need the
+//! same handful of tables; this module is the single implementation so
+//! downstream users get them too.
+
+use crate::experiment::ExperimentResult;
+use crate::tables::{f, pct, Table};
+use tpi_net::TrafficClass;
+use tpi_proto::MissClass;
+
+/// One row per scheme: cycles, miss rate, latency, traffic, lock waits.
+#[must_use]
+pub fn scheme_comparison(title: impl Into<String>, rows: &[(&str, &ExperimentResult)]) -> Table {
+    let mut t = Table::new(title);
+    t.headers([
+        "scheme",
+        "cycles",
+        "miss rate",
+        "avg miss lat",
+        "net words",
+        "lock waits",
+    ]);
+    for (label, r) in rows {
+        t.row([
+            (*label).to_string(),
+            r.sim.total_cycles.to_string(),
+            pct(r.sim.miss_rate()),
+            f(r.sim.avg_miss_latency(), 1),
+            r.sim.traffic.total_words().to_string(),
+            r.sim.lock_wait_cycles.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Read-miss breakdown by cause, as percentages of all read misses.
+#[must_use]
+pub fn miss_classes(title: impl Into<String>, r: &ExperimentResult) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["cause", "misses", "share"]);
+    let total = r.sim.agg.read_misses().max(1) as f64;
+    for class in MissClass::ALL {
+        let n = r.sim.agg.misses(class);
+        if n > 0 {
+            t.row([class.to_string(), n.to_string(), pct(n as f64 / total)]);
+        }
+    }
+    t
+}
+
+/// Network words per memory reference, split by traffic class.
+#[must_use]
+pub fn traffic(title: impl Into<String>, r: &ExperimentResult) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["class", "messages", "words", "words/ref"]);
+    let refs = (r.sim.agg.reads + r.sim.agg.writes).max(1) as f64;
+    for class in TrafficClass::ALL {
+        t.row([
+            class.to_string(),
+            r.sim.traffic.messages(class).to_string(),
+            r.sim.traffic.words(class).to_string(),
+            f(r.sim.traffic.words(class) as f64 / refs, 3),
+        ]);
+    }
+    t
+}
+
+/// The arrays responsible for the most read misses (descending).
+#[must_use]
+pub fn hot_arrays(title: impl Into<String>, r: &ExperimentResult, top: usize) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["array", "misses", "share"]);
+    let total = r.sim.agg.read_misses().max(1) as f64;
+    for (name, n) in r.sim.miss_by_array.iter().take(top) {
+        t.row([name.clone(), n.to_string(), pct(*n as f64 / total)]);
+    }
+    t
+}
+
+/// Compiler-marking summary: how many reads were marked and at what
+/// distances.
+#[must_use]
+pub fn marking_summary(title: impl Into<String>, r: &ExperimentResult) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["metric", "value"]);
+    t.row([
+        "shared read sites".to_string(),
+        r.marking.shared_reads.to_string(),
+    ]);
+    t.row([
+        "marked (potentially stale)".to_string(),
+        r.marking.marked.to_string(),
+    ]);
+    t.row([
+        "plain (never stale)".to_string(),
+        r.marking.plain.to_string(),
+    ]);
+    t.row([
+        "  of which covered".to_string(),
+        r.marking.covered.to_string(),
+    ]);
+    for (d, n) in &r.marking.distance_histogram {
+        t.row([format!("  distance {d}"), n.to_string()]);
+    }
+    t
+}
+
+/// Per-epoch timeline (cycles and misses), up to `max_rows` epochs.
+#[must_use]
+pub fn epoch_timeline(title: impl Into<String>, r: &ExperimentResult, max_rows: usize) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["epoch", "cycles", "misses"]);
+    for p in r.sim.profile.iter().take(max_rows) {
+        t.row([
+            p.epoch.to_string(),
+            p.cycles.to_string(),
+            p.misses.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-processor busy time and load-imbalance summary.
+#[must_use]
+pub fn load_balance(title: impl Into<String>, r: &ExperimentResult) -> Table {
+    let mut t = Table::new(title);
+    t.headers(["metric", "value"]);
+    let max = r.sim.busy_cycles.iter().copied().max().unwrap_or(0);
+    let sum: u64 = r.sim.busy_cycles.iter().sum();
+    let n = r.sim.busy_cycles.len().max(1) as u64;
+    let mean = sum / n;
+    t.row(["processors".to_string(), n.to_string()]);
+    t.row(["busiest processor (cycles)".to_string(), max.to_string()]);
+    t.row(["mean busy (cycles)".to_string(), mean.to_string()]);
+    t.row([
+        "imbalance (max/mean)".to_string(),
+        f(max as f64 / mean.max(1) as f64, 2),
+    ]);
+    t.row([
+        "parallel efficiency (busy/total)".to_string(),
+        pct(sum as f64 / (r.sim.total_cycles.max(1) * n) as f64),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_kernel, ExperimentConfig};
+    use tpi_proto::SchemeKind;
+    use tpi_workloads::{Kernel, Scale};
+
+    fn result(scheme: SchemeKind) -> ExperimentResult {
+        let mut cfg = ExperimentConfig::paper();
+        cfg.scheme = scheme;
+        run_kernel(Kernel::Arc2d, Scale::Test, &cfg).expect("runs")
+    }
+
+    #[test]
+    fn all_reports_render() {
+        let tpi = result(SchemeKind::Tpi);
+        let hw = result(SchemeKind::FullMap);
+        let cmp = scheme_comparison("cmp", &[("TPI", &tpi), ("HW", &hw)]);
+        assert_eq!(cmp.len(), 2);
+        let mc = miss_classes("classes", &tpi);
+        assert!(!mc.is_empty());
+        let tr = traffic("traffic", &tpi);
+        assert_eq!(tr.len(), 3);
+        let hot = hot_arrays("hot", &tpi, 4);
+        assert!(hot.len() >= 2, "ARC2D misses on Q and R");
+        let ms = marking_summary("marking", &tpi);
+        assert!(ms.len() >= 4);
+        let tl = epoch_timeline("timeline", &tpi, 5);
+        assert!(tl.len() <= 5 && !tl.is_empty());
+        let lb = load_balance("balance", &tpi);
+        assert_eq!(lb.len(), 5);
+        // Everything renders without panicking.
+        for t in [cmp, mc, tr, hot, ms, tl, lb] {
+            assert!(t.to_string().contains("##"));
+        }
+    }
+
+    #[test]
+    fn miss_class_shares_sum_to_one() {
+        let r = result(SchemeKind::Tpi);
+        let total: u64 = MissClass::ALL.iter().map(|&c| r.sim.agg.misses(c)).sum();
+        assert_eq!(total, r.sim.agg.read_misses());
+    }
+}

@@ -1,0 +1,288 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The benchmark harness regenerates the paper's tables and figures as
+//! aligned text; this module is the shared renderer.
+
+use std::fmt;
+
+/// A column-aligned text table with a title and a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header row.
+    pub fn headers<S: Into<String>>(&mut self, headers: impl IntoIterator<Item = S>) -> &mut Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width (when headers
+    /// are set).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if !self.headers.is_empty() {
+            assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quotes applied where cells
+    /// contain commas or quotes), headers first.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            out.push_str(
+                &self
+                    .headers
+                    .iter()
+                    .map(|h| cell(h))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                // First column left-aligned, the rest right-aligned
+                // (labels left, numbers right).
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            render(f, &self.headers)?;
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A horizontal ASCII bar chart — the closest a terminal gets to the
+/// paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use tpi::tables::BarChart;
+///
+/// let mut c = BarChart::new("Miss rates", "%");
+/// c.bar("TPI", 4.7);
+/// c.bar("HW", 4.6);
+/// let s = c.to_string();
+/// assert!(s.contains("TPI"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    unit: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// A new chart with a title and a value unit suffix.
+    #[must_use]
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            unit: unit.into(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends one bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Number of bars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether the chart has no bars.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const WIDTH: f64 = 50.0;
+        writeln!(f, "## {}", self.title)?;
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let lw = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, v) in &self.bars {
+            let n = if max > 0.0 {
+                (v / max * WIDTH).round() as usize
+            } else {
+                0
+            };
+            writeln!(
+                f,
+                "{label:<lw$}  {}{} {v:.2}{}",
+                "#".repeat(n),
+                if n == 0 && *v > 0.0 { "." } else { "" },
+                self.unit
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimals.
+#[must_use]
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a ratio as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Miss rates");
+        t.headers(["bench", "TPI", "HW"]);
+        t.row(["FLO52", "1.20%", "1.10%"]);
+        t.row(["QCD2", "11.00%", "9.80%"]);
+        let s = t.to_string();
+        assert!(s.contains("## Miss rates"));
+        assert!(s.contains("bench"));
+        assert!(s.contains("FLO52"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows end aligned on the last column.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x");
+        t.headers(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("x");
+        t.headers(["a", "b"]);
+        t.row(["plain", "with,comma"]);
+        t.row(["quote\"inside", "ok"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\nplain,\"with,comma\"\n\"quote\"\"inside\",ok\n");
+        assert_eq!(t.title(), "x");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.0123), "1.23%");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut c = BarChart::new("t", "x");
+        c.bar("big", 10.0);
+        c.bar("half", 5.0);
+        c.bar("zero", 0.0);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(count(lines[1]), 50);
+        assert_eq!(count(lines[2]), 25);
+        assert_eq!(count(lines[3]), 0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

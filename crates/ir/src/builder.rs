@@ -1,0 +1,491 @@
+//! Fluent construction of IR programs.
+//!
+//! # Example
+//!
+//! A parallel copy with a one-epoch producer/consumer dependence (the
+//! paper's Figure 1 shape):
+//!
+//! ```
+//! use tpi_ir::{ProgramBuilder, subs};
+//!
+//! let mut p = ProgramBuilder::new();
+//! let a = p.shared("A", [64]);
+//! let b = p.shared("B", [64]);
+//! let main = p.proc("main", |f| {
+//!     f.doall(0, 63, |i, f| {
+//!         f.store(a.at(subs![i]), vec![], 2); // epoch 0: A(i) = ...
+//!     });
+//!     f.doall(0, 63, |i, f| {
+//!         f.store(b.at(subs![i]), vec![a.at(subs![i])], 2); // epoch 1: B(i) = A(i)
+//!     });
+//! });
+//! let prog = p.finish(main).expect("valid program");
+//! assert_eq!(prog.num_assigns, 2);
+//! ```
+
+use crate::expr::{Affine, Cond, OpaqueFn, Subscript, VarId};
+use crate::stmt::{
+    ArrayRef, Assign, Critical, EventId, IfStmt, LockId, Loop, ProcIdx, Procedure, Program, Stmt,
+    StmtId,
+};
+use crate::validate::{self, ValidateError};
+use tpi_mem::{ArrayDecl, ArrayId, Sharing};
+
+/// Handle to a declared array, used to form references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle {
+    id: ArrayId,
+}
+
+impl ArrayHandle {
+    /// The underlying array id.
+    #[must_use]
+    pub fn id(self) -> ArrayId {
+        self.id
+    }
+
+    /// A reference `A(subs...)`. Use the [`subs!`](crate::subs) macro to
+    /// build the subscript vector.
+    #[must_use]
+    pub fn at(self, subs: Vec<Subscript>) -> ArrayRef {
+        ArrayRef::new(self.id, subs)
+    }
+}
+
+/// Builds [`Subscript`] vectors from mixed index expressions.
+///
+/// Accepts anything convertible into [`Subscript`]: loop variables, integer
+/// constants, [`Affine`](crate::Affine) expressions, and
+/// [`OpaqueFn`](crate::OpaqueFn)s.
+#[macro_export]
+macro_rules! subs {
+    ($($e:expr),* $(,)?) => {
+        vec![$($crate::Subscript::from($e)),*]
+    };
+}
+
+/// Top-level program builder. Declare arrays, then procedures (callees
+/// first), then [`finish`](ProgramBuilder::finish).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    arrays: Vec<ArrayDecl>,
+    procs: Vec<Procedure>,
+    next_stmt: u32,
+    next_salt: u64,
+    next_lock: u32,
+    next_event: u32,
+}
+
+impl ProgramBuilder {
+    /// An empty program builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a shared (coherence-visible) array.
+    pub fn shared<const N: usize>(&mut self, name: &str, dims: [u64; N]) -> ArrayHandle {
+        self.declare(name, dims.to_vec(), Sharing::Shared)
+    }
+
+    /// Declares a processor-private array.
+    pub fn private<const N: usize>(&mut self, name: &str, dims: [u64; N]) -> ArrayHandle {
+        self.declare(name, dims.to_vec(), Sharing::Private)
+    }
+
+    /// Declares a shared array with a runtime-known shape (used by the
+    /// textual-format parser).
+    pub fn shared_dyn(&mut self, name: &str, dims: Vec<u64>) -> ArrayHandle {
+        self.declare(name, dims, Sharing::Shared)
+    }
+
+    /// Declares a private array with a runtime-known shape.
+    pub fn private_dyn(&mut self, name: &str, dims: Vec<u64>) -> ArrayHandle {
+        self.declare(name, dims, Sharing::Private)
+    }
+
+    fn declare(&mut self, name: &str, dims: Vec<u64>, sharing: Sharing) -> ArrayHandle {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl::new(name, dims, sharing));
+        ArrayHandle { id }
+    }
+
+    /// A fresh opaque-subscript function (unique salt per call).
+    pub fn opaque(&mut self) -> OpaqueFn {
+        self.next_salt += 1;
+        OpaqueFn::new(self.next_salt)
+    }
+
+    /// Declares a lock variable for use with
+    /// [`BodyBuilder::critical`].
+    pub fn lock(&mut self) -> LockId {
+        let id = LockId(self.next_lock);
+        self.next_lock += 1;
+        id
+    }
+
+    /// Declares an element-indexed event variable for use with
+    /// [`BodyBuilder::post`] / [`BodyBuilder::wait`].
+    pub fn event(&mut self) -> EventId {
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        id
+    }
+
+    /// Defines a procedure by running `build` against a body builder.
+    /// Returns its index for use in [`BodyBuilder::call`]. Callees must be
+    /// defined before their callers (Fortran-style, no recursion).
+    pub fn proc(&mut self, name: &str, build: impl FnOnce(&mut BodyBuilder<'_>)) -> ProcIdx {
+        let idx = ProcIdx(self.procs.len() as u32);
+        let mut stmts = Vec::new();
+        let mut next_var = 0;
+        {
+            let mut body = BodyBuilder {
+                next_stmt: &mut self.next_stmt,
+                next_salt: &mut self.next_salt,
+                next_var: &mut next_var,
+                known_procs: self.procs.len() as u32,
+                stmts: &mut stmts,
+            };
+            build(&mut body);
+        }
+        self.procs.push(Procedure {
+            name: name.to_owned(),
+            body: stmts,
+            num_vars: next_var,
+        });
+        idx
+    }
+
+    /// Finalizes and validates the program with `entry` as "main".
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the program violates the IR's static
+    /// rules (nested DOALLs, calls inside DOALLs, rank mismatches, unbound
+    /// variables, recursion, ...).
+    pub fn finish(self, entry: ProcIdx) -> Result<Program, ValidateError> {
+        let program = Program {
+            arrays: self.arrays,
+            procs: self.procs,
+            entry,
+            num_assigns: self.next_stmt,
+            num_locks: self.next_lock,
+            num_events: self.next_event,
+        };
+        validate::validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one statement list (a procedure body or a nested block).
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    next_stmt: &'a mut u32,
+    next_salt: &'a mut u64,
+    next_var: &'a mut u32,
+    known_procs: u32,
+    stmts: &'a mut Vec<Stmt>,
+}
+
+impl BodyBuilder<'_> {
+    fn fresh_stmt(&mut self) -> StmtId {
+        let id = StmtId(*self.next_stmt);
+        *self.next_stmt += 1;
+        id
+    }
+
+    fn fresh_var(&mut self) -> VarId {
+        let v = VarId(*self.next_var);
+        *self.next_var += 1;
+        v
+    }
+
+    /// A fresh opaque-subscript function (unique salt per call).
+    pub fn opaque(&mut self) -> OpaqueFn {
+        *self.next_salt += 1;
+        OpaqueFn::new(*self.next_salt)
+    }
+
+    /// Emits `write = f(reads)` with `cost` cycles of scalar work.
+    pub fn store(&mut self, write: ArrayRef, reads: Vec<ArrayRef>, cost: u32) {
+        let id = self.fresh_stmt();
+        self.stmts.push(Stmt::Assign(Assign {
+            id,
+            write: Some(write),
+            reads,
+            cost,
+        }));
+    }
+
+    /// Emits a read-only statement (e.g. accumulating into a private scalar).
+    pub fn load(&mut self, reads: Vec<ArrayRef>, cost: u32) {
+        let id = self.fresh_stmt();
+        self.stmts.push(Stmt::Assign(Assign {
+            id,
+            write: None,
+            reads,
+            cost,
+        }));
+    }
+
+    /// Emits pure scalar work of `cost` cycles (no shared-memory accesses).
+    pub fn compute(&mut self, cost: u32) {
+        self.load(vec![], cost);
+    }
+
+    /// Emits a serial loop `for v in lo..=hi`, building its body in `f`.
+    pub fn serial(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        f: impl FnOnce(VarId, &mut BodyBuilder<'_>),
+    ) {
+        self.serial_step(lo, hi, 1, f);
+    }
+
+    /// Emits a serial loop with an explicit stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn serial_step(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        step: i64,
+        f: impl FnOnce(VarId, &mut BodyBuilder<'_>),
+    ) {
+        let l = self.build_loop(lo.into(), hi.into(), step, f);
+        self.stmts.push(Stmt::Loop(l));
+    }
+
+    /// Emits a DOALL (parallel) loop — one epoch whose iterations are
+    /// independent tasks.
+    pub fn doall(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        f: impl FnOnce(VarId, &mut BodyBuilder<'_>),
+    ) {
+        self.doall_step(lo, hi, 1, f);
+    }
+
+    /// Emits a DOALL loop with an explicit stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn doall_step(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        step: i64,
+        f: impl FnOnce(VarId, &mut BodyBuilder<'_>),
+    ) {
+        let l = self.build_loop(lo.into(), hi.into(), step, f);
+        self.stmts.push(Stmt::Doall(l));
+    }
+
+    fn build_loop(
+        &mut self,
+        lo: Affine,
+        hi: Affine,
+        step: i64,
+        f: impl FnOnce(VarId, &mut BodyBuilder<'_>),
+    ) -> Loop {
+        assert!(step > 0, "loop step must be positive, got {step}");
+        let var = self.fresh_var();
+        let mut body = Vec::new();
+        {
+            let mut b = BodyBuilder {
+                next_stmt: self.next_stmt,
+                next_salt: self.next_salt,
+                next_var: self.next_var,
+                known_procs: self.known_procs,
+                stmts: &mut body,
+            };
+            f(var, &mut b);
+        }
+        Loop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        }
+    }
+
+    /// Emits a two-armed branch on a compiler-opaque condition.
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        then_f: impl FnOnce(&mut BodyBuilder<'_>),
+        else_f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        let mut then_body = Vec::new();
+        {
+            let mut b = BodyBuilder {
+                next_stmt: self.next_stmt,
+                next_salt: self.next_salt,
+                next_var: self.next_var,
+                known_procs: self.known_procs,
+                stmts: &mut then_body,
+            };
+            then_f(&mut b);
+        }
+        let mut else_body = Vec::new();
+        {
+            let mut b = BodyBuilder {
+                next_stmt: self.next_stmt,
+                next_salt: self.next_salt,
+                next_var: self.next_var,
+                known_procs: self.known_procs,
+                stmts: &mut else_body,
+            };
+            else_f(&mut b);
+        }
+        self.stmts.push(Stmt::If(IfStmt {
+            cond,
+            then_body,
+            else_body,
+        }));
+    }
+
+    /// Emits a one-armed branch.
+    pub fn if_then(&mut self, cond: Cond, then_f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// Emits a lock-guarded critical section (valid inside DOALL bodies
+    /// only; the validator enforces placement).
+    pub fn critical(&mut self, lock: LockId, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        let mut body = Vec::new();
+        {
+            let mut b = BodyBuilder {
+                next_stmt: self.next_stmt,
+                next_salt: self.next_salt,
+                next_var: self.next_var,
+                known_procs: self.known_procs,
+                stmts: &mut body,
+            };
+            f(&mut b);
+        }
+        self.stmts.push(Stmt::Critical(Critical { lock, body }));
+    }
+
+    /// Emits a post: signals element `index` of `event` after fencing this
+    /// iteration's prior writes (DOALL bodies only).
+    pub fn post(&mut self, event: EventId, index: impl Into<Affine>) {
+        self.stmts.push(Stmt::Post {
+            event,
+            index: index.into(),
+        });
+    }
+
+    /// Emits a wait: blocks until element `index` of `event` is posted
+    /// (DOALL bodies only).
+    pub fn wait(&mut self, event: EventId, index: impl Into<Affine>) {
+        self.stmts.push(Stmt::Wait {
+            event,
+            index: index.into(),
+        });
+    }
+
+    /// Emits a call to a previously defined procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `callee` has not been defined yet (forward calls would
+    /// permit recursion, which the IR rejects).
+    pub fn call(&mut self, callee: ProcIdx) {
+        assert!(
+            callee.0 < self.known_procs,
+            "call target {:?} not yet defined; define callees before callers",
+            callee
+        );
+        self.stmts.push(Stmt::Call(callee));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Affine;
+
+    #[test]
+    fn builds_nested_structure_with_dense_ids() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16, 16]);
+        let w = p.private("W", [16]);
+        let init = p.proc("init", |f| {
+            f.doall(0, 15, |i, f| {
+                f.serial(0, 15, |j, f| {
+                    f.store(a.at(subs![i, j]), vec![w.at(subs![j])], 3);
+                });
+            });
+        });
+        let main = p.proc("main", |f| {
+            f.call(init);
+            f.compute(10);
+        });
+        let prog = p.finish(main).unwrap();
+        assert_eq!(prog.num_assigns, 2);
+        assert_eq!(prog.procs.len(), 2);
+        assert_eq!(prog.entry_proc().name, "main");
+        assert_eq!(prog.proc(init).num_vars, 2);
+    }
+
+    #[test]
+    fn var_ids_are_dense_per_procedure() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [8]);
+        let _p1 = p.proc("p1", |f| {
+            f.doall(0, 7, |i, f| {
+                f.store(a.at(subs![i]), vec![], 1);
+            });
+        });
+        let p2 = p.proc("p2", |f| {
+            f.serial(0, 3, |t, f| {
+                f.doall(0, 7, |i, f| {
+                    let _ = t;
+                    f.store(a.at(subs![i]), vec![a.at(subs![Affine::var(i)])], 1);
+                });
+            });
+        });
+        let prog = p.finish(p2).unwrap();
+        assert_eq!(prog.proc(ProcIdx(0)).num_vars, 1);
+        assert_eq!(prog.proc(p2).num_vars, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_call_panics() {
+        let mut p = ProgramBuilder::new();
+        p.proc("main", |f| f.call(ProcIdx(5)));
+    }
+
+    #[test]
+    fn opaque_salts_are_unique() {
+        let mut p = ProgramBuilder::new();
+        let o1 = p.opaque();
+        let o2 = p.opaque();
+        assert_ne!(o1.salt(), o2.salt());
+    }
+
+    #[test]
+    fn subs_macro_accepts_mixed_forms() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [8, 8, 8]);
+        let _ = p.proc("main", |f| {
+            let o = f.opaque();
+            f.doall(0, 7, |i, f| {
+                let r = a.at(subs![i, Affine::var(i) + 1, 3]);
+                assert_eq!(r.subs.len(), 3);
+                let r2 = a.at(subs![o, 0, i]);
+                assert!(!r2.is_affine());
+                f.compute(1);
+            });
+        });
+    }
+}

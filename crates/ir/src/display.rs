@@ -1,0 +1,122 @@
+//! Human-readable pretty-printing of IR programs.
+//!
+//! Used by the examples and by debugging output; the format is Fortran-ish
+//! pseudocode with statement ids so that compiler marking decisions (which
+//! are keyed by [`RefSite`](crate::RefSite)) can be related back to source.
+
+use crate::stmt::{ArrayRef, Program, Stmt};
+use std::fmt::Write as _;
+
+/// Renders `program` as indented pseudocode.
+#[must_use]
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, decl) in program.arrays.iter().enumerate() {
+        let dims: Vec<String> = decl.dims().iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            out,
+            "{:?} array A{} \"{}\"({})",
+            decl.sharing(),
+            i,
+            decl.name(),
+            dims.join(", ")
+        );
+    }
+    for (i, proc) in program.procs.iter().enumerate() {
+        let marker = if i == program.entry.0 as usize {
+            " (entry)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "procedure {}{}:", proc.name, marker);
+        render_stmts(program, &proc.body, 1, &mut out);
+    }
+    out
+}
+
+fn render_stmts(program: &Program, stmts: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                let _ = write!(out, "{pad}S{}: ", a.id.0);
+                match &a.write {
+                    Some(w) => {
+                        let _ = write!(out, "{} = ", ref_str(program, w));
+                    }
+                    None => {
+                        let _ = write!(out, "use ");
+                    }
+                }
+                if a.reads.is_empty() {
+                    let _ = write!(out, "<compute>");
+                } else {
+                    let reads: Vec<String> = a.reads.iter().map(|r| ref_str(program, r)).collect();
+                    let _ = write!(out, "f({})", reads.join(", "));
+                }
+                let _ = writeln!(out, "  [cost {}]", a.cost);
+            }
+            Stmt::Loop(l) => {
+                let _ = writeln!(out, "{pad}do {} = {}, {}, {}", l.var, l.lo, l.hi, l.step);
+                render_stmts(program, &l.body, depth + 1, out);
+                let _ = writeln!(out, "{pad}end do");
+            }
+            Stmt::Doall(l) => {
+                let _ = writeln!(out, "{pad}doall {} = {}, {}, {}", l.var, l.lo, l.hi, l.step);
+                render_stmts(program, &l.body, depth + 1, out);
+                let _ = writeln!(out, "{pad}end doall");
+            }
+            Stmt::If(i) => {
+                let _ = writeln!(out, "{pad}if {:?} then", i.cond);
+                render_stmts(program, &i.then_body, depth + 1, out);
+                if !i.else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}else");
+                    render_stmts(program, &i.else_body, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}end if");
+            }
+            Stmt::Critical(c) => {
+                let _ = writeln!(out, "{pad}critical (lock L{})", c.lock.0);
+                render_stmts(program, &c.body, depth + 1, out);
+                let _ = writeln!(out, "{pad}end critical");
+            }
+            Stmt::Call(p) => {
+                let _ = writeln!(out, "{pad}call {}", program.procs[p.0 as usize].name);
+            }
+            Stmt::Post { event, index } => {
+                let _ = writeln!(out, "{pad}post E{}({})", event.0, index);
+            }
+            Stmt::Wait { event, index } => {
+                let _ = writeln!(out, "{pad}wait E{}({})", event.0, index);
+            }
+        }
+    }
+}
+
+fn ref_str(program: &Program, r: &ArrayRef) -> String {
+    let name = program.arrays[r.array.0 as usize].name();
+    let subs: Vec<String> = r.subs.iter().map(|s| s.to_string()).collect();
+    format!("{}({})", name, subs.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::subs;
+
+    #[test]
+    fn renders_structure() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [8]);
+        let main = p.proc("main", |f| {
+            f.doall(0, 7, |i, f| {
+                f.store(a.at(subs![i]), vec![a.at(subs![i + 1])], 2);
+            });
+        });
+        let prog = p.finish(main).unwrap();
+        let s = super::program_to_string(&prog);
+        assert!(s.contains("doall i0 = 0, 7, 1"));
+        assert!(s.contains("A(i0) = f(A(i0 + 1))"));
+        assert!(s.contains("procedure main (entry):"));
+    }
+}

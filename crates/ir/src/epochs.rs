@@ -1,0 +1,269 @@
+//! Epoch segmentation: the single definition of where epoch boundaries fall.
+//!
+//! The paper divides execution into *epochs*: each DOALL loop is one epoch,
+//! and each maximal run of serial code between parallel loops is one epoch.
+//! Both the compiler (static epoch flow graph, `tpi-compiler`) and the
+//! trace generator (runtime epoch counter, `tpi-trace`) must agree exactly on
+//! this segmentation — a disagreement would make compiler-computed Time-Read
+//! distances unsound. This module is that shared definition.
+//!
+//! Segmentation rules, applied recursively to every statement list:
+//!
+//! * a `Doall` is one epoch;
+//! * maximal runs of statements containing no DOALL (assignments, serial
+//!   loops and branches without parallel loops inside, calls to parallel-free
+//!   procedures) form one serial epoch;
+//! * a serial loop / branch / call that *contains* a DOALL is expanded
+//!   structurally, and each execution of a contained leaf segment is its own
+//!   epoch instance.
+
+use crate::stmt::{IfStmt, Loop, ProcIdx, Program, Stmt};
+
+/// One element of a segmented statement list.
+#[derive(Debug)]
+pub enum Segment<'p> {
+    /// A maximal run of DOALL-free statements: one epoch.
+    Serial(Vec<&'p Stmt>),
+    /// A parallel loop: one epoch.
+    Doall(&'p Loop),
+    /// A serial loop whose body contains epochs; every dynamic iteration
+    /// re-executes the body segments.
+    SerialLoop {
+        /// The loop statement.
+        l: &'p Loop,
+        /// Segmented body.
+        body: Vec<Segment<'p>>,
+    },
+    /// A branch with epochs in at least one arm.
+    Branch {
+        /// The branch statement.
+        s: &'p IfStmt,
+        /// Segmented taken arm.
+        then_seg: Vec<Segment<'p>>,
+        /// Segmented fallthrough arm.
+        else_seg: Vec<Segment<'p>>,
+    },
+    /// A call to a procedure that contains epochs; the callee's segments
+    /// splice into the epoch sequence.
+    Call(ProcIdx),
+}
+
+/// Per-program epoch-shape facts: which procedures transitively contain
+/// DOALL loops (and therefore epoch boundaries).
+#[derive(Debug, Clone)]
+pub struct EpochShape {
+    proc_has_epochs: Vec<bool>,
+}
+
+impl EpochShape {
+    /// Computes epoch-bearing-ness of every procedure.
+    ///
+    /// Relies on the builder invariant that callees are defined before
+    /// callers, so a single forward pass suffices.
+    #[must_use]
+    pub fn of(program: &Program) -> Self {
+        let mut proc_has_epochs = Vec::with_capacity(program.procs.len());
+        for p in &program.procs {
+            let has = {
+                let known = &proc_has_epochs;
+                p.body.iter().any(|s| stmt_has_epochs(s, known))
+            };
+            proc_has_epochs.push(has);
+        }
+        EpochShape { proc_has_epochs }
+    }
+
+    /// Whether `proc` transitively contains a DOALL loop.
+    #[must_use]
+    pub fn proc_has_epochs(&self, proc: ProcIdx) -> bool {
+        self.proc_has_epochs[proc.0 as usize]
+    }
+
+    /// Whether `stmt` transitively contains an epoch boundary.
+    #[must_use]
+    pub fn stmt_has_epochs(&self, stmt: &Stmt) -> bool {
+        stmt_has_epochs(stmt, &self.proc_has_epochs)
+    }
+
+    /// Segments a statement list into epochs per the module rules.
+    #[must_use]
+    pub fn segment<'p>(&self, stmts: &'p [Stmt]) -> Vec<Segment<'p>> {
+        let mut out = Vec::new();
+        let mut run: Vec<&'p Stmt> = Vec::new();
+        for s in stmts {
+            if self.stmt_has_epochs(s) {
+                if !run.is_empty() {
+                    out.push(Segment::Serial(std::mem::take(&mut run)));
+                }
+                match s {
+                    Stmt::Doall(l) => out.push(Segment::Doall(l)),
+                    Stmt::Loop(l) => out.push(Segment::SerialLoop {
+                        l,
+                        body: self.segment(&l.body),
+                    }),
+                    Stmt::If(i) => out.push(Segment::Branch {
+                        s: i,
+                        then_seg: self.segment(&i.then_body),
+                        else_seg: self.segment(&i.else_body),
+                    }),
+                    Stmt::Call(p) => out.push(Segment::Call(*p)),
+                    Stmt::Assign(_) | Stmt::Critical(_) | Stmt::Post { .. } | Stmt::Wait { .. } => {
+                        unreachable!("task-level statements never contain epochs")
+                    }
+                }
+            } else {
+                run.push(s);
+            }
+        }
+        if !run.is_empty() {
+            out.push(Segment::Serial(run));
+        }
+        out
+    }
+
+    /// Segments the body of `proc`.
+    #[must_use]
+    pub fn segment_proc<'p>(&self, program: &'p Program, proc: ProcIdx) -> Vec<Segment<'p>> {
+        self.segment(&program.proc(proc).body)
+    }
+}
+
+fn stmt_has_epochs(stmt: &Stmt, proc_has: &[bool]) -> bool {
+    match stmt {
+        Stmt::Assign(_) | Stmt::Critical(_) | Stmt::Post { .. } | Stmt::Wait { .. } => false,
+        Stmt::Doall(_) => true,
+        Stmt::Loop(l) => l.body.iter().any(|s| stmt_has_epochs(s, proc_has)),
+        Stmt::If(i) => {
+            i.then_body.iter().any(|s| stmt_has_epochs(s, proc_has))
+                || i.else_body.iter().any(|s| stmt_has_epochs(s, proc_has))
+        }
+        Stmt::Call(p) => proc_has.get(p.0 as usize).copied().unwrap_or(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Cond;
+    use crate::subs;
+
+    #[test]
+    fn serial_runs_merge_into_one_epoch() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16]);
+        let main = p.proc("main", |f| {
+            f.compute(1);
+            f.store(a.at(subs![0]), vec![], 1);
+            f.doall(0, 15, |i, f| f.store(a.at(subs![i]), vec![], 1));
+            f.compute(1);
+        });
+        let prog = p.finish(main).unwrap();
+        let shape = EpochShape::of(&prog);
+        let segs = shape.segment_proc(&prog, main);
+        assert_eq!(segs.len(), 3);
+        assert!(matches!(&segs[0], Segment::Serial(v) if v.len() == 2));
+        assert!(matches!(&segs[1], Segment::Doall(_)));
+        assert!(matches!(&segs[2], Segment::Serial(v) if v.len() == 1));
+    }
+
+    #[test]
+    fn serial_loop_without_doall_is_one_epoch() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16]);
+        let main = p.proc("main", |f| {
+            f.serial(0, 15, |i, f| f.store(a.at(subs![i]), vec![], 1));
+            f.doall(0, 15, |i, f| f.load(vec![a.at(subs![i])], 1));
+        });
+        let prog = p.finish(main).unwrap();
+        let shape = EpochShape::of(&prog);
+        let segs = shape.segment_proc(&prog, main);
+        assert_eq!(segs.len(), 2);
+        assert!(matches!(&segs[0], Segment::Serial(v) if v.len() == 1));
+    }
+
+    #[test]
+    fn serial_loop_with_doall_expands() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16]);
+        let main = p.proc("main", |f| {
+            f.serial(0, 3, |_t, f| {
+                f.compute(5);
+                f.doall(0, 15, |i, f| f.store(a.at(subs![i]), vec![], 1));
+            });
+        });
+        let prog = p.finish(main).unwrap();
+        let shape = EpochShape::of(&prog);
+        let segs = shape.segment_proc(&prog, main);
+        assert_eq!(segs.len(), 1);
+        match &segs[0] {
+            Segment::SerialLoop { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[0], Segment::Serial(_)));
+                assert!(matches!(&body[1], Segment::Doall(_)));
+            }
+            other => panic!("expected SerialLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_epoch_bearing_propagates() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16]);
+        let helper = p.proc("helper", |f| {
+            f.doall(0, 15, |i, f| f.store(a.at(subs![i]), vec![], 1));
+        });
+        let serial_helper = p.proc("serial_helper", |f| {
+            f.compute(2);
+        });
+        let main = p.proc("main", |f| {
+            f.call(serial_helper);
+            f.call(helper);
+        });
+        let prog = p.finish(main).unwrap();
+        let shape = EpochShape::of(&prog);
+        assert!(shape.proc_has_epochs(helper));
+        assert!(!shape.proc_has_epochs(serial_helper));
+        let segs = shape.segment_proc(&prog, main);
+        // serial call merges into a serial epoch; epoch-bearing call splices.
+        assert_eq!(segs.len(), 2);
+        assert!(matches!(&segs[0], Segment::Serial(v) if v.len() == 1));
+        assert!(matches!(&segs[1], Segment::Call(c) if *c == helper));
+    }
+
+    #[test]
+    fn branch_with_doall_expands() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [16]);
+        let main = p.proc("main", |f| {
+            f.serial(0, 7, |t, f| {
+                f.if_else(
+                    Cond::EveryN {
+                        var: t,
+                        modulus: 2,
+                        phase: 0,
+                    },
+                    |f| f.doall(0, 15, |i, f| f.store(a.at(subs![i]), vec![], 1)),
+                    |f| f.compute(3),
+                );
+            });
+        });
+        let prog = p.finish(main).unwrap();
+        let shape = EpochShape::of(&prog);
+        let segs = shape.segment_proc(&prog, main);
+        match &segs[0] {
+            Segment::SerialLoop { body, .. } => match &body[0] {
+                Segment::Branch {
+                    then_seg, else_seg, ..
+                } => {
+                    assert_eq!(then_seg.len(), 1);
+                    assert_eq!(else_seg.len(), 1);
+                    assert!(matches!(&then_seg[0], Segment::Doall(_)));
+                    assert!(matches!(&else_seg[0], Segment::Serial(_)));
+                }
+                other => panic!("expected Branch, got {other:?}"),
+            },
+            other => panic!("expected SerialLoop, got {other:?}"),
+        }
+    }
+}

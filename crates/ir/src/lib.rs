@@ -1,0 +1,59 @@
+//! Parallel-program intermediate representation for the TPI coherence study.
+//!
+//! The paper implements its compiler algorithms inside the Polaris
+//! parallelizing compiler, operating on Fortran programs whose parallelism
+//! Polaris expressed as `DOALL` loops. This crate is the reproduction's
+//! stand-in for that infrastructure: a small typed IR with exactly the
+//! constructs the paper's analyses consume —
+//!
+//! * global shared/private arrays with affine (or opaque) subscripts,
+//! * `DOALL` loops whose iterations are independent tasks,
+//! * serial loops, branches with compiler-opaque conditions, and
+//!   parameterless procedure calls (Fortran COMMON-block style),
+//! * the epoch segmentation rules shared verbatim by the compiler
+//!   (`tpi-compiler`) and the trace generator (`tpi-trace`).
+//!
+//! Programs are constructed with [`ProgramBuilder`] and are validated
+//! (`validate` module) so downstream analyses can rely on well-formedness.
+//!
+//! # Example
+//!
+//! ```
+//! use tpi_ir::{ProgramBuilder, subs};
+//!
+//! let mut p = ProgramBuilder::new();
+//! let x = p.shared("X", [128]);
+//! let main = p.proc("main", |f| {
+//!     // Epoch 0: produce X in parallel.
+//!     f.doall(0, 127, |i, f| f.store(x.at(subs![i]), vec![], 2));
+//!     // Epoch 1: consume X with a one-epoch-old dependence.
+//!     f.doall(0, 127, |i, f| f.load(vec![x.at(subs![i])], 2));
+//! });
+//! let program = p.finish(main)?;
+//! assert_eq!(program.num_assigns, 2);
+//! # Ok::<(), tpi_ir::ValidateError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod callgraph;
+pub mod display;
+pub mod epochs;
+pub mod expr;
+pub mod parse;
+pub mod section;
+pub mod stmt;
+pub mod validate;
+
+pub use builder::{ArrayHandle, BodyBuilder, ProgramBuilder};
+pub use callgraph::CallGraph;
+pub use epochs::{EpochShape, Segment};
+pub use expr::{Affine, Cond, Env, OpaqueFn, Subscript, VarId};
+pub use parse::{parse_program, program_to_source, ParseError};
+pub use section::{DimRange, Section, VarRanges};
+pub use stmt::{
+    ArrayRef, Assign, Critical, EventId, IfStmt, LockId, Loop, ProcIdx, Procedure, Program,
+    RefSite, Stmt, StmtId,
+};
+pub use validate::ValidateError;

@@ -1,0 +1,1267 @@
+//! A Fortran-flavoured textual format for IR programs.
+//!
+//! Lets kernels be written as plain text files and run with the `tpi-run`
+//! tool, instead of through the builder API. The grammar is line-oriented
+//! with `end`-terminated blocks:
+//!
+//! ```text
+//! shared A(96, 96)          ! arrays, locks and events are declared first
+//! private W(96)
+//! lock l
+//! event e
+//!
+//! proc smooth               ! procedures; callees before callers
+//!   doall i = 1, 94
+//!     do j = 1, 94
+//!       A(i, j) = f[4](A(i-1, j), A(i+1, j), W(j))
+//!     end
+//!   end
+//! end
+//!
+//! proc main
+//!   call smooth
+//!   do t = 0, 3
+//!     doall i = 0, 95
+//!       if every(i, 2, 0)
+//!         use f[1](A(i, 0))
+//!       else
+//!         compute[3]
+//!       end
+//!       critical l
+//!         A(0, 0) = f[2](A(0, 0))
+//!       end
+//!       post e(i)
+//!     end
+//!   end
+//! end
+//! ```
+//!
+//! Subscripts are affine expressions over in-scope loop variables
+//! (`2*i + j - 3`) or the opaque token `?` (a compile-time-unanalyzable
+//! subscript). Loops take an optional step: `doall i = 0, 95, 2`.
+//! Conditions are `every(var, modulus, phase)`, `sometimes(per1024)`,
+//! `always`, or `never`. `!` starts a comment.
+
+use crate::builder::{ArrayHandle, BodyBuilder, ProgramBuilder};
+use crate::expr::{Affine, Cond, Subscript};
+use crate::stmt::{EventId, LockId, ProcIdx, Program};
+use crate::validate::ValidateError;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse (or validation) failure, with the 1-based source line.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Syntax or semantic problem at a source line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parsed program failed IR validation.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<ValidateError> for ParseError {
+    fn from(e: ValidateError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Parses the textual format into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed syntax, unknown names, or IR
+/// validation failure.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.finish()
+}
+
+// ---------------------------------------------------------------- AST ----
+
+#[derive(Debug)]
+enum Node {
+    Assign {
+        write: Option<RefAst>,
+        reads: Vec<RefAst>,
+        cost: u32,
+    },
+    Compute {
+        cost: u32,
+    },
+    Loop {
+        parallel: bool,
+        var: String,
+        lo: ExprAst,
+        hi: ExprAst,
+        step: i64,
+        body: Vec<Node>,
+    },
+    If {
+        cond: CondAst,
+        then_body: Vec<Node>,
+        else_body: Vec<Node>,
+    },
+    Critical {
+        lock: String,
+        body: Vec<Node>,
+    },
+    Post {
+        event: String,
+        index: ExprAst,
+    },
+    Wait {
+        event: String,
+        index: ExprAst,
+    },
+    Call {
+        name: String,
+    },
+}
+
+#[derive(Debug)]
+struct RefAst {
+    array: String,
+    subs: Vec<SubAst>,
+    line: usize,
+}
+
+#[derive(Debug)]
+enum SubAst {
+    Affine(ExprAst),
+    Opaque,
+}
+
+/// `konst + Σ coeff * name`.
+#[derive(Debug)]
+struct ExprAst {
+    terms: Vec<(String, i64)>,
+    konst: i64,
+    line: usize,
+}
+
+#[derive(Debug)]
+enum CondAst {
+    Always,
+    Never,
+    EveryN {
+        var: String,
+        modulus: i64,
+        phase: i64,
+    },
+    Sometimes {
+        per_1024: u16,
+    },
+}
+
+// ------------------------------------------------------------- parser ----
+
+struct Parser {
+    arrays: Vec<(String, Vec<u64>, bool)>, // (name, dims, shared)
+    locks: Vec<String>,
+    events: Vec<String>,
+    procs: Vec<(String, Vec<Node>)>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut p = Parser {
+            arrays: Vec::new(),
+            locks: Vec::new(),
+            events: Vec::new(),
+            procs: Vec::new(),
+        };
+        // Strip comments, keep (lineno, content).
+        let lines: Vec<(usize, String)> = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let content = l.split('!').next().unwrap_or("").trim().to_owned();
+                (i + 1, content)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        let mut pos = 0;
+        while pos < lines.len() {
+            let (ln, line) = &lines[pos];
+            if let Some(rest) = line.strip_prefix("shared ") {
+                p.arrays.push(parse_decl(*ln, rest, true)?);
+                pos += 1;
+            } else if let Some(rest) = line.strip_prefix("private ") {
+                p.arrays.push(parse_decl(*ln, rest, false)?);
+                pos += 1;
+            } else if let Some(rest) = line.strip_prefix("lock ") {
+                p.locks.push(ident(*ln, rest)?);
+                pos += 1;
+            } else if let Some(rest) = line.strip_prefix("event ") {
+                p.events.push(ident(*ln, rest)?);
+                pos += 1;
+            } else if let Some(rest) = line.strip_prefix("proc ") {
+                let name = ident(*ln, rest)?;
+                let (body, next) = parse_block(&lines, pos + 1)?;
+                p.procs.push((name, body));
+                pos = next;
+            } else {
+                return Err(err(
+                    *ln,
+                    format!("expected a declaration or `proc`, found `{line}`"),
+                ));
+            }
+        }
+        Ok(p)
+    }
+
+    fn finish(self) -> Result<Program, ParseError> {
+        let mut b = ProgramBuilder::new();
+        let mut arrays: HashMap<String, (ArrayHandle, usize)> = HashMap::new();
+        for (name, dims, shared) in &self.arrays {
+            let h = if *shared {
+                b.shared_dyn(name, dims.clone())
+            } else {
+                b.private_dyn(name, dims.clone())
+            };
+            arrays.insert(name.clone(), (h, dims.len()));
+        }
+        let mut locks: HashMap<String, LockId> = HashMap::new();
+        for name in &self.locks {
+            locks.insert(name.clone(), b.lock());
+        }
+        let mut events: HashMap<String, EventId> = HashMap::new();
+        for name in &self.events {
+            events.insert(name.clone(), b.event());
+        }
+        let mut procs: HashMap<String, ProcIdx> = HashMap::new();
+        let mut entry = None;
+        let names = Names {
+            arrays,
+            locks,
+            events,
+        };
+        for (name, body) in &self.procs {
+            let mut emit_error = None;
+            let idx = b.proc(name, |f| {
+                let mut vars = HashMap::new();
+                if let Err(e) = emit_nodes(body, f, &names, &procs, &mut vars) {
+                    emit_error = Some(e);
+                }
+            });
+            if let Some(e) = emit_error {
+                return Err(e);
+            }
+            procs.insert(name.clone(), idx);
+            if name == "main" {
+                entry = Some(idx);
+            }
+        }
+        let entry = entry.ok_or_else(|| err(0, "no `proc main` defined"))?;
+        Ok(b.finish(entry)?)
+    }
+}
+
+struct Names {
+    arrays: HashMap<String, (ArrayHandle, usize)>,
+    locks: HashMap<String, LockId>,
+    events: HashMap<String, EventId>,
+}
+
+fn parse_decl(
+    line: usize,
+    rest: &str,
+    shared: bool,
+) -> Result<(String, Vec<u64>, bool), ParseError> {
+    let (name, dims_src) = rest
+        .split_once('(')
+        .ok_or_else(|| err(line, "expected `NAME(dim, ...)`"))?;
+    let dims_src = dims_src
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, "missing `)` in declaration"))?;
+    let name = ident(line, name)?;
+    let mut dims = Vec::new();
+    for d in dims_src.split(',') {
+        let v: u64 = d
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad dimension `{}`", d.trim())))?;
+        if v == 0 {
+            return Err(err(line, "array extents must be nonzero"));
+        }
+        dims.push(v);
+    }
+    Ok((name, dims, shared))
+}
+
+fn ident(line: usize, s: &str) -> Result<String, ParseError> {
+    let s = s.trim();
+    let ok = !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ok {
+        Ok(s.to_owned())
+    } else {
+        Err(err(line, format!("`{s}` is not a valid identifier")))
+    }
+}
+
+/// Parses statements until the matching `end`; returns (body, next index).
+fn parse_block(
+    lines: &[(usize, String)],
+    mut pos: usize,
+) -> Result<(Vec<Node>, usize), ParseError> {
+    let mut body = Vec::new();
+    while pos < lines.len() {
+        let (ln, line) = &lines[pos];
+        let ln = *ln;
+        if line == "end" {
+            return Ok((body, pos + 1));
+        }
+        if line == "else" {
+            return Err(err(ln, "`else` without matching `if`"));
+        }
+        if let Some(rest) = line.strip_prefix("doall ") {
+            let (var, lo, hi, step) = parse_loop_head(ln, rest)?;
+            let (inner, next) = parse_block(lines, pos + 1)?;
+            body.push(Node::Loop {
+                parallel: true,
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            });
+            pos = next;
+        } else if let Some(rest) = line.strip_prefix("do ") {
+            let (var, lo, hi, step) = parse_loop_head(ln, rest)?;
+            let (inner, next) = parse_block(lines, pos + 1)?;
+            body.push(Node::Loop {
+                parallel: false,
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            });
+            pos = next;
+        } else if let Some(rest) = line.strip_prefix("if ") {
+            let cond = parse_cond(ln, rest)?;
+            let (then_body, else_body, next) = parse_if_arms(lines, pos + 1)?;
+            body.push(Node::If {
+                cond,
+                then_body,
+                else_body,
+            });
+            pos = next;
+        } else if let Some(rest) = line.strip_prefix("critical ") {
+            let lock = ident(ln, rest)?;
+            let (inner, next) = parse_block(lines, pos + 1)?;
+            body.push(Node::Critical { lock, body: inner });
+            pos = next;
+        } else if let Some(rest) = line.strip_prefix("post ") {
+            let (event, index) = parse_sync(ln, rest)?;
+            body.push(Node::Post { event, index });
+            pos += 1;
+        } else if let Some(rest) = line.strip_prefix("wait ") {
+            let (event, index) = parse_sync(ln, rest)?;
+            body.push(Node::Wait { event, index });
+            pos += 1;
+        } else if let Some(rest) = line.strip_prefix("call ") {
+            body.push(Node::Call {
+                name: ident(ln, rest)?,
+            });
+            pos += 1;
+        } else if let Some(rest) = line.strip_prefix("compute[") {
+            let cost = rest
+                .strip_suffix(']')
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| err(ln, "expected `compute[COST]`"))?;
+            body.push(Node::Compute { cost });
+            pos += 1;
+        } else if let Some(rest) = line.strip_prefix("use ") {
+            let (reads, cost) = parse_rhs(ln, rest)?;
+            body.push(Node::Assign {
+                write: None,
+                reads,
+                cost,
+            });
+            pos += 1;
+        } else if let Some((lhs, rhs)) = line.split_once('=').filter(|(l, _)| l.contains('(')) {
+            let write = parse_ref(ln, lhs.trim())?;
+            let (reads, cost) = parse_rhs(ln, rhs.trim())?;
+            body.push(Node::Assign {
+                write: Some(write),
+                reads,
+                cost,
+            });
+            pos += 1;
+        } else {
+            return Err(err(ln, format!("cannot parse statement `{line}`")));
+        }
+    }
+    Err(err(lines.last().map_or(0, |(l, _)| *l), "missing `end`"))
+}
+
+/// Parses the arms of an if: statements, optional `else`, then `end`.
+fn parse_if_arms(
+    lines: &[(usize, String)],
+    mut pos: usize,
+) -> Result<(Vec<Node>, Vec<Node>, usize), ParseError> {
+    // Parse the then-arm manually so we can stop at `else` or `end`.
+    let mut then_body = Vec::new();
+    loop {
+        if pos >= lines.len() {
+            return Err(err(
+                lines.last().map_or(0, |(l, _)| *l),
+                "missing `end` for `if`",
+            ));
+        }
+        let (_, line) = &lines[pos];
+        if line == "end" {
+            return Ok((then_body, Vec::new(), pos + 1));
+        }
+        if line == "else" {
+            let (else_body, next) = parse_block(lines, pos + 1)?;
+            return Ok((then_body, else_body, next));
+        }
+        // Reuse the block parser for exactly one statement: feed it a
+        // virtual slice terminated where this statement's subtree ends.
+        let (stmt, next) = parse_one(lines, pos)?;
+        then_body.push(stmt);
+        pos = next;
+    }
+}
+
+/// Parses exactly one statement (with its nested block if any).
+fn parse_one(lines: &[(usize, String)], pos: usize) -> Result<(Node, usize), ParseError> {
+    // Delegate to parse_block logic by parsing a single step: simplest is
+    // to call parse_block on a window that would stop after one statement.
+    // Instead we re-dispatch on the statement head here.
+    let (ln, line) = &lines[pos];
+    let ln = *ln;
+    if let Some(rest) = line.strip_prefix("doall ") {
+        let (var, lo, hi, step) = parse_loop_head(ln, rest)?;
+        let (inner, next) = parse_block(lines, pos + 1)?;
+        Ok((
+            Node::Loop {
+                parallel: true,
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            },
+            next,
+        ))
+    } else if let Some(rest) = line.strip_prefix("do ") {
+        let (var, lo, hi, step) = parse_loop_head(ln, rest)?;
+        let (inner, next) = parse_block(lines, pos + 1)?;
+        Ok((
+            Node::Loop {
+                parallel: false,
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            },
+            next,
+        ))
+    } else if let Some(rest) = line.strip_prefix("if ") {
+        let cond = parse_cond(ln, rest)?;
+        let (then_body, else_body, next) = parse_if_arms(lines, pos + 1)?;
+        Ok((
+            Node::If {
+                cond,
+                then_body,
+                else_body,
+            },
+            next,
+        ))
+    } else if let Some(rest) = line.strip_prefix("critical ") {
+        let lock = ident(ln, rest)?;
+        let (inner, next) = parse_block(lines, pos + 1)?;
+        Ok((Node::Critical { lock, body: inner }, next))
+    } else if let Some(rest) = line.strip_prefix("post ") {
+        let (event, index) = parse_sync(ln, rest)?;
+        Ok((Node::Post { event, index }, pos + 1))
+    } else if let Some(rest) = line.strip_prefix("wait ") {
+        let (event, index) = parse_sync(ln, rest)?;
+        Ok((Node::Wait { event, index }, pos + 1))
+    } else if let Some(rest) = line.strip_prefix("call ") {
+        Ok((
+            Node::Call {
+                name: ident(ln, rest)?,
+            },
+            pos + 1,
+        ))
+    } else if let Some(rest) = line.strip_prefix("compute[") {
+        let cost = rest
+            .strip_suffix(']')
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| err(ln, "expected `compute[COST]`"))?;
+        Ok((Node::Compute { cost }, pos + 1))
+    } else if let Some(rest) = line.strip_prefix("use ") {
+        let (reads, cost) = parse_rhs(ln, rest)?;
+        Ok((
+            Node::Assign {
+                write: None,
+                reads,
+                cost,
+            },
+            pos + 1,
+        ))
+    } else if let Some((lhs, rhs)) = line.split_once('=').filter(|(l, _)| l.contains('(')) {
+        let write = parse_ref(ln, lhs.trim())?;
+        let (reads, cost) = parse_rhs(ln, rhs.trim())?;
+        Ok((
+            Node::Assign {
+                write: Some(write),
+                reads,
+                cost,
+            },
+            pos + 1,
+        ))
+    } else {
+        Err(err(ln, format!("cannot parse statement `{line}`")))
+    }
+}
+
+/// `VAR = LO, HI[, STEP]`.
+fn parse_loop_head(line: usize, rest: &str) -> Result<(String, ExprAst, ExprAst, i64), ParseError> {
+    let (var, bounds) = rest
+        .split_once('=')
+        .ok_or_else(|| err(line, "expected `VAR = LO, HI[, STEP]`"))?;
+    let var = ident(line, var)?;
+    let parts = split_top_level(bounds);
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(err(line, "expected `LO, HI[, STEP]`"));
+    }
+    let lo = parse_expr(line, &parts[0])?;
+    let hi = parse_expr(line, &parts[1])?;
+    let step = if parts.len() == 3 {
+        parts[2]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad step `{}`", parts[2].trim())))?
+    } else {
+        1
+    };
+    Ok((var, lo, hi, step))
+}
+
+fn parse_cond(line: usize, rest: &str) -> Result<CondAst, ParseError> {
+    let rest = rest.trim();
+    if rest == "always" {
+        return Ok(CondAst::Always);
+    }
+    if rest == "never" {
+        return Ok(CondAst::Never);
+    }
+    if let Some(args) = rest
+        .strip_prefix("every(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let parts = split_top_level(args);
+        if parts.len() != 3 {
+            return Err(err(line, "expected `every(var, modulus, phase)`"));
+        }
+        let var = ident(line, &parts[0])?;
+        let modulus = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "bad modulus"))?;
+        let phase = parts[2]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "bad phase"))?;
+        return Ok(CondAst::EveryN {
+            var,
+            modulus,
+            phase,
+        });
+    }
+    if let Some(arg) = rest
+        .strip_prefix("sometimes(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let per_1024 = arg
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "bad probability"))?;
+        return Ok(CondAst::Sometimes { per_1024 });
+    }
+    Err(err(line, format!("unknown condition `{rest}`")))
+}
+
+/// `NAME(EXPR)`.
+fn parse_sync(line: usize, rest: &str) -> Result<(String, ExprAst), ParseError> {
+    let (name, idx) = rest
+        .split_once('(')
+        .ok_or_else(|| err(line, "expected `EVENT(index)`"))?;
+    let idx = idx
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, "missing `)`"))?;
+    Ok((ident(line, name)?, parse_expr(line, idx)?))
+}
+
+/// `f[COST](ref, ref, ...)` or `f[COST]()`.
+fn parse_rhs(line: usize, rest: &str) -> Result<(Vec<RefAst>, u32), ParseError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix("f[")
+        .ok_or_else(|| err(line, "expected `f[COST](refs...)`"))?;
+    let (cost_src, args) = inner
+        .split_once(']')
+        .ok_or_else(|| err(line, "missing `]` in cost"))?;
+    let cost: u32 = cost_src.trim().parse().map_err(|_| err(line, "bad cost"))?;
+    let args = args.trim();
+    let args = args
+        .strip_prefix('(')
+        .and_then(|a| a.strip_suffix(')'))
+        .ok_or_else(|| err(line, "expected `(refs...)` after cost"))?;
+    let mut reads = Vec::new();
+    if !args.trim().is_empty() {
+        for part in split_top_level(args) {
+            reads.push(parse_ref(line, part.trim())?);
+        }
+    }
+    Ok((reads, cost))
+}
+
+/// `NAME(sub, sub, ...)`.
+fn parse_ref(line: usize, s: &str) -> Result<RefAst, ParseError> {
+    let (name, subs_src) = s
+        .split_once('(')
+        .ok_or_else(|| err(line, format!("expected array reference, found `{s}`")))?;
+    let subs_src = subs_src
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in reference `{s}`")))?;
+    let mut subs = Vec::new();
+    for part in split_top_level(subs_src) {
+        let part = part.trim();
+        if part == "?" {
+            subs.push(SubAst::Opaque);
+        } else {
+            subs.push(SubAst::Affine(parse_expr(line, part)?));
+        }
+    }
+    Ok(RefAst {
+        array: ident(line, name)?,
+        subs,
+        line,
+    })
+}
+
+/// Splits on top-level commas (no nested parentheses in this grammar's
+/// comma contexts, but keep it robust).
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() || !out.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Affine expression: `[+|-] term {(+|-) term}` with
+/// `term := INT | VAR | INT*VAR | VAR*INT`.
+fn parse_expr(line: usize, s: &str) -> Result<ExprAst, ParseError> {
+    let mut terms = Vec::new();
+    let mut konst = 0i64;
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    // Tokenize into signed terms.
+    let mut rest = s;
+    let mut sign = 1i64;
+    if let Some(r) = rest.strip_prefix('-') {
+        sign = -1;
+        rest = r.trim_start();
+    } else if let Some(r) = rest.strip_prefix('+') {
+        rest = r.trim_start();
+    }
+    loop {
+        // Find the end of this term: next top-level + or - not at start.
+        let end = rest
+            .char_indices()
+            .position(|(i, c)| i > 0 && (c == '+' || c == '-'))
+            .unwrap_or(rest.len());
+        let (term, tail) = rest.split_at(end);
+        parse_term(line, term.trim(), sign, &mut terms, &mut konst)?;
+        if tail.is_empty() {
+            break;
+        }
+        sign = if tail.starts_with('-') { -1 } else { 1 };
+        rest = tail[1..].trim_start();
+    }
+    Ok(ExprAst { terms, konst, line })
+}
+
+fn parse_term(
+    line: usize,
+    term: &str,
+    sign: i64,
+    terms: &mut Vec<(String, i64)>,
+    konst: &mut i64,
+) -> Result<(), ParseError> {
+    if term.is_empty() {
+        return Err(err(line, "dangling operator in expression"));
+    }
+    if let Some((a, b)) = term.split_once('*') {
+        let (a, b) = (a.trim(), b.trim());
+        let (coeff, var) = if let Ok(c) = a.parse::<i64>() {
+            (c, ident(line, b)?)
+        } else if let Ok(c) = b.parse::<i64>() {
+            (c, ident(line, a)?)
+        } else {
+            return Err(err(line, format!("`{term}` is not linear (INT*VAR)")));
+        };
+        terms.push((var, sign * coeff));
+    } else if let Ok(c) = term.parse::<i64>() {
+        *konst += sign * c;
+    } else {
+        terms.push((ident(line, term)?, sign));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------- emission ----
+
+fn emit_nodes(
+    nodes: &[Node],
+    f: &mut BodyBuilder<'_>,
+    names: &Names,
+    procs: &HashMap<String, ProcIdx>,
+    vars: &mut HashMap<String, crate::expr::VarId>,
+) -> Result<(), ParseError> {
+    for n in nodes {
+        match n {
+            Node::Compute { cost } => f.compute(*cost),
+            Node::Assign { write, reads, cost } => {
+                let mut read_refs = Vec::new();
+                for r in reads {
+                    read_refs.push(emit_ref(r, f, names, vars)?);
+                }
+                match write {
+                    Some(w) => {
+                        let wref = emit_ref(w, f, names, vars)?;
+                        f.store(wref, read_refs, *cost);
+                    }
+                    None => f.load(read_refs, *cost),
+                }
+            }
+            Node::Loop {
+                parallel,
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = emit_expr(lo, vars)?;
+                let hi = emit_expr(hi, vars)?;
+                let mut inner_err = None;
+                let emit_body = |v: crate::expr::VarId, f: &mut BodyBuilder<'_>| {
+                    let shadow = vars.insert(var.clone(), v);
+                    let mut inner_vars = vars.clone();
+                    if let Err(e) = emit_nodes(body, f, names, procs, &mut inner_vars) {
+                        inner_err = Some(e);
+                    }
+                    match shadow {
+                        Some(old) => {
+                            vars.insert(var.clone(), old);
+                        }
+                        None => {
+                            vars.remove(var);
+                        }
+                    }
+                };
+                if *parallel {
+                    f.doall_step(lo, hi, *step, emit_body);
+                } else {
+                    f.serial_step(lo, hi, *step, emit_body);
+                }
+                if let Some(e) = inner_err {
+                    return Err(e);
+                }
+            }
+            Node::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = emit_cond(cond, vars)?;
+                let mut e1 = None;
+                let mut e2 = None;
+                f.if_else(
+                    cond,
+                    |f| {
+                        let mut v = vars.clone();
+                        if let Err(e) = emit_nodes(then_body, f, names, procs, &mut v) {
+                            e1 = Some(e);
+                        }
+                    },
+                    |f| {
+                        let mut v = vars.clone();
+                        if let Err(e) = emit_nodes(else_body, f, names, procs, &mut v) {
+                            e2 = Some(e);
+                        }
+                    },
+                );
+                if let Some(e) = e1.or(e2) {
+                    return Err(e);
+                }
+            }
+            Node::Critical { lock, body } => {
+                let id = *names
+                    .locks
+                    .get(lock)
+                    .ok_or_else(|| err(0, format!("unknown lock `{lock}`")))?;
+                let mut inner_err = None;
+                f.critical(id, |f| {
+                    let mut v = vars.clone();
+                    if let Err(e) = emit_nodes(body, f, names, procs, &mut v) {
+                        inner_err = Some(e);
+                    }
+                });
+                if let Some(e) = inner_err {
+                    return Err(e);
+                }
+            }
+            Node::Post { event, index } => {
+                let id = *names
+                    .events
+                    .get(event)
+                    .ok_or_else(|| err(index.line, format!("unknown event `{event}`")))?;
+                let ix = emit_expr(index, vars)?;
+                f.post(id, ix);
+            }
+            Node::Wait { event, index } => {
+                let id = *names
+                    .events
+                    .get(event)
+                    .ok_or_else(|| err(index.line, format!("unknown event `{event}`")))?;
+                let ix = emit_expr(index, vars)?;
+                f.wait(id, ix);
+            }
+            Node::Call { name } => {
+                let idx = *procs.get(name).ok_or_else(|| {
+                    err(
+                        0,
+                        format!("unknown procedure `{name}` (define callees first)"),
+                    )
+                })?;
+                f.call(idx);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn emit_ref(
+    r: &RefAst,
+    f: &mut BodyBuilder<'_>,
+    names: &Names,
+    vars: &HashMap<String, crate::expr::VarId>,
+) -> Result<crate::stmt::ArrayRef, ParseError> {
+    let (handle, rank) = *names
+        .arrays
+        .get(&r.array)
+        .ok_or_else(|| err(r.line, format!("unknown array `{}`", r.array)))?;
+    if r.subs.len() != rank {
+        return Err(err(
+            r.line,
+            format!(
+                "array `{}` has rank {rank}, got {} subscripts",
+                r.array,
+                r.subs.len()
+            ),
+        ));
+    }
+    let mut subs: Vec<Subscript> = Vec::new();
+    for s in &r.subs {
+        match s {
+            SubAst::Opaque => subs.push(Subscript::Opaque(f.opaque())),
+            SubAst::Affine(e) => subs.push(Subscript::Affine(emit_expr(e, vars)?)),
+        }
+    }
+    Ok(handle.at(subs))
+}
+
+fn emit_cond(c: &CondAst, vars: &HashMap<String, crate::expr::VarId>) -> Result<Cond, ParseError> {
+    Ok(match c {
+        CondAst::Always => Cond::Always,
+        CondAst::Never => Cond::Never,
+        CondAst::EveryN {
+            var,
+            modulus,
+            phase,
+        } => {
+            let v = *vars
+                .get(var)
+                .ok_or_else(|| err(0, format!("unknown loop variable `{var}` in condition")))?;
+            Cond::EveryN {
+                var: v,
+                modulus: *modulus,
+                phase: *phase,
+            }
+        }
+        // Salt derived from the condition's parameters keeps sites stable
+        // across parses of the same source.
+        CondAst::Sometimes { per_1024 } => Cond::Sometimes {
+            per_1024: *per_1024,
+            salt: 0xC0DE ^ u64::from(*per_1024),
+        },
+    })
+}
+
+fn emit_expr(
+    e: &ExprAst,
+    vars: &HashMap<String, crate::expr::VarId>,
+) -> Result<Affine, ParseError> {
+    let mut out = Affine::konst(e.konst);
+    for (name, coeff) in &e.terms {
+        let v = *vars
+            .get(name)
+            .ok_or_else(|| err(e.line, format!("unknown loop variable `{name}`")))?;
+        out = out + Affine::scaled_var(v, *coeff);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ exporter ----
+
+/// Renders a [`Program`] in the textual format, such that
+/// `parse_program(&program_to_source(p))` reconstructs a semantically
+/// identical program (names are canonicalized; opaque-subscript salts and
+/// `sometimes` condition salts are regenerated, so programs relying on a
+/// specific pseudo-random stream may trace differently).
+#[must_use]
+pub fn program_to_source(p: &Program) -> String {
+    use crate::stmt::Stmt;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, a) in p.arrays.iter().enumerate() {
+        let kind = match a.sharing() {
+            tpi_mem::Sharing::Shared => "shared",
+            tpi_mem::Sharing::Private => "private",
+        };
+        let dims: Vec<String> = a.dims().iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "{kind} a{i}({})", dims.join(", "));
+    }
+    for l in 0..p.num_locks {
+        let _ = writeln!(out, "lock l{l}");
+    }
+    for e in 0..p.num_events {
+        let _ = writeln!(out, "event e{e}");
+    }
+    fn expr(a: &Affine) -> String {
+        a.to_string()
+    }
+    fn render(stmts: &[Stmt], depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    let reads: Vec<String> = a.reads.iter().map(ref_src).collect();
+                    match &a.write {
+                        Some(w) => {
+                            let _ = writeln!(
+                                out,
+                                "{pad}{} = f[{}]({})",
+                                ref_src(w),
+                                a.cost,
+                                reads.join(", ")
+                            );
+                        }
+                        None if reads.is_empty() => {
+                            let _ = writeln!(out, "{pad}compute[{}]", a.cost);
+                        }
+                        None => {
+                            let _ = writeln!(out, "{pad}use f[{}]({})", a.cost, reads.join(", "));
+                        }
+                    }
+                }
+                Stmt::Loop(l) | Stmt::Doall(l) => {
+                    let kw = if matches!(s, Stmt::Doall(_)) {
+                        "doall"
+                    } else {
+                        "do"
+                    };
+                    let head = if l.step == 1 {
+                        format!("{kw} {} = {}, {}", l.var, expr(&l.lo), expr(&l.hi))
+                    } else {
+                        format!(
+                            "{kw} {} = {}, {}, {}",
+                            l.var,
+                            expr(&l.lo),
+                            expr(&l.hi),
+                            l.step
+                        )
+                    };
+                    let _ = writeln!(out, "{pad}{head}");
+                    render(&l.body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}end");
+                }
+                Stmt::If(i) => {
+                    let cond = match i.cond {
+                        Cond::Always => "always".to_owned(),
+                        Cond::Never => "never".to_owned(),
+                        Cond::EveryN {
+                            var,
+                            modulus,
+                            phase,
+                        } => {
+                            format!("every({var}, {modulus}, {phase})")
+                        }
+                        Cond::Sometimes { per_1024, .. } => format!("sometimes({per_1024})"),
+                    };
+                    let _ = writeln!(out, "{pad}if {cond}");
+                    render(&i.then_body, depth + 1, out);
+                    if !i.else_body.is_empty() {
+                        let _ = writeln!(out, "{pad}else");
+                        render(&i.else_body, depth + 1, out);
+                    }
+                    let _ = writeln!(out, "{pad}end");
+                }
+                Stmt::Critical(c) => {
+                    let _ = writeln!(out, "{pad}critical l{}", c.lock.0);
+                    render(&c.body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}end");
+                }
+                Stmt::Post { event, index } => {
+                    let _ = writeln!(out, "{pad}post e{}({})", event.0, expr(index));
+                }
+                Stmt::Wait { event, index } => {
+                    let _ = writeln!(out, "{pad}wait e{}({})", event.0, expr(index));
+                }
+                Stmt::Call(c) => {
+                    let _ = writeln!(out, "{pad}call p{}", c.0);
+                }
+            }
+        }
+    }
+    fn ref_src(r: &crate::stmt::ArrayRef) -> String {
+        let subs: Vec<String> = r
+            .subs
+            .iter()
+            .map(|s| match s {
+                Subscript::Affine(a) => a.to_string(),
+                Subscript::Opaque(_) => "?".to_owned(),
+            })
+            .collect();
+        format!("a{}({})", r.array.0, subs.join(", "))
+    }
+    for (i, proc) in p.procs.iter().enumerate() {
+        let name = if i == p.entry.0 as usize {
+            "main".to_owned()
+        } else {
+            format!("p{i}")
+        };
+        let _ = writeln!(out, "proc {name}");
+        render(&proc.body, 1, &mut out);
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::program_to_string;
+
+    const STENCIL: &str = r"
+! a tiny stencil benchmark
+shared A(16, 16)
+shared B(16, 16)
+private W(16)
+
+proc sweep
+  doall i = 1, 14
+    do j = 1, 14
+      B(i, j) = f[4](A(i-1, j), A(i+1, j), A(i, j), W(j))
+    end
+  end
+end
+
+proc main
+  doall i = 0, 15
+    do j = 0, 15
+      A(i, j) = f[1]()
+    end
+  end
+  do t = 0, 3
+    call sweep
+    doall i = 1, 14
+      do j = 1, 14
+        A(i, j) = f[2](B(i, j))
+      end
+    end
+  end
+end
+";
+
+    #[test]
+    fn parses_the_stencil() {
+        let p = parse_program(STENCIL).expect("parses");
+        assert_eq!(p.procs.len(), 2);
+        assert_eq!(p.entry_proc().name, "main");
+        assert_eq!(p.arrays.len(), 3);
+        let printed = program_to_string(&p);
+        assert!(printed.contains("doall"));
+        assert!(printed.contains("call sweep"));
+    }
+
+    #[test]
+    fn parsed_programs_run_through_the_analyses() {
+        let p = parse_program(STENCIL).unwrap();
+        let shape = crate::epochs::EpochShape::of(&p);
+        assert!(shape.proc_has_epochs(crate::stmt::ProcIdx(1)));
+    }
+
+    #[test]
+    fn expressions_parse_fully() {
+        let src = r"
+shared A(100)
+proc main
+  doall i = 0, 9
+    do j = 0, 4
+      A(2*i + j - 3 + 5) = f[1](A(i), A(?))
+    end
+  end
+end
+";
+        let p = parse_program(src).expect("parses");
+        assert_eq!(p.num_assigns, 1);
+    }
+
+    #[test]
+    fn sync_and_critical_parse() {
+        let src = r"
+shared A(64)
+lock l
+event e
+proc main
+  doall i = 1, 63
+    wait e(i - 1)
+    critical l
+      A(0) = f[1](A(0))
+    end
+    A(i) = f[2](A(i-1))
+    post e(i)
+  end
+end
+";
+        let p = parse_program(src).expect("parses");
+        assert_eq!(p.num_locks, 1);
+        assert_eq!(p.num_events, 1);
+    }
+
+    #[test]
+    fn conditions_parse() {
+        let src = r"
+shared A(8)
+proc main
+  doall i = 0, 7
+    if every(i, 2, 0)
+      A(i) = f[1]()
+    else
+      compute[2]
+    end
+    if sometimes(512)
+      use f[1](A(i))
+    end
+  end
+end
+";
+        let p = parse_program(src).expect("parses");
+        assert_eq!(p.num_assigns, 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "shared A(8)\nproc main\n  A(0) === f[1]()\nend\n";
+        let e = parse_program(bad).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        for (src, needle) in [
+            ("proc main\n  A(0) = f[1]()\nend\n", "unknown array"),
+            (
+                "shared A(4)\nproc main\n  doall i = 0, 3\n    A(k) = f[1]()\n  end\nend\n",
+                "unknown loop variable",
+            ),
+            (
+                "shared A(4)\nproc main\n  call helper\nend\n",
+                "unknown procedure",
+            ),
+        ] {
+            let e = parse_program(src).unwrap_err().to_string();
+            assert!(e.contains(needle), "`{src}` -> {e}");
+        }
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let e = parse_program("shared A(4)\nproc helper\n  compute[1]\nend\n").unwrap_err();
+        assert!(e.to_string().contains("main"));
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let p1 = parse_program(STENCIL).unwrap();
+        let exported = program_to_source(&p1);
+        let p2 = parse_program(&exported).unwrap_or_else(|e| panic!("{exported}\n{e}"));
+        assert_eq!(p1.num_assigns, p2.num_assigns);
+        assert_eq!(p1.arrays.len(), p2.arrays.len());
+        assert_eq!(p1.procs.len(), p2.procs.len());
+        // Exporting the re-parse is a fixed point.
+        assert_eq!(exported, program_to_source(&p2));
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        // Nested doall: parses syntactically, rejected by the validator.
+        let src = "shared A(4)\nproc main\n  doall i = 0, 3\n    doall j = 0, 3\n      compute[1]\n    end\n  end\nend\n";
+        assert!(matches!(parse_program(src), Err(ParseError::Invalid(_))));
+    }
+}

@@ -1,0 +1,473 @@
+//! Bounded regular sections: the array-dataflow abstraction.
+//!
+//! The paper's compiler performs intra- and interprocedural *array* dataflow
+//! analysis; the classic abstraction for that is the bounded regular section
+//! (triplet notation `lo:hi:step` per dimension). A [`Section`]
+//! over-approximates the set of elements an [`ArrayRef`] touches over a loop
+//! nest. Intersection tests drive the stale-reference analysis: a read is
+//! potentially stale when its section may intersect a section written by an
+//! earlier epoch.
+//!
+//! All operations here are *conservative over-approximations*: if
+//! [`Section::may_intersect`] returns `false`, the references provably never
+//! touch a common element.
+
+use crate::expr::{Affine, VarId};
+use crate::stmt::ArrayRef;
+use tpi_mem::ArrayDecl;
+
+/// The value set of one dimension: an arithmetic progression
+/// `{lo, lo+step, ..., <= hi}`; `step == 0` encodes a singleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimRange {
+    /// Smallest value.
+    pub lo: i64,
+    /// Largest value (inclusive); `lo > hi` encodes the empty set.
+    pub hi: i64,
+    /// Common difference; `0` means `lo == hi` (a single point).
+    pub step: i64,
+}
+
+impl DimRange {
+    /// The singleton `{v}`.
+    #[must_use]
+    pub fn point(v: i64) -> Self {
+        DimRange {
+            lo: v,
+            hi: v,
+            step: 0,
+        }
+    }
+
+    /// The progression `lo..=hi` with the given positive step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is negative.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step >= 0, "DimRange step must be nonnegative");
+        if lo == hi {
+            DimRange::point(lo)
+        } else {
+            DimRange {
+                lo,
+                hi,
+                step: step.max(1),
+            }
+        }
+    }
+
+    /// The dense range `0..extent`.
+    #[must_use]
+    pub fn full(extent: u64) -> Self {
+        DimRange::new(0, extent as i64 - 1, 1)
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `v` is in the set.
+    #[must_use]
+    pub fn contains_point(self, v: i64) -> bool {
+        if v < self.lo || v > self.hi {
+            return false;
+        }
+        if self.step <= 1 {
+            return true; // singleton already handled by bounds; dense always
+        }
+        (v - self.lo) % self.step == 0
+    }
+
+    /// Conservative intersection test: `false` only when the sets provably
+    /// share no point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpi_ir::DimRange;
+    ///
+    /// let evens = DimRange::new(0, 100, 2);
+    /// let odds = DimRange::new(1, 99, 2);
+    /// assert!(!evens.may_intersect(odds)); // provably disjoint
+    /// assert!(evens.may_intersect(DimRange::new(50, 60, 1)));
+    /// ```
+    #[must_use]
+    pub fn may_intersect(self, other: DimRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            return false;
+        }
+        match (self.step, other.step) {
+            (0, 0) => self.lo == other.lo,
+            (0, _) => other.contains_point(self.lo),
+            (_, 0) => self.contains_point(other.lo),
+            (a, b) => {
+                // A common point requires lo1 ≡ lo2 (mod gcd); this is a
+                // necessary condition, so failing it proves disjointness.
+                let g = gcd(a, b);
+                (self.lo - other.lo).rem_euclid(g) == 0
+            }
+        }
+    }
+
+    /// Whether every point of `other` is provably in `self`
+    /// (conservative: may return `false` for true containment).
+    #[must_use]
+    pub fn contains(self, other: DimRange) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() || other.lo < self.lo || other.hi > self.hi {
+            return false;
+        }
+        if self.step <= 1 {
+            return true;
+        }
+        let aligned = (other.lo - self.lo) % self.step == 0;
+        let step_ok = other.step % self.step == 0 && (other.step > 0 || other.lo == other.hi);
+        aligned && (step_ok || other.step == 0)
+    }
+
+    /// Smallest progression covering both sets.
+    #[must_use]
+    pub fn hull(self, other: DimRange) -> DimRange {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        let step = gcd(gcd(self.step, other.step), (self.lo - other.lo).abs());
+        DimRange::new(lo, hi, step)
+    }
+
+    /// Number of points (saturating).
+    #[must_use]
+    pub fn count(self) -> u64 {
+        if self.is_empty() {
+            0
+        } else if self.step <= 1 {
+            (self.hi - self.lo) as u64 + 1
+        } else {
+            (self.hi - self.lo) as u64 / self.step as u64 + 1
+        }
+    }
+
+    /// Shifts both bounds by `k`.
+    #[must_use]
+    pub fn shifted(self, k: i64) -> DimRange {
+        DimRange {
+            lo: self.lo + k,
+            hi: self.hi + k,
+            step: self.step,
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The known value range of each in-scope loop variable.
+///
+/// Built outside-in while walking a loop nest: each loop's bounds are affine
+/// in *outer* variables, so they evaluate to a [`DimRange`] by interval
+/// arithmetic over the ranges collected so far.
+#[derive(Debug, Clone, Default)]
+pub struct VarRanges {
+    ranges: Vec<Option<DimRange>>,
+}
+
+impl VarRanges {
+    /// No variables in scope.
+    #[must_use]
+    pub fn new() -> Self {
+        VarRanges::default()
+    }
+
+    /// Binds `var` to `range` (entering its loop).
+    pub fn bind(&mut self, var: VarId, range: DimRange) {
+        let ix = var.0 as usize;
+        if self.ranges.len() <= ix {
+            self.ranges.resize(ix + 1, None);
+        }
+        self.ranges[ix] = Some(range);
+    }
+
+    /// Unbinds `var` (leaving its loop).
+    pub fn unbind(&mut self, var: VarId) {
+        if let Some(slot) = self.ranges.get_mut(var.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Range of `var`, if bound.
+    #[must_use]
+    pub fn get(&self, var: VarId) -> Option<DimRange> {
+        self.ranges.get(var.0 as usize).copied().flatten()
+    }
+
+    /// Binds `var` to the value set of the loop `for var in lo..=hi step s`,
+    /// evaluating the affine bounds against the current ranges. Returns the
+    /// bound range. Unbounded (unknown-variable) bounds yield `None`.
+    pub fn bind_loop(
+        &mut self,
+        var: VarId,
+        lo: &Affine,
+        hi: &Affine,
+        step: i64,
+    ) -> Option<DimRange> {
+        let lo_r = self.range_of(lo)?;
+        let hi_r = self.range_of(hi)?;
+        // The variable can take any value from the smallest lower bound to
+        // the largest upper bound; the step is exact only when the lower
+        // bound is a single point.
+        let step = if lo_r.lo == lo_r.hi {
+            step
+        } else {
+            gcd(step, gcd(lo_r.step, 1))
+        };
+        let r = DimRange::new(lo_r.lo, hi_r.hi, step);
+        self.bind(var, r);
+        Some(r)
+    }
+
+    /// Interval-arithmetic evaluation of an affine expression to the
+    /// arithmetic progression over-approximating its value set. `None` if a
+    /// referenced variable is unbound.
+    #[must_use]
+    pub fn range_of(&self, e: &Affine) -> Option<DimRange> {
+        let mut lo = e.constant();
+        let mut hi = e.constant();
+        let mut step = 0i64;
+        for &(v, c) in e.terms() {
+            let r = self.get(v)?;
+            let (a, b) = (c * r.lo, c * r.hi);
+            lo += a.min(b);
+            hi += a.max(b);
+            step = gcd(step, c.abs() * r.step.max(if r.lo == r.hi { 0 } else { 1 }));
+        }
+        Some(DimRange::new(lo, hi, step))
+    }
+}
+
+/// Over-approximation of the element set an array reference touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    dims: Vec<DimRange>,
+}
+
+impl Section {
+    /// Builds the section of `r` under `ranges`, conservatively widening
+    /// opaque subscripts and unbound variables to the whole dimension.
+    #[must_use]
+    pub fn of_ref(r: &ArrayRef, ranges: &VarRanges, decl: &ArrayDecl) -> Section {
+        let dims = r
+            .subs
+            .iter()
+            .zip(decl.dims())
+            .map(
+                |(s, &extent)| match s.as_affine().and_then(|a| ranges.range_of(a)) {
+                    Some(dr) => dr,
+                    None => DimRange::full(extent),
+                },
+            )
+            .collect();
+        Section { dims }
+    }
+
+    /// The whole array.
+    #[must_use]
+    pub fn full(decl: &ArrayDecl) -> Section {
+        Section {
+            dims: decl.dims().iter().map(|&d| DimRange::full(d)).collect(),
+        }
+    }
+
+    /// Per-dimension ranges.
+    #[must_use]
+    pub fn dims(&self) -> &[DimRange] {
+        &self.dims
+    }
+
+    /// Whether the sections may share an element (conservative).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch (sections of different arrays are never
+    /// comparable; callers must match on `ArrayId` first).
+    #[must_use]
+    pub fn may_intersect(&self, other: &Section) -> bool {
+        assert_eq!(self.dims.len(), other.dims.len(), "section rank mismatch");
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.may_intersect(*b))
+    }
+
+    /// Whether `self` provably covers every element of `other`.
+    #[must_use]
+    pub fn contains(&self, other: &Section) -> bool {
+        assert_eq!(self.dims.len(), other.dims.len(), "section rank mismatch");
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.contains(*b))
+    }
+
+    /// Smallest regular section covering both.
+    #[must_use]
+    pub fn hull(&self, other: &Section) -> Section {
+        assert_eq!(self.dims.len(), other.dims.len(), "section rank mismatch");
+        Section {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(*b))
+                .collect(),
+        }
+    }
+
+    /// Whether any dimension is empty (the section touches nothing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|d| d.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_mem::Sharing;
+
+    #[test]
+    fn dim_range_membership() {
+        let r = DimRange::new(2, 10, 4); // {2, 6, 10}
+        assert!(r.contains_point(6));
+        assert!(!r.contains_point(4));
+        assert!(!r.contains_point(11));
+        assert_eq!(r.count(), 3);
+        assert!(DimRange::point(5).contains_point(5));
+    }
+
+    #[test]
+    fn disjoint_even_odd() {
+        let evens = DimRange::new(0, 100, 2);
+        let odds = DimRange::new(1, 99, 2);
+        assert!(!evens.may_intersect(odds));
+        assert!(evens.may_intersect(DimRange::new(0, 100, 3)));
+    }
+
+    #[test]
+    fn window_disjointness() {
+        let a = DimRange::new(0, 9, 1);
+        let b = DimRange::new(10, 19, 1);
+        assert!(!a.may_intersect(b));
+        assert!(a.may_intersect(DimRange::new(9, 12, 1)));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = DimRange::new(0, 100, 2);
+        assert!(outer.contains(DimRange::new(10, 20, 4)));
+        assert!(!outer.contains(DimRange::new(1, 9, 2))); // misaligned
+        assert!(!outer.contains(DimRange::new(0, 102, 2))); // overflows
+        assert!(outer.contains(DimRange::point(42)));
+        assert!(!outer.contains(DimRange::point(43)));
+    }
+
+    #[test]
+    fn hull_widens() {
+        let a = DimRange::new(0, 8, 4);
+        let b = DimRange::new(2, 10, 4);
+        let h = a.hull(b);
+        assert_eq!(h, DimRange::new(0, 10, 2));
+        assert!(h.contains(a) && h.contains(b));
+    }
+
+    #[test]
+    fn interval_arithmetic_over_vars() {
+        let mut vr = VarRanges::new();
+        vr.bind(VarId(0), DimRange::new(0, 9, 1));
+        // 4*i + 2 over i in 0..=9 -> {2, 6, ..., 38}
+        let e = VarId(0) * 4 + Affine::konst(2);
+        let r = vr.range_of(&e).unwrap();
+        assert_eq!(r, DimRange::new(2, 38, 4));
+        // unbound var -> None
+        assert!(vr.range_of(&Affine::var(VarId(3))).is_none());
+    }
+
+    #[test]
+    fn bind_loop_with_affine_bounds() {
+        let mut vr = VarRanges::new();
+        vr.bind(VarId(0), DimRange::new(0, 3, 1)); // outer i in 0..=3
+                                                   // inner j in i..=i+7 -> overall 0..=10, step conservative 1
+        let r = vr
+            .bind_loop(VarId(1), &Affine::var(VarId(0)), &(VarId(0) + 7), 1)
+            .unwrap();
+        assert_eq!(r.lo, 0);
+        assert_eq!(r.hi, 10);
+    }
+
+    #[test]
+    fn section_of_ref_and_intersection() {
+        use crate::builder::ProgramBuilder;
+        use crate::subs;
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [100]);
+        let decl = ArrayDecl::new("A", vec![100], Sharing::Shared);
+        let mut captured = Vec::new();
+        let _main = p.proc("main", |f| {
+            f.doall(0, 49, |i, f| {
+                let even = a.at(subs![i * 2]);
+                let odd = a.at(subs![i * 2 + 1]);
+                captured.push((even.clone(), odd.clone()));
+                f.store(even, vec![odd], 1);
+            });
+        });
+        let (even, odd) = &captured[0];
+        let mut vr = VarRanges::new();
+        vr.bind(VarId(0), DimRange::new(0, 49, 1));
+        let se = Section::of_ref(even, &vr, &decl);
+        let so = Section::of_ref(odd, &vr, &decl);
+        assert!(!se.may_intersect(&so), "evens and odds are disjoint");
+        assert!(Section::full(&decl).contains(&se));
+    }
+
+    #[test]
+    fn opaque_subscript_widens_to_full_dim() {
+        use crate::expr::{OpaqueFn, Subscript};
+        use crate::stmt::ArrayRef;
+        use tpi_mem::ArrayId;
+        let decl = ArrayDecl::new("A", vec![64], Sharing::Shared);
+        let r = ArrayRef::new(ArrayId(0), vec![Subscript::Opaque(OpaqueFn::new(1))]);
+        let s = Section::of_ref(&r, &VarRanges::new(), &decl);
+        assert_eq!(s.dims()[0], DimRange::new(0, 63, 1));
+    }
+
+    #[test]
+    fn empty_section() {
+        let s = Section {
+            dims: vec![DimRange::new(5, 4, 1)],
+        };
+        assert!(s.is_empty());
+        assert_eq!(DimRange::new(5, 4, 1).count(), 0);
+    }
+}

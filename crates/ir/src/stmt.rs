@@ -1,0 +1,331 @@
+//! Statements and program structure.
+//!
+//! A [`Program`] is a set of global array declarations plus procedures whose
+//! bodies are statement lists. Parallelism is expressed exactly as Polaris
+//! expresses it in the paper: `DOALL` loops whose iterations are independent
+//! tasks. Everything between parallel loops is serial code executed by one
+//! processor. Procedures take no parameters — like Fortran COMMON-block
+//! codes, all sharing happens through global arrays.
+
+use crate::expr::{Affine, Cond, Subscript, VarId};
+use tpi_mem::{ArrayDecl, ArrayId};
+
+/// Unique identifier of an [`Assign`] statement within its program.
+///
+/// Assigned densely by the builder; used to address individual references
+/// (via [`RefSite`]) when the compiler publishes marking decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+/// Identifies one *read* reference: the `idx`-th read of statement `stmt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RefSite {
+    /// The assignment statement containing the read.
+    pub stmt: StmtId,
+    /// Position within the statement's read list.
+    pub idx: u32,
+}
+
+/// A subscripted array reference `A(s1, s2, ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// One subscript per declared dimension.
+    pub subs: Vec<Subscript>,
+}
+
+impl ArrayRef {
+    /// Creates a reference to `array` with the given subscripts.
+    #[must_use]
+    pub fn new(array: ArrayId, subs: Vec<Subscript>) -> Self {
+        ArrayRef { array, subs }
+    }
+
+    /// Whether every subscript is affine (fully analyzable).
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        self.subs.iter().all(|s| s.as_affine().is_some())
+    }
+}
+
+/// An assignment statement: optional write reference, read references, and a
+/// scalar-work cost in cycles (address arithmetic, floating point, private
+/// accesses — everything that is not a shared-memory access).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Program-wide unique id.
+    pub id: StmtId,
+    /// Destination, if this statement stores to an array.
+    pub write: Option<ArrayRef>,
+    /// Source array references, in issue order.
+    pub reads: Vec<ArrayRef>,
+    /// Non-memory work in processor cycles.
+    pub cost: u32,
+}
+
+/// A counted loop `for var in lo..=hi step step`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Induction variable, unique within the procedure.
+    pub var: VarId,
+    /// Inclusive lower bound (affine in enclosing loop variables).
+    pub lo: Affine,
+    /// Inclusive upper bound (affine in enclosing loop variables).
+    pub hi: Affine,
+    /// Positive stride.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// Identifier of a lock variable, dense per program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// A lock-guarded critical section inside a DOALL iteration.
+///
+/// Iterations executing critical sections of the same lock are mutually
+/// exclusive at runtime; cross-iteration conflicts on data accessed only
+/// under that lock are therefore permitted (the paper's Section 5 model of
+/// lock variables and critical sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Critical {
+    /// The guarding lock.
+    pub lock: LockId,
+    /// Body statements (assignments, serial loops, branches only).
+    pub body: Vec<Stmt>,
+}
+
+/// Identifier of a synchronization event variable (element-indexed), dense
+/// per program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+/// A two-armed branch with a compiler-opaque condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfStmt {
+    /// Runtime-evaluable, compile-time-opaque condition.
+    pub cond: Cond,
+    /// Taken arm.
+    pub then_body: Vec<Stmt>,
+    /// Fallthrough arm (possibly empty).
+    pub else_body: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// An assignment (memory accesses plus scalar work).
+    Assign(Assign),
+    /// A serial counted loop.
+    Loop(Loop),
+    /// A parallel loop: iterations are independent tasks spread across
+    /// processors; the whole loop is one *epoch*.
+    Doall(Loop),
+    /// A branch.
+    If(IfStmt),
+    /// A call to another procedure of the program (serial context only).
+    Call(ProcIdx),
+    /// A lock-guarded critical section (DOALL bodies only).
+    Critical(Critical),
+    /// Signal element `index` of `event` (DOALL bodies only): all writes
+    /// issued so far by this iteration are globally performed first
+    /// (release fence), then waiting iterations may proceed — the paper's
+    /// Section 5 "threads with inter-thread communication" (doacross
+    /// pipelining).
+    Post {
+        /// Signalled event variable.
+        event: EventId,
+        /// Element index (affine in the enclosing loop variables).
+        index: Affine,
+    },
+    /// Block until element `index` of `event` has been posted (DOALL
+    /// bodies only).
+    Wait {
+        /// Awaited event variable.
+        event: EventId,
+        /// Element index (affine in the enclosing loop variables).
+        index: Affine,
+    },
+}
+
+impl Stmt {
+    /// Whether this statement is, or transitively contains, a DOALL loop or a
+    /// call to a procedure that contains one (per `contains_doall` of the
+    /// callee as precomputed by the caller).
+    ///
+    /// Calls are conservatively treated as epoch-bearing here; use
+    /// [`crate::callgraph::CallGraph`] for the precise query.
+    #[must_use]
+    pub fn syntactically_contains_doall(&self) -> bool {
+        match self {
+            Stmt::Assign(_) | Stmt::Critical(_) | Stmt::Post { .. } | Stmt::Wait { .. } => false,
+            Stmt::Doall(_) => true,
+            Stmt::Call(_) => true,
+            Stmt::Loop(l) => l.body.iter().any(Stmt::syntactically_contains_doall),
+            Stmt::If(i) => {
+                i.then_body.iter().any(Stmt::syntactically_contains_doall)
+                    || i.else_body.iter().any(Stmt::syntactically_contains_doall)
+            }
+        }
+    }
+}
+
+/// Index of a procedure within its program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcIdx(pub u32);
+
+/// A procedure: a named statement list over the program's global arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Source-level name.
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Number of loop variables bound in this procedure (dense `VarId`s).
+    pub num_vars: u32,
+}
+
+/// A whole program: global arrays plus procedures; `entry` is "main".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Global array declarations (indexable by [`ArrayId`]).
+    pub arrays: Vec<ArrayDecl>,
+    /// All procedures.
+    pub procs: Vec<Procedure>,
+    /// The entry procedure.
+    pub entry: ProcIdx,
+    /// Total number of [`Assign`] statements (dense `StmtId` space).
+    pub num_assigns: u32,
+    /// Number of declared lock variables (dense `LockId` space).
+    pub num_locks: u32,
+    /// Number of declared event variables (dense `EventId` space).
+    pub num_events: u32,
+}
+
+impl Program {
+    /// The entry procedure.
+    #[must_use]
+    pub fn entry_proc(&self) -> &Procedure {
+        &self.procs[self.entry.0 as usize]
+    }
+
+    /// Procedure by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn proc(&self, idx: ProcIdx) -> &Procedure {
+        &self.procs[idx.0 as usize]
+    }
+
+    /// Declaration of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Visits every [`Assign`] in the program (all procedures, any nesting),
+    /// passing the owning procedure index.
+    pub fn for_each_assign<'p>(&'p self, mut f: impl FnMut(ProcIdx, &'p Assign)) {
+        fn walk<'p>(stmts: &'p [Stmt], p: ProcIdx, f: &mut impl FnMut(ProcIdx, &'p Assign)) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(a) => f(p, a),
+                    Stmt::Loop(l) | Stmt::Doall(l) => walk(&l.body, p, f),
+                    Stmt::If(i) => {
+                        walk(&i.then_body, p, f);
+                        walk(&i.else_body, p, f);
+                    }
+                    Stmt::Critical(c) => walk(&c.body, p, f),
+                    Stmt::Call(_) | Stmt::Post { .. } | Stmt::Wait { .. } => {}
+                }
+            }
+        }
+        for (i, proc) in self.procs.iter().enumerate() {
+            walk(&proc.body, ProcIdx(i as u32), &mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Affine;
+    use tpi_mem::Sharing;
+
+    fn dummy_assign(id: u32) -> Assign {
+        Assign {
+            id: StmtId(id),
+            write: None,
+            reads: vec![],
+            cost: 1,
+        }
+    }
+
+    #[test]
+    fn syntactic_doall_detection() {
+        let doall = Stmt::Doall(Loop {
+            var: VarId(0),
+            lo: Affine::konst(0),
+            hi: Affine::konst(9),
+            step: 1,
+            body: vec![],
+        });
+        let serial_wrapping = Stmt::Loop(Loop {
+            var: VarId(1),
+            lo: Affine::konst(0),
+            hi: Affine::konst(3),
+            step: 1,
+            body: vec![doall.clone()],
+        });
+        assert!(doall.syntactically_contains_doall());
+        assert!(serial_wrapping.syntactically_contains_doall());
+        assert!(!Stmt::Assign(dummy_assign(0)).syntactically_contains_doall());
+        assert!(Stmt::Call(ProcIdx(0)).syntactically_contains_doall());
+    }
+
+    #[test]
+    fn for_each_assign_visits_all_nests() {
+        let prog = Program {
+            arrays: vec![ArrayDecl::new("x", vec![4], Sharing::Shared)],
+            procs: vec![Procedure {
+                name: "main".into(),
+                num_vars: 2,
+                body: vec![
+                    Stmt::Assign(dummy_assign(0)),
+                    Stmt::Loop(Loop {
+                        var: VarId(0),
+                        lo: Affine::konst(0),
+                        hi: Affine::konst(1),
+                        step: 1,
+                        body: vec![
+                            Stmt::Assign(dummy_assign(1)),
+                            Stmt::If(IfStmt {
+                                cond: Cond::Always,
+                                then_body: vec![Stmt::Assign(dummy_assign(2))],
+                                else_body: vec![Stmt::Assign(dummy_assign(3))],
+                            }),
+                        ],
+                    }),
+                ],
+            }],
+            entry: ProcIdx(0),
+            num_assigns: 4,
+            num_locks: 0,
+            num_events: 0,
+        };
+        let mut seen = vec![];
+        prog.for_each_assign(|p, a| {
+            assert_eq!(p, ProcIdx(0));
+            seen.push(a.id.0);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

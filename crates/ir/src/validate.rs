@@ -1,0 +1,449 @@
+//! Static well-formedness checking of IR programs.
+//!
+//! The analyses in `tpi-compiler` and the interpreter in `tpi-trace` assume
+//! the invariants enforced here; [`validate`] is run automatically by
+//! [`ProgramBuilder::finish`](crate::ProgramBuilder::finish).
+
+use crate::expr::{Affine, VarId};
+use crate::stmt::{ArrayRef, ProcIdx, Program, Stmt};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the IR's static rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An `ArrayRef` names an undeclared array.
+    UnknownArray {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// Subscript count differs from the array's declared rank.
+    RankMismatch {
+        /// Offending procedure name.
+        proc: String,
+        /// Array name.
+        array: String,
+        /// Number of subscripts supplied.
+        got: usize,
+        /// Declared rank.
+        expected: usize,
+    },
+    /// An affine expression references a variable not bound by any
+    /// enclosing loop.
+    UnboundVar {
+        /// Offending procedure name.
+        proc: String,
+        /// The unbound variable.
+        var: VarId,
+    },
+    /// A DOALL loop nested inside another DOALL loop.
+    NestedDoall {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A procedure call inside a DOALL body.
+    CallInDoall {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A loop with a non-positive step.
+    NonPositiveStep {
+        /// Offending procedure name.
+        proc: String,
+        /// The bad step value.
+        step: i64,
+    },
+    /// A call targets an out-of-range procedure index.
+    UnknownProc {
+        /// Offending procedure name.
+        proc: String,
+        /// The bad target.
+        target: ProcIdx,
+    },
+    /// A call edge to a same-or-later-defined procedure (possible
+    /// recursion).
+    BackwardCallOrder {
+        /// Offending procedure name.
+        proc: String,
+        /// The offending target.
+        target: ProcIdx,
+    },
+    /// The entry index is out of range.
+    BadEntry,
+    /// A critical section outside a DOALL body.
+    CriticalOutsideDoall {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A critical section containing a DOALL, call, or nested critical.
+    BadCriticalBody {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A critical section names an undeclared lock.
+    UnknownLock {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A post/wait outside a DOALL body.
+    SyncOutsideDoall {
+        /// Offending procedure name.
+        proc: String,
+    },
+    /// A post/wait names an undeclared event.
+    UnknownEvent {
+        /// Offending procedure name.
+        proc: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownArray { proc } => {
+                write!(f, "reference to undeclared array in procedure {proc}")
+            }
+            ValidateError::RankMismatch { proc, array, got, expected } => write!(
+                f,
+                "array {array} referenced with {got} subscripts but declared rank {expected} in procedure {proc}"
+            ),
+            ValidateError::UnboundVar { proc, var } => {
+                write!(f, "unbound loop variable {var} in procedure {proc}")
+            }
+            ValidateError::NestedDoall { proc } => {
+                write!(f, "DOALL nested inside DOALL in procedure {proc}")
+            }
+            ValidateError::CallInDoall { proc } => {
+                write!(f, "procedure call inside DOALL body in procedure {proc}")
+            }
+            ValidateError::NonPositiveStep { proc, step } => {
+                write!(f, "loop step {step} is not positive in procedure {proc}")
+            }
+            ValidateError::UnknownProc { proc, target } => {
+                write!(f, "call to unknown procedure index {} in procedure {proc}", target.0)
+            }
+            ValidateError::BackwardCallOrder { proc, target } => write!(
+                f,
+                "procedure {proc} calls procedure {} defined at or after it (recursion is not allowed)",
+                target.0
+            ),
+            ValidateError::BadEntry => write!(f, "entry procedure index out of range"),
+            ValidateError::CriticalOutsideDoall { proc } => {
+                write!(f, "critical section outside a DOALL body in procedure {proc}")
+            }
+            ValidateError::BadCriticalBody { proc } => write!(
+                f,
+                "critical section containing a DOALL, call, or nested critical in procedure {proc}"
+            ),
+            ValidateError::UnknownLock { proc } => {
+                write!(f, "critical section names an undeclared lock in procedure {proc}")
+            }
+            ValidateError::SyncOutsideDoall { proc } => {
+                write!(f, "post/wait outside a DOALL body in procedure {proc}")
+            }
+            ValidateError::UnknownEvent { proc } => {
+                write!(f, "post/wait names an undeclared event in procedure {proc}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Checks all static rules; `Ok(())` means the program is well-formed.
+///
+/// # Errors
+///
+/// Returns the first violation found (see [`ValidateError`] variants).
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    if program.entry.0 as usize >= program.procs.len() {
+        return Err(ValidateError::BadEntry);
+    }
+    for (pi, proc) in program.procs.iter().enumerate() {
+        let mut scope = HashSet::new();
+        check_stmts(program, pi, &proc.body, &mut scope, false)?;
+    }
+    Ok(())
+}
+
+fn check_stmts(
+    program: &Program,
+    proc_ix: usize,
+    stmts: &[Stmt],
+    scope: &mut HashSet<VarId>,
+    in_doall: bool,
+) -> Result<(), ValidateError> {
+    let pname = || program.procs[proc_ix].name.clone();
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                if let Some(w) = &a.write {
+                    check_ref(program, proc_ix, w, scope)?;
+                }
+                for r in &a.reads {
+                    check_ref(program, proc_ix, r, scope)?;
+                }
+            }
+            Stmt::Loop(l) | Stmt::Doall(l) => {
+                if matches!(s, Stmt::Doall(_)) && in_doall {
+                    return Err(ValidateError::NestedDoall { proc: pname() });
+                }
+                if l.step <= 0 {
+                    return Err(ValidateError::NonPositiveStep {
+                        proc: pname(),
+                        step: l.step,
+                    });
+                }
+                check_affine(program, proc_ix, &l.lo, scope)?;
+                check_affine(program, proc_ix, &l.hi, scope)?;
+                scope.insert(l.var);
+                let inner_doall = in_doall || matches!(s, Stmt::Doall(_));
+                check_stmts(program, proc_ix, &l.body, scope, inner_doall)?;
+                scope.remove(&l.var);
+            }
+            Stmt::If(i) => {
+                check_stmts(program, proc_ix, &i.then_body, scope, in_doall)?;
+                check_stmts(program, proc_ix, &i.else_body, scope, in_doall)?;
+            }
+            Stmt::Critical(c) => {
+                if !in_doall {
+                    return Err(ValidateError::CriticalOutsideDoall { proc: pname() });
+                }
+                if c.lock.0 >= program.num_locks {
+                    return Err(ValidateError::UnknownLock { proc: pname() });
+                }
+                if body_contains_forbidden(&c.body) {
+                    return Err(ValidateError::BadCriticalBody { proc: pname() });
+                }
+                check_stmts(program, proc_ix, &c.body, scope, in_doall)?;
+            }
+            Stmt::Post { event, index } | Stmt::Wait { event, index } => {
+                if !in_doall {
+                    return Err(ValidateError::SyncOutsideDoall { proc: pname() });
+                }
+                if event.0 >= program.num_events {
+                    return Err(ValidateError::UnknownEvent { proc: pname() });
+                }
+                check_affine(program, proc_ix, index, scope)?;
+            }
+            Stmt::Call(target) => {
+                if in_doall {
+                    return Err(ValidateError::CallInDoall { proc: pname() });
+                }
+                if target.0 as usize >= program.procs.len() {
+                    return Err(ValidateError::UnknownProc {
+                        proc: pname(),
+                        target: *target,
+                    });
+                }
+                if target.0 as usize >= proc_ix {
+                    return Err(ValidateError::BackwardCallOrder {
+                        proc: pname(),
+                        target: *target,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn body_contains_forbidden(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Doall(_)
+        | Stmt::Call(_)
+        | Stmt::Critical(_)
+        | Stmt::Post { .. }
+        | Stmt::Wait { .. } => true,
+        Stmt::Loop(l) => body_contains_forbidden(&l.body),
+        Stmt::If(i) => {
+            body_contains_forbidden(&i.then_body) || body_contains_forbidden(&i.else_body)
+        }
+        Stmt::Assign(_) => false,
+    })
+}
+
+fn check_ref(
+    program: &Program,
+    proc_ix: usize,
+    r: &ArrayRef,
+    scope: &HashSet<VarId>,
+) -> Result<(), ValidateError> {
+    let pname = program.procs[proc_ix].name.clone();
+    let Some(decl) = program.arrays.get(r.array.0 as usize) else {
+        return Err(ValidateError::UnknownArray { proc: pname });
+    };
+    if r.subs.len() != decl.dims().len() {
+        return Err(ValidateError::RankMismatch {
+            proc: pname,
+            array: decl.name().to_owned(),
+            got: r.subs.len(),
+            expected: decl.dims().len(),
+        });
+    }
+    for s in &r.subs {
+        if let Some(a) = s.as_affine() {
+            check_affine(program, proc_ix, a, scope)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_affine(
+    program: &Program,
+    proc_ix: usize,
+    a: &Affine,
+    scope: &HashSet<VarId>,
+) -> Result<(), ValidateError> {
+    for v in a.vars() {
+        if !scope.contains(&v) {
+            return Err(ValidateError::UnboundVar {
+                proc: program.procs[proc_ix].name.clone(),
+                var: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Affine;
+    use crate::stmt::{Assign, Loop, Procedure, StmtId};
+    use crate::subs;
+    use tpi_mem::{ArrayDecl, ArrayId, Sharing};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [8, 8]);
+        let main = p.proc("main", |f| {
+            f.doall(0, 7, |i, f| {
+                f.serial(0, 7, |j, f| {
+                    f.store(a.at(subs![i, j]), vec![a.at(subs![j, i])], 1);
+                });
+            });
+        });
+        assert!(p.finish(main).is_ok());
+    }
+
+    fn raw_program(body: Vec<Stmt>) -> Program {
+        Program {
+            arrays: vec![ArrayDecl::new("A", vec![8], Sharing::Shared)],
+            procs: vec![Procedure {
+                name: "main".into(),
+                body,
+                num_vars: 4,
+            }],
+            entry: ProcIdx(0),
+            num_assigns: 1,
+            num_locks: 0,
+            num_events: 0,
+        }
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let bad = raw_program(vec![Stmt::Assign(Assign {
+            id: StmtId(0),
+            write: Some(ArrayRef::new(ArrayId(0), subs![0, 0])),
+            reads: vec![],
+            cost: 1,
+        })]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::RankMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unbound_var_detected() {
+        let bad = raw_program(vec![Stmt::Assign(Assign {
+            id: StmtId(0),
+            write: Some(ArrayRef::new(ArrayId(0), subs![VarId(3)])),
+            reads: vec![],
+            cost: 1,
+        })]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::UnboundVar { var: VarId(3), .. })
+        ));
+    }
+
+    #[test]
+    fn nested_doall_detected() {
+        let inner = Loop {
+            var: VarId(1),
+            lo: Affine::konst(0),
+            hi: Affine::konst(3),
+            step: 1,
+            body: vec![],
+        };
+        let outer = Loop {
+            var: VarId(0),
+            lo: Affine::konst(0),
+            hi: Affine::konst(3),
+            step: 1,
+            body: vec![Stmt::Doall(inner)],
+        };
+        let bad = raw_program(vec![Stmt::Doall(outer)]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::NestedDoall { .. })
+        ));
+    }
+
+    #[test]
+    fn call_in_doall_detected() {
+        let l = Loop {
+            var: VarId(0),
+            lo: Affine::konst(0),
+            hi: Affine::konst(3),
+            step: 1,
+            body: vec![Stmt::Call(ProcIdx(0))],
+        };
+        let bad = raw_program(vec![Stmt::Doall(l)]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::CallInDoall { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_step_detected() {
+        let l = Loop {
+            var: VarId(0),
+            lo: Affine::konst(0),
+            hi: Affine::konst(3),
+            step: 0,
+            body: vec![],
+        };
+        let bad = raw_program(vec![Stmt::Loop(l)]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::NonPositiveStep { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn self_call_detected() {
+        let bad = raw_program(vec![Stmt::Call(ProcIdx(0))]);
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidateError::BackwardCallOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ValidateError::NestedDoall { proc: "m".into() };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the bounded-regular-section domain: all operations
+//! must be conservative over-approximations of exact element sets.
+
+use proptest::prelude::*;
+use tpi_ir::DimRange;
+
+fn range() -> impl Strategy<Value = DimRange> {
+    (-20i64..60, 0i64..40, 0i64..8).prop_map(|(lo, span, step)| DimRange::new(lo, lo + span, step))
+}
+
+/// Exact membership enumeration of a (small) range.
+fn members(r: DimRange) -> Vec<i64> {
+    if r.is_empty() {
+        return Vec::new();
+    }
+    let step = r.step.max(1);
+    (r.lo..=r.hi).step_by(step as usize).collect()
+}
+
+proptest! {
+    #[test]
+    fn count_matches_enumeration(r in range()) {
+        prop_assert_eq!(r.count(), members(r).len() as u64);
+    }
+
+    #[test]
+    fn contains_point_matches_enumeration(r in range(), v in -30i64..90) {
+        prop_assert_eq!(r.contains_point(v), members(r).contains(&v));
+    }
+
+    #[test]
+    fn may_intersect_is_conservative(a in range(), b in range()) {
+        let ma = members(a);
+        let mb = members(b);
+        let really = ma.iter().any(|v| mb.contains(v));
+        if really {
+            prop_assert!(a.may_intersect(b), "{a:?} and {b:?} truly intersect");
+        }
+        // The converse need not hold (conservative), but disjoint windows
+        // must be detected:
+        if !a.is_empty() && !b.is_empty() && (a.hi < b.lo || b.hi < a.lo) {
+            prop_assert!(!a.may_intersect(b));
+        }
+    }
+
+    #[test]
+    fn contains_implies_membership(a in range(), b in range()) {
+        if a.contains(b) {
+            let ma = members(a);
+            for v in members(b) {
+                prop_assert!(ma.contains(&v), "{a:?} claimed to contain {b:?} but misses {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_both(a in range(), b in range()) {
+        let h = a.hull(b);
+        for v in members(a).into_iter().chain(members(b)) {
+            prop_assert!(h.contains_point(v), "hull {h:?} of {a:?},{b:?} misses {v}");
+        }
+    }
+
+    #[test]
+    fn shifted_preserves_count(r in range(), k in -10i64..10) {
+        prop_assert_eq!(r.shifted(k).count(), r.count());
+    }
+}
+
+mod expr_roundtrip {
+    use proptest::prelude::*;
+    use tpi_ir::{Affine, VarId};
+
+    fn affine() -> impl Strategy<Value = Affine> {
+        (
+            prop::collection::vec((0u32..4, -9i64..10), 0..4),
+            -20i64..20,
+        )
+            .prop_map(|(terms, k)| {
+                let mut a = Affine::konst(k);
+                for (v, c) in terms {
+                    a = a + Affine::scaled_var(VarId(v), c);
+                }
+                a
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn display_parses_back_identically(a in affine()) {
+            // The textual format's expression grammar must accept every
+            // expression `Display` can produce, with identical meaning.
+            let src = format!(
+                "shared A(1000)\nproc main\n  doall i0 = 0, 3\n    do i1 = 0, 3\n      do i2 = 0, 3\n        do i3 = 0, 3\n          use f[1](A({a} + 500))\n        end\n      end\n    end\n  end\nend\n"
+            );
+            let prog = tpi_ir::parse_program(&src)
+                .unwrap_or_else(|e| panic!("`{a}` failed to parse: {e}"));
+            // Find the read back and compare evaluation on sample points.
+            let mut found = None;
+            prog.for_each_assign(|_, st| {
+                if let Some(r) = st.reads.first() {
+                    found = r.subs[0].as_affine().cloned();
+                }
+            });
+            let parsed = found.expect("read present");
+            let mut env = tpi_ir::Env::new();
+            for sample in [[0i64, 1, 2, 3], [3, 1, 0, 2], [1, 1, 1, 1]] {
+                for (v, val) in sample.iter().enumerate() {
+                    env.bind(VarId(v as u32), *val);
+                }
+                prop_assert_eq!(parsed.eval(&env), a.eval(&env) + 500);
+            }
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! Full-map directory engine (and its LimitLess variant).
+//!
+//! A three-state (Invalid / Read-Shared / Write-Exclusive) invalidation
+//! protocol with a full-map directory (Censier & Feautrier \[8\]) over
+//! write-back caches — the paper's hardware comparison point. The directory
+//! is precise: evictions notify the home node, so every presence bit
+//! corresponds to a cached copy (checked by
+//! [`DirectoryEngine::verify_invariants`]).
+//!
+//! Timing follows the paper's weak-consistency model: reads stall for the
+//! full directory transaction (two network hops for clean lines, three when
+//! a dirty copy must be recalled from its owner); writes retire in the
+//! background (1 processor cycle) while their invalidation traffic is
+//! accounted and remote copies drop immediately.
+//!
+//! Invalidation-induced misses are classified true- or false-sharing with
+//! the Tullsen–Eggers test \[34\]: an invalidation whose written word the
+//! local processor never touched since fill is a false-sharing
+//! invalidation, and the next miss on that line a false-sharing miss.
+//!
+//! The **LimitLess** variant (Agarwal et al. \[2\]) keeps only `i` hardware
+//! pointers per entry; when a line acquires more sharers, directory
+//! transactions on it take a software trap at the home node, adding a fixed
+//! penalty (and the entry falls back to a software full map, so precision
+//! is unaffected).
+
+use crate::stats::{EngineStats, MissClass};
+use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
+use std::collections::{HashMap, HashSet};
+use tpi_cache::{Cache, Line, LineState};
+use tpi_mem::{Cycle, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_net::{Network, TrafficClass};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Write-exclusive holder, if any.
+    owner: Option<u32>,
+    /// Presence bits of read-shared holders.
+    sharers: u64,
+}
+
+impl DirEntry {
+    fn is_empty(self) -> bool {
+        self.owner.is_none() && self.sharers == 0
+    }
+
+    fn holder_count(self) -> u32 {
+        self.sharers.count_ones() + u32::from(self.owner.is_some())
+    }
+}
+
+/// Full-map (or LimitLess) directory engine.
+#[derive(Debug)]
+pub struct DirectoryEngine {
+    cfg: EngineConfig,
+    caches: Vec<Cache>,
+    net: Network,
+    stats: EngineStats,
+    directory: HashMap<u64, DirEntry>,
+    mem_versions: HashMap<u64, u64>,
+    ever_cached: Vec<HashSet<u64>>,
+    /// Pending classification for the next miss after an invalidation.
+    pending_class: Vec<HashMap<u64, MissClass>>,
+    /// `Some((pointers, trap_cycles))` for LimitLess.
+    limitless: Option<(u32, Cycle)>,
+    name: &'static str,
+}
+
+impl DirectoryEngine {
+    /// Builds the full-map variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.procs > 64` (presence bits are a `u64`; the paper
+    /// simulates 16 processors — larger machines are covered analytically
+    /// by the storage model).
+    #[must_use]
+    pub fn full_map(cfg: EngineConfig) -> Self {
+        Self::build(cfg, None, "HW")
+    }
+
+    /// Builds the LimitLess variant with `cfg.limitless_pointers` hardware
+    /// pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.procs > 64`.
+    #[must_use]
+    pub fn limitless(cfg: EngineConfig) -> Self {
+        let ll = Some((cfg.limitless_pointers, cfg.limitless_trap_cycles));
+        Self::build(cfg, ll, "LL")
+    }
+
+    fn build(cfg: EngineConfig, limitless: Option<(u32, Cycle)>, name: &'static str) -> Self {
+        assert!(
+            cfg.procs <= 64,
+            "directory presence bits support at most 64 processors"
+        );
+        let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
+        let net = Network::new(cfg.net);
+        let stats = EngineStats::new(cfg.procs);
+        DirectoryEngine {
+            caches,
+            net,
+            stats,
+            directory: HashMap::new(),
+            mem_versions: HashMap::new(),
+            ever_cached: vec![HashSet::new(); cfg.procs as usize],
+            pending_class: vec![HashMap::new(); cfg.procs as usize],
+            limitless,
+            name,
+            cfg,
+        }
+    }
+
+    fn bit(p: u32) -> u64 {
+        1u64 << p
+    }
+
+    fn mem_version(&self, addr: WordAddr) -> u64 {
+        self.mem_versions.get(&addr.0).copied().unwrap_or(0)
+    }
+
+    /// LimitLess trap check: charges a trap if the entry has overflowed the
+    /// hardware pointers. Returns the extra read-stall cycles.
+    fn trap_penalty(&mut self, p: usize, la: LineAddr) -> Cycle {
+        let Some((pointers, trap_cycles)) = self.limitless else {
+            return 0;
+        };
+        let overflowed = self
+            .directory
+            .get(&la.0)
+            .is_some_and(|e| e.holder_count() > pointers);
+        if overflowed {
+            self.stats.proc_mut(p).traps += 1;
+            self.net.record(TrafficClass::Coherence, 1);
+            trap_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Removes processor `q`'s copy because of a write to `word`; leaves
+    /// the classification for `q`'s next miss on the line.
+    fn invalidate_copy(&mut self, q: u32, la: LineAddr, word: u32) {
+        self.net.record(TrafficClass::Coherence, 0); // invalidation
+        self.net.record(TrafficClass::Coherence, 0); // acknowledgement
+        if let Some(victim) = self.caches[q as usize].remove(la) {
+            let fs = !victim.word_accessed(word);
+            let class = if fs {
+                MissClass::FalseSharing
+            } else {
+                MissClass::CoherenceTrue
+            };
+            self.pending_class[q as usize].insert(la.0, class);
+            self.stats.proc_mut(q as usize).invals_received += 1;
+            debug_assert!(!victim.any_dirty(), "shared copies are clean");
+        } else {
+            debug_assert!(false, "directory presence bit without a cached copy");
+        }
+    }
+
+    /// Invalidates every holder except `except`; returns how many copies
+    /// dropped.
+    fn invalidate_sharers(&mut self, la: LineAddr, word: u32, except: u32) -> u32 {
+        let entry = self.directory.get(&la.0).copied().unwrap_or_default();
+        let mut dropped = 0;
+        for q in 0..self.cfg.procs {
+            if q != except && entry.sharers & Self::bit(q) != 0 {
+                self.invalidate_copy(q, la, word);
+                dropped += 1;
+            }
+        }
+        if let Some(e) = self.directory.get_mut(&la.0) {
+            e.sharers &= Self::bit(except);
+        }
+        dropped
+    }
+
+    /// Installs a full line in `p`'s cache; handles the victim.
+    fn fill(&mut self, p: usize, la: LineAddr, req_word: u32, req_version: u64, state: LineState) {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        let base = geom.first_word(la).0;
+        let mut line = Line::new(la, wpl);
+        line.state = state;
+        for w in 0..wpl {
+            line.set_word_valid(w, true);
+            let mem = self.mem_version(WordAddr(base + u64::from(w)));
+            let v = if w == req_word {
+                req_version.max(mem)
+            } else {
+                mem
+            };
+            line.set_version(w, v);
+        }
+        line.set_word_accessed(req_word);
+        let victim = self.caches[p].insert(line);
+        if let Some(v) = victim {
+            self.handle_eviction(p, &v);
+        }
+        self.ever_cached[p].insert(la.0);
+    }
+
+    /// Write-back + directory notification for an evicted line.
+    fn handle_eviction(&mut self, p: usize, victim: &Line) {
+        let la = victim.addr;
+        if victim.state == LineState::Exclusive && victim.any_dirty() {
+            self.net.record(
+                TrafficClass::Write,
+                self.cfg.cache.geometry.words_per_line(),
+            );
+            self.stats.proc_mut(p).write_backs += 1;
+        } else {
+            // Replacement hint keeps the directory precise.
+            self.net.record(TrafficClass::Coherence, 0);
+        }
+        if let Some(e) = self.directory.get_mut(&la.0) {
+            if e.owner == Some(p as u32) {
+                e.owner = None;
+            }
+            e.sharers &= !Self::bit(p as u32);
+            if e.is_empty() {
+                self.directory.remove(&la.0);
+            }
+        }
+    }
+
+    /// Checks the directory/cache cross-invariants; returns a description
+    /// of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        for (addr, e) in &self.directory {
+            let la = LineAddr(*addr);
+            if let Some(o) = e.owner {
+                if e.sharers & !Self::bit(o) != 0 {
+                    return Err(format!("{la}: owner {o} coexists with sharers"));
+                }
+                match self.caches[o as usize].peek(la) {
+                    Some(l) if l.state == LineState::Exclusive => {}
+                    _ => return Err(format!("{la}: owner {o} has no exclusive copy")),
+                }
+            }
+            for q in 0..self.cfg.procs {
+                if e.sharers & Self::bit(q) != 0 {
+                    match self.caches[q as usize].peek(la) {
+                        Some(l) if l.state == LineState::Shared => {}
+                        _ => return Err(format!("{la}: presence bit {q} without shared copy")),
+                    }
+                }
+            }
+        }
+        // Converse: every cached line has a directory record.
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut bad: Option<String> = None;
+            cache.for_each_line(|l| {
+                let e = self.directory.get(&l.addr.0).copied().unwrap_or_default();
+                let present = match l.state {
+                    LineState::Exclusive => e.owner == Some(p as u32),
+                    LineState::Shared => e.sharers & Self::bit(p as u32) != 0,
+                };
+                if !present && bad.is_none() {
+                    bad = Some(format!("{}: cached at P{p} but not in directory", l.addr));
+                }
+            });
+            if let Some(msg) = bad {
+                return Err(msg);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CoherenceEngine for DirectoryEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn read(
+        &mut self,
+        proc: ProcId,
+        addr: WordAddr,
+        kind: ReadKind,
+        version: u64,
+        _now: Cycle,
+    ) -> AccessOutcome {
+        let p = proc.0 as usize;
+        self.stats.proc_mut(p).reads += 1;
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        if let Some(line) = self.caches[p].touch_mut(la) {
+            line.set_word_accessed(w);
+            // Critical-section accesses are serialized by their lock; the
+            // replay may legally order them differently than the trace
+            // recorder did, so the shadow-version identity only applies to
+            // epoch-ordered (non-critical) reads.
+            assert!(
+                !self.cfg.verify_freshness
+                    || kind == ReadKind::Critical
+                    || line.version(w) == version,
+                "directory hit observed stale data at {addr}: cached {} vs required {version}",
+                line.version(w)
+            );
+            self.stats.proc_mut(p).read_hits += 1;
+            return AccessOutcome::hit();
+        }
+        let class = self.pending_class[p].remove(&la.0).unwrap_or_else(|| {
+            if self.ever_cached[p].contains(&la.0) {
+                MissClass::Replacement
+            } else {
+                MissClass::Cold
+            }
+        });
+        let line_words = geom.words_per_line();
+        let owner = self.directory.get(&la.0).and_then(|e| e.owner);
+        let mut stall;
+        if let Some(o) = owner {
+            debug_assert_ne!(o as usize, p, "owner cannot miss on its own line");
+            // Three-hop: home forwards to the owner, which supplies the
+            // line, downgrades to Shared, and flushes memory clean.
+            stall = 1 + self.net.three_hop_fetch(line_words);
+            self.net.record(TrafficClass::Read, 0);
+            self.net.record(TrafficClass::Coherence, 0);
+            self.net.record(TrafficClass::Read, line_words);
+            self.net.record(TrafficClass::Write, line_words);
+            if let Some(ol) = self.caches[o as usize].touch_mut(la) {
+                ol.state = LineState::Shared;
+                ol.clean_all();
+            }
+            self.stats.proc_mut(o as usize).write_backs += 1;
+            let e = self.directory.entry(la.0).or_default();
+            e.owner = None;
+            e.sharers |= Self::bit(o);
+        } else {
+            stall = 1 + self.net.line_fetch(line_words);
+            self.net.record(TrafficClass::Read, 0);
+            self.net.record(TrafficClass::Read, line_words);
+        }
+        self.directory.entry(la.0).or_default().sharers |= Self::bit(p as u32);
+        stall += self.trap_penalty(p, la);
+        self.fill(p, la, w, version, LineState::Shared);
+        self.stats.proc_mut(p).record_miss(class, stall);
+        AccessOutcome::miss(stall, class)
+    }
+
+    fn write(&mut self, proc: ProcId, addr: WordAddr, version: u64, _now: Cycle) -> Cycle {
+        let p = proc.0 as usize;
+        self.stats.proc_mut(p).writes += 1;
+        let slot = self.mem_versions.entry(addr.0).or_insert(0);
+        *slot = (*slot).max(version);
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        let state = self.caches[p].peek(la).map(|l| l.state);
+        match state {
+            Some(LineState::Exclusive) => {
+                let line = self.caches[p].touch_mut(la).expect("resident");
+                line.set_word_dirty(w, true);
+                line.set_word_accessed(w);
+                let nv = line.version(w).max(version);
+                line.set_version(w, nv);
+            }
+            Some(LineState::Shared) => {
+                // Upgrade: invalidate the other sharers.
+                self.stats.proc_mut(p).upgrades += 1;
+                self.net.record(TrafficClass::Coherence, 0); // upgrade request
+                self.invalidate_sharers(la, w, p as u32);
+                let _ = self.trap_penalty(p, la);
+                {
+                    let e = self.directory.entry(la.0).or_default();
+                    e.owner = Some(p as u32);
+                    e.sharers = 0;
+                }
+                let line = self.caches[p].touch_mut(la).expect("resident");
+                line.state = LineState::Exclusive;
+                line.set_word_dirty(w, true);
+                line.set_word_accessed(w);
+                let nv = line.version(w).max(version);
+                line.set_version(w, nv);
+            }
+            None => {
+                // Write miss: read-exclusive fetch, non-blocking.
+                self.stats.proc_mut(p).write_misses += 1;
+                let line_words = geom.words_per_line();
+                let owner = self.directory.get(&la.0).and_then(|e| e.owner);
+                if let Some(o) = owner {
+                    // Ownership transfer with invalidation of the old owner.
+                    self.net.record(TrafficClass::Read, 0);
+                    self.net.record(TrafficClass::Coherence, 0);
+                    self.net.record(TrafficClass::Read, line_words);
+                    if let Some(victim) = self.caches[o as usize].remove(la) {
+                        let fs = !victim.word_accessed(w);
+                        let class = if fs {
+                            MissClass::FalseSharing
+                        } else {
+                            MissClass::CoherenceTrue
+                        };
+                        self.pending_class[o as usize].insert(la.0, class);
+                        self.stats.proc_mut(o as usize).invals_received += 1;
+                    }
+                } else {
+                    self.net.record(TrafficClass::Read, 0);
+                    self.net.record(TrafficClass::Read, line_words);
+                    self.invalidate_sharers(la, w, p as u32);
+                }
+                let _ = self.trap_penalty(p, la);
+                {
+                    let e = self.directory.entry(la.0).or_default();
+                    e.owner = Some(p as u32);
+                    e.sharers = 0;
+                }
+                self.fill(p, la, w, version, LineState::Exclusive);
+                let line = self.caches[p].touch_mut(la).expect("just filled");
+                line.set_word_dirty(w, true);
+            }
+        }
+        1
+    }
+
+    fn epoch_boundary(&mut self, per_proc_now: &[Cycle]) -> Vec<Cycle> {
+        // Write-back + eager invalidation: nothing to drain at barriers.
+        vec![0; per_proc_now.len()]
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId(0);
+    const P1: ProcId = ProcId(1);
+    const P2: ProcId = ProcId(2);
+
+    fn engine() -> DirectoryEngine {
+        DirectoryEngine::full_map(EngineConfig::paper_default(1 << 20))
+    }
+
+    #[test]
+    fn read_sharing_then_upgrade_invalidates() {
+        let mut e = engine();
+        let a = WordAddr(0);
+        let _ = e.read(P0, a, ReadKind::Plain, 0, 0);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        e.verify_invariants().unwrap();
+        // P0 writes: P1's copy must drop.
+        e.write(P0, a, 1, 10);
+        e.verify_invariants().unwrap();
+        assert_eq!(e.stats().proc(0).upgrades, 1);
+        assert_eq!(e.stats().proc(1).invals_received, 1);
+        // P1's next read misses with a true-sharing classification (it had
+        // read the very word that was written).
+        let m = e.read(P1, a, ReadKind::Plain, 1, 20);
+        assert_eq!(m.miss, Some(MissClass::CoherenceTrue));
+        e.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn false_sharing_classified() {
+        let mut e = engine();
+        let a = WordAddr(0);
+        let sibling = WordAddr(1); // same 4-word line
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0); // P1 touches word 0 only
+        e.write(P0, sibling, 1, 10); // write to the untouched word
+        let m = e.read(P1, a, ReadKind::Plain, 0, 20);
+        assert_eq!(m.miss, Some(MissClass::FalseSharing));
+    }
+
+    #[test]
+    fn dirty_remote_read_is_three_hop() {
+        let mut e = engine();
+        let a = WordAddr(8);
+        e.write(P0, a, 1, 0); // P0 exclusive dirty
+        e.verify_invariants().unwrap();
+        let clean_miss = e.read(P2, WordAddr(64), ReadKind::Plain, 0, 0).stall;
+        let dirty_miss = e.read(P1, a, ReadKind::Plain, 1, 0).stall;
+        assert!(
+            dirty_miss > clean_miss,
+            "3-hop ({dirty_miss}) must exceed 2-hop ({clean_miss})"
+        );
+        // Owner was downgraded, memory flushed.
+        assert_eq!(e.stats().proc(0).write_backs, 1);
+        e.verify_invariants().unwrap();
+        // Both now share.
+        let h = e.read(P0, a, ReadKind::Plain, 1, 1);
+        assert_eq!(h.miss, None);
+    }
+
+    #[test]
+    fn write_miss_takes_ownership_from_owner() {
+        let mut e = engine();
+        let a = WordAddr(16);
+        e.write(P0, a, 1, 0);
+        e.write(P1, a, 2, 10); // ownership transfer
+        e.verify_invariants().unwrap();
+        assert_eq!(e.stats().proc(0).invals_received, 1);
+        let m = e.read(P0, a, ReadKind::Plain, 2, 20);
+        assert_eq!(m.miss, Some(MissClass::CoherenceTrue));
+    }
+
+    #[test]
+    fn eviction_notifies_directory_and_writes_back() {
+        let mut cfg = EngineConfig::paper_default(1 << 30);
+        cfg.cache.size_bytes = 128; // 8 lines direct-mapped
+        let mut e = DirectoryEngine::full_map(cfg);
+        let a = WordAddr(0);
+        e.write(P0, a, 1, 0); // dirty exclusive
+        let conflicting = WordAddr(32); // line 8 -> set 0
+        let _ = e.read(P0, conflicting, ReadKind::Plain, 0, 1);
+        e.verify_invariants().unwrap();
+        assert_eq!(e.stats().proc(0).write_backs, 1);
+        // Re-read of `a` is a replacement miss, not coherence.
+        let m = e.read(P0, a, ReadKind::Plain, 1, 2);
+        assert_eq!(m.miss, Some(MissClass::Replacement));
+    }
+
+    #[test]
+    fn read_hits_after_sharing() {
+        let mut e = engine();
+        let a = WordAddr(24);
+        let _ = e.read(P0, a, ReadKind::Plain, 0, 0);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        assert_eq!(e.read(P0, a, ReadKind::Plain, 0, 1).miss, None);
+        assert_eq!(e.read(P1, a, ReadKind::Plain, 0, 1).miss, None);
+    }
+
+    #[test]
+    fn limitless_traps_on_pointer_overflow() {
+        let mut cfg = EngineConfig::paper_default(1 << 20);
+        cfg.limitless_pointers = 2;
+        cfg.limitless_trap_cycles = 50;
+        let mut e = DirectoryEngine::limitless(cfg);
+        let a = WordAddr(0);
+        let s1 = e.read(P0, a, ReadKind::Plain, 0, 0).stall;
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        let _ = e.read(P2, a, ReadKind::Plain, 0, 0); // 3rd sharer: overflow
+        let s4 = e.read(ProcId(3), a, ReadKind::Plain, 0, 0).stall;
+        assert!(s4 >= s1 + 50, "overflowed entry must trap: {s4} vs {s1}");
+        assert_eq!(e.stats().proc(2).traps + e.stats().proc(3).traps, 2);
+        e.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn ignores_read_kind_marks() {
+        let mut e = engine();
+        let a = WordAddr(40);
+        let _ = e.read(P0, a, ReadKind::TimeRead { distance: 0 }, 0, 0);
+        let h = e.read(P0, a, ReadKind::TimeRead { distance: 0 }, 0, 1);
+        assert_eq!(h.miss, None, "directory schemes ignore compiler marks");
+    }
+
+    #[test]
+    fn sole_sharer_upgrade_sends_no_invalidations() {
+        let mut e = engine();
+        let a = WordAddr(48);
+        let _ = e.read(P0, a, ReadKind::Plain, 0, 0);
+        let coh_before = e.network().stats().words(TrafficClass::Coherence);
+        e.write(P0, a, 1, 10);
+        let coh_after = e.network().stats().words(TrafficClass::Coherence);
+        // One upgrade request to the home, but no invalidation/ack pairs.
+        assert!(
+            coh_after - coh_before <= 1,
+            "sole sharer: {}",
+            coh_after - coh_before
+        );
+        for q in 1..16 {
+            assert_eq!(e.stats().proc(q).invals_received, 0);
+        }
+        e.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_upgrade_write_stays_exclusive() {
+        let mut e = engine();
+        let a = WordAddr(56);
+        e.write(P0, a, 1, 0);
+        e.write(P0, a, 2, 1);
+        e.write(P0, a, 3, 2);
+        assert_eq!(
+            e.stats().proc(0).upgrades,
+            0,
+            "exclusive writes need no upgrade"
+        );
+        assert_eq!(e.stats().proc(0).write_misses, 1);
+        e.verify_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn rejects_too_many_procs() {
+        let mut cfg = EngineConfig::paper_default(0);
+        cfg.procs = 128;
+        let _ = DirectoryEngine::full_map(cfg);
+    }
+}

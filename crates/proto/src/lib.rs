@@ -1,0 +1,372 @@
+//! Coherence schemes for the TPI study: BASE, SC, TPI, and directory
+//! protocols (full-map and LimitLess), behind one [`CoherenceEngine`]
+//! interface.
+//!
+//! The four schemes reproduce Section 4.2 of the paper:
+//!
+//! * [`SchemeKind::Base`] — shared data is never cached; every shared
+//!   access is a remote memory access (the Cray T3D / Paragon usage model).
+//! * [`SchemeKind::Sc`] — software cache-bypass: compiler-marked
+//!   potentially-stale loads always go to memory (a cache-block invalidate
+//!   followed by a load on a stock microprocessor), so only task-local reuse
+//!   survives. Write-through, write-allocate.
+//! * [`SchemeKind::Tpi`] — the paper's two-phase invalidation scheme:
+//!   per-word timetags checked against the compiler's Time-Read distance,
+//!   line fills stamping non-requested words `epoch - 1`, two-phase tag
+//!   resets. Write-through, write-allocate.
+//! * [`SchemeKind::FullMap`] — a three-state (Invalid / Read-Shared /
+//!   Write-Exclusive) invalidation protocol with a full-map directory and
+//!   write-back caches.
+//! * [`SchemeKind::LimitLess`] — the directory protocol with `i` hardware
+//!   pointers and a software trap on overflow (used in the paper's storage
+//!   comparison; implemented here as a protocol variant too).
+//!
+//! All engines run under weak consistency: reads stall the processor,
+//! writes retire through (infinite) write buffers and must be globally
+//! performed by the next epoch boundary.
+
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod fullmap;
+pub mod ideal;
+pub mod sc;
+pub mod stats;
+pub mod storage;
+pub mod tpi;
+mod write_path;
+
+pub use base::BaseEngine;
+pub use fullmap::DirectoryEngine;
+pub use ideal::IdealEngine;
+pub use sc::ScEngine;
+pub use stats::{EngineStats, MissClass, ProcStats};
+pub use tpi::TpiEngine;
+
+use tpi_cache::{CacheConfig, ResetStrategy, WriteBufferKind, WritePolicy};
+use tpi_mem::{Cycle, ProcId, ReadKind, WordAddr};
+use tpi_net::{Network, NetworkConfig};
+
+/// Which coherence scheme to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// No caching of shared data.
+    Base,
+    /// Software cache-bypass.
+    Sc,
+    /// Two-phase invalidation (the paper's scheme).
+    Tpi,
+    /// Full-map directory, write-back MSI.
+    FullMap,
+    /// LimitLess directory with the configured number of pointers.
+    LimitLess,
+    /// Perfect-coherence oracle (lower bound; not a scheme from the
+    /// paper).
+    Ideal,
+}
+
+impl SchemeKind {
+    /// The four schemes of the paper's main evaluation.
+    pub const MAIN: [SchemeKind; 4] = [
+        SchemeKind::Base,
+        SchemeKind::Sc,
+        SchemeKind::Tpi,
+        SchemeKind::FullMap,
+    ];
+
+    /// Short table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Base => "BASE",
+            SchemeKind::Sc => "SC",
+            SchemeKind::Tpi => "TPI",
+            SchemeKind::FullMap => "HW",
+            SchemeKind::LimitLess => "LL",
+            SchemeKind::Ideal => "IDEAL",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything needed to instantiate an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Number of processors.
+    pub procs: u32,
+    /// Per-node cache.
+    pub cache: CacheConfig,
+    /// Network and memory timing.
+    pub net: NetworkConfig,
+    /// Timetag width in bits (TPI).
+    pub tag_bits: u32,
+    /// Timetag recycling strategy (TPI).
+    pub reset_strategy: ResetStrategy,
+    /// Cycles a phase reset stalls each processor (the paper: 128).
+    pub reset_cycles: Cycle,
+    /// Write buffer organization for the write-through schemes.
+    pub wbuffer: WriteBufferKind,
+    /// Write policy of the HSCD caches (TPI; SC is always write-through).
+    pub write_policy: WritePolicy,
+    /// Word addresses below this bound are shared; above are private
+    /// replicas.
+    pub shared_limit: u64,
+    /// Hardware pointers per directory entry (LimitLess).
+    pub limitless_pointers: u32,
+    /// Software-trap penalty on pointer overflow (LimitLess).
+    pub limitless_trap_cycles: Cycle,
+    /// Whether a verified Time-Read hit re-stamps the word with the
+    /// current epoch (sound: the datum is provably fresh *now*), extending
+    /// its reuse window across later epochs. Disable for the ablation.
+    pub restamp_verified_hits: bool,
+    /// Check on every cache hit that the observed shadow version equals
+    /// the version the execution requires, even in release builds
+    /// (debug builds always check). Panics on violation — turning the
+    /// paper's soundness argument into an executable assertion.
+    pub verify_freshness: bool,
+    /// Optional on-chip first-level cache in front of the tagged TPI
+    /// cache, modelling the paper's off-the-shelf-microprocessor
+    /// implementation (Section 3): the stock core's L1 serves plain loads;
+    /// marked references execute as a cache-op + load (L1 word invalidate,
+    /// then the tagged off-chip check).
+    pub l1: Option<L1Config>,
+    /// What a failed tag check refetches (TPI; line-absent misses always
+    /// fetch whole lines).
+    pub coherence_fetch: FetchGranularity,
+}
+
+/// What a TPI coherence miss (failed tag check on a resident line)
+/// fetches from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchGranularity {
+    /// Refetch the whole line (the paper's write-allocate organization:
+    /// spatial locality at the cost of line-sized traffic).
+    #[default]
+    Line,
+    /// Fetch only the requested word (less traffic, no spatial refresh).
+    Word,
+}
+
+impl std::fmt::Display for FetchGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchGranularity::Line => write!(f, "line"),
+            FetchGranularity::Word => write!(f, "word"),
+        }
+    }
+}
+
+/// Parameters of the optional on-chip L1 (two-level TPI, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// L1 capacity in bytes (small on-chip cache, e.g. 8 KB).
+    pub size_bytes: usize,
+    /// L1 associativity.
+    pub assoc: u32,
+    /// Access time of the off-chip tagged cache on an L1 miss that hits
+    /// there (added to the 1-cycle L1 path).
+    pub l2_hit_cycles: Cycle,
+}
+
+impl L1Config {
+    /// An 8 KB direct-mapped on-chip cache over a 5-cycle off-chip SRAM.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        L1Config {
+            size_bytes: 8 * 1024,
+            assoc: 1,
+            l2_hit_cycles: 5,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's Figure 8 configuration (16 processors, 64 KB
+    /// direct-mapped caches, 4-word lines, 8-bit tags, 128-cycle reset).
+    #[must_use]
+    pub fn paper_default(shared_limit: u64) -> Self {
+        EngineConfig {
+            procs: 16,
+            cache: CacheConfig::paper_default(),
+            net: NetworkConfig::paper_default(16),
+            tag_bits: 8,
+            reset_strategy: ResetStrategy::TwoPhase,
+            reset_cycles: 128,
+            wbuffer: WriteBufferKind::Fifo,
+            write_policy: WritePolicy::Through,
+            shared_limit,
+            limitless_pointers: 10,
+            limitless_trap_cycles: 50,
+            restamp_verified_hits: true,
+            verify_freshness: cfg!(debug_assertions),
+            l1: None,
+            coherence_fetch: FetchGranularity::Line,
+        }
+    }
+
+    /// Whether `addr` is in the shared segment.
+    #[must_use]
+    pub fn is_shared(&self, addr: WordAddr) -> bool {
+        addr.0 < self.shared_limit
+    }
+}
+
+/// Result of a read access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycles the issuing processor stalls.
+    pub stall: Cycle,
+    /// Set when the access missed, with its classification.
+    pub miss: Option<MissClass>,
+}
+
+impl AccessOutcome {
+    /// A one-cycle cache hit.
+    #[must_use]
+    pub fn hit() -> Self {
+        AccessOutcome {
+            stall: 1,
+            miss: None,
+        }
+    }
+
+    /// A classified miss with total stall `stall`.
+    #[must_use]
+    pub fn miss(stall: Cycle, class: MissClass) -> Self {
+        AccessOutcome {
+            stall,
+            miss: Some(class),
+        }
+    }
+}
+
+/// A coherence scheme: per-processor caches, a shared interconnect, and the
+/// protocol logic between them.
+///
+/// The timing simulator drives an engine with per-processor `now` clocks;
+/// engines return stall cycles and account traffic into their [`Network`].
+pub trait CoherenceEngine {
+    /// Scheme label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes a load by `proc` at local time `now`. `version` is the
+    /// value generation the load must observe (simulation shadow state).
+    fn read(
+        &mut self,
+        proc: ProcId,
+        addr: WordAddr,
+        kind: ReadKind,
+        version: u64,
+        now: Cycle,
+    ) -> AccessOutcome;
+
+    /// Processes a store; returns the processor stall (typically 1 cycle —
+    /// writes retire in the background under weak consistency).
+    fn write(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle;
+
+    /// Processes a store issued inside a lock-guarded critical section.
+    ///
+    /// HSCD schemes must push it to memory without allocating a line (it
+    /// must be globally visible by lock release, and the epoch machinery
+    /// says nothing about it); directory schemes handle it like any
+    /// coherent write. The default forwards to [`CoherenceEngine::write`].
+    fn write_critical(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
+        self.write(proc, addr, version, now)
+    }
+
+    /// Crosses an epoch boundary: drains write buffers, advances the epoch
+    /// counter, applies timetag resets. `per_proc_now` is each processor's
+    /// local completion time; the return value is each processor's extra
+    /// stall at the barrier.
+    fn epoch_boundary(&mut self, per_proc_now: &[Cycle]) -> Vec<Cycle>;
+
+    /// The interconnect (for traffic stats and load updates).
+    fn network(&self) -> &Network;
+
+    /// Mutable interconnect access (the simulator calls
+    /// [`Network::end_epoch`]).
+    fn network_mut(&mut self) -> &mut Network;
+
+    /// Per-processor statistics.
+    fn stats(&self) -> &EngineStats;
+
+    /// Write-buffer statistics, for the write-through schemes.
+    fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
+        None
+    }
+}
+
+/// Builds the engine for `kind`.
+///
+/// # Examples
+///
+/// ```
+/// use tpi_mem::{ProcId, ReadKind, WordAddr};
+/// use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+///
+/// let mut engine = build_engine(SchemeKind::Tpi, EngineConfig::paper_default(1 << 20));
+/// let miss = engine.read(ProcId(0), WordAddr(64), ReadKind::Plain, 0, 0);
+/// assert!(miss.miss.is_some());
+/// let hit = engine.read(ProcId(0), WordAddr(64), ReadKind::Plain, 0, 200);
+/// assert!(hit.miss.is_none());
+/// ```
+#[must_use]
+pub fn build_engine(kind: SchemeKind, cfg: EngineConfig) -> Box<dyn CoherenceEngine> {
+    match kind {
+        SchemeKind::Base => Box::new(BaseEngine::new(cfg)),
+        SchemeKind::Sc => Box::new(ScEngine::new(cfg)),
+        SchemeKind::Tpi => Box::new(TpiEngine::new(cfg)),
+        SchemeKind::FullMap => Box::new(DirectoryEngine::full_map(cfg)),
+        SchemeKind::LimitLess => Box::new(DirectoryEngine::limitless(cfg)),
+        SchemeKind::Ideal => Box::new(IdealEngine::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchemeKind::Tpi.to_string(), "TPI");
+        assert_eq!(SchemeKind::FullMap.label(), "HW");
+        assert_eq!(SchemeKind::MAIN.len(), 4);
+    }
+
+    #[test]
+    fn config_shared_test() {
+        let cfg = EngineConfig::paper_default(100);
+        assert!(cfg.is_shared(WordAddr(99)));
+        assert!(!cfg.is_shared(WordAddr(100)));
+        assert_eq!(cfg.procs, 16);
+        assert_eq!(cfg.reset_cycles, 128);
+    }
+
+    #[test]
+    fn build_all_engines() {
+        for kind in [
+            SchemeKind::Base,
+            SchemeKind::Sc,
+            SchemeKind::Tpi,
+            SchemeKind::FullMap,
+            SchemeKind::LimitLess,
+            SchemeKind::Ideal,
+        ] {
+            let e = build_engine(kind, EngineConfig::paper_default(1024));
+            assert!(!e.name().is_empty());
+            assert_eq!(e.stats().per_proc().len(), 16);
+        }
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        assert_eq!(AccessOutcome::hit().stall, 1);
+        let m = AccessOutcome::miss(100, MissClass::Cold);
+        assert_eq!(m.miss, Some(MissClass::Cold));
+    }
+}

@@ -1,0 +1,184 @@
+//! Storage-overhead model: the paper's Figure 5.
+//!
+//! Figure 5 compares the bookkeeping storage of three schemes in terms of
+//! the number of processors `P`, cache lines per node `C`, words per line
+//! `L`, memory blocks per node `M`, LimitLess pointer count `i`, and the
+//! TPI timetag width `b`:
+//!
+//! | Scheme            | cache overhead (SRAM) | memory overhead (DRAM) |
+//! |-------------------|-----------------------|------------------------|
+//! | full-map \[8\]      | `2*C*P` bits          | `(P+2)*M*P` bits       |
+//! | LimitLess \[2\]     | `2*C*P` bits          | `(i+2)*M*P` bits       |
+//! | TPI (this paper)  | `b*L*C*P` bits        | none                   |
+//!
+//! The paper's headline instance (P = 1024, i = 10) reports
+//! "4 MB SRAM / 64.5 GB DRAM" for the full map versus "64 MB SRAM only"
+//! for TPI with 8-bit tags. The LimitLess row is also provided in a
+//! variant that charges the pointers their actual `log2 P` width, since
+//! the table's literal `(i+2)` undercounts pointer bits.
+
+/// Machine parameters for the storage formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageParams {
+    /// Number of processors `P`.
+    pub processors: u64,
+    /// Cache lines per node `C`.
+    pub cache_lines_per_node: u64,
+    /// Words per cache line `L`.
+    pub line_words: u64,
+    /// Memory blocks (lines) per node `M`.
+    pub mem_blocks_per_node: u64,
+    /// LimitLess hardware pointers `i`.
+    pub limitless_pointers: u64,
+    /// TPI timetag width in bits `b`.
+    pub tag_bits: u64,
+}
+
+impl StorageParams {
+    /// The paper's Figure 5 instance: 1024 processors, 64 KB node caches
+    /// with 16-byte lines (16 K lines), 8 MB of memory per node
+    /// (512 K blocks), 10 LimitLess pointers, 8-bit timetags.
+    #[must_use]
+    pub fn paper_figure5() -> Self {
+        StorageParams {
+            processors: 1024,
+            cache_lines_per_node: 16 * 1024,
+            line_words: 4,
+            mem_blocks_per_node: 512 * 1024,
+            limitless_pointers: 10,
+            tag_bits: 8,
+        }
+    }
+}
+
+/// Bits of bookkeeping storage, split by technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageOverhead {
+    /// Fast (cache-side) storage in bits.
+    pub sram_bits: u128,
+    /// Memory-side storage in bits.
+    pub dram_bits: u128,
+}
+
+impl StorageOverhead {
+    /// SRAM megabytes (2^20 bytes).
+    #[must_use]
+    pub fn sram_mib(&self) -> f64 {
+        self.sram_bits as f64 / 8.0 / 1024.0 / 1024.0
+    }
+
+    /// DRAM gigabytes (2^30 bytes).
+    #[must_use]
+    pub fn dram_gib(&self) -> f64 {
+        self.dram_bits as f64 / 8.0 / 1024.0 / 1024.0 / 1024.0
+    }
+}
+
+/// Full-map directory: 2 state bits per cache line, `P+2` bits per memory
+/// block.
+///
+/// # Examples
+///
+/// ```
+/// use tpi_proto::storage::{full_map, tpi, StorageParams};
+///
+/// let p = StorageParams::paper_figure5();
+/// // The paper's headline: ~64 GB of directory DRAM at 1024 processors...
+/// assert!(full_map(p).dram_gib() > 60.0);
+/// // ...versus zero for TPI.
+/// assert_eq!(tpi(p).dram_bits, 0);
+/// ```
+#[must_use]
+pub fn full_map(p: StorageParams) -> StorageOverhead {
+    StorageOverhead {
+        sram_bits: 2 * (p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: ((p.processors + 2) * p.mem_blocks_per_node * p.processors) as u128,
+    }
+}
+
+/// LimitLess directory, charged as the paper's table writes it:
+/// `(i+2)` bits per memory block.
+#[must_use]
+pub fn limitless_as_tabulated(p: StorageParams) -> StorageOverhead {
+    StorageOverhead {
+        sram_bits: 2 * (p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: ((p.limitless_pointers + 2) * p.mem_blocks_per_node * p.processors) as u128,
+    }
+}
+
+/// LimitLess directory with pointers charged their real `log2 P` width:
+/// `(i*ceil(log2 P) + 2)` bits per memory block.
+#[must_use]
+pub fn limitless_pointer_width(p: StorageParams) -> StorageOverhead {
+    let ptr_bits = 64 - u64::leading_zeros(p.processors.saturating_sub(1).max(1)) as u64;
+    StorageOverhead {
+        sram_bits: 2 * (p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: ((p.limitless_pointers * ptr_bits + 2) * p.mem_blocks_per_node * p.processors)
+            as u128,
+    }
+}
+
+/// TPI: `b` tag bits per cache *word*, nothing in memory.
+#[must_use]
+pub fn tpi(p: StorageParams) -> StorageOverhead {
+    StorageOverhead {
+        sram_bits: (p.tag_bits * p.line_words * p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure5_magnitudes() {
+        let p = StorageParams::paper_figure5();
+        let fm = full_map(p);
+        // "4MB SRAM": 2 * 16K * 1024 bits = 4 MiB.
+        assert!(
+            (fm.sram_mib() - 4.0).abs() < 0.01,
+            "sram = {} MiB",
+            fm.sram_mib()
+        );
+        // "64.5GB DRAM": (1026) * 512K * 1024 bits ≈ 64.1 GiB.
+        assert!(
+            (fm.dram_gib() - 64.5).abs() < 1.0,
+            "dram = {} GiB",
+            fm.dram_gib()
+        );
+        // "64MB SRAM only" for TPI.
+        let t = tpi(p);
+        assert!(
+            (t.sram_mib() - 64.0).abs() < 0.01,
+            "tpi sram = {} MiB",
+            t.sram_mib()
+        );
+        assert_eq!(t.dram_bits, 0);
+        // LimitLess sits far below the full map.
+        let ll = limitless_as_tabulated(p);
+        assert!(ll.dram_bits < fm.dram_bits / 50);
+        let llw = limitless_pointer_width(p);
+        assert!(llw.dram_bits > ll.dram_bits);
+        assert!(llw.dram_bits < fm.dram_bits / 5);
+    }
+
+    #[test]
+    fn tpi_scales_with_tag_width_and_line_words() {
+        let mut p = StorageParams::paper_figure5();
+        let base = tpi(p).sram_bits;
+        p.tag_bits = 4;
+        assert_eq!(tpi(p).sram_bits, base / 2);
+        p.line_words = 8;
+        assert_eq!(tpi(p).sram_bits, base);
+    }
+
+    #[test]
+    fn full_map_dram_grows_quadratically_in_p() {
+        let mut p = StorageParams::paper_figure5();
+        let d1 = full_map(p).dram_bits;
+        p.processors *= 2;
+        let d2 = full_map(p).dram_bits;
+        assert!(d2 > 3 * d1, "directory DRAM is O(P^2)");
+    }
+}

@@ -1,0 +1,414 @@
+//! Replaying a trace against a coherence engine with cycle accounting.
+//!
+//! The simulator advances one global clock per epoch: within an epoch the
+//! per-processor event streams are interleaved in local-time order (the
+//! processor with the smallest clock executes its next event), which keeps
+//! cross-processor protocol interactions — directory invalidations,
+//! ownership transfers, network load — causally ordered. At the epoch
+//! boundary all processors synchronize at a barrier: the engine adds its
+//! boundary costs (write-buffer drain, two-phase resets), a fixed loop
+//! setup/scheduling overhead is charged, and the network's load estimate is
+//! refreshed from the epoch's traffic.
+
+use std::collections::HashMap;
+use tpi_mem::{Cycle, ProcId};
+use tpi_net::TrafficClass;
+use tpi_proto::CoherenceEngine;
+use tpi_trace::{Event, Trace};
+
+/// Simulator knobs that are not part of the coherence engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Barrier + parallel-loop setup/scheduling cost per epoch.
+    pub epoch_setup_cycles: Cycle,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            epoch_setup_cycles: 100,
+        }
+    }
+}
+
+/// Per-epoch timing/miss profile (for timeline figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochProfile {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Wall-clock cycles the epoch took (including barrier and setup).
+    pub cycles: Cycle,
+    /// Read misses taken during the epoch (all processors).
+    pub misses: u64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheme label.
+    pub scheme: String,
+    /// Total execution time.
+    pub total_cycles: Cycle,
+    /// Per-processor busy time (excludes barrier waiting).
+    pub busy_cycles: Vec<Cycle>,
+    /// Aggregate protocol counters.
+    pub agg: tpi_proto::ProcStats,
+    /// Per-processor protocol counters.
+    pub per_proc: Vec<tpi_proto::ProcStats>,
+    /// Network traffic by class.
+    pub traffic: tpi_net::TrafficStats,
+    /// Write-buffer behaviour (write-through schemes only).
+    pub wbuffer: Option<tpi_cache::WriteBufferStats>,
+    /// Number of epochs executed.
+    pub epochs: u64,
+    /// Lock acquisitions performed.
+    pub lock_acquires: u64,
+    /// Cycles processors spent waiting for contended locks.
+    pub lock_wait_cycles: Cycle,
+    /// Per-epoch timeline.
+    pub profile: Vec<EpochProfile>,
+    /// Read misses attributed to the program array that was accessed,
+    /// sorted descending ("which array causes the misses"). Private-array
+    /// replicas resolve to their declared array.
+    pub miss_by_array: Vec<(String, u64)>,
+}
+
+impl SimResult {
+    /// Aggregate read miss rate.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.agg.miss_rate()
+    }
+
+    /// Aggregate average read-miss latency.
+    #[must_use]
+    pub fn avg_miss_latency(&self) -> f64 {
+        self.agg.avg_miss_latency()
+    }
+
+    /// Speedup of this run relative to `other` (other / self).
+    #[must_use]
+    pub fn speedup_over(&self, other: &SimResult) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            other.total_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Network words per (shared) memory reference — a traffic density
+    /// measure comparable across schemes.
+    #[must_use]
+    pub fn words_per_reference(&self) -> f64 {
+        let refs = self.agg.reads + self.agg.writes;
+        if refs == 0 {
+            0.0
+        } else {
+            self.traffic.total_words() as f64 / refs as f64
+        }
+    }
+}
+
+/// Replays `trace` against `engine`.
+///
+/// # Panics
+///
+/// Panics if the trace was generated for a different processor count than
+/// the engine was built with.
+pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOptions) -> SimResult {
+    let procs = trace.num_procs as usize;
+    assert_eq!(
+        procs,
+        engine.stats().per_proc().len(),
+        "trace and engine disagree on processor count"
+    );
+    let mut global: Cycle = 0;
+    let mut busy = vec![0u64; procs];
+    let mut lock_acquires = 0u64;
+    let mut lock_wait_cycles: Cycle = 0;
+    let mut profile = Vec::with_capacity(trace.epochs.len());
+    let mut array_misses: HashMap<tpi_mem::ArrayId, u64> = HashMap::new();
+
+    for epoch in &trace.epochs {
+        let t0 = global;
+        let misses_before = engine.stats().aggregate().read_misses();
+        let mut clocks = vec![t0; procs];
+        let mut idx = vec![0usize; procs];
+        // Lock state: holder per lock, and what each processor is blocked
+        // on (its Acquire/Wait event stays pending until satisfiable).
+        let mut lock_holder: HashMap<u32, usize> = HashMap::new();
+        // Doacross posts: (event, index) -> post time.
+        let mut posted: HashMap<(u32, i64), Cycle> = HashMap::new();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Block {
+            Lock(u32),
+            Event(u32, i64),
+        }
+        let mut blocked_on: Vec<Option<Block>> = vec![None; procs];
+        // Min-clock interleaving across processors; blocked processors are
+        // ineligible until their lock frees.
+        loop {
+            let mut next: Option<usize> = None;
+            let mut remaining = false;
+            for p in 0..procs {
+                if idx[p] < epoch.per_proc[p].len() {
+                    remaining = true;
+                    let eligible = match blocked_on[p] {
+                        Some(Block::Lock(l)) => !lock_holder.contains_key(&l),
+                        Some(Block::Event(e, k)) => posted.contains_key(&(e, k)),
+                        None => true,
+                    };
+                    if eligible && next.is_none_or(|q: usize| clocks[p] < clocks[q]) {
+                        next = Some(p);
+                    }
+                }
+            }
+            let Some(p) = next else {
+                assert!(
+                    !remaining,
+                    "lock deadlock: events remain but every processor is blocked"
+                );
+                break;
+            };
+            let ev = &epoch.per_proc[p][idx[p]];
+            let now = clocks[p];
+            let spent = match ev {
+                Event::Compute(c) => Cycle::from(*c),
+                Event::Read {
+                    addr,
+                    kind,
+                    version,
+                } => {
+                    let outcome = engine.read(ProcId(p as u32), *addr, *kind, *version, now);
+                    if outcome.miss.is_some() {
+                        // Private replicas live at base + k*span: fold back.
+                        let span = trace.layout.total_words().max(1);
+                        let folded = tpi_mem::WordAddr(addr.0 % span);
+                        if let Some(id) = trace.layout.array_of(folded) {
+                            *array_misses.entry(id).or_insert(0) += 1;
+                        }
+                    }
+                    outcome.stall
+                }
+                Event::Write { addr, version } => {
+                    engine.write(ProcId(p as u32), *addr, *version, now)
+                }
+                Event::CriticalWrite { addr, version } => {
+                    engine.write_critical(ProcId(p as u32), *addr, *version, now)
+                }
+                Event::AcquireLock(l) => {
+                    if lock_holder.contains_key(l) {
+                        // Stay blocked; retry once the holder releases.
+                        blocked_on[p] = Some(Block::Lock(*l));
+                        continue;
+                    }
+                    blocked_on[p] = None;
+                    lock_holder.insert(*l, p);
+                    lock_acquires += 1;
+                    // The acquire itself is an atomic read-modify-write at
+                    // the lock's home memory module.
+                    engine.network_mut().record(TrafficClass::Coherence, 1);
+                    engine.network().word_fetch()
+                }
+                Event::ReleaseLock(l) => {
+                    let holder = lock_holder.remove(l);
+                    debug_assert_eq!(holder, Some(p), "release by non-holder");
+                    // Waiters resume no earlier than the release instant.
+                    for q in 0..procs {
+                        if blocked_on[q] == Some(Block::Lock(*l)) && clocks[q] < now {
+                            lock_wait_cycles += now - clocks[q];
+                            clocks[q] = now;
+                        }
+                    }
+                    engine.network_mut().record(TrafficClass::Coherence, 1);
+                    1
+                }
+                Event::PostEvent { event, index } => {
+                    // The post is a release fence + a flag write at the
+                    // event's home node.
+                    posted.insert((*event, *index), now);
+                    for q in 0..procs {
+                        if blocked_on[q] == Some(Block::Event(*event, *index)) && clocks[q] < now {
+                            lock_wait_cycles += now - clocks[q];
+                            clocks[q] = now;
+                        }
+                    }
+                    engine.network_mut().record(TrafficClass::Coherence, 1);
+                    1
+                }
+                Event::WaitEvent { event, index } => {
+                    match posted.get(&(*event, *index)) {
+                        Some(&t) => {
+                            blocked_on[p] = None;
+                            // Poll of the flag at the event's home node.
+                            engine.network_mut().record(TrafficClass::Coherence, 0);
+                            let stall = now.max(t).saturating_sub(now) + 1;
+                            lock_wait_cycles += stall - 1;
+                            stall
+                        }
+                        None => {
+                            blocked_on[p] = Some(Block::Event(*event, *index));
+                            continue;
+                        }
+                    }
+                }
+            };
+            idx[p] += 1;
+            clocks[p] += spent;
+        }
+        for p in 0..procs {
+            busy[p] += clocks[p] - t0;
+        }
+        let stalls = engine.epoch_boundary(&clocks);
+        let t_end = clocks
+            .iter()
+            .zip(&stalls)
+            .map(|(c, s)| c + s)
+            .max()
+            .unwrap_or(t0)
+            + opts.epoch_setup_cycles;
+        engine.network_mut().end_epoch(t_end - t0);
+        profile.push(EpochProfile {
+            epoch: epoch.epoch.0,
+            cycles: t_end - t0,
+            misses: engine.stats().aggregate().read_misses() - misses_before,
+        });
+        // Serial epochs still synchronize (the paper's master-worker model).
+        let _ = &epoch.kind;
+        global = t_end;
+    }
+
+    let per_proc: Vec<tpi_proto::ProcStats> = engine.stats().per_proc().to_vec();
+    SimResult {
+        scheme: engine.name().to_owned(),
+        total_cycles: global,
+        busy_cycles: busy,
+        agg: engine.stats().aggregate(),
+        per_proc,
+        traffic: *engine.network().stats(),
+        wbuffer: engine.write_buffer_stats(),
+        epochs: trace.epochs.len() as u64,
+        lock_acquires,
+        lock_wait_cycles,
+        profile,
+        miss_by_array: {
+            let mut v: Vec<(String, u64)> = array_misses
+                .into_iter()
+                .map(|(id, n)| (trace.layout.decl(id).name().to_owned(), n))
+                .collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            v
+        },
+    }
+}
+
+/// Checks the bookkeeping identity `hits + misses == reads` per processor
+/// and in aggregate.
+///
+/// # Errors
+///
+/// Returns a description of the first processor whose counters do not add
+/// up.
+pub fn verify_accounting(result: &SimResult) -> Result<(), String> {
+    for (p, s) in result.per_proc.iter().enumerate() {
+        if s.read_hits + s.read_misses() != s.reads {
+            return Err(format!(
+                "P{p}: hits {} + misses {} != reads {}",
+                s.read_hits,
+                s.read_misses(),
+                s.reads
+            ));
+        }
+    }
+    let a = &result.agg;
+    if a.read_hits + a.read_misses() != a.reads {
+        return Err("aggregate accounting mismatch".to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::{mark_program, CompilerOptions};
+    use tpi_ir::{subs, ProgramBuilder};
+    use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+    use tpi_trace::{generate_trace, TraceOptions};
+
+    fn producer_consumer_trace() -> Trace {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [256]);
+        let b = p.shared("B", [256]);
+        let main = p.proc("main", |f| {
+            f.doall(0, 255, |i, f| f.store(a.at(subs![i]), vec![], 2));
+            f.doall(0, 255, |i, f| {
+                f.store(b.at(subs![i]), vec![a.at(subs![i])], 2)
+            });
+        });
+        let prog = p.finish(main).unwrap();
+        let marking = mark_program(&prog, &CompilerOptions::default());
+        generate_trace(&prog, &marking, &TraceOptions::default()).unwrap()
+    }
+
+    fn run(kind: SchemeKind, trace: &Trace) -> SimResult {
+        let cfg = EngineConfig::paper_default(trace.layout.total_words());
+        let mut engine = build_engine(kind, cfg);
+        run_trace(trace, engine.as_mut(), &SimOptions::default())
+    }
+
+    #[test]
+    fn accounting_identity_holds_for_all_schemes() {
+        let trace = producer_consumer_trace();
+        for kind in SchemeKind::MAIN {
+            let r = run(kind, &trace);
+            verify_accounting(&r).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(r.total_cycles > 0);
+            assert_eq!(r.epochs, 2);
+        }
+    }
+
+    #[test]
+    fn scheme_ordering_on_producer_consumer() {
+        let trace = producer_consumer_trace();
+        let base = run(SchemeKind::Base, &trace);
+        let tpi = run(SchemeKind::Tpi, &trace);
+        let hw = run(SchemeKind::FullMap, &trace);
+        // Caching schemes beat no-caching on this kernel.
+        assert!(tpi.total_cycles < base.total_cycles);
+        assert!(hw.total_cycles < base.total_cycles);
+        // TPI and HW are in the same ballpark (the paper's headline).
+        let ratio = tpi.total_cycles as f64 / hw.total_cycles as f64;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "TPI/HW ratio out of band: {ratio} ({} vs {})",
+            tpi.total_cycles,
+            hw.total_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let trace = producer_consumer_trace();
+        let r1 = run(SchemeKind::Tpi, &trace);
+        let r2 = run(SchemeKind::Tpi, &trace);
+        assert_eq!(r1.total_cycles, r2.total_cycles);
+        assert_eq!(r1.traffic, r2.traffic);
+    }
+
+    #[test]
+    fn busy_cycles_do_not_exceed_total() {
+        let trace = producer_consumer_trace();
+        let r = run(SchemeKind::Tpi, &trace);
+        for &b in &r.busy_cycles {
+            assert!(b <= r.total_cycles);
+        }
+    }
+
+    #[test]
+    fn write_through_schemes_report_buffer_stats() {
+        let trace = producer_consumer_trace();
+        assert!(run(SchemeKind::Tpi, &trace).wbuffer.is_some());
+        assert!(run(SchemeKind::Sc, &trace).wbuffer.is_some());
+        assert!(run(SchemeKind::FullMap, &trace).wbuffer.is_none());
+    }
+}

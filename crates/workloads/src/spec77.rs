@@ -1,0 +1,94 @@
+//! SPEC77: spectral global weather model.
+//!
+//! The original alternates Legendre transforms and FFTs over latitude
+//! bands. The coherence-relevant structure modelled here:
+//!
+//! * a coefficient table `P` initialized once and then **broadcast-read by
+//!   every processor in every epoch** — under TPI a verified Time-Read
+//!   re-stamps the word, so the table stays cached across the whole run
+//!   (intertask locality), while SC must bypass on every single read: the
+//!   starkest SC-vs-TPI separation in the suite;
+//! * per-latitude accumulations into the spectral array `S` with row-local
+//!   reuse of the field array `F` (friendly to every caching scheme).
+
+use crate::Scale;
+use tpi_ir::{subs, Program, ProgramBuilder};
+
+/// Builds the SPEC77 kernel.
+#[must_use]
+pub fn build(scale: Scale) -> Program {
+    let (lat, m, steps, inner) = match scale {
+        Scale::Test => (16i64, 8i64, 2i64, 2i64),
+        Scale::Paper => (128, 64, 6, 3),
+    };
+    let mut p = ProgramBuilder::new();
+    let coef = p.shared("P", [m as u64, m as u64]);
+    let field = p.shared("F", [lat as u64, m as u64]);
+    let spec = p.shared("S", [lat as u64, m as u64]);
+    // The two transforms live in their own procedures (as GLOOP/GWATER do
+    // in the original): whole-program analysis must see through the calls
+    // to keep the coefficient table's reuse window open.
+    let legendre = p.proc("legendre", |f| {
+        // Legendre transform: every processor reads the shared table.
+        f.doall(0, lat - 1, |l, f| {
+            f.serial(0, m - 1, |k, f| {
+                f.serial(0, inner - 1, |j, f| {
+                    f.store(
+                        spec.at(subs![l, k]),
+                        vec![field.at(subs![l, j]), coef.at(subs![k, j])],
+                        3,
+                    );
+                });
+            });
+        });
+    });
+    let inverse = p.proc("inverse", |f| {
+        // Inverse transform: row-local consumption of S.
+        f.doall(0, lat - 1, |l, f| {
+            f.serial(0, m - 2, |k, f| {
+                f.store(
+                    field.at(subs![l, k]),
+                    vec![spec.at(subs![l, k]), spec.at(subs![l, k + 1])],
+                    3,
+                );
+            });
+        });
+    });
+    let main = p.proc("main", |f| {
+        // Coefficient table first, then the field: the extra epoch between
+        // the table's writer and its first reader keeps the Time-Read
+        // window (distance 2) as wide as the loop period.
+        f.doall(0, m - 1, |k, f| {
+            f.serial(0, m - 1, |j, f| f.store(coef.at(subs![k, j]), vec![], 2));
+        });
+        f.doall(0, lat - 1, |l, f| {
+            f.serial(0, m - 1, |k, f| f.store(field.at(subs![l, k]), vec![], 2));
+        });
+        f.serial(0, steps - 1, |_t, f| {
+            f.call(legendre);
+            f.call(inverse);
+        });
+    });
+    p.finish(main).expect("SPEC77 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::{mark_program, CompilerOptions};
+
+    #[test]
+    fn table_reads_marked_with_window_at_least_period() {
+        let prog = build(Scale::Test);
+        let m = mark_program(&prog, &CompilerOptions::default());
+        // The loop body has 2 epochs; the coefficient reads must carry a
+        // distance >= 2 so the verified-hit re-stamping can keep the table
+        // alive from one step to the next.
+        let s = m.summary();
+        assert!(
+            s.distance_histogram.keys().any(|&d| d >= 2),
+            "need a >=2 window: {:?}",
+            s.distance_histogram
+        );
+    }
+}

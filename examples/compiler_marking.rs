@@ -1,0 +1,103 @@
+//! Watch the compiler work: build the paper's running example and print
+//! every marking decision.
+//!
+//! The program mirrors the paper's Figure 1/2 discussion: a producer epoch,
+//! an unrelated epoch, consumers at different distances, a same-epoch
+//! neighbour read, and an unanalyzable subscript. The example prints the
+//! program, then each read site's verdict under full, intraprocedural, and
+//! naive analysis.
+//!
+//! ```text
+//! cargo run --example compiler_marking
+//! ```
+
+use tpi_compiler::{mark_program, CompilerOptions, OptLevel};
+use tpi_ir::{display, subs, ProgramBuilder, RefSite, StmtId};
+use tpi_mem::ReadKind;
+
+fn main() {
+    let n = 63i64;
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [64]);
+    let b = p.shared("B", [64]);
+    let c = p.shared("C", [65]);
+    let helper = p.proc("writes_only_b", |f| {
+        f.doall(0, n, |i, f| f.store(b.at(subs![i]), vec![], 1));
+    });
+    let main = p.proc("main", |f| {
+        // Epoch 0: produce A.
+        f.doall(0, n, |i, f| f.store(a.at(subs![i]), vec![], 1)); // S1
+                                                                  // Epoch 1: a call that writes only B.
+        f.call(helper);
+        // Epoch 2: consume A (distance 2 across the call), read C with a
+        // same-epoch neighbour conflict, and re-read A (covered).
+        let gather = f.opaque();
+        f.doall(0, n, |i, f| {
+            f.store(c.at(subs![i]), vec![a.at(subs![i]), c.at(subs![i + 1])], 2); // S2: reads A(i) d=2, C(i+1) d=0
+            f.load(vec![a.at(subs![i])], 1); // S3: covered -> plain
+            f.load(vec![b.at(subs![gather])], 1); // S4: opaque gather of B
+        });
+    });
+    let prog = p.finish(main).expect("valid program");
+    println!("{}", display::program_to_string(&prog));
+
+    let sites: [(&str, RefSite); 4] = [
+        (
+            "S2 reads A(i)   ",
+            RefSite {
+                stmt: StmtId(2),
+                idx: 0,
+            },
+        ),
+        (
+            "S2 reads C(i+1) ",
+            RefSite {
+                stmt: StmtId(2),
+                idx: 1,
+            },
+        ),
+        (
+            "S3 reads A(i)   ",
+            RefSite {
+                stmt: StmtId(3),
+                idx: 0,
+            },
+        ),
+        (
+            "S4 reads B(f(i))",
+            RefSite {
+                stmt: StmtId(4),
+                idx: 0,
+            },
+        ),
+    ];
+
+    for level in [OptLevel::Full, OptLevel::Intra, OptLevel::Naive] {
+        let marking = mark_program(&prog, &CompilerOptions { level });
+        println!("--- analysis level: {level} ---");
+        for (label, site) in sites {
+            let verdict = match marking.tpi_kind(site) {
+                ReadKind::Plain => "plain (never stale)".to_string(),
+                ReadKind::TimeRead { distance } => {
+                    format!("Time-Read, window {distance} epoch(s)")
+                }
+                ReadKind::Bypass => "bypass".to_string(),
+                ReadKind::Critical => "critical (uncached)".to_string(),
+            };
+            let reason = marking
+                .decision(site)
+                .map_or("-".to_string(), |d| format!("{:?}", d.reason));
+            println!("  {label} -> {verdict:<28} [{reason}]");
+        }
+        let s = marking.summary();
+        println!(
+            "  total: {} shared reads, {} marked, {} plain\n",
+            s.shared_reads, s.marked, s.plain
+        );
+    }
+    println!(
+        "Full analysis keeps the A-reuse window open across the call (it\n\
+         knows the callee writes only B); intraprocedural analysis collapses\n\
+         it to one epoch; naive marking forces distance 0 everywhere."
+    );
+}

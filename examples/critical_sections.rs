@@ -1,0 +1,109 @@
+//! Section 5: critical sections and lock variables on an HSCD machine.
+//!
+//! Compares two ways of building a shared histogram: a lock-guarded
+//! critical section per element (serialized, uncached access under TPI)
+//! versus privatized per-processor bins merged in a final pass (the
+//! restructuring the paper's compiler-centric world view encourages).
+//!
+//! ```text
+//! cargo run --release --example critical_sections
+//! ```
+
+use tpi::tables::{pct, Table};
+use tpi::{run_program, ExperimentConfig};
+use tpi_ir::{subs, Program, ProgramBuilder};
+use tpi_proto::SchemeKind;
+
+const N: i64 = 4096;
+const BINS: u64 = 64;
+
+/// Histogram via a single lock around every update.
+fn locked_histogram() -> Program {
+    let mut p = ProgramBuilder::new();
+    let hist = p.shared("HIST", [BINS]);
+    let data = p.shared("DATA", [N as u64]);
+    let lock = p.lock();
+    let main = p.proc("main", |f| {
+        f.doall(0, N - 1, |i, f| f.store(data.at(subs![i]), vec![], 2));
+        let bin = f.opaque();
+        f.doall(0, N - 1, |i, f| {
+            f.critical(lock, |f| {
+                f.store(
+                    hist.at(subs![bin]),
+                    vec![hist.at(subs![bin]), data.at(subs![i])],
+                    3,
+                );
+            });
+        });
+    });
+    p.finish(main).expect("valid")
+}
+
+/// Histogram via privatized bins plus a merge epoch.
+fn privatized_histogram() -> Program {
+    let mut p = ProgramBuilder::new();
+    let hist = p.shared("HIST", [BINS]);
+    // One bin row per processor block; merged in a second parallel pass.
+    let parts = p.shared("PARTS", [16, BINS]);
+    let data = p.shared("DATA", [N as u64]);
+    let main = p.proc("main", |f| {
+        f.doall(0, N - 1, |i, f| f.store(data.at(subs![i]), vec![], 2));
+        // Each of the 16 blocks accumulates into its own row.
+        let bin = f.opaque();
+        f.doall(0, 15, |b, f| {
+            f.serial(0, N / 16 - 1, |k, f| {
+                f.store(
+                    parts.at(subs![b, bin]),
+                    vec![
+                        parts.at(subs![b, bin]),
+                        data.at(subs![
+                            tpi_ir::Affine::var(b) * (N / 16) + tpi_ir::Affine::var(k)
+                        ]),
+                    ],
+                    3,
+                );
+            });
+        });
+        // Merge: one bin per iteration, reading every block's row.
+        f.doall(0, BINS as i64 - 1, |j, f| {
+            f.serial(0, 15, |b, f| {
+                f.store(
+                    hist.at(subs![j]),
+                    vec![hist.at(subs![j]), parts.at(subs![b, j])],
+                    2,
+                );
+            });
+        });
+    });
+    p.finish(main).expect("valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut t = Table::new("Shared histogram, 4096 updates into 64 bins, 16 processors");
+    t.headers(["variant", "scheme", "cycles", "miss rate", "lock waits"]);
+    for (name, prog) in [
+        ("locked", locked_histogram()),
+        ("privatized", privatized_histogram()),
+    ] {
+        for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+            let mut cfg = ExperimentConfig::paper();
+            cfg.scheme = scheme;
+            let r = run_program(&prog, &cfg)?;
+            t.row([
+                name.to_string(),
+                scheme.label().to_string(),
+                r.sim.total_cycles.to_string(),
+                pct(r.sim.miss_rate()),
+                r.sim.lock_wait_cycles.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "The lock serializes the machine regardless of coherence scheme; the\n\
+         privatized version runs at memory speed. Section 5's point: an HSCD\n\
+         machine handles critical sections correctly (uncached, lock-ordered\n\
+         access), but the compiler should privatize whenever it can."
+    );
+    Ok(())
+}

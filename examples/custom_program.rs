@@ -1,0 +1,76 @@
+//! The full user journey: build a program with the builder API, export it
+//! to the textual format, re-parse it, watch the compiler mark it, and
+//! simulate it under every scheme with the canned report tables.
+//!
+//! ```text
+//! cargo run --release --example custom_program
+//! ```
+
+use tpi::{report, run_program, ExperimentConfig};
+use tpi_ir::{parse_program, program_to_source, subs, ProgramBuilder};
+use tpi_proto::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build: a red-black Gauss–Seidel sweep (disjoint strided sections:
+    //    the red pass and black pass never conflict within an epoch).
+    let n = 128i64;
+    let mut p = ProgramBuilder::new();
+    let u = p.shared("U", [n as u64 + 2]);
+    let main = p.proc("main", |f| {
+        f.doall(0, n + 1, |i, f| f.store(u.at(subs![i]), vec![], 1));
+        f.serial(0, 7, |_t, f| {
+            // Red points (odd indices) from black neighbours.
+            f.doall_step(1, n, 2, |i, f| {
+                f.store(
+                    u.at(subs![i]),
+                    vec![u.at(subs![i - 1]), u.at(subs![i + 1])],
+                    3,
+                );
+            });
+            // Black points (even indices) from red neighbours.
+            f.doall_step(2, n, 2, |i, f| {
+                f.store(
+                    u.at(subs![i]),
+                    vec![u.at(subs![i - 1]), u.at(subs![i + 1])],
+                    3,
+                );
+            });
+        });
+    });
+    let program = p.finish(main)?;
+
+    // 2. Export + re-parse: the textual format is a faithful interchange.
+    let source = program_to_source(&program);
+    println!("--- exported source ---\n{source}");
+    let program = parse_program(&source)?;
+
+    // 3. Simulate under every scheme and print the canonical reports.
+    let mut results = Vec::new();
+    for scheme in SchemeKind::MAIN {
+        let mut cfg = ExperimentConfig::paper();
+        cfg.scheme = scheme;
+        results.push((scheme.label(), run_program(&program, &cfg)?));
+    }
+    let rows: Vec<(&str, &tpi::ExperimentResult)> = results.iter().map(|(l, r)| (*l, r)).collect();
+    println!(
+        "{}",
+        report::scheme_comparison("Red-black Gauss-Seidel, 128 points, 16 processors", &rows)
+    );
+    let tpi_result = &results.iter().find(|(l, _)| *l == "TPI").unwrap().1;
+    println!(
+        "{}",
+        report::marking_summary("Compiler marking (TPI)", tpi_result)
+    );
+    println!(
+        "{}",
+        report::miss_classes("TPI misses by cause", tpi_result)
+    );
+    println!("{}", report::hot_arrays("Hot arrays", tpi_result, 4));
+    println!(
+        "The red/black passes read only the opposite colour — the section\n\
+         analysis proves the strided sets disjoint within each epoch, so\n\
+         every halo read gets a one-epoch Time-Read window instead of the\n\
+         conservative distance 0."
+    );
+    Ok(())
+}

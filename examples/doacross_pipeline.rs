@@ -1,0 +1,108 @@
+//! Section 5: pipelined (doacross) loops via post/wait events.
+//!
+//! A 2-D wavefront — cell `(i, j)` depends on `(i-1, j)` — is parallelized
+//! over rows with post/wait synchronization at a configurable column
+//! granularity. Fine-grained posts fill the pipeline quickly but pay a
+//! synchronization per block; coarse posts amortize synchronization but
+//! leave processors waiting at the start. The sweep exposes the classic
+//! granularity optimum.
+//!
+//! ```text
+//! cargo run --release --example doacross_pipeline
+//! ```
+
+use tpi::tables::Table;
+use tpi::{run_program, ExperimentConfig};
+use tpi_ir::{subs, Cond, Program, ProgramBuilder};
+use tpi_proto::SchemeKind;
+
+const N: i64 = 64;
+
+/// Builds the row-pipelined wavefront with posts every `g` columns.
+fn pipeline(g: i64) -> Program {
+    let mut p = ProgramBuilder::new();
+    let x = p.shared("X", [N as u64, N as u64]);
+    let ev = p.event();
+    let main = p.proc("main", |f| {
+        f.doall(0, N - 1, |i, f| {
+            f.serial(0, N - 1, |j, f| f.store(x.at(subs![i, j]), vec![], 1));
+        });
+        f.doall(0, N - 1, |i, f| {
+            f.serial_step(0, N - 1, g, |jj, f| {
+                f.if_else(
+                    // Row 0 has no predecessor.
+                    Cond::EveryN {
+                        var: i,
+                        modulus: i64::MAX,
+                        phase: 0,
+                    },
+                    |f| {
+                        f.serial(jj, jj + g - 1, |j, f| {
+                            f.store(x.at(subs![i, j]), vec![x.at(subs![i, j])], 4);
+                        });
+                    },
+                    |f| {
+                        f.wait(ev, (i - 1) * N + jj);
+                        f.serial(jj, jj + g - 1, |j, f| {
+                            f.store(
+                                x.at(subs![i, j]),
+                                vec![x.at(subs![i - 1, j]), x.at(subs![i, j])],
+                                4,
+                            );
+                        });
+                    },
+                );
+                f.post(ev, i * N + jj);
+            });
+        });
+    });
+    p.finish(main).expect("pipeline is well-formed")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.scheme = SchemeKind::Tpi;
+    let mut t = Table::new(format!(
+        "{N}x{N} wavefront on 16 processors under TPI, varying post granularity"
+    ));
+    t.headers(["post every", "cycles", "posts", "wait cycles"]);
+    for g in [2i64, 4, 8, 16, 32, 64] {
+        let r = run_program(&pipeline(g), &cfg)?;
+        t.row([
+            format!("{g} cols"),
+            r.sim.total_cycles.to_string(),
+            r.trace.posts.to_string(),
+            r.sim.lock_wait_cycles.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // The schedule matters even more than the granularity: block
+    // scheduling serializes consecutive rows on one processor, while
+    // cyclic scheduling hands row i-1's consumer to the next processor —
+    // the textbook doacross mapping.
+    let mut ts = Table::new("Same wavefront (post every 8), varying the DOALL schedule");
+    ts.headers(["schedule", "cycles", "wait cycles"]);
+    for (name, policy) in [
+        ("static-block", tpi_trace::SchedulePolicy::StaticBlock),
+        ("static-cyclic", tpi_trace::SchedulePolicy::StaticCyclic),
+    ] {
+        let mut c = cfg;
+        c.policy = policy;
+        let r = run_program(&pipeline(8), &c)?;
+        ts.row([
+            name.to_string(),
+            r.sim.total_cycles.to_string(),
+            r.sim.lock_wait_cycles.to_string(),
+        ]);
+    }
+    println!("{ts}");
+    println!(
+        "Small blocks start the pipeline early but synchronize constantly;\n\
+         one big block degenerates to serial execution of the rows. The HSCD\n\
+         machine supports the whole spectrum: post fences the producer's\n\
+         write-through stores, wait orders the consumer, and the consumer's\n\
+         distance-0 Time-Reads fetch the freshly published cells."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Run the full benchmark suite under all four coherence schemes and
+//! print the paper's headline comparison (miss rates and execution times).
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison [--paper]
+//! ```
+//!
+//! Uses test-scale inputs by default so it finishes in seconds; pass
+//! `--paper` for the evaluation-scale inputs.
+
+use tpi::tables::{pct, Table};
+use tpi::{run_kernel, ExperimentConfig};
+use tpi_proto::SchemeKind;
+use tpi_workloads::{Kernel, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    let mut misses = Table::new("Read miss rates");
+    misses.headers(["bench", "BASE", "SC", "TPI", "HW"]);
+    let mut times = Table::new("Execution time, normalized to the full-map directory");
+    times.headers(["bench", "BASE", "SC", "TPI", "HW"]);
+
+    for kernel in Kernel::ALL {
+        let mut miss_row = vec![kernel.name().to_string()];
+        let mut cycles = Vec::new();
+        for scheme in SchemeKind::MAIN {
+            let mut cfg = ExperimentConfig::paper();
+            cfg.scheme = scheme;
+            let r = run_kernel(kernel, scale, &cfg)?;
+            miss_row.push(pct(r.sim.miss_rate()));
+            cycles.push(r.sim.total_cycles);
+        }
+        misses.row(miss_row);
+        let hw = cycles[3].max(1) as f64;
+        let mut time_row = vec![kernel.name().to_string()];
+        for c in cycles {
+            time_row.push(format!("{:.2}", c as f64 / hw));
+        }
+        times.row(time_row);
+    }
+    println!("{misses}");
+    println!("{times}");
+    println!(
+        "Shape check (the paper's conclusion): TPI tracks HW closely on every\n\
+         benchmark while SC and BASE trail far behind — coherence from compiler\n\
+         knowledge plus per-word timetags, with zero directory storage."
+    );
+    Ok(())
+}

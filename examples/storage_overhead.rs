@@ -1,0 +1,46 @@
+//! Figure 5: why a full-map directory cannot scale to 1024 processors,
+//! and what TPI costs instead.
+//!
+//! ```text
+//! cargo run --example storage_overhead
+//! ```
+
+use tpi::tables::{f, Table};
+use tpi_proto::storage::{
+    full_map, limitless_as_tabulated, limitless_pointer_width, tpi, StorageParams,
+};
+
+fn main() {
+    let p = StorageParams::paper_figure5();
+    let mut t = Table::new(format!(
+        "Bookkeeping storage, P={}, {}-line node caches, {}K memory blocks/node",
+        p.processors,
+        p.cache_lines_per_node,
+        p.mem_blocks_per_node / 1024
+    ));
+    t.headers(["scheme", "SRAM (MiB)", "DRAM (GiB)"]);
+    for (name, o) in [
+        ("full-map directory", full_map(p)),
+        ("LimitLess i=10 (as tabulated)", limitless_as_tabulated(p)),
+        ("LimitLess i=10 (pointer-width)", limitless_pointer_width(p)),
+        ("TPI, 8-bit timetags", tpi(p)),
+    ] {
+        t.row([name.to_string(), f(o.sram_mib(), 2), f(o.dram_gib(), 2)]);
+    }
+    println!("{t}");
+
+    let mut sweep = Table::new("TPI tag SRAM vs timetag width (P=1024)");
+    sweep.headers(["tag bits", "SRAM (MiB)"]);
+    for bits in [2u64, 4, 8, 16] {
+        let mut pp = p;
+        pp.tag_bits = bits;
+        sweep.row([format!("{bits}"), f(tpi(pp).sram_mib(), 2)]);
+    }
+    println!("{sweep}");
+    println!(
+        "TPI trades ~{:.0} GiB of directory DRAM for {:.0} MiB of cache tag\n\
+         SRAM — storage proportional to cache size, not memory size.",
+        full_map(p).dram_gib(),
+        tpi(p).sram_mib()
+    );
+}

@@ -1,0 +1,57 @@
+//! Section 5 of the paper: TPI under dynamic scheduling and task
+//! migration.
+//!
+//! The compiler never knows which processor runs which DOALL iteration, so
+//! its marking must stay sound under *any* schedule — including chunks that
+//! migrate between processors mid-epoch. This example runs QCD2 under four
+//! schedules; the simulator's shadow versions verify every verified hit
+//! really observed fresh data (a violation would panic in debug builds).
+//!
+//! ```text
+//! cargo run --release --example task_migration
+//! ```
+
+use tpi::tables::{pct, Table};
+use tpi::{run_kernel, ExperimentConfig};
+use tpi_proto::SchemeKind;
+use tpi_trace::SchedulePolicy;
+use tpi_workloads::{Kernel, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = Kernel::Qcd2;
+    let policies: [(&str, SchedulePolicy); 4] = [
+        ("static-block", SchedulePolicy::StaticBlock),
+        ("static-cyclic", SchedulePolicy::StaticCyclic),
+        ("dynamic (chunk 4)", SchedulePolicy::Dynamic { chunk: 4 }),
+        (
+            "dynamic + migration",
+            SchedulePolicy::DynamicMigrating {
+                chunk: 4,
+                migrate_per_1024: 256,
+            },
+        ),
+    ];
+    let mut t = Table::new(format!("{kernel} under TPI, varying the DOALL schedule"));
+    t.headers(["schedule", "cycles", "miss rate", "conservative share"]);
+    for (name, policy) in policies {
+        let mut cfg = ExperimentConfig::paper();
+        cfg.scheme = SchemeKind::Tpi;
+        cfg.policy = policy;
+        let r = run_kernel(kernel, Scale::Paper, &cfg)?;
+        let cons = r.sim.agg.misses(tpi_proto::MissClass::Conservative) as f64
+            / r.sim.agg.read_misses().max(1) as f64;
+        t.row([
+            name.to_string(),
+            r.sim.total_cycles.to_string(),
+            pct(r.sim.miss_rate()),
+            pct(cons),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Locality-oblivious schedules cost misses (the compiler marking stays\n\
+         sound either way): exactly the trade-off Section 5 discusses for\n\
+         dynamic scheduling and task migration on an HSCD machine."
+    );
+    Ok(())
+}

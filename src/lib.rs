@@ -1,0 +1,8 @@
+//! Root package of the TPI reproduction workspace.
+//!
+//! The library code lives in the `crates/` members; this package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). See `README.md` for the map of the workspace and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use tpi;

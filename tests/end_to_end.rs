@@ -1,0 +1,150 @@
+//! Cross-crate integration: the full pipeline (IR → compiler → trace →
+//! engine → timing) on every benchmark under every scheme.
+
+use tpi::{run_kernel, ExperimentConfig};
+use tpi_proto::{MissClass, SchemeKind};
+use tpi_workloads::{Kernel, Scale};
+
+fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper();
+    c.scheme = scheme;
+    c
+}
+
+#[test]
+fn every_kernel_runs_under_every_scheme() {
+    for kernel in Kernel::ALL {
+        for scheme in SchemeKind::MAIN {
+            let r = run_kernel(kernel, Scale::Test, &cfg(scheme))
+                .unwrap_or_else(|e| panic!("{kernel}/{scheme}: {e}"));
+            assert!(r.sim.total_cycles > 0);
+            assert!(r.sim.agg.reads > 0);
+            // Classification invariant: every miss has exactly one class.
+            assert_eq!(
+                r.sim.agg.read_hits + r.sim.agg.read_misses(),
+                r.sim.agg.reads,
+                "{kernel}/{scheme}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    for scheme in SchemeKind::MAIN {
+        let a = run_kernel(Kernel::Qcd2, Scale::Test, &cfg(scheme)).unwrap();
+        let b = run_kernel(Kernel::Qcd2, Scale::Test, &cfg(scheme)).unwrap();
+        assert_eq!(a.sim.total_cycles, b.sim.total_cycles, "{scheme}");
+        assert_eq!(a.sim.traffic, b.sim.traffic, "{scheme}");
+        assert_eq!(a.sim.agg, b.sim.agg, "{scheme}");
+    }
+}
+
+#[test]
+fn base_never_caches_shared_data() {
+    for kernel in Kernel::ALL {
+        let r = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Base)).unwrap();
+        // All shared reads are uncached remote accesses.
+        assert!(r.sim.agg.misses(MissClass::Uncached) > 0, "{kernel}");
+        assert_eq!(
+            r.sim.agg.misses(MissClass::CoherenceTrue)
+                + r.sim.agg.misses(MissClass::FalseSharing)
+                + r.sim.agg.misses(MissClass::Conservative),
+            0,
+            "{kernel}: BASE has no coherence misses"
+        );
+    }
+}
+
+#[test]
+fn tpi_has_no_false_sharing_and_hw_has_no_conservative_misses() {
+    for kernel in Kernel::ALL {
+        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+        assert_eq!(
+            t.sim.agg.misses(MissClass::FalseSharing),
+            0,
+            "{kernel}: word-granular TPI cannot false-share"
+        );
+        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        assert_eq!(
+            h.sim.agg.misses(MissClass::Conservative),
+            0,
+            "{kernel}: the directory never guesses conservatively"
+        );
+        assert_eq!(
+            h.sim.agg.misses(MissClass::Reset),
+            0,
+            "{kernel}: the directory has no timetags to reset"
+        );
+    }
+}
+
+#[test]
+fn tpi_and_hw_beat_base_and_sc_everywhere() {
+    for kernel in Kernel::ALL {
+        let cycles: Vec<u64> = SchemeKind::MAIN
+            .iter()
+            .map(|&s| {
+                run_kernel(kernel, Scale::Test, &cfg(s))
+                    .unwrap()
+                    .sim
+                    .total_cycles
+            })
+            .collect();
+        let (base, sc, tpi, hw) = (cycles[0], cycles[1], cycles[2], cycles[3]);
+        assert!(tpi < base, "{kernel}: TPI {tpi} vs BASE {base}");
+        assert!(hw < base, "{kernel}: HW {hw} vs BASE {base}");
+        assert!(tpi <= sc, "{kernel}: TPI {tpi} vs SC {sc}");
+    }
+}
+
+#[test]
+fn headline_tpi_comparable_to_hw() {
+    // "the performance of the proposed HSCD scheme can be comparable to
+    // that of a full-map hardware directory scheme"
+    for kernel in Kernel::ALL {
+        let tpi = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        let ratio = tpi.sim.total_cycles as f64 / hw.sim.total_cycles as f64;
+        assert!(
+            (0.3..=2.5).contains(&ratio),
+            "{kernel}: TPI/HW = {ratio:.2} out of the comparable band"
+        );
+    }
+}
+
+#[test]
+fn sc_bypasses_lose_intertask_locality_on_broadcast_tables() {
+    // SPEC77's coefficient table: TPI keeps it cached, SC re-fetches it on
+    // every single read.
+    let tpi = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+    let sc = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeKind::Sc)).unwrap();
+    assert!(
+        sc.sim.miss_rate() > 4.0 * tpi.sim.miss_rate(),
+        "SC {:.3} vs TPI {:.3}",
+        sc.sim.miss_rate(),
+        tpi.sim.miss_rate()
+    );
+}
+
+#[test]
+fn trfd_write_traffic_dominates_under_tpi() {
+    use tpi_net::TrafficClass;
+    let tpi = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+    let hw = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+    assert!(
+        tpi.sim.traffic.words(TrafficClass::Write) > 2 * hw.sim.traffic.words(TrafficClass::Write),
+        "write-through TPI must emit far more write traffic on TRFD: {} vs {}",
+        tpi.sim.traffic.words(TrafficClass::Write),
+        hw.sim.traffic.words(TrafficClass::Write)
+    );
+}
+
+#[test]
+fn marking_summary_reaches_result() {
+    let r = run_kernel(Kernel::Ocean, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+    assert!(r.marking.shared_reads > 0);
+    assert!(r.marking.marked > 0);
+    assert_eq!(r.marking.marked + r.marking.plain, r.marking.shared_reads);
+    assert!(r.trace.epochs > 0);
+}

@@ -1,0 +1,133 @@
+//! Shape-regression tests: the qualitative claims recorded in
+//! EXPERIMENTS.md, pinned as assertions so refactors cannot silently bend
+//! the reproduction's conclusions.
+//!
+//! The fast subset runs at test scale in the normal suite; the full
+//! paper-scale sweep is `#[ignore]`d (run with `cargo test -- --ignored`,
+//! ~1 minute in release).
+
+use tpi::{run_kernel, ExperimentConfig};
+use tpi_proto::storage::{full_map, tpi as tpi_storage, StorageParams};
+use tpi_proto::{MissClass, SchemeKind};
+use tpi_workloads::{Kernel, Scale};
+
+fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper();
+    c.scheme = scheme;
+    c
+}
+
+#[test]
+fn figure5_storage_claims() {
+    // "4MB SRAM / 64.5GB DRAM" for the full map; "64MB SRAM only" for TPI.
+    let p = StorageParams::paper_figure5();
+    assert!((full_map(p).sram_mib() - 4.0).abs() < 0.05);
+    assert!((full_map(p).dram_gib() - 64.5).abs() < 1.0);
+    assert!((tpi_storage(p).sram_mib() - 64.0).abs() < 0.05);
+    assert_eq!(tpi_storage(p).dram_bits, 0);
+}
+
+#[test]
+fn headline_geomean_band_test_scale() {
+    // EXPERIMENTS.md E7: TPI within a modest factor of HW in geometric
+    // mean, SC and BASE far behind.
+    let mut logs = [0.0f64; 3]; // BASE, SC, TPI (normalized to HW)
+    for kernel in Kernel::ALL {
+        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap))
+            .unwrap()
+            .sim
+            .total_cycles
+            .max(1) as f64;
+        for (i, s) in [SchemeKind::Base, SchemeKind::Sc, SchemeKind::Tpi]
+            .into_iter()
+            .enumerate()
+        {
+            let c = run_kernel(kernel, Scale::Test, &cfg(s))
+                .unwrap()
+                .sim
+                .total_cycles as f64;
+            logs[i] += (c / hw).ln();
+        }
+    }
+    let n = Kernel::ALL.len() as f64;
+    let (base, sc, tpi) = (
+        (logs[0] / n).exp(),
+        (logs[1] / n).exp(),
+        (logs[2] / n).exp(),
+    );
+    assert!(
+        tpi < 1.8,
+        "TPI geomean {tpi:.2}x must stay comparable to HW"
+    );
+    assert!(
+        sc > 2.0 * tpi,
+        "SC geomean {sc:.2}x must trail TPI far behind"
+    );
+    assert!(
+        base > 2.0 * tpi,
+        "BASE geomean {base:.2}x must trail TPI far behind"
+    );
+}
+
+#[test]
+fn unnecessary_miss_mechanism_swap() {
+    // E4: TPI's unnecessary misses are compiler conservatism, never false
+    // sharing; HW's are false sharing, never conservatism.
+    for kernel in Kernel::ALL {
+        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+        assert_eq!(t.sim.agg.misses(MissClass::FalseSharing), 0, "{kernel}");
+        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        assert_eq!(h.sim.agg.misses(MissClass::Conservative), 0, "{kernel}");
+    }
+}
+
+#[test]
+#[ignore = "paper-scale shape sweep (~1 min in release); run with --ignored"]
+fn paper_scale_shapes() {
+    // E3/E7 at evaluation scale: the bands recorded in EXPERIMENTS.md.
+    for kernel in Kernel::ALL {
+        let hw = run_kernel(kernel, Scale::Paper, &cfg(SchemeKind::FullMap)).unwrap();
+        let tpi = run_kernel(kernel, Scale::Paper, &cfg(SchemeKind::Tpi)).unwrap();
+        let ratio = tpi.sim.total_cycles as f64 / hw.sim.total_cycles.max(1) as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{kernel}: TPI/HW = {ratio:.2} out of the E7 band"
+        );
+        // E5 shape: TPI's average miss latency stays in a flat band around
+        // the loaded two-hop fetch.
+        let lat = tpi.sim.avg_miss_latency();
+        assert!(
+            (100.0..160.0).contains(&lat),
+            "{kernel}: TPI avg miss latency {lat:.1} left the flat band"
+        );
+    }
+    // E12: the coalescing buffer eliminates a large share of TRFD's write
+    // traffic.
+    use tpi_net::TrafficClass;
+    let mut c = cfg(SchemeKind::Tpi);
+    let fifo = run_kernel(Kernel::Trfd, Scale::Paper, &c).unwrap();
+    c.wbuffer = tpi_cache::WriteBufferKind::Coalescing;
+    let coal = run_kernel(Kernel::Trfd, Scale::Paper, &c).unwrap();
+    let saved = 1.0
+        - coal.sim.traffic.words(TrafficClass::Write) as f64
+            / fifo.sim.traffic.words(TrafficClass::Write).max(1) as f64;
+    assert!(
+        saved > 0.4,
+        "TRFD write-word elimination {saved:.2} below the E12 band"
+    );
+    // E8: tiny tags stay within a percent of 8-bit tags.
+    let mut c2 = cfg(SchemeKind::Tpi);
+    let full = run_kernel(Kernel::Qcd2, Scale::Paper, &c2)
+        .unwrap()
+        .sim
+        .total_cycles;
+    c2.tag_bits = 2;
+    let tiny = run_kernel(Kernel::Qcd2, Scale::Paper, &c2)
+        .unwrap()
+        .sim
+        .total_cycles;
+    assert!(
+        (tiny as f64 / full as f64) < 1.05,
+        "2-bit tags cost more than the E8 band allows"
+    );
+}

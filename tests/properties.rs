@@ -1,0 +1,282 @@
+//! Property-based soundness: random DOALL programs, every scheme, every
+//! schedule.
+//!
+//! The generator produces arbitrary (but race-free by construction)
+//! parallel programs: random epoch sequences, serial loops around them,
+//! branches, owner-computes DOALL writes, shifted and opaque reads, and
+//! serial epochs touching arbitrary elements. For every generated program
+//! the real compiler computes Time-Read distances and the real engines
+//! replay the trace; the TPI/SC engines `debug_assert` on every hit that
+//! the observed data version is exactly what the execution requires, and
+//! the directory engine's cross-invariants are checked after the run. Any
+//! unsoundness anywhere in the stack fails these tests.
+
+use proptest::prelude::*;
+use tpi_compiler::{mark_program, CompilerOptions, OptLevel};
+use tpi_ir::{subs, Cond, Program, ProgramBuilder};
+use tpi_proto::{build_engine, DirectoryEngine, EngineConfig, SchemeKind};
+use tpi_sim::{run_trace, verify_accounting, SimOptions};
+use tpi_trace::{generate_trace, SchedulePolicy, TraceOptions};
+
+const N_ITER: i64 = 31; // DOALL range 0..=31
+const ARR: u64 = 40; // array extent (>= N_ITER + max shift + 1)
+const N_ARRAYS: usize = 3;
+
+/// One read in a DOALL body.
+#[derive(Debug, Clone)]
+struct ReadSpec {
+    array: usize,
+    shift: i64,
+    opaque: bool,
+}
+
+/// One epoch-to-be.
+#[derive(Debug, Clone)]
+enum SegSpec {
+    /// `doall i: A_w[i] = f(reads...)` — owner-computes, race-free.
+    Doall { write: usize, reads: Vec<ReadSpec> },
+    /// Serial epoch touching fixed elements on processor 0.
+    Serial { accesses: Vec<(usize, i64, bool)> },
+}
+
+#[derive(Debug, Clone)]
+struct ProgSpec {
+    head: Vec<SegSpec>,
+    body: Vec<(SegSpec, Option<SegSpec>)>, // (item, Some(else) => branch)
+    iters: i64,
+    tail: Vec<SegSpec>,
+}
+
+fn read_spec() -> impl Strategy<Value = ReadSpec> {
+    (0..N_ARRAYS, 0..5i64, prop::bool::weighted(0.15)).prop_map(|(array, shift, opaque)| ReadSpec {
+        array,
+        shift,
+        opaque,
+    })
+}
+
+fn seg_spec() -> impl Strategy<Value = SegSpec> {
+    prop_oneof![
+        4 => (0..N_ARRAYS, prop::collection::vec(read_spec(), 0..3))
+            .prop_map(|(write, reads)| SegSpec::Doall { write, reads }),
+        1 => prop::collection::vec((0..N_ARRAYS, 0..ARR as i64, any::<bool>()), 1..4)
+            .prop_map(|accesses| SegSpec::Serial { accesses }),
+    ]
+}
+
+fn prog_spec() -> impl Strategy<Value = ProgSpec> {
+    (
+        prop::collection::vec(seg_spec(), 0..2),
+        prop::collection::vec((seg_spec(), prop::option::of(seg_spec())), 1..4),
+        1..4i64,
+        prop::collection::vec(seg_spec(), 0..2),
+    )
+        .prop_map(|(head, body, iters, tail)| ProgSpec {
+            head,
+            body,
+            iters,
+            tail,
+        })
+}
+
+fn emit_seg(seg: &SegSpec, arrays: &[tpi_ir::ArrayHandle], f: &mut tpi_ir::BodyBuilder<'_>) {
+    match seg {
+        SegSpec::Doall { write, reads } => {
+            // Race-freedom repairs: a read of the array this epoch writes
+            // must target the owner's own element (shift 0, no opaque
+            // indexing), otherwise iteration `i` could read what iteration
+            // `i + shift` writes.
+            let write = *write;
+            let reads: Vec<ReadSpec> = reads
+                .iter()
+                .map(|r| {
+                    if r.array == write {
+                        ReadSpec {
+                            array: r.array,
+                            shift: 0,
+                            opaque: false,
+                        }
+                    } else {
+                        r.clone()
+                    }
+                })
+                .collect();
+            let arrays = arrays.to_vec();
+            let opaques: Vec<_> = reads.iter().map(|r| r.opaque.then(|| f.opaque())).collect();
+            f.doall(0, N_ITER, move |i, f| {
+                let read_refs: Vec<_> = reads
+                    .iter()
+                    .zip(&opaques)
+                    .map(|(r, o)| match o {
+                        Some(op) => arrays[r.array].at(subs![*op]),
+                        None => arrays[r.array].at(subs![i + r.shift]),
+                    })
+                    .collect();
+                f.store(arrays[write].at(subs![i]), read_refs, 2);
+            });
+        }
+        SegSpec::Serial { accesses } => {
+            for &(a, idx, is_write) in accesses {
+                if is_write {
+                    f.store(arrays[a].at(subs![idx]), vec![], 1);
+                } else {
+                    f.load(vec![arrays[a].at(subs![idx])], 1);
+                }
+            }
+        }
+    }
+}
+
+fn build_program(spec: &ProgSpec) -> Program {
+    let mut p = ProgramBuilder::new();
+    let arrays: Vec<_> = (0..N_ARRAYS)
+        .map(|k| p.shared(&format!("A{k}"), [ARR]))
+        .collect();
+    let main = p.proc("main", |f| {
+        // Initialize every array so reads always have writers to find.
+        for a in &arrays {
+            let a = *a;
+            f.doall(0, ARR as i64 - 1, move |i, f| {
+                f.store(a.at(subs![i]), vec![], 1)
+            });
+        }
+        for seg in &spec.head {
+            emit_seg(seg, &arrays, f);
+        }
+        f.serial(0, spec.iters - 1, |t, f| {
+            for (seg, alt) in &spec.body {
+                match alt {
+                    None => emit_seg(seg, &arrays, f),
+                    Some(else_seg) => {
+                        f.if_else(
+                            Cond::EveryN {
+                                var: t,
+                                modulus: 2,
+                                phase: 0,
+                            },
+                            |f| emit_seg(seg, &arrays, f),
+                            |f| emit_seg(else_seg, &arrays, f),
+                        );
+                    }
+                }
+            }
+        });
+        for seg in &spec.tail {
+            emit_seg(seg, &arrays, f);
+        }
+    });
+    p.finish(main).expect("generated programs are well-formed")
+}
+
+fn exercise(program: &Program, level: OptLevel, policy: SchedulePolicy, tag_bits: u32) {
+    let marking = mark_program(program, &CompilerOptions { level });
+    let opts = TraceOptions {
+        num_procs: 8,
+        policy,
+        seed: 0xFEED,
+        check_races: true,
+        geometry: tpi_mem::LineGeometry::new(4),
+        rotate_serial: false,
+    };
+    let trace = generate_trace(program, &marking, &opts).expect("race-free by construction");
+    for scheme in [SchemeKind::Tpi, SchemeKind::Sc] {
+        let mut cfg = EngineConfig::paper_default(trace.layout.total_words());
+        cfg.procs = 8;
+        cfg.net = tpi_net::NetworkConfig::paper_default(8);
+        cfg.tag_bits = tag_bits;
+        cfg.cache.size_bytes = 4096; // tiny: force replacements too
+        let mut engine = build_engine(scheme, cfg);
+        // Shadow-version debug_asserts fire inside on any stale observation.
+        let result = run_trace(&trace, engine.as_mut(), &SimOptions::default());
+        verify_accounting(&result).expect("accounting identity");
+    }
+    // Directory engine with its cross-invariants checked post-run.
+    let mut cfg = EngineConfig::paper_default(trace.layout.total_words());
+    cfg.procs = 8;
+    cfg.net = tpi_net::NetworkConfig::paper_default(8);
+    cfg.cache.size_bytes = 4096;
+    let mut dir = DirectoryEngine::full_map(cfg);
+    let result = run_trace(&trace, &mut dir, &SimOptions::default());
+    verify_accounting(&result).expect("accounting identity");
+    dir.verify_invariants().expect("directory invariants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_are_sound_under_full_analysis(spec in prog_spec()) {
+        let program = build_program(&spec);
+        exercise(&program, OptLevel::Full, SchedulePolicy::StaticBlock, 8);
+    }
+
+    #[test]
+    fn random_programs_are_sound_with_tight_tags_and_wild_schedules(spec in prog_spec()) {
+        let program = build_program(&spec);
+        exercise(
+            &program,
+            OptLevel::Full,
+            SchedulePolicy::DynamicMigrating { chunk: 2, migrate_per_1024: 512 },
+            2,
+        );
+        exercise(&program, OptLevel::Full, SchedulePolicy::StaticCyclic, 3);
+    }
+
+    #[test]
+    fn random_programs_are_sound_under_weaker_analysis(spec in prog_spec()) {
+        let program = build_program(&spec);
+        exercise(&program, OptLevel::Intra, SchedulePolicy::Dynamic { chunk: 4 }, 4);
+        exercise(&program, OptLevel::Naive, SchedulePolicy::StaticBlock, 8);
+    }
+
+    #[test]
+    fn marking_is_monotone_in_analysis_power(spec in prog_spec()) {
+        // A more powerful analysis never marks more reads stale.
+        let program = build_program(&spec);
+        let naive = mark_program(&program, &CompilerOptions { level: OptLevel::Naive }).summary();
+        let intra = mark_program(&program, &CompilerOptions { level: OptLevel::Intra }).summary();
+        let full = mark_program(&program, &CompilerOptions { level: OptLevel::Full }).summary();
+        prop_assert!(full.marked <= intra.marked, "full {} intra {}", full.marked, intra.marked);
+        prop_assert!(intra.marked <= naive.marked, "intra {} naive {}", intra.marked, naive.marked);
+        prop_assert_eq!(naive.marked, naive.shared_reads);
+    }
+
+    #[test]
+    fn textual_export_is_a_parse_fixed_point(spec in prog_spec()) {
+        // program -> source -> program -> source must converge after one
+        // round trip (names canonicalize; salts regenerate).
+        let program = build_program(&spec);
+        let src1 = tpi_ir::program_to_source(&program);
+        let p2 = tpi_ir::parse_program(&src1)
+            .unwrap_or_else(|e| panic!("exported source failed to parse: {e}\n{src1}"));
+        prop_assert_eq!(p2.num_assigns, program.num_assigns);
+        prop_assert_eq!(p2.arrays.len(), program.arrays.len());
+        prop_assert_eq!(p2.procs.len(), program.procs.len());
+        let src2 = tpi_ir::program_to_source(&p2);
+        prop_assert_eq!(src1, src2);
+        // And the re-parsed program is still sound to execute.
+        let marking = mark_program(&p2, &CompilerOptions::default());
+        let opts = TraceOptions { num_procs: 8, ..TraceOptions::default() };
+        generate_trace(&p2, &marking, &opts).expect("round-tripped program is race-free");
+    }
+
+    #[test]
+    fn traces_are_schedule_invariant_in_event_counts(spec in prog_spec()) {
+        // Scheduling moves events between processors but never changes what
+        // the program does.
+        let program = build_program(&spec);
+        let marking = mark_program(&program, &CompilerOptions::default());
+        let mut counts = Vec::new();
+        for policy in [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::StaticCyclic,
+            SchedulePolicy::Dynamic { chunk: 3 },
+        ] {
+            let opts = TraceOptions { policy, ..TraceOptions::default() };
+            let t = generate_trace(&program, &marking, &opts).expect("race-free");
+            counts.push((t.stats.reads, t.stats.writes, t.stats.epochs));
+        }
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[1], counts[2]);
+    }
+}

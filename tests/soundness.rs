@@ -1,0 +1,229 @@
+//! TPI soundness: a verified Time-Read hit must never observe stale data.
+//!
+//! The TPI engine carries shadow versions on every cached word and
+//! `debug_assert`s on every hit that the observed version equals the
+//! version the execution requires. These tests sweep the dimensions that
+//! could break that guarantee — tag width (wrap-around), reset strategy,
+//! scheduling policy (including migration), analysis level, and line size —
+//! across all six kernels. Any unsound marking, epoch count disagreement,
+//! fill-rule mistake, or reset-discipline bug panics here.
+
+use tpi::{run_kernel, ExperimentConfig};
+use tpi_cache::{ResetStrategy, WritePolicy};
+use tpi_compiler::OptLevel;
+use tpi_proto::SchemeKind;
+use tpi_trace::SchedulePolicy;
+use tpi_workloads::{Kernel, Scale};
+
+fn tpi_cfg() -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper();
+    c.scheme = SchemeKind::Tpi;
+    c
+}
+
+#[test]
+fn sound_across_tag_widths_and_reset_strategies() {
+    for kernel in Kernel::ALL {
+        for bits in [2u32, 3, 4, 8] {
+            for strategy in [ResetStrategy::TwoPhase, ResetStrategy::FullFlushOnWrap] {
+                let mut cfg = tpi_cfg();
+                cfg.tag_bits = bits;
+                cfg.reset_strategy = strategy;
+                let r = run_kernel(kernel, Scale::Test, &cfg)
+                    .unwrap_or_else(|e| panic!("{kernel} b={bits}: {e}"));
+                assert!(r.sim.total_cycles > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn sound_across_schedules_including_migration() {
+    let policies = [
+        SchedulePolicy::StaticBlock,
+        SchedulePolicy::StaticCyclic,
+        SchedulePolicy::Dynamic { chunk: 1 },
+        SchedulePolicy::Dynamic { chunk: 8 },
+        SchedulePolicy::DynamicMigrating {
+            chunk: 8,
+            migrate_per_1024: 512,
+        },
+    ];
+    for kernel in Kernel::ALL {
+        for (i, policy) in policies.iter().enumerate() {
+            let mut cfg = tpi_cfg();
+            cfg.policy = *policy;
+            cfg.seed = 0x5EED + i as u64;
+            // Tight tags + migration is the hardest combination.
+            cfg.tag_bits = 3;
+            run_kernel(kernel, Scale::Test, &cfg)
+                .unwrap_or_else(|e| panic!("{kernel} {policy}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn sound_across_analysis_levels() {
+    // Less precise analysis must still be *correct* (just slower).
+    for kernel in Kernel::ALL {
+        let mut cycles = Vec::new();
+        for level in [OptLevel::Naive, OptLevel::Intra, OptLevel::Full] {
+            let mut cfg = tpi_cfg();
+            cfg.opt_level = level;
+            let r = run_kernel(kernel, Scale::Test, &cfg).unwrap();
+            cycles.push(r.sim.total_cycles);
+        }
+        // Better analysis never loses (ties allowed).
+        assert!(
+            cycles[2] <= cycles[0],
+            "{kernel}: full {} vs naive {}",
+            cycles[2],
+            cycles[0]
+        );
+    }
+}
+
+#[test]
+fn sound_across_line_sizes_and_associativity() {
+    for kernel in [Kernel::Arc2d, Kernel::Ocean, Kernel::Qcd2] {
+        for line_words in [1u32, 2, 8, 16] {
+            for assoc in [1u32, 2, 4] {
+                let mut cfg = tpi_cfg();
+                cfg.line_words = line_words;
+                cfg.assoc = assoc;
+                run_kernel(kernel, Scale::Test, &cfg)
+                    .unwrap_or_else(|e| panic!("{kernel} L={line_words} a={assoc}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn sc_is_sound_too() {
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.scheme = SchemeKind::Sc;
+        for policy in [
+            SchedulePolicy::StaticCyclic,
+            SchedulePolicy::DynamicMigrating {
+                chunk: 4,
+                migrate_per_1024: 512,
+            },
+        ] {
+            cfg.policy = policy;
+            run_kernel(kernel, Scale::Test, &cfg).unwrap();
+        }
+    }
+}
+
+#[test]
+fn directory_is_sound_under_every_schedule() {
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.scheme = SchemeKind::FullMap;
+        cfg.policy = SchedulePolicy::Dynamic { chunk: 2 };
+        run_kernel(kernel, Scale::Test, &cfg).unwrap();
+    }
+}
+
+#[test]
+fn write_back_at_boundary_is_sound() {
+    // Memory is stale mid-epoch under this policy; the tag discipline must
+    // still prevent any stale hit (shadow versions assert it).
+    for kernel in Kernel::ALL {
+        for bits in [2u32, 8] {
+            let mut cfg = tpi_cfg();
+            cfg.write_policy = WritePolicy::BackAtBoundary;
+            cfg.tag_bits = bits;
+            run_kernel(kernel, Scale::Test, &cfg)
+                .unwrap_or_else(|e| panic!("{kernel} b={bits}: {e}"));
+        }
+    }
+    // And combined with migration + tiny caches.
+    let mut cfg = tpi_cfg();
+    cfg.write_policy = WritePolicy::BackAtBoundary;
+    cfg.policy = SchedulePolicy::DynamicMigrating {
+        chunk: 4,
+        migrate_per_1024: 512,
+    };
+    cfg.cache_bytes = 4096;
+    run_kernel(Kernel::Arc2d, Scale::Test, &cfg).unwrap();
+}
+
+#[test]
+fn serial_rotation_is_sound_and_hurts_hw_more() {
+    // The compiler already assumes serial epochs may run anywhere, so TPI's
+    // marking stays sound under rotation; the directory scheme pays real
+    // migration misses instead.
+    let mut tpi_cost = [0u64; 2];
+    let mut hw_cost = [0u64; 2];
+    for (i, rotate) in [false, true].into_iter().enumerate() {
+        let mut cfg = tpi_cfg();
+        cfg.rotate_serial = rotate;
+        tpi_cost[i] = run_kernel(Kernel::Flo52, Scale::Test, &cfg)
+            .unwrap()
+            .sim
+            .total_cycles;
+        cfg.scheme = SchemeKind::FullMap;
+        hw_cost[i] = run_kernel(Kernel::Flo52, Scale::Test, &cfg)
+            .unwrap()
+            .sim
+            .total_cycles;
+    }
+    // Soundness is the main assertion (no panics above); rotation must not
+    // help anyone, and every kernel must stay sound under it.
+    assert!(tpi_cost[1] >= tpi_cost[0]);
+    assert!(hw_cost[1] >= hw_cost[0]);
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.rotate_serial = true;
+        cfg.tag_bits = 3;
+        run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    }
+}
+
+#[test]
+fn two_level_tpi_is_sound() {
+    // Section 3's off-the-shelf implementation: a stock L1 over the tagged
+    // off-chip cache. Shadow versions verify no stale L1 hit slips through.
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.l1 = Some(tpi_proto::L1Config::paper_default());
+        cfg.tag_bits = 3;
+        run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    }
+    // With migration and a tiny L1.
+    let mut cfg = tpi_cfg();
+    cfg.l1 = Some(tpi_proto::L1Config {
+        size_bytes: 1024,
+        assoc: 1,
+        l2_hit_cycles: 5,
+    });
+    cfg.policy = SchedulePolicy::DynamicMigrating {
+        chunk: 4,
+        migrate_per_1024: 512,
+    };
+    run_kernel(Kernel::Mdg, Scale::Test, &cfg).unwrap();
+}
+
+#[test]
+fn word_granular_coherence_fetch_is_sound() {
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.coherence_fetch = tpi_proto::FetchGranularity::Word;
+        cfg.tag_bits = 3;
+        run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    }
+}
+
+#[test]
+fn tiny_caches_still_sound() {
+    // Brutal conflict pressure: 2 KB direct-mapped with 8-word lines.
+    for kernel in Kernel::ALL {
+        let mut cfg = tpi_cfg();
+        cfg.cache_bytes = 2048;
+        cfg.line_words = 8;
+        cfg.tag_bits = 2;
+        run_kernel(kernel, Scale::Test, &cfg).unwrap();
+    }
+}
