@@ -1,34 +1,30 @@
-//! Criterion benches: one group per paper table/figure, at test scale.
+//! Benches: one measurement per paper table/figure, at test scale.
 //!
 //! `cargo bench -p tpi-bench --bench experiments` regenerates every
 //! experiment's code path under the measurement harness; the `repro`
-//! binary produces the full paper-scale tables. (Criterion measures the
-//! harness's own runtime — useful to track simulator performance — while
-//! the experiment *results* are printed by `repro`.)
+//! binary produces the full paper-scale tables. (The harness measures the
+//! experiment's own runtime — useful to track simulator and runner
+//! performance — while the experiment *results* are printed by `repro`.)
+//!
+//! Each iteration constructs a fresh [`tpi::Runner`] so the measurement
+//! includes trace generation, not just memoized replay.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use tpi::Runner;
 use tpi_bench::run_experiment;
+use tpi_testkit::bench::Harness;
 use tpi_workloads::Scale;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    // Simulation experiments are heavy even at test scale; keep sampling
-    // modest so `cargo bench` finishes promptly.
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut harness = Harness::from_args();
+    let mut group = harness.group("experiments");
     for id in tpi_bench::ALL_IDS {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let out = run_experiment(black_box(id), Scale::Test).expect("known id");
+                let runner = Runner::new();
+                let out = run_experiment(black_box(id), Scale::Test, &runner).expect("known id");
                 black_box(out.tables.len())
             });
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

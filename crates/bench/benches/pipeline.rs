@@ -1,20 +1,20 @@
-//! Criterion benches for the individual pipeline stages: compiler marking,
-//! trace generation, and each coherence engine's replay throughput.
+//! Benches for the individual pipeline stages: compiler marking, trace
+//! generation, and each coherence engine's replay throughput.
+//!
+//! Runs under the offline `tpi_testkit::bench` harness; `cargo bench -p
+//! tpi-bench --bench pipeline -- --test` smoke-runs every body once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use tpi::ExperimentConfig;
 use tpi_compiler::{mark_program, CompilerOptions};
 use tpi_proto::{build_engine, SchemeKind};
 use tpi_sim::run_trace;
+use tpi_testkit::bench::Harness;
 use tpi_trace::generate_trace;
 use tpi_workloads::{Kernel, Scale};
 
-fn bench_marking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compiler-marking");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn bench_marking(harness: &mut Harness) {
+    let mut group = harness.group("compiler-marking");
     for kernel in Kernel::ALL {
         let program = kernel.build(Scale::Test);
         group.bench_function(kernel.name(), |b| {
@@ -24,15 +24,11 @@ fn bench_marking(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation(harness: &mut Harness) {
     let cfg = ExperimentConfig::paper();
-    let mut group = c.benchmark_group("trace-generation");
-    group.sample_size(20);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = harness.group("trace-generation");
     for kernel in [Kernel::Flo52, Kernel::Qcd2] {
         let program = kernel.build(Scale::Test);
         let marking = mark_program(&program, &cfg.compiler_options());
@@ -44,18 +40,14 @@ fn bench_trace_generation(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn bench_engines(harness: &mut Harness) {
     let cfg = ExperimentConfig::paper();
     let program = Kernel::Flo52.build(Scale::Test);
     let marking = mark_program(&program, &cfg.compiler_options());
     let trace = generate_trace(&program, &marking, &cfg.trace_options()).expect("race-free");
-    let mut group = c.benchmark_group("engine-replay");
-    group.sample_size(20);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = harness.group("engine-replay");
     for scheme in SchemeKind::MAIN {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| {
@@ -66,13 +58,11 @@ fn bench_engines(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_marking,
-    bench_trace_generation,
-    bench_engines
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_marking(&mut harness);
+    bench_trace_generation(&mut harness);
+    bench_engines(&mut harness);
+}

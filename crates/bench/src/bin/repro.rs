@@ -5,16 +5,25 @@
 //! repro e3 e5           # selected experiments
 //! repro --test e7       # test scale (fast, small inputs)
 //! repro --csv out/ e3   # additionally write each table as CSV into out/
+//! repro --serial        # one worker thread (for timing comparisons)
+//! repro --fresh         # no artifact cache (the pre-engine baseline)
 //! repro --list          # list experiment ids
 //! ```
+//!
+//! One [`Runner`] is shared across all requested experiments, so programs,
+//! markings, and traces are built once and reused; per-experiment timing
+//! and the final cache statistics go to stderr.
 
 use std::process::ExitCode;
+use tpi::Runner;
 use tpi_bench::{run_experiment, ALL_IDS};
 use tpi_workloads::Scale;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
+    let mut serial = false;
+    let mut fresh = false;
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut take_csv_dir = false;
@@ -27,6 +36,8 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--test" => scale = Scale::Test,
             "--paper" => scale = Scale::Paper,
+            "--serial" => serial = true,
+            "--fresh" => fresh = true,
             "--csv" => take_csv_dir = true,
             "--list" => {
                 for id in ALL_IDS {
@@ -43,13 +54,24 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--test|--paper] [--list] <experiment-id>... | all");
+        eprintln!(
+            "usage: repro [--test|--paper] [--serial] [--fresh] [--list] <experiment-id>... | all"
+        );
         eprintln!("experiments: {}", ALL_IDS.join(" "));
         return ExitCode::FAILURE;
     }
+    let mut runner = if serial {
+        Runner::serial()
+    } else {
+        Runner::new()
+    };
+    if fresh {
+        runner = runner.without_memoization();
+    }
+    let run_started = std::time::Instant::now();
     for id in ids {
         let started = std::time::Instant::now();
-        match run_experiment(&id, scale) {
+        match run_experiment(&id, scale, &runner) {
             Some(out) => {
                 print!("{out}");
                 if let Some(dir) = &csv_dir {
@@ -73,5 +95,18 @@ fn main() -> ExitCode {
             }
         }
     }
+    let stats = runner.stats();
+    eprintln!(
+        "[total {:.1}s on {} thread(s); traces {} built / {} reused; \
+         markings {} built / {} reused; cells {} simulated / {} deduped]",
+        run_started.elapsed().as_secs_f64(),
+        runner.threads(),
+        stats.traces_built,
+        stats.trace_hits,
+        stats.markings_built,
+        stats.marking_hits,
+        stats.cells_simulated,
+        stats.cells_deduped,
+    );
     ExitCode::SUCCESS
 }

@@ -8,10 +8,14 @@
 //! tpi-run program.tpi --show-marking        # dump the compiler's decisions
 //! tpi-run program.tpi --verify              # panic if any hit observes stale data
 //! ```
+//!
+//! Scheme comparisons run through a [`Runner`], so the program is marked
+//! and its trace interpreted once no matter how many schemes are listed.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use tpi::tables::{pct, Table};
-use tpi::{run_program, ExperimentConfig};
+use tpi::{ExperimentConfig, Runner};
 use tpi_compiler::{mark_program, OptLevel};
 use tpi_ir::{display, parse_program, RefSite};
 use tpi_mem::ReadKind;
@@ -30,7 +34,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let mut schemes: Vec<SchemeKind> = vec![SchemeKind::Tpi];
-    let mut cfg = ExperimentConfig::paper();
+    let mut builder = ExperimentConfig::builder();
     let mut show_program = false;
     let mut show_marking = false;
     let mut export = false;
@@ -57,28 +61,28 @@ fn main() -> ExitCode {
                 };
             }
             "--procs" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => cfg.procs = v,
+                Some(v) => builder = builder.procs(v),
                 None => return usage(),
             },
             "--line-words" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => cfg.line_words = v,
+                Some(v) => builder = builder.line_words(v),
                 None => return usage(),
             },
             "--tag-bits" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => cfg.tag_bits = v,
+                Some(v) => builder = builder.tag_bits(v),
                 None => return usage(),
             },
             "--cache-kb" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(v) => cfg.cache_bytes = v * 1024,
+                Some(v) => builder = builder.cache_bytes(v * 1024),
                 None => return usage(),
             },
             "--opt" => match it.next().map(String::as_str) {
-                Some("naive") => cfg.opt_level = OptLevel::Naive,
-                Some("intra") => cfg.opt_level = OptLevel::Intra,
-                Some("full") => cfg.opt_level = OptLevel::Full,
+                Some("naive") => builder = builder.opt_level(OptLevel::Naive),
+                Some("intra") => builder = builder.opt_level(OptLevel::Intra),
+                Some("full") => builder = builder.opt_level(OptLevel::Full),
                 _ => return usage(),
             },
-            "--verify" => cfg.verify_freshness = true,
+            "--verify" => builder = builder.verify_freshness(true),
             "--export" => export = true,
             "--show-program" => show_program = true,
             "--show-marking" => show_marking = true,
@@ -89,6 +93,13 @@ fn main() -> ExitCode {
         }
     }
     let Some(file) = file else { return usage() };
+    let cfg = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let src = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
@@ -97,7 +108,7 @@ fn main() -> ExitCode {
         }
     };
     let program = match parse_program(&src) {
-        Ok(p) => p,
+        Ok(p) => Arc::new(p),
         Err(e) => {
             eprintln!("{file}: {e}");
             return ExitCode::FAILURE;
@@ -134,6 +145,20 @@ fn main() -> ExitCode {
             s.shared_reads, s.marked, s.plain, s.covered
         );
     }
+    let runner = Runner::new();
+    let grid = match runner
+        .grid()
+        .program(&file, Arc::clone(&program))
+        .base(cfg)
+        .schemes(schemes.iter().copied())
+        .run()
+    {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut t = Table::new(format!("{file} on {} processors", cfg.procs));
     t.headers([
         "scheme",
@@ -144,30 +169,22 @@ fn main() -> ExitCode {
         "lock waits",
     ]);
     let mut hot: Option<Table> = None;
-    for scheme in schemes {
-        cfg.scheme = scheme;
-        match run_program(&program, &cfg) {
-            Ok(r) => {
-                t.row([
-                    scheme.label().to_string(),
-                    r.sim.total_cycles.to_string(),
-                    pct(r.sim.miss_rate()),
-                    format!("{:.1}", r.sim.avg_miss_latency()),
-                    r.sim.traffic.total_words().to_string(),
-                    r.sim.lock_wait_cycles.to_string(),
-                ]);
-                if scheme == SchemeKind::Tpi {
-                    hot = Some(tpi::report::hot_arrays(
-                        "Hot arrays under TPI (read misses by array)",
-                        &r,
-                        8,
-                    ));
-                }
-            }
-            Err(e) => {
-                eprintln!("{file}: {e}");
-                return ExitCode::FAILURE;
-            }
+    for &scheme in &schemes {
+        let r = grid.at_program(&file, scheme, 0);
+        t.row([
+            scheme.label().to_string(),
+            r.sim.total_cycles.to_string(),
+            pct(r.sim.miss_rate()),
+            format!("{:.1}", r.sim.avg_miss_latency()),
+            r.sim.traffic.total_words().to_string(),
+            r.sim.lock_wait_cycles.to_string(),
+        ]);
+        if scheme == SchemeKind::Tpi {
+            hot = Some(tpi::report::hot_arrays(
+                "Hot arrays under TPI (read misses by array)",
+                r,
+                8,
+            ));
         }
     }
     println!("{t}");

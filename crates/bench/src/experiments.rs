@@ -1,8 +1,13 @@
 //! The experiment implementations, one per table/figure of the paper.
+//!
+//! Every simulated experiment declares its whole grid of runs up front and
+//! executes it through a [`Runner`], so programs, markings, and traces are
+//! built once and shared across schemes and sweep points, and independent
+//! cells simulate in parallel. Results are identical to running each cell
+//! fresh and serially (see `tests/runner_equivalence.rs`).
 
-use crate::harness::{cfg_for, run};
 use tpi::tables::{f, pct, BarChart, Table};
-use tpi::ExperimentConfig;
+use tpi::{ExperimentConfig, Runner};
 use tpi_cache::{ResetStrategy, WriteBufferKind};
 use tpi_compiler::OptLevel;
 use tpi_net::TrafficClass;
@@ -45,33 +50,34 @@ impl std::fmt::Display for ExperimentOutput {
     }
 }
 
-/// Runs the experiment with the given id at `scale`; `None` for unknown
-/// ids.
+/// Runs the experiment with the given id at `scale` on `runner`; `None`
+/// for unknown ids. Sharing one runner across experiments lets later ones
+/// reuse the traces earlier ones generated.
 #[must_use]
-pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentOutput> {
+pub fn run_experiment(id: &str, scale: Scale, runner: &Runner) -> Option<ExperimentOutput> {
     Some(match id {
         "e1" => e1_storage(),
         "e2" => e2_parameters(),
-        "e3" => e3_miss_rates(scale),
-        "e4" => e4_miss_classes(scale),
-        "e5" => e5_miss_latency(scale),
-        "e6" => e6_traffic(scale),
-        "e7" => e7_exec_time(scale),
-        "e8" => e8_timetag_bits(scale),
-        "e9" => e9_line_size(scale),
-        "e10" => e10_cache_size(scale),
-        "e11" => e11_reset_ablation(scale),
-        "e12" => e12_write_buffer(scale),
-        "e13" => e13_scheduling(scale),
-        "e14" => e14_scaling(scale),
-        "e15" => e15_opt_levels(scale),
-        "e16" => e16_critical_sections(scale),
-        "e17" => e17_restamp_ablation(scale),
-        "e18" => e18_write_policy(scale),
-        "e19" => e19_coherence_overhead(scale),
-        "e20" => e20_doacross(scale),
-        "e21" => e21_two_level(scale),
-        "e22" => e22_fetch_granularity(scale),
+        "e3" => e3_miss_rates(scale, runner),
+        "e4" => e4_miss_classes(scale, runner),
+        "e5" => e5_miss_latency(scale, runner),
+        "e6" => e6_traffic(scale, runner),
+        "e7" => e7_exec_time(scale, runner),
+        "e8" => e8_timetag_bits(scale, runner),
+        "e9" => e9_line_size(scale, runner),
+        "e10" => e10_cache_size(scale, runner),
+        "e11" => e11_reset_ablation(scale, runner),
+        "e12" => e12_write_buffer(scale, runner),
+        "e13" => e13_scheduling(scale, runner),
+        "e14" => e14_scaling(scale, runner),
+        "e15" => e15_opt_levels(scale, runner),
+        "e16" => e16_critical_sections(scale, runner),
+        "e17" => e17_restamp_ablation(scale, runner),
+        "e18" => e18_write_policy(scale, runner),
+        "e19" => e19_coherence_overhead(scale, runner),
+        "e20" => e20_doacross(scale, runner),
+        "e21" => e21_two_level(scale, runner),
+        "e22" => e22_fetch_granularity(scale, runner),
         _ => return None,
     })
 }
@@ -176,8 +182,19 @@ pub fn e2_parameters() -> ExperimentOutput {
 }
 
 /// E3 / Figure 11: read miss rates per scheme and benchmark.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e3_miss_rates(scale: Scale) -> ExperimentOutput {
+pub fn e3_miss_rates(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("Figure 11 — read miss rates (64 KB direct-mapped, 16 B lines)");
     t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
     let mut chart = BarChart::new("Mean read miss rate across the suite", "%");
@@ -185,7 +202,7 @@ pub fn e3_miss_rates(scale: Scale) -> ExperimentOutput {
     for kernel in Kernel::ALL {
         let mut row = vec![kernel.name().to_string()];
         for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
-            let r = run(kernel, scale, &cfg_for(*scheme));
+            let r = grid.get(kernel, *scheme);
             sums[si] += r.sim.miss_rate();
             row.push(pct(r.sim.miss_rate()));
         }
@@ -203,10 +220,22 @@ pub fn e3_miss_rates(scale: Scale) -> ExperimentOutput {
 }
 
 /// E4: classification of read misses into necessary and unnecessary.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e4_miss_classes(scale: Scale) -> ExperimentOutput {
+pub fn e4_miss_classes(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(schemes)
+        .run()
+        .expect("suite is race-free");
     let mut tables = Vec::new();
-    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+    for scheme in schemes {
         let mut t = Table::new(format!(
             "{} — misses by cause (% of all read misses)",
             scheme.label()
@@ -222,7 +251,7 @@ pub fn e4_miss_classes(scale: Scale) -> ExperimentOutput {
             "unnecessary",
         ]);
         for kernel in Kernel::ALL {
-            let r = run(kernel, scale, &cfg_for(scheme));
+            let r = grid.get(kernel, scheme);
             let total = r.sim.agg.read_misses().max(1) as f64;
             let share = |c: MissClass| pct(r.sim.agg.misses(c) as f64 / total);
             let unnecessary = (r.sim.agg.misses(MissClass::FalseSharing)
@@ -250,8 +279,12 @@ pub fn e4_miss_classes(scale: Scale) -> ExperimentOutput {
 }
 
 /// E5: average read-miss latency, TPI vs HW, 16-byte and 64-byte lines.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e5_miss_latency(scale: Scale) -> ExperimentOutput {
+pub fn e5_miss_latency(scale: Scale, runner: &Runner) -> ExperimentOutput {
     let kernels = [
         Kernel::Spec77,
         Kernel::Ocean,
@@ -259,15 +292,21 @@ pub fn e5_miss_latency(scale: Scale) -> ExperimentOutput {
         Kernel::Qcd2,
         Kernel::Trfd,
     ];
+    let grid = runner
+        .grid()
+        .kernels(kernels)
+        .scale(scale)
+        .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+        .sweep([4u32, 16], |cfg, &w| cfg.line_words = w)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("Average miss latency (cycles): TPI vs full-map directory");
     t.headers(["bench", "TPI 16B", "TPI 64B", "HW 16B", "HW 64B"]);
     for kernel in kernels {
         let mut row = vec![kernel.name().to_string()];
         for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
-            for line_words in [4u32, 16] {
-                let mut cfg = cfg_for(scheme);
-                cfg.line_words = line_words;
-                let r = run(kernel, scale, &cfg);
+            for vi in 0..2 {
+                let r = grid.at(kernel, scheme, vi);
                 row.push(f(r.sim.avg_miss_latency(), 1));
             }
         }
@@ -282,13 +321,25 @@ pub fn e5_miss_latency(scale: Scale) -> ExperimentOutput {
 }
 
 /// E6: network traffic breakdown per scheme (words per shared reference).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e6_traffic(scale: Scale) -> ExperimentOutput {
+pub fn e6_traffic(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes = [SchemeKind::Sc, SchemeKind::Tpi, SchemeKind::FullMap];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(schemes)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("Network traffic (words per memory reference), by class");
     t.headers(["bench", "scheme", "read", "write", "coherence", "total"]);
     for kernel in Kernel::ALL {
-        for scheme in [SchemeKind::Sc, SchemeKind::Tpi, SchemeKind::FullMap] {
-            let r = run(kernel, scale, &cfg_for(scheme));
+        for scheme in schemes {
+            let r = grid.get(kernel, scheme);
             let refs = (r.sim.agg.reads + r.sim.agg.writes).max(1) as f64;
             let per = |c: TrafficClass| f(r.sim.traffic.words(c) as f64 / refs, 3);
             t.row([
@@ -310,15 +361,26 @@ pub fn e6_traffic(scale: Scale) -> ExperimentOutput {
 }
 
 /// E7: execution time comparison (the headline figure).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e7_exec_time(scale: Scale) -> ExperimentOutput {
+pub fn e7_exec_time(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("Execution time (cycles; parenthesized: normalized to HW)");
     t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
     let mut log_sums = [0.0f64; 4];
     for kernel in Kernel::ALL {
         let results: Vec<_> = SchemeKind::MAIN
             .iter()
-            .map(|&s| run(kernel, scale, &cfg_for(s)))
+            .map(|&s| grid.get(kernel, s))
             .collect();
         let hw = results[3].sim.total_cycles.max(1) as f64;
         let mut row = vec![kernel.name().to_string()];
@@ -348,24 +410,35 @@ pub fn e7_exec_time(scale: Scale) -> ExperimentOutput {
 }
 
 /// E8: timetag-width sensitivity ("4 or 8 bits is enough").
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e8_timetag_bits(scale: Scale) -> ExperimentOutput {
+pub fn e8_timetag_bits(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let widths = [2u32, 3, 4, 6, 8];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(widths, |cfg, &bits| cfg.tag_bits = bits)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI execution time vs timetag width (normalized to 8-bit)");
     t.headers(["bench", "2b", "3b", "4b", "6b", "8b", "reset words @2b"]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.tag_bits = 8;
-        let base = run(kernel, scale, &cfg).sim.total_cycles.max(1) as f64;
+        let base = grid
+            .at(kernel, SchemeKind::Tpi, widths.len() - 1)
+            .sim
+            .total_cycles
+            .max(1) as f64;
         let mut row = vec![kernel.name().to_string()];
-        let mut reset2 = 0;
-        for bits in [2u32, 3, 4, 6, 8] {
-            cfg.tag_bits = bits;
-            let r = run(kernel, scale, &cfg);
-            if bits == 2 {
-                reset2 = r.sim.agg.reset_words;
-            }
+        for vi in 0..widths.len() {
+            let r = grid.at(kernel, SchemeKind::Tpi, vi);
             row.push(f(r.sim.total_cycles as f64 / base, 3));
         }
+        let reset2 = grid.at(kernel, SchemeKind::Tpi, 0).sim.agg.reset_words;
         row.push(reset2.to_string());
         t.row(row);
     }
@@ -378,18 +451,29 @@ pub fn e8_timetag_bits(scale: Scale) -> ExperimentOutput {
 }
 
 /// E9: line-size sensitivity for TPI and HW.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e9_line_size(scale: Scale) -> ExperimentOutput {
+pub fn e9_line_size(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(schemes)
+        .sweep([1u32, 2, 4, 8, 16], |cfg, &w| cfg.line_words = w)
+        .run()
+        .expect("suite is race-free");
     let mut tables = Vec::new();
-    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+    for scheme in schemes {
         let mut t = Table::new(format!("{} read miss rate vs line size", scheme.label()));
         t.headers(["bench", "4B", "8B", "16B", "32B", "64B"]);
         for kernel in Kernel::ALL {
             let mut row = vec![kernel.name().to_string()];
-            for line_words in [1u32, 2, 4, 8, 16] {
-                let mut cfg = cfg_for(scheme);
-                cfg.line_words = line_words;
-                let r = run(kernel, scale, &cfg);
+            for vi in 0..5 {
+                let r = grid.at(kernel, scheme, vi);
                 row.push(pct(r.sim.miss_rate()));
             }
             t.row(row);
@@ -405,18 +489,31 @@ pub fn e9_line_size(scale: Scale) -> ExperimentOutput {
 }
 
 /// E10: cache-size sensitivity.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e10_cache_size(scale: Scale) -> ExperimentOutput {
+pub fn e10_cache_size(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(schemes)
+        .sweep([16usize, 32, 64, 128, 256], |cfg, &kb| {
+            cfg.cache_bytes = kb * 1024;
+        })
+        .run()
+        .expect("suite is race-free");
     let mut tables = Vec::new();
-    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+    for scheme in schemes {
         let mut t = Table::new(format!("{} read miss rate vs cache size", scheme.label()));
         t.headers(["bench", "16KB", "32KB", "64KB", "128KB", "256KB"]);
         for kernel in Kernel::ALL {
             let mut row = vec![kernel.name().to_string()];
-            for kb in [16usize, 32, 64, 128, 256] {
-                let mut cfg = cfg_for(scheme);
-                cfg.cache_bytes = kb * 1024;
-                let r = run(kernel, scale, &cfg);
+            for vi in 0..5 {
+                let r = grid.at(kernel, scheme, vi);
                 row.push(pct(r.sim.miss_rate()));
             }
             t.row(row);
@@ -432,8 +529,28 @@ pub fn e10_cache_size(scale: Scale) -> ExperimentOutput {
 }
 
 /// E11: two-phase reset vs full cache flush at counter wrap.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e11_reset_ablation(scale: Scale) -> ExperimentOutput {
+pub fn e11_reset_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let base = ExperimentConfig::builder()
+        .tag_bits(3)
+        .build()
+        .expect("3-bit tags are valid");
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .base(base)
+        .sweep(
+            [ResetStrategy::TwoPhase, ResetStrategy::FullFlushOnWrap],
+            |cfg, &s| cfg.reset_strategy = s,
+        )
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI with 3-bit tags: two-phase reset vs flush-on-wrap");
     t.headers([
         "bench",
@@ -444,12 +561,8 @@ pub fn e11_reset_ablation(scale: Scale) -> ExperimentOutput {
         "flush resets",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.tag_bits = 3;
-        cfg.reset_strategy = ResetStrategy::TwoPhase;
-        let tp = run(kernel, scale, &cfg);
-        cfg.reset_strategy = ResetStrategy::FullFlushOnWrap;
-        let fl = run(kernel, scale, &cfg);
+        let tp = grid.at(kernel, SchemeKind::Tpi, 0);
+        let fl = grid.at(kernel, SchemeKind::Tpi, 1);
         t.row([
             kernel.name().to_string(),
             tp.sim.total_cycles.to_string(),
@@ -471,8 +584,23 @@ pub fn e11_reset_ablation(scale: Scale) -> ExperimentOutput {
 }
 
 /// E12: plain FIFO write buffer vs write-buffer-organized-as-cache.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e12_write_buffer(scale: Scale) -> ExperimentOutput {
+pub fn e12_write_buffer(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(
+            [WriteBufferKind::Fifo, WriteBufferKind::Coalescing],
+            |cfg, &k| cfg.wbuffer = k,
+        )
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI write traffic: FIFO vs coalescing write buffer");
     t.headers([
         "bench",
@@ -483,11 +611,8 @@ pub fn e12_write_buffer(scale: Scale) -> ExperimentOutput {
         "coal cycles",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.wbuffer = WriteBufferKind::Fifo;
-        let fifo = run(kernel, scale, &cfg);
-        cfg.wbuffer = WriteBufferKind::Coalescing;
-        let coal = run(kernel, scale, &cfg);
+        let fifo = grid.at(kernel, SchemeKind::Tpi, 0);
+        let coal = grid.at(kernel, SchemeKind::Tpi, 1);
         let fw = fifo.sim.traffic.words(TrafficClass::Write);
         let cw = coal.sim.traffic.words(TrafficClass::Write);
         t.row([
@@ -508,20 +633,29 @@ pub fn e12_write_buffer(scale: Scale) -> ExperimentOutput {
 }
 
 /// E13 / Section 5: scheduling policies and task migration under TPI.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e13_scheduling(scale: Scale) -> ExperimentOutput {
-    let policies: [(&str, SchedulePolicy); 4] = [
-        ("static-block", SchedulePolicy::StaticBlock),
-        ("static-cyclic", SchedulePolicy::StaticCyclic),
-        ("dynamic(4)", SchedulePolicy::Dynamic { chunk: 4 }),
-        (
-            "dyn+migration",
-            SchedulePolicy::DynamicMigrating {
-                chunk: 4,
-                migrate_per_1024: 256,
-            },
-        ),
+pub fn e13_scheduling(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let policies = [
+        SchedulePolicy::StaticBlock,
+        SchedulePolicy::StaticCyclic,
+        SchedulePolicy::Dynamic { chunk: 4 },
+        SchedulePolicy::DynamicMigrating {
+            chunk: 4,
+            migrate_per_1024: 256,
+        },
     ];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(policies, |cfg, &p| cfg.policy = p)
+        .run()
+        .expect("suite is race-free under every schedule");
     let mut t = Table::new("TPI under different DOALL schedules (cycles; miss rate)");
     t.headers([
         "bench",
@@ -532,10 +666,8 @@ pub fn e13_scheduling(scale: Scale) -> ExperimentOutput {
     ]);
     for kernel in Kernel::ALL {
         let mut row = vec![kernel.name().to_string()];
-        for (_, policy) in policies {
-            let mut cfg = cfg_for(SchemeKind::Tpi);
-            cfg.policy = policy;
-            let r = run(kernel, scale, &cfg);
+        for vi in 0..policies.len() {
+            let r = grid.at(kernel, SchemeKind::Tpi, vi);
             row.push(format!(
                 "{} ({})",
                 r.sim.total_cycles,
@@ -553,10 +685,24 @@ pub fn e13_scheduling(scale: Scale) -> ExperimentOutput {
 }
 
 /// E14: processor-count scaling.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e14_scaling(scale: Scale) -> ExperimentOutput {
+pub fn e14_scaling(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let counts = [4u32, 8, 16, 32, 64];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(schemes)
+        .sweep(counts, |cfg, &p| cfg.procs = p)
+        .run()
+        .expect("suite is race-free");
     let mut tables = Vec::new();
-    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+    for scheme in schemes {
         let mut t = Table::new(format!(
             "{} execution cycles vs processor count (speedup over P=4)",
             scheme.label()
@@ -564,14 +710,9 @@ pub fn e14_scaling(scale: Scale) -> ExperimentOutput {
         t.headers(["bench", "P=4", "P=8", "P=16", "P=32", "P=64"]);
         for kernel in Kernel::ALL {
             let mut row = vec![kernel.name().to_string()];
-            let mut base = 0u64;
-            for procs in [4u32, 8, 16, 32, 64] {
-                let mut cfg = cfg_for(scheme);
-                cfg.procs = procs;
-                let r = run(kernel, scale, &cfg);
-                if procs == 4 {
-                    base = r.sim.total_cycles.max(1);
-                }
+            let base = grid.at(kernel, scheme, 0).sim.total_cycles.max(1);
+            for vi in 0..counts.len() {
+                let r = grid.at(kernel, scheme, vi);
                 row.push(format!(
                     "{} ({}x)",
                     r.sim.total_cycles,
@@ -591,8 +732,21 @@ pub fn e14_scaling(scale: Scale) -> ExperimentOutput {
 }
 
 /// E15: compiler optimization-level ablation (extension experiment).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e15_opt_levels(scale: Scale) -> ExperimentOutput {
+pub fn e15_opt_levels(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let levels = [OptLevel::Naive, OptLevel::Intra, OptLevel::Full];
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(levels, |cfg, &l| cfg.opt_level = l)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI under naive / intraprocedural / full compiler analysis");
     t.headers([
         "bench",
@@ -605,10 +759,8 @@ pub fn e15_opt_levels(scale: Scale) -> ExperimentOutput {
     for kernel in Kernel::ALL {
         let mut row = vec![kernel.name().to_string()];
         let mut marked = Vec::new();
-        for level in [OptLevel::Naive, OptLevel::Intra, OptLevel::Full] {
-            let mut cfg = cfg_for(SchemeKind::Tpi);
-            cfg.opt_level = level;
-            let r = run(kernel, scale, &cfg);
+        for vi in 0..levels.len() {
+            let r = grid.at(kernel, SchemeKind::Tpi, vi);
             row.push(r.sim.total_cycles.to_string());
             marked.push(pct(r.marking.marked_fraction()));
         }
@@ -626,8 +778,19 @@ pub fn e15_opt_levels(scale: Scale) -> ExperimentOutput {
 
 /// E16 / Section 5: lock-guarded critical sections (MDG extension
 /// workload).
+///
+/// # Panics
+///
+/// Panics if the MDG workload races (a bug in the suite).
 #[must_use]
-pub fn e16_critical_sections(scale: Scale) -> ExperimentOutput {
+pub fn e16_critical_sections(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let schemes_grid = runner
+        .grid()
+        .kernel(Kernel::Mdg)
+        .scale(scale)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .expect("MDG is race-free");
     let mut t = Table::new("MDG (lock-guarded accumulation) across the schemes");
     t.headers([
         "scheme",
@@ -637,7 +800,7 @@ pub fn e16_critical_sections(scale: Scale) -> ExperimentOutput {
         "lock wait cycles",
     ]);
     for scheme in SchemeKind::MAIN {
-        let r = run(Kernel::Mdg, scale, &cfg_for(scheme));
+        let r = schemes_grid.get(Kernel::Mdg, scheme);
         t.row([
             scheme.label().to_string(),
             r.sim.total_cycles.to_string(),
@@ -646,16 +809,24 @@ pub fn e16_critical_sections(scale: Scale) -> ExperimentOutput {
             r.sim.lock_wait_cycles.to_string(),
         ]);
     }
+    let counts = [2u32, 4, 8, 16, 32];
+    let scaling_grid = runner
+        .grid()
+        .kernel(Kernel::Mdg)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(counts, |cfg, &p| cfg.procs = p)
+        .run()
+        .expect("MDG is race-free");
     let mut s = Table::new("MDG under TPI vs processor count: the lock bounds scaling");
     s.headers(["P", "cycles", "speedup over P=2", "lock wait share"]);
-    let mut base = 0u64;
-    for procs in [2u32, 4, 8, 16, 32] {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.procs = procs;
-        let r = run(Kernel::Mdg, scale, &cfg);
-        if procs == 2 {
-            base = r.sim.total_cycles.max(1);
-        }
+    let base = scaling_grid
+        .at(Kernel::Mdg, SchemeKind::Tpi, 0)
+        .sim
+        .total_cycles
+        .max(1);
+    for (vi, procs) in counts.into_iter().enumerate() {
+        let r = scaling_grid.at(Kernel::Mdg, SchemeKind::Tpi, vi);
         s.row([
             procs.to_string(),
             r.sim.total_cycles.to_string(),
@@ -679,8 +850,20 @@ pub fn e16_critical_sections(scale: Scale) -> ExperimentOutput {
 /// SPEC77 coefficient table) alive indefinitely. This design point is
 /// implied by the scheme's hardware (tags live next to the data in SRAM);
 /// the ablation measures what it is worth.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e17_restamp_ablation(scale: Scale) -> ExperimentOutput {
+pub fn e17_restamp_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep([true, false], |cfg, &on| cfg.restamp_verified_hits = on)
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI with and without re-stamping verified Time-Read hits");
     t.headers([
         "bench",
@@ -691,11 +874,8 @@ pub fn e17_restamp_ablation(scale: Scale) -> ExperimentOutput {
         "no-restamp miss",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.restamp_verified_hits = true;
-        let on = run(kernel, scale, &cfg);
-        cfg.restamp_verified_hits = false;
-        let off = run(kernel, scale, &cfg);
+        let on = grid.at(kernel, SchemeKind::Tpi, 0);
+        let off = grid.at(kernel, SchemeKind::Tpi, 1);
         t.row([
             kernel.name().to_string(),
             on.sim.total_cycles.to_string(),
@@ -718,9 +898,24 @@ pub fn e17_restamp_ablation(scale: Scale) -> ExperimentOutput {
 
 /// E18: write-through vs write-back-at-task-boundary (the \[10\] policy
 /// discussion the paper cites when justifying write-through).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e18_write_policy(scale: Scale) -> ExperimentOutput {
+pub fn e18_write_policy(scale: Scale, runner: &Runner) -> ExperimentOutput {
     use tpi_cache::WritePolicy;
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(
+            [WritePolicy::Through, WritePolicy::BackAtBoundary],
+            |cfg, &p| cfg.write_policy = p,
+        )
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new(
         "TPI write policy: write-through (FIFO buffer) vs write-back at epoch boundaries",
     );
@@ -733,11 +928,8 @@ pub fn e18_write_policy(scale: Scale) -> ExperimentOutput {
         "WB wr words",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.write_policy = WritePolicy::Through;
-        let wt = run(kernel, scale, &cfg);
-        cfg.write_policy = WritePolicy::BackAtBoundary;
-        let wb = run(kernel, scale, &cfg);
+        let wt = grid.at(kernel, SchemeKind::Tpi, 0);
+        let wb = grid.at(kernel, SchemeKind::Tpi, 1);
         t.row([
             kernel.name().to_string(),
             wt.sim.total_cycles.to_string(),
@@ -760,24 +952,31 @@ pub fn e18_write_policy(scale: Scale) -> ExperimentOutput {
 
 /// E19: coherence overhead over a perfect-coherence oracle, plus an
 /// epoch-by-epoch timeline (extension figure).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e19_coherence_overhead(scale: Scale) -> ExperimentOutput {
+pub fn e19_coherence_overhead(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes([
+            SchemeKind::Ideal,
+            SchemeKind::Tpi,
+            SchemeKind::FullMap,
+            SchemeKind::Sc,
+        ])
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("Execution time over the perfect-coherence oracle (coherence overhead)");
     t.headers(["bench", "IDEAL cycles", "TPI/IDEAL", "HW/IDEAL", "SC/IDEAL"]);
     for kernel in Kernel::ALL {
-        let ideal = run(kernel, scale, &cfg_for(SchemeKind::Ideal))
-            .sim
-            .total_cycles
-            .max(1);
-        let tpi = run(kernel, scale, &cfg_for(SchemeKind::Tpi))
-            .sim
-            .total_cycles;
-        let hw = run(kernel, scale, &cfg_for(SchemeKind::FullMap))
-            .sim
-            .total_cycles;
-        let sc = run(kernel, scale, &cfg_for(SchemeKind::Sc))
-            .sim
-            .total_cycles;
+        let ideal = grid.get(kernel, SchemeKind::Ideal).sim.total_cycles.max(1);
+        let tpi = grid.get(kernel, SchemeKind::Tpi).sim.total_cycles;
+        let hw = grid.get(kernel, SchemeKind::FullMap).sim.total_cycles;
+        let sc = grid.get(kernel, SchemeKind::Sc).sim.total_cycles;
         t.row([
             kernel.name().to_string(),
             ideal.to_string(),
@@ -796,8 +995,8 @@ pub fn e19_coherence_overhead(scale: Scale) -> ExperimentOutput {
         "HW cycles",
         "HW misses",
     ]);
-    let rt = run(Kernel::Arc2d, scale, &cfg_for(SchemeKind::Tpi));
-    let rh = run(Kernel::Arc2d, scale, &cfg_for(SchemeKind::FullMap));
+    let rt = grid.get(Kernel::Arc2d, SchemeKind::Tpi);
+    let rh = grid.get(Kernel::Arc2d, SchemeKind::FullMap);
     for (pt, ph) in rt.sim.profile.iter().zip(&rh.sim.profile).take(12) {
         tl.row([
             pt.epoch.to_string(),
@@ -817,8 +1016,13 @@ pub fn e19_coherence_overhead(scale: Scale) -> ExperimentOutput {
 
 /// E20 / Section 5: doacross pipelining via post/wait — synchronization
 /// granularity and schedule sweep on a 2-D wavefront (extension).
+///
+/// # Panics
+///
+/// Panics if the wavefront program traces with a race (a bug in its
+/// post/wait synchronization).
 #[must_use]
-pub fn e20_doacross(scale: Scale) -> ExperimentOutput {
+pub fn e20_doacross(scale: Scale, runner: &Runner) -> ExperimentOutput {
     use tpi::ir::{subs, Cond, Program, ProgramBuilder};
     let n: i64 = match scale {
         Scale::Test => 32,
@@ -862,31 +1066,46 @@ pub fn e20_doacross(scale: Scale) -> ExperimentOutput {
         });
         p.finish(main).expect("pipeline is well-formed")
     };
+    let grains: Vec<i64> = [2i64, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|g| n % g == 0)
+        .collect();
+    let mut sweep_grid = runner.grid().scale(scale).scheme(SchemeKind::Tpi).sweep(
+        [SchedulePolicy::StaticBlock, SchedulePolicy::StaticCyclic],
+        |cfg, &p| cfg.policy = p,
+    );
+    for &g in &grains {
+        sweep_grid = sweep_grid.program(&format!("wavefront-{n}-g{g}"), pipeline(g));
+    }
+    let sweep_grid = sweep_grid.run().expect("wavefront is synchronized");
     let mut t = Table::new(format!(
         "{n}x{n} wavefront: post granularity x schedule (TPI cycles)"
     ));
     t.headers(["post every", "static-block", "static-cyclic"]);
-    for g in [2i64, 4, 8, 16, 32] {
-        if n % g != 0 {
-            continue;
-        }
-        let prog = pipeline(g);
+    for &g in &grains {
         let mut row = vec![format!("{g} cols")];
-        for policy in [SchedulePolicy::StaticBlock, SchedulePolicy::StaticCyclic] {
-            let mut cfg = cfg_for(SchemeKind::Tpi);
-            cfg.policy = policy;
-            let r = tpi::run_program(&prog, &cfg).expect("wavefront is synchronized");
+        for vi in 0..2 {
+            let r = sweep_grid.at_program(&format!("wavefront-{n}-g{g}"), SchemeKind::Tpi, vi);
             row.push(r.sim.total_cycles.to_string());
         }
         t.row(row);
     }
     let mut s = Table::new("Wavefront (post every 8, cyclic) across schemes");
     s.headers(["scheme", "cycles", "wait cycles"]);
-    let prog = pipeline(8);
+    let cyclic = ExperimentConfig::builder()
+        .policy(SchedulePolicy::StaticCyclic)
+        .build()
+        .expect("cyclic paper machine is valid");
+    let schemes_grid = runner
+        .grid()
+        .scale(scale)
+        .program(&format!("wavefront-{n}-g8"), pipeline(8))
+        .base(cyclic)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .expect("wavefront is synchronized");
     for scheme in SchemeKind::MAIN {
-        let mut cfg = cfg_for(scheme);
-        cfg.policy = SchedulePolicy::StaticCyclic;
-        let r = tpi::run_program(&prog, &cfg).expect("wavefront is synchronized");
+        let r = schemes_grid.at_program(&format!("wavefront-{n}-g8"), scheme, 0);
         t_row_push(
             &mut s,
             scheme.label(),
@@ -904,9 +1123,23 @@ pub fn e20_doacross(scale: Scale) -> ExperimentOutput {
 
 /// E21 / Section 3: one-level tagged cache vs the off-the-shelf two-level
 /// arrangement (stock on-chip L1 over the tagged off-chip cache).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e21_two_level(scale: Scale) -> ExperimentOutput {
+pub fn e21_two_level(scale: Scale, runner: &Runner) -> ExperimentOutput {
     use tpi_proto::L1Config;
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep([None, Some(L1Config::paper_default())], |cfg, &l1| {
+            cfg.l1 = l1;
+        })
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new(
         "TPI: one-level tagged cache vs stock 8 KB L1 + tagged off-chip cache (5-cycle)",
     );
@@ -918,10 +1151,8 @@ pub fn e21_two_level(scale: Scale) -> ExperimentOutput {
         "plain hit share",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        let one = run(kernel, scale, &cfg);
-        cfg.l1 = Some(L1Config::paper_default());
-        let two = run(kernel, scale, &cfg);
+        let one = grid.at(kernel, SchemeKind::Tpi, 0);
+        let two = grid.at(kernel, SchemeKind::Tpi, 1);
         let plain_share = two.sim.agg.read_hits as f64 / two.sim.agg.reads.max(1) as f64;
         t.row([
             kernel.name().to_string(),
@@ -944,9 +1175,24 @@ pub fn e21_two_level(scale: Scale) -> ExperimentOutput {
 
 /// E22: what a failed tag check should fetch — the whole line (spatial
 /// refresh, the paper's organization) or just the word (minimal traffic).
+///
+/// # Panics
+///
+/// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
-pub fn e22_fetch_granularity(scale: Scale) -> ExperimentOutput {
+pub fn e22_fetch_granularity(scale: Scale, runner: &Runner) -> ExperimentOutput {
     use tpi_proto::FetchGranularity;
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .scheme(SchemeKind::Tpi)
+        .sweep(
+            [FetchGranularity::Line, FetchGranularity::Word],
+            |cfg, &g| cfg.coherence_fetch = g,
+        )
+        .run()
+        .expect("suite is race-free");
     let mut t = Table::new("TPI coherence-miss fetch granularity: line vs word");
     t.headers([
         "bench",
@@ -957,11 +1203,8 @@ pub fn e22_fetch_granularity(scale: Scale) -> ExperimentOutput {
         "word rd words",
     ]);
     for kernel in Kernel::ALL {
-        let mut cfg = cfg_for(SchemeKind::Tpi);
-        cfg.coherence_fetch = FetchGranularity::Line;
-        let line = run(kernel, scale, &cfg);
-        cfg.coherence_fetch = FetchGranularity::Word;
-        let word = run(kernel, scale, &cfg);
+        let line = grid.at(kernel, SchemeKind::Tpi, 0);
+        let word = grid.at(kernel, SchemeKind::Tpi, 1);
         t.row([
             kernel.name().to_string(),
             line.sim.total_cycles.to_string(),
@@ -992,27 +1235,31 @@ mod tests {
 
     #[test]
     fn closed_form_experiments_render() {
-        let e1 = run_experiment("e1", Scale::Test).unwrap();
+        let runner = Runner::new();
+        let e1 = run_experiment("e1", Scale::Test, &runner).unwrap();
         assert_eq!(e1.tables.len(), 2);
         assert!(e1.to_string().contains("full-map"));
-        let e2 = run_experiment("e2", Scale::Test).unwrap();
+        let e2 = run_experiment("e2", Scale::Test, &runner).unwrap();
         assert!(e2.to_string().contains("timetag"));
     }
 
     #[test]
     fn unknown_id_is_none() {
-        assert!(run_experiment("e99", Scale::Test).is_none());
+        assert!(run_experiment("e99", Scale::Test, &Runner::new()).is_none());
     }
 
     #[test]
     fn miss_rate_table_has_all_benchmarks() {
-        let out = e3_miss_rates(Scale::Test);
+        let out = e3_miss_rates(Scale::Test, &Runner::new());
         assert_eq!(out.tables[0].len(), 6);
     }
 
     #[test]
     fn full_matrix_covers_24_runs() {
-        assert_eq!(crate::harness::full_matrix(Scale::Test).len(), 24);
+        assert_eq!(
+            crate::harness::full_matrix(Scale::Test, &Runner::new()).len(),
+            24
+        );
     }
 
     #[test]
@@ -1020,10 +1267,28 @@ mod tests {
         for id in ALL_IDS {
             // Only the cheap, closed-form ones are actually executed here;
             // the simulated ones are covered by the integration tests and
-            // the Criterion benches at test scale.
+            // the benches at test scale.
             if id == "e1" || id == "e2" {
-                assert!(run_experiment(id, Scale::Test).is_some());
+                assert!(run_experiment(id, Scale::Test, &Runner::new()).is_some());
             }
         }
+    }
+
+    #[test]
+    fn shared_runner_reuses_traces_across_experiments() {
+        // e3 and e7 run the same 24 cells; a shared runner interprets each
+        // kernel's trace once and simulates each distinct cell once.
+        let runner = Runner::new();
+        let _ = e3_miss_rates(Scale::Test, &runner);
+        let after_e3 = runner.stats();
+        assert_eq!(after_e3.traces_built, 6);
+        assert_eq!(after_e3.cells_simulated, 24);
+        let _ = e7_exec_time(Scale::Test, &runner);
+        let after_e7 = runner.stats();
+        assert_eq!(after_e7.traces_built, 6, "e7 reuses e3's traces");
+        assert_eq!(
+            after_e7.cells_simulated, 48,
+            "cells are re-simulated (results are not cached), traces are not re-interpreted"
+        );
     }
 }

@@ -1,11 +1,13 @@
 //! Shared plumbing for the experiment implementations.
 
-use tpi::{run_kernel, ExperimentConfig, ExperimentResult};
+use tpi::{run_kernel, ExperimentConfig, ExperimentResult, Runner};
 use tpi_proto::SchemeKind;
 use tpi_workloads::{Kernel, Scale};
 
-/// Runs `kernel` under `cfg`, panicking on the (impossible for the shipped
-/// kernels) race error so experiment code stays declarative.
+/// Runs `kernel` under `cfg` with no memoization — the reference path the
+/// [`Runner`]-based experiments are checked against. Panics on the
+/// (impossible for the shipped kernels) race error so experiment code
+/// stays declarative.
 ///
 /// # Panics
 ///
@@ -18,20 +20,31 @@ pub fn run(kernel: Kernel, scale: Scale, cfg: &ExperimentConfig) -> ExperimentRe
 /// The paper configuration with the scheme swapped.
 #[must_use]
 pub fn cfg_for(scheme: SchemeKind) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper();
-    cfg.scheme = scheme;
-    cfg
+    ExperimentConfig::builder()
+        .scheme(scheme)
+        .build()
+        .expect("the paper machine is valid")
 }
 
-/// Runs every benchmark under every main scheme; yields
+/// Runs every benchmark under every main scheme on `runner`; yields
 /// `(kernel, scheme, result)` in a deterministic order.
+///
+/// # Panics
+///
+/// Panics if any kernel traces with a race (a bug in the suite).
 #[must_use]
-pub fn full_matrix(scale: Scale) -> Vec<(Kernel, SchemeKind, ExperimentResult)> {
+pub fn full_matrix(scale: Scale, runner: &Runner) -> Vec<(Kernel, SchemeKind, ExperimentResult)> {
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .expect("the suite is race-free");
     let mut out = Vec::new();
     for kernel in Kernel::ALL {
         for scheme in SchemeKind::MAIN {
-            let r = run(kernel, scale, &cfg_for(scheme));
-            out.push((kernel, scheme, r));
+            out.push((kernel, scheme, grid.get(kernel, scheme).clone()));
         }
     }
     out
@@ -52,5 +65,16 @@ mod tests {
     fn single_run_works() {
         let r = run(Kernel::Ocean, Scale::Test, &cfg_for(SchemeKind::Tpi));
         assert!(r.sim.total_cycles > 0);
+    }
+
+    #[test]
+    fn full_matrix_matches_fresh_runs() {
+        let runner = Runner::new();
+        let matrix = full_matrix(Scale::Test, &runner);
+        assert_eq!(matrix.len(), 24);
+        let (kernel, scheme, memoized) = &matrix[5];
+        let fresh = run(*kernel, Scale::Test, &cfg_for(*scheme));
+        assert_eq!(memoized.sim.total_cycles, fresh.sim.total_cycles);
+        assert_eq!(memoized.sim.agg, fresh.sim.agg);
     }
 }

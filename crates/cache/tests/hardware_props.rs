@@ -6,10 +6,10 @@
 //! * The set-associative cache must agree with a naive reference model of
 //!   true-LRU replacement.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use tpi_cache::{Cache, CacheConfig, Line, ResetEvent, ResetStrategy, TagClock};
 use tpi_mem::{LineAddr, LineGeometry};
+use tpi_testkit::prelude::*;
 
 proptest! {
     #[test]

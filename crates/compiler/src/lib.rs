@@ -70,7 +70,7 @@ impl std::fmt::Display for OptLevel {
 }
 
 /// Options controlling the marking pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CompilerOptions {
     /// Analysis aggressiveness.
     pub level: OptLevel,

@@ -66,6 +66,29 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Starts a [`ConfigBuilder`] from the paper's defaults. This is the
+    /// preferred way to describe a non-default machine: invalid
+    /// combinations are rejected at [`build`](ConfigBuilder::build) time
+    /// with a [`ConfigError`] instead of panicking mid-simulation.
+    ///
+    /// ```
+    /// use tpi::ExperimentConfig;
+    /// use tpi_proto::SchemeKind;
+    ///
+    /// let cfg = ExperimentConfig::builder()
+    ///     .scheme(SchemeKind::Sc)
+    ///     .line_words(8)
+    ///     .cache_bytes(128 * 1024)
+    ///     .build()
+    ///     .expect("valid machine");
+    /// assert_eq!(cfg.line_words, 8);
+    /// ```
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            cfg: ExperimentConfig::paper(),
+        }
+    }
+
     /// The paper's default machine, running the TPI scheme.
     #[must_use]
     pub fn paper() -> Self {
@@ -163,6 +186,193 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Why a [`ConfigBuilder`] refused to produce a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `procs` was zero.
+    NoProcessors,
+    /// `line_words` outside `1..=64` (the per-word state bitmasks are 64
+    /// bits wide).
+    LineWords(u32),
+    /// `assoc` was zero.
+    ZeroAssociativity,
+    /// A cache level's capacity / line size / associativity don't form a
+    /// power-of-two number of sets. The string names the level and the
+    /// failed constraint.
+    CacheGeometry(String),
+    /// Timetag width the reset hardware cannot support: two-phase reset
+    /// needs at least one tag bit to split the space into halves, and tags
+    /// are stored in 16-bit fields — so `2..=16` is representable.
+    TagWidth {
+        /// The rejected width.
+        bits: u32,
+        /// The reset strategy it was paired with.
+        strategy: ResetStrategy,
+    },
+    /// LimitLESS was selected with zero hardware pointers.
+    NoLimitlessPointers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoProcessors => write!(f, "need at least one processor"),
+            ConfigError::LineWords(w) => {
+                write!(f, "line_words must be in 1..=64, got {w}")
+            }
+            ConfigError::ZeroAssociativity => write!(f, "associativity must be at least 1"),
+            ConfigError::CacheGeometry(why) => write!(f, "inconsistent cache geometry: {why}"),
+            ConfigError::TagWidth { bits, strategy } => write!(
+                f,
+                "timetag width {bits} unsupported ({strategy:?} reset needs 2..=16 bits)"
+            ),
+            ConfigError::NoLimitlessPointers => {
+                write!(f, "LimitLESS needs at least one hardware pointer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ExperimentConfig`], seeded with the paper's defaults.
+/// Every setter overrides one knob; [`build`](ConfigBuilder::build)
+/// validates the combination. See [`ExperimentConfig::builder`].
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the configuration"]
+pub struct ConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+macro_rules! setters {
+    ($($(#[$doc:meta])+ $field:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])+
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.cfg.$field = $field;
+                self
+            }
+        )+
+    };
+}
+
+impl ConfigBuilder {
+    setters! {
+        /// Coherence scheme under test.
+        scheme: SchemeKind,
+        /// Compiler optimization level (marking quality).
+        opt_level: OptLevel,
+        /// Number of processors.
+        procs: u32,
+        /// Cache capacity per node, bytes.
+        cache_bytes: usize,
+        /// Words per cache line.
+        line_words: u32,
+        /// Cache associativity.
+        assoc: u32,
+        /// Timetag width (TPI).
+        tag_bits: u32,
+        /// Timetag recycling strategy (TPI).
+        reset_strategy: ResetStrategy,
+        /// Stall per two-phase reset (TPI).
+        reset_cycles: Cycle,
+        /// Write buffer organization (write-through schemes).
+        wbuffer: WriteBufferKind,
+        /// HSCD cache write policy (TPI).
+        write_policy: WritePolicy,
+        /// DOALL scheduling policy.
+        policy: SchedulePolicy,
+        /// Seed for dynamic scheduling and opaque subscripts.
+        seed: u64,
+        /// Barrier / loop-scheduling overhead per epoch.
+        epoch_setup_cycles: Cycle,
+        /// LimitLess hardware pointers.
+        limitless_pointers: u32,
+        /// LimitLess software-trap penalty.
+        limitless_trap_cycles: Cycle,
+        /// Whether verified Time-Read hits re-stamp their word (TPI).
+        restamp_verified_hits: bool,
+        /// Panic if any cache hit observes stale data.
+        verify_freshness: bool,
+        /// Optional on-chip L1 in front of the tagged TPI cache.
+        l1: Option<tpi_proto::L1Config>,
+        /// Rotate serial epochs across processors instead of pinning them
+        /// to processor 0.
+        rotate_serial: bool,
+        /// What a failed TPI tag check refetches.
+        coherence_fetch: tpi_proto::FetchGranularity,
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint:
+    /// zero processors, an unrepresentable line size, a cache level whose
+    /// capacity / line size / associativity don't yield a power-of-two
+    /// number of sets, a timetag width the reset hardware can't support,
+    /// or LimitLESS with no pointers.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.procs == 0 {
+            return Err(ConfigError::NoProcessors);
+        }
+        if !(1..=64).contains(&cfg.line_words) {
+            return Err(ConfigError::LineWords(cfg.line_words));
+        }
+        if cfg.assoc == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        let line_bytes = cfg.geometry().line_bytes();
+        check_level("cache", cfg.cache_bytes, line_bytes, cfg.assoc)?;
+        if let Some(l1) = cfg.l1 {
+            if l1.assoc == 0 {
+                return Err(ConfigError::ZeroAssociativity);
+            }
+            check_level("L1", l1.size_bytes, line_bytes, l1.assoc)?;
+        }
+        if !(2..=16).contains(&cfg.tag_bits) {
+            return Err(ConfigError::TagWidth {
+                bits: cfg.tag_bits,
+                strategy: cfg.reset_strategy,
+            });
+        }
+        if cfg.scheme == SchemeKind::LimitLess && cfg.limitless_pointers == 0 {
+            return Err(ConfigError::NoLimitlessPointers);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Checks one cache level's capacity / line size / associativity the same
+/// way [`tpi_cache::CacheConfig`] asserts them, but as `Err` not panic.
+fn check_level(
+    level: &str,
+    size_bytes: usize,
+    line_bytes: usize,
+    assoc: u32,
+) -> Result<(), ConfigError> {
+    if size_bytes == 0 || !size_bytes.is_multiple_of(line_bytes) {
+        return Err(ConfigError::CacheGeometry(format!(
+            "{level} capacity {size_bytes} B is not a positive multiple of the {line_bytes} B line"
+        )));
+    }
+    let lines = size_bytes / line_bytes;
+    if !lines.is_multiple_of(assoc as usize) {
+        return Err(ConfigError::CacheGeometry(format!(
+            "{level}: {lines} lines do not divide into {assoc}-way sets"
+        )));
+    }
+    let sets = lines / assoc as usize;
+    if !sets.is_power_of_two() {
+        return Err(ConfigError::CacheGeometry(format!(
+            "{level}: {sets} sets is not a power of two"
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +395,123 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn builder_defaults_to_paper() {
+        assert_eq!(
+            ExperimentConfig::builder().build().unwrap(),
+            ExperimentConfig::paper()
+        );
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let cfg = ExperimentConfig::builder()
+            .scheme(SchemeKind::Sc)
+            .opt_level(OptLevel::Intra)
+            .procs(8)
+            .cache_bytes(32 * 1024)
+            .line_words(8)
+            .assoc(2)
+            .tag_bits(4)
+            .reset_strategy(ResetStrategy::FullFlushOnWrap)
+            .reset_cycles(64)
+            .wbuffer(WriteBufferKind::Coalescing)
+            .write_policy(WritePolicy::BackAtBoundary)
+            .policy(SchedulePolicy::StaticCyclic)
+            .seed(7)
+            .epoch_setup_cycles(50)
+            .limitless_pointers(4)
+            .limitless_trap_cycles(25)
+            .restamp_verified_hits(false)
+            .verify_freshness(true)
+            .l1(Some(tpi_proto::L1Config::paper_default()))
+            .rotate_serial(true)
+            .coherence_fetch(tpi_proto::FetchGranularity::Word)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.scheme, SchemeKind::Sc);
+        assert_eq!(cfg.procs, 8);
+        assert_eq!(cfg.line_words, 8);
+        assert_eq!(cfg.assoc, 2);
+        assert_eq!(cfg.tag_bits, 4);
+        assert!(cfg.rotate_serial);
+        assert!(cfg.l1.is_some());
+    }
+
+    #[test]
+    fn builder_rejects_unsupported_tag_widths() {
+        for bits in [0, 1, 17, 32] {
+            let err = ExperimentConfig::builder()
+                .tag_bits(bits)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::TagWidth { bits: b, .. } if b == bits),
+                "{bits}: {err}"
+            );
+        }
+        // The boundary widths the reset hardware does support.
+        for bits in [2, 16] {
+            assert!(ExperimentConfig::builder().tag_bits(bits).build().is_ok());
+        }
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_machines() {
+        assert_eq!(
+            ExperimentConfig::builder().procs(0).build().unwrap_err(),
+            ConfigError::NoProcessors
+        );
+        assert_eq!(
+            ExperimentConfig::builder().assoc(0).build().unwrap_err(),
+            ConfigError::ZeroAssociativity
+        );
+        assert!(matches!(
+            ExperimentConfig::builder()
+                .line_words(65)
+                .build()
+                .unwrap_err(),
+            ConfigError::LineWords(65)
+        ));
+        assert!(matches!(
+            ExperimentConfig::builder()
+                .scheme(SchemeKind::LimitLess)
+                .limitless_pointers(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::NoLimitlessPointers
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_cache_geometry() {
+        // 48 KB of 4-word (16 B) lines is 3072 lines -> 3072 direct-mapped
+        // sets, not a power of two.
+        let err = ExperimentConfig::builder()
+            .cache_bytes(48 * 1024)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::CacheGeometry(_)), "{err}");
+        // 3-way over a power-of-two line count doesn't divide evenly.
+        let err = ExperimentConfig::builder().assoc(3).build().unwrap_err();
+        assert!(matches!(err, ConfigError::CacheGeometry(_)), "{err}");
+        // The same checks guard the optional L1.
+        let err = ExperimentConfig::builder()
+            .l1(Some(tpi_proto::L1Config {
+                size_bytes: 3000,
+                assoc: 1,
+                l2_hit_cycles: 5,
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::CacheGeometry(_)), "{err}");
+        // A valid 2-way 128 KB machine passes.
+        assert!(ExperimentConfig::builder()
+            .cache_bytes(128 * 1024)
+            .assoc(2)
+            .build()
+            .is_ok());
     }
 }

@@ -72,8 +72,7 @@ mod tests {
     fn all_schemes_run_all_kernels_at_test_scale() {
         for kernel in Kernel::ALL {
             for scheme in SchemeKind::MAIN {
-                let mut cfg = ExperimentConfig::paper();
-                cfg.scheme = scheme;
+                let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
                 let r = run_kernel(kernel, Scale::Test, &cfg)
                     .unwrap_or_else(|e| panic!("{kernel} under {scheme}: {e}"));
                 assert!(r.sim.total_cycles > 0);
@@ -87,10 +86,9 @@ mod tests {
         // The paper's central claim, checked at test scale on the stencil
         // kernel: TPI within range of the directory scheme, both far ahead
         // of no-caching.
-        let mut cfg = ExperimentConfig::paper();
         let mut cycles = std::collections::HashMap::new();
         for scheme in SchemeKind::MAIN {
-            cfg.scheme = scheme;
+            let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
             let r = run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
             cycles.insert(scheme.label(), r.sim.total_cycles);
         }
@@ -103,9 +101,11 @@ mod tests {
 
     #[test]
     fn limitless_runs_too() {
-        let mut cfg = ExperimentConfig::paper();
-        cfg.scheme = SchemeKind::LimitLess;
-        cfg.limitless_pointers = 2;
+        let cfg = ExperimentConfig::builder()
+            .scheme(SchemeKind::LimitLess)
+            .limitless_pointers(2)
+            .build()
+            .unwrap();
         let r = run_kernel(Kernel::Spec77, Scale::Test, &cfg).unwrap();
         assert!(
             r.sim.agg.traps > 0,

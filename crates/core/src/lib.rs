@@ -16,15 +16,21 @@
 //! # Quickstart
 //!
 //! ```
-//! use tpi::{ExperimentConfig, run_kernel};
+//! use tpi::Runner;
 //! use tpi_proto::SchemeKind;
 //! use tpi_workloads::{Kernel, Scale};
 //!
-//! let mut cfg = ExperimentConfig::paper();
-//! cfg.scheme = SchemeKind::Tpi;
-//! let tpi = run_kernel(Kernel::Flo52, Scale::Test, &cfg)?;
-//! cfg.scheme = SchemeKind::FullMap;
-//! let hw = run_kernel(Kernel::Flo52, Scale::Test, &cfg)?;
+//! // The Runner compiles and traces the kernel once, then simulates both
+//! // schemes from the shared trace (in parallel on a multicore host).
+//! let runner = Runner::new();
+//! let grid = runner
+//!     .grid()
+//!     .kernel(Kernel::Flo52)
+//!     .scale(Scale::Test)
+//!     .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+//!     .run()?;
+//! let tpi = grid.get(Kernel::Flo52, SchemeKind::Tpi);
+//! let hw = grid.get(Kernel::Flo52, SchemeKind::FullMap);
 //! println!(
 //!     "TPI: {} cycles ({:.2}% miss), HW: {} cycles ({:.2}% miss)",
 //!     tpi.sim.total_cycles,
@@ -34,16 +40,38 @@
 //! );
 //! # Ok::<(), tpi_trace::TraceError>(())
 //! ```
+//!
+//! One-off machine variations go through [`ExperimentConfig::builder`],
+//! which validates the machine description before anything runs:
+//!
+//! ```
+//! use tpi::{run_kernel, ExperimentConfig};
+//! use tpi_workloads::{Kernel, Scale};
+//!
+//! let cfg = ExperimentConfig::builder()
+//!     .procs(32)
+//!     .tag_bits(4)
+//!     .build()
+//!     .expect("a valid machine");
+//! let r = run_kernel(Kernel::Ocean, Scale::Test, &cfg)?;
+//! assert!(r.sim.total_cycles > 0);
+//! # Ok::<(), tpi_trace::TraceError>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod experiment;
 pub mod report;
+pub mod runner;
 pub mod tables;
 
-pub use config::ExperimentConfig;
+pub use config::{ConfigBuilder, ConfigError, ExperimentConfig};
 pub use experiment::{run_kernel, run_program, ExperimentResult};
+pub use runner::{
+    CellGrid, CellId, GridBuilder, GridOutcome, GridResult, ProgramSource, RunSpec, Runner,
+    RunnerStats,
+};
 pub use tables::{BarChart, Table};
 
 // Re-export the layer crates so downstream users need only one dependency.

@@ -152,8 +152,7 @@ mod tests {
     use tpi_workloads::{Kernel, Scale};
 
     fn result(scheme: SchemeKind) -> ExperimentResult {
-        let mut cfg = ExperimentConfig::paper();
-        cfg.scheme = scheme;
+        let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
         run_kernel(Kernel::Arc2d, Scale::Test, &cfg).expect("runs")
     }
 

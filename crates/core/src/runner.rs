@@ -1,0 +1,945 @@
+//! The experiment engine: artifact memoization and parallel grid
+//! execution.
+//!
+//! The pipeline behind every experiment is
+//!
+//! ```text
+//! program --mark--> marking --interpret--> trace --simulate--> SimResult
+//! ```
+//!
+//! and only the last stage depends on the coherence scheme or the cache
+//! geometry. A 4-scheme × 5-point sweep therefore needs each program
+//! built once, marked once per compiler option, and interpreted once per
+//! trace option — not once per grid cell. The [`Runner`] owns an
+//! [`artifact cache`](RunnerStats) that enforces exactly that sharing,
+//! and fans the remaining per-cell simulations across OS threads with
+//! [`std::thread::scope`].
+//!
+//! Determinism: every pipeline stage is a pure function of its inputs,
+//! cells are simulated independently, and results are returned in
+//! submission order — so a parallel, memoized grid produces *bit-identical*
+//! results to a serial, non-memoized loop. The equivalence tests in this
+//! module and in `tests/runner_equivalence.rs` keep that invariant
+//! executable.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpi::Runner;
+//! use tpi_proto::SchemeKind;
+//! use tpi_workloads::{Kernel, Scale};
+//!
+//! let runner = Runner::new();
+//! let grid = runner
+//!     .grid()
+//!     .kernels([Kernel::Flo52, Kernel::Ocean])
+//!     .scale(Scale::Test)
+//!     .schemes(SchemeKind::MAIN)
+//!     .run()?;
+//! let tpi = grid.get(Kernel::Flo52, SchemeKind::Tpi);
+//! let hw = grid.get(Kernel::Flo52, SchemeKind::FullMap);
+//! assert!(tpi.sim.total_cycles > 0 && hw.sim.total_cycles > 0);
+//! // 8 cells, but each kernel was built, marked, and interpreted once.
+//! assert_eq!(runner.stats().traces_built, 2);
+//! # Ok::<(), tpi_trace::TraceError>(())
+//! ```
+
+use crate::config::ExperimentConfig;
+use crate::experiment::ExperimentResult;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tpi_compiler::{mark_program, CompilerOptions, Marking};
+use tpi_ir::Program;
+use tpi_proto::{build_engine, SchemeKind};
+use tpi_sim::{run_trace, verify_accounting};
+use tpi_trace::{generate_trace, Trace, TraceError, TraceOptions};
+use tpi_workloads::{Kernel, Scale};
+
+/// Where a cell's program comes from.
+#[derive(Debug, Clone)]
+pub enum ProgramSource {
+    /// A benchmark kernel at a given scale, built on demand.
+    Kernel(Kernel, Scale),
+    /// A caller-supplied program. The name is the cache identity: reusing
+    /// a name for a *different* program in one runner is a caller bug.
+    Custom {
+        /// Cache key for this program.
+        name: Arc<str>,
+        /// The program itself.
+        program: Arc<Program>,
+    },
+}
+
+impl ProgramSource {
+    fn key(&self) -> ProgramKey {
+        match self {
+            ProgramSource::Kernel(k, s) => ProgramKey::Kernel(*k, *s),
+            ProgramSource::Custom { name, .. } => ProgramKey::Custom(Arc::clone(name)),
+        }
+    }
+
+    /// Human-readable label (kernel name or the custom name).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        match self {
+            ProgramSource::Kernel(k, _) => k.name(),
+            ProgramSource::Custom { name, .. } => name,
+        }
+    }
+}
+
+/// Cache identity of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ProgramKey {
+    Kernel(Kernel, Scale),
+    Custom(Arc<str>),
+}
+
+/// One grid cell: a program plus the full configuration to run it under.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The program to run.
+    pub source: ProgramSource,
+    /// Every knob of the run.
+    pub config: ExperimentConfig,
+}
+
+type MarkingKey = (ProgramKey, CompilerOptions);
+type TraceKey = (ProgramKey, CompilerOptions, TraceOptions);
+
+#[derive(Default)]
+struct ArtifactStore {
+    programs: HashMap<ProgramKey, Arc<Program>>,
+    markings: HashMap<MarkingKey, Arc<Marking>>,
+    traces: HashMap<TraceKey, Arc<Trace>>,
+}
+
+/// Counters describing how much work the cache avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Programs built (cache misses).
+    pub programs_built: u64,
+    /// Program cache hits.
+    pub program_hits: u64,
+    /// Marking passes run (cache misses).
+    pub markings_built: u64,
+    /// Marking cache hits.
+    pub marking_hits: u64,
+    /// Traces interpreted (cache misses).
+    pub traces_built: u64,
+    /// Trace cache hits.
+    pub trace_hits: u64,
+    /// Cells actually simulated.
+    pub cells_simulated: u64,
+    /// Cells answered by copying an identical sibling cell's result.
+    pub cells_deduped: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    programs_built: AtomicU64,
+    program_hits: AtomicU64,
+    markings_built: AtomicU64,
+    marking_hits: AtomicU64,
+    traces_built: AtomicU64,
+    trace_hits: AtomicU64,
+    cells_simulated: AtomicU64,
+    cells_deduped: AtomicU64,
+}
+
+/// The experiment engine: a memoizing artifact cache plus a parallel,
+/// deterministic grid executor. See the [module docs](self).
+pub struct Runner {
+    threads: usize,
+    memoize: bool,
+    store: Mutex<ArtifactStore>,
+    stats: StatCells,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner using every available core (or `TPI_THREADS` if set).
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::env::var("TPI_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Runner::with_threads(threads)
+    }
+
+    /// A single-threaded runner (still memoizing).
+    #[must_use]
+    pub fn serial() -> Self {
+        Runner::with_threads(1)
+    }
+
+    /// A runner with an explicit worker count (`0` is clamped to 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+            memoize: true,
+            store: Mutex::new(ArtifactStore::default()),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Disables the artifact cache: every cell rebuilds, re-marks, and
+    /// re-interprets its own pipeline, and identical cells are not
+    /// deduplicated — the pre-engine behaviour. Results are bit-identical
+    /// to the memoized path; this exists as a timing baseline
+    /// (`repro --fresh`) and for the equivalence tests.
+    #[must_use]
+    pub fn without_memoization(mut self) -> Self {
+        self.memoize = false;
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> RunnerStats {
+        RunnerStats {
+            programs_built: self.stats.programs_built.load(Ordering::Relaxed),
+            program_hits: self.stats.program_hits.load(Ordering::Relaxed),
+            markings_built: self.stats.markings_built.load(Ordering::Relaxed),
+            marking_hits: self.stats.marking_hits.load(Ordering::Relaxed),
+            traces_built: self.stats.traces_built.load(Ordering::Relaxed),
+            trace_hits: self.stats.trace_hits.load(Ordering::Relaxed),
+            cells_simulated: self.stats.cells_simulated.load(Ordering::Relaxed),
+            cells_deduped: self.stats.cells_deduped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Starts an empty cross-product grid over this runner's cache.
+    #[must_use]
+    pub fn grid(&self) -> GridBuilder<'_> {
+        GridBuilder {
+            runner: self,
+            scale: Scale::Test,
+            base: ExperimentConfig::paper(),
+            kernels: Vec::new(),
+            programs: Vec::new(),
+            schemes: Vec::new(),
+            variants: Vec::new(),
+        }
+    }
+
+    /// Starts an empty free-form cell list (for ragged grids the
+    /// cross-product [`GridBuilder`] cannot express).
+    #[must_use]
+    pub fn cells(&self) -> CellGrid<'_> {
+        CellGrid {
+            runner: self,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Runs one kernel, reusing cached artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the program races under the configured
+    /// schedule.
+    pub fn run_kernel(
+        &self,
+        kernel: Kernel,
+        scale: Scale,
+        config: &ExperimentConfig,
+    ) -> Result<ExperimentResult, TraceError> {
+        let mut grid = self.cells();
+        let cell = grid.add(kernel, scale, *config);
+        Ok(grid.run()?.take(cell))
+    }
+
+    /// Runs a caller-supplied program, reusing cached artifacts. `name`
+    /// is the cache identity (see [`ProgramSource::Custom`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the program races under the configured
+    /// schedule.
+    pub fn run_program(
+        &self,
+        name: &str,
+        program: impl Into<Arc<Program>>,
+        config: &ExperimentConfig,
+    ) -> Result<ExperimentResult, TraceError> {
+        let mut grid = self.cells();
+        let cell = grid.add_program(name, program, *config);
+        Ok(grid.run()?.take(cell))
+    }
+
+    /// Executes `cells`, returning results in submission order.
+    fn execute(&self, cells: &[RunSpec]) -> Result<Vec<ExperimentResult>, TraceError> {
+        if !self.memoize {
+            return self.execute_fresh(cells);
+        }
+        // Phase 1 — programs. Unique keys in first-appearance order keep
+        // the whole pipeline deterministic.
+        let mut program_jobs: Vec<(ProgramKey, Option<Arc<Program>>)> = Vec::new();
+        {
+            let store = self.store.lock().expect("runner store");
+            for cell in cells {
+                let key = cell.source.key();
+                if store.programs.contains_key(&key) || program_jobs.iter().any(|(k, _)| *k == key)
+                {
+                    self.stats.program_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let prebuilt = match &cell.source {
+                    ProgramSource::Kernel(..) => None,
+                    ProgramSource::Custom { program, .. } => Some(Arc::clone(program)),
+                };
+                program_jobs.push((key, prebuilt));
+            }
+        }
+        self.stats
+            .programs_built
+            .fetch_add(program_jobs.len() as u64, Ordering::Relaxed);
+        let built = parallel_map(self.threads, &program_jobs, |(key, prebuilt)| {
+            match (key, prebuilt) {
+                (_, Some(p)) => Arc::clone(p),
+                (ProgramKey::Kernel(k, s), None) => Arc::new(k.build(*s)),
+                (ProgramKey::Custom(name), None) => {
+                    unreachable!("custom program {name} submitted without a body")
+                }
+            }
+        });
+        {
+            let mut store = self.store.lock().expect("runner store");
+            for ((key, _), program) in program_jobs.into_iter().zip(built) {
+                store.programs.insert(key, program);
+            }
+        }
+
+        // Phase 2 — markings (scheme-independent).
+        let mut marking_jobs: Vec<(MarkingKey, Arc<Program>)> = Vec::new();
+        {
+            let store = self.store.lock().expect("runner store");
+            for cell in cells {
+                let key = (cell.source.key(), cell.config.compiler_options());
+                if store.markings.contains_key(&key) || marking_jobs.iter().any(|(k, _)| *k == key)
+                {
+                    self.stats.marking_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let program = Arc::clone(&store.programs[&key.0]);
+                marking_jobs.push((key, program));
+            }
+        }
+        self.stats
+            .markings_built
+            .fetch_add(marking_jobs.len() as u64, Ordering::Relaxed);
+        let marked = parallel_map(self.threads, &marking_jobs, |(key, program)| {
+            Arc::new(mark_program(program.as_ref(), &key.1))
+        });
+        {
+            let mut store = self.store.lock().expect("runner store");
+            for ((key, _), marking) in marking_jobs.into_iter().zip(marked) {
+                store.markings.insert(key, marking);
+            }
+        }
+
+        // Phase 3 — traces (scheme- and cache-geometry-independent).
+        let mut trace_jobs: Vec<(TraceKey, Arc<Program>, Arc<Marking>)> = Vec::new();
+        {
+            let store = self.store.lock().expect("runner store");
+            for cell in cells {
+                let key = (
+                    cell.source.key(),
+                    cell.config.compiler_options(),
+                    cell.config.trace_options(),
+                );
+                if store.traces.contains_key(&key) || trace_jobs.iter().any(|(k, ..)| *k == key) {
+                    self.stats.trace_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let program = Arc::clone(&store.programs[&key.0]);
+                let marking = Arc::clone(&store.markings[&(key.0.clone(), key.1)]);
+                trace_jobs.push((key, program, marking));
+            }
+        }
+        self.stats
+            .traces_built
+            .fetch_add(trace_jobs.len() as u64, Ordering::Relaxed);
+        let traced = parallel_map(self.threads, &trace_jobs, |(key, program, marking)| {
+            generate_trace(program.as_ref(), marking.as_ref(), &key.2).map(Arc::new)
+        });
+        {
+            let mut store = self.store.lock().expect("runner store");
+            for ((key, ..), trace) in trace_jobs.into_iter().zip(traced) {
+                store.traces.insert(key, trace?);
+            }
+        }
+
+        // Phase 4 — simulate. Identical cells are computed once and
+        // copied; distinct cells fan out across the worker threads.
+        let mut unique: Vec<(&RunSpec, Arc<Trace>, Arc<Marking>)> = Vec::new();
+        let mut cell_to_unique: Vec<usize> = Vec::with_capacity(cells.len());
+        {
+            let store = self.store.lock().expect("runner store");
+            for cell in cells {
+                let same = unique.iter().position(|(u, ..)| {
+                    u.config == cell.config && u.source.key() == cell.source.key()
+                });
+                if let Some(i) = same {
+                    self.stats.cells_deduped.fetch_add(1, Ordering::Relaxed);
+                    cell_to_unique.push(i);
+                    continue;
+                }
+                let pkey = cell.source.key();
+                let copts = cell.config.compiler_options();
+                let marking = Arc::clone(&store.markings[&(pkey.clone(), copts)]);
+                let trace = Arc::clone(&store.traces[&(pkey, copts, cell.config.trace_options())]);
+                cell_to_unique.push(unique.len());
+                unique.push((cell, trace, marking));
+            }
+        }
+        self.stats
+            .cells_simulated
+            .fetch_add(unique.len() as u64, Ordering::Relaxed);
+        let simulated = parallel_map(self.threads, &unique, |(cell, trace, marking)| {
+            simulate_cell(&cell.config, trace.as_ref(), marking.as_ref())
+        });
+        Ok(cell_to_unique
+            .into_iter()
+            .map(|i| simulated[i].clone())
+            .collect())
+    }
+
+    /// The no-cache path: each cell runs its full pipeline independently
+    /// (still fanned across the worker threads).
+    fn execute_fresh(&self, cells: &[RunSpec]) -> Result<Vec<ExperimentResult>, TraceError> {
+        let results = parallel_map(self.threads, cells, |cell| {
+            let program = match &cell.source {
+                ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
+                ProgramSource::Custom { program, .. } => Arc::clone(program),
+            };
+            let marking = mark_program(program.as_ref(), &cell.config.compiler_options());
+            let trace = generate_trace(program.as_ref(), &marking, &cell.config.trace_options())?;
+            Ok(simulate_cell(&cell.config, &trace, &marking))
+        });
+        self.stats
+            .programs_built
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        self.stats
+            .markings_built
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        self.stats
+            .traces_built
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        self.stats
+            .cells_simulated
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        // First error in submission order, as in the memoized path.
+        results.into_iter().collect()
+    }
+}
+
+/// The scheme-dependent tail of the pipeline; bit-identical to what
+/// [`crate::run_program`] does after trace generation.
+fn simulate_cell(config: &ExperimentConfig, trace: &Trace, marking: &Marking) -> ExperimentResult {
+    let mut engine = build_engine(
+        config.scheme,
+        config.engine_config(trace.layout.total_words()),
+    );
+    let sim = run_trace(trace, engine.as_mut(), &config.sim_options());
+    verify_accounting(&sim).expect("engine accounting identity");
+    ExperimentResult {
+        sim,
+        marking: marking.summary(),
+        trace: trace.stats,
+    }
+}
+
+/// Runs `f` over `items` on up to `threads` workers; results keep item
+/// order. Falls back to a plain loop when one worker suffices.
+fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Handle to one submitted cell of a [`CellGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId(usize);
+
+/// A free-form list of grid cells (ragged sweeps, mixed kernels and
+/// custom programs). Submission order is result order.
+pub struct CellGrid<'r> {
+    runner: &'r Runner,
+    cells: Vec<RunSpec>,
+}
+
+impl CellGrid<'_> {
+    /// Queues a kernel run; the returned id indexes the outcome.
+    pub fn add(&mut self, kernel: Kernel, scale: Scale, config: ExperimentConfig) -> CellId {
+        self.cells.push(RunSpec {
+            source: ProgramSource::Kernel(kernel, scale),
+            config,
+        });
+        CellId(self.cells.len() - 1)
+    }
+
+    /// Queues a custom-program run; `name` is the cache identity.
+    pub fn add_program(
+        &mut self,
+        name: &str,
+        program: impl Into<Arc<Program>>,
+        config: ExperimentConfig,
+    ) -> CellId {
+        self.cells.push(RunSpec {
+            source: ProgramSource::Custom {
+                name: Arc::from(name),
+                program: program.into(),
+            },
+            config,
+        });
+        CellId(self.cells.len() - 1)
+    }
+
+    /// Number of queued cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Executes every queued cell (memoized, parallel, deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] in submission order if any cell's
+    /// program races under its schedule.
+    pub fn run(self) -> Result<GridOutcome, TraceError> {
+        let results = self.runner.execute(&self.cells)?;
+        Ok(GridOutcome { results })
+    }
+}
+
+/// Results of a [`CellGrid`] run, indexed by [`CellId`].
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    results: Vec<ExperimentResult>,
+}
+
+impl GridOutcome {
+    /// The result of one cell.
+    #[must_use]
+    pub fn get(&self, id: CellId) -> &ExperimentResult {
+        &self.results[id.0]
+    }
+
+    /// Moves one cell's result out (clones if other handles remain).
+    #[must_use]
+    pub fn take(&self, id: CellId) -> ExperimentResult {
+        self.results[id.0].clone()
+    }
+}
+
+impl std::ops::Index<CellId> for GridOutcome {
+    type Output = ExperimentResult;
+
+    fn index(&self, id: CellId) -> &ExperimentResult {
+        &self.results[id.0]
+    }
+}
+
+type VariantFn = Rc<dyn Fn(&mut ExperimentConfig)>;
+
+/// Fluent cross-product grid: kernels × schemes × swept variants, all on
+/// one base configuration.
+///
+/// Cell order (and so result order) is kernels-major, then programs,
+/// then schemes, then variants — matching the row order of the paper's
+/// tables.
+pub struct GridBuilder<'r> {
+    runner: &'r Runner,
+    scale: Scale,
+    base: ExperimentConfig,
+    kernels: Vec<Kernel>,
+    programs: Vec<(Arc<str>, Arc<Program>)>,
+    schemes: Vec<SchemeKind>,
+    variants: Vec<VariantFn>,
+}
+
+impl<'r> GridBuilder<'r> {
+    /// Adds kernels (run at the builder's [`scale`](Self::scale)).
+    #[must_use]
+    pub fn kernels(mut self, kernels: impl IntoIterator<Item = Kernel>) -> Self {
+        self.kernels.extend(kernels);
+        self
+    }
+
+    /// Adds one kernel.
+    #[must_use]
+    pub fn kernel(self, kernel: Kernel) -> Self {
+        self.kernels([kernel])
+    }
+
+    /// Adds a custom program (crossed with schemes and variants like a
+    /// kernel); `name` is the cache identity.
+    #[must_use]
+    pub fn program(mut self, name: &str, program: impl Into<Arc<Program>>) -> Self {
+        self.programs.push((Arc::from(name), program.into()));
+        self
+    }
+
+    /// Sets the scale kernels are built at (default [`Scale::Test`]).
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the base configuration (default [`ExperimentConfig::paper`]).
+    #[must_use]
+    pub fn base(mut self, config: ExperimentConfig) -> Self {
+        self.base = config;
+        self
+    }
+
+    /// Adds schemes to cross with every kernel and variant. Without any,
+    /// the base configuration's scheme runs alone.
+    #[must_use]
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeKind>) -> Self {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// Adds one scheme.
+    #[must_use]
+    pub fn scheme(self, scheme: SchemeKind) -> Self {
+        self.schemes([scheme])
+    }
+
+    /// Sweeps a parameter: one variant per value, applied via `apply`.
+    /// Multiple sweeps compose as a cross product in call order.
+    #[must_use]
+    pub fn sweep<V: 'static>(
+        mut self,
+        values: impl IntoIterator<Item = V>,
+        apply: impl Fn(&mut ExperimentConfig, &V) + 'static,
+    ) -> Self {
+        let apply = Rc::new(apply);
+        let news: Vec<VariantFn> = values
+            .into_iter()
+            .map(|v| {
+                let apply = Rc::clone(&apply);
+                Rc::new(move |cfg: &mut ExperimentConfig| apply(cfg, &v)) as VariantFn
+            })
+            .collect();
+        if self.variants.is_empty() {
+            self.variants = news;
+        } else {
+            self.variants = self
+                .variants
+                .iter()
+                .flat_map(|old| {
+                    news.iter().map(move |new| {
+                        let (old, new) = (Rc::clone(old), Rc::clone(new));
+                        Rc::new(move |cfg: &mut ExperimentConfig| {
+                            old(cfg);
+                            new(cfg);
+                        }) as VariantFn
+                    })
+                })
+                .collect();
+        }
+        self
+    }
+
+    /// Executes the cross product (memoized, parallel, deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] in cell order if any program
+    /// races under its schedule.
+    pub fn run(self) -> Result<GridResult, TraceError> {
+        let schemes = if self.schemes.is_empty() {
+            vec![self.base.scheme]
+        } else {
+            self.schemes.clone()
+        };
+        let n_variants = self.variants.len().max(1);
+        let mut grid = self.runner.cells();
+        let mut sources: Vec<ProgramSource> = self
+            .kernels
+            .iter()
+            .map(|&k| ProgramSource::Kernel(k, self.scale))
+            .collect();
+        sources.extend(
+            self.programs
+                .iter()
+                .map(|(name, program)| ProgramSource::Custom {
+                    name: Arc::clone(name),
+                    program: Arc::clone(program),
+                }),
+        );
+        for source in &sources {
+            for &scheme in &schemes {
+                for vi in 0..n_variants {
+                    let mut config = self.base;
+                    config.scheme = scheme;
+                    if let Some(variant) = self.variants.get(vi) {
+                        variant(&mut config);
+                    }
+                    grid.cells.push(RunSpec {
+                        source: source.clone(),
+                        config,
+                    });
+                }
+            }
+        }
+        let outcome = grid.run()?;
+        Ok(GridResult {
+            outcome,
+            sources,
+            schemes,
+            n_variants,
+        })
+    }
+}
+
+/// Results of a [`GridBuilder`] run, addressable by kernel, scheme, and
+/// sweep position.
+pub struct GridResult {
+    outcome: GridOutcome,
+    sources: Vec<ProgramSource>,
+    schemes: Vec<SchemeKind>,
+    n_variants: usize,
+}
+
+impl GridResult {
+    /// The result for `(kernel, scheme)` at sweep position `variant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates were not part of the grid.
+    #[must_use]
+    pub fn at(&self, kernel: Kernel, scheme: SchemeKind, variant: usize) -> &ExperimentResult {
+        let si = self
+            .schemes
+            .iter()
+            .position(|&s| s == scheme)
+            .unwrap_or_else(|| panic!("scheme {scheme:?} not in grid"));
+        let ki = self
+            .sources
+            .iter()
+            .position(|s| matches!(s, ProgramSource::Kernel(k, _) if *k == kernel))
+            .unwrap_or_else(|| panic!("kernel {kernel:?} not in grid"));
+        assert!(variant < self.n_variants, "variant {variant} out of range");
+        &self.outcome.results[(ki * self.schemes.len() + si) * self.n_variants + variant]
+    }
+
+    /// The result for `(kernel, scheme)` (single-variant grids).
+    #[must_use]
+    pub fn get(&self, kernel: Kernel, scheme: SchemeKind) -> &ExperimentResult {
+        self.at(kernel, scheme, 0)
+    }
+
+    /// The result for a named custom program under `scheme` at sweep
+    /// position `variant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates were not part of the grid.
+    #[must_use]
+    pub fn at_program(&self, name: &str, scheme: SchemeKind, variant: usize) -> &ExperimentResult {
+        let si = self
+            .schemes
+            .iter()
+            .position(|&s| s == scheme)
+            .unwrap_or_else(|| panic!("scheme {scheme:?} not in grid"));
+        let ki = self
+            .sources
+            .iter()
+            .position(|s| matches!(s, ProgramSource::Custom { name: n, .. } if **n == *name))
+            .unwrap_or_else(|| panic!("program {name:?} not in grid"));
+        assert!(variant < self.n_variants, "variant {variant} out of range");
+        &self.outcome.results[(ki * self.schemes.len() + si) * self.n_variants + variant]
+    }
+
+    /// Number of sweep positions.
+    #[must_use]
+    pub fn variants(&self) -> usize {
+        self.n_variants
+    }
+
+    /// Every result, in cell order.
+    pub fn iter(&self) -> impl Iterator<Item = &ExperimentResult> {
+        self.outcome.results.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_kernel;
+
+    #[test]
+    fn memoized_equals_fresh() {
+        let cfg = ExperimentConfig::paper();
+        let fresh = run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let runner = Runner::serial();
+        let a = runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let b = runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        for r in [&a, &b] {
+            assert_eq!(r.sim.total_cycles, fresh.sim.total_cycles);
+            assert_eq!(r.sim.agg, fresh.sim.agg);
+            assert_eq!(r.trace, fresh.trace);
+            assert_eq!(r.marking, fresh.marking);
+        }
+        let stats = runner.stats();
+        assert_eq!(stats.programs_built, 1);
+        assert_eq!(stats.traces_built, 1);
+        assert_eq!(stats.trace_hits, 1);
+    }
+
+    #[test]
+    fn schemes_share_one_trace() {
+        let runner = Runner::new();
+        let grid = runner
+            .grid()
+            .kernel(Kernel::Ocean)
+            .scale(Scale::Test)
+            .schemes(SchemeKind::MAIN)
+            .run()
+            .unwrap();
+        let stats = runner.stats();
+        assert_eq!(stats.traces_built, 1);
+        assert_eq!(stats.trace_hits, 3);
+        assert_eq!(stats.cells_simulated, 4);
+        // And every scheme really ran.
+        for scheme in SchemeKind::MAIN {
+            assert_eq!(grid.get(Kernel::Ocean, scheme).sim.scheme, scheme.label());
+        }
+    }
+
+    #[test]
+    fn changed_compiler_or_trace_option_invalidates_reuse() {
+        let runner = Runner::serial();
+        let base = ExperimentConfig::paper();
+        runner.run_kernel(Kernel::Trfd, Scale::Test, &base).unwrap();
+
+        // Scheme-only change: trace reused.
+        let mut scheme_only = base;
+        scheme_only.scheme = SchemeKind::Sc;
+        runner
+            .run_kernel(Kernel::Trfd, Scale::Test, &scheme_only)
+            .unwrap();
+        assert_eq!(runner.stats().traces_built, 1);
+
+        // Compiler option change: new marking, new trace.
+        let mut weaker = base;
+        weaker.opt_level = tpi_compiler::OptLevel::Naive;
+        runner
+            .run_kernel(Kernel::Trfd, Scale::Test, &weaker)
+            .unwrap();
+        let stats = runner.stats();
+        assert_eq!(stats.markings_built, 2);
+        assert_eq!(stats.traces_built, 2);
+
+        // Trace option change (seed feeds dynamic scheduling): new trace,
+        // same marking.
+        let mut reseeded = base;
+        reseeded.seed ^= 1;
+        runner
+            .run_kernel(Kernel::Trfd, Scale::Test, &reseeded)
+            .unwrap();
+        let stats = runner.stats();
+        assert_eq!(stats.markings_built, 2);
+        assert_eq!(stats.traces_built, 3);
+        // The program itself was only ever built once.
+        assert_eq!(stats.programs_built, 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_cells_are_deduped() {
+        let runner = Runner::new();
+        let cfg = ExperimentConfig::paper();
+        let mut grid = runner.cells();
+        let a = grid.add(Kernel::Qcd2, Scale::Test, cfg);
+        let b = grid.add(Kernel::Qcd2, Scale::Test, cfg);
+        let out = grid.run().unwrap();
+        assert_eq!(out[a].sim.total_cycles, out[b].sim.total_cycles);
+        let stats = runner.stats();
+        assert_eq!(stats.cells_simulated, 1);
+        assert_eq!(stats.cells_deduped, 1);
+    }
+
+    #[test]
+    fn sweeps_cross_product_in_call_order() {
+        let runner = Runner::new();
+        let grid = runner
+            .grid()
+            .kernel(Kernel::Flo52)
+            .scale(Scale::Test)
+            .scheme(SchemeKind::Tpi)
+            .sweep([4u32, 8], |cfg, &w| cfg.line_words = w)
+            .sweep([1u32, 2], |cfg, &a| cfg.assoc = a)
+            .run()
+            .unwrap();
+        assert_eq!(grid.variants(), 4);
+        // Variant order: (4,1), (4,2), (8,1), (8,2) — line sweep major.
+        let cells: Vec<_> = grid.iter().collect();
+        assert_eq!(cells.len(), 4);
+        // All four share one trace (geometry affects layout => new trace
+        // per line_words, so exactly two traces).
+        assert_eq!(runner.stats().traces_built, 2);
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests for the bounded-regular-section domain: all operations
 //! must be conservative over-approximations of exact element sets.
 
-use proptest::prelude::*;
 use tpi_ir::DimRange;
+use tpi_testkit::prelude::*;
 
 fn range() -> impl Strategy<Value = DimRange> {
     (-20i64..60, 0i64..40, 0i64..8).prop_map(|(lo, span, step)| DimRange::new(lo, lo + span, step))
@@ -68,8 +68,8 @@ proptest! {
 }
 
 mod expr_roundtrip {
-    use proptest::prelude::*;
     use tpi_ir::{Affine, VarId};
+    use tpi_testkit::prelude::*;
 
     fn affine() -> impl Strategy<Value = Affine> {
         (

@@ -2,8 +2,8 @@
 //! monotone in load, payload size, and machine size, and the load
 //! estimator must stay within its clamp.
 
-use proptest::prelude::*;
 use tpi_net::{Network, NetworkConfig, TrafficClass};
+use tpi_testkit::prelude::*;
 
 proptest! {
     #[test]

@@ -1,0 +1,180 @@
+//! A small wall-clock benchmark harness for `harness = false` bench
+//! targets, usable where `criterion` cannot be downloaded.
+//!
+//! ```no_run
+//! use tpi_testkit::bench::Harness;
+//!
+//! let mut harness = Harness::from_args();
+//! let mut group = harness.group("sums");
+//! group.bench_function("1..=100", |b| b.iter(|| (1u64..=100).sum::<u64>()));
+//! ```
+//!
+//! The harness understands the arguments `cargo bench` forwards: `--test`
+//! runs every benchmark exactly once (smoke mode, what CI uses), other
+//! flags are ignored, and a bare argument filters benchmarks by substring
+//! of `group/name`.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark samples in measurement mode.
+const BUDGET: Duration = Duration::from_millis(200);
+/// Iteration cap so trivially fast bodies still terminate promptly.
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark runner; parses CLI arguments once.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Harness {
+    /// A harness configured from the process arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => smoke = true,
+                s if s.starts_with('-') => {} // --bench etc.: ignore
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Harness { filter, smoke }
+    }
+
+    /// Starts a named group of benchmarks.
+    #[must_use]
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group; benchmark ids render as `group/name`.
+#[derive(Debug)]
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Measures `f` (skipped when a CLI filter excludes it).
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{id}", self.name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut f = f;
+        let mut b = Bencher {
+            smoke: self.harness.smoke,
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        if self.harness.smoke {
+            println!("{full}: ok (smoke)");
+        } else if b.iters == 0 {
+            println!("{full}: no measurement (Bencher::iter never called)");
+        } else {
+            let per = b.total.as_nanos() / u128::from(b.iters);
+            println!(
+                "{full}: {} ({} iters in {:.2?})",
+                format_ns(per),
+                b.iters,
+                b.total
+            );
+        }
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly under the timing budget (once in smoke mode)
+    /// and records the per-iteration cost.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.smoke {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up pass (also seeds lazy state so it isn't measured).
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= MAX_ITERS || start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs/iter", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns/iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut harness = Harness {
+            filter: None,
+            smoke: true,
+        };
+        let mut calls = 0u32;
+        harness.group("g").bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut harness = Harness {
+            filter: Some("other".into()),
+            smoke: true,
+        };
+        let mut calls = 0u32;
+        harness.group("g").bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn units_format_sensibly() {
+        assert_eq!(format_ns(12), "12 ns/iter");
+        assert_eq!(format_ns(1_500), "1.500 µs/iter");
+        assert_eq!(format_ns(2_500_000), "2.500 ms/iter");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s/iter");
+    }
+}

@@ -1,0 +1,319 @@
+//! The [`Strategy`] trait and the combinators the test suites use.
+
+use crate::rng::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// The subset of `proptest`'s trait that the workspace needs: generation
+/// only, no shrinking (failing cases are reproducible from the seed
+/// instead).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen(&self, rng: &mut Rng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed to mix arm types in
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen(&self, rng: &mut Rng) -> V {
+        (**self).gen(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen(&self, rng: &mut Rng) -> S::Value {
+        (**self).gen(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`]'s strategy.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies ([`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// A union of `(weight, strategy)` arms; weights must not all be zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs at least one positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen(&self, rng: &mut Rng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights covered the whole range")
+    }
+}
+
+/// `Vec` strategy (`prop::collection::vec`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, len: std::ops::Range<usize>) -> Self {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.gen(rng)).collect()
+    }
+}
+
+/// Weighted boolean strategy (`prop::bool::weighted`).
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Weighted {
+    pub(crate) fn new(p: f64) -> Self {
+        Weighted { p }
+    }
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn gen(&self, rng: &mut Rng) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+/// `Option` strategy (`prop::option::of`).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        OptionStrategy { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen(&self, rng: &mut Rng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen(rng))
+        }
+    }
+}
+
+/// Types with a canonical full-range strategy ([`any`]).
+pub trait ArbitraryValue: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The full-range strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained strategy for `T`.
+#[must_use]
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn gen(&self, rng: &mut Rng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn gen(&self, rng: &mut Rng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ranges_cover_negative_values() {
+        let mut rng = Rng::new(3);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = (-5i64..5).gen(&mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let u = Union::new(vec![(0, Just(1u8).boxed()), (3, Just(2u8).boxed())]);
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            assert_eq!(u.gen(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let s = (0u32..4, (-3i64..3).prop_map(|v| v * 2)).prop_map(|(a, b)| i64::from(a) + b);
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            let v = s.gen(&mut rng);
+            assert!((-6..=9).contains(&v), "{v}");
+        }
+    }
+}

@@ -20,7 +20,7 @@ use tpi_ir::{ArrayRef, Env, Program, RefSite, Stmt, Subscript};
 use tpi_mem::{Epoch, LineGeometry, MemLayout, ProcId, ReadKind, Sharing, WordAddr};
 
 /// Options controlling trace generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceOptions {
     /// Number of processors (the paper simulates 16).
     pub num_procs: u32,

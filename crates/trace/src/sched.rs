@@ -9,7 +9,7 @@
 use tpi_mem::ProcId;
 
 /// How DOALL iterations are distributed over processors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulePolicy {
     /// Contiguous blocks of `ceil(n/P)` iterations per processor (the
     /// common Polaris/static default; maximizes spatial locality).

@@ -1,7 +1,7 @@
 //! Property tests for the DOALL schedulers: every policy must produce an
 //! exact partition of the iteration space, deterministically.
 
-use proptest::prelude::*;
+use tpi_testkit::prelude::*;
 use tpi_trace::{assign, SchedulePolicy};
 
 fn policies() -> impl Strategy<Value = SchedulePolicy> {

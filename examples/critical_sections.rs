@@ -86,8 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("privatized", privatized_histogram()),
     ] {
         for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
-            let mut cfg = ExperimentConfig::paper();
-            cfg.scheme = scheme;
+            let cfg = ExperimentConfig::builder().scheme(scheme).build()?;
             let r = run_program(&prog, &cfg)?;
             t.row([
                 name.to_string(),

@@ -6,7 +6,7 @@
 //! cargo run --release --example custom_program
 //! ```
 
-use tpi::{report, run_program, ExperimentConfig};
+use tpi::{report, Runner};
 use tpi_ir::{parse_program, program_to_source, subs, ProgramBuilder};
 use tpi_proto::SchemeKind;
 
@@ -44,19 +44,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- exported source ---\n{source}");
     let program = parse_program(&source)?;
 
-    // 3. Simulate under every scheme and print the canonical reports.
-    let mut results = Vec::new();
-    for scheme in SchemeKind::MAIN {
-        let mut cfg = ExperimentConfig::paper();
-        cfg.scheme = scheme;
-        results.push((scheme.label(), run_program(&program, &cfg)?));
-    }
-    let rows: Vec<(&str, &tpi::ExperimentResult)> = results.iter().map(|(l, r)| (*l, r)).collect();
+    // 3. Simulate under every scheme (one shared trace, parallel cells)
+    //    and print the canonical reports.
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .program("red-black", program)
+        .schemes(SchemeKind::MAIN)
+        .run()?;
+    let rows: Vec<(&str, &tpi::ExperimentResult)> = SchemeKind::MAIN
+        .iter()
+        .map(|&s| (s.label(), grid.at_program("red-black", s, 0)))
+        .collect();
     println!(
         "{}",
         report::scheme_comparison("Red-black Gauss-Seidel, 128 points, 16 processors", &rows)
     );
-    let tpi_result = &results.iter().find(|(l, _)| *l == "TPI").unwrap().1;
+    let tpi_result = grid.at_program("red-black", SchemeKind::Tpi, 0);
     println!(
         "{}",
         report::marking_summary("Compiler marking (TPI)", tpi_result)

@@ -60,8 +60,9 @@ fn pipeline(g: i64) -> Program {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = ExperimentConfig::paper();
-    cfg.scheme = SchemeKind::Tpi;
+    let cfg = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .build()?;
     let mut t = Table::new(format!(
         "{N}x{N} wavefront on 16 processors under TPI, varying post granularity"
     ));
@@ -87,8 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("static-block", tpi_trace::SchedulePolicy::StaticBlock),
         ("static-cyclic", tpi_trace::SchedulePolicy::StaticCyclic),
     ] {
-        let mut c = cfg;
-        c.policy = policy;
+        let c = ExperimentConfig::builder()
+            .scheme(SchemeKind::Tpi)
+            .policy(policy)
+            .build()?;
         let r = run_program(&pipeline(8), &c)?;
         ts.row([
             name.to_string(),

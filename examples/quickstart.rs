@@ -6,7 +6,7 @@
 //! ```
 
 use tpi::tables::{pct, Table};
-use tpi::{run_kernel, ExperimentConfig};
+use tpi::Runner;
 use tpi_proto::SchemeKind;
 use tpi_workloads::{Kernel, Scale};
 
@@ -20,11 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(format!("{kernel}: TPI vs full-map directory"));
     table.headers(["metric", "TPI", "HW"]);
 
-    let mut cfg = ExperimentConfig::paper();
-    cfg.scheme = SchemeKind::Tpi;
-    let tpi = run_kernel(kernel, Scale::Paper, &cfg)?;
-    cfg.scheme = SchemeKind::FullMap;
-    let hw = run_kernel(kernel, Scale::Paper, &cfg)?;
+    // One Runner: the kernel is built, marked, and traced once, then both
+    // schemes are simulated (in parallel) from the shared trace.
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .kernel(kernel)
+        .scale(Scale::Paper)
+        .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+        .run()?;
+    let tpi = grid.get(kernel, SchemeKind::Tpi);
+    let hw = grid.get(kernel, SchemeKind::FullMap);
 
     table.row([
         "execution cycles".to_string(),

@@ -9,7 +9,7 @@
 //! `--paper` for the evaluation-scale inputs.
 
 use tpi::tables::{pct, Table};
-use tpi::{run_kernel, ExperimentConfig};
+use tpi::Runner;
 use tpi_proto::SchemeKind;
 use tpi_workloads::{Kernel, Scale};
 
@@ -24,13 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut times = Table::new("Execution time, normalized to the full-map directory");
     times.headers(["bench", "BASE", "SC", "TPI", "HW"]);
 
+    // The whole 6 kernels x 4 schemes matrix in one memoized, parallel run:
+    // each kernel is traced once and simulated under all four schemes.
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .kernels(Kernel::ALL)
+        .scale(scale)
+        .schemes(SchemeKind::MAIN)
+        .run()?;
+
     for kernel in Kernel::ALL {
         let mut miss_row = vec![kernel.name().to_string()];
         let mut cycles = Vec::new();
         for scheme in SchemeKind::MAIN {
-            let mut cfg = ExperimentConfig::paper();
-            cfg.scheme = scheme;
-            let r = run_kernel(kernel, scale, &cfg)?;
+            let r = grid.get(kernel, scheme);
             miss_row.push(pct(r.sim.miss_rate()));
             cycles.push(r.sim.total_cycles);
         }

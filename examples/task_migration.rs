@@ -12,7 +12,7 @@
 //! ```
 
 use tpi::tables::{pct, Table};
-use tpi::{run_kernel, ExperimentConfig};
+use tpi::Runner;
 use tpi_proto::SchemeKind;
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
@@ -33,11 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut t = Table::new(format!("{kernel} under TPI, varying the DOALL schedule"));
     t.headers(["schedule", "cycles", "miss rate", "conservative share"]);
-    for (name, policy) in policies {
-        let mut cfg = ExperimentConfig::paper();
-        cfg.scheme = SchemeKind::Tpi;
-        cfg.policy = policy;
-        let r = run_kernel(kernel, Scale::Paper, &cfg)?;
+    // A schedule change invalidates the trace but not the marking, so the
+    // Runner compiles the kernel once and re-traces per policy — in parallel.
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .kernel(kernel)
+        .scale(Scale::Paper)
+        .scheme(SchemeKind::Tpi)
+        .sweep(policies.map(|(_, p)| p), |cfg, p| cfg.policy = *p)
+        .run()?;
+    for (i, (name, _)) in policies.into_iter().enumerate() {
+        let r = grid.at(kernel, SchemeKind::Tpi, i);
         let cons = r.sim.agg.misses(tpi_proto::MissClass::Conservative) as f64
             / r.sim.agg.read_misses().max(1) as f64;
         t.row([

@@ -9,9 +9,7 @@ use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
 
 fn cfg(scheme: SchemeKind) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = scheme;
-    c
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
@@ -37,9 +35,12 @@ fn mdg_sound_under_wild_schedules_and_tiny_tags() {
             migrate_per_1024: 512,
         },
     ] {
-        let mut c = cfg(SchemeKind::Tpi);
-        c.policy = policy;
-        c.tag_bits = 2;
+        let c = ExperimentConfig::builder()
+            .scheme(SchemeKind::Tpi)
+            .policy(policy)
+            .tag_bits(2)
+            .build()
+            .unwrap();
         run_kernel(Kernel::Mdg, Scale::Test, &c).unwrap();
     }
 }
@@ -63,11 +64,17 @@ fn lock_contention_serializes_execution() {
         p.finish(main).unwrap()
     };
     let prog = build();
-    let mut c1 = cfg(SchemeKind::Tpi);
-    c1.procs = 1;
+    let c1 = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .procs(1)
+        .build()
+        .unwrap();
     let serial = run_program(&prog, &c1).unwrap();
-    let mut c16 = cfg(SchemeKind::Tpi);
-    c16.procs = 16;
+    let c16 = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .procs(16)
+        .build()
+        .unwrap();
     let parallel = run_program(&prog, &c16).unwrap();
     assert!(parallel.sim.lock_wait_cycles > 0, "16 procs must contend");
     // Lock-bound: 16 processors buy little; well under the ~16x a truly
@@ -118,8 +125,11 @@ fn critical_data_read_after_the_epoch_is_fresh() {
     });
     let prog = p.finish(main).unwrap();
     for scheme in SchemeKind::MAIN {
-        let mut c = cfg(scheme);
-        c.tag_bits = 3;
+        let c = ExperimentConfig::builder()
+            .scheme(scheme)
+            .tag_bits(3)
+            .build()
+            .unwrap();
         run_program(&prog, &c).unwrap_or_else(|e| panic!("{scheme}: {e}"));
     }
 }
@@ -157,7 +167,10 @@ fn validator_rejects_misplaced_criticals() {
 #[test]
 fn coalescing_buffer_does_not_swallow_critical_ordering() {
     use tpi_cache::WriteBufferKind;
-    let mut c = cfg(SchemeKind::Tpi);
-    c.wbuffer = WriteBufferKind::Coalescing;
+    let c = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .wbuffer(WriteBufferKind::Coalescing)
+        .build()
+        .unwrap();
     run_kernel(Kernel::Mdg, Scale::Test, &c).unwrap();
 }

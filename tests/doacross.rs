@@ -37,9 +37,7 @@ fn wavefront(n: i64, work: u32) -> Program {
 }
 
 fn cfg(scheme: SchemeKind) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = scheme;
-    c
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
@@ -89,8 +87,11 @@ fn wavefront_values_are_fresh_under_every_scheme() {
     // its producer's value; tight tags stress the tag machinery too.
     let prog = wavefront(128, 4);
     for scheme in SchemeKind::MAIN {
-        let mut c = cfg(scheme);
-        c.tag_bits = 3;
+        let c = ExperimentConfig::builder()
+            .scheme(scheme)
+            .tag_bits(3)
+            .build()
+            .unwrap();
         run_program(&prog, &c).unwrap_or_else(|e| panic!("{scheme}: {e}"));
     }
 }

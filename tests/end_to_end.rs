@@ -6,9 +6,7 @@ use tpi_proto::{MissClass, SchemeKind};
 use tpi_workloads::{Kernel, Scale};
 
 fn cfg(scheme: SchemeKind) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = scheme;
-    c
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]

@@ -12,9 +12,7 @@ use tpi_proto::{MissClass, SchemeKind};
 use tpi_workloads::{Kernel, Scale};
 
 fn cfg(scheme: SchemeKind) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = scheme;
-    c
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
@@ -104,10 +102,13 @@ fn paper_scale_shapes() {
     // E12: the coalescing buffer eliminates a large share of TRFD's write
     // traffic.
     use tpi_net::TrafficClass;
-    let mut c = cfg(SchemeKind::Tpi);
-    let fifo = run_kernel(Kernel::Trfd, Scale::Paper, &c).unwrap();
-    c.wbuffer = tpi_cache::WriteBufferKind::Coalescing;
-    let coal = run_kernel(Kernel::Trfd, Scale::Paper, &c).unwrap();
+    let fifo = run_kernel(Kernel::Trfd, Scale::Paper, &cfg(SchemeKind::Tpi)).unwrap();
+    let coal_cfg = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .wbuffer(tpi_cache::WriteBufferKind::Coalescing)
+        .build()
+        .unwrap();
+    let coal = run_kernel(Kernel::Trfd, Scale::Paper, &coal_cfg).unwrap();
     let saved = 1.0
         - coal.sim.traffic.words(TrafficClass::Write) as f64
             / fifo.sim.traffic.words(TrafficClass::Write).max(1) as f64;
@@ -116,13 +117,16 @@ fn paper_scale_shapes() {
         "TRFD write-word elimination {saved:.2} below the E12 band"
     );
     // E8: tiny tags stay within a percent of 8-bit tags.
-    let mut c2 = cfg(SchemeKind::Tpi);
-    let full = run_kernel(Kernel::Qcd2, Scale::Paper, &c2)
+    let full = run_kernel(Kernel::Qcd2, Scale::Paper, &cfg(SchemeKind::Tpi))
         .unwrap()
         .sim
         .total_cycles;
-    c2.tag_bits = 2;
-    let tiny = run_kernel(Kernel::Qcd2, Scale::Paper, &c2)
+    let tiny_cfg = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .tag_bits(2)
+        .build()
+        .unwrap();
+    let tiny = run_kernel(Kernel::Qcd2, Scale::Paper, &tiny_cfg)
         .unwrap()
         .sim
         .total_cycles;

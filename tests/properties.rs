@@ -11,11 +11,11 @@
 //! the directory engine's cross-invariants are checked after the run. Any
 //! unsoundness anywhere in the stack fails these tests.
 
-use proptest::prelude::*;
 use tpi_compiler::{mark_program, CompilerOptions, OptLevel};
 use tpi_ir::{subs, Cond, Program, ProgramBuilder};
 use tpi_proto::{build_engine, DirectoryEngine, EngineConfig, SchemeKind};
 use tpi_sim::{run_trace, verify_accounting, SimOptions};
+use tpi_testkit::prelude::*;
 use tpi_trace::{generate_trace, SchedulePolicy, TraceOptions};
 
 const N_ITER: i64 = 31; // DOALL range 0..=31

@@ -1,0 +1,217 @@
+//! The Runner's contract: a memoized, parallel grid is *observably
+//! identical* to fresh, serial runs — same cycle counts, same traffic,
+//! same rendered tables — and the artifact cache is invalidated by
+//! exactly the options each pipeline stage depends on.
+
+use tpi::{run_kernel, run_program, ExperimentConfig, Runner};
+use tpi_compiler::OptLevel;
+use tpi_ir::{subs, ProgramBuilder};
+use tpi_proto::SchemeKind;
+use tpi_workloads::{Kernel, Scale};
+
+fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
+}
+
+#[test]
+fn memoized_grid_equals_fresh_runs() {
+    // Every cell of a kernels x schemes grid must be bit-identical to a
+    // one-off run_kernel with the same configuration.
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .kernels([Kernel::Flo52, Kernel::Ocean, Kernel::Qcd2])
+        .scale(Scale::Test)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .unwrap();
+    for kernel in [Kernel::Flo52, Kernel::Ocean, Kernel::Qcd2] {
+        for scheme in SchemeKind::MAIN {
+            let memo = grid.get(kernel, scheme);
+            let fresh = run_kernel(kernel, Scale::Test, &cfg(scheme)).unwrap();
+            assert_eq!(
+                memo.sim.total_cycles, fresh.sim.total_cycles,
+                "{kernel}/{scheme}"
+            );
+            assert_eq!(memo.sim.agg, fresh.sim.agg, "{kernel}/{scheme}");
+            assert_eq!(memo.sim.traffic, fresh.sim.traffic, "{kernel}/{scheme}");
+            assert_eq!(memo.marking, fresh.marking, "{kernel}/{scheme}");
+            assert_eq!(memo.trace, fresh.trace, "{kernel}/{scheme}");
+        }
+    }
+    // The whole 12-cell grid interpreted each kernel exactly once.
+    assert_eq!(runner.stats().traces_built, 3);
+    assert_eq!(runner.stats().trace_hits, 9);
+}
+
+#[test]
+fn parallel_equals_serial() {
+    // Same grid on a single worker thread and on many: identical results
+    // in identical order.
+    let build = |runner: &Runner| {
+        runner
+            .grid()
+            .kernels(Kernel::ALL)
+            .scale(Scale::Test)
+            .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+            .sweep([2u32, 8], |c, bits| c.tag_bits = *bits)
+            .run()
+            .unwrap()
+    };
+    let serial = build(&Runner::serial());
+    let parallel = build(&Runner::with_threads(8));
+    let (s, p): (Vec<_>, Vec<_>) = (serial.iter().collect(), parallel.iter().collect());
+    assert_eq!(s.len(), p.len());
+    assert_eq!(s.len(), Kernel::ALL.len() * 2 * 2);
+    for (a, b) in s.iter().zip(&p) {
+        assert_eq!(a.sim.total_cycles, b.sim.total_cycles);
+        assert_eq!(a.sim.agg, b.sim.agg);
+        assert_eq!(a.sim.traffic, b.sim.traffic);
+    }
+}
+
+#[test]
+fn no_cache_mode_equals_memoized() {
+    // `Runner::without_memoization` (the `repro --fresh` baseline) must be
+    // observably identical to the cached engine — only the stats differ.
+    let build = |runner: &Runner| {
+        runner
+            .grid()
+            .kernels([Kernel::Trfd, Kernel::Spec77])
+            .scale(Scale::Test)
+            .schemes(SchemeKind::MAIN)
+            .run()
+            .unwrap()
+    };
+    let memo_runner = Runner::new();
+    let memo = build(&memo_runner);
+    let fresh_runner = Runner::new().without_memoization();
+    let fresh = build(&fresh_runner);
+    for (a, b) in memo.iter().zip(fresh.iter()) {
+        assert_eq!(a.sim.total_cycles, b.sim.total_cycles);
+        assert_eq!(a.sim.agg, b.sim.agg);
+        assert_eq!(a.sim.traffic, b.sim.traffic);
+        assert_eq!(a.marking, b.marking);
+    }
+    assert_eq!(memo_runner.stats().traces_built, 2);
+    assert_eq!(fresh_runner.stats().traces_built, 8, "one per cell");
+    assert_eq!(fresh_runner.stats().trace_hits, 0);
+}
+
+#[test]
+fn rendered_tables_are_identical() {
+    // The user-visible artifact — the rendered report — must not change
+    // between the memoized-parallel and fresh-serial paths.
+    let render = |results: &[(&str, &tpi::ExperimentResult)]| {
+        tpi::report::scheme_comparison("equivalence", results).to_string()
+    };
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .kernel(Kernel::Arc2d)
+        .scale(Scale::Test)
+        .schemes(SchemeKind::MAIN)
+        .run()
+        .unwrap();
+    let memo_rows: Vec<_> = SchemeKind::MAIN
+        .iter()
+        .map(|&s| (s.label(), grid.get(Kernel::Arc2d, s)))
+        .collect();
+    let fresh: Vec<_> = SchemeKind::MAIN
+        .iter()
+        .map(|&s| (s, run_kernel(Kernel::Arc2d, Scale::Test, &cfg(s)).unwrap()))
+        .collect();
+    let fresh_rows: Vec<_> = fresh.iter().map(|(s, r)| (s.label(), r)).collect();
+    assert_eq!(render(&memo_rows), render(&fresh_rows));
+}
+
+#[test]
+fn cache_keys_track_stage_dependencies() {
+    // scheme / geometry -> only the simulation reruns;
+    // opt level          -> marking and trace rebuild;
+    // schedule or seed   -> trace rebuilds, marking survives.
+    let runner = Runner::new();
+    let base = cfg(SchemeKind::Tpi);
+
+    runner
+        .run_kernel(Kernel::Ocean, Scale::Test, &base)
+        .unwrap();
+    let s0 = runner.stats();
+    assert_eq!(
+        (s0.programs_built, s0.markings_built, s0.traces_built),
+        (1, 1, 1)
+    );
+
+    // A pure machine change shares everything upstream.
+    let machine = ExperimentConfig::builder()
+        .scheme(SchemeKind::FullMap)
+        .cache_bytes(32 * 1024)
+        .build()
+        .unwrap();
+    runner
+        .run_kernel(Kernel::Ocean, Scale::Test, &machine)
+        .unwrap();
+    let s1 = runner.stats();
+    assert_eq!((s1.markings_built, s1.traces_built), (1, 1));
+    assert_eq!((s1.marking_hits, s1.trace_hits), (1, 1));
+
+    // A compiler change invalidates the marking (and hence the trace).
+    let naive = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .opt_level(OptLevel::Naive)
+        .build()
+        .unwrap();
+    runner
+        .run_kernel(Kernel::Ocean, Scale::Test, &naive)
+        .unwrap();
+    let s2 = runner.stats();
+    assert_eq!((s2.markings_built, s2.traces_built), (2, 2));
+
+    // A schedule change invalidates only the trace.
+    let cyclic = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .policy(tpi_trace::SchedulePolicy::StaticCyclic)
+        .build()
+        .unwrap();
+    runner
+        .run_kernel(Kernel::Ocean, Scale::Test, &cyclic)
+        .unwrap();
+    let s3 = runner.stats();
+    assert_eq!(s3.markings_built, 2, "marking is schedule-independent");
+    assert_eq!(s3.traces_built, 3);
+
+    // The program itself was only ever built once.
+    assert_eq!(s3.programs_built, 1);
+}
+
+#[test]
+fn custom_programs_memoize_and_match_run_program() {
+    let prog = {
+        let mut p = ProgramBuilder::new();
+        let a = p.shared("A", [128]);
+        let b = p.shared("B", [128]);
+        let main = p.proc("main", |f| {
+            f.doall(0, 127, |i, f| f.store(a.at(subs![i]), vec![], 2));
+            f.doall(0, 127, |i, f| {
+                f.store(b.at(subs![i]), vec![a.at(subs![i])], 2)
+            });
+        });
+        p.finish(main).unwrap()
+    };
+    let fresh = run_program(&prog, &cfg(SchemeKind::Tpi)).unwrap();
+    let runner = Runner::new();
+    let grid = runner
+        .grid()
+        .program("pc", prog)
+        .schemes([SchemeKind::Tpi, SchemeKind::Sc])
+        .run()
+        .unwrap();
+    let memo = grid.at_program("pc", SchemeKind::Tpi, 0);
+    assert_eq!(memo.sim.total_cycles, fresh.sim.total_cycles);
+    assert_eq!(memo.sim.agg, fresh.sim.agg);
+    assert_eq!(
+        runner.stats().traces_built,
+        1,
+        "both schemes share the trace"
+    );
+}

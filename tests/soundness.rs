@@ -8,17 +8,15 @@
 //! across all six kernels. Any unsound marking, epoch count disagreement,
 //! fill-rule mistake, or reset-discipline bug panics here.
 
-use tpi::{run_kernel, ExperimentConfig};
+use tpi::{run_kernel, ConfigBuilder, ExperimentConfig};
 use tpi_cache::{ResetStrategy, WritePolicy};
 use tpi_compiler::OptLevel;
 use tpi_proto::SchemeKind;
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
 
-fn tpi_cfg() -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = SchemeKind::Tpi;
-    c
+fn tpi_cfg() -> ConfigBuilder {
+    ExperimentConfig::builder().scheme(SchemeKind::Tpi)
 }
 
 #[test]
@@ -26,9 +24,11 @@ fn sound_across_tag_widths_and_reset_strategies() {
     for kernel in Kernel::ALL {
         for bits in [2u32, 3, 4, 8] {
             for strategy in [ResetStrategy::TwoPhase, ResetStrategy::FullFlushOnWrap] {
-                let mut cfg = tpi_cfg();
-                cfg.tag_bits = bits;
-                cfg.reset_strategy = strategy;
+                let cfg = tpi_cfg()
+                    .tag_bits(bits)
+                    .reset_strategy(strategy)
+                    .build()
+                    .unwrap();
                 let r = run_kernel(kernel, Scale::Test, &cfg)
                     .unwrap_or_else(|e| panic!("{kernel} b={bits}: {e}"));
                 assert!(r.sim.total_cycles > 0);
@@ -51,11 +51,13 @@ fn sound_across_schedules_including_migration() {
     ];
     for kernel in Kernel::ALL {
         for (i, policy) in policies.iter().enumerate() {
-            let mut cfg = tpi_cfg();
-            cfg.policy = *policy;
-            cfg.seed = 0x5EED + i as u64;
             // Tight tags + migration is the hardest combination.
-            cfg.tag_bits = 3;
+            let cfg = tpi_cfg()
+                .policy(*policy)
+                .seed(0x5EED + i as u64)
+                .tag_bits(3)
+                .build()
+                .unwrap();
             run_kernel(kernel, Scale::Test, &cfg)
                 .unwrap_or_else(|e| panic!("{kernel} {policy}: {e}"));
         }
@@ -68,8 +70,7 @@ fn sound_across_analysis_levels() {
     for kernel in Kernel::ALL {
         let mut cycles = Vec::new();
         for level in [OptLevel::Naive, OptLevel::Intra, OptLevel::Full] {
-            let mut cfg = tpi_cfg();
-            cfg.opt_level = level;
+            let cfg = tpi_cfg().opt_level(level).build().unwrap();
             let r = run_kernel(kernel, Scale::Test, &cfg).unwrap();
             cycles.push(r.sim.total_cycles);
         }
@@ -88,9 +89,11 @@ fn sound_across_line_sizes_and_associativity() {
     for kernel in [Kernel::Arc2d, Kernel::Ocean, Kernel::Qcd2] {
         for line_words in [1u32, 2, 8, 16] {
             for assoc in [1u32, 2, 4] {
-                let mut cfg = tpi_cfg();
-                cfg.line_words = line_words;
-                cfg.assoc = assoc;
+                let cfg = tpi_cfg()
+                    .line_words(line_words)
+                    .assoc(assoc)
+                    .build()
+                    .unwrap();
                 run_kernel(kernel, Scale::Test, &cfg)
                     .unwrap_or_else(|e| panic!("{kernel} L={line_words} a={assoc}: {e}"));
             }
@@ -101,8 +104,6 @@ fn sound_across_line_sizes_and_associativity() {
 #[test]
 fn sc_is_sound_too() {
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.scheme = SchemeKind::Sc;
         for policy in [
             SchedulePolicy::StaticCyclic,
             SchedulePolicy::DynamicMigrating {
@@ -110,7 +111,11 @@ fn sc_is_sound_too() {
                 migrate_per_1024: 512,
             },
         ] {
-            cfg.policy = policy;
+            let cfg = tpi_cfg()
+                .scheme(SchemeKind::Sc)
+                .policy(policy)
+                .build()
+                .unwrap();
             run_kernel(kernel, Scale::Test, &cfg).unwrap();
         }
     }
@@ -119,9 +124,11 @@ fn sc_is_sound_too() {
 #[test]
 fn directory_is_sound_under_every_schedule() {
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.scheme = SchemeKind::FullMap;
-        cfg.policy = SchedulePolicy::Dynamic { chunk: 2 };
+        let cfg = tpi_cfg()
+            .scheme(SchemeKind::FullMap)
+            .policy(SchedulePolicy::Dynamic { chunk: 2 })
+            .build()
+            .unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap();
     }
 }
@@ -132,21 +139,25 @@ fn write_back_at_boundary_is_sound() {
     // still prevent any stale hit (shadow versions assert it).
     for kernel in Kernel::ALL {
         for bits in [2u32, 8] {
-            let mut cfg = tpi_cfg();
-            cfg.write_policy = WritePolicy::BackAtBoundary;
-            cfg.tag_bits = bits;
+            let cfg = tpi_cfg()
+                .write_policy(WritePolicy::BackAtBoundary)
+                .tag_bits(bits)
+                .build()
+                .unwrap();
             run_kernel(kernel, Scale::Test, &cfg)
                 .unwrap_or_else(|e| panic!("{kernel} b={bits}: {e}"));
         }
     }
     // And combined with migration + tiny caches.
-    let mut cfg = tpi_cfg();
-    cfg.write_policy = WritePolicy::BackAtBoundary;
-    cfg.policy = SchedulePolicy::DynamicMigrating {
-        chunk: 4,
-        migrate_per_1024: 512,
-    };
-    cfg.cache_bytes = 4096;
+    let cfg = tpi_cfg()
+        .write_policy(WritePolicy::BackAtBoundary)
+        .policy(SchedulePolicy::DynamicMigrating {
+            chunk: 4,
+            migrate_per_1024: 512,
+        })
+        .cache_bytes(4096)
+        .build()
+        .unwrap();
     run_kernel(Kernel::Arc2d, Scale::Test, &cfg).unwrap();
 }
 
@@ -158,13 +169,16 @@ fn serial_rotation_is_sound_and_hurts_hw_more() {
     let mut tpi_cost = [0u64; 2];
     let mut hw_cost = [0u64; 2];
     for (i, rotate) in [false, true].into_iter().enumerate() {
-        let mut cfg = tpi_cfg();
-        cfg.rotate_serial = rotate;
+        let cfg = tpi_cfg().rotate_serial(rotate).build().unwrap();
         tpi_cost[i] = run_kernel(Kernel::Flo52, Scale::Test, &cfg)
             .unwrap()
             .sim
             .total_cycles;
-        cfg.scheme = SchemeKind::FullMap;
+        let cfg = tpi_cfg()
+            .scheme(SchemeKind::FullMap)
+            .rotate_serial(rotate)
+            .build()
+            .unwrap();
         hw_cost[i] = run_kernel(Kernel::Flo52, Scale::Test, &cfg)
             .unwrap()
             .sim
@@ -175,9 +189,7 @@ fn serial_rotation_is_sound_and_hurts_hw_more() {
     assert!(tpi_cost[1] >= tpi_cost[0]);
     assert!(hw_cost[1] >= hw_cost[0]);
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.rotate_serial = true;
-        cfg.tag_bits = 3;
+        let cfg = tpi_cfg().rotate_serial(true).tag_bits(3).build().unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -187,31 +199,37 @@ fn two_level_tpi_is_sound() {
     // Section 3's off-the-shelf implementation: a stock L1 over the tagged
     // off-chip cache. Shadow versions verify no stale L1 hit slips through.
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.l1 = Some(tpi_proto::L1Config::paper_default());
-        cfg.tag_bits = 3;
+        let cfg = tpi_cfg()
+            .l1(Some(tpi_proto::L1Config::paper_default()))
+            .tag_bits(3)
+            .build()
+            .unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
     // With migration and a tiny L1.
-    let mut cfg = tpi_cfg();
-    cfg.l1 = Some(tpi_proto::L1Config {
-        size_bytes: 1024,
-        assoc: 1,
-        l2_hit_cycles: 5,
-    });
-    cfg.policy = SchedulePolicy::DynamicMigrating {
-        chunk: 4,
-        migrate_per_1024: 512,
-    };
+    let cfg = tpi_cfg()
+        .l1(Some(tpi_proto::L1Config {
+            size_bytes: 1024,
+            assoc: 1,
+            l2_hit_cycles: 5,
+        }))
+        .policy(SchedulePolicy::DynamicMigrating {
+            chunk: 4,
+            migrate_per_1024: 512,
+        })
+        .build()
+        .unwrap();
     run_kernel(Kernel::Mdg, Scale::Test, &cfg).unwrap();
 }
 
 #[test]
 fn word_granular_coherence_fetch_is_sound() {
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.coherence_fetch = tpi_proto::FetchGranularity::Word;
-        cfg.tag_bits = 3;
+        let cfg = tpi_cfg()
+            .coherence_fetch(tpi_proto::FetchGranularity::Word)
+            .tag_bits(3)
+            .build()
+            .unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -220,10 +238,12 @@ fn word_granular_coherence_fetch_is_sound() {
 fn tiny_caches_still_sound() {
     // Brutal conflict pressure: 2 KB direct-mapped with 8-word lines.
     for kernel in Kernel::ALL {
-        let mut cfg = tpi_cfg();
-        cfg.cache_bytes = 2048;
-        cfg.line_words = 8;
-        cfg.tag_bits = 2;
+        let cfg = tpi_cfg()
+            .cache_bytes(2048)
+            .line_words(8)
+            .tag_bits(2)
+            .build()
+            .unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap();
     }
 }

@@ -6,9 +6,7 @@ use tpi_ir::parse_program;
 use tpi_proto::SchemeKind;
 
 fn cfg(scheme: SchemeKind) -> ExperimentConfig {
-    let mut c = ExperimentConfig::paper();
-    c.scheme = scheme;
-    c
+    ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
@@ -107,8 +105,11 @@ fn parsed_doacross_prefix_sum_is_correctly_ordered() {
     // tags and cyclic scheduling the shadow versions verify freshness.
     let src = std::fs::read_to_string("examples/programs/histogram.tpi").unwrap();
     let program = parse_program(&src).unwrap();
-    let mut c = cfg(SchemeKind::Tpi);
-    c.tag_bits = 3;
-    c.policy = tpi_trace::SchedulePolicy::StaticCyclic;
+    let c = ExperimentConfig::builder()
+        .scheme(SchemeKind::Tpi)
+        .tag_bits(3)
+        .policy(tpi_trace::SchedulePolicy::StaticCyclic)
+        .build()
+        .unwrap();
     run_program(&program, &c).expect("ordered and race-free");
 }
