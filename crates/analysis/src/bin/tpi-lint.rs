@@ -1,0 +1,329 @@
+//! Command-line front end for the analysis suite: static lints plus the
+//! dynamic staleness oracle over kernels or `.tpi` source files.
+//!
+//! ```text
+//! tpi-lint --all-kernels --schemes tpi,sc --deny violations
+//! tpi-lint --kernel flo52 --opt full --format json
+//! tpi-lint examples/programs/stencil.tpi --no-oracle
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tpi::runner::ProgramSource;
+use tpi::{ExperimentConfig, Runner};
+use tpi_analysis::diag::json_string;
+use tpi_analysis::differential::{check_sources, DifferentialOptions, ALL_LEVELS};
+use tpi_analysis::oracle::OracleMode;
+use tpi_analysis::passes::{lint_program, LintOptions};
+use tpi_analysis::{diagnostics_json, CellReport, Diagnostic};
+use tpi_compiler::OptLevel;
+use tpi_workloads::{Kernel, Scale};
+
+const USAGE: &str = "\
+tpi-lint: coherence soundness checker (static lints + staleness oracle)
+
+USAGE:
+    tpi-lint [OPTIONS] [FILES...]
+
+TARGETS:
+    FILES...              lint .tpi source files
+    --kernel <name>       lint one Perfect Club kernel (repeatable)
+    --all-kernels         lint every kernel (spec77 ocean flo52 qcd2 trfd arc2d)
+
+OPTIONS:
+    --scale <test|paper>  kernel problem scale              [default: test]
+    --schemes <list>      oracle modes, comma-separated     [default: tpi,sc]
+    --opt <level>         naive|intra|full|all              [default: all]
+    --format <fmt>        human|json                        [default: human]
+    --tag-bits <n>        timetag width for TPI004          [default: 8]
+    --no-oracle           static passes only (no replay)
+    --deny violations     exit nonzero if the oracle finds any violation
+    --max-print <n>       violations printed per cell (human) [default: 5]
+    -h, --help            show this help
+";
+
+struct Options {
+    files: Vec<String>,
+    kernels: Vec<Kernel>,
+    scale: Scale,
+    modes: Vec<OracleMode>,
+    levels: Vec<OptLevel>,
+    json: bool,
+    tag_bits: u32,
+    oracle: bool,
+    deny_violations: bool,
+    max_print: usize,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn kernel_by_name(name: &str) -> Option<Kernel> {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        kernels: Vec::new(),
+        scale: Scale::Test,
+        modes: vec![OracleMode::Tpi, OracleMode::Sc],
+        levels: ALL_LEVELS.to_vec(),
+        json: false,
+        tag_bits: 8,
+        oracle: true,
+        deny_violations: false,
+        max_print: 5,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--all-kernels" => opts.kernels = Kernel::ALL.to_vec(),
+            "--kernel" => {
+                let name = value("--kernel")?;
+                let k = kernel_by_name(&name).ok_or(format!("unknown kernel {name:?}"))?;
+                opts.kernels.push(k);
+            }
+            "--scale" => {
+                opts.scale = match value("--scale")?.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    s => return Err(format!("unknown scale {s:?}")),
+                }
+            }
+            "--schemes" => {
+                let list = value("--schemes")?;
+                opts.modes = list
+                    .split(',')
+                    .map(|s| OracleMode::parse(s.trim()).ok_or(format!("unknown scheme {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--opt" => {
+                opts.levels = match value("--opt")?.as_str() {
+                    "naive" => vec![OptLevel::Naive],
+                    "intra" => vec![OptLevel::Intra],
+                    "full" => vec![OptLevel::Full],
+                    "all" => ALL_LEVELS.to_vec(),
+                    s => return Err(format!("unknown opt level {s:?}")),
+                }
+            }
+            "--format" => {
+                opts.json = match value("--format")?.as_str() {
+                    "human" => false,
+                    "json" => true,
+                    s => return Err(format!("unknown format {s:?}")),
+                }
+            }
+            "--tag-bits" => {
+                opts.tag_bits = value("--tag-bits")?
+                    .parse()
+                    .map_err(|_| "--tag-bits needs an integer".to_string())?;
+            }
+            "--no-oracle" => opts.oracle = false,
+            "--deny" => {
+                let what = value("--deny")?;
+                if what != "violations" {
+                    return Err(format!("unknown deny class {what:?}"));
+                }
+                opts.deny_violations = true;
+            }
+            "--max-print" => {
+                opts.max_print = value("--max-print")?
+                    .parse()
+                    .map_err(|_| "--max-print needs an integer".to_string())?;
+            }
+            f if f.starts_with('-') => return Err(format!("unknown flag {f:?}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.kernels.is_empty() && opts.files.is_empty() {
+        return Err("no targets: pass FILES, --kernel, or --all-kernels".to_string());
+    }
+    Ok(Some(opts))
+}
+
+/// One lint target with its findings.
+struct TargetReport {
+    name: String,
+    diagnostics: Vec<Diagnostic>,
+    oracle: Vec<CellReport>,
+}
+
+fn oracle_json(cell: &CellReport) -> String {
+    let mut parts = Vec::new();
+    for r in &cell.reports {
+        let s = r.stats;
+        let diags: Vec<Diagnostic> = r.violations.iter().map(|v| v.diagnostic()).collect();
+        parts.push(format!(
+            "{{\"opt\":{},\"mode\":{},\"violations\":{},\"reads\":{},\"marked_reads\":{},\
+             \"needed_marked\":{},\"unneeded_marked\":{},\"diagnostics\":{}}}",
+            json_string(&cell.level.to_string()),
+            json_string(r.mode.label()),
+            r.violations.len(),
+            s.reads,
+            s.marked_reads,
+            s.needed_marked,
+            s.unneeded_marked,
+            diagnostics_json(&diags),
+        ));
+    }
+    parts.join(",")
+}
+
+fn print_json(targets: &[TargetReport], violations: usize) {
+    let mut out = String::from("{\"schema\":\"tpi-lint/1\",\"targets\":[");
+    for (i, t) in targets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"diagnostics\":{},\"oracle\":[{}]}}",
+            json_string(&t.name),
+            diagnostics_json(&t.diagnostics),
+            t.oracle
+                .iter()
+                .map(oracle_json)
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+    }
+    out.push_str(&format!("],\"violations\":{violations}}}"));
+    println!("{out}");
+}
+
+fn print_human(targets: &[TargetReport], violations: usize, max_print: usize) {
+    for t in targets {
+        println!("{}", t.name);
+        if t.diagnostics.is_empty() {
+            println!("  static: clean");
+        }
+        for d in &t.diagnostics {
+            println!("  {}", d.human());
+        }
+        for cell in &t.oracle {
+            for r in &cell.reports {
+                let s = r.stats;
+                let verdict = if r.is_sound() {
+                    "sound".to_string()
+                } else {
+                    format!("{} VIOLATIONS", r.violations.len())
+                };
+                println!(
+                    "  oracle {}/{}: {verdict}; reads={} marked={} needed={} unneeded={}",
+                    r.mode.label(),
+                    cell.level,
+                    s.reads,
+                    s.marked_reads,
+                    s.needed_marked,
+                    s.unneeded_marked,
+                );
+                for v in r.violations.iter().take(max_print) {
+                    println!("    {}", v.diagnostic().human());
+                }
+                if r.violations.len() > max_print {
+                    println!("    ... {} more", r.violations.len() - max_print);
+                }
+            }
+        }
+    }
+    println!(
+        "{} target(s), {} soundness violation(s)",
+        targets.len(),
+        violations
+    );
+}
+
+fn run(opts: &Options) -> Result<usize, String> {
+    // Assemble targets: kernels first, then files, in argument order.
+    let mut sources: Vec<ProgramSource> = opts
+        .kernels
+        .iter()
+        .map(|&k| ProgramSource::Kernel(k, opts.scale))
+        .collect();
+    for file in &opts.files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let program =
+            tpi_ir::parse_program(&text).map_err(|e| format!("parse error in {file}: {e}"))?;
+        sources.push(ProgramSource::Custom {
+            name: Arc::from(file.as_str()),
+            program: Arc::new(program),
+        });
+    }
+
+    // Static lints run at the strongest requested level; the oracle
+    // replays every requested level.
+    let static_level = *opts.levels.last().unwrap_or(&OptLevel::Full);
+    let lint_options = LintOptions {
+        level: static_level,
+        tag_bits: opts.tag_bits,
+    };
+
+    let runner = Runner::new();
+    let mut diff = DifferentialOptions {
+        base: ExperimentConfig::paper(),
+        levels: opts.levels.clone(),
+        modes: opts.modes.clone(),
+    };
+    diff.base.tag_bits = opts.tag_bits;
+
+    let mut targets = Vec::new();
+    let oracle_reports = if opts.oracle {
+        check_sources(&runner, &sources, &diff).map_err(|e| format!("oracle replay: {e}"))?
+    } else {
+        Vec::new()
+    };
+    for (si, source) in sources.iter().enumerate() {
+        let program = match source {
+            ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
+            ProgramSource::Custom { program, .. } => Arc::clone(program),
+        };
+        let diagnostics = lint_program(program.as_ref(), &lint_options);
+        let oracle = if opts.oracle {
+            oracle_reports[si * opts.levels.len()..(si + 1) * opts.levels.len()].to_vec()
+        } else {
+            Vec::new()
+        };
+        targets.push(TargetReport {
+            name: source.label().to_string(),
+            diagnostics,
+            oracle,
+        });
+    }
+
+    let violations: usize = targets
+        .iter()
+        .flat_map(|t| t.oracle.iter())
+        .map(CellReport::violations)
+        .sum();
+    if opts.json {
+        print_json(&targets, violations);
+    } else {
+        print_human(&targets, violations, opts.max_print);
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => return usage_error(&msg),
+    };
+    match run(&opts) {
+        Ok(violations) if opts.deny_violations && violations > 0 => {
+            eprintln!("tpi-lint: denied: {violations} soundness violation(s)");
+            ExitCode::FAILURE
+        }
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => usage_error(&msg),
+    }
+}

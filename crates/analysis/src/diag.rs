@@ -1,0 +1,248 @@
+//! Structured diagnostics with stable codes, in human and JSON form.
+//!
+//! Every lint pass and the staleness oracle report through [`Diagnostic`]:
+//! a stable [`Code`] (`TPI001`…), a [`Severity`], a one-line message, and
+//! ordered key/value context (array, epoch, site, distance, …). The codes
+//! are a public, append-only contract — snapshot tests pin both renderings.
+
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the analysis suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `TPI001 unreachable-epoch`: an epoch that can never execute
+    /// (constant-false branch arm, constant-empty loop).
+    Tpi001,
+    /// `TPI002 doall-write-write-conflict`: two writes in the same DOALL
+    /// epoch may touch a common element from different iterations.
+    Tpi002,
+    /// `TPI003 degenerate-section`: a reference whose section summary lost
+    /// precision (opaque subscript or unbounded variable), forcing
+    /// whole-dimension over-approximation.
+    Tpi003,
+    /// `TPI004 distance-saturation`: a Time-Read distance at or beyond the
+    /// timetag range, so the hardware can never verify a hit.
+    Tpi004,
+    /// `TPI005 dead-shared-array`: a shared array that is never read (or
+    /// never accessed at all).
+    Tpi005,
+    /// `TPI900 soundness-violation`: the dynamic oracle observed a read
+    /// that could be served stale data.
+    Tpi900,
+    /// `TPI999 custom-pass`: reserved for passes registered by library
+    /// users outside this crate.
+    Tpi999,
+}
+
+impl Code {
+    /// The stable textual code, e.g. `"TPI002"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Tpi001 => "TPI001",
+            Code::Tpi002 => "TPI002",
+            Code::Tpi003 => "TPI003",
+            Code::Tpi004 => "TPI004",
+            Code::Tpi005 => "TPI005",
+            Code::Tpi900 => "TPI900",
+            Code::Tpi999 => "TPI999",
+        }
+    }
+
+    /// The short kebab-case name of the lint.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::Tpi001 => "unreachable-epoch",
+            Code::Tpi002 => "doall-write-write-conflict",
+            Code::Tpi003 => "degenerate-section",
+            Code::Tpi004 => "distance-saturation",
+            Code::Tpi005 => "dead-shared-array",
+            Code::Tpi900 => "soundness-violation",
+            Code::Tpi999 => "custom-pass",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (precision statistics, suppressed checks).
+    Info,
+    /// Likely precision loss, never unsoundness.
+    Warning,
+    /// A correctness problem (static race, oracle violation).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both output formats.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: code, severity, message, and ordered context pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// One-line human message.
+    pub message: String,
+    /// Ordered `(key, value)` context: array, epoch, site, distance, …
+    pub context: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no context.
+    #[must_use]
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Appends one context pair (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.context.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the human form:
+    /// `warning[TPI003] degenerate-section: message (k=v, k=v)`.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut s = format!(
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.code,
+            self.code.name(),
+            self.message
+        );
+        if !self.context.is_empty() {
+            let ctx: Vec<String> = self
+                .context
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            s.push_str(&format!(" ({})", ctx.join(", ")));
+        }
+        s
+    }
+
+    /// Renders the JSON form (a single object).
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"code\":{}", json_string(self.code.as_str())));
+        s.push_str(&format!(",\"name\":{}", json_string(self.code.name())));
+        s.push_str(&format!(
+            ",\"severity\":{}",
+            json_string(self.severity.label())
+        ));
+        s.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        s.push_str(",\"context\":{");
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{}", json_string(k), json_string(v)));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.human())
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a whole diagnostic list as a JSON array.
+#[must_use]
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::json).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_and_json_forms() {
+        let d = Diagnostic::new(Code::Tpi002, Severity::Error, "writes may collide")
+            .with("array", "A")
+            .with("epoch", 3);
+        assert_eq!(
+            d.human(),
+            "error[TPI002] doall-write-write-conflict: writes may collide (array=A, epoch=3)"
+        );
+        assert_eq!(
+            d.json(),
+            "{\"code\":\"TPI002\",\"name\":\"doall-write-write-conflict\",\
+             \"severity\":\"error\",\"message\":\"writes may collide\",\
+             \"context\":{\"array\":\"A\",\"epoch\":\"3\"}}"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        for (code, s, name) in [
+            (Code::Tpi001, "TPI001", "unreachable-epoch"),
+            (Code::Tpi002, "TPI002", "doall-write-write-conflict"),
+            (Code::Tpi003, "TPI003", "degenerate-section"),
+            (Code::Tpi004, "TPI004", "distance-saturation"),
+            (Code::Tpi005, "TPI005", "dead-shared-array"),
+            (Code::Tpi900, "TPI900", "soundness-violation"),
+            (Code::Tpi999, "TPI999", "custom-pass"),
+        ] {
+            assert_eq!(code.as_str(), s);
+            assert_eq!(code.name(), name);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Differential oracle runs: replay kernels across compiler optimization
+//! levels and assert the aggressive levels introduce no violations.
+//!
+//! All pipeline work goes through [`Runner::prepare`], so programs,
+//! markings, and traces are memoized and shared with any simulation grid
+//! using the same runner — an oracle sweep over a kernel never
+//! re-interprets a trace a simulation already produced.
+
+use crate::oracle::{check_trace, OracleMode, OracleReport};
+use tpi::runner::{PreparedCell, ProgramSource, RunSpec};
+use tpi::{ExperimentConfig, Runner};
+use tpi_compiler::OptLevel;
+use tpi_trace::TraceError;
+use tpi_workloads::{Kernel, Scale};
+
+/// Every optimization level, weakest first.
+pub const ALL_LEVELS: [OptLevel; 3] = [OptLevel::Naive, OptLevel::Intra, OptLevel::Full];
+
+/// Oracle verdicts for one program × optimization level.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Program label (kernel or custom name).
+    pub label: String,
+    /// Compiler optimization level replayed.
+    pub level: OptLevel,
+    /// Reports in the order of the requested modes.
+    pub reports: Vec<OracleReport>,
+}
+
+impl CellReport {
+    /// Total violations across all replayed modes.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.reports.iter().map(|r| r.violations.len()).sum()
+    }
+}
+
+/// What a differential sweep should replay.
+#[derive(Debug, Clone)]
+pub struct DifferentialOptions {
+    /// Base configuration (processor count, schedule, seed, …).
+    pub base: ExperimentConfig,
+    /// Optimization levels to replay (default: all three).
+    pub levels: Vec<OptLevel>,
+    /// Oracle modes to replay per level (default: TPI and SC).
+    pub modes: Vec<OracleMode>,
+}
+
+impl Default for DifferentialOptions {
+    fn default() -> Self {
+        DifferentialOptions {
+            base: ExperimentConfig::paper(),
+            levels: ALL_LEVELS.to_vec(),
+            modes: vec![OracleMode::Tpi, OracleMode::Sc],
+        }
+    }
+}
+
+/// Replays `sources` under every requested level and mode, going through
+/// `runner` so all artifacts are memoized and built in parallel.
+///
+/// Results are ordered source-major, then by level in request order.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if any program races under its schedule.
+pub fn check_sources(
+    runner: &Runner,
+    sources: &[ProgramSource],
+    options: &DifferentialOptions,
+) -> Result<Vec<CellReport>, TraceError> {
+    let mut cells = Vec::new();
+    for source in sources {
+        for &level in &options.levels {
+            let mut config = options.base;
+            config.opt_level = level;
+            cells.push(RunSpec {
+                source: source.clone(),
+                config,
+            });
+        }
+    }
+    let prepared = runner.prepare(&cells)?;
+    Ok(prepared
+        .iter()
+        .map(|cell| oracle_cell(cell, &options.modes))
+        .collect())
+}
+
+/// Replays every Perfect Club kernel at `scale`; the convenience form of
+/// [`check_sources`] behind `tpi-lint --all-kernels`.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if any kernel races under the configured
+/// schedule (they never do at the shipped scales).
+pub fn check_all_kernels(
+    runner: &Runner,
+    scale: Scale,
+    options: &DifferentialOptions,
+) -> Result<Vec<CellReport>, TraceError> {
+    let sources: Vec<ProgramSource> = Kernel::ALL
+        .into_iter()
+        .map(|k| ProgramSource::Kernel(k, scale))
+        .collect();
+    check_sources(runner, &sources, options)
+}
+
+/// Runs the oracle over one prepared cell in every requested mode.
+#[must_use]
+pub fn oracle_cell(cell: &PreparedCell, modes: &[OracleMode]) -> CellReport {
+    CellReport {
+        label: cell.spec.source.label().to_string(),
+        level: cell.spec.config.opt_level,
+        reports: modes
+            .iter()
+            .map(|&mode| check_trace(cell.trace.as_ref(), mode))
+            .collect(),
+    }
+}
+
+/// Total violations across a whole sweep.
+#[must_use]
+pub fn total_violations(reports: &[CellReport]) -> usize {
+    reports.iter().map(CellReport::violations).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_all_levels_is_sound_and_memoized() {
+        let runner = Runner::new();
+        let sources = [ProgramSource::Kernel(Kernel::Flo52, Scale::Test)];
+        let reports = check_sources(&runner, &sources, &DifferentialOptions::default()).unwrap();
+        assert_eq!(reports.len(), ALL_LEVELS.len());
+        assert_eq!(total_violations(&reports), 0);
+        // Naive marks everything, full marks least: precision improves.
+        let naive = &reports[0].reports[0];
+        let full = &reports[2].reports[0];
+        assert!(naive.stats.marked_reads >= full.stats.marked_reads);
+        // One program build, three markings, three traces — all cached.
+        let stats = runner.stats();
+        assert_eq!(stats.programs_built, 1);
+        assert_eq!(stats.markings_built, 3);
+        assert_eq!(stats.traces_built, 3);
+
+        // A second sweep over the same cells is answered from the cache.
+        let again = check_sources(&runner, &sources, &DifferentialOptions::default()).unwrap();
+        assert_eq!(total_violations(&again), 0);
+        let stats = runner.stats();
+        assert_eq!(stats.traces_built, 3, "oracle replays reuse traces");
+        assert!(stats.trace_hits >= 3);
+    }
+}

@@ -1,0 +1,437 @@
+//! The static lint pass suite over `tpi-ir` programs and the compiler's
+//! epoch flow graph.
+//!
+//! Each pass owns one stable diagnostic [`Code`]:
+//!
+//! * `TPI001 unreachable-epoch` — constant-false branch arms and
+//!   constant-empty loops whose bodies can never execute.
+//! * `TPI002 doall-write-write-conflict` — a static race detector: two
+//!   writes in one DOALL epoch whose regular sections may intersect
+//!   without being provably same-iteration.
+//! * `TPI003 degenerate-section` — references the section analysis had to
+//!   over-approximate (opaque subscripts, whole-array sections).
+//! * `TPI004 distance-saturation` — Time-Read distances at or beyond the
+//!   timetag range, which the hardware can never verify as hits.
+//! * `TPI005 dead-shared-array` — shared arrays never read (or never
+//!   accessed at all).
+//!
+//! Passes are registered in a [`PassRegistry`]; [`lint_program`] is the
+//! one-call convenience that builds the epoch flow graph and marking and
+//! runs every registered pass.
+
+use crate::diag::{Code, Diagnostic, Severity};
+use std::collections::HashSet;
+use tpi_compiler::epochflow::{same_iteration_only, DimShape, EpochFlowGraph, EpochKind};
+use tpi_compiler::{mark_program, CompilerOptions, Marking, OptLevel};
+use tpi_ir::{Cond, Program, Stmt, VarRanges};
+use tpi_mem::{ArrayId, Sharing};
+
+/// Everything a lint pass may look at.
+pub struct LintContext<'a> {
+    /// The program under analysis.
+    pub program: &'a Program,
+    /// The interprocedural epoch flow graph of `program`.
+    pub graph: &'a EpochFlowGraph,
+    /// The compiler's marking (for marking-dependent passes).
+    pub marking: &'a Marking,
+    /// Timetag width the hardware would run with (for `TPI004`).
+    pub tag_bits: u32,
+}
+
+/// One static analysis pass.
+pub trait LintPass {
+    /// The stable code this pass emits.
+    fn code(&self) -> Code;
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lint passes.
+pub struct PassRegistry {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Default for PassRegistry {
+    fn default() -> Self {
+        PassRegistry::with_default_passes()
+    }
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        PassRegistry { passes: Vec::new() }
+    }
+
+    /// The registry holding every built-in pass, `TPI001`–`TPI005`.
+    #[must_use]
+    pub fn with_default_passes() -> Self {
+        let mut r = PassRegistry::empty();
+        r.register(Box::new(UnreachableEpoch));
+        r.register(Box::new(DoallWriteWriteConflict));
+        r.register(Box::new(DegenerateSection));
+        r.register(Box::new(DistanceSaturation));
+        r.register(Box::new(DeadSharedArray));
+        r
+    }
+
+    /// Adds a pass (runs after the already-registered ones).
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// The codes of the registered passes, in run order.
+    #[must_use]
+    pub fn codes(&self) -> Vec<Code> {
+        self.passes.iter().map(|p| p.code()).collect()
+    }
+
+    /// Runs every pass over `cx`, in registration order.
+    #[must_use]
+    pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for pass in &self.passes {
+            pass.run(cx, &mut out);
+        }
+        out
+    }
+}
+
+/// Knobs for the one-call [`lint_program`] entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Compiler optimization level the marking is computed at.
+    pub level: OptLevel,
+    /// Timetag width for the `TPI004` saturation check.
+    pub tag_bits: u32,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            level: OptLevel::Full,
+            tag_bits: 8,
+        }
+    }
+}
+
+/// Builds the epoch flow graph and marking for `program` and runs every
+/// default pass.
+#[must_use]
+pub fn lint_program(program: &Program, options: &LintOptions) -> Vec<Diagnostic> {
+    let graph = EpochFlowGraph::of_program(program);
+    let marking = mark_program(
+        program,
+        &CompilerOptions {
+            level: options.level,
+        },
+    );
+    let cx = LintContext {
+        program,
+        graph: &graph,
+        marking: &marking,
+        tag_bits: options.tag_bits,
+    };
+    PassRegistry::with_default_passes().run(&cx)
+}
+
+/// `TPI001`: epochs under constant-false conditions or inside
+/// constant-empty loops can never execute.
+pub struct UnreachableEpoch;
+
+impl LintPass for UnreachableEpoch {
+    fn code(&self) -> Code {
+        Code::Tpi001
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for proc in &cx.program.procs {
+            walk_unreachable(&proc.body, &proc.name, out);
+        }
+    }
+}
+
+fn walk_unreachable(stmts: &[Stmt], proc: &str, out: &mut Vec<Diagnostic>) {
+    for s in stmts {
+        match s {
+            Stmt::If(i) => {
+                match i.cond {
+                    Cond::Never => report_unreachable(&i.then_body, proc, "then", out),
+                    Cond::Always => report_unreachable(&i.else_body, proc, "else", out),
+                    _ => {}
+                }
+                walk_unreachable(&i.then_body, proc, out);
+                walk_unreachable(&i.else_body, proc, out);
+            }
+            Stmt::Loop(l) | Stmt::Doall(l) => {
+                if constant_empty(l) && !l.body.is_empty() {
+                    let arm = if matches!(s, Stmt::Doall(_)) {
+                        "doall"
+                    } else {
+                        "loop"
+                    };
+                    report_unreachable(&l.body, proc, arm, out);
+                }
+                walk_unreachable(&l.body, proc, out);
+            }
+            Stmt::Critical(c) => walk_unreachable(&c.body, proc, out),
+            _ => {}
+        }
+    }
+}
+
+fn constant_empty(l: &tpi_ir::Loop) -> bool {
+    let ranges = VarRanges::new();
+    match (ranges.range_of(&l.lo), ranges.range_of(&l.hi)) {
+        (Some(lo), Some(hi)) => {
+            // Constant bounds only (point ranges under no bindings).
+            lo.lo == lo.hi
+                && hi.lo == hi.hi
+                && (if l.step > 0 {
+                    lo.lo > hi.lo
+                } else {
+                    lo.lo < hi.lo
+                })
+        }
+        _ => false,
+    }
+}
+
+fn report_unreachable(body: &[Stmt], proc: &str, arm: &str, out: &mut Vec<Diagnostic>) {
+    if body.is_empty() {
+        return;
+    }
+    let parallel = body.iter().any(Stmt::syntactically_contains_doall);
+    let mut d = Diagnostic::new(
+        Code::Tpi001,
+        Severity::Warning,
+        format!("code in this {arm} can never execute"),
+    )
+    .with("proc", proc)
+    .with("contains_doall", parallel);
+    if let Some(id) = first_assign_id(body) {
+        d = d.with("first_stmt", id.0);
+    }
+    out.push(d);
+}
+
+fn first_assign_id(stmts: &[Stmt]) -> Option<tpi_ir::StmtId> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => return Some(a.id),
+            Stmt::Loop(l) | Stmt::Doall(l) => {
+                if let Some(id) = first_assign_id(&l.body) {
+                    return Some(id);
+                }
+            }
+            Stmt::If(i) => {
+                if let Some(id) =
+                    first_assign_id(&i.then_body).or_else(|| first_assign_id(&i.else_body))
+                {
+                    return Some(id);
+                }
+            }
+            Stmt::Critical(c) => {
+                if let Some(id) = first_assign_id(&c.body) {
+                    return Some(id);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `TPI002`: static write-write race detection inside DOALL epochs.
+///
+/// Two writes to the same array in one DOALL epoch conflict when their
+/// sections may intersect and the intersection is not provably confined
+/// to a single iteration. Lock-guarded (critical) writes are serialized
+/// by the lock and skipped; epochs containing post/wait synchronization
+/// are skipped too (event ordering, which this pass cannot see, may
+/// serialize them).
+pub struct DoallWriteWriteConflict;
+
+impl LintPass for DoallWriteWriteConflict {
+    fn code(&self) -> Code {
+        Code::Tpi002
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+        for (ni, node) in cx.graph.nodes().iter().enumerate() {
+            if !matches!(node.kind, EpochKind::Doall(_)) || node.has_sync {
+                continue;
+            }
+            for (i, w1) in node.writes.iter().enumerate() {
+                if w1.critical {
+                    continue;
+                }
+                for (j, w2) in node.writes.iter().enumerate().skip(i) {
+                    if w2.critical || w1.array != w2.array {
+                        continue;
+                    }
+                    if !w1.section.may_intersect(&w2.section) {
+                        continue;
+                    }
+                    if same_iteration_only(&w1.shape, &w2.shape) {
+                        continue;
+                    }
+                    if !seen.insert((ni, i, j)) {
+                        continue;
+                    }
+                    let name = cx.program.array(w1.array).name();
+                    out.push(
+                        Diagnostic::new(
+                            Code::Tpi002,
+                            Severity::Error,
+                            if i == j {
+                                format!("different iterations of a DOALL may write the same element of {name}")
+                            } else {
+                                format!("two writes to {name} in one DOALL epoch may collide across iterations")
+                            },
+                        )
+                        .with("array", name)
+                        .with("epoch_node", ni),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `TPI003`: references whose section summary lost precision — an opaque
+/// (non-affine) subscript, or an affine one with an unbounded variable —
+/// so the analysis falls back to whole-dimension sections. Sound but
+/// imprecise: such reads can never be proven covered or conflict-free.
+///
+/// A precise section that merely *spans* the array (a DOALL sweeping its
+/// full range) is not flagged; only genuine over-approximation is.
+pub struct DegenerateSection;
+
+impl LintPass for DegenerateSection {
+    fn code(&self) -> Code {
+        Code::Tpi003
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for node in cx.graph.nodes() {
+            for read in &node.reads {
+                if !seen.insert((read.site.stmt.0, read.site.idx)) {
+                    continue;
+                }
+                let decl = cx.program.array(read.array);
+                let opaque = read.shape.iter().any(|s| matches!(s, DimShape::Opaque));
+                let unbounded = read.shape.iter().any(|s| {
+                    matches!(
+                        s,
+                        DimShape::Affine {
+                            rest_range: None,
+                            ..
+                        }
+                    )
+                });
+                if !(opaque || unbounded) {
+                    continue;
+                }
+                let why = if opaque {
+                    "opaque subscript"
+                } else {
+                    "unbounded subscript variable"
+                };
+                out.push(
+                    Diagnostic::new(
+                        Code::Tpi003,
+                        Severity::Warning,
+                        format!("read of {} over-approximated: {why}", decl.name()),
+                    )
+                    .with("array", decl.name())
+                    .with("stmt", read.site.stmt.0)
+                    .with("read_idx", read.site.idx),
+                );
+            }
+        }
+    }
+}
+
+/// `TPI004`: Time-Read distances the timetag hardware cannot represent.
+///
+/// With `b` tag bits the hardware distinguishes ages `0..2^b - 1`; a
+/// marked distance `d >= 2^b` can never admit a verified hit (the
+/// two-phase reset invalidates words before they reach that age), so the
+/// Time-Read degenerates to an always-miss — sound, but the marking
+/// precision is wasted.
+pub struct DistanceSaturation;
+
+impl LintPass for DistanceSaturation {
+    fn code(&self) -> Code {
+        Code::Tpi004
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let limit = 1u64 << cx.tag_bits;
+        let mut sites: Vec<_> = cx
+            .marking
+            .sites()
+            .filter(|(_, d)| d.stale && u64::from(d.distance) >= limit)
+            .collect();
+        sites.sort_by_key(|(s, _)| (s.stmt.0, s.idx));
+        for (site, d) in sites {
+            out.push(
+                Diagnostic::new(
+                    Code::Tpi004,
+                    Severity::Warning,
+                    format!(
+                        "Time-Read distance {} saturates the {}-bit timetag range",
+                        d.distance, cx.tag_bits
+                    ),
+                )
+                .with("stmt", site.stmt.0)
+                .with("read_idx", site.idx)
+                .with("distance", d.distance)
+                .with("tag_bits", cx.tag_bits),
+            );
+        }
+    }
+}
+
+/// `TPI005`: shared arrays that are never read — either dead stores
+/// (written, never consumed) or entirely unused declarations.
+pub struct DeadSharedArray;
+
+impl LintPass for DeadSharedArray {
+    fn code(&self) -> Code {
+        Code::Tpi005
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut read: HashSet<ArrayId> = HashSet::new();
+        let mut written: HashSet<ArrayId> = HashSet::new();
+        cx.program.for_each_assign(|_, a| {
+            for r in &a.reads {
+                read.insert(r.array);
+            }
+            if let Some(w) = &a.write {
+                written.insert(w.array);
+            }
+        });
+        for (i, decl) in cx.program.arrays.iter().enumerate() {
+            let id = ArrayId(i as u32);
+            if decl.sharing() != Sharing::Shared || read.contains(&id) {
+                continue;
+            }
+            let message = if written.contains(&id) {
+                format!("shared array {} is written but never read", decl.name())
+            } else {
+                format!("shared array {} is never accessed", decl.name())
+            };
+            out.push(
+                Diagnostic::new(Code::Tpi005, Severity::Warning, message)
+                    .with("array", decl.name())
+                    .with("written", written.contains(&id)),
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Snapshot tests: every static pass fires on a crafted program, and both
+//! output formats (human and JSON) are pinned byte-for-byte so the stable
+//! `TPI00x` codes and rendering never drift unnoticed.
+
+use tpi_analysis::{diagnostics_json, lint_program, Code, LintOptions};
+use tpi_compiler::OptLevel;
+use tpi_ir::{subs, Cond, Program, ProgramBuilder};
+
+/// One program tripping all five static lints:
+///
+/// * `TPI001` — a DOALL under an `if never` branch,
+/// * `TPI002` — a DOALL whose iterations write overlapping elements,
+/// * `TPI003` — an opaquely-subscripted read,
+/// * `TPI004` — a Time-Read distance beyond a 1-bit timetag,
+/// * `TPI005` — a shared array that is written but never read.
+fn pathological() -> Program {
+    let mut p = ProgramBuilder::new();
+    let a = p.shared("A", [64]);
+    let dead = p.shared("DEAD", [8]);
+    let g = p.shared("G", [64]);
+    let main = p.proc("main", |f| {
+        let op = f.opaque();
+        f.if_else(
+            Cond::Never,
+            |f| f.doall(0, 63, move |i, f| f.store(a.at(subs![i]), vec![], 1)),
+            |_| {},
+        );
+        // Writes A[i] and A[i+1]: iterations i and i+1 collide.
+        f.doall(0, 62, move |i, f| {
+            f.store(a.at(subs![i]), vec![], 1);
+            f.store(a.at(subs![i + 1]), vec![], 1);
+        });
+        f.doall(0, 7, move |i, f| f.store(dead.at(subs![i]), vec![], 1));
+        f.doall(0, 63, move |i, f| {
+            f.store(g.at(subs![i]), vec![g.at(subs![op])], 1)
+        });
+        // Two epoch boundaries from the writes of A: distance 2 saturates
+        // a 1-bit timetag (which only represents age 0..1).
+        f.doall(0, 62, move |i, f| f.load(vec![a.at(subs![i + 1])], 1));
+    });
+    p.finish(main).expect("well-formed")
+}
+
+fn lint_pathological() -> Vec<tpi_analysis::Diagnostic> {
+    lint_program(
+        &pathological(),
+        &LintOptions {
+            level: OptLevel::Full,
+            tag_bits: 1,
+        },
+    )
+}
+
+#[test]
+fn every_static_pass_fires_once() {
+    let diags = lint_pathological();
+    let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes,
+        [
+            Code::Tpi001,
+            Code::Tpi002,
+            Code::Tpi003,
+            Code::Tpi004,
+            Code::Tpi005
+        ],
+        "got: {:#?}",
+        diags
+    );
+}
+
+#[test]
+fn human_rendering_is_stable() {
+    let rendered: Vec<String> = lint_pathological().iter().map(|d| d.human()).collect();
+    assert_eq!(
+        rendered,
+        [
+            "warning[TPI001] unreachable-epoch: code in this then can never execute (proc=main, contains_doall=true, first_stmt=0)",
+            "error[TPI002] doall-write-write-conflict: two writes to A in one DOALL epoch may collide across iterations (array=A, epoch_node=1)",
+            "warning[TPI003] degenerate-section: read of G over-approximated: opaque subscript (array=G, stmt=4, read_idx=0)",
+            "warning[TPI004] distance-saturation: Time-Read distance 3 saturates the 1-bit timetag range (stmt=5, read_idx=0, distance=3, tag_bits=1)",
+            "warning[TPI005] dead-shared-array: shared array DEAD is written but never read (array=DEAD, written=true)",
+        ],
+    );
+}
+
+#[test]
+fn json_rendering_is_stable() {
+    assert_eq!(
+        diagnostics_json(&lint_pathological()),
+        "[{\"code\":\"TPI001\",\"name\":\"unreachable-epoch\",\"severity\":\"warning\",\
+         \"message\":\"code in this then can never execute\",\
+         \"context\":{\"proc\":\"main\",\"contains_doall\":\"true\",\"first_stmt\":\"0\"}},\
+         {\"code\":\"TPI002\",\"name\":\"doall-write-write-conflict\",\"severity\":\"error\",\
+         \"message\":\"two writes to A in one DOALL epoch may collide across iterations\",\
+         \"context\":{\"array\":\"A\",\"epoch_node\":\"1\"}},\
+         {\"code\":\"TPI003\",\"name\":\"degenerate-section\",\"severity\":\"warning\",\
+         \"message\":\"read of G over-approximated: opaque subscript\",\
+         \"context\":{\"array\":\"G\",\"stmt\":\"4\",\"read_idx\":\"0\"}},\
+         {\"code\":\"TPI004\",\"name\":\"distance-saturation\",\"severity\":\"warning\",\
+         \"message\":\"Time-Read distance 3 saturates the 1-bit timetag range\",\
+         \"context\":{\"stmt\":\"5\",\"read_idx\":\"0\",\"distance\":\"3\",\"tag_bits\":\"1\"}},\
+         {\"code\":\"TPI005\",\"name\":\"dead-shared-array\",\"severity\":\"warning\",\
+         \"message\":\"shared array DEAD is written but never read\",\
+         \"context\":{\"array\":\"DEAD\",\"written\":\"true\"}}]"
+    );
+}

@@ -7,6 +7,7 @@
 //! tpi-run program.tpi --show-program        # echo the parsed IR
 //! tpi-run program.tpi --show-marking        # dump the compiler's decisions
 //! tpi-run program.tpi --verify              # panic if any hit observes stale data
+//! tpi-run program.tpi --lint                # static lints only, no simulation
 //! ```
 //!
 //! Scheme comparisons run through a [`Runner`], so the program is marked
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpi-run <file> [--scheme tpi|hw|sc|base|ll|ideal|all] [--procs N]\n\
          \x20       [--line-words N] [--tag-bits N] [--cache-kb N] [--opt naive|intra|full]\n\
-         \x20       [--show-program] [--show-marking] [--verify] [--export]"
+         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint]"
     );
     ExitCode::FAILURE
 }
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
     let mut show_program = false;
     let mut show_marking = false;
     let mut export = false;
+    let mut lint = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
             },
             "--verify" => builder = builder.verify_freshness(true),
             "--export" => export = true,
+            "--lint" => lint = true,
             "--show-program" => show_program = true,
             "--show-marking" => show_marking = true,
             other if !other.starts_with('-') && file.is_none() => {
@@ -118,6 +121,20 @@ fn main() -> ExitCode {
         // Canonicalize: print the parsed program back in the textual
         // format and exit.
         print!("{}", tpi_ir::program_to_source(&program));
+        return ExitCode::SUCCESS;
+    }
+    if lint {
+        // Static analysis only: run the tpi-lint pass registry and exit
+        // without simulating (the full oracle lives in `tpi-lint`).
+        let options = tpi_analysis::LintOptions {
+            level: cfg.opt_level,
+            tag_bits: cfg.tag_bits,
+        };
+        let diagnostics = tpi_analysis::lint_program(&program, &options);
+        for d in &diagnostics {
+            println!("{}", d.human());
+        }
+        println!("{file}: {} diagnostic(s)", diagnostics.len());
         return ExitCode::SUCCESS;
     }
     if show_program {

@@ -87,6 +87,9 @@ pub struct NodeWrite {
     pub section: Section,
     /// Per-dimension shape w.r.t. the node's DOALL variable.
     pub shape: Vec<DimShape>,
+    /// Whether the write sits inside a lock-guarded critical section (the
+    /// lock, not the iteration space, serializes it).
+    pub critical: bool,
 }
 
 /// One static epoch.
@@ -101,6 +104,9 @@ pub struct EpochNode {
     /// If set, the node may write any element of any shared array
     /// (opaque-call conservatism).
     pub writes_everything: bool,
+    /// Whether the epoch contains post/wait synchronization: accesses may
+    /// be ordered by events rather than the iteration space.
+    pub has_sync: bool,
 }
 
 impl EpochNode {
@@ -234,6 +240,7 @@ impl<'p> GraphBuilder<'p> {
             reads: Vec::new(),
             writes: Vec::new(),
             writes_everything: false,
+            has_sync: false,
         });
         self.succs.push(Vec::new());
         id
@@ -306,10 +313,11 @@ impl<'p> GraphBuilder<'p> {
                 let id = self.new_node(EpochKind::Serial);
                 let mut walk = RefWalk::new(self.program, self.level, None);
                 walk.walk_stmts(stmts.iter().copied(), ranges);
-                let (reads, writes, we) = walk.into_parts();
+                let (reads, writes, we, sync) = walk.into_parts();
                 self.nodes[id.0].reads = reads;
                 self.nodes[id.0].writes = writes;
                 self.nodes[id.0].writes_everything = we;
+                self.nodes[id.0].has_sync = sync;
                 Region {
                     entries: vec![id],
                     exits: vec![id],
@@ -325,10 +333,11 @@ impl<'p> GraphBuilder<'p> {
                 let mut walk = RefWalk::new(self.program, self.level, Some(l.var));
                 walk.walk_stmts(l.body.iter(), ranges);
                 ranges.unbind(l.var);
-                let (reads, writes, we) = walk.into_parts();
+                let (reads, writes, we, sync) = walk.into_parts();
                 self.nodes[id.0].reads = reads;
                 self.nodes[id.0].writes = writes;
                 self.nodes[id.0].writes_everything = we;
+                self.nodes[id.0].has_sync = sync;
                 Region {
                     entries: vec![id],
                     exits: vec![id],
@@ -416,6 +425,8 @@ struct RefWalk<'p> {
     covered: HashSet<(ArrayId, Vec<Subscript>)>,
     /// Inside a lock-guarded critical section.
     in_critical: bool,
+    /// Saw post/wait synchronization anywhere in the epoch.
+    saw_sync: bool,
 }
 
 impl<'p> RefWalk<'p> {
@@ -429,11 +440,17 @@ impl<'p> RefWalk<'p> {
             writes_everything: false,
             covered: HashSet::new(),
             in_critical: false,
+            saw_sync: false,
         }
     }
 
-    fn into_parts(self) -> (Vec<NodeRead>, Vec<NodeWrite>, bool) {
-        (self.reads, self.writes, self.writes_everything)
+    fn into_parts(self) -> (Vec<NodeRead>, Vec<NodeWrite>, bool, bool) {
+        (
+            self.reads,
+            self.writes,
+            self.writes_everything,
+            self.saw_sync,
+        )
     }
 
     fn walk_stmts<'s>(&mut self, stmts: impl IntoIterator<Item = &'s Stmt>, ranges: &mut VarRanges)
@@ -501,6 +518,7 @@ impl<'p> RefWalk<'p> {
                 // safe by post/wait ordering still receive the distance-0
                 // marking from the same-epoch conflict rule, which is what
                 // forces them to fetch the freshly published data.
+                self.saw_sync = true;
             }
             Stmt::Doall(_) => {
                 unreachable!("segmentation guarantees no DOALL inside an epoch body")
@@ -547,6 +565,7 @@ impl<'p> RefWalk<'p> {
                     array: w.array,
                     section: Section::of_ref(w, ranges, decl),
                     shape,
+                    critical: self.in_critical,
                 });
             }
             if !self.in_critical {

@@ -59,7 +59,9 @@ pub struct MarkDecision {
 }
 
 impl MarkDecision {
-    fn plain(reason: MarkReason) -> Self {
+    /// A never-stale (`Plain`) decision.
+    #[must_use]
+    pub fn plain(reason: MarkReason) -> Self {
         MarkDecision {
             stale: false,
             distance: 0,
@@ -67,7 +69,9 @@ impl MarkDecision {
         }
     }
 
-    fn stale(distance: u32, reason: MarkReason) -> Self {
+    /// A potentially-stale decision with Time-Read `distance`.
+    #[must_use]
+    pub fn stale(distance: u32, reason: MarkReason) -> Self {
         MarkDecision {
             stale: true,
             distance,
@@ -145,6 +149,22 @@ impl Marking {
             }
         }
         s
+    }
+
+    /// Iterates over every analyzed shared-read site and its decision.
+    pub fn sites(&self) -> impl Iterator<Item = (RefSite, &MarkDecision)> {
+        self.decisions.iter().map(|(s, d)| (*s, d))
+    }
+
+    /// Overwrites (or inserts) the decision for `site`.
+    ///
+    /// This is the mutation hook for the analysis layer's
+    /// weakening/differential experiments: it deliberately bypasses the
+    /// conservative [`merge`](MarkDecision) rule, so the result may be
+    /// *unsound* — which is exactly what the staleness oracle exists to
+    /// detect.
+    pub fn set_decision(&mut self, site: RefSite, d: MarkDecision) {
+        self.decisions.insert(site, d);
     }
 
     fn record(&mut self, site: RefSite, d: MarkDecision) {

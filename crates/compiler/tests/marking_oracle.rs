@@ -1,0 +1,164 @@
+//! Property-based marking soundness, judged by the staleness oracle.
+//!
+//! The engine-level property tests (`tests/properties.rs` at the workspace
+//! root) check soundness through the simulators' shadow versions. These
+//! tests use the *oracle* from `tpi-analysis` as an independent judge: it
+//! replays traces against a worst-case never-evict cache model, so it
+//! flags any marking a real cache of any geometry could be burned by.
+//!
+//! Two properties are pinned:
+//!
+//! * **Shrinking is sound**: reducing any Time-Read distance (toward 0 =
+//!   always refetch) can never introduce a violation. The compiler is free
+//!   to round distances down — e.g. when the timetag width can't represent
+//!   them — without a correctness argument.
+//! * **Weaker analysis marks more**: every read Full marks stale, Intra
+//!   marks stale too (site-by-site, not just in aggregate), and with a
+//!   distance that is never larger — so falling back to the cheaper
+//!   analysis is always safe.
+
+use tpi_analysis::{check_trace, OracleMode};
+use tpi_compiler::{mark_program, CompilerOptions, MarkDecision, OptLevel};
+use tpi_ir::{subs, Program, ProgramBuilder};
+use tpi_testkit::prelude::*;
+use tpi_trace::{generate_trace, TraceOptions};
+
+const N_ITER: i64 = 31;
+const ARR: u64 = 40;
+const N_ARRAYS: usize = 3;
+
+/// One read in a DOALL body: `A_array[i + shift]`.
+#[derive(Debug, Clone)]
+struct ReadSpec {
+    array: usize,
+    shift: i64,
+}
+
+/// One epoch-to-be: `doall i: A_write[i] = f(reads...)`.
+#[derive(Debug, Clone)]
+struct SegSpec {
+    write: usize,
+    reads: Vec<ReadSpec>,
+}
+
+fn seg_spec() -> impl Strategy<Value = SegSpec> {
+    (
+        0..N_ARRAYS,
+        prop::collection::vec((0..N_ARRAYS, 0..5i64), 0..3),
+    )
+        .prop_map(|(write, reads)| SegSpec {
+            write,
+            reads: reads
+                .into_iter()
+                .map(|(array, shift)| ReadSpec { array, shift })
+                .collect(),
+        })
+}
+
+fn prog_spec() -> impl Strategy<Value = Vec<SegSpec>> {
+    prop::collection::vec(seg_spec(), 1..6)
+}
+
+/// Builds a race-free program: owner-computes DOALLs with shifted reads.
+/// A read of the epoch's own written array is repaired to shift 0 so no
+/// iteration reads what another concurrently writes.
+fn build_program(segs: &[SegSpec]) -> Program {
+    let mut p = ProgramBuilder::new();
+    let arrays: Vec<_> = (0..N_ARRAYS)
+        .map(|k| p.shared(&format!("A{k}"), [ARR]))
+        .collect();
+    let main = p.proc("main", |f| {
+        for a in &arrays {
+            let a = *a;
+            f.doall(0, ARR as i64 - 1, move |i, f| {
+                f.store(a.at(subs![i]), vec![], 1)
+            });
+        }
+        for seg in segs {
+            let write = seg.write;
+            let reads: Vec<ReadSpec> = seg
+                .reads
+                .iter()
+                .map(|r| {
+                    if r.array == write {
+                        ReadSpec {
+                            array: write,
+                            shift: 0,
+                        }
+                    } else {
+                        r.clone()
+                    }
+                })
+                .collect();
+            let arrays = arrays.clone();
+            f.doall(0, N_ITER, move |i, f| {
+                let read_refs: Vec<_> = reads
+                    .iter()
+                    .map(|r| arrays[r.array].at(subs![i + r.shift]))
+                    .collect();
+                f.store(arrays[write].at(subs![i]), read_refs, 2);
+            });
+        }
+    });
+    p.finish(main).expect("generated programs are well-formed")
+}
+
+fn trace_opts() -> TraceOptions {
+    TraceOptions {
+        num_procs: 8,
+        ..TraceOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shrinking_any_distance_stays_sound(segs in prog_spec()) {
+        let program = build_program(&segs);
+        let marking = mark_program(&program, &CompilerOptions { level: OptLevel::Full });
+        let trace = generate_trace(&program, &marking, &trace_opts())
+            .expect("race-free by construction");
+        prop_assert!(check_trace(&trace, OracleMode::Tpi).is_sound());
+
+        // Round every stale distance down by one (floor 0) and replay:
+        // being more conservative can never create a violation.
+        let mut shrunk = marking.clone();
+        let sites: Vec<_> = marking
+            .sites()
+            .filter(|(_, d)| d.stale && d.distance > 0)
+            .map(|(site, d)| (site, *d))
+            .collect();
+        for (site, d) in sites {
+            shrunk.set_decision(site, MarkDecision::stale(d.distance - 1, d.reason));
+        }
+        let trace = generate_trace(&program, &shrunk, &trace_opts())
+            .expect("shrinking distances cannot introduce races");
+        let report = check_trace(&trace, OracleMode::Tpi);
+        prop_assert!(report.is_sound(), "violations: {:?}", report.violations);
+        prop_assert!(check_trace(&trace, OracleMode::Sc).is_sound());
+    }
+
+    #[test]
+    fn intra_marks_a_superset_of_full_site_by_site(segs in prog_spec()) {
+        let program = build_program(&segs);
+        let full = mark_program(&program, &CompilerOptions { level: OptLevel::Full });
+        let intra = mark_program(&program, &CompilerOptions { level: OptLevel::Intra });
+        for (site, fd) in full.sites() {
+            if !fd.stale {
+                continue;
+            }
+            let id = intra.decision(site).expect("intra decided every site full did");
+            prop_assert!(
+                id.stale,
+                "full marks stmt {} read {} stale (d={}) but intra does not",
+                site.stmt.0, site.idx, fd.distance
+            );
+            prop_assert!(
+                id.distance <= fd.distance,
+                "intra distance {} exceeds full's {} at stmt {} read {}",
+                id.distance, fd.distance, site.stmt.0, site.idx
+            );
+        }
+    }
+}

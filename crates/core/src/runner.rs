@@ -106,6 +106,21 @@ pub struct RunSpec {
     pub config: ExperimentConfig,
 }
 
+/// The scheme-independent artifacts of one cell, as produced by
+/// [`Runner::prepare`]: everything the pipeline computes before a
+/// coherence engine gets involved.
+#[derive(Debug, Clone)]
+pub struct PreparedCell {
+    /// The cell these artifacts belong to.
+    pub spec: RunSpec,
+    /// Built (or cache-shared) program.
+    pub program: Arc<Program>,
+    /// The compiler's marking under the cell's options.
+    pub marking: Arc<Marking>,
+    /// The interpreted trace under the cell's options.
+    pub trace: Arc<Trace>,
+}
+
 type MarkingKey = (ProgramKey, CompilerOptions);
 type TraceKey = (ProgramKey, CompilerOptions, TraceOptions);
 
@@ -286,16 +301,87 @@ impl Runner {
         Ok(grid.run()?.take(cell))
     }
 
-    /// Executes `cells`, returning results in submission order.
-    fn execute(&self, cells: &[RunSpec]) -> Result<Vec<ExperimentResult>, TraceError> {
+    /// Locks the artifact store, tolerating poisoning: every insert is
+    /// complete-on-write, so a panicking worker thread cannot leave a
+    /// half-written entry behind.
+    fn store(&self) -> std::sync::MutexGuard<'_, ArtifactStore> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs the scheme-independent front of the pipeline — build, mark,
+    /// interpret — for every cell, exactly as a simulation grid would
+    /// (memoized, parallel, deterministic), but stops before simulation
+    /// and hands back the per-cell artifacts.
+    ///
+    /// This is the entry point for the analysis layer's staleness-oracle
+    /// replays: an oracle pass over a kernel×config cell reuses the same
+    /// cached trace that a simulation of that cell uses, so linting after
+    /// (or before) an experiment run never re-interprets a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] in submission order if any cell's
+    /// program races under its schedule.
+    pub fn prepare(&self, cells: &[RunSpec]) -> Result<Vec<PreparedCell>, TraceError> {
         if !self.memoize {
-            return self.execute_fresh(cells);
+            let prepared = parallel_map(self.threads, cells, |cell| {
+                let program = match &cell.source {
+                    ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
+                    ProgramSource::Custom { program, .. } => Arc::clone(program),
+                };
+                let marking = Arc::new(mark_program(
+                    program.as_ref(),
+                    &cell.config.compiler_options(),
+                ));
+                let trace = generate_trace(
+                    program.as_ref(),
+                    marking.as_ref(),
+                    &cell.config.trace_options(),
+                )
+                .map(Arc::new)?;
+                Ok(PreparedCell {
+                    spec: cell.clone(),
+                    program,
+                    marking,
+                    trace,
+                })
+            });
+            let n = cells.len() as u64;
+            self.stats.programs_built.fetch_add(n, Ordering::Relaxed);
+            self.stats.markings_built.fetch_add(n, Ordering::Relaxed);
+            self.stats.traces_built.fetch_add(n, Ordering::Relaxed);
+            return prepared.into_iter().collect();
         }
+        self.build_artifacts(cells)?;
+        let store = self.store();
+        Ok(cells
+            .iter()
+            .map(|cell| {
+                let pkey = cell.source.key();
+                let copts = cell.config.compiler_options();
+                let program = Arc::clone(&store.programs[&pkey]);
+                let marking = Arc::clone(&store.markings[&(pkey.clone(), copts)]);
+                let trace = Arc::clone(&store.traces[&(pkey, copts, cell.config.trace_options())]);
+                PreparedCell {
+                    spec: cell.clone(),
+                    program,
+                    marking,
+                    trace,
+                }
+            })
+            .collect())
+    }
+
+    /// Phases 1–3 of [`execute`](Self::execute): fills the artifact store
+    /// with every program, marking, and trace `cells` needs.
+    fn build_artifacts(&self, cells: &[RunSpec]) -> Result<(), TraceError> {
         // Phase 1 — programs. Unique keys in first-appearance order keep
         // the whole pipeline deterministic.
         let mut program_jobs: Vec<(ProgramKey, Option<Arc<Program>>)> = Vec::new();
         {
-            let store = self.store.lock().expect("runner store");
+            let store = self.store();
             for cell in cells {
                 let key = cell.source.key();
                 if store.programs.contains_key(&key) || program_jobs.iter().any(|(k, _)| *k == key)
@@ -323,7 +409,7 @@ impl Runner {
             }
         });
         {
-            let mut store = self.store.lock().expect("runner store");
+            let mut store = self.store();
             for ((key, _), program) in program_jobs.into_iter().zip(built) {
                 store.programs.insert(key, program);
             }
@@ -332,7 +418,7 @@ impl Runner {
         // Phase 2 — markings (scheme-independent).
         let mut marking_jobs: Vec<(MarkingKey, Arc<Program>)> = Vec::new();
         {
-            let store = self.store.lock().expect("runner store");
+            let store = self.store();
             for cell in cells {
                 let key = (cell.source.key(), cell.config.compiler_options());
                 if store.markings.contains_key(&key) || marking_jobs.iter().any(|(k, _)| *k == key)
@@ -351,7 +437,7 @@ impl Runner {
             Arc::new(mark_program(program.as_ref(), &key.1))
         });
         {
-            let mut store = self.store.lock().expect("runner store");
+            let mut store = self.store();
             for ((key, _), marking) in marking_jobs.into_iter().zip(marked) {
                 store.markings.insert(key, marking);
             }
@@ -360,7 +446,7 @@ impl Runner {
         // Phase 3 — traces (scheme- and cache-geometry-independent).
         let mut trace_jobs: Vec<(TraceKey, Arc<Program>, Arc<Marking>)> = Vec::new();
         {
-            let store = self.store.lock().expect("runner store");
+            let store = self.store();
             for cell in cells {
                 let key = (
                     cell.source.key(),
@@ -383,18 +469,27 @@ impl Runner {
             generate_trace(program.as_ref(), marking.as_ref(), &key.2).map(Arc::new)
         });
         {
-            let mut store = self.store.lock().expect("runner store");
+            let mut store = self.store();
             for ((key, ..), trace) in trace_jobs.into_iter().zip(traced) {
                 store.traces.insert(key, trace?);
             }
         }
+        Ok(())
+    }
+
+    /// Executes `cells`, returning results in submission order.
+    fn execute(&self, cells: &[RunSpec]) -> Result<Vec<ExperimentResult>, TraceError> {
+        if !self.memoize {
+            return self.execute_fresh(cells);
+        }
+        self.build_artifacts(cells)?;
 
         // Phase 4 — simulate. Identical cells are computed once and
         // copied; distinct cells fan out across the worker threads.
         let mut unique: Vec<(&RunSpec, Arc<Trace>, Arc<Marking>)> = Vec::new();
         let mut cell_to_unique: Vec<usize> = Vec::with_capacity(cells.len());
         {
-            let store = self.store.lock().expect("runner store");
+            let store = self.store();
             for cell in cells {
                 let same = unique.iter().position(|(u, ..)| {
                     u.config == cell.config && u.source.key() == cell.source.key()
@@ -488,7 +583,9 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let r = f(item);
-                *slots[i].lock().expect("result slot") = Some(r);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
     });
@@ -496,7 +593,7 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker filled every claimed slot")
         })
         .collect()

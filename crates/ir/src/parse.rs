@@ -313,8 +313,7 @@ fn parse_decl(
 
 fn ident(line: usize, s: &str) -> Result<String, ParseError> {
     let s = s.trim();
-    let ok = !s.is_empty()
-        && s.chars().next().unwrap().is_ascii_alphabetic()
+    let ok = s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if ok {
         Ok(s.to_owned())

@@ -8,7 +8,7 @@
 //!   `proptest` (the [`proptest!`] macro, [`Strategy`], ranges and tuples
 //!   as strategies, [`prop_oneof!`], `prop::collection::vec`, …), so the
 //!   property suites read exactly as they would under the real crate, and
-//! * a wall-clock micro-benchmark harness ([`bench`]) for the
+//! * a wall-clock micro-benchmark harness ([`mod@bench`]) for the
 //!   `harness = false` bench targets.
 //!
 //! Generation is seeded from the test's module path and case index, so

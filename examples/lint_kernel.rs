@@ -1,0 +1,104 @@
+//! Drive the analysis suite programmatically: lint a kernel with the
+//! default pass registry, add a custom pass, and replay the staleness
+//! oracle across optimization levels.
+//!
+//! This is the library-API view of what the `tpi-lint` binary does:
+//! build a [`PassRegistry`], run it over a program, render diagnostics in
+//! both human and JSON form, then hand the same program to the
+//! differential oracle to prove the marking sound at every level.
+//!
+//! ```text
+//! cargo run --example lint_kernel
+//! ```
+
+use tpi::runner::ProgramSource;
+use tpi::Runner;
+use tpi_analysis::{
+    check_sources, diagnostics_json, lint_program, total_violations, Code, Diagnostic,
+    DifferentialOptions, LintContext, LintOptions, LintPass, PassRegistry, Severity,
+};
+use tpi_compiler::{mark_program, CompilerOptions, EpochFlowGraph};
+use tpi_workloads::{Kernel, Scale};
+
+/// A custom pass: summarize the epoch flow graph the compiler analyzed.
+/// Registered alongside the built-in `TPI00x` passes to show the registry
+/// is open for extension — a pass sees the program, the graph, and the
+/// marking through its [`LintContext`].
+struct EpochShape;
+
+impl LintPass for EpochShape {
+    fn code(&self) -> Code {
+        Code::Tpi999
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let total = cx.graph.nodes().len();
+        let doalls = cx
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, tpi_compiler::EpochKind::Doall(_)))
+            .count();
+        out.push(
+            Diagnostic::new(
+                Code::Tpi999,
+                Severity::Info,
+                format!("{doalls} of {total} epochs are DOALLs"),
+            )
+            .with("epochs", total)
+            .with("doalls", doalls),
+        );
+    }
+}
+
+fn main() {
+    let kernel = Kernel::Qcd2;
+    let program = kernel.build(Scale::Test);
+
+    // One-call form: build the graph and marking, run the default passes.
+    println!("--- {} under the default registry ---", kernel.name());
+    let diags = lint_program(&program, &LintOptions::default());
+    for d in &diags {
+        println!("{}", d.human());
+    }
+
+    // Assembled form: the same registry plus a custom pass, fed a context
+    // we built ourselves (so the graph/marking can be reused elsewhere).
+    println!("\n--- with a custom pass, as JSON ---");
+    let graph = EpochFlowGraph::of_program(&program);
+    let marking = mark_program(&program, &CompilerOptions::default());
+    let mut registry = PassRegistry::with_default_passes();
+    registry.register(Box::new(EpochShape));
+    let cx = LintContext {
+        program: &program,
+        graph: &graph,
+        marking: &marking,
+        tag_bits: 8,
+    };
+    println!("{}", diagnostics_json(&registry.run(&cx)));
+
+    // Dynamic half: replay the kernel at every optimization level and let
+    // the oracle hunt for stale observations. The runner memoizes, so the
+    // three levels share one program build and the traces would be reused
+    // by any simulation grid on the same runner.
+    println!("\n--- staleness oracle, all levels ---");
+    let runner = Runner::new();
+    let sources = [ProgramSource::Kernel(kernel, Scale::Test)];
+    let reports = check_sources(&runner, &sources, &DifferentialOptions::default())
+        .expect("kernels are race-free");
+    for cell in &reports {
+        for r in &cell.reports {
+            println!(
+                "{} {}/{}: {} violation(s), {} of {} marked reads never needed marking",
+                cell.label,
+                r.mode.label(),
+                cell.level,
+                r.violations.len(),
+                r.stats.unneeded_marked,
+                r.stats.marked_reads,
+            );
+        }
+    }
+    assert_eq!(total_violations(&reports), 0);
+    println!("\nmarking is sound at every level");
+}
