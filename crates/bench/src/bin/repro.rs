@@ -7,6 +7,7 @@
 //! repro --csv out/ e3   # additionally write each table as CSV into out/
 //! repro --serial        # one worker thread (for timing comparisons)
 //! repro --fresh         # no artifact cache (the pre-engine baseline)
+//! repro --timing        # per-stage memo-store hit rates after the run
 //! repro --list          # list experiment ids
 //! ```
 //!
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut serial = false;
     let mut fresh = false;
+    let mut timing = false;
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut take_csv_dir = false;
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
             "--paper" => scale = Scale::Paper,
             "--serial" => serial = true,
             "--fresh" => fresh = true,
+            "--timing" => timing = true,
             "--csv" => take_csv_dir = true,
             "--list" => {
                 for id in ALL_IDS {
@@ -55,7 +58,8 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--test|--paper] [--serial] [--fresh] [--list] <experiment-id>... | all"
+            "usage: repro [--test|--paper] [--serial] [--fresh] [--timing] [--list] \
+             <experiment-id>... | all"
         );
         eprintln!("experiments: {}", ALL_IDS.join(" "));
         return ExitCode::FAILURE;
@@ -108,5 +112,8 @@ fn main() -> ExitCode {
         stats.cells_simulated,
         stats.cells_deduped,
     );
+    if timing {
+        eprintln!("[cache: {}]", stats.cache());
+    }
     ExitCode::SUCCESS
 }

@@ -69,8 +69,8 @@ pub mod tables;
 pub use config::{ConfigBuilder, ConfigError, ExperimentConfig};
 pub use experiment::{run_kernel, run_program, ExperimentResult};
 pub use runner::{
-    CellGrid, CellId, GridBuilder, GridOutcome, GridResult, PreparedCell, ProgramSource, RunSpec,
-    Runner, RunnerStats,
+    CacheStats, CellGrid, CellId, GridBuilder, GridOutcome, GridResult, PreparedCell,
+    ProgramSource, RunSpec, Runner, RunnerStats, StageCache,
 };
 pub use tables::{BarChart, Table};
 

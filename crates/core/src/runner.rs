@@ -152,6 +152,103 @@ pub struct RunnerStats {
     pub cells_deduped: u64,
 }
 
+/// Hit/miss counters of one memo-store stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCache {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) their artifact.
+    pub misses: u64,
+}
+
+impl StageCache {
+    /// Fraction of lookups answered from the store (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// The [`Runner`]'s memo-store counters, stage by stage, as hit/miss
+/// pairs — the shape an observability layer wants (the `tpi-serve`
+/// `/metrics` endpoint and `repro --timing` both report these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Program builds.
+    pub programs: StageCache,
+    /// Marking passes.
+    pub markings: StageCache,
+    /// Trace interpretations.
+    pub traces: StageCache,
+    /// Simulated cells (hits are within-grid deduplications).
+    pub cells: StageCache,
+}
+
+impl CacheStats {
+    /// All stages summed.
+    #[must_use]
+    pub fn total(&self) -> StageCache {
+        StageCache {
+            hits: self.programs.hits + self.markings.hits + self.traces.hits + self.cells.hits,
+            misses: self.programs.misses
+                + self.markings.misses
+                + self.traces.misses
+                + self.cells.misses,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = |s: &StageCache| format!("{}/{} hits", s.hits, s.hits + s.misses);
+        write!(
+            f,
+            "programs {} ({:.0}%), markings {} ({:.0}%), traces {} ({:.0}%), cells {} ({:.0}%)",
+            stage(&self.programs),
+            100.0 * self.programs.hit_rate(),
+            stage(&self.markings),
+            100.0 * self.markings.hit_rate(),
+            stage(&self.traces),
+            100.0 * self.traces.hit_rate(),
+            stage(&self.cells),
+            100.0 * self.cells.hit_rate(),
+        )
+    }
+}
+
+impl RunnerStats {
+    /// The counters regrouped as per-stage hit/miss pairs.
+    #[must_use]
+    pub fn cache(&self) -> CacheStats {
+        CacheStats {
+            programs: StageCache {
+                hits: self.program_hits,
+                misses: self.programs_built,
+            },
+            markings: StageCache {
+                hits: self.marking_hits,
+                misses: self.markings_built,
+            },
+            traces: StageCache {
+                hits: self.trace_hits,
+                misses: self.traces_built,
+            },
+            cells: StageCache {
+                hits: self.cells_deduped,
+                misses: self.cells_simulated,
+            },
+        }
+    }
+}
+
 #[derive(Default)]
 struct StatCells {
     programs_built: AtomicU64,
@@ -225,6 +322,13 @@ impl Runner {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// A snapshot of the memo-store counters as per-stage hit/miss
+    /// pairs. Equivalent to `self.stats().cache()`.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats().cache()
     }
 
     /// A snapshot of the cache counters.
@@ -996,6 +1100,24 @@ mod tests {
         assert_eq!(stats.traces_built, 3);
         // The program itself was only ever built once.
         assert_eq!(stats.programs_built, 1);
+    }
+
+    #[test]
+    fn cache_stats_regroup_the_counters() {
+        let runner = Runner::serial();
+        let cfg = ExperimentConfig::paper();
+        runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let cache = runner.cache_stats();
+        assert_eq!(cache, runner.stats().cache());
+        assert_eq!(cache.programs, StageCache { hits: 1, misses: 1 });
+        assert_eq!(cache.traces, StageCache { hits: 1, misses: 1 });
+        assert!((cache.programs.hit_rate() - 0.5).abs() < 1e-12);
+        let total = cache.total();
+        assert_eq!(total.hits + total.misses, 8);
+        // Display stays a one-line summary.
+        assert!(cache.to_string().contains("programs 1/2 hits (50%)"));
+        assert_eq!(StageCache::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! `tpi-loadgen` — concurrent load against a running `tpi-serve`.
+//!
+//! ```text
+//! tpi-loadgen --addr 127.0.0.1:8080                  # 64 conns x 8 reqs
+//! tpi-loadgen --addr HOST:PORT --connections 128 --requests 16
+//! tpi-loadgen --addr HOST:PORT --out results/serve_bench.json
+//! tpi-loadgen --addr HOST:PORT --expect-cache-hits   # CI smoke assertion
+//! ```
+//!
+//! Drives N concurrent keep-alive connections of mixed grid requests and
+//! prints a JSON report (throughput, p50/p95/p99 latency) to stdout;
+//! `--out` additionally writes it to a file. With `--expect-cache-hits`
+//! the run fails unless `/metrics` shows the duplicate requests were
+//! deduplicated (single-flight joins + result-cache hits > 0) — the mix
+//! repeats bodies across connections, so zero hits means the serving
+//! layer's caching is broken. Any non-2xx response, invalid body, or
+//! socket error also fails the run.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+use tpi_serve::loadgen::{self, LoadgenConfig};
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+fn metric_value(metrics_text: &str, name: &str) -> Option<u64> {
+    metrics_text
+        .lines()
+        .find(|line| line.starts_with(name) && line[name.len()..].starts_with(' '))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut connections = 64usize;
+    let mut requests = 8usize;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut expect_cache_hits = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            "--connections" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => connections = v,
+                None => return usage(),
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => requests = v,
+                None => return usage(),
+            },
+            "--out" => out = it.next().map(std::path::PathBuf::from),
+            "--expect-cache-hits" => expect_cache_hits = true,
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr.as_deref().and_then(resolve) else {
+        eprintln!("--addr HOST:PORT is required");
+        return usage();
+    };
+
+    let mut config = LoadgenConfig::new(addr);
+    config.connections = connections.max(1);
+    config.requests_per_connection = requests.max(1);
+    let report = loadgen::run(&config);
+    let rendered = report.to_json().render();
+    println!("{rendered}");
+    if let Some(path) = out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let clean = report.ok == report.requests;
+    if !clean {
+        eprintln!(
+            "load run was not clean: {} ok of {} ({} non-2xx kinds, {} invalid bodies, {} io errors)",
+            report.ok,
+            report.requests,
+            report.non_2xx.len(),
+            report.invalid_bodies,
+            report.io_errors
+        );
+    }
+
+    if expect_cache_hits {
+        let metrics = match loadgen::get(addr, "/metrics", Duration::from_secs(10)) {
+            Ok(response) if response.status == 200 => {
+                String::from_utf8_lossy(&response.body).into_owned()
+            }
+            Ok(response) => {
+                eprintln!("/metrics returned {}", response.status);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("/metrics scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cached = metric_value(&metrics, "tpi_serve_cells_cached_total").unwrap_or(0);
+        let joined = metric_value(&metrics, "tpi_serve_cells_joined_total").unwrap_or(0);
+        let computed = metric_value(&metrics, "tpi_serve_cells_computed_total").unwrap_or(0);
+        eprintln!(
+            "dedup check: {computed} cells computed, {cached} cache hits, {joined} single-flight joins"
+        );
+        if cached + joined == 0 {
+            eprintln!("expected cache hits across duplicate requests, found none");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tpi-loadgen --addr HOST:PORT [--connections N] [--requests M] \
+         [--out FILE] [--expect-cache-hits]"
+    );
+    ExitCode::FAILURE
+}

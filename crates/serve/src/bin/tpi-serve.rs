@@ -1,0 +1,85 @@
+//! `tpi-serve` — the experiment service.
+//!
+//! ```text
+//! tpi-serve                        # bind 127.0.0.1:0 (ephemeral port)
+//! tpi-serve --addr 0.0.0.0:8080    # explicit bind address
+//! tpi-serve --workers 8 --queue 128 --timeout-ms 30000
+//! ```
+//!
+//! On startup the bound address is printed to stdout as
+//! `tpi-serve listening on http://HOST:PORT` — when binding port 0 this
+//! line is the only way to learn the real port, so supervisors (and the
+//! CI smoke job) parse it instead of hard-coding ports. The process runs
+//! until a client posts `/admin/shutdown`, then drains in-flight work
+//! and prints a final stats line to stderr.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+use tpi_serve::server::{ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Some(v) => config.addr = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => config.workers = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--queue" => match value("--queue").and_then(|v| v.parse().ok()) {
+                Some(v) => config.queue_cap = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--timeout-ms" => match value("--timeout-ms").and_then(|v| v.parse().ok()) {
+                Some(v) => config.request_timeout = Duration::from_millis(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--slow-cell-ms" => match value("--slow-cell-ms").and_then(|v| v.parse().ok()) {
+                // Debug/test hook: artificial per-cell latency.
+                Some(v) => config.cell_delay = Duration::from_millis(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: tpi-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--timeout-ms N] [--slow-cell-ms N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tpi-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The ready line: parsed by supervisors and tests, never hard-coded.
+    println!("tpi-serve listening on http://{}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    server.wait_for_shutdown_request();
+    eprintln!("tpi-serve: shutdown requested, draining");
+    let stats = server.shutdown();
+    eprintln!("{stats}");
+    ExitCode::SUCCESS
+}

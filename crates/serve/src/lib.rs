@@ -1,0 +1,55 @@
+//! `tpi-serve` — the reproduction as a long-lived service.
+//!
+//! Every other entry point in this workspace is a one-shot CLI; this
+//! crate turns the memoized [`tpi::Runner`] into a production-style
+//! experiment service: a dependency-free, std-only multithreaded
+//! HTTP/1.1 server whose unit of work is one grid cell of the paper's
+//! evaluation (kernel × scheme × optimization level × processor count).
+//!
+//! | endpoint | purpose |
+//! |----------|---------|
+//! | `POST /v1/experiments` | run a JSON grid request, return per-cell results |
+//! | `GET /v1/kernels` | discovery: the benchmark suite |
+//! | `GET /v1/schemes` | discovery: the coherence schemes |
+//! | `GET /healthz` | liveness + queue/cache gauges |
+//! | `GET /metrics` | Prometheus text: request counts, latency histograms, queue depth, worker utilization, Runner artifact-cache counters |
+//! | `POST /admin/shutdown` | graceful shutdown: stop accepting, drain, report |
+//!
+//! Robustness mechanics: bounded work queue with all-or-nothing
+//! backpressure (503 + `Retry-After`), per-request deadlines (504),
+//! single-flight deduplication of identical in-flight cells, a
+//! completed-result cache, structured 400s for malformed bodies, and
+//! graceful drain on shutdown. See `DESIGN.md` ("The experiment
+//! service") for the architecture.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpi_serve::server::{ServeConfig, Server};
+//! use tpi_serve::loadgen;
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".to_owned(), // ephemeral port: no collisions
+//!     ..ServeConfig::default()
+//! })?;
+//! let addr = server.addr();
+//! let health = loadgen::get(addr, "/healthz", Duration::from_secs(5))?;
+//! assert_eq!(health.status, 200);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.cells_computed, 0);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use server::{ServeConfig, ServeStats, Server};
+pub use wire::{CellKey, GridRequest};

@@ -1,0 +1,360 @@
+//! The load generator behind `tpi-loadgen`: N concurrent keep-alive
+//! connections of mixed grid requests, reporting throughput and latency
+//! percentiles as JSON.
+//!
+//! The request mix deliberately overlaps across connections: several
+//! connections send byte-identical grids, so a healthy server shows
+//! single-flight joins and result-cache hits in `/metrics` under load.
+
+use crate::http::{read_response, Response};
+use crate::json::{parse, Json};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server to drive.
+    pub addr: SocketAddr,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests each connection issues sequentially.
+    pub requests_per_connection: usize,
+    /// Socket timeout for connect/read/write.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// Defaults for `addr`: 64 connections × 8 requests.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            connections: 64,
+            requests_per_connection: 8,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The grid-request mix, as JSON bodies. Kept small enough that every
+/// template's cells fit default queue bounds, and repeated across
+/// connections so deduplication is observable.
+#[must_use]
+pub fn templates() -> Vec<&'static str> {
+    vec![
+        r#"{"kernels":["FLO52"],"schemes":["TPI","HW"]}"#,
+        r#"{"kernels":["OCEAN"],"schemes":["TPI"],"opt_levels":["naive","full"]}"#,
+        r#"{"kernels":["TRFD","QCD2"],"schemes":["SC","TPI"]}"#,
+        r#"{"kernels":["SPEC77"],"schemes":["BASE","TPI"],"procs":[8,16]}"#,
+        r#"{"kernels":["ARC2D"],"schemes":["TPI","HW"],"line_words":8}"#,
+    ]
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests attempted.
+    pub requests: usize,
+    /// 200 responses with a well-formed `cells` body.
+    pub ok: usize,
+    /// Non-2xx responses (by status).
+    pub non_2xx: Vec<(u16, usize)>,
+    /// Responses with 2xx status but an invalid body.
+    pub invalid_bodies: usize,
+    /// Requests that died on a socket error.
+    pub io_errors: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_seconds: f64,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over successful requests, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LoadgenReport {
+    /// The report as a JSON object (what `tpi-loadgen` prints and writes
+    /// to `results/serve_bench.json`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let non_2xx: Vec<Json> = self
+            .non_2xx
+            .iter()
+            .map(|(status, n)| {
+                Json::obj([
+                    ("status", Json::from(u64::from(*status))),
+                    ("count", Json::from(*n)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("connections", Json::from(self.connections)),
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("non_2xx", Json::Arr(non_2xx)),
+            ("invalid_bodies", Json::from(self.invalid_bodies)),
+            ("io_errors", Json::from(self.io_errors)),
+            ("elapsed_seconds", Json::from(self.elapsed_seconds)),
+            ("throughput_rps", Json::from(self.throughput_rps)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::from(self.p50_ms)),
+                    ("p95", Json::from(self.p95_ms)),
+                    ("p99", Json::from(self.p99_ms)),
+                    ("mean", Json::from(self.mean_ms)),
+                    ("max", Json::from(self.max_ms)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies: Vec<Duration>,
+    non_2xx: Vec<(u16, usize)>,
+    invalid_bodies: usize,
+    io_errors: usize,
+}
+
+impl Tally {
+    fn count_status(&mut self, status: u16) {
+        if let Some(entry) = self.non_2xx.iter_mut().find(|(s, _)| *s == status) {
+            entry.1 += 1;
+        } else {
+            self.non_2xx.push((status, 1));
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.latencies.extend(other.latencies);
+        for (status, n) in other.non_2xx {
+            if let Some(entry) = self.non_2xx.iter_mut().find(|(s, _)| *s == status) {
+                entry.1 += n;
+            } else {
+                self.non_2xx.push((status, n));
+            }
+        }
+        self.invalid_bodies += other.invalid_bodies;
+        self.io_errors += other.io_errors;
+    }
+}
+
+/// Sends one request on an open keep-alive connection and reads the
+/// response.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn request_on(
+    stream: &TcpStream,
+    reader: &mut BufReader<&TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<Response> {
+    let mut out = stream;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: tpi-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    io::Write::write_all(&mut out, head.as_bytes())?;
+    io::Write::write_all(&mut out, body.as_bytes())?;
+    io::Write::flush(&mut out)?;
+    read_response(reader)
+}
+
+/// One-shot GET against the server (fresh connection) — used to scrape
+/// `/healthz` and `/metrics`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut reader = BufReader::new(&stream);
+    request_on(&stream, &mut reader, "GET", path, "")
+}
+
+/// One-shot POST against the server (fresh connection).
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn post(addr: SocketAddr, path: &str, body: &str, timeout: Duration) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut reader = BufReader::new(&stream);
+    request_on(&stream, &mut reader, "POST", path, body)
+}
+
+fn valid_grid_body(body: &[u8]) -> bool {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| parse(text).ok())
+        .and_then(|doc| doc.get("cells").map(|cells| cells.as_array().is_some()))
+        .unwrap_or(false)
+}
+
+fn drive_connection(config: &LoadgenConfig, conn_index: usize, mix: &[&str]) -> Tally {
+    let mut tally = Tally::default();
+    let stream = match TcpStream::connect_timeout(&config.addr, config.timeout) {
+        Ok(s) => s,
+        Err(_) => {
+            tally.io_errors += config.requests_per_connection;
+            return tally;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(config.timeout));
+    let _ = stream.set_write_timeout(Some(config.timeout));
+    let mut reader = BufReader::new(&stream);
+    for i in 0..config.requests_per_connection {
+        let body = mix[(conn_index + i) % mix.len()];
+        let started = Instant::now();
+        match request_on(&stream, &mut reader, "POST", "/v1/experiments", body) {
+            Ok(response) if response.status == 200 => {
+                if valid_grid_body(&response.body) {
+                    tally.latencies.push(started.elapsed());
+                } else {
+                    tally.invalid_bodies += 1;
+                }
+            }
+            Ok(response) => tally.count_status(response.status),
+            Err(_) => {
+                tally.io_errors += 1;
+                return tally; // the connection is gone
+            }
+        }
+    }
+    tally
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Runs the whole load: `connections` threads, each issuing
+/// `requests_per_connection` requests from the template mix.
+#[must_use]
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let mix = templates();
+    let merged = Mutex::new(Tally::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for conn_index in 0..config.connections {
+            let mix = &mix;
+            let merged = &merged;
+            scope.spawn(move || {
+                let tally = drive_connection(config, conn_index, mix);
+                merged
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .merge(tally);
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let tally = merged
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut latencies = tally.latencies;
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ms = if ok == 0 {
+        0.0
+    } else {
+        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / ok as f64 * 1e3
+    };
+    #[allow(clippy::cast_precision_loss)]
+    LoadgenReport {
+        connections: config.connections,
+        requests: config.connections * config.requests_per_connection,
+        ok,
+        non_2xx: tally.non_2xx,
+        invalid_bodies: tally.invalid_bodies,
+        io_errors: tally.io_errors,
+        elapsed_seconds: elapsed,
+        throughput_rps: if elapsed > 0.0 {
+            ok as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_ms,
+        max_ms: latencies.last().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert!((percentile(&sorted, 0.50) - 50.0).abs() < 1e-9);
+        assert!((percentile(&sorted, 0.95) - 95.0).abs() < 1e-9);
+        assert!((percentile(&sorted, 0.99) - 99.0).abs() < 1e-9);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let report = LoadgenReport {
+            connections: 2,
+            requests: 4,
+            ok: 4,
+            non_2xx: vec![(503, 1)],
+            invalid_bodies: 0,
+            io_errors: 0,
+            elapsed_seconds: 1.0,
+            throughput_rps: 4.0,
+            p50_ms: 1.5,
+            p95_ms: 2.0,
+            p99_ms: 2.5,
+            mean_ms: 1.6,
+            max_ms: 2.5,
+        };
+        let doc = report.to_json();
+        assert_eq!(doc.get("ok").unwrap().as_u64(), Some(4));
+        assert!(doc.render().contains("\"p99\":2.5"));
+    }
+
+    #[test]
+    fn templates_are_valid_grid_requests() {
+        use crate::wire::GridRequest;
+        for body in templates() {
+            let doc = parse(body).unwrap();
+            let grid = GridRequest::parse(&doc).unwrap_or_else(|e| panic!("{body}: {}", e.message));
+            assert!(!grid.cells().is_empty());
+        }
+    }
+}

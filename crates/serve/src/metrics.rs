@@ -1,0 +1,411 @@
+//! Lock-free service metrics and their Prometheus text rendering.
+//!
+//! The registry is a fixed struct of atomics rather than a generic
+//! string-keyed map: every series the service can emit is known at
+//! compile time, render order is deterministic, and the hot path is a
+//! handful of relaxed atomic increments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tpi::RunnerStats;
+
+/// The endpoints the router distinguishes (unknown paths fold into
+/// [`Endpoint::Other`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/experiments`.
+    Experiments,
+    /// `GET /v1/kernels`.
+    Kernels,
+    /// `GET /v1/schemes`.
+    Schemes,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /admin/shutdown`.
+    Shutdown,
+    /// Anything else (404/405 traffic).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 7] = [
+        Endpoint::Experiments,
+        Endpoint::Kernels,
+        Endpoint::Schemes,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("listed")
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Experiments => "experiments",
+            Endpoint::Kernels => "kernels",
+            Endpoint::Schemes => "schemes",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Status codes the service emits (everything else folds into `other`).
+const STATUSES: [u16; 8] = [200, 400, 404, 405, 408, 413, 503, 504];
+
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUSES.len())
+}
+
+fn status_label(index: usize) -> String {
+    STATUSES
+        .get(index)
+        .map_or_else(|| "other".to_owned(), ToString::to_string)
+}
+
+/// Upper bounds of the latency histogram buckets, in seconds.
+pub const LATENCY_BUCKETS: [f64; 12] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0,
+];
+
+/// A fixed-bucket latency histogram (counts + sum, Prometheus style).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS.len()],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+            if secs <= bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write;
+        for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}le=\"{bound}\"}} {}",
+                self.buckets[i].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}le=\"+Inf\"}} {}",
+            self.count.load(Ordering::Relaxed)
+        );
+        #[allow(clippy::cast_precision_loss)]
+        let sum = self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {sum}");
+        let _ = writeln!(
+            out,
+            "{name}_count{{{labels}}} {}",
+            self.count.load(Ordering::Relaxed)
+        );
+    }
+}
+
+/// Every counter and gauge the service exports.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [[AtomicU64; STATUSES.len() + 1]; Endpoint::ALL.len()],
+    latency: [Histogram; Endpoint::ALL.len()],
+    /// Cells answered straight from the completed-result cache.
+    pub cells_cached: AtomicU64,
+    /// Cells that joined an identical in-flight computation
+    /// (single-flight fan-in).
+    pub cells_joined: AtomicU64,
+    /// Cells actually computed by a worker.
+    pub cells_computed: AtomicU64,
+    /// Requests rejected because the work queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests that hit their deadline before every cell finished.
+    pub rejected_timeout: AtomicU64,
+    /// Requests rejected for malformed or invalid bodies.
+    pub bad_requests: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one finished request.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        self.requests[endpoint.index()][status_index(status)].fetch_add(1, Ordering::Relaxed);
+        self.latency[endpoint.index()].observe(elapsed);
+    }
+
+    /// Total requests recorded for one endpoint (any status).
+    #[must_use]
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    /// `runner` contributes the artifact-cache counters; the queue/worker
+    /// gauges are sampled by the caller (they live in the pool).
+    #[must_use]
+    pub fn render(
+        &self,
+        runner: &RunnerStats,
+        queue_depth: usize,
+        workers_busy: usize,
+        workers_total: usize,
+        uptime: Duration,
+    ) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP tpi_serve_requests_total Requests served, by endpoint and status.\n");
+        out.push_str("# TYPE tpi_serve_requests_total counter\n");
+        for endpoint in Endpoint::ALL {
+            for si in 0..=STATUSES.len() {
+                let n = self.requests[endpoint.index()][si].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "tpi_serve_requests_total{{endpoint=\"{}\",status=\"{}\"}} {n}",
+                        endpoint.label(),
+                        status_label(si)
+                    );
+                }
+            }
+        }
+
+        out.push_str(
+            "# HELP tpi_serve_request_duration_seconds Request latency, by endpoint.\n\
+             # TYPE tpi_serve_request_duration_seconds histogram\n",
+        );
+        for endpoint in Endpoint::ALL {
+            if self.latency[endpoint.index()].count() == 0 {
+                continue;
+            }
+            self.latency[endpoint.index()].render(
+                "tpi_serve_request_duration_seconds",
+                &format!("endpoint=\"{}\",", endpoint.label()),
+                &mut out,
+            );
+        }
+
+        let simple: [(&str, &str, u64); 7] = [
+            (
+                "tpi_serve_cells_cached_total",
+                "Grid cells answered from the completed-result cache.",
+                self.cells_cached.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_cells_joined_total",
+                "Grid cells that joined an identical in-flight computation (single-flight).",
+                self.cells_joined.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_cells_computed_total",
+                "Grid cells computed by a worker.",
+                self.cells_computed.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_rejected_queue_full_total",
+                "Requests rejected with 503 because the work queue was full.",
+                self.rejected_queue_full.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_rejected_timeout_total",
+                "Requests that exceeded their deadline (504).",
+                self.rejected_timeout.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_bad_requests_total",
+                "Requests rejected with 400.",
+                self.bad_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_connections_total",
+                "TCP connections accepted.",
+                self.connections.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in simple {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        }
+
+        let gauges: [(&str, &str, u64); 3] = [
+            (
+                "tpi_serve_queue_depth",
+                "Cells waiting in the bounded work queue.",
+                queue_depth as u64,
+            ),
+            (
+                "tpi_serve_workers_busy",
+                "Workers currently simulating a cell.",
+                workers_busy as u64,
+            ),
+            (
+                "tpi_serve_workers_total",
+                "Size of the worker pool.",
+                workers_total as u64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP tpi_serve_uptime_seconds Seconds since the server started.\n\
+             # TYPE tpi_serve_uptime_seconds gauge\n\
+             tpi_serve_uptime_seconds {}",
+            uptime.as_secs()
+        );
+
+        let runner_counters: [(&str, &str, u64); 8] = [
+            (
+                "tpi_runner_programs_built_total",
+                "Programs built by the Runner (artifact-cache misses).",
+                runner.programs_built,
+            ),
+            (
+                "tpi_runner_program_hits_total",
+                "Program artifact-cache hits.",
+                runner.program_hits,
+            ),
+            (
+                "tpi_runner_markings_built_total",
+                "Marking passes run (artifact-cache misses).",
+                runner.markings_built,
+            ),
+            (
+                "tpi_runner_marking_hits_total",
+                "Marking artifact-cache hits.",
+                runner.marking_hits,
+            ),
+            (
+                "tpi_runner_traces_built_total",
+                "Traces interpreted (artifact-cache misses).",
+                runner.traces_built,
+            ),
+            (
+                "tpi_runner_trace_hits_total",
+                "Trace artifact-cache hits.",
+                runner.trace_hits,
+            ),
+            (
+                "tpi_runner_cells_simulated_total",
+                "Cells simulated by the Runner.",
+                runner.cells_simulated,
+            ),
+            (
+                "tpi_runner_cells_deduped_total",
+                "Cells answered by copying an identical sibling cell.",
+                runner.cells_deduped,
+            ),
+        ];
+        for (name, help, value) in runner_counters {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        }
+
+        let cache = runner.cache();
+        out.push_str(
+            "# HELP tpi_runner_cache_hit_ratio Fraction of Runner memo-store lookups answered \
+             from the store, by stage.\n\
+             # TYPE tpi_runner_cache_hit_ratio gauge\n",
+        );
+        let stages = [
+            ("programs", cache.programs.hit_rate()),
+            ("markings", cache.markings.hit_rate()),
+            ("traces", cache.traces.hit_rate()),
+            ("cells", cache.cells.hit_rate()),
+            ("total", cache.total().hit_rate()),
+        ];
+        for (stage, ratio) in stages {
+            let _ = writeln!(
+                out,
+                "tpi_runner_cache_hit_ratio{{stage=\"{stage}\"}} {ratio}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::Experiments, 200, Duration::from_millis(3));
+        m.record_request(Endpoint::Experiments, 400, Duration::from_micros(100));
+        m.record_request(Endpoint::Healthz, 200, Duration::from_micros(10));
+        m.cells_computed.fetch_add(4, Ordering::Relaxed);
+        let text = m.render(&RunnerStats::default(), 2, 1, 8, Duration::from_secs(5));
+        assert!(
+            text.contains("tpi_serve_requests_total{endpoint=\"experiments\",status=\"200\"} 1")
+        );
+        assert!(
+            text.contains("tpi_serve_requests_total{endpoint=\"experiments\",status=\"400\"} 1")
+        );
+        assert!(text.contains("tpi_serve_cells_computed_total 4"));
+        assert!(text.contains("tpi_serve_queue_depth 2"));
+        assert!(text.contains("tpi_serve_workers_total 8"));
+        assert!(
+            text.contains("tpi_serve_request_duration_seconds_count{endpoint=\"experiments\",} 2")
+        );
+        // A bucket wide enough for the 3 ms observation.
+        assert!(text.contains(
+            "tpi_serve_request_duration_seconds_bucket{endpoint=\"experiments\",le=\"0.005\"} 2"
+        ));
+        assert_eq!(m.requests_for(Endpoint::Experiments), 2);
+    }
+
+    #[test]
+    fn histogram_counts_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(100)); // <= 0.00025
+        h.observe(Duration::from_millis(40)); // <= 0.05
+        let mut out = String::new();
+        h.render("x", "", &mut out);
+        assert!(out.contains("x_bucket{le=\"0.00025\"} 1"));
+        assert!(out.contains("x_bucket{le=\"0.05\"} 2"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("x_count{} 2"));
+    }
+}

@@ -1,0 +1,479 @@
+//! The execution side of the service: a single-flight cell store (result
+//! cache + in-flight deduplication) and a bounded worker pool.
+//!
+//! Identity is a [`CellKey`]. The first request to need a cell becomes
+//! its *leader* and enqueues one job; every concurrent request for the
+//! same cell *joins* the leader's flight slot and is woken when the one
+//! computation finishes; later requests hit the completed-result cache.
+//! The queue between requests and workers is bounded — when a request's
+//! jobs don't fit, the whole request is refused (backpressure, a 503 at
+//! the HTTP layer) rather than queued without limit.
+
+use crate::metrics::Metrics;
+use crate::wire::CellKey;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tpi::{ExperimentResult, Runner};
+
+/// Why a cell failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The service refused the work (queue full at submission time).
+    /// Waiters that joined the flight report 503, same as the leader.
+    Overloaded,
+    /// The experiment itself failed (e.g. the program races under its
+    /// schedule) — a legitimate per-cell result, not a server fault.
+    Failed(String),
+}
+
+/// What one cell computation produced.
+pub type CellOutcome = Result<ExperimentResult, CellError>;
+
+/// A slot that one leader fills and any number of waiters block on.
+#[derive(Debug)]
+pub struct FlightSlot {
+    state: Mutex<Option<Arc<CellOutcome>>>,
+    cond: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Arc<FlightSlot> {
+        Arc::new(FlightSlot {
+            state: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<Arc<CellOutcome>>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn complete(&self, outcome: Arc<CellOutcome>) {
+        *self.lock() = Some(outcome);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the slot is filled or `deadline` passes.
+    #[must_use]
+    pub fn wait_until(&self, deadline: Instant) -> Option<Arc<CellOutcome>> {
+        let mut state = self.lock();
+        loop {
+            if let Some(outcome) = state.as_ref() {
+                return Some(Arc::clone(outcome));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timeout) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+            if timeout.timed_out() && state.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// How a request obtains one cell.
+pub enum CellPlan {
+    /// Already computed: the outcome is immediately available.
+    Cached(Arc<CellOutcome>),
+    /// An identical cell is in flight: wait on its slot.
+    Joined(Arc<FlightSlot>),
+    /// This request leads the cell: it must enqueue the returned job.
+    Lead(CellJob),
+}
+
+/// One unit of pooled work.
+#[derive(Debug)]
+pub struct CellJob {
+    /// The cell to compute.
+    pub key: CellKey,
+    /// The slot every waiter of this cell blocks on.
+    pub slot: Arc<FlightSlot>,
+}
+
+/// Completed results plus the in-flight table. Lock order is always
+/// `inflight` before `done`; both are leaf locks held only for map
+/// operations.
+#[derive(Default)]
+pub struct CellStore {
+    inflight: Mutex<HashMap<CellKey, Arc<FlightSlot>>>,
+    done: Mutex<HashMap<CellKey, Arc<CellOutcome>>>,
+}
+
+impl CellStore {
+    fn inflight(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<FlightSlot>>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn done(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<CellOutcome>>> {
+        self.done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Decides how to obtain `key`: cached, joined, or led. Registering
+    /// the leader is atomic with the lookups, so two concurrent requests
+    /// can never both lead the same cell.
+    #[must_use]
+    pub fn plan(&self, key: CellKey) -> CellPlan {
+        let mut inflight = self.inflight();
+        if let Some(outcome) = self.done().get(&key) {
+            return CellPlan::Cached(Arc::clone(outcome));
+        }
+        if let Some(slot) = inflight.get(&key) {
+            return CellPlan::Joined(Arc::clone(slot));
+        }
+        let slot = FlightSlot::new();
+        inflight.insert(key, Arc::clone(&slot));
+        CellPlan::Lead(CellJob { key, slot })
+    }
+
+    /// Publishes a finished cell: future requests hit the result cache,
+    /// current waiters are woken. Experiment failures are cached too —
+    /// they are deterministic results of the cell's inputs. `Overloaded`
+    /// is *not* cached (it describes a transient server state), so the
+    /// next request retries the cell.
+    pub fn finish(&self, job: &CellJob, outcome: CellOutcome) {
+        let outcome = Arc::new(outcome);
+        {
+            let mut inflight = self.inflight();
+            if !matches!(outcome.as_ref(), Err(CellError::Overloaded)) {
+                self.done().insert(job.key, Arc::clone(&outcome));
+            }
+            inflight.remove(&job.key);
+        }
+        job.slot.complete(outcome);
+    }
+
+    /// Number of completed cells held by the result cache.
+    #[must_use]
+    pub fn results_cached(&self) -> usize {
+        self.done().len()
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<CellJob>>,
+    cond: Condvar,
+    cap: usize,
+    busy: AtomicUsize,
+    stop: AtomicBool,
+    runner: Arc<Runner>,
+    store: Arc<CellStore>,
+    metrics: Arc<Metrics>,
+    /// Test hook: artificial per-cell latency, so backpressure and
+    /// timeout paths can be exercised deterministically.
+    cell_delay: Duration,
+}
+
+/// A fixed set of worker threads fed by one bounded queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads over a queue of capacity `queue_cap`.
+    #[must_use]
+    pub fn start(
+        workers: usize,
+        queue_cap: usize,
+        runner: Arc<Runner>,
+        store: Arc<CellStore>,
+        metrics: Arc<Metrics>,
+        cell_delay: Duration,
+    ) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            cap: queue_cap.max(1),
+            busy: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            runner,
+            store,
+            metrics,
+            cell_delay,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tpi-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Enqueues a request's jobs, all or nothing. If the queue cannot
+    /// take every job, nothing is enqueued and the jobs come back in
+    /// `Err` — the caller must fail them (see [`CellStore::finish`] with
+    /// [`CellError::Overloaded`]) so joined waiters are released too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the jobs unchanged when the queue lacks room or the pool
+    /// is shutting down.
+    pub fn submit_batch(&self, jobs: Vec<CellJob>) -> Result<(), Vec<CellJob>> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.shared.stop.load(Ordering::Acquire) || queue.len() + jobs.len() > self.shared.cap {
+            return Err(jobs);
+        }
+        queue.extend(jobs);
+        drop(queue);
+        self.shared.cond.notify_all();
+        Ok(())
+    }
+
+    /// Cells waiting in the queue right now.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Workers currently computing a cell.
+    #[must_use]
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Size of the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queue capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+
+    /// Stops the pool: no new submissions are accepted, already-queued
+    /// jobs are drained (their waiters still get results), then the
+    /// workers exit and are joined.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cond.notify_all();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .cond
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        if !shared.cell_delay.is_zero() {
+            std::thread::sleep(shared.cell_delay);
+        }
+        let outcome = compute(&shared.runner, &job.key);
+        shared
+            .metrics
+            .cells_computed
+            .fetch_add(1, Ordering::Relaxed);
+        shared.store.finish(&job, outcome);
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn compute(runner: &Runner, key: &CellKey) -> CellOutcome {
+    let config = key
+        .config()
+        .map_err(|e| CellError::Failed(format!("invalid machine: {e}")))?;
+    runner
+        .run_kernel(key.kernel, key.scale, &config)
+        .map_err(|e| CellError::Failed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::OptLevel;
+    use tpi_proto::SchemeKind;
+    use tpi_workloads::{Kernel, Scale};
+
+    fn key(seed: u64) -> CellKey {
+        CellKey {
+            kernel: Kernel::Flo52,
+            scale: Scale::Test,
+            scheme: SchemeKind::Tpi,
+            opt_level: OptLevel::Full,
+            procs: 16,
+            line_words: 4,
+            cache_bytes: 64 * 1024,
+            tag_bits: 8,
+            seed,
+        }
+    }
+
+    fn pool(workers: usize, cap: usize, delay: Duration) -> (WorkerPool, Arc<CellStore>) {
+        let store = Arc::new(CellStore::default());
+        let pool = WorkerPool::start(
+            workers,
+            cap,
+            Arc::new(Runner::serial()),
+            Arc::clone(&store),
+            Arc::new(Metrics::default()),
+            delay,
+        );
+        (pool, store)
+    }
+
+    #[test]
+    fn computes_and_caches_a_cell() {
+        let (pool, store) = pool(1, 4, Duration::ZERO);
+        let CellPlan::Lead(job) = store.plan(key(1)) else {
+            panic!("fresh cell must be led");
+        };
+        let slot = Arc::clone(&job.slot);
+        pool.submit_batch(vec![job]).unwrap();
+        let outcome = slot
+            .wait_until(Instant::now() + Duration::from_secs(30))
+            .expect("cell completes");
+        assert!(outcome.is_ok());
+        // Second plan hits the result cache.
+        assert!(matches!(store.plan(key(1)), CellPlan::Cached(_)));
+        assert_eq!(store.results_cached(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn duplicate_inflight_cells_join_one_flight() {
+        // A long artificial delay holds the cell in flight while the
+        // second plan is made.
+        let (pool, store) = pool(1, 4, Duration::from_millis(200));
+        let CellPlan::Lead(job) = store.plan(key(2)) else {
+            panic!("fresh cell must be led");
+        };
+        let lead_slot = Arc::clone(&job.slot);
+        pool.submit_batch(vec![job]).unwrap();
+        let CellPlan::Joined(join_slot) = store.plan(key(2)) else {
+            panic!("in-flight cell must be joined");
+        };
+        assert!(Arc::ptr_eq(&lead_slot, &join_slot));
+        let a = lead_slot
+            .wait_until(Instant::now() + Duration::from_secs(30))
+            .unwrap();
+        let b = join_slot
+            .wait_until(Instant::now() + Duration::from_secs(30))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both waiters see the same outcome");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_is_all_or_nothing() {
+        let (pool, store) = pool(1, 2, Duration::from_millis(300));
+        // Occupy the worker and fill the queue.
+        let mut jobs = Vec::new();
+        for seed in 10..13 {
+            match store.plan(key(seed)) {
+                CellPlan::Lead(job) => jobs.push(job),
+                _ => panic!("fresh cells must be led"),
+            }
+        }
+        // 3 jobs > capacity 2: refused as a unit, jobs returned.
+        let back = pool.submit_batch(jobs).unwrap_err();
+        assert_eq!(back.len(), 3);
+        assert_eq!(pool.queue_depth(), 0);
+        // Failing them with Overloaded releases any joined waiter.
+        for job in &back {
+            store.finish(job, Err(CellError::Overloaded));
+        }
+        let outcome = back[0]
+            .slot
+            .wait_until(Instant::now() + Duration::from_millis(10))
+            .unwrap();
+        assert!(matches!(outcome.as_ref(), Err(CellError::Overloaded)));
+        // Overloaded is transient: not cached, the cell can be retried.
+        assert!(matches!(store.plan(key(10)), CellPlan::Lead(_)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn wait_until_respects_the_deadline() {
+        let slot = FlightSlot::new();
+        let t0 = Instant::now();
+        assert!(slot
+            .wait_until(Instant::now() + Duration::from_millis(30))
+            .is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let (pool, store) = pool(2, 8, Duration::from_millis(20));
+        let mut slots = Vec::new();
+        let mut jobs = Vec::new();
+        for seed in 20..26 {
+            let CellPlan::Lead(job) = store.plan(key(seed)) else {
+                panic!("fresh cells must be led");
+            };
+            slots.push(Arc::clone(&job.slot));
+            jobs.push(job);
+        }
+        pool.submit_batch(jobs).unwrap();
+        pool.shutdown();
+        // Every queued job completed before the workers exited.
+        for slot in slots {
+            assert!(slot
+                .wait_until(Instant::now() + Duration::from_millis(1))
+                .is_some());
+        }
+        assert_eq!(store.results_cached(), 6);
+    }
+}

@@ -1,0 +1,553 @@
+//! The service: accept loop, router, request handling, and graceful
+//! shutdown.
+//!
+//! ```text
+//! clients ──► accept loop ──► connection threads ──► router
+//!                                                      │
+//!                       POST /v1/experiments ──► plan cells (CellStore)
+//!                         cached ◄─ result cache       │ leads
+//!                         joined ◄─ in-flight table    ▼
+//!                                             bounded queue ──► workers ──► Runner
+//! ```
+//!
+//! Robustness mechanics, all on by default: the work queue is bounded
+//! (overflow → 503 + `Retry-After`), every request carries a deadline
+//! (exceeded → 504), malformed bodies are 400s with structured error
+//! bodies, identical in-flight cells are computed once (single-flight),
+//! and shutdown stops accepting, drains in-flight work, then reports a
+//! final stats line.
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{parse, Json};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::{CellError, CellOutcome, CellPlan, CellStore, WorkerPool};
+use crate::wire::{
+    error_body, kernels_body, render_cell, render_cell_error, schemes_body, BadRequest, GridRequest,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tpi::Runner;
+
+/// Everything tunable about one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Port 0 asks the OS for an ephemeral port; the bound
+    /// address is reported by [`Server::addr`] and printed by the binary,
+    /// so tests never hard-code ports.
+    pub addr: String,
+    /// Worker threads simulating cells.
+    pub workers: usize,
+    /// Bounded work-queue capacity, in cells.
+    pub queue_cap: usize,
+    /// Per-request deadline: a request whose cells haven't all finished
+    /// by then gets a 504.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Largest grid a single request may expand to.
+    pub max_cells_per_request: usize,
+    /// Test hook: artificial latency added to every cell computation.
+    pub cell_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            queue_cap: 256,
+            request_timeout: Duration::from_secs(60),
+            max_body_bytes: 1024 * 1024,
+            max_cells_per_request: 1024,
+            cell_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The final stats line a graceful shutdown reports.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Requests served on the experiments endpoint.
+    pub experiment_requests: u64,
+    /// Cells computed by workers.
+    pub cells_computed: u64,
+    /// Cells answered from the result cache.
+    pub cells_cached: u64,
+    /// Cells that joined an in-flight computation.
+    pub cells_joined: u64,
+    /// Requests refused with 503.
+    pub rejected_queue_full: u64,
+    /// Requests that timed out with 504.
+    pub rejected_timeout: u64,
+    /// Runner artifact-cache snapshot.
+    pub runner: tpi::RunnerStats,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[tpi-serve final: {} experiment requests; cells {} computed / {} cached / {} joined; \
+             {} overloaded / {} timed out; runner traces {} built / {} reused]",
+            self.experiment_requests,
+            self.cells_computed,
+            self.cells_cached,
+            self.cells_joined,
+            self.rejected_queue_full,
+            self.rejected_timeout,
+            self.runner.traces_built,
+            self.runner.trace_hits,
+        )
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    runner: Arc<Runner>,
+    metrics: Arc<Metrics>,
+    store: Arc<CellStore>,
+    pool: WorkerPool,
+    shutdown: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+    active_conns: AtomicUsize,
+    started: Instant,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let (lock, cond) = &self.shutdown_signal;
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cond.notify_all();
+        // Poke the blocking accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let runner = Arc::new(Runner::new());
+        let metrics = Arc::new(Metrics::default());
+        let store = Arc::new(CellStore::default());
+        let pool = WorkerPool::start(
+            config.workers,
+            config.queue_cap,
+            Arc::clone(&runner),
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            config.cell_delay,
+        );
+        let shared = Arc::new(Shared {
+            config,
+            addr,
+            runner,
+            metrics,
+            store,
+            pool,
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            active_conns: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("tpi-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Blocks until some client posts `/admin/shutdown` (or another
+    /// thread calls [`Server::shutdown`]).
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cond) = &self.shared.shutdown_signal;
+        let mut requested = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*requested {
+            requested = cond
+                .wait(requested)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, wait for open connections to
+    /// finish (bounded), drain queued cells, join the workers, and
+    /// report the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shared.request_shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Connections notice the flag within one idle-poll interval.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_conns.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.pool.shutdown();
+        let m = &self.shared.metrics;
+        ServeStats {
+            experiment_requests: m.requests_for(Endpoint::Experiments),
+            cells_computed: m.cells_computed.load(Ordering::Relaxed),
+            cells_cached: m.cells_cached.load(Ordering::Relaxed),
+            cells_joined: m.cells_joined.load(Ordering::Relaxed),
+            rejected_queue_full: m.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_timeout: m.rejected_timeout.load(Ordering::Relaxed),
+            runner: self.shared.runner.stats(),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("tpi-serve-conn".to_owned())
+                    .spawn(move || {
+                        connection_loop(&stream, &conn_shared);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// How long a connection blocks in `read` before re-checking the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+fn connection_loop(stream: &TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Idle) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Closed | HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(message)) => {
+                let body = error_body("bad_request", &message);
+                let mut out = stream;
+                let _ = write_response(
+                    &mut out,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    &[],
+                    false,
+                );
+                return;
+            }
+            Err(HttpError::BodyTooLarge(n)) => {
+                let body = error_body("body_too_large", &format!("{n} bytes exceeds the limit"));
+                let mut out = stream;
+                let _ = write_response(
+                    &mut out,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    &[],
+                    false,
+                );
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, response) = route(shared, &request);
+        shared
+            .metrics
+            .record_request(endpoint, response.status, started.elapsed());
+        let keep_alive = request.keep_alive && !shared.shutting_down();
+        let mut out = stream;
+        if write_response(
+            &mut out,
+            response.status,
+            response.content_type,
+            response.body.as_bytes(),
+            &response
+                .extra_headers
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect::<Vec<_>>(),
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+struct RouteResponse {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    extra_headers: Vec<(&'static str, String)>,
+}
+
+impl RouteResponse {
+    fn json(status: u16, body: String) -> RouteResponse {
+        RouteResponse {
+            status,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, RouteResponse) {
+    let path = request
+        .target
+        .split('?')
+        .next()
+        .unwrap_or(request.target.as_str());
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/experiments") => (
+            Endpoint::Experiments,
+            handle_experiments(shared, &request.body),
+        ),
+        ("GET", "/v1/kernels") => (Endpoint::Kernels, RouteResponse::json(200, kernels_body())),
+        ("GET", "/v1/schemes") => (Endpoint::Schemes, RouteResponse::json(200, schemes_body())),
+        ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(shared)),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            RouteResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: shared.metrics.render(
+                    &shared.runner.stats(),
+                    shared.pool.queue_depth(),
+                    shared.pool.busy(),
+                    shared.pool.workers(),
+                    shared.started.elapsed(),
+                ),
+                extra_headers: Vec::new(),
+            },
+        ),
+        ("POST", "/admin/shutdown") => {
+            shared.request_shutdown();
+            (
+                Endpoint::Shutdown,
+                RouteResponse::json(200, "{\"status\":\"shutting down\"}".to_owned()),
+            )
+        }
+        (
+            _,
+            "/v1/experiments" | "/v1/kernels" | "/v1/schemes" | "/healthz" | "/metrics"
+            | "/admin/shutdown",
+        ) => (
+            Endpoint::Other,
+            RouteResponse::json(405, error_body("method_not_allowed", "wrong method")),
+        ),
+        _ => (
+            Endpoint::Other,
+            RouteResponse::json(
+                404,
+                error_body("not_found", &format!("no route for {path}")),
+            ),
+        ),
+    }
+}
+
+fn handle_healthz(shared: &Arc<Shared>) -> RouteResponse {
+    let body = Json::obj([
+        ("status", Json::from("ok")),
+        (
+            "uptime_seconds",
+            Json::from(shared.started.elapsed().as_secs()),
+        ),
+        ("workers", Json::from(shared.pool.workers())),
+        ("queue_depth", Json::from(shared.pool.queue_depth())),
+        ("queue_capacity", Json::from(shared.pool.capacity())),
+        ("results_cached", Json::from(shared.store.results_cached())),
+    ])
+    .render();
+    RouteResponse::json(200, body)
+}
+
+fn bad_request(shared: &Shared, err: &BadRequest) -> RouteResponse {
+    shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+    RouteResponse::json(400, err.body())
+}
+
+fn overloaded(shared: &Shared) -> RouteResponse {
+    shared
+        .metrics
+        .rejected_queue_full
+        .fetch_add(1, Ordering::Relaxed);
+    let mut response = RouteResponse::json(
+        503,
+        error_body(
+            "overloaded",
+            "work queue is full; retry after the suggested delay",
+        ),
+    );
+    response.extra_headers.push(("retry-after", "1".to_owned()));
+    response
+}
+
+fn handle_experiments(shared: &Arc<Shared>, body: &[u8]) -> RouteResponse {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return bad_request(
+            shared,
+            &BadRequest {
+                code: "bad_json",
+                message: "body is not UTF-8".to_owned(),
+            },
+        );
+    };
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return bad_request(
+                shared,
+                &BadRequest {
+                    code: "bad_json",
+                    message: e.to_string(),
+                },
+            )
+        }
+    };
+    let grid = match GridRequest::parse(&doc) {
+        Ok(grid) => grid,
+        Err(e) => return bad_request(shared, &e),
+    };
+    let cells = grid.cells();
+    if cells.len() > shared.config.max_cells_per_request {
+        return bad_request(
+            shared,
+            &BadRequest {
+                code: "too_many_cells",
+                message: format!(
+                    "{} cells exceeds the per-request limit of {}",
+                    cells.len(),
+                    shared.config.max_cells_per_request
+                ),
+            },
+        );
+    }
+
+    // Plan every cell, collecting the jobs this request leads.
+    let mut plans = Vec::with_capacity(cells.len());
+    let mut jobs = Vec::new();
+    for key in &cells {
+        match shared.store.plan(*key) {
+            CellPlan::Cached(outcome) => {
+                shared.metrics.cells_cached.fetch_add(1, Ordering::Relaxed);
+                plans.push((*key, Wait::Ready(outcome)));
+            }
+            CellPlan::Joined(slot) => {
+                shared.metrics.cells_joined.fetch_add(1, Ordering::Relaxed);
+                plans.push((*key, Wait::Slot(slot)));
+            }
+            CellPlan::Lead(job) => {
+                plans.push((*key, Wait::Slot(Arc::clone(&job.slot))));
+                jobs.push(job);
+            }
+        }
+    }
+
+    // Submit the led jobs as one unit: backpressure is all-or-nothing.
+    if let Err(refused) = shared.pool.submit_batch(jobs) {
+        // Release any waiter that joined the refused slots, then 503.
+        for job in &refused {
+            shared.store.finish(job, Err(CellError::Overloaded));
+        }
+        return overloaded(shared);
+    }
+
+    // Collect, in deterministic cell order, under the request deadline.
+    let deadline = Instant::now() + shared.config.request_timeout;
+    let mut rendered = Vec::with_capacity(plans.len());
+    for (key, wait) in plans {
+        let outcome: Arc<CellOutcome> = match wait {
+            Wait::Ready(outcome) => outcome,
+            Wait::Slot(slot) => match slot.wait_until(deadline) {
+                Some(outcome) => outcome,
+                None => {
+                    shared
+                        .metrics
+                        .rejected_timeout
+                        .fetch_add(1, Ordering::Relaxed);
+                    return RouteResponse::json(
+                        504,
+                        error_body(
+                            "timeout",
+                            "request deadline exceeded before all cells finished",
+                        ),
+                    );
+                }
+            },
+        };
+        match outcome.as_ref() {
+            Ok(result) => rendered.push(render_cell(&key, result)),
+            Err(CellError::Overloaded) => return overloaded(shared),
+            Err(CellError::Failed(message)) => rendered.push(render_cell_error(&key, message)),
+        }
+    }
+    let count = rendered.len();
+    let body = Json::obj([("cells", Json::Arr(rendered)), ("count", Json::from(count))]).render();
+    RouteResponse::json(200, body)
+}
+
+enum Wait {
+    Ready(Arc<CellOutcome>),
+    Slot(Arc<crate::pool::FlightSlot>),
+}

@@ -1,0 +1,546 @@
+//! Wire types of the experiment API: grid requests, cell identities, and
+//! response rendering.
+//!
+//! A grid request is a cross product — kernels × schemes × optimization
+//! levels × processor counts — over one shared machine description, the
+//! same shape as the paper's evaluation tables. Every cell is validated
+//! through [`ExperimentConfig::builder`] before anything runs, so an
+//! invalid machine is a 400, never a mid-simulation panic.
+
+use crate::json::{escape, Json};
+use tpi::{ConfigError, ExperimentConfig, ExperimentResult};
+use tpi_compiler::OptLevel;
+use tpi_proto::SchemeKind;
+use tpi_workloads::{Kernel, Scale};
+
+/// Schemes the API accepts (everything the engine factory can build).
+pub const ALL_SCHEMES: [SchemeKind; 6] = [
+    SchemeKind::Base,
+    SchemeKind::Sc,
+    SchemeKind::Tpi,
+    SchemeKind::FullMap,
+    SchemeKind::LimitLess,
+    SchemeKind::Ideal,
+];
+
+/// Optimization levels the API accepts.
+pub const ALL_OPT_LEVELS: [OptLevel; 3] = [OptLevel::Naive, OptLevel::Intra, OptLevel::Full];
+
+fn opt_label(level: OptLevel) -> &'static str {
+    match level {
+        OptLevel::Naive => "naive",
+        OptLevel::Intra => "intra",
+        OptLevel::Full => "full",
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
+
+/// The identity of one grid cell: exactly the knobs the API exposes.
+/// This is the key for the service's single-flight table and result
+/// cache, and it expands into a full [`ExperimentConfig`] on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Benchmark kernel.
+    pub kernel: Kernel,
+    /// Problem size.
+    pub scale: Scale,
+    /// Coherence scheme.
+    pub scheme: SchemeKind,
+    /// Compiler optimization level.
+    pub opt_level: OptLevel,
+    /// Processor count.
+    pub procs: u32,
+    /// Words per cache line.
+    pub line_words: u32,
+    /// Cache capacity per node, bytes.
+    pub cache_bytes: usize,
+    /// Timetag width.
+    pub tag_bits: u32,
+    /// Scheduling / subscript seed.
+    pub seed: u64,
+}
+
+impl CellKey {
+    /// Expands the key into a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] for the first violated machine
+    /// constraint.
+    pub fn config(&self) -> Result<ExperimentConfig, ConfigError> {
+        ExperimentConfig::builder()
+            .scheme(self.scheme)
+            .opt_level(self.opt_level)
+            .procs(self.procs)
+            .line_words(self.line_words)
+            .cache_bytes(self.cache_bytes)
+            .tag_bits(self.tag_bits)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// The cell's coordinates as a JSON object (no results).
+    #[must_use]
+    pub fn coordinates(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("kernel", Json::from(self.kernel.name())),
+            ("scheme", Json::from(self.scheme.label())),
+            ("opt_level", Json::from(opt_label(self.opt_level))),
+            ("procs", Json::from(self.procs)),
+            ("scale", Json::from(scale_label(self.scale))),
+        ]
+    }
+}
+
+/// A parsed, validated grid request.
+#[derive(Debug, Clone)]
+pub struct GridRequest {
+    /// Kernels, in request order.
+    pub kernels: Vec<Kernel>,
+    /// Problem size for every cell.
+    pub scale: Scale,
+    /// Schemes, in request order.
+    pub schemes: Vec<SchemeKind>,
+    /// Optimization levels, in request order.
+    pub opt_levels: Vec<OptLevel>,
+    /// Processor counts, in request order.
+    pub procs: Vec<u32>,
+    /// Words per cache line (shared by every cell).
+    pub line_words: u32,
+    /// Cache capacity per node, bytes (shared by every cell).
+    pub cache_bytes: usize,
+    /// Timetag width (shared by every cell).
+    pub tag_bits: u32,
+    /// Scheduling seed (shared by every cell).
+    pub seed: u64,
+}
+
+/// Why a request was rejected (always a 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// Stable machine-readable code (`bad_json`, `bad_field`,
+    /// `bad_machine`, `too_many_cells`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn field(message: String) -> BadRequest {
+        BadRequest {
+            code: "bad_field",
+            message,
+        }
+    }
+
+    /// Renders the structured error body every 4xx/5xx response carries.
+    #[must_use]
+    pub fn body(&self) -> String {
+        Json::obj([(
+            "error",
+            Json::obj([
+                ("code", Json::from(self.code)),
+                ("message", Json::from(self.message.clone())),
+            ]),
+        )])
+        .render()
+    }
+}
+
+fn parse_kernel(name: &str) -> Option<Kernel> {
+    Kernel::ALL
+        .into_iter()
+        .chain(Kernel::EXTENDED)
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn parse_scheme(name: &str) -> Option<SchemeKind> {
+    ALL_SCHEMES
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(name))
+}
+
+fn parse_opt_level(name: &str) -> Option<OptLevel> {
+    ALL_OPT_LEVELS
+        .into_iter()
+        .find(|l| opt_label(*l).eq_ignore_ascii_case(name))
+}
+
+fn string_list<T>(
+    doc: &Json,
+    key: &str,
+    what: &str,
+    parse_one: impl Fn(&str) -> Option<T>,
+) -> Result<Option<Vec<T>>, BadRequest> {
+    let Some(value) = doc.get(key) else {
+        return Ok(None);
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| BadRequest::field(format!("\"{key}\" must be an array of strings")))?;
+    if items.is_empty() {
+        return Err(BadRequest::field(format!("\"{key}\" must not be empty")));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let name = item
+                .as_str()
+                .ok_or_else(|| BadRequest::field(format!("\"{key}\" must contain strings")))?;
+            parse_one(name).ok_or_else(|| BadRequest::field(format!("unknown {what} {name:?}")))
+        })
+        .collect::<Result<Vec<T>, BadRequest>>()
+        .map(Some)
+}
+
+fn scalar_u64(doc: &Json, key: &str) -> Result<Option<u64>, BadRequest> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| BadRequest::field(format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+impl GridRequest {
+    /// Parses and validates a request document. Defaults: every kernel of
+    /// the paper suite, `scale: "test"`, `schemes: ["TPI"]`,
+    /// `opt_levels: ["full"]`, `procs: [16]`, and the paper machine for
+    /// the scalar knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BadRequest`] naming the first invalid field, unknown
+    /// enum name, or machine constraint violated by some cell.
+    pub fn parse(doc: &Json) -> Result<GridRequest, BadRequest> {
+        if !matches!(doc, Json::Obj(_)) {
+            return Err(BadRequest::field("request body must be an object".into()));
+        }
+        let paper = ExperimentConfig::paper();
+        let kernels = string_list(doc, "kernels", "kernel", parse_kernel)?
+            .unwrap_or_else(|| Kernel::ALL.to_vec());
+        let schemes = string_list(doc, "schemes", "scheme", parse_scheme)?
+            .unwrap_or_else(|| vec![SchemeKind::Tpi]);
+        let opt_levels = string_list(doc, "opt_levels", "opt_level", parse_opt_level)?
+            .unwrap_or_else(|| vec![OptLevel::Full]);
+        let scale = match doc.get("scale") {
+            None => Scale::Test,
+            Some(v) => match v.as_str() {
+                Some(s) if s.eq_ignore_ascii_case("test") => Scale::Test,
+                Some(s) if s.eq_ignore_ascii_case("paper") => Scale::Paper,
+                _ => {
+                    return Err(BadRequest::field(
+                        "\"scale\" must be \"test\" or \"paper\"".into(),
+                    ))
+                }
+            },
+        };
+        let procs = match doc.get("procs") {
+            None => vec![paper.procs],
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| {
+                    BadRequest::field("\"procs\" must be an array of integers".into())
+                })?;
+                if items.is_empty() {
+                    return Err(BadRequest::field("\"procs\" must not be empty".into()));
+                }
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                BadRequest::field("\"procs\" must contain positive integers".into())
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, BadRequest>>()?
+            }
+        };
+        let line_words = match scalar_u64(doc, "line_words")? {
+            None => paper.line_words,
+            Some(n) => u32::try_from(n)
+                .map_err(|_| BadRequest::field("\"line_words\" out of range".into()))?,
+        };
+        let cache_bytes = match scalar_u64(doc, "cache_bytes")? {
+            None => paper.cache_bytes,
+            Some(n) => usize::try_from(n)
+                .map_err(|_| BadRequest::field("\"cache_bytes\" out of range".into()))?,
+        };
+        let tag_bits = match scalar_u64(doc, "tag_bits")? {
+            None => paper.tag_bits,
+            Some(n) => u32::try_from(n)
+                .map_err(|_| BadRequest::field("\"tag_bits\" out of range".into()))?,
+        };
+        let seed = scalar_u64(doc, "seed")?.unwrap_or(paper.seed);
+
+        let known = [
+            "kernels",
+            "scale",
+            "schemes",
+            "opt_levels",
+            "procs",
+            "line_words",
+            "cache_bytes",
+            "tag_bits",
+            "seed",
+        ];
+        if let Json::Obj(members) = doc {
+            if let Some((unknown, _)) = members.iter().find(|(k, _)| !known.contains(&k.as_str())) {
+                return Err(BadRequest::field(format!("unknown field {unknown:?}")));
+            }
+        }
+
+        let request = GridRequest {
+            kernels,
+            scale,
+            schemes,
+            opt_levels,
+            procs,
+            line_words,
+            cache_bytes,
+            tag_bits,
+            seed,
+        };
+        // Validate every distinct machine up front: one builder call per
+        // (scheme, procs) pair covers all cells.
+        for &scheme in &request.schemes {
+            for &procs in &request.procs {
+                let probe = CellKey {
+                    kernel: request.kernels[0],
+                    scale: request.scale,
+                    scheme,
+                    opt_level: request.opt_levels[0],
+                    procs,
+                    line_words: request.line_words,
+                    cache_bytes: request.cache_bytes,
+                    tag_bits: request.tag_bits,
+                    seed: request.seed,
+                };
+                if let Err(e) = probe.config() {
+                    return Err(BadRequest {
+                        code: "bad_machine",
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(request)
+    }
+
+    /// Expands the cross product into cell keys: kernels-major, then
+    /// schemes, then optimization levels, then processor counts — the
+    /// row order of the paper's tables. This order is the response order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellKey> {
+        let mut out =
+            Vec::with_capacity(self.kernels.len() * self.schemes.len() * self.opt_levels.len());
+        for &kernel in &self.kernels {
+            for &scheme in &self.schemes {
+                for &opt_level in &self.opt_levels {
+                    for &procs in &self.procs {
+                        out.push(CellKey {
+                            kernel,
+                            scale: self.scale,
+                            scheme,
+                            opt_level,
+                            procs,
+                            line_words: self.line_words,
+                            cache_bytes: self.cache_bytes,
+                            tag_bits: self.tag_bits,
+                            seed: self.seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Guards a float against non-finite values (renders as `null`).
+fn finite(n: f64) -> Json {
+    if n.is_finite() {
+        Json::Num(n)
+    } else {
+        Json::Null
+    }
+}
+
+/// Renders one cell's result as the response's JSON object. This is a
+/// pure function of `(key, result)` — the integration tests rely on the
+/// served bytes matching a direct serial [`tpi::Runner`] run rendered
+/// through this same function.
+#[must_use]
+pub fn render_cell(key: &CellKey, result: &ExperimentResult) -> Json {
+    let mut members = key.coordinates();
+    members.extend([
+        ("total_cycles", Json::from(result.sim.total_cycles)),
+        ("miss_rate", finite(result.sim.miss_rate())),
+        ("avg_miss_latency", finite(result.sim.avg_miss_latency())),
+        ("reads", Json::from(result.trace.reads)),
+        ("marked_reads", Json::from(result.trace.marked_reads)),
+        ("writes", Json::from(result.trace.writes)),
+        ("epochs", Json::from(result.trace.epochs)),
+        (
+            "marking",
+            Json::obj([
+                ("shared_reads", Json::from(result.marking.shared_reads)),
+                ("marked", Json::from(result.marking.marked)),
+                ("plain", Json::from(result.marking.plain)),
+                ("covered", Json::from(result.marking.covered)),
+            ]),
+        ),
+    ]);
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// Renders an error cell (a [`tpi_trace::TraceError`] from the engine).
+#[must_use]
+pub fn render_cell_error(key: &CellKey, message: &str) -> Json {
+    let mut members = key.coordinates();
+    members.push(("error", Json::from(message)));
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// The `GET /v1/kernels` body.
+#[must_use]
+pub fn kernels_body() -> String {
+    let items: Vec<Json> = Kernel::ALL
+        .into_iter()
+        .chain(Kernel::EXTENDED)
+        .map(|k| {
+            Json::obj([
+                ("name", Json::from(k.name())),
+                ("description", Json::from(k.description())),
+            ])
+        })
+        .collect();
+    Json::obj([("kernels", Json::Arr(items))]).render()
+}
+
+/// The `GET /v1/schemes` body.
+#[must_use]
+pub fn schemes_body() -> String {
+    let describe = |s: SchemeKind| -> &'static str {
+        match s {
+            SchemeKind::Base => "no caching of shared data",
+            SchemeKind::Sc => "software cache-bypass",
+            SchemeKind::Tpi => "two-phase invalidation (the paper's scheme)",
+            SchemeKind::FullMap => "full-map directory, write-back MSI",
+            SchemeKind::LimitLess => "LimitLESS directory with software traps",
+            SchemeKind::Ideal => "perfect-coherence oracle (lower bound)",
+        }
+    };
+    let items: Vec<Json> = ALL_SCHEMES
+        .into_iter()
+        .map(|s| {
+            Json::obj([
+                ("label", Json::from(s.label())),
+                ("description", Json::from(describe(s))),
+            ])
+        })
+        .collect();
+    Json::obj([("schemes", Json::Arr(items))]).render()
+}
+
+/// Renders a plain `{"error":{...}}` body for a status + message pair.
+#[must_use]
+pub fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":{},\"message\":{}}}}}",
+        escape(code),
+        escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_a_full_request() {
+        let doc = parse(
+            r#"{"kernels":["FLO52","ocean"],"schemes":["TPI","HW"],
+                "opt_levels":["naive","full"],"procs":[8,16],"scale":"test",
+                "line_words":8,"cache_bytes":131072,"tag_bits":4,"seed":9}"#,
+        )
+        .unwrap();
+        let req = GridRequest::parse(&doc).unwrap();
+        assert_eq!(req.kernels, vec![Kernel::Flo52, Kernel::Ocean]);
+        assert_eq!(req.schemes, vec![SchemeKind::Tpi, SchemeKind::FullMap]);
+        assert_eq!(req.procs, vec![8, 16]);
+        assert_eq!(req.cells().len(), 2 * 2 * 2 * 2);
+        // Cell order is kernels-major.
+        let cells = req.cells();
+        assert_eq!(cells[0].kernel, Kernel::Flo52);
+        assert_eq!(cells[0].scheme, SchemeKind::Tpi);
+        assert_eq!(cells.last().unwrap().kernel, Kernel::Ocean);
+    }
+
+    #[test]
+    fn defaults_cover_the_paper_suite() {
+        let req = GridRequest::parse(&parse("{}").unwrap()).unwrap();
+        assert_eq!(req.kernels, Kernel::ALL.to_vec());
+        assert_eq!(req.schemes, vec![SchemeKind::Tpi]);
+        assert_eq!(req.procs, vec![16]);
+        assert_eq!(req.cells().len(), 6);
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_fields() {
+        for (body, want) in [
+            (r#"{"kernels":["NOPE"]}"#, "bad_field"),
+            (r#"{"kernels":[]}"#, "bad_field"),
+            (r#"{"schemes":["XX"]}"#, "bad_field"),
+            (r#"{"opt_levels":["max"]}"#, "bad_field"),
+            (r#"{"procs":[0]}"#, "bad_field"),
+            (r#"{"scale":"huge"}"#, "bad_field"),
+            (r#"{"bogus":1}"#, "bad_field"),
+            (r#"{"seed":-1}"#, "bad_field"),
+            (r#"{"cache_bytes":48000}"#, "bad_machine"),
+            (r#"{"tag_bits":1}"#, "bad_machine"),
+        ] {
+            let err = GridRequest::parse(&parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.code, want, "{body}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn cell_key_expands_to_valid_config() {
+        let req = GridRequest::parse(&parse(r#"{"kernels":["TRFD"]}"#).unwrap()).unwrap();
+        let cfg = req.cells()[0].config().unwrap();
+        assert_eq!(cfg.scheme, SchemeKind::Tpi);
+        assert_eq!(cfg.procs, 16);
+    }
+
+    #[test]
+    fn discovery_bodies_are_valid_json() {
+        for body in [kernels_body(), schemes_body()] {
+            let doc = parse(&body).unwrap();
+            assert!(matches!(doc, Json::Obj(_)));
+        }
+        assert_eq!(
+            error_body("bad_json", "x"),
+            r#"{"error":{"code":"bad_json","message":"x"}}"#
+        );
+    }
+}

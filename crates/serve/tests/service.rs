@@ -1,0 +1,267 @@
+//! End-to-end tests of the experiment service.
+//!
+//! The central property: responses served under concurrency are
+//! byte-identical to a direct serial [`tpi::Runner`] run rendered through
+//! the same `render_cell` pipeline — batching, memoization, and
+//! single-flight deduplication must never change the answer. The
+//! remaining tests pin the robustness paths: backpressure → 503,
+//! deadline → 504, malformed body → 400, and the discovery endpoints.
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::time::Duration;
+use tpi::Runner;
+use tpi_serve::json::{parse, Json};
+use tpi_serve::loadgen::{get, post};
+use tpi_serve::server::{ServeConfig, Server};
+use tpi_serve::wire::{render_cell, GridRequest};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn start(config: ServeConfig) -> (Server, SocketAddr) {
+    let server = Server::start(config).expect("bind an ephemeral port");
+    let addr = server.addr();
+    assert_ne!(addr.port(), 0, "port 0 must resolve to a real port");
+    (server, addr)
+}
+
+/// What the server must return for `body`: every cell computed by a
+/// fresh *serial* runner, rendered through the same pure function.
+fn expected_response(runner: &Runner, body: &str) -> String {
+    let grid = GridRequest::parse(&parse(body).unwrap()).unwrap();
+    let rendered: Vec<Json> = grid
+        .cells()
+        .iter()
+        .map(|key| {
+            let config = key.config().unwrap();
+            let result = runner.run_kernel(key.kernel, key.scale, &config).unwrap();
+            render_cell(key, &result)
+        })
+        .collect();
+    let count = rendered.len();
+    Json::obj([("cells", Json::Arr(rendered)), ("count", Json::from(count))]).render()
+}
+
+/// Reads one `name value` sample out of a Prometheus text body.
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn concurrent_overlapping_requests_match_a_serial_runner() {
+    // Three grids that overlap pairwise, so concurrent requests contend
+    // for the same cells.
+    let bodies = [
+        r#"{"kernels":["FLO52"],"schemes":["TPI","HW"]}"#,
+        r#"{"kernels":["FLO52","TRFD"],"schemes":["TPI"]}"#,
+        r#"{"kernels":["TRFD"],"schemes":["TPI","SC"]}"#,
+    ];
+    let unique_cells: HashSet<_> = bodies
+        .iter()
+        .flat_map(|body| GridRequest::parse(&parse(body).unwrap()).unwrap().cells())
+        .collect();
+
+    let serial = Runner::serial();
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|body| expected_response(&serial, body))
+        .collect();
+
+    let (server, addr) = start(ServeConfig::default());
+    // Four clients per grid, all in flight at once.
+    std::thread::scope(|scope| {
+        for round in 0..4 {
+            for (body, want) in bodies.iter().zip(&expected) {
+                scope.spawn(move || {
+                    let response = post(addr, "/v1/experiments", body, CLIENT_TIMEOUT)
+                        .expect("request completes");
+                    assert_eq!(response.status, 200, "round {round}: {body}");
+                    assert_eq!(
+                        String::from_utf8_lossy(&response.body),
+                        want.as_str(),
+                        "served bytes must match the serial runner ({body})"
+                    );
+                });
+            }
+        }
+    });
+
+    // Single-flight: every duplicate cell was answered from the result
+    // cache or by joining an in-flight computation, never recomputed.
+    let metrics = get(addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).unwrap();
+    let computed = metric_value(&text, "tpi_serve_cells_computed_total").unwrap();
+    let cached = metric_value(&text, "tpi_serve_cells_cached_total").unwrap();
+    let joined = metric_value(&text, "tpi_serve_cells_joined_total").unwrap();
+    let total_fetches: usize = bodies.len() * 4 * 2; // 12 requests x 2 cells
+    assert!(
+        (computed - unique_cells.len() as f64).abs() < 0.5,
+        "each unique cell computed exactly once, got {computed}"
+    );
+    assert!(
+        (cached + joined - (total_fetches - unique_cells.len()) as f64).abs() < 0.5,
+        "duplicates must hit the cache or join a flight (cached {cached}, joined {joined})"
+    );
+    assert!(cached + joined > 0.0, "single-flight must be visible");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.cells_computed as usize, unique_cells.len());
+    assert_eq!(stats.experiment_requests as usize, bodies.len() * 4);
+    assert_eq!(stats.rejected_queue_full, 0);
+    assert_eq!(stats.rejected_timeout, 0);
+}
+
+#[test]
+fn queue_overflow_is_a_503_with_retry_after() {
+    // A 3-cell grid cannot fit a capacity-1 queue: all-or-nothing
+    // submission refuses the request outright, no timing involved.
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let body = r#"{"kernels":["FLO52","TRFD","QCD2"]}"#;
+    let response = post(addr, "/v1/experiments", body, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    let doc = parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("overloaded")
+    );
+
+    // A request that fits still succeeds: the refusal cached nothing.
+    let ok = post(
+        addr,
+        "/v1/experiments",
+        r#"{"kernels":["FLO52"]}"#,
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(ok.status, 200);
+
+    let stats = server.shutdown();
+    assert!(stats.rejected_queue_full >= 1);
+}
+
+#[test]
+fn a_missed_deadline_is_a_504() {
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        request_timeout: Duration::from_millis(50),
+        cell_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let response = post(
+        addr,
+        "/v1/experiments",
+        r#"{"kernels":["FLO52"]}"#,
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(response.status, 504);
+    let doc = parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("timeout")
+    );
+    let stats = server.shutdown();
+    assert!(stats.rejected_timeout >= 1);
+}
+
+#[test]
+fn malformed_bodies_are_structured_400s() {
+    let (server, addr) = start(ServeConfig::default());
+    for (body, want_code) in [
+        ("{not json", "bad_json"),
+        ("[1,2,3]", "bad_field"),
+        (r#"{"kernels":["NOPE"]}"#, "bad_field"),
+        (r#"{"tag_bits":1}"#, "bad_machine"),
+    ] {
+        let response = post(addr, "/v1/experiments", body, CLIENT_TIMEOUT).unwrap();
+        assert_eq!(response.status, 400, "{body}");
+        let doc = parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(want_code),
+            "{body}"
+        );
+    }
+    let metrics = get(addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(metric_value(&text, "tpi_serve_bad_requests_total").unwrap() >= 4.0);
+    server.shutdown();
+}
+
+#[test]
+fn discovery_health_and_routing() {
+    let (server, addr) = start(ServeConfig::default());
+
+    let kernels = get(addr, "/v1/kernels", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(kernels.status, 200);
+    let body = String::from_utf8(kernels.body).unwrap();
+    assert!(body.contains("FLO52") && body.contains("OCEAN"), "{body}");
+
+    let schemes = get(addr, "/v1/schemes", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(schemes.status, 200);
+    let body = String::from_utf8(schemes.body).unwrap();
+    assert!(body.contains("TPI") && body.contains("HW"), "{body}");
+
+    let health = get(addr, "/healthz", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    let doc = parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(doc.get("workers").and_then(Json::as_u64).unwrap() >= 1);
+
+    // Wrong method on a known path vs unknown path.
+    assert_eq!(
+        get(addr, "/v1/experiments", CLIENT_TIMEOUT).unwrap().status,
+        405
+    );
+    assert_eq!(get(addr, "/nope", CLIENT_TIMEOUT).unwrap().status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn the_binary_reports_its_ephemeral_port_and_shuts_down_cleanly() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tpi-serve"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tpi-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines
+        .next()
+        .expect("a ready line")
+        .expect("readable stdout");
+    let addr: SocketAddr = ready
+        .strip_prefix("tpi-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected ready line {ready:?}"))
+        .parse()
+        .expect("a socket address");
+    assert_ne!(addr.port(), 0);
+
+    let health = get(addr, "/healthz", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    let bye = post(addr, "/admin/shutdown", "", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(bye.status, 200);
+    let status = child.wait().expect("process exits");
+    assert!(status.success(), "{status:?}");
+}
