@@ -64,6 +64,7 @@ pub mod config;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod sync;
 pub mod tables;
 
 pub use config::{ConfigBuilder, ConfigError, ExperimentConfig};
@@ -71,6 +72,10 @@ pub use experiment::{run_kernel, run_program, ExperimentResult};
 pub use runner::{
     CacheStats, CellGrid, CellId, GridBuilder, GridOutcome, GridResult, PreparedCell,
     ProgramSource, RunSpec, Runner, RunnerStats, StageCache,
+};
+pub use sync::{
+    catch_cell_panic, into_inner_unpoisoned, lock_unpoisoned, panic_message,
+    wait_timeout_unpoisoned, wait_unpoisoned,
 };
 pub use tables::{BarChart, Table};
 

@@ -409,9 +409,32 @@ impl Runner {
     /// complete-on-write, so a panicking worker thread cannot leave a
     /// half-written entry behind.
     fn store(&self) -> std::sync::MutexGuard<'_, ArtifactStore> {
-        self.store
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::sync::lock_unpoisoned(&self.store)
+    }
+
+    /// Panic-safe variant of [`run_kernel`](Self::run_kernel): a panic
+    /// anywhere in the build → mark → interpret → simulate pipeline is
+    /// contained and reported as the outer `Err(message)` instead of
+    /// unwinding through the caller's thread. The runner stays usable
+    /// afterwards — its store locks tolerate poisoning and every cache
+    /// insert is complete-on-write, so nothing the panicking cell touched
+    /// is observable half-written.
+    ///
+    /// Long-lived callers that feed one `Runner` from many worker threads
+    /// (the `tpi-serve` pool) use this entry so one pathological cell
+    /// cannot take the engine down.
+    ///
+    /// # Errors
+    ///
+    /// The outer error is a panic message; the inner error is an ordinary
+    /// [`TraceError`] from a non-panicking run.
+    pub fn run_kernel_safe(
+        &self,
+        kernel: Kernel,
+        scale: Scale,
+        config: &ExperimentConfig,
+    ) -> Result<Result<ExperimentResult, TraceError>, String> {
+        crate::sync::catch_cell_panic(|| self.run_kernel(kernel, scale, config))
     }
 
     /// Runs the scheme-independent front of the pipeline — build, mark,
@@ -687,19 +710,13 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let r = f(item);
-                *slots[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                *crate::sync::lock_unpoisoned(&slots[i]) = Some(r);
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("worker filled every claimed slot")
-        })
+        .map(|m| crate::sync::into_inner_unpoisoned(m).expect("worker filled every claimed slot"))
         .collect()
 }
 
@@ -1118,6 +1135,19 @@ mod tests {
         // Display stays a one-line summary.
         assert!(cache.to_string().contains("programs 1/2 hits (50%)"));
         assert_eq!(StageCache::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn run_kernel_safe_matches_the_plain_entry() {
+        let runner = Runner::serial();
+        let cfg = ExperimentConfig::paper();
+        let plain = runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let safe = runner
+            .run_kernel_safe(Kernel::Flo52, Scale::Test, &cfg)
+            .expect("no panic")
+            .expect("no trace error");
+        assert_eq!(safe.sim.total_cycles, plain.sim.total_cycles);
+        assert_eq!(safe.trace, plain.trace);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Poison-tolerant locking and panic containment, shared by every layer
+//! that runs experiment pipelines on worker threads.
+//!
+//! The whole workspace follows one rule for shared state: every insert
+//! into a store is complete-on-write — a panicking thread can abandon a
+//! lock, but never leave a half-written entry behind it. Under that rule
+//! a poisoned [`Mutex`] carries no extra information, so the uniform
+//! response is to take the guard anyway ([`lock_unpoisoned`]) instead of
+//! sprinkling `unwrap_or_else(PoisonError::into_inner)` at every site.
+//!
+//! [`catch_cell_panic`] is the matching containment primitive: it fences
+//! one unit of work (one grid cell, one injected fault) so a panic
+//! becomes a structured error for that unit's waiters instead of tearing
+//! down the worker — the failure-isolation contract `tpi-serve` builds
+//! on.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, tolerating poisoning.
+///
+/// Safe under the workspace's complete-on-write store discipline: a
+/// panicking holder cannot have left the protected value in a
+/// half-updated state, so the poison flag is noise, not signal.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar` like [`Condvar::wait`], tolerating poisoning.
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar` like [`Condvar::wait_timeout`], tolerating
+/// poisoning.
+pub fn wait_timeout_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> (MutexGuard<'a, T>, std::sync::WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consumes `mutex` like [`Mutex::into_inner`], tolerating poisoning.
+pub fn into_inner_unpoisoned<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a panic payload as the human-readable message `panic!` was
+/// given (or a placeholder for non-string payloads).
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)`.
+///
+/// The closure is asserted unwind-safe: every store the experiment
+/// pipeline touches is complete-on-write and locked via
+/// [`lock_unpoisoned`], so an unwound computation can be retried or
+/// reported without observing torn state.
+///
+/// # Errors
+///
+/// Returns the panic's message if `f` panicked.
+pub fn catch_cell_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(&*payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        let mutex = std::sync::Arc::new(Mutex::new(7u32));
+        let clone = std::sync::Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&mutex), 7);
+    }
+
+    #[test]
+    fn catch_cell_panic_reports_the_message() {
+        assert_eq!(catch_cell_panic(|| 42), Ok(42));
+        let err = catch_cell_panic(|| panic!("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        let err = catch_cell_panic(|| panic!("cell {} failed", 3)).unwrap_err();
+        assert_eq!(err, "cell 3 failed");
+    }
+}

@@ -5,7 +5,14 @@
 //! tpi-loadgen --addr HOST:PORT --connections 128 --requests 16
 //! tpi-loadgen --addr HOST:PORT --out results/serve_bench.json
 //! tpi-loadgen --addr HOST:PORT --expect-cache-hits   # CI smoke assertion
+//! tpi-loadgen --addr HOST:PORT --retries 5 --retry-seed 7
 //! ```
+//!
+//! Transient failures (socket errors, 503 `overloaded`, 500
+//! `cell_panicked`) are retried with seeded full-jitter exponential
+//! backoff under a per-request budget (`--retries`, default 3); the
+//! report's `retries`, `retries_exhausted`, and `attempts_histogram`
+//! fields say how hard the run had to work.
 //!
 //! Drives N concurrent keep-alive connections of mixed grid requests and
 //! prints a JSON report (throughput, p50/p95/p99 latency) to stdout;
@@ -19,7 +26,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Duration;
-use tpi_serve::loadgen::{self, LoadgenConfig};
+use tpi_serve::loadgen::{self, LoadgenConfig, RetryPolicy};
 
 fn resolve(addr: &str) -> Option<SocketAddr> {
     addr.to_socket_addrs().ok()?.next()
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
     let mut requests = 8usize;
     let mut out: Option<std::path::PathBuf> = None;
     let mut expect_cache_hits = false;
+    let mut retry = RetryPolicy::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -50,6 +58,22 @@ fn main() -> ExitCode {
             },
             "--requests" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => requests = v,
+                None => return usage(),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry.budget = v,
+                None => return usage(),
+            },
+            "--retry-base-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry.base_backoff = Duration::from_millis(v),
+                None => return usage(),
+            },
+            "--retry-max-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry.max_backoff = Duration::from_millis(v),
+                None => return usage(),
+            },
+            "--retry-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry.seed = v,
                 None => return usage(),
             },
             "--out" => out = it.next().map(std::path::PathBuf::from),
@@ -69,6 +93,7 @@ fn main() -> ExitCode {
     let mut config = LoadgenConfig::new(addr);
     config.connections = connections.max(1);
     config.requests_per_connection = requests.max(1);
+    config.retry = retry;
     let report = loadgen::run(&config);
     let rendered = report.to_json().render();
     println!("{rendered}");
@@ -130,6 +155,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tpi-loadgen --addr HOST:PORT [--connections N] [--requests M] \
+         [--retries N] [--retry-base-ms N] [--retry-max-ms N] [--retry-seed N] \
          [--out FILE] [--expect-cache-hits]"
     );
     ExitCode::FAILURE

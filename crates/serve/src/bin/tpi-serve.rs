@@ -4,6 +4,7 @@
 //! tpi-serve                        # bind 127.0.0.1:0 (ephemeral port)
 //! tpi-serve --addr 0.0.0.0:8080    # explicit bind address
 //! tpi-serve --workers 8 --queue 128 --timeout-ms 30000
+//! tpi-serve --faults seed=42,worker_panic=0.05,conn_drop=0.02
 //! ```
 //!
 //! On startup the bound address is printed to stdout as
@@ -15,8 +16,10 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use tpi_serve::server::{ServeConfig, Server};
+use tpi_serve::FaultPlan;
 
 fn main() -> ExitCode {
     let mut config = ServeConfig::default();
@@ -52,10 +55,22 @@ fn main() -> ExitCode {
                 Some(v) => config.cell_delay = Duration::from_millis(v),
                 None => return ExitCode::FAILURE,
             },
+            "--faults" => match value("--faults") {
+                // Deterministic fault injection (see DESIGN.md, "Failure
+                // model"). Off — and zero-cost — unless this flag is set.
+                Some(spec) => match FaultPlan::parse(&spec) {
+                    Ok(plan) => config.fault = Some(Arc::new(plan)),
+                    Err(e) => {
+                        eprintln!("bad --faults spec: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return ExitCode::FAILURE,
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: tpi-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--timeout-ms N] [--slow-cell-ms N]"
+                     [--timeout-ms N] [--slow-cell-ms N] [--faults SPEC]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -1,0 +1,416 @@
+//! `tpi-chaos` — a seeded chaos soak against an in-process service.
+//!
+//! The harness starts a real [`Server`] with a [`FaultPlan`] armed at
+//! every injection site, hammers it with the retrying load generator,
+//! pokes it with garbage bytes, shuts it down gracefully, and then
+//! asserts the failure-isolation invariants the service promises:
+//!
+//! 1. **Every request is terminally answered** — each load-generator
+//!    request ends in exactly one of: a valid 200, a structured non-2xx,
+//!    an invalid body, or an exhausted-retries socket error. Nothing
+//!    hangs.
+//! 2. **No wedged slots** — after shutdown the in-flight table is empty:
+//!    every flight slot was resolved (computed, failed, or terminally
+//!    refused), so no waiter can ever be stuck.
+//! 3. **The cache never lies** — every cached cell (minus the slots the
+//!    plan deliberately corrupted, which it logs) is byte-identical to a
+//!    fresh single-threaded [`Runner`] computing the same cell.
+//! 4. **The server outlives garbage** — raw malformed bytes on the wire
+//!    get a structured 400 or a clean close, and the service still
+//!    answers `/healthz` afterwards.
+//!
+//! Runs are reproducible: the fault plan's decisions and the load
+//! generator's retry jitter both derive from the one `--seed`.
+
+use crate::fault::{FaultPlan, FaultSite};
+use crate::loadgen::{self, LoadgenConfig, LoadgenReport, RetryPolicy};
+use crate::pool::{CellError, CellStore};
+use crate::server::{ServeConfig, ServeStats, Server};
+use crate::wire::{render_cell, render_cell_error, CellKey};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use tpi::Runner;
+
+/// Chaos-soak parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for both the fault plan and the retry jitter.
+    pub seed: u64,
+    /// Concurrent load-generator connections.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_connection: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server queue capacity, in cells.
+    pub queue_cap: usize,
+    /// Fault spec override; `None` uses [`default_spec`] with the seed.
+    pub spec: Option<String>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 42,
+            connections: 8,
+            requests_per_connection: 6,
+            workers: 4,
+            queue_cap: 64,
+            spec: None,
+        }
+    }
+}
+
+/// The default all-sites-armed fault spec for `seed`.
+#[must_use]
+pub fn default_spec(seed: u64) -> String {
+    format!(
+        "seed={seed},worker_panic=0.05,worker_exit=0.03,cell_latency=0.2:3,\
+         cache_corrupt=0.05,conn_drop=0.05,resp_truncate=0.05,overload=0.1"
+    )
+}
+
+/// One invariant's verdict.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// What was asserted.
+    pub name: &'static str,
+    /// Whether it held.
+    pub held: bool,
+    /// Supporting numbers or the failure detail.
+    pub detail: String,
+}
+
+/// Everything a chaos run observed.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The fault spec the run injected.
+    pub spec: String,
+    /// The load-generator tallies.
+    pub load: LoadgenReport,
+    /// The server's final stats line.
+    pub stats: ServeStats,
+    /// Fires per site, aligned with [`FaultSite::ALL`].
+    pub faults_fired: [u64; FaultSite::COUNT],
+    /// Cells byte-verified against a fresh serial runner.
+    pub cells_verified: usize,
+    /// Corrupted cells excluded from verification (the plan logged them).
+    pub cells_corrupted: usize,
+    /// Garbage probes sent.
+    pub garbage_probes: usize,
+    /// The invariant verdicts, in assertion order.
+    pub invariants: Vec<Invariant>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.invariants.iter().all(|i| i.held)
+    }
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[tpi-chaos] spec: {}", self.spec)?;
+        writeln!(
+            f,
+            "[tpi-chaos] load: {} requests, {} ok, {} retries, {} exhausted, {} io errors",
+            self.load.requests,
+            self.load.ok,
+            self.load.retries,
+            self.load.retries_exhausted,
+            self.load.io_errors
+        )?;
+        for (status, n) in &self.load.non_2xx {
+            writeln!(f, "[tpi-chaos]   non-2xx {status}: {n}")?;
+        }
+        let fired: Vec<String> = FaultSite::ALL
+            .iter()
+            .zip(self.faults_fired.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(site, n)| format!("{}={n}", site.key()))
+            .collect();
+        writeln!(f, "[tpi-chaos] faults fired: {}", fired.join(" "))?;
+        writeln!(
+            f,
+            "[tpi-chaos] hardening: {} cell panics, {} worker restarts",
+            self.stats.cell_panics, self.stats.worker_restarts
+        )?;
+        writeln!(
+            f,
+            "[tpi-chaos] cache: {} cells verified byte-identical, {} corrupted slots excluded",
+            self.cells_verified, self.cells_corrupted
+        )?;
+        for inv in &self.invariants {
+            writeln!(
+                f,
+                "[tpi-chaos] {} {}: {}",
+                if inv.held { "PASS" } else { "FAIL" },
+                inv.name,
+                inv.detail
+            )?;
+        }
+        write!(
+            f,
+            "[tpi-chaos] {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Deterministic garbage the probe phase writes at the raw TCP level.
+fn garbage_payloads() -> Vec<&'static [u8]> {
+    vec![
+        b"GARBAGE BYTES NOT HTTP\r\n\r\n",
+        b"POST /v1/experiments HTTP/1.1\r\ncontent-length: nonsense\r\n\r\n",
+        b"\x00\x01\x02\x03\xff\xfe HTTP?\r\n\r\n",
+        // A truncated body: header promises more bytes than are sent.
+        b"POST /v1/experiments HTTP/1.1\r\ncontent-length: 999\r\n\r\n{\"ker",
+    ]
+}
+
+/// Writes one garbage payload and reports what came back: a structured
+/// 4xx status line, or a clean close/timeout. Either is acceptable; the
+/// point is the *server* must survive it.
+fn probe_garbage(addr: SocketAddr, payload: &[u8]) -> Result<(), String> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("probe connect failed: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut out = &stream;
+    // The accept loop may deliberately drop the connection (conn_drop
+    // fault): a write error is a valid outcome, not a probe failure.
+    if out.write_all(payload).and_then(|()| out.flush()).is_err() {
+        return Ok(());
+    }
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Ok(()), // clean close
+        Ok(_) => {
+            if line.starts_with("HTTP/1.1 4") {
+                // Drain politely; the server closes after the error.
+                let mut rest = Vec::new();
+                let _ = reader.read_to_end(&mut rest);
+                Ok(())
+            } else {
+                Err(format!("garbage got unexpected response line {line:?}"))
+            }
+        }
+        Err(_) => Ok(()), // timeout/reset — the connection died, fine
+    }
+}
+
+/// `GET /healthz` with a few attempts, because the `conn_drop` fault can
+/// eat any individual probe.
+fn healthz_alive(addr: SocketAddr) -> bool {
+    for _ in 0..10 {
+        if let Ok(response) = loadgen::get(addr, "/healthz", Duration::from_secs(5)) {
+            if response.status == 200 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Replays the cache snapshot against a fresh serial [`Runner`] and
+/// returns `(verified, mismatches)`, skipping `corrupted` keys.
+fn verify_cache(store: &CellStore, corrupted: &[CellKey]) -> (usize, Vec<String>) {
+    let fresh = Runner::serial();
+    let mut verified = 0usize;
+    let mut mismatches = Vec::new();
+    for (key, outcome) in store.snapshot() {
+        if corrupted.contains(&key) {
+            continue;
+        }
+        let served = match outcome.as_ref() {
+            Ok(result) => render_cell(&key, result).render(),
+            Err(CellError::Failed(message)) => render_cell_error(&key, message).render(),
+            Err(other) => {
+                mismatches.push(format!("{key:?}: transient outcome {other:?} was cached"));
+                continue;
+            }
+        };
+        let config = match key.config() {
+            Ok(config) => config,
+            Err(e) => {
+                mismatches.push(format!("{key:?}: cached cell has invalid config: {e}"));
+                continue;
+            }
+        };
+        let recomputed = match fresh.run_kernel_safe(key.kernel, key.scale, &config) {
+            Ok(Ok(result)) => render_cell(&key, &result).render(),
+            Ok(Err(e)) => render_cell_error(&key, &e.to_string()).render(),
+            Err(panic_message) => {
+                mismatches.push(format!(
+                    "{key:?}: serial recompute panicked: {panic_message}"
+                ));
+                continue;
+            }
+        };
+        if served == recomputed {
+            verified += 1;
+        } else {
+            mismatches.push(format!(
+                "{key:?}: served bytes differ from serial recompute"
+            ));
+        }
+    }
+    (verified, mismatches)
+}
+
+/// Runs the full soak. See the [module docs](self) for what it asserts.
+///
+/// # Errors
+///
+/// Fails on setup problems (bad fault spec, bind failure) — invariant
+/// violations are reported in the returned [`ChaosReport`], not as
+/// errors.
+pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
+    let spec = config
+        .spec
+        .clone()
+        .unwrap_or_else(|| default_spec(config.seed));
+    let plan = Arc::new(FaultPlan::parse(&spec)?);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: config.workers,
+        queue_cap: config.queue_cap,
+        request_timeout: Duration::from_secs(10),
+        cell_delay: Duration::ZERO,
+        fault: Some(Arc::clone(&plan)),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+    let store = server.cell_store();
+
+    let load = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: config.connections,
+        requests_per_connection: config.requests_per_connection,
+        timeout: Duration::from_secs(15),
+        retry: RetryPolicy {
+            budget: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            seed: config.seed,
+        },
+    });
+
+    let payloads = garbage_payloads();
+    let garbage_probes = payloads.len();
+    let mut probe_failures: Vec<String> = Vec::new();
+    for payload in payloads {
+        if let Err(e) = probe_garbage(addr, payload) {
+            probe_failures.push(e);
+        }
+    }
+    let alive_after_garbage = healthz_alive(addr);
+
+    let stats = server.shutdown();
+    let corrupted = plan.corrupted_cells();
+    let (cells_verified, cache_mismatches) = verify_cache(&store, &corrupted);
+
+    let answered = load.ok
+        + load.invalid_bodies
+        + load.io_errors
+        + load.non_2xx.iter().map(|(_, n)| n).sum::<usize>();
+    let mut invariants = vec![
+        Invariant {
+            name: "every request terminally answered",
+            held: answered == load.requests,
+            detail: format!("{answered}/{} accounted for", load.requests),
+        },
+        Invariant {
+            name: "no wedged in-flight slots after drain",
+            held: store.inflight_cells() == 0,
+            detail: format!("{} slots still in flight", store.inflight_cells()),
+        },
+        Invariant {
+            name: "cache byte-identical to a fresh serial runner",
+            held: cache_mismatches.is_empty(),
+            detail: if cache_mismatches.is_empty() {
+                format!(
+                    "{cells_verified} cells verified, {} corrupted excluded",
+                    corrupted.len()
+                )
+            } else {
+                cache_mismatches.join("; ")
+            },
+        },
+        Invariant {
+            name: "server survives garbage bytes",
+            held: alive_after_garbage && probe_failures.is_empty(),
+            detail: if probe_failures.is_empty() {
+                format!(
+                    "{garbage_probes} probes, healthz {}",
+                    if alive_after_garbage { "ok" } else { "dead" }
+                )
+            } else {
+                probe_failures.join("; ")
+            },
+        },
+    ];
+    // With worker_exit armed, at least one worker death should have been
+    // supervised back to life in a soak of this size — but only assert
+    // when the site is actually in the spec.
+    if spec.contains("worker_exit") && stats.worker_restarts == 0 {
+        let exits = plan.fired_counts()[FaultSite::WorkerExit.index()];
+        invariants.push(Invariant {
+            name: "supervision restarts dead workers",
+            held: exits == 0,
+            detail: if exits == 0 {
+                "no worker exits fired this run".to_owned()
+            } else {
+                format!("{exits} worker exits fired but 0 restarts recorded")
+            },
+        });
+    }
+
+    Ok(ChaosReport {
+        spec,
+        load,
+        stats,
+        faults_fired: plan.fired_counts(),
+        cells_verified,
+        cells_corrupted: corrupted.len(),
+        garbage_probes,
+        invariants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_parses_and_arms_every_site() {
+        let plan = FaultPlan::parse(&default_spec(7)).unwrap();
+        assert_eq!(plan.seed(), 7);
+        // Smoke the grammar: at rate > 0 every site *can* fire; just
+        // check a high-rate one actually does within a few hundred draws.
+        let fired = (0..500).filter(|_| plan.fires(FaultSite::Overload)).count();
+        assert!(fired > 10, "{fired} overload fires at rate 0.1");
+    }
+
+    #[test]
+    fn a_tiny_chaos_run_passes_its_invariants() {
+        // Keep it small: this is the in-tree smoke of the same harness
+        // CI runs at full size.
+        let report = run(&ChaosConfig {
+            seed: 11,
+            connections: 3,
+            requests_per_connection: 2,
+            workers: 2,
+            queue_cap: 32,
+            spec: None,
+        })
+        .expect("chaos harness sets up");
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.load.requests, 6);
+    }
+}

@@ -1,0 +1,350 @@
+//! `tpi-fault` — deterministic, seeded fault injection for the service.
+//!
+//! A [`FaultPlan`] names the places the service can be made to fail
+//! ([`FaultSite`]) and decides, per occurrence, whether the fault fires.
+//! Decisions are a pure function of `(seed, site, occurrence index)`:
+//! each site keeps its own occurrence counter, and occurrence `n` fires
+//! iff a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) hash of the
+//! triple falls under the site's configured rate. Two runs with the same
+//! seed therefore inject the *same multiset of faults per site* no
+//! matter how threads interleave — which is what makes `tpi-chaos` runs
+//! reproducible and failure tests deterministic (`rate=1` with a fire
+//! cap pins a fault to exactly the first occurrences).
+//!
+//! The plan is OFF by default and zero-cost when absent: the server
+//! stores an `Option<Arc<FaultPlan>>`, and every injection point is a
+//! single `if let Some(plan)` on the hot path — no hashing, no atomics,
+//! no branches beyond the discriminant check when faults are disabled.
+//!
+//! # Spec grammar (`--faults`)
+//!
+//! Comma-separated `key=value` pairs. `seed=N` seeds the PRNG; every
+//! other key is a site rule `site=RATE[:ARG][@MAX]`:
+//!
+//! * `RATE` — probability per occurrence, `0.0..=1.0` (`1` = always).
+//! * `:ARG` — site argument; only `cell_latency` uses it (milliseconds).
+//! * `@MAX` — cap on total fires (`worker_panic=1@1`: exactly the first
+//!   occurrence panics, then the site goes quiet).
+//!
+//! ```text
+//! --faults seed=42,worker_panic=0.05,cell_latency=0.2:5,conn_drop=0.02
+//! ```
+
+use crate::wire::CellKey;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tpi::lock_unpoisoned;
+
+/// The marker every injected panic message starts with, so panic hooks
+/// and log scrapers can tell injected faults from real bugs.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// A place in the service where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic in the middle of a cell computation (caught per cell; the
+    /// cell's waiters get a structured `cell_panicked` error).
+    WorkerPanic,
+    /// Kill the worker thread after it finishes a cell (exercises the
+    /// pool's supervision: the worker is respawned).
+    WorkerExit,
+    /// Extra latency added to a cell computation.
+    CellLatency,
+    /// Corrupt the result-cache slot a finished cell publishes.
+    CacheCorrupt,
+    /// Drop a freshly accepted connection before reading anything.
+    ConnDrop,
+    /// Truncate the response bytes mid-write and close the connection.
+    RespTruncate,
+    /// Refuse an experiment request with a transient 503 `overloaded`.
+    Overload,
+}
+
+impl FaultSite {
+    /// Every site, in spec/metrics order.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::WorkerPanic,
+        FaultSite::WorkerExit,
+        FaultSite::CellLatency,
+        FaultSite::CacheCorrupt,
+        FaultSite::ConnDrop,
+        FaultSite::RespTruncate,
+        FaultSite::Overload,
+    ];
+
+    /// Number of sites (array dimension for per-site counters).
+    pub const COUNT: usize = FaultSite::ALL.len();
+
+    /// Stable spec / metrics-label name.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::WorkerExit => "worker_exit",
+            FaultSite::CellLatency => "cell_latency",
+            FaultSite::CacheCorrupt => "cache_corrupt",
+            FaultSite::ConnDrop => "conn_drop",
+            FaultSite::RespTruncate => "resp_truncate",
+            FaultSite::Overload => "overload",
+        }
+    }
+
+    /// Index into per-site arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("listed")
+    }
+
+    fn from_key(key: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|s| s.key() == key)
+    }
+}
+
+/// One site's rule: how often, how many times, with what argument.
+#[derive(Debug, Clone, Copy)]
+struct SiteRule {
+    /// Fire probability per occurrence, `0.0..=1.0`.
+    rate: f64,
+    /// Cap on total fires (`u64::MAX` when uncapped).
+    max_fires: u64,
+    /// Site argument (milliseconds for `cell_latency`, unused elsewhere).
+    arg_ms: u64,
+}
+
+/// SplitMix64: the standard 64-bit finalizer — a bijective hash good
+/// enough to turn `(seed, site, n)` into an i.i.d.-looking stream. Also
+/// the jitter source for the load generator's retry backoff.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded fault-injection plan. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: [Option<SiteRule>; FaultSite::COUNT],
+    occurrences: [AtomicU64; FaultSite::COUNT],
+    fired: [AtomicU64; FaultSite::COUNT],
+    /// Cells whose cached result was corrupted — `tpi-chaos` excludes
+    /// exactly these from its byte-identity check.
+    corrupted: Mutex<Vec<CellKey>>,
+}
+
+impl FaultPlan {
+    /// Parses a `--faults` spec (see the [module docs](self) for the
+    /// grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the first bad entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut rules: [Option<SiteRule>; FaultSite::COUNT] = [None; FaultSite::COUNT];
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {entry:?} is not key=value"))?;
+            if key == "seed" {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("bad fault seed {value:?}"))?;
+                continue;
+            }
+            let site =
+                FaultSite::from_key(key).ok_or_else(|| format!("unknown fault site {key:?}"))?;
+            let (value, max_fires) = match value.split_once('@') {
+                Some((v, max)) => (
+                    v,
+                    max.parse()
+                        .map_err(|_| format!("bad fire cap in {entry:?}"))?,
+                ),
+                None => (value, u64::MAX),
+            };
+            let (rate, arg_ms) = match value.split_once(':') {
+                Some((r, arg)) => (
+                    r,
+                    arg.parse()
+                        .map_err(|_| format!("bad site argument in {entry:?}"))?,
+                ),
+                None => (value, 0),
+            };
+            let rate: f64 = rate.parse().map_err(|_| format!("bad rate in {entry:?}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate in {entry:?} must be within 0..=1"));
+            }
+            rules[site.index()] = Some(SiteRule {
+                rate,
+                max_fires,
+                arg_ms,
+            });
+        }
+        Ok(FaultPlan {
+            seed,
+            rules,
+            occurrences: Default::default(),
+            fired: Default::default(),
+            corrupted: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counts one occurrence of `site` and decides whether the fault
+    /// fires — deterministically in the occurrence index (see the
+    /// [module docs](self)).
+    #[must_use]
+    pub fn fires(&self, site: FaultSite) -> bool {
+        let i = site.index();
+        let Some(rule) = self.rules[i] else {
+            return false;
+        };
+        let n = self.occurrences[i].fetch_add(1, Ordering::Relaxed);
+        let hit = if rule.rate >= 1.0 {
+            true
+        } else {
+            // 53 uniform mantissa bits → a float in [0, 1).
+            #[allow(clippy::cast_precision_loss)]
+            let u =
+                (splitmix64(self.seed ^ ((i as u64) << 56) ^ n) >> 11) as f64 / (1u64 << 53) as f64;
+            u < rule.rate
+        };
+        hit && self.fired[i].fetch_add(1, Ordering::Relaxed) < rule.max_fires
+    }
+
+    /// [`fires`](Self::fires) for `cell_latency`, returning the injected
+    /// delay when it fires.
+    #[must_use]
+    pub fn cell_latency(&self) -> Option<Duration> {
+        let rule = self.rules[FaultSite::CellLatency.index()]?;
+        self.fires(FaultSite::CellLatency)
+            .then(|| Duration::from_millis(rule.arg_ms))
+    }
+
+    /// [`fires`](Self::fires) for `cache_corrupt`. When it fires the
+    /// key is recorded (see [`corrupted_cells`](Self::corrupted_cells))
+    /// so verification layers know which slots to exclude.
+    #[must_use]
+    pub fn corrupts(&self, key: &CellKey) -> bool {
+        if !self.fires(FaultSite::CacheCorrupt) {
+            return false;
+        }
+        lock_unpoisoned(&self.corrupted).push(*key);
+        true
+    }
+
+    /// Every cell whose cached result this plan corrupted, in injection
+    /// order.
+    #[must_use]
+    pub fn corrupted_cells(&self) -> Vec<CellKey> {
+        lock_unpoisoned(&self.corrupted).clone()
+    }
+
+    /// Total fires per site so far (spec order, aligned with
+    /// [`FaultSite::ALL`]). Capped sites count only real fires.
+    #[must_use]
+    pub fn fired_counts(&self) -> [u64; FaultSite::COUNT] {
+        let mut out = [0u64; FaultSite::COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let fired = self.fired[i].load(Ordering::Relaxed);
+            let cap = self.rules[i].map_or(0, |r| r.max_fires);
+            *slot = fired.min(cap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_never_fires() {
+        let plan = FaultPlan::parse("seed=9").unwrap();
+        for site in FaultSite::ALL {
+            assert!(!plan.fires(site));
+        }
+        assert!(plan.cell_latency().is_none());
+        assert_eq!(plan.fired_counts(), [0; FaultSite::COUNT]);
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_caps_apply() {
+        let plan = FaultPlan::parse("seed=1,worker_panic=1@2").unwrap();
+        assert!(plan.fires(FaultSite::WorkerPanic));
+        assert!(plan.fires(FaultSite::WorkerPanic));
+        assert!(!plan.fires(FaultSite::WorkerPanic));
+        assert!(!plan.fires(FaultSite::WorkerPanic));
+        assert_eq!(plan.fired_counts()[FaultSite::WorkerPanic.index()], 2);
+        // Other sites stay silent.
+        assert!(!plan.fires(FaultSite::ConnDrop));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let spec = "seed=1234,conn_drop=0.3,overload=0.5";
+        let a = FaultPlan::parse(spec).unwrap();
+        let b = FaultPlan::parse(spec).unwrap();
+        let fires_a: Vec<bool> = (0..200).map(|_| a.fires(FaultSite::ConnDrop)).collect();
+        let fires_b: Vec<bool> = (0..200).map(|_| b.fires(FaultSite::ConnDrop)).collect();
+        assert_eq!(fires_a, fires_b);
+        let hits = fires_a.iter().filter(|&&f| f).count();
+        // 0.3 over 200 draws: comfortably between 20 and 100.
+        assert!((20..100).contains(&hits), "{hits} fires at rate 0.3");
+        // A different seed produces a different pattern.
+        let c = FaultPlan::parse("seed=99,conn_drop=0.3").unwrap();
+        let fires_c: Vec<bool> = (0..200).map(|_| c.fires(FaultSite::ConnDrop)).collect();
+        assert_ne!(fires_a, fires_c);
+    }
+
+    #[test]
+    fn latency_site_carries_its_argument() {
+        let plan = FaultPlan::parse("cell_latency=1:25").unwrap();
+        assert_eq!(plan.cell_latency(), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn corruption_is_logged_per_key() {
+        let plan = FaultPlan::parse("cache_corrupt=1@1").unwrap();
+        let key = CellKey {
+            kernel: tpi_workloads::Kernel::Flo52,
+            scale: tpi_workloads::Scale::Test,
+            scheme: tpi_proto::SchemeKind::Tpi,
+            opt_level: tpi_compiler::OptLevel::Full,
+            procs: 16,
+            line_words: 4,
+            cache_bytes: 64 * 1024,
+            tag_bits: 8,
+            seed: 1,
+        };
+        assert!(plan.corrupts(&key));
+        assert!(!plan.corrupts(&key));
+        assert_eq!(plan.corrupted_cells(), vec![key]);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_messages() {
+        for (spec, needle) in [
+            ("worker_panic", "not key=value"),
+            ("seed=abc", "bad fault seed"),
+            ("nosuch=1", "unknown fault site"),
+            ("worker_panic=2", "within 0..=1"),
+            ("worker_panic=x", "bad rate"),
+            ("worker_panic=1@x", "bad fire cap"),
+            ("cell_latency=1:x", "bad site argument"),
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+}

@@ -19,8 +19,13 @@
 //! backpressure (503 + `Retry-After`), per-request deadlines (504),
 //! single-flight deduplication of identical in-flight cells, a
 //! completed-result cache, structured 400s for malformed bodies, and
-//! graceful drain on shutdown. See `DESIGN.md` ("The experiment
-//! service") for the architecture.
+//! graceful drain on shutdown. Failure isolation is tested, not
+//! assumed: a panicking cell is contained to a structured 500 for its
+//! waiters ([`pool`]), dead workers are respawned, the load generator
+//! retries transient failures with jittered backoff ([`loadgen`]), and
+//! a deterministic seeded fault plan ([`fault`]) plus a chaos soak
+//! ([`chaos`], the `tpi-chaos` binary) exercise every failure path.
+//! See `DESIGN.md` ("The experiment service") for the architecture.
 //!
 //! # Quickstart
 //!
@@ -43,6 +48,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -51,5 +58,6 @@ pub mod pool;
 pub mod server;
 pub mod wire;
 
+pub use fault::{FaultPlan, FaultSite};
 pub use server::{ServeConfig, ServeStats, Server};
 pub use wire::{CellKey, GridRequest};

@@ -5,13 +5,84 @@
 //! The request mix deliberately overlaps across connections: several
 //! connections send byte-identical grids, so a healthy server shows
 //! single-flight joins and result-cache hits in `/metrics` under load.
+//!
+//! Transient failures are retried under a [`RetryPolicy`]: exponential
+//! backoff with full jitter (deterministically seeded, so two runs with
+//! the same seed sleep the same schedule), a per-request retry budget,
+//! and `Retry-After` honored when the server sends one. Retryable
+//! outcomes are socket errors (the connection is re-established), 503
+//! `overloaded` backpressure, and 500 `cell_panicked` (the service
+//! guarantees a panicked cell is never cached, so a retry recomputes
+//! it). Everything else — 4xx, 503 `shutting_down` — is terminal.
 
+use crate::fault::splitmix64;
 use crate::http::{read_response, Response};
 use crate::json::{parse, Json};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// When and how hard to retry a failed request.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries allowed per request on top of the first attempt
+    /// (0 = never retry).
+    pub budget: u32,
+    /// Backoff before retry `k` is drawn uniformly from
+    /// `0..=min(max_backoff, base_backoff * 2^(k-1))` — "full jitter".
+    pub base_backoff: Duration,
+    /// Hard cap on any single backoff sleep, including server-suggested
+    /// `Retry-After` delays.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based) of request
+    /// `(conn_index, request_index)`: full-jitter exponential backoff,
+    /// raised to the server's `Retry-After` suggestion when present, and
+    /// always capped by [`max_backoff`](Self::max_backoff).
+    #[must_use]
+    pub fn backoff(
+        &self,
+        conn_index: usize,
+        request_index: usize,
+        attempt: u32,
+        retry_after: Option<Duration>,
+    ) -> Duration {
+        let ceiling = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        let jitter = if ceiling.is_zero() {
+            Duration::ZERO
+        } else {
+            let draw = splitmix64(
+                self.seed
+                    ^ ((conn_index as u64) << 40)
+                    ^ ((request_index as u64) << 20)
+                    ^ u64::from(attempt),
+            );
+            Duration::from_nanos(draw % (ceiling.as_nanos() as u64 + 1))
+        };
+        jitter
+            .max(retry_after.unwrap_or(Duration::ZERO))
+            .min(self.max_backoff)
+    }
+}
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -24,6 +95,8 @@ pub struct LoadgenConfig {
     pub requests_per_connection: usize,
     /// Socket timeout for connect/read/write.
     pub timeout: Duration,
+    /// Retry behaviour for transient failures.
+    pub retry: RetryPolicy,
 }
 
 impl LoadgenConfig {
@@ -35,6 +108,7 @@ impl LoadgenConfig {
             connections: 64,
             requests_per_connection: 8,
             timeout: Duration::from_secs(120),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -62,12 +136,21 @@ pub struct LoadgenReport {
     pub requests: usize,
     /// 200 responses with a well-formed `cells` body.
     pub ok: usize,
-    /// Non-2xx responses (by status).
+    /// Non-2xx responses (by status) that ended a request — retried
+    /// attempts are counted in `retries`, not here.
     pub non_2xx: Vec<(u16, usize)>,
     /// Responses with 2xx status but an invalid body.
     pub invalid_bodies: usize,
-    /// Requests that died on a socket error.
+    /// Requests that died on a socket error after exhausting retries.
     pub io_errors: usize,
+    /// Retried attempts across all requests.
+    pub retries: u64,
+    /// Requests whose retry budget ran out while still failing
+    /// transiently.
+    pub retries_exhausted: usize,
+    /// Histogram of attempts per request: `(attempts, requests)` pairs,
+    /// ascending (1 = succeeded or terminally failed first try).
+    pub attempts_histogram: Vec<(u32, usize)>,
     /// Wall-clock seconds for the whole run.
     pub elapsed_seconds: f64,
     /// Successful requests per second.
@@ -99,6 +182,16 @@ impl LoadgenReport {
                 ])
             })
             .collect();
+        let attempts: Vec<Json> = self
+            .attempts_histogram
+            .iter()
+            .map(|(attempts, n)| {
+                Json::obj([
+                    ("attempts", Json::from(u64::from(*attempts))),
+                    ("requests", Json::from(*n)),
+                ])
+            })
+            .collect();
         Json::obj([
             ("connections", Json::from(self.connections)),
             ("requests", Json::from(self.requests)),
@@ -106,6 +199,9 @@ impl LoadgenReport {
             ("non_2xx", Json::Arr(non_2xx)),
             ("invalid_bodies", Json::from(self.invalid_bodies)),
             ("io_errors", Json::from(self.io_errors)),
+            ("retries", Json::from(self.retries)),
+            ("retries_exhausted", Json::from(self.retries_exhausted)),
+            ("attempts_histogram", Json::Arr(attempts)),
             ("elapsed_seconds", Json::from(self.elapsed_seconds)),
             ("throughput_rps", Json::from(self.throughput_rps)),
             (
@@ -128,6 +224,9 @@ struct Tally {
     non_2xx: Vec<(u16, usize)>,
     invalid_bodies: usize,
     io_errors: usize,
+    retries: u64,
+    retries_exhausted: usize,
+    attempts_histogram: Vec<(u32, usize)>,
 }
 
 impl Tally {
@@ -139,6 +238,19 @@ impl Tally {
         }
     }
 
+    fn count_attempts(&mut self, attempts: u32) {
+        if let Some(entry) = self
+            .attempts_histogram
+            .iter_mut()
+            .find(|(a, _)| *a == attempts)
+        {
+            entry.1 += 1;
+        } else {
+            self.attempts_histogram.push((attempts, 1));
+        }
+        self.retries += u64::from(attempts.saturating_sub(1));
+    }
+
     fn merge(&mut self, other: Tally) {
         self.latencies.extend(other.latencies);
         for (status, n) in other.non_2xx {
@@ -148,8 +260,21 @@ impl Tally {
                 self.non_2xx.push((status, n));
             }
         }
+        for (attempts, n) in other.attempts_histogram {
+            if let Some(entry) = self
+                .attempts_histogram
+                .iter_mut()
+                .find(|(a, _)| *a == attempts)
+            {
+                entry.1 += n;
+            } else {
+                self.attempts_histogram.push((attempts, n));
+            }
+        }
         self.invalid_bodies += other.invalid_bodies;
         self.io_errors += other.io_errors;
+        self.retries += other.retries;
+        self.retries_exhausted += other.retries_exhausted;
     }
 }
 
@@ -212,34 +337,103 @@ fn valid_grid_body(body: &[u8]) -> bool {
         .unwrap_or(false)
 }
 
+/// The `error.code` of a structured error body, if it has one.
+fn error_code(body: &[u8]) -> Option<String> {
+    let doc = parse(std::str::from_utf8(body).ok()?).ok()?;
+    Some(doc.get("error")?.get("code")?.as_str()?.to_owned())
+}
+
+/// Whether a response is worth retrying. 503 `overloaded` is explicit
+/// backpressure; 500 `cell_panicked` is transient by contract (panicked
+/// cells are never cached, so a retry recomputes). 503 `shutting_down`
+/// and everything else are terminal.
+fn retryable(response: &Response) -> bool {
+    match response.status {
+        503 => error_code(&response.body).as_deref() == Some("overloaded"),
+        500 => error_code(&response.body).as_deref() == Some("cell_panicked"),
+        _ => false,
+    }
+}
+
+fn retry_after(response: &Response) -> Option<Duration> {
+    response
+        .header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+fn connect(config: &LoadgenConfig) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&config.addr, config.timeout)?;
+    stream.set_read_timeout(Some(config.timeout))?;
+    stream.set_write_timeout(Some(config.timeout))?;
+    Ok(stream)
+}
+
 fn drive_connection(config: &LoadgenConfig, conn_index: usize, mix: &[&str]) -> Tally {
     let mut tally = Tally::default();
-    let stream = match TcpStream::connect_timeout(&config.addr, config.timeout) {
-        Ok(s) => s,
-        Err(_) => {
-            tally.io_errors += config.requests_per_connection;
-            return tally;
-        }
-    };
-    let _ = stream.set_read_timeout(Some(config.timeout));
-    let _ = stream.set_write_timeout(Some(config.timeout));
-    let mut reader = BufReader::new(&stream);
+    let mut conn = connect(config).ok();
     for i in 0..config.requests_per_connection {
         let body = mix[(conn_index + i) % mix.len()];
         let started = Instant::now();
-        match request_on(&stream, &mut reader, "POST", "/v1/experiments", body) {
-            Ok(response) if response.status == 200 => {
+        let mut attempt = 0u32;
+        // The status of the most recent transient failure (None for a
+        // socket error), so an exhausted budget reports what it last saw.
+        let mut last_transient: Option<u16> = None;
+        // Each request gets the policy's budget of retries; a socket
+        // error tears the connection down and the next attempt (or the
+        // next request) reconnects.
+        let terminal: Option<Response> = loop {
+            attempt += 1;
+            let result = match &conn {
+                Some(stream) => {
+                    let mut reader = BufReader::new(stream);
+                    request_on(stream, &mut reader, "POST", "/v1/experiments", body)
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotConnected, "not connected")),
+            };
+            let suggested = match result {
+                Ok(response) => {
+                    if !retryable(&response) {
+                        break Some(response);
+                    }
+                    last_transient = Some(response.status);
+                    retry_after(&response)
+                }
+                Err(_) => {
+                    conn = None;
+                    last_transient = None;
+                    None
+                }
+            };
+            if attempt > config.retry.budget {
+                tally.retries_exhausted += 1;
+                break None;
+            }
+            std::thread::sleep(config.retry.backoff(conn_index, i, attempt, suggested));
+            if conn.is_none() {
+                conn = connect(config).ok();
+            }
+        };
+        tally.count_attempts(attempt);
+        match terminal {
+            Some(response) if response.status == 200 => {
                 if valid_grid_body(&response.body) {
                     tally.latencies.push(started.elapsed());
                 } else {
                     tally.invalid_bodies += 1;
                 }
             }
-            Ok(response) => tally.count_status(response.status),
-            Err(_) => {
-                tally.io_errors += 1;
-                return tally; // the connection is gone
-            }
+            Some(response) => tally.count_status(response.status),
+            // Budget exhausted while still transient.
+            None => match last_transient {
+                Some(status) => tally.count_status(status),
+                None => tally.io_errors += 1,
+            },
+        }
+        // The server closes the connection after non-keep-alive
+        // responses (e.g. during shutdown); reconnect lazily.
+        if conn.is_none() {
+            conn = connect(config).ok();
         }
     }
     tally
@@ -271,17 +465,13 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             let merged = &merged;
             scope.spawn(move || {
                 let tally = drive_connection(config, conn_index, mix);
-                merged
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .merge(tally);
+                tpi::lock_unpoisoned(merged).merge(tally);
             });
         }
     });
     let elapsed = started.elapsed().as_secs_f64();
-    let tally = merged
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut tally = tpi::into_inner_unpoisoned(merged);
+    tally.attempts_histogram.sort_unstable();
     let mut latencies = tally.latencies;
     latencies.sort_unstable();
     let ok = latencies.len();
@@ -299,6 +489,9 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         non_2xx: tally.non_2xx,
         invalid_bodies: tally.invalid_bodies,
         io_errors: tally.io_errors,
+        retries: tally.retries,
+        retries_exhausted: tally.retries_exhausted,
+        attempts_histogram: tally.attempts_histogram,
         elapsed_seconds: elapsed,
         throughput_rps: if elapsed > 0.0 {
             ok as f64 / elapsed
@@ -316,6 +509,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::error_body;
 
     #[test]
     fn percentiles_use_nearest_rank() {
@@ -335,6 +529,9 @@ mod tests {
             non_2xx: vec![(503, 1)],
             invalid_bodies: 0,
             io_errors: 0,
+            retries: 3,
+            retries_exhausted: 1,
+            attempts_histogram: vec![(1, 3), (4, 1)],
             elapsed_seconds: 1.0,
             throughput_rps: 4.0,
             p50_ms: 1.5,
@@ -345,7 +542,9 @@ mod tests {
         };
         let doc = report.to_json();
         assert_eq!(doc.get("ok").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("retries").unwrap().as_u64(), Some(3));
         assert!(doc.render().contains("\"p99\":2.5"));
+        assert!(doc.render().contains("\"attempts\":4"));
     }
 
     #[test]
@@ -356,5 +555,47 @@ mod tests {
             let grid = GridRequest::parse(&doc).unwrap_or_else(|e| panic!("{body}: {}", e.message));
             assert!(!grid.cells().is_empty());
         }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            budget: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            seed: 7,
+        };
+        for attempt in 1..=6 {
+            let a = policy.backoff(3, 2, attempt, None);
+            let b = policy.backoff(3, 2, attempt, None);
+            assert_eq!(a, b, "same inputs, same sleep");
+            assert!(a <= policy.max_backoff);
+        }
+        // Different requests draw different jitter somewhere in the
+        // schedule.
+        let schedule_a: Vec<_> = (1..=6).map(|k| policy.backoff(0, 0, k, None)).collect();
+        let schedule_b: Vec<_> = (1..=6).map(|k| policy.backoff(1, 0, k, None)).collect();
+        assert_ne!(schedule_a, schedule_b);
+        // Retry-After raises the sleep but never beyond the cap.
+        let suggested = policy.backoff(0, 0, 1, Some(Duration::from_secs(30)));
+        assert_eq!(suggested, policy.max_backoff);
+    }
+
+    #[test]
+    fn retryability_follows_the_error_code() {
+        let resp = |status: u16, code: &str| Response {
+            status,
+            headers: vec![("retry-after".to_owned(), "1".to_owned())],
+            body: error_body(code, "x").into_bytes(),
+        };
+        assert!(retryable(&resp(503, "overloaded")));
+        assert!(retryable(&resp(500, "cell_panicked")));
+        assert!(!retryable(&resp(503, "shutting_down")));
+        assert!(!retryable(&resp(400, "bad_json")));
+        assert!(!retryable(&resp(200, "ignored")));
+        assert_eq!(
+            retry_after(&resp(503, "overloaded")),
+            Some(Duration::from_secs(1))
+        );
     }
 }

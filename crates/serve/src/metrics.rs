@@ -5,6 +5,7 @@
 //! compile time, render order is deterministic, and the hot path is a
 //! handful of relaxed atomic increments.
 
+use crate::fault::FaultSite;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tpi::RunnerStats;
@@ -61,7 +62,7 @@ impl Endpoint {
 }
 
 /// Status codes the service emits (everything else folds into `other`).
-const STATUSES: [u16; 8] = [200, 400, 404, 405, 408, 413, 503, 504];
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 500, 503, 504];
 
 fn status_index(status: u16) -> usize {
     STATUSES
@@ -154,9 +155,22 @@ pub struct Metrics {
     pub bad_requests: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Cells whose computation panicked (contained per cell; the cell's
+    /// waiters saw a structured `cell_panicked` error).
+    pub cell_panics: AtomicU64,
+    /// Worker threads that died and were respawned by the pool's
+    /// supervision.
+    pub worker_restarts: AtomicU64,
+    /// Faults injected, per [`FaultSite`] (always zero when the fault
+    /// layer is disabled).
+    pub faults_injected: [AtomicU64; FaultSite::COUNT],
 }
 
 impl Metrics {
+    /// Counts one injected fault at `site`.
+    pub fn fault(&self, site: FaultSite) {
+        self.faults_injected[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
     /// Records one finished request.
     pub fn record_request(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
         self.requests[endpoint.index()][status_index(status)].fetch_add(1, Ordering::Relaxed);
@@ -218,7 +232,7 @@ impl Metrics {
             );
         }
 
-        let simple: [(&str, &str, u64); 7] = [
+        let simple: [(&str, &str, u64); 9] = [
             (
                 "tpi_serve_cells_cached_total",
                 "Grid cells answered from the completed-result cache.",
@@ -254,12 +268,37 @@ impl Metrics {
                 "TCP connections accepted.",
                 self.connections.load(Ordering::Relaxed),
             ),
+            (
+                "tpi_cell_panics_total",
+                "Cell computations that panicked (contained; waiters saw a structured 500).",
+                self.cell_panics.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_worker_restarts_total",
+                "Worker threads respawned by the pool's supervision.",
+                self.worker_restarts.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in simple {
             let _ = writeln!(
                 out,
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
             );
+        }
+
+        out.push_str(
+            "# HELP tpi_faults_injected_total Faults injected by the tpi-fault layer, by site.\n\
+             # TYPE tpi_faults_injected_total counter\n",
+        );
+        for site in FaultSite::ALL {
+            let n = self.faults_injected[site.index()].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "tpi_faults_injected_total{{site=\"{}\"}} {n}",
+                    site.key()
+                );
+            }
         }
 
         let gauges: [(&str, &str, u64); 3] = [
@@ -394,6 +433,27 @@ mod tests {
             "tpi_serve_request_duration_seconds_bucket{endpoint=\"experiments\",le=\"0.005\"} 2"
         ));
         assert_eq!(m.requests_for(Endpoint::Experiments), 2);
+    }
+
+    #[test]
+    fn fault_and_hardening_counters_render() {
+        let m = Metrics::default();
+        m.fault(FaultSite::WorkerPanic);
+        m.fault(FaultSite::WorkerPanic);
+        m.fault(FaultSite::ConnDrop);
+        m.cell_panics.fetch_add(2, Ordering::Relaxed);
+        m.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        m.record_request(Endpoint::Experiments, 500, Duration::from_millis(1));
+        let text = m.render(&RunnerStats::default(), 0, 0, 4, Duration::from_secs(1));
+        assert!(text.contains("tpi_faults_injected_total{site=\"worker_panic\"} 2"));
+        assert!(text.contains("tpi_faults_injected_total{site=\"conn_drop\"} 1"));
+        // Silent sites are omitted.
+        assert!(!text.contains("site=\"overload\""));
+        assert!(text.contains("tpi_cell_panics_total 2"));
+        assert!(text.contains("tpi_worker_restarts_total 1"));
+        assert!(
+            text.contains("tpi_serve_requests_total{endpoint=\"experiments\",status=\"500\"} 1")
+        );
     }
 
     #[test]

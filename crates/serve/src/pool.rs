@@ -1,5 +1,6 @@
 //! The execution side of the service: a single-flight cell store (result
-//! cache + in-flight deduplication) and a bounded worker pool.
+//! cache + in-flight deduplication) and a bounded, supervised worker
+//! pool.
 //!
 //! Identity is a [`CellKey`]. The first request to need a cell becomes
 //! its *leader* and enqueues one job; every concurrent request for the
@@ -8,14 +9,33 @@
 //! The queue between requests and workers is bounded — when a request's
 //! jobs don't fit, the whole request is refused (backpressure, a 503 at
 //! the HTTP layer) rather than queued without limit.
+//!
+//! Failure isolation, in layers:
+//!
+//! 1. every cell computation runs under [`tpi::catch_cell_panic`], so a
+//!    panicking cell resolves its own flight slot with a structured
+//!    [`CellError::Panicked`] — waiters get a 500, nothing is cached,
+//!    and the next identical request recomputes;
+//! 2. a drop guard re-arms that promise for the *unguarded* remainder of
+//!    the job (publishing, metrics): if the worker dies anywhere between
+//!    claiming a job and finishing it, the guard resolves the slot
+//!    during unwind so no waiter can wedge;
+//! 3. worker threads are supervised — a worker that dies for any reason
+//!    respawns itself (counted in `tpi_worker_restarts_total`) unless
+//!    the pool is stopping;
+//! 4. shutdown terminally answers whatever is left: after the workers
+//!    drain and exit, any job still queued is failed with
+//!    [`CellError::ShuttingDown`] so its waiters resolve before the
+//!    final stats line.
 
+use crate::fault::{FaultPlan, FaultSite, INJECTED_PANIC_PREFIX};
 use crate::metrics::Metrics;
 use crate::wire::CellKey;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use tpi::{ExperimentResult, Runner};
+use tpi::{catch_cell_panic, lock_unpoisoned, Runner};
 
 /// Why a cell failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,10 +46,19 @@ pub enum CellError {
     /// The experiment itself failed (e.g. the program races under its
     /// schedule) — a legitimate per-cell result, not a server fault.
     Failed(String),
+    /// The cell's computation panicked. Contained per cell: only this
+    /// cell's waiters see it (a 500 at the HTTP layer), the outcome is
+    /// never cached, and the next identical request recomputes.
+    Panicked(String),
+    /// The pool shut down before the cell could run (a 503
+    /// `shutting_down` at the HTTP layer). Never cached.
+    ShuttingDown,
 }
 
 /// What one cell computation produced.
 pub type CellOutcome = Result<ExperimentResult, CellError>;
+
+use tpi::ExperimentResult;
 
 /// A slot that one leader fills and any number of waiters block on.
 #[derive(Debug)]
@@ -47,9 +76,7 @@ impl FlightSlot {
     }
 
     fn lock(&self) -> MutexGuard<'_, Option<Arc<CellOutcome>>> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_unpoisoned(&self.state)
     }
 
     fn complete(&self, outcome: Arc<CellOutcome>) {
@@ -69,10 +96,7 @@ impl FlightSlot {
             if now >= deadline {
                 return None;
             }
-            let (next, timeout) = self
-                .cond
-                .wait_timeout(state, deadline - now)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (next, timeout) = tpi::wait_timeout_unpoisoned(&self.cond, state, deadline - now);
             state = next;
             if timeout.timed_out() && state.is_none() {
                 return None;
@@ -111,15 +135,11 @@ pub struct CellStore {
 
 impl CellStore {
     fn inflight(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<FlightSlot>>> {
-        self.inflight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_unpoisoned(&self.inflight)
     }
 
     fn done(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<CellOutcome>>> {
-        self.done
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_unpoisoned(&self.done)
     }
 
     /// Decides how to obtain `key`: cached, joined, or led. Registering
@@ -141,14 +161,14 @@ impl CellStore {
 
     /// Publishes a finished cell: future requests hit the result cache,
     /// current waiters are woken. Experiment failures are cached too —
-    /// they are deterministic results of the cell's inputs. `Overloaded`
-    /// is *not* cached (it describes a transient server state), so the
-    /// next request retries the cell.
+    /// they are deterministic results of the cell's inputs. Transient
+    /// server states — `Overloaded`, `Panicked`, `ShuttingDown` — are
+    /// *not* cached, so the next request retries the cell.
     pub fn finish(&self, job: &CellJob, outcome: CellOutcome) {
         let outcome = Arc::new(outcome);
         {
             let mut inflight = self.inflight();
-            if !matches!(outcome.as_ref(), Err(CellError::Overloaded)) {
+            if matches!(outcome.as_ref(), Ok(_) | Err(CellError::Failed(_))) {
                 self.done().insert(job.key, Arc::clone(&outcome));
             }
             inflight.remove(&job.key);
@@ -161,6 +181,25 @@ impl CellStore {
     pub fn results_cached(&self) -> usize {
         self.done().len()
     }
+
+    /// Number of cells currently in flight. Zero once every request has
+    /// been terminally answered — `tpi-chaos` asserts exactly that at
+    /// drain.
+    #[must_use]
+    pub fn inflight_cells(&self) -> usize {
+        self.inflight().len()
+    }
+
+    /// A snapshot of the completed-result cache, in unspecified order.
+    /// Verification layers (`tpi-chaos`) replay these against a fresh
+    /// serial [`Runner`] to prove the cache was never silently corrupted.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(CellKey, Arc<CellOutcome>)> {
+        self.done()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect()
+    }
 }
 
 struct PoolShared {
@@ -172,15 +211,19 @@ struct PoolShared {
     runner: Arc<Runner>,
     store: Arc<CellStore>,
     metrics: Arc<Metrics>,
+    fault: Option<Arc<FaultPlan>>,
+    /// Worker join handles, including respawns (see [`spawn_worker`]).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Test hook: artificial per-cell latency, so backpressure and
     /// timeout paths can be exercised deterministically.
     cell_delay: Duration,
 }
 
-/// A fixed set of worker threads fed by one bounded queue.
+/// A fixed-size set of supervised worker threads fed by one bounded
+/// queue. "Fixed-size" survives faults: a worker that dies respawns
+/// itself unless the pool is stopping.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     workers: usize,
 }
 
@@ -193,6 +236,7 @@ impl WorkerPool {
         runner: Arc<Runner>,
         store: Arc<CellStore>,
         metrics: Arc<Metrics>,
+        fault: Option<Arc<FaultPlan>>,
         cell_delay: Duration,
     ) -> WorkerPool {
         let workers = workers.max(1);
@@ -205,28 +249,21 @@ impl WorkerPool {
             runner,
             store,
             metrics,
+            fault,
+            handles: Mutex::new(Vec::new()),
             cell_delay,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("tpi-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        WorkerPool {
-            shared,
-            handles: Mutex::new(handles),
-            workers,
+        for i in 0..workers {
+            spawn_worker(&shared, i);
         }
+        WorkerPool { shared, workers }
     }
 
     /// Enqueues a request's jobs, all or nothing. If the queue cannot
     /// take every job, nothing is enqueued and the jobs come back in
     /// `Err` — the caller must fail them (see [`CellStore::finish`] with
-    /// [`CellError::Overloaded`]) so joined waiters are released too.
+    /// [`CellError::Overloaded`] or [`CellError::ShuttingDown`]) so
+    /// joined waiters are released too.
     ///
     /// # Errors
     ///
@@ -236,11 +273,7 @@ impl WorkerPool {
         if jobs.is_empty() {
             return Ok(());
         }
-        let mut queue = self
-            .shared
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut queue = lock_unpoisoned(&self.shared.queue);
         if self.shared.stop.load(Ordering::Acquire) || queue.len() + jobs.len() > self.shared.cap {
             return Err(jobs);
         }
@@ -253,11 +286,7 @@ impl WorkerPool {
     /// Cells waiting in the queue right now.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        lock_unpoisoned(&self.shared.queue).len()
     }
 
     /// Workers currently computing a cell.
@@ -279,19 +308,78 @@ impl WorkerPool {
     }
 
     /// Stops the pool: no new submissions are accepted, already-queued
-    /// jobs are drained (their waiters still get results), then the
-    /// workers exit and are joined.
+    /// jobs are drained by the surviving workers (their waiters still
+    /// get results), the workers exit and are joined — and if faults
+    /// left the pool with no worker to drain the queue, whatever is
+    /// still queued is terminally failed with
+    /// [`CellError::ShuttingDown`], so every waiter resolves before
+    /// shutdown returns.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.cond.notify_all();
-        let handles: Vec<_> = self
-            .handles
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .drain(..)
-            .collect();
-        for h in handles {
-            let _ = h.join();
+        // Respawning workers may add handles while we join: loop until
+        // the registry is empty.
+        loop {
+            let batch: Vec<_> = lock_unpoisoned(&self.shared.handles).drain(..).collect();
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+        let leftovers: Vec<CellJob> = lock_unpoisoned(&self.shared.queue).drain(..).collect();
+        for job in &leftovers {
+            self.shared.store.finish(job, Err(CellError::ShuttingDown));
+        }
+    }
+}
+
+/// Spawns worker `index` and registers its handle. The thread supervises
+/// itself: if `worker_loop` unwinds (an injected `worker_exit` fault or
+/// a real bug outside the per-cell guard), the dying thread counts the
+/// restart and spawns its replacement — unless the pool is stopping.
+fn spawn_worker(shared: &Arc<PoolShared>, index: usize) {
+    let thread_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("tpi-serve-worker-{index}"))
+        .spawn(move || {
+            let died = catch_cell_panic(|| worker_loop(&thread_shared)).is_err();
+            if died && !thread_shared.stop.load(Ordering::Acquire) {
+                thread_shared
+                    .metrics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                spawn_worker(&thread_shared, index);
+            }
+        })
+        .expect("spawn worker");
+    lock_unpoisoned(&shared.handles).push(handle);
+}
+
+/// Releases a claimed job's waiters if the worker unwinds anywhere
+/// between claiming the job and publishing its outcome. Layer 2 of the
+/// isolation story (see the [module docs](self)): the per-cell
+/// `catch_cell_panic` handles panics *inside* the computation; this
+/// guard covers the rest of the job's lifetime.
+struct JobGuard<'a> {
+    shared: &'a PoolShared,
+    job: &'a CellJob,
+    armed: bool,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared
+                .metrics
+                .cell_panics
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.store.finish(
+                self.job,
+                Err(CellError::Panicked("worker died mid-cell".to_owned())),
+            );
+            self.shared.busy.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -299,10 +387,7 @@ impl WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut queue = shared
-                .queue
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -310,33 +395,75 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared
-                    .cond
-                    .wait(queue)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = tpi::wait_unpoisoned(&shared.cond, queue);
             }
         };
         shared.busy.fetch_add(1, Ordering::Relaxed);
+        let mut guard = JobGuard {
+            shared,
+            job: &job,
+            armed: true,
+        };
+        if let Some(delay) = shared.fault.as_ref().and_then(|p| p.cell_latency()) {
+            shared.metrics.fault(FaultSite::CellLatency);
+            std::thread::sleep(delay);
+        }
         if !shared.cell_delay.is_zero() {
             std::thread::sleep(shared.cell_delay);
         }
-        let outcome = compute(&shared.runner, &job.key);
+        let mut outcome = catch_cell_panic(|| {
+            if let Some(plan) = &shared.fault {
+                if plan.fires(FaultSite::WorkerPanic) {
+                    shared.metrics.fault(FaultSite::WorkerPanic);
+                    panic!(
+                        "{INJECTED_PANIC_PREFIX} worker_panic in {:?}",
+                        job.key.kernel
+                    );
+                }
+            }
+            compute(&shared.runner, &job.key)
+        })
+        .unwrap_or_else(|message| {
+            shared.metrics.cell_panics.fetch_add(1, Ordering::Relaxed);
+            Err(CellError::Panicked(message))
+        });
+        if let (Some(plan), Ok(result)) = (&shared.fault, &mut outcome) {
+            if plan.corrupts(&job.key) {
+                shared.metrics.fault(FaultSite::CacheCorrupt);
+                // A detectable lie: flip the headline counter the
+                // byte-identity check renders first.
+                result.sim.total_cycles ^= 0x00C0_FFEE;
+            }
+        }
         shared
             .metrics
             .cells_computed
             .fetch_add(1, Ordering::Relaxed);
         shared.store.finish(&job, outcome);
+        guard.armed = false;
         shared.busy.fetch_sub(1, Ordering::Relaxed);
+        if let Some(plan) = &shared.fault {
+            if plan.fires(FaultSite::WorkerExit) {
+                shared.metrics.fault(FaultSite::WorkerExit);
+                // The job is already published: this kills only the
+                // thread, and supervision respawns it.
+                panic!("{INJECTED_PANIC_PREFIX} worker_exit");
+            }
+        }
     }
 }
 
+/// The panic-contained cell computation: panics inside the engine are
+/// already fenced by [`Runner::run_kernel_safe`]; the worker adds its
+/// own fence around the fault hooks (see [`worker_loop`]).
 fn compute(runner: &Runner, key: &CellKey) -> CellOutcome {
     let config = key
         .config()
         .map_err(|e| CellError::Failed(format!("invalid machine: {e}")))?;
-    runner
-        .run_kernel(key.kernel, key.scale, &config)
-        .map_err(|e| CellError::Failed(e.to_string()))
+    match runner.run_kernel_safe(key.kernel, key.scale, &config) {
+        Ok(result) => result.map_err(|e| CellError::Failed(e.to_string())),
+        Err(panic_message) => Err(CellError::Panicked(panic_message)),
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +488,15 @@ mod tests {
     }
 
     fn pool(workers: usize, cap: usize, delay: Duration) -> (WorkerPool, Arc<CellStore>) {
+        faulted_pool(workers, cap, delay, None)
+    }
+
+    fn faulted_pool(
+        workers: usize,
+        cap: usize,
+        delay: Duration,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> (WorkerPool, Arc<CellStore>) {
         let store = Arc::new(CellStore::default());
         let pool = WorkerPool::start(
             workers,
@@ -368,6 +504,7 @@ mod tests {
             Arc::new(Runner::serial()),
             Arc::clone(&store),
             Arc::new(Metrics::default()),
+            fault,
             delay,
         );
         (pool, store)
@@ -388,6 +525,7 @@ mod tests {
         // Second plan hits the result cache.
         assert!(matches!(store.plan(key(1)), CellPlan::Cached(_)));
         assert_eq!(store.results_cached(), 1);
+        assert_eq!(store.inflight_cells(), 0);
         pool.shutdown();
     }
 
@@ -475,5 +613,111 @@ mod tests {
                 .is_some());
         }
         assert_eq!(store.results_cached(), 6);
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_only_its_waiters_and_is_not_cached() {
+        let plan = Arc::new(FaultPlan::parse("seed=1,worker_panic=1@1").unwrap());
+        let (pool, store) = faulted_pool(1, 4, Duration::ZERO, Some(Arc::clone(&plan)));
+        let CellPlan::Lead(job) = store.plan(key(40)) else {
+            panic!("fresh cell must be led");
+        };
+        let slot = Arc::clone(&job.slot);
+        pool.submit_batch(vec![job]).unwrap();
+        let outcome = slot
+            .wait_until(Instant::now() + Duration::from_secs(30))
+            .expect("slot resolves despite the panic");
+        let Err(CellError::Panicked(message)) = outcome.as_ref() else {
+            panic!("expected a contained panic, got {outcome:?}");
+        };
+        assert!(message.starts_with(INJECTED_PANIC_PREFIX), "{message}");
+        // Nothing cached, no wedged flight: the retry recomputes and
+        // succeeds (the fault's fire cap is exhausted).
+        assert_eq!(store.results_cached(), 0);
+        assert_eq!(store.inflight_cells(), 0);
+        let CellPlan::Lead(retry) = store.plan(key(40)) else {
+            panic!("failed cell must be retryable");
+        };
+        let retry_slot = Arc::clone(&retry.slot);
+        pool.submit_batch(vec![retry]).unwrap();
+        let outcome = retry_slot
+            .wait_until(Instant::now() + Duration::from_secs(30))
+            .unwrap();
+        assert!(outcome.is_ok(), "retry must succeed: {outcome:?}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_dying_worker_is_respawned_and_the_pool_keeps_serving() {
+        // Every cell kills its worker after publishing; supervision must
+        // respawn it each time so all cells still complete.
+        let plan = Arc::new(FaultPlan::parse("seed=2,worker_exit=1").unwrap());
+        let store = Arc::new(CellStore::default());
+        let metrics = Arc::new(Metrics::default());
+        let pool = WorkerPool::start(
+            1,
+            8,
+            Arc::new(Runner::serial()),
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            Some(plan),
+            Duration::ZERO,
+        );
+        let mut slots = Vec::new();
+        let mut jobs = Vec::new();
+        for seed in 50..53 {
+            let CellPlan::Lead(job) = store.plan(key(seed)) else {
+                panic!("fresh cells must be led");
+            };
+            slots.push(Arc::clone(&job.slot));
+            jobs.push(job);
+        }
+        pool.submit_batch(jobs).unwrap();
+        for slot in &slots {
+            let outcome = slot
+                .wait_until(Instant::now() + Duration::from_secs(30))
+                .expect("cell completes despite worker deaths");
+            assert!(outcome.is_ok());
+        }
+        // The dying thread counts its restart *after* publishing the
+        // cell, so the last increment can trail the slot: poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.worker_restarts.load(Ordering::Relaxed) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(metrics.worker_restarts.load(Ordering::Relaxed) >= 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_terminally_fails_jobs_no_worker_can_drain() {
+        // One worker that dies after its first cell, with stop already
+        // requested so it is not respawned: the remaining queued jobs
+        // must be answered with ShuttingDown, not wedged.
+        let plan = Arc::new(FaultPlan::parse("seed=3,worker_exit=1").unwrap());
+        let (pool, store) = faulted_pool(1, 8, Duration::from_millis(200), Some(plan));
+        let mut slots = Vec::new();
+        let mut jobs = Vec::new();
+        for seed in 60..63 {
+            let CellPlan::Lead(job) = store.plan(key(seed)) else {
+                panic!("fresh cells must be led");
+            };
+            slots.push(Arc::clone(&job.slot));
+            jobs.push(job);
+        }
+        pool.submit_batch(jobs).unwrap();
+        // The worker is busy with the first cell for ~200ms; stop now.
+        pool.shutdown();
+        let mut shut_down = 0;
+        for slot in &slots {
+            let outcome = slot
+                .wait_until(Instant::now() + Duration::from_millis(10))
+                .expect("every slot resolves by the end of shutdown");
+            if matches!(outcome.as_ref(), Err(CellError::ShuttingDown)) {
+                shut_down += 1;
+            }
+        }
+        assert_eq!(shut_down, 2, "the two undrained jobs fail terminally");
+        assert_eq!(store.inflight_cells(), 0);
     }
 }

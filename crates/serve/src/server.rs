@@ -14,22 +14,28 @@
 //! (overflow → 503 + `Retry-After`), every request carries a deadline
 //! (exceeded → 504), malformed bodies are 400s with structured error
 //! bodies, identical in-flight cells are computed once (single-flight),
-//! and shutdown stops accepting, drains in-flight work, then reports a
-//! final stats line.
+//! panicking cells resolve to structured 500s without wedging their
+//! waiters, dead workers respawn, and shutdown stops accepting, drains
+//! or terminally fails every queued cell, then reports a final stats
+//! line. An optional [`FaultPlan`] (the `--faults` flag) injects
+//! deterministic failures at every one of those seams; it is absent —
+//! and free — in normal operation. See `DESIGN.md` ("Failure model").
 
+use crate::fault::{FaultPlan, FaultSite};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{parse, Json};
 use crate::metrics::{Endpoint, Metrics};
 use crate::pool::{CellError, CellOutcome, CellPlan, CellStore, WorkerPool};
 use crate::wire::{
-    error_body, kernels_body, render_cell, render_cell_error, schemes_body, BadRequest, GridRequest,
+    error_body, kernels_body, render_cell, render_cell_error, schemes_body, BadRequest, CellKey,
+    GridRequest,
 };
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use tpi::Runner;
+use tpi::{lock_unpoisoned, wait_unpoisoned, Runner};
 
 /// Everything tunable about one server instance.
 #[derive(Debug, Clone)]
@@ -51,6 +57,9 @@ pub struct ServeConfig {
     pub max_cells_per_request: usize,
     /// Test hook: artificial latency added to every cell computation.
     pub cell_delay: Duration,
+    /// Deterministic fault injection (the `--faults` flag). `None` — the
+    /// default — means no faults and no injection overhead.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +72,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             max_cells_per_request: 1024,
             cell_delay: Duration::ZERO,
+            fault: None,
         }
     }
 }
@@ -82,6 +92,10 @@ pub struct ServeStats {
     pub rejected_queue_full: u64,
     /// Requests that timed out with 504.
     pub rejected_timeout: u64,
+    /// Cell computations that panicked (contained per cell).
+    pub cell_panics: u64,
+    /// Worker threads the supervisor respawned.
+    pub worker_restarts: u64,
     /// Runner artifact-cache snapshot.
     pub runner: tpi::RunnerStats,
 }
@@ -91,13 +105,16 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "[tpi-serve final: {} experiment requests; cells {} computed / {} cached / {} joined; \
-             {} overloaded / {} timed out; runner traces {} built / {} reused]",
+             {} overloaded / {} timed out; {} cell panics / {} worker restarts; \
+             runner traces {} built / {} reused]",
             self.experiment_requests,
             self.cells_computed,
             self.cells_cached,
             self.cells_joined,
             self.rejected_queue_full,
             self.rejected_timeout,
+            self.cell_panics,
+            self.worker_restarts,
             self.runner.traces_built,
             self.runner.trace_hits,
         )
@@ -111,6 +128,7 @@ struct Shared {
     metrics: Arc<Metrics>,
     store: Arc<CellStore>,
     pool: WorkerPool,
+    fault: Option<Arc<FaultPlan>>,
     shutdown: AtomicBool,
     shutdown_signal: (Mutex<bool>, Condvar),
     active_conns: AtomicUsize,
@@ -121,9 +139,7 @@ impl Shared {
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         let (lock, cond) = &self.shutdown_signal;
-        *lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        *lock_unpoisoned(lock) = true;
         cond.notify_all();
         // Poke the blocking accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -152,12 +168,14 @@ impl Server {
         let runner = Arc::new(Runner::new());
         let metrics = Arc::new(Metrics::default());
         let store = Arc::new(CellStore::default());
+        let fault = config.fault.clone();
         let pool = WorkerPool::start(
             config.workers,
             config.queue_cap,
             Arc::clone(&runner),
             Arc::clone(&store),
             Arc::clone(&metrics),
+            fault.clone(),
             config.cell_delay,
         );
         let shared = Arc::new(Shared {
@@ -167,6 +185,7 @@ impl Server {
             metrics,
             store,
             pool,
+            fault,
             shutdown: AtomicBool::new(false),
             shutdown_signal: (Mutex::new(false), Condvar::new()),
             active_conns: AtomicUsize::new(0),
@@ -189,28 +208,54 @@ impl Server {
         self.shared.addr
     }
 
+    /// Cells currently in flight. Zero once every request has been
+    /// terminally answered — `tpi-chaos` asserts exactly that at drain.
+    #[must_use]
+    pub fn inflight_cells(&self) -> usize {
+        self.shared.store.inflight_cells()
+    }
+
+    /// A snapshot of the completed-result cache, for out-of-band
+    /// verification against a fresh serial [`Runner`].
+    #[must_use]
+    pub fn cell_snapshot(&self) -> Vec<(CellKey, Arc<CellOutcome>)> {
+        self.shared.store.snapshot()
+    }
+
+    /// A handle on the cell store that outlives [`Server::shutdown`] —
+    /// `tpi-chaos` inspects the drained store after the server is gone.
+    #[must_use]
+    pub fn cell_store(&self) -> Arc<CellStore> {
+        Arc::clone(&self.shared.store)
+    }
+
     /// Blocks until some client posts `/admin/shutdown` (or another
     /// thread calls [`Server::shutdown`]).
     pub fn wait_for_shutdown_request(&self) {
         let (lock, cond) = &self.shared.shutdown_signal;
-        let mut requested = lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut requested = lock_unpoisoned(lock);
         while !*requested {
-            requested = cond
-                .wait(requested)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            requested = wait_unpoisoned(cond, requested);
         }
     }
 
-    /// Graceful shutdown: stop accepting, wait for open connections to
-    /// finish (bounded), drain queued cells, join the workers, and
-    /// report the final counters.
+    /// Graceful shutdown: stop accepting, drain or terminally fail every
+    /// queued cell, then wait for open connections to write their final
+    /// responses (bounded) and report the final counters.
+    ///
+    /// The pool is stopped *before* waiting on connections: connections
+    /// may be blocked on flight slots whose jobs are still queued, and
+    /// under faults there may be no worker left to drain them — stopping
+    /// the pool first resolves every slot (computed by a surviving
+    /// worker, or failed with [`CellError::ShuttingDown`]), so waiting
+    /// connections always get a terminal answer instead of wedging the
+    /// drain window.
     pub fn shutdown(mut self) -> ServeStats {
         self.shared.request_shutdown();
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        self.shared.pool.shutdown();
         // Connections notice the flag within one idle-poll interval.
         let drain_deadline = Instant::now() + Duration::from_secs(10);
         while self.shared.active_conns.load(Ordering::Acquire) > 0
@@ -218,7 +263,6 @@ impl Server {
         {
             std::thread::sleep(Duration::from_millis(10));
         }
-        self.shared.pool.shutdown();
         let m = &self.shared.metrics;
         ServeStats {
             experiment_requests: m.requests_for(Endpoint::Experiments),
@@ -227,6 +271,8 @@ impl Server {
             cells_joined: m.cells_joined.load(Ordering::Relaxed),
             rejected_queue_full: m.rejected_queue_full.load(Ordering::Relaxed),
             rejected_timeout: m.rejected_timeout.load(Ordering::Relaxed),
+            cell_panics: m.cell_panics.load(Ordering::Relaxed),
+            worker_restarts: m.worker_restarts.load(Ordering::Relaxed),
             runner: self.shared.runner.stats(),
         }
     }
@@ -238,6 +284,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Ok((stream, _)) => {
                 if shared.shutting_down() {
                     return;
+                }
+                if let Some(plan) = &shared.fault {
+                    if plan.fires(FaultSite::ConnDrop) {
+                        shared.metrics.fault(FaultSite::ConnDrop);
+                        // Dropping the stream resets the connection
+                        // before a single byte is served.
+                        continue;
+                    }
                 }
                 shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
                 shared.active_conns.fetch_add(1, Ordering::AcqRel);
@@ -313,17 +367,37 @@ fn connection_loop(stream: &TcpStream, shared: &Arc<Shared>) {
             .metrics
             .record_request(endpoint, response.status, started.elapsed());
         let keep_alive = request.keep_alive && !shared.shutting_down();
+        let headers: Vec<(&str, String)> = response
+            .extra_headers
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        if let Some(plan) = &shared.fault {
+            if plan.fires(FaultSite::RespTruncate) {
+                shared.metrics.fault(FaultSite::RespTruncate);
+                // Render the full response, send only half of it, and
+                // hang up: the client sees garbage-terminated bytes.
+                let mut rendered = Vec::new();
+                let _ = write_response(
+                    &mut rendered,
+                    response.status,
+                    response.content_type,
+                    response.body.as_bytes(),
+                    &headers,
+                    false,
+                );
+                let mut out = stream;
+                let _ = out.write_all(&rendered[..rendered.len() / 2]);
+                return;
+            }
+        }
         let mut out = stream;
         if write_response(
             &mut out,
             response.status,
             response.content_type,
             response.body.as_bytes(),
-            &response
-                .extra_headers
-                .iter()
-                .map(|(k, v)| (*k, v.clone()))
-                .collect::<Vec<_>>(),
+            &headers,
             keep_alive,
         )
         .is_err()
@@ -359,10 +433,15 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, RouteResponse) {
         .next()
         .unwrap_or(request.target.as_str());
     match (request.method.as_str(), path) {
-        ("POST", "/v1/experiments") => (
-            Endpoint::Experiments,
-            handle_experiments(shared, &request.body),
-        ),
+        ("POST", "/v1/experiments") => {
+            if shared.shutting_down() {
+                return (Endpoint::Experiments, shutting_down_response());
+            }
+            (
+                Endpoint::Experiments,
+                handle_experiments(shared, &request.body),
+            )
+        }
         ("GET", "/v1/kernels") => (Endpoint::Kernels, RouteResponse::json(200, kernels_body())),
         ("GET", "/v1/schemes") => (Endpoint::Schemes, RouteResponse::json(200, schemes_body())),
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(shared)),
@@ -443,7 +522,22 @@ fn overloaded(shared: &Shared) -> RouteResponse {
     response
 }
 
+fn shutting_down_response() -> RouteResponse {
+    RouteResponse::json(
+        503,
+        error_body("shutting_down", "the service is shutting down"),
+    )
+}
+
 fn handle_experiments(shared: &Arc<Shared>, body: &[u8]) -> RouteResponse {
+    if let Some(plan) = &shared.fault {
+        if plan.fires(FaultSite::Overload) {
+            shared.metrics.fault(FaultSite::Overload);
+            // Indistinguishable from real backpressure on the wire:
+            // clients must treat it as the retryable 503 it claims to be.
+            return overloaded(shared);
+        }
+    }
     let Ok(text) = std::str::from_utf8(body) else {
         return bad_request(
             shared,
@@ -505,12 +599,23 @@ fn handle_experiments(shared: &Arc<Shared>, body: &[u8]) -> RouteResponse {
     }
 
     // Submit the led jobs as one unit: backpressure is all-or-nothing.
+    // A refusal must release any waiter that joined the refused slots —
+    // with the cause, so clients can tell a retryable queue-full from a
+    // terminal shutdown refusal.
     if let Err(refused) = shared.pool.submit_batch(jobs) {
-        // Release any waiter that joined the refused slots, then 503.
+        let cause = if shared.shutting_down() {
+            CellError::ShuttingDown
+        } else {
+            CellError::Overloaded
+        };
         for job in &refused {
-            shared.store.finish(job, Err(CellError::Overloaded));
+            shared.store.finish(job, Err(cause.clone()));
         }
-        return overloaded(shared);
+        return if cause == CellError::ShuttingDown {
+            shutting_down_response()
+        } else {
+            overloaded(shared)
+        };
     }
 
     // Collect, in deterministic cell order, under the request deadline.
@@ -540,6 +645,16 @@ fn handle_experiments(shared: &Arc<Shared>, body: &[u8]) -> RouteResponse {
             Ok(result) => rendered.push(render_cell(&key, result)),
             Err(CellError::Overloaded) => return overloaded(shared),
             Err(CellError::Failed(message)) => rendered.push(render_cell_error(&key, message)),
+            Err(CellError::Panicked(message)) => {
+                return RouteResponse::json(
+                    500,
+                    error_body(
+                        "cell_panicked",
+                        &format!("cell computation panicked: {message}"),
+                    ),
+                );
+            }
+            Err(CellError::ShuttingDown) => return shutting_down_response(),
         }
     }
     let count = rendered.len();

@@ -9,12 +9,14 @@
 
 use std::collections::HashSet;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 use tpi::Runner;
 use tpi_serve::json::{parse, Json};
-use tpi_serve::loadgen::{get, post};
+use tpi_serve::loadgen::{self, get, post, LoadgenConfig, RetryPolicy};
 use tpi_serve::server::{ServeConfig, Server};
 use tpi_serve::wire::{render_cell, GridRequest};
+use tpi_serve::FaultPlan;
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
@@ -232,6 +234,169 @@ fn discovery_health_and_routing() {
     assert_eq!(get(addr, "/nope", CLIENT_TIMEOUT).unwrap().status, 404);
 
     server.shutdown();
+}
+
+/// The `error.code` of a structured error response.
+fn error_code(body: &[u8]) -> Option<String> {
+    parse(std::str::from_utf8(body).ok()?)
+        .ok()?
+        .get("error")?
+        .get("code")?
+        .as_str()
+        .map(str::to_owned)
+}
+
+#[test]
+fn a_panicking_cell_fails_every_waiter_with_a_500_then_recomputes() {
+    // Exactly the first computation panics; the artificial delay holds
+    // the cell in flight long enough for concurrent identical requests
+    // to join the one doomed flight.
+    let plan = Arc::new(FaultPlan::parse("seed=1,worker_panic=1@1").unwrap());
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        cell_delay: Duration::from_millis(150),
+        fault: Some(Arc::clone(&plan)),
+        ..ServeConfig::default()
+    });
+    let body = r#"{"kernels":["FLO52"],"schemes":["TPI"]}"#;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || post(addr, "/v1/experiments", body, CLIENT_TIMEOUT).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let response = handle.join().unwrap();
+            assert_eq!(response.status, 500);
+            assert_eq!(error_code(&response.body).as_deref(), Some("cell_panicked"));
+        }
+    });
+
+    // The panic was never cached: the identical request recomputes and
+    // serves bytes matching a fresh serial runner.
+    let retry = post(addr, "/v1/experiments", body, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(retry.status, 200);
+    assert_eq!(
+        String::from_utf8_lossy(&retry.body),
+        expected_response(&Runner::serial(), body)
+    );
+
+    let metrics = get(addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(metric_value(&text, "tpi_cell_panics_total").unwrap() >= 1.0);
+    assert!(
+        metric_value(&text, "tpi_faults_injected_total{site=\"worker_panic\"}").unwrap() >= 1.0
+    );
+
+    let stats = server.shutdown();
+    assert!(stats.cell_panics >= 1);
+}
+
+#[test]
+fn garbage_bytes_get_a_400_or_a_close_and_the_server_survives() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let (server, addr) = start(ServeConfig::default());
+    let payloads: [&[u8]; 3] = [
+        b"THIS IS NOT HTTP\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        b"\x00\xff\x00\xff\r\n\r\n",
+    ];
+    for payload in payloads {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(payload).unwrap();
+        let mut raw = Vec::new();
+        // The server either answers a structured 400 and closes, or (for
+        // byte soup it cannot frame) just closes. It must never hang.
+        let _ = stream.read_to_end(&mut raw);
+        if !raw.is_empty() {
+            let head = String::from_utf8_lossy(&raw);
+            assert!(head.starts_with("HTTP/1.1 4"), "{head}");
+        }
+    }
+    // The handler threads died with their connections, not the service:
+    // a normal request still works.
+    let ok = post(
+        addr,
+        "/v1/experiments",
+        r#"{"kernels":["FLO52"]}"#,
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn the_retry_budget_converges_against_injected_transient_503s() {
+    // Exactly the first two experiment handlings are refused with the
+    // transient 503; the retrying load generator must absorb both and
+    // still bring every request home.
+    let plan = Arc::new(FaultPlan::parse("seed=3,overload=1@2").unwrap());
+    let (server, addr) = start(ServeConfig {
+        workers: 2,
+        fault: Some(plan),
+        ..ServeConfig::default()
+    });
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: 1,
+        requests_per_connection: 3,
+        timeout: CLIENT_TIMEOUT,
+        retry: RetryPolicy {
+            budget: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            seed: 3,
+        },
+    });
+    assert_eq!(report.ok, 3, "{report:?}");
+    assert_eq!(report.retries, 2, "{report:?}");
+    assert_eq!(report.retries_exhausted, 0, "{report:?}");
+    assert!(report.non_2xx.is_empty(), "{report:?}");
+    // The first request took 3 attempts; the other two took 1.
+    assert_eq!(report.attempts_histogram, vec![(1, 2), (3, 1)]);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_under_load_answers_every_queued_request() {
+    // One slow worker that dies (unsupervised, since stop is already
+    // requested) right after its first cell: the two cells left in the
+    // queue have no worker to drain them, and the waiting request must
+    // still get a terminal structured 503 before the final stats line.
+    let plan = Arc::new(FaultPlan::parse("seed=5,worker_exit=1@1").unwrap());
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        cell_delay: Duration::from_millis(300),
+        fault: Some(plan),
+        ..ServeConfig::default()
+    });
+    let client = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/experiments",
+            r#"{"kernels":["FLO52","TRFD","QCD2"],"schemes":["TPI"]}"#,
+            CLIENT_TIMEOUT,
+        )
+        .unwrap()
+    });
+    // Let the request get queued and the worker get busy on cell 1.
+    std::thread::sleep(Duration::from_millis(100));
+    let bye = post(addr, "/admin/shutdown", "", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(bye.status, 200);
+    let stats = server.shutdown();
+    let response = client.join().unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(error_code(&response.body).as_deref(), Some("shutting_down"));
+    // The worker died after its first cell and was (correctly) not
+    // respawned during shutdown.
+    assert_eq!(stats.worker_restarts, 0);
+    assert!(stats.cells_computed >= 1);
 }
 
 #[test]
