@@ -7,7 +7,7 @@
 //! repro --csv out/ e3   # additionally write each table as CSV into out/
 //! repro --serial        # one worker thread (for timing comparisons)
 //! repro --fresh         # no artifact cache (the pre-engine baseline)
-//! repro --timing        # per-stage memo-store hit rates after the run
+//! repro --timing        # memo-store hit rates + tpi-prof stage profile
 //! repro --list          # list experiment ids
 //! ```
 //!
@@ -114,6 +114,10 @@ fn main() -> ExitCode {
     );
     if timing {
         eprintln!("[cache: {}]", stats.cache());
+        let profile = runner.profile();
+        if !profile.is_empty() {
+            eprint!("{profile}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -8,6 +8,7 @@
 //! tpi-run program.tpi --show-marking        # dump the compiler's decisions
 //! tpi-run program.tpi --verify              # panic if any hit observes stale data
 //! tpi-run program.tpi --lint                # static lints only, no simulation
+//! tpi-run program.tpi --profile             # machine-parsable stage profile on stdout
 //! ```
 //!
 //! Scheme comparisons run through a [`Runner`], so the program is marked
@@ -26,7 +27,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpi-run <file> [--scheme tpi|hw|sc|base|ll|ideal|all] [--procs N]\n\
          \x20       [--line-words N] [--tag-bits N] [--cache-kb N] [--opt naive|intra|full]\n\
-         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint]"
+         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint] [--profile]"
     );
     ExitCode::FAILURE
 }
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
     let mut show_marking = false;
     let mut export = false;
     let mut lint = false;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,6 +89,7 @@ fn main() -> ExitCode {
             "--verify" => builder = builder.verify_freshness(true),
             "--export" => export = true,
             "--lint" => lint = true,
+            "--profile" => profile = true,
             "--show-program" => show_program = true,
             "--show-marking" => show_marking = true,
             other if !other.starts_with('-') && file.is_none() => {
@@ -163,6 +166,7 @@ fn main() -> ExitCode {
         );
     }
     let runner = Runner::new();
+    let run_started = std::time::Instant::now();
     let grid = match runner
         .grid()
         .program(&file, Arc::clone(&program))
@@ -176,6 +180,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wall_nanos = u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if profile {
+        // Machine-parsable: one `profile ...` line per stage and counter,
+        // then the profiled total and the measured wall clock around the
+        // grid run (integration tests diff the two).
+        let report = runner.profile();
+        for s in &report.stages {
+            println!(
+                "profile stage={} calls={} nanos={}",
+                s.path, s.calls, s.nanos
+            );
+        }
+        for (name, value) in &report.counters {
+            println!("profile counter={name} value={value}");
+        }
+        println!("profile total_nanos={}", report.total_nanos());
+        println!("profile wall_nanos={wall_nanos}");
+    }
     let mut t = Table::new(format!("{file} on {} processors", cfg.procs));
     t.headers([
         "scheme",

@@ -89,6 +89,15 @@ pub enum LineState {
     Exclusive,
 }
 
+/// Per-word shadow metadata: the hardware timetag and the simulation-only
+/// value version, kept side by side in one allocation because the TPI read
+/// path always inspects both for the same word.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WordMeta {
+    tag: u16,
+    version: u64,
+}
+
 /// One resident cache line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Line {
@@ -99,8 +108,7 @@ pub struct Line {
     valid: u64,
     dirty: u64,
     accessed: u64,
-    tags: Vec<u16>,
-    versions: Vec<u64>,
+    meta: Vec<WordMeta>,
 }
 
 impl Line {
@@ -113,8 +121,7 @@ impl Line {
             valid: 0,
             dirty: 0,
             accessed: 0,
-            tags: vec![0; words_per_line as usize],
-            versions: vec![0; words_per_line as usize],
+            meta: vec![WordMeta::default(); words_per_line as usize],
         }
     }
 
@@ -195,33 +202,38 @@ impl Line {
     /// Timetag of `word`.
     #[must_use]
     pub fn timetag(&self, word: u32) -> u16 {
-        self.tags[word as usize]
+        self.meta[word as usize].tag
     }
 
     /// Stamps `word` with `tag`.
     pub fn set_timetag(&mut self, word: u32, tag: u16) {
-        self.tags[word as usize] = tag;
+        self.meta[word as usize].tag = tag;
     }
 
     /// Shadow version of `word` (what value generation it holds).
     #[must_use]
     pub fn version(&self, word: u32) -> u64 {
-        self.versions[word as usize]
+        self.meta[word as usize].version
     }
 
     /// Sets the shadow version of `word`.
     pub fn set_version(&mut self, word: u32, version: u64) {
-        self.versions[word as usize] = version;
+        self.meta[word as usize].version = version;
     }
 
     /// Invalidates words whose timetag lies in `[lo, hi]`; returns how many
-    /// valid words were dropped.
+    /// valid words were dropped. Only valid words are visited (bit
+    /// iteration over the valid mask), so lines that are mostly invalid
+    /// cost next to nothing.
     pub fn invalidate_tag_range(&mut self, lo: u16, hi: u16) -> u32 {
         let mut dropped = 0;
-        for (w, &t) in self.tags.iter().enumerate() {
-            let b = Self::bit(w as u32);
-            if self.valid & b != 0 && t >= lo && t <= hi {
-                self.valid &= !b;
+        let mut remaining = self.valid;
+        while remaining != 0 {
+            let w = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            let t = self.meta[w as usize].tag;
+            if t >= lo && t <= hi {
+                self.valid &= !Self::bit(w);
                 dropped += 1;
             }
         }
@@ -241,6 +253,9 @@ pub struct Cache {
     cfg: CacheConfig,
     /// `sets[s]` ordered most-recently-used first.
     sets: Vec<Vec<Line>>,
+    /// `num_sets - 1`; set selection is a mask because the set count is a
+    /// power of two (asserted at construction).
+    set_mask: u64,
 }
 
 impl Cache {
@@ -253,7 +268,12 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![Vec::new(); cfg.num_sets()];
-        Cache { cfg, sets }
+        let set_mask = sets.len() as u64 - 1;
+        Cache {
+            cfg,
+            sets,
+            set_mask,
+        }
     }
 
     /// The configuration.
@@ -263,7 +283,7 @@ impl Cache {
     }
 
     fn set_of(&self, addr: LineAddr) -> usize {
-        (addr.0 % self.sets.len() as u64) as usize
+        (addr.0 & self.set_mask) as usize
     }
 
     /// Word offset of `addr` within its line.
@@ -286,12 +306,18 @@ impl Cache {
     }
 
     /// Mutable access to the resident line at `addr`, moving it to MRU.
+    ///
+    /// The MRU rotation is skipped when the line is already at the front —
+    /// for a direct-mapped cache (the paper's default) every hit takes that
+    /// branch, making this a plain lookup on the simulator's hottest path.
     pub fn touch_mut(&mut self, addr: LineAddr) -> Option<&mut Line> {
         let s = self.set_of(addr);
-        let pos = self.sets[s].iter().position(|l| l.addr == addr)?;
-        let line = self.sets[s].remove(pos);
-        self.sets[s].insert(0, line);
-        Some(&mut self.sets[s][0])
+        let set = &mut self.sets[s];
+        let pos = set.iter().position(|l| l.addr == addr)?;
+        if pos > 0 {
+            set[..=pos].rotate_right(1);
+        }
+        Some(&mut set[0])
     }
 
     /// Inserts `line` (as MRU); returns the evicted victim if the set was
@@ -299,17 +325,19 @@ impl Cache {
     /// returned).
     pub fn insert(&mut self, line: Line) -> Option<Line> {
         let s = self.set_of(line.addr);
-        if let Some(pos) = self.sets[s].iter().position(|l| l.addr == line.addr) {
-            let old = self.sets[s].remove(pos);
-            self.sets[s].insert(0, line);
-            return Some(old);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|l| l.addr == line.addr) {
+            if pos > 0 {
+                set[..=pos].rotate_right(1);
+            }
+            return Some(std::mem::replace(&mut set[0], line));
         }
-        let victim = if self.sets[s].len() >= self.cfg.assoc as usize {
-            self.sets[s].pop()
+        let victim = if set.len() >= self.cfg.assoc as usize {
+            set.pop()
         } else {
             None
         };
-        self.sets[s].insert(0, line);
+        set.insert(0, line);
         victim
     }
 

@@ -27,7 +27,7 @@
 
 use crate::epochflow::{same_iteration_only, EpochFlowGraph, EpochKind, NodeId, NodeRead};
 use crate::{CompilerOptions, OptLevel};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use tpi_ir::{CallGraph, Program, RefSite};
 use tpi_mem::{ReadKind, Sharing};
 
@@ -98,9 +98,13 @@ impl MarkDecision {
 }
 
 /// The result of the marking pass: a decision per shared read site.
+///
+/// Lookups ([`Marking::tpi_kind`] / [`Marking::sc_kind`]) run once per
+/// shared read during interpretation, so the table uses the deterministic
+/// [`tpi_mem::FastMap`] rather than the std `HashMap`.
 #[derive(Debug, Clone, Default)]
 pub struct Marking {
-    decisions: HashMap<RefSite, MarkDecision>,
+    decisions: tpi_mem::FastMap<RefSite, MarkDecision>,
 }
 
 impl Marking {

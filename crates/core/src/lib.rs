@@ -62,6 +62,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod prof;
 pub mod report;
 pub mod runner;
 pub mod sync;
@@ -69,6 +70,7 @@ pub mod tables;
 
 pub use config::{ConfigBuilder, ConfigError, ExperimentConfig};
 pub use experiment::{run_kernel, run_program, ExperimentResult};
+pub use prof::{ProfileReport, Profiler, StageProfile};
 pub use runner::{
     CacheStats, CellGrid, CellId, GridBuilder, GridOutcome, GridResult, PreparedCell,
     ProgramSource, RunSpec, Runner, RunnerStats, StageCache,

@@ -268,6 +268,7 @@ pub struct Runner {
     memoize: bool,
     store: Mutex<ArtifactStore>,
     stats: StatCells,
+    prof: crate::prof::Profiler,
 }
 
 impl Default for Runner {
@@ -304,6 +305,7 @@ impl Runner {
             memoize: true,
             store: Mutex::new(ArtifactStore::default()),
             stats: StatCells::default(),
+            prof: crate::prof::Profiler::new(),
         }
     }
 
@@ -329,6 +331,42 @@ impl Runner {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.stats().cache()
+    }
+
+    /// A deterministic snapshot of the `tpi-prof` stage profiler: wall
+    /// time per pipeline stage (`prepare/build`, `prepare/mark`,
+    /// `prepare/interp`, `simulate`, …, plus the self-measured sub-stages
+    /// the lower layers report, e.g. `simulate/replay`) and monotonic
+    /// counters (`sim_events`, engine op counts).
+    ///
+    /// `RunnerStats` stays a `Copy` counter block; the profile lives here
+    /// because a report carries heap-allocated stage paths.
+    #[must_use]
+    pub fn profile(&self) -> crate::prof::ProfileReport {
+        self.prof.report()
+    }
+
+    /// Attributes one simulated cell's self-measured host profile to the
+    /// report's stable stage paths and counters.
+    fn harvest_sim(&self, sim: &tpi_sim::SimResult) {
+        self.prof.add("simulate/replay", sim.host.replay_nanos, 1);
+        self.prof
+            .add("simulate/boundary", sim.host.boundary_nanos, 1);
+        self.prof.incr("sim_events", sim.host.events);
+        self.prof.incr("sim_epochs", sim.epochs);
+        for (name, n) in &sim.host.ops {
+            self.prof.incr(name, *n);
+        }
+    }
+
+    /// Attributes one freshly interpreted trace's self-measured host
+    /// profile to the report.
+    fn harvest_trace(&self, trace: &Trace) {
+        self.prof
+            .add("prepare/interp/serial", trace.host.serial_nanos, 1);
+        self.prof
+            .add("prepare/interp/doall", trace.host.doall_nanos, 1);
+        self.prof.incr("interp_epochs", trace.stats.epochs);
     }
 
     /// A snapshot of the cache counters.
@@ -453,6 +491,7 @@ impl Runner {
     /// program races under its schedule.
     pub fn prepare(&self, cells: &[RunSpec]) -> Result<Vec<PreparedCell>, TraceError> {
         if !self.memoize {
+            let prepare_scope = self.prof.scope("prepare");
             let prepared = parallel_map(self.threads, cells, |cell| {
                 let program = match &cell.source {
                     ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
@@ -468,6 +507,7 @@ impl Runner {
                     &cell.config.trace_options(),
                 )
                 .map(Arc::new)?;
+                self.harvest_trace(&trace);
                 Ok(PreparedCell {
                     spec: cell.clone(),
                     program,
@@ -475,6 +515,7 @@ impl Runner {
                     trace,
                 })
             });
+            prepare_scope.finish();
             let n = cells.len() as u64;
             self.stats.programs_built.fetch_add(n, Ordering::Relaxed);
             self.stats.markings_built.fetch_add(n, Ordering::Relaxed);
@@ -504,6 +545,7 @@ impl Runner {
     /// Phases 1–3 of [`execute`](Self::execute): fills the artifact store
     /// with every program, marking, and trace `cells` needs.
     fn build_artifacts(&self, cells: &[RunSpec]) -> Result<(), TraceError> {
+        let _prepare_scope = self.prof.scope("prepare");
         // Phase 1 — programs. Unique keys in first-appearance order keep
         // the whole pipeline deterministic.
         let mut program_jobs: Vec<(ProgramKey, Option<Arc<Program>>)> = Vec::new();
@@ -526,15 +568,18 @@ impl Runner {
         self.stats
             .programs_built
             .fetch_add(program_jobs.len() as u64, Ordering::Relaxed);
-        let built = parallel_map(self.threads, &program_jobs, |(key, prebuilt)| {
-            match (key, prebuilt) {
-                (_, Some(p)) => Arc::clone(p),
-                (ProgramKey::Kernel(k, s), None) => Arc::new(k.build(*s)),
-                (ProgramKey::Custom(name), None) => {
-                    unreachable!("custom program {name} submitted without a body")
+        let built = {
+            let _s = self.prof.scope("build");
+            parallel_map(self.threads, &program_jobs, |(key, prebuilt)| {
+                match (key, prebuilt) {
+                    (_, Some(p)) => Arc::clone(p),
+                    (ProgramKey::Kernel(k, s), None) => Arc::new(k.build(*s)),
+                    (ProgramKey::Custom(name), None) => {
+                        unreachable!("custom program {name} submitted without a body")
+                    }
                 }
-            }
-        });
+            })
+        };
         {
             let mut store = self.store();
             for ((key, _), program) in program_jobs.into_iter().zip(built) {
@@ -560,9 +605,12 @@ impl Runner {
         self.stats
             .markings_built
             .fetch_add(marking_jobs.len() as u64, Ordering::Relaxed);
-        let marked = parallel_map(self.threads, &marking_jobs, |(key, program)| {
-            Arc::new(mark_program(program.as_ref(), &key.1))
-        });
+        let marked = {
+            let _s = self.prof.scope("mark");
+            parallel_map(self.threads, &marking_jobs, |(key, program)| {
+                Arc::new(mark_program(program.as_ref(), &key.1))
+            })
+        };
         {
             let mut store = self.store();
             for ((key, _), marking) in marking_jobs.into_iter().zip(marked) {
@@ -592,9 +640,15 @@ impl Runner {
         self.stats
             .traces_built
             .fetch_add(trace_jobs.len() as u64, Ordering::Relaxed);
-        let traced = parallel_map(self.threads, &trace_jobs, |(key, program, marking)| {
-            generate_trace(program.as_ref(), marking.as_ref(), &key.2).map(Arc::new)
-        });
+        let traced = {
+            let _s = self.prof.scope("interp");
+            parallel_map(self.threads, &trace_jobs, |(key, program, marking)| {
+                generate_trace(program.as_ref(), marking.as_ref(), &key.2).map(Arc::new)
+            })
+        };
+        for trace in traced.iter().filter_map(|t| t.as_ref().ok()) {
+            self.harvest_trace(trace);
+        }
         {
             let mut store = self.store();
             for ((key, ..), trace) in trace_jobs.into_iter().zip(traced) {
@@ -637,9 +691,15 @@ impl Runner {
         self.stats
             .cells_simulated
             .fetch_add(unique.len() as u64, Ordering::Relaxed);
-        let simulated = parallel_map(self.threads, &unique, |(cell, trace, marking)| {
-            simulate_cell(&cell.config, trace.as_ref(), marking.as_ref())
-        });
+        let simulated = {
+            let _s = self.prof.scope("simulate");
+            parallel_map(self.threads, &unique, |(cell, trace, marking)| {
+                simulate_cell(&cell.config, trace.as_ref(), marking.as_ref())
+            })
+        };
+        for r in &simulated {
+            self.harvest_sim(&r.sim);
+        }
         Ok(cell_to_unique
             .into_iter()
             .map(|i| simulated[i].clone())
@@ -649,6 +709,7 @@ impl Runner {
     /// The no-cache path: each cell runs its full pipeline independently
     /// (still fanned across the worker threads).
     fn execute_fresh(&self, cells: &[RunSpec]) -> Result<Vec<ExperimentResult>, TraceError> {
+        let fresh_scope = self.prof.scope("fresh");
         let results = parallel_map(self.threads, cells, |cell| {
             let program = match &cell.source {
                 ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
@@ -656,8 +717,13 @@ impl Runner {
             };
             let marking = mark_program(program.as_ref(), &cell.config.compiler_options());
             let trace = generate_trace(program.as_ref(), &marking, &cell.config.trace_options())?;
+            self.harvest_trace(&trace);
             Ok(simulate_cell(&cell.config, &trace, &marking))
         });
+        fresh_scope.finish();
+        for r in results.iter().filter_map(|r| r.as_ref().ok()) {
+            self.harvest_sim(&r.sim);
+        }
         self.stats
             .programs_built
             .fetch_add(cells.len() as u64, Ordering::Relaxed);
@@ -1169,6 +1235,45 @@ mod tests {
         let stats = runner.stats();
         assert_eq!(stats.cells_simulated, 1);
         assert_eq!(stats.cells_deduped, 1);
+    }
+
+    #[test]
+    fn profile_reports_pipeline_stages_and_counters() {
+        let runner = Runner::serial();
+        let cfg = ExperimentConfig::paper();
+        runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let prof = runner.profile();
+        for stage in [
+            "prepare",
+            "prepare/build",
+            "prepare/mark",
+            "prepare/interp",
+            "simulate",
+            "simulate/replay",
+            "simulate/boundary",
+        ] {
+            assert!(
+                prof.stage(stage).is_some(),
+                "missing stage {stage}:\n{prof}"
+            );
+        }
+        assert!(prof.counter("sim_events") > 0);
+        assert_eq!(prof.counter("sim_epochs"), prof.counter("interp_epochs"));
+        // A memoized re-run opens the phase scopes again but interprets
+        // nothing new, so the harvested per-trace sub-stages stay put.
+        let calls_before = prof.stage("prepare/interp").unwrap().calls;
+        runner.run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
+        let prof2 = runner.profile();
+        assert_eq!(
+            prof2.stage("prepare/interp").unwrap().calls,
+            calls_before + 1,
+            "the phase scope reopens on every grid"
+        );
+        assert_eq!(
+            prof2.stage("prepare/interp/doall").unwrap().calls,
+            prof.stage("prepare/interp/doall").unwrap().calls,
+            "cache hit must not re-harvest interpreter time"
+        );
     }
 
     #[test]

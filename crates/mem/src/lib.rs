@@ -21,8 +21,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fasthash;
 pub mod layout;
 
+pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use layout::{ArrayDecl, ArrayId, MemLayout, Sharing};
 
 use std::fmt;
@@ -105,9 +107,15 @@ impl fmt::Display for LineAddr {
 pub const WORD_BYTES: usize = 4;
 
 /// Cache-line geometry: how word addresses map onto lines.
+///
+/// Line decomposition (`line_of` / `word_in_line`) runs on every simulated
+/// memory access, so the power-of-two line size is kept as a shift amount
+/// and the division/modulo become shift/mask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LineGeometry {
     words_per_line: u32,
+    /// `log2(words_per_line)`, derived in [`LineGeometry::new`].
+    shift: u32,
 }
 
 impl LineGeometry {
@@ -122,7 +130,10 @@ impl LineGeometry {
             words_per_line.is_power_of_two(),
             "words_per_line must be a nonzero power of two, got {words_per_line}"
         );
-        LineGeometry { words_per_line }
+        LineGeometry {
+            words_per_line,
+            shift: words_per_line.trailing_zeros(),
+        }
     }
 
     /// Words per cache line.
@@ -140,19 +151,19 @@ impl LineGeometry {
     /// The line containing `addr`.
     #[must_use]
     pub fn line_of(self, addr: WordAddr) -> LineAddr {
-        LineAddr(addr.0 / u64::from(self.words_per_line))
+        LineAddr(addr.0 >> self.shift)
     }
 
     /// Offset of `addr` within its line, in words.
     #[must_use]
     pub fn word_in_line(self, addr: WordAddr) -> u32 {
-        (addr.0 % u64::from(self.words_per_line)) as u32
+        (addr.0 & u64::from(self.words_per_line - 1)) as u32
     }
 
     /// First word of `line`.
     #[must_use]
     pub fn first_word(self, line: LineAddr) -> WordAddr {
-        WordAddr(line.0 * u64::from(self.words_per_line))
+        WordAddr(line.0 << self.shift)
     }
 
     /// Iterator over all word addresses of `line`.

@@ -9,9 +9,8 @@
 use crate::stats::{EngineStats, MissClass};
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
-use std::collections::HashSet;
 use tpi_cache::{Cache, Line};
-use tpi_mem::{Cycle, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastSet, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The BASE (uncached-shared) engine.
@@ -23,7 +22,7 @@ pub struct BaseEngine {
     wpath: WritePath,
     net: Network,
     stats: EngineStats,
-    ever_cached: Vec<HashSet<u64>>,
+    ever_cached: Vec<FastSet<u64>>,
 }
 
 impl BaseEngine {
@@ -34,7 +33,7 @@ impl BaseEngine {
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
         let net = Network::new(cfg.net);
         let stats = EngineStats::new(cfg.procs);
-        let ever_cached = vec![HashSet::new(); cfg.procs as usize];
+        let ever_cached = vec![FastSet::default(); cfg.procs as usize];
         BaseEngine {
             cfg,
             caches,

@@ -26,9 +26,8 @@
 
 use crate::stats::{EngineStats, MissClass};
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
-use std::collections::{HashMap, HashSet};
 use tpi_cache::{Cache, Line, LineState};
-use tpi_mem::{Cycle, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,11 +55,11 @@ pub struct DirectoryEngine {
     caches: Vec<Cache>,
     net: Network,
     stats: EngineStats,
-    directory: HashMap<u64, DirEntry>,
-    mem_versions: HashMap<u64, u64>,
-    ever_cached: Vec<HashSet<u64>>,
+    directory: FastMap<u64, DirEntry>,
+    mem_versions: FastMap<u64, u64>,
+    ever_cached: Vec<FastSet<u64>>,
     /// Pending classification for the next miss after an invalidation.
-    pending_class: Vec<HashMap<u64, MissClass>>,
+    pending_class: Vec<FastMap<u64, MissClass>>,
     /// `Some((pointers, trap_cycles))` for LimitLess.
     limitless: Option<(u32, Cycle)>,
     name: &'static str,
@@ -103,10 +102,10 @@ impl DirectoryEngine {
             caches,
             net,
             stats,
-            directory: HashMap::new(),
-            mem_versions: HashMap::new(),
-            ever_cached: vec![HashSet::new(); cfg.procs as usize],
-            pending_class: vec![HashMap::new(); cfg.procs as usize],
+            directory: FastMap::default(),
+            mem_versions: FastMap::default(),
+            ever_cached: vec![FastSet::default(); cfg.procs as usize],
+            pending_class: vec![FastMap::default(); cfg.procs as usize],
             limitless,
             name,
             cfg,

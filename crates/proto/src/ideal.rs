@@ -10,9 +10,8 @@
 
 use crate::stats::{EngineStats, MissClass};
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
-use std::collections::HashSet;
 use tpi_cache::{Cache, Line};
-use tpi_mem::{Cycle, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The perfect-coherence oracle.
@@ -22,7 +21,7 @@ pub struct IdealEngine {
     caches: Vec<Cache>,
     net: Network,
     stats: EngineStats,
-    ever_cached: Vec<HashSet<u64>>,
+    ever_cached: Vec<FastSet<u64>>,
 }
 
 impl IdealEngine {
@@ -33,7 +32,7 @@ impl IdealEngine {
         let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
         let net = Network::new(cfg.net);
         let stats = EngineStats::new(cfg.procs);
-        let ever_cached = vec![HashSet::new(); cfg.procs as usize];
+        let ever_cached = vec![FastSet::default(); cfg.procs as usize];
         IdealEngine {
             cfg,
             caches,

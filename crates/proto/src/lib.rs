@@ -299,6 +299,16 @@ pub trait CoherenceEngine {
     fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
         None
     }
+
+    /// Monotonic operation counters for the profiling layer, as stable
+    /// `(name, count)` pairs (e.g. `("tpi_tag_checks", n)`).
+    ///
+    /// Purely observational: the counters never influence timing or
+    /// protocol behaviour, and engines that do not instrument themselves
+    /// report none.
+    fn op_counts(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Builds the engine for `kind`.

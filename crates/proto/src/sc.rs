@@ -15,9 +15,8 @@
 use crate::stats::{EngineStats, MissClass};
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
-use std::collections::{HashMap, HashSet};
 use tpi_cache::{Cache, Line};
-use tpi_mem::{Cycle, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The SC coherence engine.
@@ -28,8 +27,8 @@ pub struct ScEngine {
     wpath: WritePath,
     net: Network,
     stats: EngineStats,
-    mem_versions: HashMap<u64, u64>,
-    ever_cached: Vec<HashSet<u64>>,
+    mem_versions: FastMap<u64, u64>,
+    ever_cached: Vec<FastSet<u64>>,
 }
 
 impl ScEngine {
@@ -40,14 +39,14 @@ impl ScEngine {
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
         let net = Network::new(cfg.net);
         let stats = EngineStats::new(cfg.procs);
-        let ever_cached = vec![HashSet::new(); cfg.procs as usize];
+        let ever_cached = vec![FastSet::default(); cfg.procs as usize];
         ScEngine {
             cfg,
             caches,
             wpath,
             net,
             stats,
-            mem_versions: HashMap::new(),
+            mem_versions: FastMap::default(),
             ever_cached,
         }
     }

@@ -25,9 +25,8 @@
 use crate::stats::{EngineStats, MissClass};
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
-use std::collections::{HashMap, HashSet};
 use tpi_cache::{Cache, Line, TagClock, WriteBufferStats, WritePolicy};
-use tpi_mem::{Cycle, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The TPI coherence engine.
@@ -40,11 +39,30 @@ pub struct TpiEngine {
     net: Network,
     stats: EngineStats,
     /// Logical current version of every written word ("memory contents").
-    mem_versions: HashMap<u64, u64>,
+    mem_versions: FastMap<u64, u64>,
     /// Lines each processor has ever cached (cold/replacement split).
-    ever_cached: Vec<HashSet<u64>>,
+    ever_cached: Vec<FastSet<u64>>,
     /// Optional on-chip L1s (two-level TPI, Section 3).
     l1s: Option<Vec<Cache>>,
+    /// Profiling-only operation counters (see [`CoherenceEngine::op_counts`]).
+    ops: OpCounters,
+    /// Scratch buffer of per-word memory versions, reused across
+    /// [`TpiEngine::fill`] calls so the hot fill path never allocates.
+    fill_versions: Vec<u64>,
+}
+
+/// Cheap monotonic counters over the engine's hot operations; purely
+/// observational (reported through [`CoherenceEngine::op_counts`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct OpCounters {
+    /// Per-word timetag freshness checks (marked reads on valid words).
+    tag_checks: u64,
+    /// Line fills (read misses and write-allocates).
+    fills: u64,
+    /// Verified-hit re-stamps.
+    restamps: u64,
+    /// Memory shadow-version updates (one per write).
+    version_bumps: u64,
 }
 
 impl TpiEngine {
@@ -56,7 +74,8 @@ impl TpiEngine {
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
         let net = Network::new(cfg.net);
         let stats = EngineStats::new(cfg.procs);
-        let ever_cached = vec![HashSet::new(); cfg.procs as usize];
+        let ever_cached = vec![FastSet::default(); cfg.procs as usize];
+        let fill_versions = vec![0; cfg.cache.geometry.words_per_line() as usize];
         let l1s = cfg.l1.map(|l1| {
             let l1_cfg = tpi_cache::CacheConfig {
                 size_bytes: l1.size_bytes,
@@ -72,9 +91,11 @@ impl TpiEngine {
             wpath,
             net,
             stats,
-            mem_versions: HashMap::new(),
+            mem_versions: FastMap::default(),
             ever_cached,
             l1s,
+            ops: OpCounters::default(),
+            fill_versions,
         }
     }
 
@@ -121,6 +142,7 @@ impl TpiEngine {
     /// Versions grow monotonically per word; critical writes may be
     /// replayed out of their true order, so memory keeps the max.
     fn bump_mem_version(&mut self, addr: WordAddr, version: u64) {
+        self.ops.version_bumps += 1;
         let e = self.mem_versions.entry(addr.0).or_insert(0);
         *e = (*e).max(version);
     }
@@ -130,14 +152,16 @@ impl TpiEngine {
     /// other refreshed word with `epoch - 1`. Words already stamped in the
     /// current epoch (local writes / verified reads) are left untouched.
     fn fill(&mut self, p: usize, line_addr: LineAddr, req_word: u32, req_version: u64) {
+        self.ops.fills += 1;
         let geom = self.cfg.cache.geometry;
         let wpl = geom.words_per_line();
         let cur = self.clock.hw_tag();
         let prev = self.prev_tag();
         let base = geom.first_word(line_addr).0;
-        let word_versions: Vec<u64> = (0..wpl)
-            .map(|w| self.mem_version(WordAddr(base + u64::from(w))))
-            .collect();
+        for w in 0..wpl {
+            let v = self.mem_version(WordAddr(base + u64::from(w)));
+            self.fill_versions[w as usize] = v;
+        }
         let cache = &mut self.caches[p];
         if cache.peek(line_addr).is_none() {
             let line = Line::new(line_addr, wpl);
@@ -163,7 +187,7 @@ impl TpiEngine {
             } else if !line.word_valid(w) || self.clock.age_of(line.timetag(w)) >= 1 {
                 line.set_word_valid(w, true);
                 line.set_timetag(w, prev);
-                line.set_version(w, word_versions[w as usize]);
+                line.set_version(w, self.fill_versions[w as usize]);
             }
             // Words stamped in the current epoch hold local data at least
             // as new as memory; leave them alone.
@@ -228,6 +252,9 @@ impl CoherenceEngine for TpiEngine {
         let mut class: Option<MissClass> = None;
         if let Some(line) = self.caches[p].touch_mut(la) {
             if line.word_valid(w) {
+                if kind.is_marked() {
+                    self.ops.tag_checks += 1;
+                }
                 let fresh = match kind {
                     ReadKind::Plain => true,
                     ReadKind::TimeRead { distance } => {
@@ -242,6 +269,7 @@ impl CoherenceEngine for TpiEngine {
                     if kind.is_marked() && self.cfg.restamp_verified_hits {
                         // The word is provably fresh *now*: re-stamp it.
                         line.set_timetag(w, cur);
+                        self.ops.restamps += 1;
                     }
                     line.set_word_accessed(w);
                     assert!(
@@ -431,6 +459,15 @@ impl CoherenceEngine for TpiEngine {
 
     fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
         Some(self.wpath.buffer_stats())
+    }
+
+    fn op_counts(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("tpi_tag_checks", self.ops.tag_checks),
+            ("tpi_fills", self.ops.fills),
+            ("tpi_restamps", self.ops.restamps),
+            ("tpi_version_bumps", self.ops.version_bumps),
+        ]
     }
 }
 
@@ -667,6 +704,20 @@ mod tests {
         // inside would fire otherwise).
         let h = e.read(P0, a, ReadKind::Plain, 2, 20);
         assert_eq!(h.stall, 1);
+    }
+
+    #[test]
+    fn op_counts_track_fills_checks_and_bumps() {
+        let mut e = engine();
+        let a = WordAddr(16);
+        let _ = e.read(P0, a, ReadKind::Plain, 0, 0); // cold fill
+        e.write(P0, a, 1, 1); // version bump, resident line
+        let _ = e.read(P0, a, ReadKind::TimeRead { distance: 0 }, 1, 2); // tag check + restamp
+        let ops: std::collections::HashMap<_, _> = e.op_counts().into_iter().collect();
+        assert_eq!(ops["tpi_fills"], 1);
+        assert_eq!(ops["tpi_version_bumps"], 1);
+        assert_eq!(ops["tpi_tag_checks"], 1);
+        assert_eq!(ops["tpi_restamps"], 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::fault::FaultSite;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use tpi::RunnerStats;
+use tpi::{ProfileReport, RunnerStats};
 
 /// The endpoints the router distinguishes (unknown paths fold into
 /// [`Endpoint::Other`]).
@@ -187,12 +187,14 @@ impl Metrics {
     }
 
     /// Renders the whole registry in Prometheus text exposition format.
-    /// `runner` contributes the artifact-cache counters; the queue/worker
-    /// gauges are sampled by the caller (they live in the pool).
+    /// `runner` contributes the artifact-cache counters, `profile` the
+    /// tpi-prof stage timings; the queue/worker gauges are sampled by the
+    /// caller (they live in the pool).
     #[must_use]
     pub fn render(
         &self,
         runner: &RunnerStats,
+        profile: &ProfileReport,
         queue_depth: usize,
         workers_busy: usize,
         workers_total: usize,
@@ -400,6 +402,44 @@ impl Metrics {
                 "tpi_runner_cache_hit_ratio{{stage=\"{stage}\"}} {ratio}"
             );
         }
+
+        if !profile.stages.is_empty() {
+            out.push_str(
+                "# HELP tpi_prof_stage_wall_seconds Wall time attributed to each tpi-prof \
+                 pipeline stage since startup.\n\
+                 # TYPE tpi_prof_stage_wall_seconds gauge\n",
+            );
+            for stage in &profile.stages {
+                #[allow(clippy::cast_precision_loss)]
+                let secs = stage.nanos as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "tpi_prof_stage_wall_seconds{{stage=\"{}\"}} {secs}",
+                    stage.path
+                );
+            }
+            out.push_str(
+                "# HELP tpi_prof_stage_calls_total Times each tpi-prof pipeline stage ran.\n\
+                 # TYPE tpi_prof_stage_calls_total counter\n",
+            );
+            for stage in &profile.stages {
+                let _ = writeln!(
+                    out,
+                    "tpi_prof_stage_calls_total{{stage=\"{}\"}} {}",
+                    stage.path, stage.calls
+                );
+            }
+        }
+        if !profile.counters.is_empty() {
+            out.push_str(
+                "# HELP tpi_prof_events_total tpi-prof pipeline event counters \
+                 (simulated events, protocol operations).\n\
+                 # TYPE tpi_prof_events_total counter\n",
+            );
+            for (name, value) in &profile.counters {
+                let _ = writeln!(out, "tpi_prof_events_total{{event=\"{name}\"}} {value}");
+            }
+        }
         out
     }
 }
@@ -415,7 +455,14 @@ mod tests {
         m.record_request(Endpoint::Experiments, 400, Duration::from_micros(100));
         m.record_request(Endpoint::Healthz, 200, Duration::from_micros(10));
         m.cells_computed.fetch_add(4, Ordering::Relaxed);
-        let text = m.render(&RunnerStats::default(), 2, 1, 8, Duration::from_secs(5));
+        let text = m.render(
+            &RunnerStats::default(),
+            &ProfileReport::default(),
+            2,
+            1,
+            8,
+            Duration::from_secs(5),
+        );
         assert!(
             text.contains("tpi_serve_requests_total{endpoint=\"experiments\",status=\"200\"} 1")
         );
@@ -444,7 +491,14 @@ mod tests {
         m.cell_panics.fetch_add(2, Ordering::Relaxed);
         m.worker_restarts.fetch_add(1, Ordering::Relaxed);
         m.record_request(Endpoint::Experiments, 500, Duration::from_millis(1));
-        let text = m.render(&RunnerStats::default(), 0, 0, 4, Duration::from_secs(1));
+        let text = m.render(
+            &RunnerStats::default(),
+            &ProfileReport::default(),
+            0,
+            0,
+            4,
+            Duration::from_secs(1),
+        );
         assert!(text.contains("tpi_faults_injected_total{site=\"worker_panic\"} 2"));
         assert!(text.contains("tpi_faults_injected_total{site=\"conn_drop\"} 1"));
         // Silent sites are omitted.
@@ -454,6 +508,40 @@ mod tests {
         assert!(
             text.contains("tpi_serve_requests_total{endpoint=\"experiments\",status=\"500\"} 1")
         );
+    }
+
+    #[test]
+    fn profile_stages_render_as_prof_series() {
+        let m = Metrics::default();
+        let profile = ProfileReport {
+            stages: vec![tpi::StageProfile {
+                path: "simulate".to_owned(),
+                calls: 3,
+                nanos: 2_000_000_000,
+            }],
+            counters: vec![("sim_events".to_owned(), 42)],
+        };
+        let text = m.render(
+            &RunnerStats::default(),
+            &profile,
+            0,
+            0,
+            1,
+            Duration::from_secs(1),
+        );
+        assert!(text.contains("tpi_prof_stage_wall_seconds{stage=\"simulate\"} 2"));
+        assert!(text.contains("tpi_prof_stage_calls_total{stage=\"simulate\"} 3"));
+        assert!(text.contains("tpi_prof_events_total{event=\"sim_events\"} 42"));
+        // An empty profile emits none of the prof series.
+        let empty = m.render(
+            &RunnerStats::default(),
+            &ProfileReport::default(),
+            0,
+            0,
+            1,
+            Duration::from_secs(1),
+        );
+        assert!(!empty.contains("tpi_prof_"));
     }
 
     #[test]

@@ -452,6 +452,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, RouteResponse) {
                 content_type: "text/plain; version=0.0.4",
                 body: shared.metrics.render(
                     &shared.runner.stats(),
+                    &shared.runner.profile(),
                     shared.pool.queue_depth(),
                     shared.pool.busy(),
                     shared.pool.workers(),

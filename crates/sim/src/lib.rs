@@ -38,4 +38,4 @@
 
 pub mod run;
 
-pub use run::{run_trace, verify_accounting, EpochProfile, SimOptions, SimResult};
+pub use run::{run_trace, verify_accounting, EpochProfile, SimHostProfile, SimOptions, SimResult};

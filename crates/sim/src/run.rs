@@ -10,7 +10,7 @@
 //! setup/scheduling overhead is charged, and the network's load estimate is
 //! refreshed from the epoch's traffic.
 
-use std::collections::HashMap;
+use std::time::Instant;
 use tpi_mem::{Cycle, ProcId};
 use tpi_net::TrafficClass;
 use tpi_proto::CoherenceEngine;
@@ -42,6 +42,28 @@ pub struct EpochProfile {
     pub misses: u64,
 }
 
+/// Host-side (wall-clock) self-measurement of one [`run_trace`] call, fed
+/// into the `tpi-prof` stage profiler by the experiment engine.
+///
+/// These are measurements of the *simulator program*, not of the simulated
+/// machine: nanoseconds of host time and counts of host work. They are
+/// excluded from every determinism comparison (the equivalence tests
+/// compare cycles, protocol counters, and traffic — never host time).
+#[derive(Debug, Clone, Default)]
+pub struct SimHostProfile {
+    /// Host nanoseconds spent replaying events (the min-clock interleaving
+    /// loop, including engine read/write calls).
+    pub replay_nanos: u64,
+    /// Host nanoseconds spent in [`CoherenceEngine::epoch_boundary`]
+    /// (write-buffer drains, two-phase resets).
+    pub boundary_nanos: u64,
+    /// Trace events replayed.
+    pub events: u64,
+    /// Engine-reported operation counters (see
+    /// [`CoherenceEngine::op_counts`]).
+    pub ops: Vec<(&'static str, u64)>,
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -71,6 +93,9 @@ pub struct SimResult {
     /// sorted descending ("which array causes the misses"). Private-array
     /// replicas resolve to their declared array.
     pub miss_by_array: Vec<(String, u64)>,
+    /// Host-side wall-clock self-measurement (profiling only; never part
+    /// of any determinism comparison).
+    pub host: SimHostProfile,
 }
 
 impl SimResult {
@@ -127,45 +152,95 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
     let mut lock_acquires = 0u64;
     let mut lock_wait_cycles: Cycle = 0;
     let mut profile = Vec::with_capacity(trace.epochs.len());
-    let mut array_misses: HashMap<tpi_mem::ArrayId, u64> = HashMap::new();
+    // Per-array read-miss tally, indexed directly by `ArrayId` (dense).
+    let mut array_misses: Vec<u64> = vec![0; trace.layout.decls().len()];
+    let mut replay_nanos = 0u64;
+    let mut boundary_nanos = 0u64;
+    let mut events_replayed = 0u64;
+
+    // One pre-scan over the trace turns the synchronization keyspace dense:
+    // lock ids index a flat holder table, and every distinct (event, index)
+    // post/wait pair gets a dense id via binary search. The replay loop —
+    // the simulator's hottest path — then runs without a single hash lookup.
+    let mut max_lock: Option<u32> = None;
+    let mut sync_pairs: Vec<(u32, i64)> = Vec::new();
+    for epoch in &trace.epochs {
+        for stream in &epoch.per_proc {
+            for ev in stream {
+                match ev {
+                    Event::AcquireLock(l) | Event::ReleaseLock(l) => {
+                        max_lock = Some(max_lock.map_or(*l, |m| m.max(*l)));
+                    }
+                    Event::PostEvent { event, index } | Event::WaitEvent { event, index } => {
+                        sync_pairs.push((*event, *index));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    sync_pairs.sort_unstable();
+    sync_pairs.dedup();
+    let sync_id = |event: u32, index: i64| {
+        sync_pairs
+            .binary_search(&(event, index))
+            .expect("every post/wait pair was pre-scanned")
+    };
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Block {
+        /// Waiting for this lock id to free.
+        Lock(u32),
+        /// Waiting for this dense sync-pair id to be posted.
+        Event(usize),
+    }
+    // Per-epoch state, allocated once and reset per epoch (the hoisting
+    // matters: a 100k-epoch trace would otherwise allocate five tables per
+    // epoch).
+    let mut clocks = vec![0 as Cycle; procs];
+    let mut idx = vec![0usize; procs];
+    let mut blocked_on: Vec<Option<Block>> = vec![None; procs];
+    // Processors with events still to replay this epoch. Scanning only
+    // these (instead of all `procs`) makes serial epochs — one non-empty
+    // stream — cost O(events) instead of O(events * procs).
+    let mut active: Vec<usize> = Vec::with_capacity(procs);
+    // Lock state: holder per lock id; locks never span epochs.
+    let mut lock_holder: Vec<Option<usize>> = vec![None; max_lock.map_or(0, |m| m as usize + 1)];
+    // Doacross posts: post time per dense sync id, valid only when the
+    // stamp matches the current epoch (stamping replaces per-epoch clears).
+    let mut posted_at: Vec<Cycle> = vec![0; sync_pairs.len()];
+    let mut posted_stamp: Vec<u64> = vec![0; sync_pairs.len()];
+    let mut epoch_stamp: u64 = 0;
 
     for epoch in &trace.epochs {
+        let host_epoch_start = Instant::now();
         let t0 = global;
         let misses_before = engine.stats().aggregate().read_misses();
-        let mut clocks = vec![t0; procs];
-        let mut idx = vec![0usize; procs];
-        // Lock state: holder per lock, and what each processor is blocked
-        // on (its Acquire/Wait event stays pending until satisfiable).
-        let mut lock_holder: HashMap<u32, usize> = HashMap::new();
-        // Doacross posts: (event, index) -> post time.
-        let mut posted: HashMap<(u32, i64), Cycle> = HashMap::new();
-        #[derive(Clone, Copy, PartialEq)]
-        enum Block {
-            Lock(u32),
-            Event(u32, i64),
-        }
-        let mut blocked_on: Vec<Option<Block>> = vec![None; procs];
+        epoch_stamp += 1;
+        clocks.fill(t0);
+        idx.fill(0);
+        blocked_on.fill(None);
+        lock_holder.fill(None);
+        active.clear();
+        active.extend((0..procs).filter(|&p| !epoch.per_proc[p].is_empty()));
         // Min-clock interleaving across processors; blocked processors are
-        // ineligible until their lock frees.
+        // ineligible until their lock frees. Ties break to the lowest
+        // processor index, so the winner is independent of scan order.
         loop {
             let mut next: Option<usize> = None;
-            let mut remaining = false;
-            for p in 0..procs {
-                if idx[p] < epoch.per_proc[p].len() {
-                    remaining = true;
-                    let eligible = match blocked_on[p] {
-                        Some(Block::Lock(l)) => !lock_holder.contains_key(&l),
-                        Some(Block::Event(e, k)) => posted.contains_key(&(e, k)),
-                        None => true,
-                    };
-                    if eligible && next.is_none_or(|q: usize| clocks[p] < clocks[q]) {
-                        next = Some(p);
-                    }
+            for &p in &active {
+                let eligible = match blocked_on[p] {
+                    Some(Block::Lock(l)) => lock_holder[l as usize].is_none(),
+                    Some(Block::Event(id)) => posted_stamp[id] == epoch_stamp,
+                    None => true,
+                };
+                if eligible && next.is_none_or(|q: usize| (clocks[p], p) < (clocks[q], q)) {
+                    next = Some(p);
                 }
             }
             let Some(p) = next else {
                 assert!(
-                    !remaining,
+                    active.is_empty(),
                     "lock deadlock: events remain but every processor is blocked"
                 );
                 break;
@@ -185,7 +260,7 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
                         let span = trace.layout.total_words().max(1);
                         let folded = tpi_mem::WordAddr(addr.0 % span);
                         if let Some(id) = trace.layout.array_of(folded) {
-                            *array_misses.entry(id).or_insert(0) += 1;
+                            array_misses[id.0 as usize] += 1;
                         }
                     }
                     outcome.stall
@@ -197,13 +272,13 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
                     engine.write_critical(ProcId(p as u32), *addr, *version, now)
                 }
                 Event::AcquireLock(l) => {
-                    if lock_holder.contains_key(l) {
+                    if lock_holder[*l as usize].is_some() {
                         // Stay blocked; retry once the holder releases.
                         blocked_on[p] = Some(Block::Lock(*l));
                         continue;
                     }
                     blocked_on[p] = None;
-                    lock_holder.insert(*l, p);
+                    lock_holder[*l as usize] = Some(p);
                     lock_acquires += 1;
                     // The acquire itself is an atomic read-modify-write at
                     // the lock's home memory module.
@@ -211,7 +286,7 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
                     engine.network().word_fetch()
                 }
                 Event::ReleaseLock(l) => {
-                    let holder = lock_holder.remove(l);
+                    let holder = lock_holder[*l as usize].take();
                     debug_assert_eq!(holder, Some(p), "release by non-holder");
                     // Waiters resume no earlier than the release instant.
                     for q in 0..procs {
@@ -226,9 +301,11 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
                 Event::PostEvent { event, index } => {
                     // The post is a release fence + a flag write at the
                     // event's home node.
-                    posted.insert((*event, *index), now);
+                    let id = sync_id(*event, *index);
+                    posted_at[id] = now;
+                    posted_stamp[id] = epoch_stamp;
                     for q in 0..procs {
-                        if blocked_on[q] == Some(Block::Event(*event, *index)) && clocks[q] < now {
+                        if blocked_on[q] == Some(Block::Event(id)) && clocks[q] < now {
                             lock_wait_cycles += now - clocks[q];
                             clocks[q] = now;
                         }
@@ -237,29 +314,35 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
                     1
                 }
                 Event::WaitEvent { event, index } => {
-                    match posted.get(&(*event, *index)) {
-                        Some(&t) => {
-                            blocked_on[p] = None;
-                            // Poll of the flag at the event's home node.
-                            engine.network_mut().record(TrafficClass::Coherence, 0);
-                            let stall = now.max(t).saturating_sub(now) + 1;
-                            lock_wait_cycles += stall - 1;
-                            stall
-                        }
-                        None => {
-                            blocked_on[p] = Some(Block::Event(*event, *index));
-                            continue;
-                        }
+                    let id = sync_id(*event, *index);
+                    if posted_stamp[id] == epoch_stamp {
+                        let t = posted_at[id];
+                        blocked_on[p] = None;
+                        // Poll of the flag at the event's home node.
+                        engine.network_mut().record(TrafficClass::Coherence, 0);
+                        let stall = now.max(t).saturating_sub(now) + 1;
+                        lock_wait_cycles += stall - 1;
+                        stall
+                    } else {
+                        blocked_on[p] = Some(Block::Event(id));
+                        continue;
                     }
                 }
             };
             idx[p] += 1;
             clocks[p] += spent;
+            events_replayed += 1;
+            if idx[p] == epoch.per_proc[p].len() {
+                active.retain(|&q| q != p);
+            }
         }
         for p in 0..procs {
             busy[p] += clocks[p] - t0;
         }
+        replay_nanos = replay_nanos.saturating_add(elapsed_nanos_since(host_epoch_start));
+        let host_boundary_start = Instant::now();
         let stalls = engine.epoch_boundary(&clocks);
+        boundary_nanos = boundary_nanos.saturating_add(elapsed_nanos_since(host_boundary_start));
         let t_end = clocks
             .iter()
             .zip(&stalls)
@@ -294,12 +377,29 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
         miss_by_array: {
             let mut v: Vec<(String, u64)> = array_misses
                 .into_iter()
-                .map(|(id, n)| (trace.layout.decl(id).name().to_owned(), n))
+                .enumerate()
+                .filter(|&(_, n)| n > 0)
+                .map(|(i, n)| {
+                    let id = tpi_mem::ArrayId(i as u32);
+                    (trace.layout.decl(id).name().to_owned(), n)
+                })
                 .collect();
             v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             v
         },
+        host: SimHostProfile {
+            replay_nanos,
+            boundary_nanos,
+            events: events_replayed,
+            ops: engine.op_counts(),
+        },
     }
+}
+
+/// Saturating nanoseconds since `start` (a duration that overflows `u64`
+/// nanoseconds pins at `u64::MAX` instead of panicking).
+fn elapsed_nanos_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Checks the bookkeeping identity `hits + misses == reads` per processor
@@ -403,6 +503,25 @@ mod tests {
             assert!(b <= r.total_cycles);
         }
     }
+
+    #[test]
+    fn host_profile_counts_every_event_once() {
+        let trace = producer_consumer_trace();
+        let r = run(SchemeKind::Tpi, &trace);
+        let total_events: usize = trace.epochs.iter().map(EpochEvents::len).sum();
+        assert_eq!(r.host.events, total_events as u64);
+        assert!(r.host.replay_nanos > 0, "replay loop must record wall time");
+        assert!(
+            r.host
+                .ops
+                .iter()
+                .any(|(name, n)| *name == "tpi_fills" && *n > 0),
+            "TPI engine must report op counters: {:?}",
+            r.host.ops
+        );
+    }
+
+    use tpi_trace::EpochEvents;
 
     #[test]
     fn write_through_schemes_report_buffer_stats() {

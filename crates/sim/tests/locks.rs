@@ -25,6 +25,7 @@ fn trace_of(per_proc: Vec<Vec<Event>>) -> Trace {
         ),
         num_procs,
         stats,
+        host: Default::default(),
     }
 }
 

@@ -124,6 +124,20 @@ pub struct TraceStats {
     pub posts: u64,
 }
 
+/// Host-side (wall-clock) self-measurement of one interpreter run, fed
+/// into the `tpi-prof` stage profiler by the experiment engine.
+///
+/// These describe the *interpreter program*, not the simulated machine,
+/// and are excluded from every determinism comparison ([`TraceStats`]
+/// stays `Eq`-comparable; this struct is not part of it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpHostProfile {
+    /// Host nanoseconds interpreting serial epochs.
+    pub serial_nanos: u64,
+    /// Host nanoseconds interpreting DOALL epochs (including scheduling).
+    pub doall_nanos: u64,
+}
+
 /// A complete execution trace of one program run.
 #[derive(Debug, Clone)]
 pub struct Trace {
@@ -135,6 +149,9 @@ pub struct Trace {
     pub num_procs: u32,
     /// Aggregate counts.
     pub stats: TraceStats,
+    /// Host-side wall-clock self-measurement of the interpreter (profiling
+    /// only; never part of any determinism comparison).
+    pub host: InterpHostProfile,
 }
 
 impl Trace {

@@ -9,15 +9,15 @@
 //! the paper's correctness precondition ("doall" iterations are independent
 //! tasks).
 
-use crate::event::{EpochEvents, EpochExecKind, Event, Trace};
+use crate::event::{EpochEvents, EpochExecKind, Event, InterpHostProfile, Trace};
 use crate::sched::{assign, SchedulePolicy};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 use tpi_compiler::Marking;
 use tpi_ir::epochs::{EpochShape, Segment};
 use tpi_ir::{ArrayRef, Env, Program, RefSite, Stmt, Subscript};
-use tpi_mem::{Epoch, LineGeometry, MemLayout, ProcId, ReadKind, Sharing, WordAddr};
+use tpi_mem::{Epoch, FastMap, LineGeometry, MemLayout, ProcId, ReadKind, Sharing, WordAddr};
 
 /// Options controlling trace generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,9 +100,12 @@ pub fn generate_trace(
         marking,
         opts,
         layout: &layout,
-        versions: HashMap::new(),
+        versions: FastMap::default(),
+        races: FastMap::default(),
+        posts: FastMap::default(),
         epochs: Vec::new(),
         error: None,
+        host: InterpHostProfile::default(),
     };
     let segs = shape.segment_proc(program, program.entry);
     let mut env = Env::new();
@@ -111,11 +114,13 @@ pub fn generate_trace(
         return Err(e);
     }
     let stats = Trace::compute_stats(&interp.epochs);
+    let host = interp.host;
     Ok(Trace {
         epochs: interp.epochs,
         layout,
         num_procs: opts.num_procs,
         stats,
+        host,
     })
 }
 
@@ -156,9 +161,16 @@ struct Interp<'a> {
     marking: &'a Marking,
     opts: &'a TraceOptions,
     layout: &'a MemLayout,
-    versions: HashMap<u64, u64>,
+    versions: FastMap<u64, u64>,
+    /// Per-epoch race table, hoisted here so its capacity is reused across
+    /// epochs (cleared at the start of every DOALL epoch).
+    races: FastMap<u64, WordAccess>,
+    /// Per-epoch post table ((event, index) -> posting task), likewise
+    /// hoisted and cleared per epoch.
+    posts: FastMap<(u32, i64), i64>,
     epochs: Vec<EpochEvents>,
     error: Option<TraceError>,
+    host: InterpHostProfile,
 }
 
 impl<'a> Interp<'a> {
@@ -206,9 +218,10 @@ impl<'a> Interp<'a> {
     }
 
     fn exec_serial_epoch(&mut self, stmts: &[&'a Stmt], env: &mut Env) {
+        let host_start = Instant::now();
         let epoch = Epoch(self.epochs.len() as u64);
         let mut per_proc: Vec<Vec<Event>> = vec![Vec::new(); self.opts.num_procs as usize];
-        let mut serial_posts: HashMap<(u32, i64), i64> = HashMap::new();
+        self.posts.clear();
         let serial_proc = if self.opts.rotate_serial {
             (epoch.0 % u64::from(self.opts.num_procs)) as u32
         } else {
@@ -227,7 +240,7 @@ impl<'a> Interp<'a> {
                 task_id: 0,
                 race_found: None,
                 critical: None,
-                posts: &mut serial_posts,
+                posts: &mut self.posts,
                 waited: Vec::new(),
             };
             for s in stmts {
@@ -239,9 +252,14 @@ impl<'a> Interp<'a> {
             kind: EpochExecKind::Serial,
             per_proc,
         });
+        self.host.serial_nanos = self
+            .host
+            .serial_nanos
+            .saturating_add(u64::try_from(host_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 
     fn exec_doall_epoch(&mut self, l: &'a tpi_ir::Loop, env: &mut Env) {
+        let host_start = Instant::now();
         let epoch = Epoch(self.epochs.len() as u64);
         let lo = l.lo.eval(env);
         let hi = l.hi.eval(env);
@@ -259,9 +277,8 @@ impl<'a> Interp<'a> {
             epoch.0,
         );
         let mut per_proc: Vec<Vec<Event>> = vec![Vec::new(); self.opts.num_procs as usize];
-        let mut races: HashMap<u64, WordAccess> = HashMap::new();
-        // Posts already executed this epoch: (event, index) -> posting task.
-        let mut posts: HashMap<(u32, i64), i64> = HashMap::new();
+        self.races.clear();
+        self.posts.clear();
         // Iterations run in a merged order that respects each processor's
         // schedule while globally favouring the smallest iteration value:
         // for ascending per-processor schedules this is ascending iteration
@@ -293,11 +310,11 @@ impl<'a> Interp<'a> {
                 num_procs: self.opts.num_procs,
                 proc: ProcId(p as u32),
                 sink: &mut per_proc[p],
-                races: self.opts.check_races.then_some(&mut races),
+                races: self.opts.check_races.then_some(&mut self.races),
                 task_id: iter,
                 race_found: None,
                 critical: None,
-                posts: &mut posts,
+                posts: &mut self.posts,
                 waited: Vec::new(),
             };
             for s in &l.body {
@@ -317,25 +334,29 @@ impl<'a> Interp<'a> {
             },
             per_proc,
         });
+        self.host.doall_nanos = self
+            .host
+            .doall_nanos
+            .saturating_add(u64::try_from(host_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
 /// Execution context of one task (a serial epoch or one DOALL iteration).
 struct TaskCtx<'a, 'b> {
-    interp_versions: &'b mut HashMap<u64, u64>,
+    interp_versions: &'b mut FastMap<u64, u64>,
     layout: &'a MemLayout,
     program: &'a Program,
     marking: &'a Marking,
     num_procs: u32,
     proc: ProcId,
     sink: &'b mut Vec<Event>,
-    races: Option<&'b mut HashMap<u64, WordAccess>>,
+    races: Option<&'b mut FastMap<u64, WordAccess>>,
     task_id: i64,
     race_found: Option<WordAddr>,
     /// Lock currently held (inside a critical section).
     critical: Option<u32>,
     /// Posts performed so far this epoch: (event, index) -> posting task.
-    posts: &'b mut HashMap<(u32, i64), i64>,
+    posts: &'b mut FastMap<(u32, i64), i64>,
     /// (event, index) pairs this task has waited on so far.
     waited: Vec<(u32, i64)>,
 }
@@ -421,17 +442,30 @@ impl<'a, 'b> TaskCtx<'a, 'b> {
     }
 
     fn addr_of(&self, r: &ArrayRef, env: &Env) -> (WordAddr, bool) {
+        // addr_of runs once per memory reference — the interpreter's
+        // innermost hot path — so subscripts are evaluated into a fixed
+        // stack buffer instead of a fresh Vec per access. Ranks above the
+        // buffer size (unheard of in the paper's kernels) fall back to heap.
+        const MAX_RANK: usize = 8;
         let decl = self.program.array(r.array);
-        let indices: Vec<i64> = r
-            .subs
-            .iter()
-            .zip(decl.dims())
-            .map(|(s, &extent)| match s {
-                Subscript::Affine(a) => a.eval(env),
-                Subscript::Opaque(o) => o.eval(env, extent),
-            })
-            .collect();
-        let base = self.layout.addr(r.array, &indices);
+        let eval_sub = |(s, &extent): (&Subscript, &u64)| match s {
+            Subscript::Affine(a) => a.eval(env),
+            Subscript::Opaque(o) => o.eval(env, extent),
+        };
+        let mut stack = [0i64; MAX_RANK];
+        let heap: Vec<i64>;
+        let indices: &[i64] = if r.subs.len() <= MAX_RANK {
+            let mut n = 0;
+            for pair in r.subs.iter().zip(decl.dims()) {
+                stack[n] = eval_sub(pair);
+                n += 1;
+            }
+            &stack[..n]
+        } else {
+            heap = r.subs.iter().zip(decl.dims()).map(eval_sub).collect();
+            &heap
+        };
+        let base = self.layout.addr(r.array, indices);
         match decl.sharing() {
             Sharing::Shared => (base, true),
             Sharing::Private => {

@@ -41,7 +41,7 @@ pub mod interp;
 pub mod sched;
 pub mod truth;
 
-pub use event::{EpochEvents, EpochExecKind, Event, Trace, TraceStats};
+pub use event::{EpochEvents, EpochExecKind, Event, InterpHostProfile, Trace, TraceStats};
 pub use interp::{generate_trace, TraceError, TraceOptions};
 pub use sched::{assign, Assignment, SchedulePolicy};
 pub use truth::{GroundTruth, Writer};

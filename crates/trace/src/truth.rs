@@ -129,6 +129,7 @@ mod tests {
             ),
             num_procs: 2,
             stats,
+            host: Default::default(),
         };
         let truth = GroundTruth::of_trace(&trace);
         assert_eq!(truth.len(), 3);
