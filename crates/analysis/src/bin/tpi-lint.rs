@@ -9,10 +9,13 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use tpi::proto::{registry, SchemeId};
 use tpi::runner::ProgramSource;
 use tpi::{ExperimentConfig, Runner};
 use tpi_analysis::diag::json_string;
-use tpi_analysis::differential::{check_sources, DifferentialOptions, ALL_LEVELS};
+use tpi_analysis::differential::{
+    check_freshness, check_sources, DifferentialOptions, FreshnessReport, ALL_LEVELS,
+};
 use tpi_analysis::oracle::OracleMode;
 use tpi_analysis::passes::{lint_program, LintOptions};
 use tpi_analysis::{diagnostics_json, CellReport, Diagnostic};
@@ -32,7 +35,9 @@ TARGETS:
 
 OPTIONS:
     --scale <test|paper>  kernel problem scale              [default: test]
-    --schemes <list>      oracle modes, comma-separated     [default: tpi,sc]
+    --schemes <list>      comma-separated oracle modes (tpi, sc) and/or
+                          registry schemes replayed with the executable
+                          freshness check (e.g. tardis, hybrid) [default: tpi,sc]
     --opt <level>         naive|intra|full|all              [default: all]
     --format <fmt>        human|json                        [default: human]
     --tag-bits <n>        timetag width for TPI004          [default: 8]
@@ -47,6 +52,7 @@ struct Options {
     kernels: Vec<Kernel>,
     scale: Scale,
     modes: Vec<OracleMode>,
+    freshness_schemes: Vec<SchemeId>,
     levels: Vec<OptLevel>,
     json: bool,
     tag_bits: u32,
@@ -72,6 +78,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         kernels: Vec::new(),
         scale: Scale::Test,
         modes: vec![OracleMode::Tpi, OracleMode::Sc],
+        freshness_schemes: Vec::new(),
         levels: ALL_LEVELS.to_vec(),
         json: false,
         tag_bits: 8,
@@ -102,10 +109,19 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--schemes" => {
                 let list = value("--schemes")?;
-                opts.modes = list
-                    .split(',')
-                    .map(|s| OracleMode::parse(s.trim()).ok_or(format!("unknown scheme {s:?}")))
-                    .collect::<Result<_, _>>()?;
+                opts.modes.clear();
+                opts.freshness_schemes.clear();
+                for name in list.split(',').map(str::trim) {
+                    // Marking-replay oracle modes first; anything else must
+                    // be a registered scheme, replayed with the executable
+                    // freshness check instead.
+                    if let Some(mode) = OracleMode::parse(name) {
+                        opts.modes.push(mode);
+                    } else {
+                        let scheme = registry::global().lookup(name).map_err(|e| e.to_string())?;
+                        opts.freshness_schemes.push(scheme.id());
+                    }
+                }
             }
             "--opt" => {
                 opts.levels = match value("--opt")?.as_str() {
@@ -156,6 +172,7 @@ struct TargetReport {
     name: String,
     diagnostics: Vec<Diagnostic>,
     oracle: Vec<CellReport>,
+    freshness: Vec<FreshnessReport>,
 }
 
 fn oracle_json(cell: &CellReport) -> String {
@@ -179,6 +196,18 @@ fn oracle_json(cell: &CellReport) -> String {
     parts.join(",")
 }
 
+fn freshness_json(r: &FreshnessReport) -> String {
+    let violation = match &r.violation {
+        Some(msg) => json_string(msg),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"opt\":{},\"scheme\":{},\"violation\":{violation}}}",
+        json_string(&r.level.to_string()),
+        json_string(r.scheme.as_str()),
+    )
+}
+
 fn print_json(targets: &[TargetReport], violations: usize) {
     let mut out = String::from("{\"schema\":\"tpi-lint/1\",\"targets\":[");
     for (i, t) in targets.iter().enumerate() {
@@ -186,12 +215,17 @@ fn print_json(targets: &[TargetReport], violations: usize) {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":{},\"diagnostics\":{},\"oracle\":[{}]}}",
+            "{{\"name\":{},\"diagnostics\":{},\"oracle\":[{}],\"freshness\":[{}]}}",
             json_string(&t.name),
             diagnostics_json(&t.diagnostics),
             t.oracle
                 .iter()
                 .map(oracle_json)
+                .collect::<Vec<_>>()
+                .join(","),
+            t.freshness
+                .iter()
+                .map(freshness_json)
                 .collect::<Vec<_>>()
                 .join(","),
         ));
@@ -232,6 +266,16 @@ fn print_human(targets: &[TargetReport], violations: usize, max_print: usize) {
                 if r.violations.len() > max_print {
                     println!("    ... {} more", r.violations.len() - max_print);
                 }
+            }
+        }
+        for r in &t.freshness {
+            match &r.violation {
+                None => println!("  freshness {}/{}: sound", r.scheme.as_str(), r.level),
+                Some(msg) => println!(
+                    "  freshness {}/{}: VIOLATION: {msg}",
+                    r.scheme.as_str(),
+                    r.level
+                ),
             }
         }
     }
@@ -276,26 +320,41 @@ fn run(opts: &Options) -> Result<usize, String> {
     diff.base.tag_bits = opts.tag_bits;
 
     let mut targets = Vec::new();
-    let oracle_reports = if opts.oracle {
+    let oracle_reports = if opts.oracle && !opts.modes.is_empty() {
         check_sources(&runner, &sources, &diff).map_err(|e| format!("oracle replay: {e}"))?
     } else {
         Vec::new()
     };
+    // Schemes the marking-replay oracle cannot model get the executable
+    // freshness check instead; both sweeps share the runner's traces.
+    let freshness_reports = if opts.oracle && !opts.freshness_schemes.is_empty() {
+        check_freshness(&runner, &sources, &opts.freshness_schemes, &diff)
+            .map_err(|e| format!("freshness replay: {e}"))?
+    } else {
+        Vec::new()
+    };
+    let freshness_per_source = opts.levels.len() * opts.freshness_schemes.len();
     for (si, source) in sources.iter().enumerate() {
         let program = match source {
             ProgramSource::Kernel(k, s) => Arc::new(k.build(*s)),
             ProgramSource::Custom { program, .. } => Arc::clone(program),
         };
         let diagnostics = lint_program(program.as_ref(), &lint_options);
-        let oracle = if opts.oracle {
-            oracle_reports[si * opts.levels.len()..(si + 1) * opts.levels.len()].to_vec()
-        } else {
+        let oracle = if oracle_reports.is_empty() {
             Vec::new()
+        } else {
+            oracle_reports[si * opts.levels.len()..(si + 1) * opts.levels.len()].to_vec()
+        };
+        let freshness = if freshness_reports.is_empty() {
+            Vec::new()
+        } else {
+            freshness_reports[si * freshness_per_source..(si + 1) * freshness_per_source].to_vec()
         };
         targets.push(TargetReport {
             name: source.label().to_string(),
             diagnostics,
             oracle,
+            freshness,
         });
     }
 
@@ -303,7 +362,12 @@ fn run(opts: &Options) -> Result<usize, String> {
         .iter()
         .flat_map(|t| t.oracle.iter())
         .map(CellReport::violations)
-        .sum();
+        .sum::<usize>()
+        + targets
+            .iter()
+            .flat_map(|t| t.freshness.iter())
+            .filter(|r| r.violation.is_some())
+            .count();
     if opts.json {
         print_json(&targets, violations);
     } else {

@@ -7,8 +7,10 @@
 //! re-interprets a trace a simulation already produced.
 
 use crate::oracle::{check_trace, OracleMode, OracleReport};
+use tpi::proto::{build_engine, SchemeId};
 use tpi::runner::{PreparedCell, ProgramSource, RunSpec};
-use tpi::{ExperimentConfig, Runner};
+use tpi::sim::run_trace;
+use tpi::{catch_cell_panic, ExperimentConfig, Runner};
 use tpi_compiler::OptLevel;
 use tpi_trace::TraceError;
 use tpi_workloads::{Kernel, Scale};
@@ -125,6 +127,92 @@ pub fn total_violations(reports: &[CellReport]) -> usize {
     reports.iter().map(CellReport::violations).sum()
 }
 
+/// One freshness-sweep verdict: a program × optimization level × scheme
+/// simulated end to end with `verify_freshness` forced on.
+#[derive(Debug, Clone)]
+pub struct FreshnessReport {
+    /// Program label (kernel or custom name).
+    pub label: String,
+    /// Compiler optimization level simulated.
+    pub level: OptLevel,
+    /// Coherence scheme simulated.
+    pub scheme: SchemeId,
+    /// The engine's staleness panic, if any hit observed stale data.
+    pub violation: Option<String>,
+}
+
+impl FreshnessReport {
+    /// True if the run completed without observing stale data.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Executable staleness check for schemes the marking-replay oracle cannot
+/// model — protocols that ignore compiler marks and enforce coherence on
+/// their own (Tardis leases, the hybrid update/invalidate protocol).
+///
+/// Every `source × level × scheme` cell is simulated with
+/// `verify_freshness` forced on, so a cache hit returning a stale word
+/// panics inside the engine; the panic is fenced into a reported
+/// violation instead of killing the sweep. Preparation goes through
+/// `runner`, so traces are shared with any marking-replay sweep over the
+/// same cells.
+///
+/// Results are ordered source-major, then by level, then by scheme in
+/// request order.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if any program races under its schedule.
+pub fn check_freshness(
+    runner: &Runner,
+    sources: &[ProgramSource],
+    schemes: &[SchemeId],
+    options: &DifferentialOptions,
+) -> Result<Vec<FreshnessReport>, TraceError> {
+    let mut cells = Vec::new();
+    for source in sources {
+        for &level in &options.levels {
+            let mut config = options.base;
+            config.opt_level = level;
+            config.verify_freshness = true;
+            cells.push(RunSpec {
+                source: source.clone(),
+                config,
+            });
+        }
+    }
+    let prepared = runner.prepare(&cells)?;
+    let mut out = Vec::new();
+    for cell in &prepared {
+        for &scheme in schemes {
+            let cfg = cell.spec.config;
+            let trace = cell.trace.as_ref();
+            let violation = catch_cell_panic(|| {
+                let mut engine =
+                    build_engine(scheme, cfg.engine_config(trace.layout.total_words()));
+                run_trace(trace, engine.as_mut(), &cfg.sim_options()).total_cycles
+            })
+            .err();
+            out.push(FreshnessReport {
+                label: cell.spec.source.label().to_string(),
+                level: cfg.opt_level,
+                scheme,
+                violation,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Total violations across a freshness sweep.
+#[must_use]
+pub fn total_freshness_violations(reports: &[FreshnessReport]) -> usize {
+    reports.iter().filter(|r| r.violation.is_some()).count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +240,25 @@ mod tests {
         let stats = runner.stats();
         assert_eq!(stats.traces_built, 3, "oracle replays reuse traces");
         assert!(stats.trace_hits >= 3);
+    }
+
+    #[test]
+    fn mark_ignoring_schemes_stay_fresh_across_levels() {
+        let runner = Runner::new();
+        let sources: Vec<ProgramSource> = Kernel::ALL
+            .into_iter()
+            .map(|k| ProgramSource::Kernel(k, Scale::Test))
+            .collect();
+        let schemes = [SchemeId::TARDIS, SchemeId::HYBRID];
+        let reports =
+            check_freshness(&runner, &sources, &schemes, &DifferentialOptions::default()).unwrap();
+        assert_eq!(
+            reports.len(),
+            sources.len() * ALL_LEVELS.len() * schemes.len()
+        );
+        assert_eq!(total_freshness_violations(&reports), 0);
+        for r in &reports {
+            assert!(r.is_sound(), "{} {} {}", r.label, r.level, r.scheme);
+        }
     }
 }

@@ -23,7 +23,7 @@
 //! The `tpi-lint` binary drives both halves from the command line:
 //!
 //! ```text
-//! tpi-lint --all-kernels --schemes tpi,sc --deny violations
+//! tpi-lint --all-kernels --schemes tpi,sc,tardis,hybrid --deny violations
 //! tpi-lint --format json examples/programs/stencil.tpi
 //! ```
 //!
@@ -62,7 +62,8 @@ pub mod passes;
 
 pub use diag::{diagnostics_json, Code, Diagnostic, Severity};
 pub use differential::{
-    check_all_kernels, check_sources, total_violations, CellReport, DifferentialOptions, ALL_LEVELS,
+    check_all_kernels, check_freshness, check_sources, total_freshness_violations,
+    total_violations, CellReport, DifferentialOptions, FreshnessReport, ALL_LEVELS,
 };
 pub use oracle::{check_trace, OracleMode, OracleReport, OracleStats, Violation};
 pub use passes::{lint_program, LintContext, LintOptions, LintPass, PassRegistry};

@@ -7,7 +7,7 @@
 use std::hint::black_box;
 use tpi::ExperimentConfig;
 use tpi_compiler::{mark_program, CompilerOptions};
-use tpi_proto::{build_engine, SchemeKind};
+use tpi_proto::{build_engine, registry};
 use tpi_sim::run_trace;
 use tpi_testkit::bench::Harness;
 use tpi_trace::generate_trace;
@@ -48,7 +48,7 @@ fn bench_engines(harness: &mut Harness) {
     let marking = mark_program(&program, &cfg.compiler_options());
     let trace = generate_trace(&program, &marking, &cfg.trace_options()).expect("race-free");
     let mut group = harness.group("engine-replay");
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| {
                 let mut engine =

@@ -25,7 +25,7 @@
 //! `t` = 40%, generous on purpose — CI machines are noisy). Per-cell ratios
 //! are printed for attribution but are informational only: individual cells
 //! run for tens of milliseconds and their medians swing far more under CI
-//! scheduler noise than the 12-cell total does. Structural mismatches
+//! scheduler noise than the 20-cell total does. Structural mismatches
 //! (unknown schema, wrong scale, missing or extra cells) always fail.
 //! After an intentional performance change, regenerate the baseline and
 //! commit the new file.
@@ -33,7 +33,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use tpi::{ExperimentConfig, ProfileReport, Runner};
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 use tpi_serve::json::{parse, Json};
 use tpi_workloads::{Kernel, Scale};
 
@@ -41,12 +41,18 @@ use tpi_workloads::{Kernel, Scale};
 /// change and teach [`parse_baseline`] the migration.
 const SCHEMA_VERSION: u64 = 1;
 
-/// The pinned measurement grid. Deliberately small (12 cells): wide enough
-/// to exercise TPI, the hardware directory, and software-flush SC at two
-/// machine sizes, small enough that `reps` repetitions stay inside a CI
-/// smoke-job budget.
+/// The pinned measurement grid. Deliberately small (20 cells): wide enough
+/// to exercise TPI, the hardware directory, software-flush SC, Tardis's
+/// lease machinery, and the hybrid update path at two machine sizes, small
+/// enough that `reps` repetitions stay inside a CI smoke-job budget.
 const KERNELS: [Kernel; 2] = [Kernel::Ocean, Kernel::Flo52];
-const SCHEMES: [SchemeKind; 3] = [SchemeKind::Sc, SchemeKind::Tpi, SchemeKind::FullMap];
+const SCHEMES: [SchemeId; 5] = [
+    SchemeId::SC,
+    SchemeId::TPI,
+    SchemeId::FULL_MAP,
+    SchemeId::TARDIS,
+    SchemeId::HYBRID,
+];
 const PROCS: [u32; 2] = [8, 16];
 
 fn usage() -> ExitCode {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tpi-run program.tpi                       # run under TPI on the paper machine
-//! tpi-run program.tpi --scheme all          # compare all schemes
+//! tpi-run program.tpi --scheme all          # compare every registered scheme
+//! tpi-run program.tpi --scheme tardis       # any registry name (id or label) works
 //! tpi-run program.tpi --scheme hw --procs 32 --line-words 16 --tag-bits 4
 //! tpi-run program.tpi --show-program        # echo the parsed IR
 //! tpi-run program.tpi --show-marking        # dump the compiler's decisions
@@ -21,13 +22,19 @@ use tpi::{ExperimentConfig, Runner};
 use tpi_compiler::{mark_program, OptLevel};
 use tpi_ir::{display, parse_program, RefSite};
 use tpi_mem::ReadKind;
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 
 fn usage() -> ExitCode {
+    let known: Vec<&str> = registry::global()
+        .all()
+        .iter()
+        .map(|s| s.id().as_str())
+        .collect();
     eprintln!(
-        "usage: tpi-run <file> [--scheme tpi|hw|sc|base|ll|ideal|all] [--procs N]\n\
+        "usage: tpi-run <file> [--scheme {}|all] [--procs N]\n\
          \x20       [--line-words N] [--tag-bits N] [--cache-kb N] [--opt naive|intra|full]\n\
-         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint] [--profile]"
+         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint] [--profile]",
+        known.join("|")
     );
     ExitCode::FAILURE
 }
@@ -35,7 +42,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
-    let mut schemes: Vec<SchemeKind> = vec![SchemeKind::Tpi];
+    let mut schemes: Vec<SchemeId> = vec![SchemeId::TPI];
     let mut builder = ExperimentConfig::builder();
     let mut show_program = false;
     let mut show_marking = false;
@@ -47,21 +54,18 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--scheme" => {
                 let Some(v) = it.next() else { return usage() };
-                schemes = match v.as_str() {
-                    "tpi" => vec![SchemeKind::Tpi],
-                    "hw" => vec![SchemeKind::FullMap],
-                    "sc" => vec![SchemeKind::Sc],
-                    "base" => vec![SchemeKind::Base],
-                    "ll" => vec![SchemeKind::LimitLess],
-                    "ideal" => vec![SchemeKind::Ideal],
-                    "all" => vec![
-                        SchemeKind::Base,
-                        SchemeKind::Sc,
-                        SchemeKind::Tpi,
-                        SchemeKind::FullMap,
-                        SchemeKind::Ideal,
-                    ],
-                    _ => return usage(),
+                schemes = if v.eq_ignore_ascii_case("all") {
+                    registry::global().all().iter().map(|s| s.id()).collect()
+                } else {
+                    // Registry names (id or label), case-insensitive; the
+                    // error already lists everything registered.
+                    match registry::global().lookup(v) {
+                        Ok(s) => vec![s.id()],
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 };
             }
             "--procs" => match it.next().and_then(|v| v.parse().ok()) {
@@ -218,7 +222,7 @@ fn main() -> ExitCode {
             r.sim.traffic.total_words().to_string(),
             r.sim.lock_wait_cycles.to_string(),
         ]);
-        if scheme == SchemeKind::Tpi {
+        if scheme == SchemeId::TPI {
             hot = Some(tpi::report::hot_arrays(
                 "Hot arrays under TPI (read misses by array)",
                 r,

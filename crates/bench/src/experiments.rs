@@ -14,9 +14,11 @@ use tpi_net::TrafficClass;
 use tpi_proto::storage::{
     full_map, limitless_as_tabulated, limitless_pointer_width, tpi as tpi_storage, StorageParams,
 };
-use tpi_proto::{MissClass, SchemeKind};
+use tpi_proto::{MissClass, SchemeId};
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
+
+use crate::harness::main_schemes;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: [&str; 22] = [
@@ -188,27 +190,28 @@ pub fn e2_parameters() -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e3_miss_rates(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let main = main_schemes();
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .schemes(SchemeKind::MAIN)
+        .schemes(main.iter().copied())
         .run()
         .expect("suite is race-free");
     let mut t = Table::new("Figure 11 — read miss rates (64 KB direct-mapped, 16 B lines)");
-    t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
+    t.headers(std::iter::once("bench").chain(main.iter().map(|s| s.label())));
     let mut chart = BarChart::new("Mean read miss rate across the suite", "%");
-    let mut sums = [0.0f64; 4];
+    let mut sums = vec![0.0f64; main.len()];
     for kernel in Kernel::ALL {
         let mut row = vec![kernel.name().to_string()];
-        for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+        for (si, scheme) in main.iter().enumerate() {
             let r = grid.get(kernel, *scheme);
             sums[si] += r.sim.miss_rate();
             row.push(pct(r.sim.miss_rate()));
         }
         t.row(row);
     }
-    for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+    for (si, scheme) in main.iter().enumerate() {
         chart.bar(scheme.label(), 100.0 * sums[si] / Kernel::ALL.len() as f64);
     }
     ExperimentOutput {
@@ -226,7 +229,7 @@ pub fn e3_miss_rates(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e4_miss_classes(scale: Scale, runner: &Runner) -> ExperimentOutput {
-    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let schemes = [SchemeId::TPI, SchemeId::FULL_MAP];
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
@@ -296,7 +299,7 @@ pub fn e5_miss_latency(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(kernels)
         .scale(scale)
-        .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+        .schemes([SchemeId::TPI, SchemeId::FULL_MAP])
         .sweep([4u32, 16], |cfg, &w| cfg.line_words = w)
         .run()
         .expect("suite is race-free");
@@ -304,7 +307,7 @@ pub fn e5_miss_latency(scale: Scale, runner: &Runner) -> ExperimentOutput {
     t.headers(["bench", "TPI 16B", "TPI 64B", "HW 16B", "HW 64B"]);
     for kernel in kernels {
         let mut row = vec![kernel.name().to_string()];
-        for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        for scheme in [SchemeId::TPI, SchemeId::FULL_MAP] {
             for vi in 0..2 {
                 let r = grid.at(kernel, scheme, vi);
                 row.push(f(r.sim.avg_miss_latency(), 1));
@@ -327,7 +330,7 @@ pub fn e5_miss_latency(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e6_traffic(scale: Scale, runner: &Runner) -> ExperimentOutput {
-    let schemes = [SchemeKind::Sc, SchemeKind::Tpi, SchemeKind::FullMap];
+    let schemes = [SchemeId::SC, SchemeId::TPI, SchemeId::FULL_MAP];
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
@@ -367,22 +370,24 @@ pub fn e6_traffic(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e7_exec_time(scale: Scale, runner: &Runner) -> ExperimentOutput {
+    let main = main_schemes();
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .schemes(SchemeKind::MAIN)
+        .schemes(main.iter().copied())
         .run()
         .expect("suite is race-free");
     let mut t = Table::new("Execution time (cycles; parenthesized: normalized to HW)");
-    t.headers(["bench", "BASE", "SC", "TPI", "HW"]);
-    let mut log_sums = [0.0f64; 4];
+    t.headers(std::iter::once("bench").chain(main.iter().map(|s| s.label())));
+    let hw_index = main
+        .iter()
+        .position(|&s| s == SchemeId::FULL_MAP)
+        .expect("the full-map directory anchors the normalization");
+    let mut log_sums = vec![0.0f64; main.len()];
     for kernel in Kernel::ALL {
-        let results: Vec<_> = SchemeKind::MAIN
-            .iter()
-            .map(|&s| grid.get(kernel, s))
-            .collect();
-        let hw = results[3].sim.total_cycles.max(1) as f64;
+        let results: Vec<_> = main.iter().map(|&s| grid.get(kernel, s)).collect();
+        let hw = results[hw_index].sim.total_cycles.max(1) as f64;
         let mut row = vec![kernel.name().to_string()];
         for (si, r) in results.iter().enumerate() {
             let norm = r.sim.total_cycles as f64 / hw;
@@ -395,7 +400,7 @@ pub fn e7_exec_time(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "Geometric-mean execution time, normalized to the full-map directory",
         "x",
     );
-    for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+    for (si, scheme) in main.iter().enumerate() {
         chart.bar(
             scheme.label(),
             (log_sums[si] / Kernel::ALL.len() as f64).exp(),
@@ -421,7 +426,7 @@ pub fn e8_timetag_bits(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(widths, |cfg, &bits| cfg.tag_bits = bits)
         .run()
         .expect("suite is race-free");
@@ -429,16 +434,16 @@ pub fn e8_timetag_bits(scale: Scale, runner: &Runner) -> ExperimentOutput {
     t.headers(["bench", "2b", "3b", "4b", "6b", "8b", "reset words @2b"]);
     for kernel in Kernel::ALL {
         let base = grid
-            .at(kernel, SchemeKind::Tpi, widths.len() - 1)
+            .at(kernel, SchemeId::TPI, widths.len() - 1)
             .sim
             .total_cycles
             .max(1) as f64;
         let mut row = vec![kernel.name().to_string()];
         for vi in 0..widths.len() {
-            let r = grid.at(kernel, SchemeKind::Tpi, vi);
+            let r = grid.at(kernel, SchemeId::TPI, vi);
             row.push(f(r.sim.total_cycles as f64 / base, 3));
         }
-        let reset2 = grid.at(kernel, SchemeKind::Tpi, 0).sim.agg.reset_words;
+        let reset2 = grid.at(kernel, SchemeId::TPI, 0).sim.agg.reset_words;
         row.push(reset2.to_string());
         t.row(row);
     }
@@ -457,7 +462,7 @@ pub fn e8_timetag_bits(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e9_line_size(scale: Scale, runner: &Runner) -> ExperimentOutput {
-    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let schemes = [SchemeId::TPI, SchemeId::FULL_MAP];
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
@@ -495,7 +500,7 @@ pub fn e9_line_size(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e10_cache_size(scale: Scale, runner: &Runner) -> ExperimentOutput {
-    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let schemes = [SchemeId::TPI, SchemeId::FULL_MAP];
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
@@ -543,7 +548,7 @@ pub fn e11_reset_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .base(base)
         .sweep(
             [ResetStrategy::TwoPhase, ResetStrategy::FullFlushOnWrap],
@@ -561,8 +566,8 @@ pub fn e11_reset_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "flush resets",
     ]);
     for kernel in Kernel::ALL {
-        let tp = grid.at(kernel, SchemeKind::Tpi, 0);
-        let fl = grid.at(kernel, SchemeKind::Tpi, 1);
+        let tp = grid.at(kernel, SchemeId::TPI, 0);
+        let fl = grid.at(kernel, SchemeId::TPI, 1);
         t.row([
             kernel.name().to_string(),
             tp.sim.total_cycles.to_string(),
@@ -594,7 +599,7 @@ pub fn e12_write_buffer(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(
             [WriteBufferKind::Fifo, WriteBufferKind::Coalescing],
             |cfg, &k| cfg.wbuffer = k,
@@ -611,8 +616,8 @@ pub fn e12_write_buffer(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "coal cycles",
     ]);
     for kernel in Kernel::ALL {
-        let fifo = grid.at(kernel, SchemeKind::Tpi, 0);
-        let coal = grid.at(kernel, SchemeKind::Tpi, 1);
+        let fifo = grid.at(kernel, SchemeId::TPI, 0);
+        let coal = grid.at(kernel, SchemeId::TPI, 1);
         let fw = fifo.sim.traffic.words(TrafficClass::Write);
         let cw = coal.sim.traffic.words(TrafficClass::Write);
         t.row([
@@ -652,7 +657,7 @@ pub fn e13_scheduling(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(policies, |cfg, &p| cfg.policy = p)
         .run()
         .expect("suite is race-free under every schedule");
@@ -667,7 +672,7 @@ pub fn e13_scheduling(scale: Scale, runner: &Runner) -> ExperimentOutput {
     for kernel in Kernel::ALL {
         let mut row = vec![kernel.name().to_string()];
         for vi in 0..policies.len() {
-            let r = grid.at(kernel, SchemeKind::Tpi, vi);
+            let r = grid.at(kernel, SchemeId::TPI, vi);
             row.push(format!(
                 "{} ({})",
                 r.sim.total_cycles,
@@ -691,7 +696,7 @@ pub fn e13_scheduling(scale: Scale, runner: &Runner) -> ExperimentOutput {
 /// Panics if a shipped kernel races (a bug in the suite).
 #[must_use]
 pub fn e14_scaling(scale: Scale, runner: &Runner) -> ExperimentOutput {
-    let schemes = [SchemeKind::Tpi, SchemeKind::FullMap];
+    let schemes = [SchemeId::TPI, SchemeId::FULL_MAP];
     let counts = [4u32, 8, 16, 32, 64];
     let grid = runner
         .grid()
@@ -743,7 +748,7 @@ pub fn e15_opt_levels(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(levels, |cfg, &l| cfg.opt_level = l)
         .run()
         .expect("suite is race-free");
@@ -760,7 +765,7 @@ pub fn e15_opt_levels(scale: Scale, runner: &Runner) -> ExperimentOutput {
         let mut row = vec![kernel.name().to_string()];
         let mut marked = Vec::new();
         for vi in 0..levels.len() {
-            let r = grid.at(kernel, SchemeKind::Tpi, vi);
+            let r = grid.at(kernel, SchemeId::TPI, vi);
             row.push(r.sim.total_cycles.to_string());
             marked.push(pct(r.marking.marked_fraction()));
         }
@@ -788,7 +793,7 @@ pub fn e16_critical_sections(scale: Scale, runner: &Runner) -> ExperimentOutput 
         .grid()
         .kernel(Kernel::Mdg)
         .scale(scale)
-        .schemes(SchemeKind::MAIN)
+        .schemes(main_schemes())
         .run()
         .expect("MDG is race-free");
     let mut t = Table::new("MDG (lock-guarded accumulation) across the schemes");
@@ -799,7 +804,7 @@ pub fn e16_critical_sections(scale: Scale, runner: &Runner) -> ExperimentOutput 
         "lock acquires",
         "lock wait cycles",
     ]);
-    for scheme in SchemeKind::MAIN {
+    for scheme in main_schemes() {
         let r = schemes_grid.get(Kernel::Mdg, scheme);
         t.row([
             scheme.label().to_string(),
@@ -814,19 +819,19 @@ pub fn e16_critical_sections(scale: Scale, runner: &Runner) -> ExperimentOutput 
         .grid()
         .kernel(Kernel::Mdg)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(counts, |cfg, &p| cfg.procs = p)
         .run()
         .expect("MDG is race-free");
     let mut s = Table::new("MDG under TPI vs processor count: the lock bounds scaling");
     s.headers(["P", "cycles", "speedup over P=2", "lock wait share"]);
     let base = scaling_grid
-        .at(Kernel::Mdg, SchemeKind::Tpi, 0)
+        .at(Kernel::Mdg, SchemeId::TPI, 0)
         .sim
         .total_cycles
         .max(1);
     for (vi, procs) in counts.into_iter().enumerate() {
-        let r = scaling_grid.at(Kernel::Mdg, SchemeKind::Tpi, vi);
+        let r = scaling_grid.at(Kernel::Mdg, SchemeId::TPI, vi);
         s.row([
             procs.to_string(),
             r.sim.total_cycles.to_string(),
@@ -860,7 +865,7 @@ pub fn e17_restamp_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep([true, false], |cfg, &on| cfg.restamp_verified_hits = on)
         .run()
         .expect("suite is race-free");
@@ -874,8 +879,8 @@ pub fn e17_restamp_ablation(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "no-restamp miss",
     ]);
     for kernel in Kernel::ALL {
-        let on = grid.at(kernel, SchemeKind::Tpi, 0);
-        let off = grid.at(kernel, SchemeKind::Tpi, 1);
+        let on = grid.at(kernel, SchemeId::TPI, 0);
+        let off = grid.at(kernel, SchemeId::TPI, 1);
         t.row([
             kernel.name().to_string(),
             on.sim.total_cycles.to_string(),
@@ -909,7 +914,7 @@ pub fn e18_write_policy(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(
             [WritePolicy::Through, WritePolicy::BackAtBoundary],
             |cfg, &p| cfg.write_policy = p,
@@ -928,8 +933,8 @@ pub fn e18_write_policy(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "WB wr words",
     ]);
     for kernel in Kernel::ALL {
-        let wt = grid.at(kernel, SchemeKind::Tpi, 0);
-        let wb = grid.at(kernel, SchemeKind::Tpi, 1);
+        let wt = grid.at(kernel, SchemeId::TPI, 0);
+        let wb = grid.at(kernel, SchemeId::TPI, 1);
         t.row([
             kernel.name().to_string(),
             wt.sim.total_cycles.to_string(),
@@ -963,20 +968,20 @@ pub fn e19_coherence_overhead(scale: Scale, runner: &Runner) -> ExperimentOutput
         .kernels(Kernel::ALL)
         .scale(scale)
         .schemes([
-            SchemeKind::Ideal,
-            SchemeKind::Tpi,
-            SchemeKind::FullMap,
-            SchemeKind::Sc,
+            SchemeId::IDEAL,
+            SchemeId::TPI,
+            SchemeId::FULL_MAP,
+            SchemeId::SC,
         ])
         .run()
         .expect("suite is race-free");
     let mut t = Table::new("Execution time over the perfect-coherence oracle (coherence overhead)");
     t.headers(["bench", "IDEAL cycles", "TPI/IDEAL", "HW/IDEAL", "SC/IDEAL"]);
     for kernel in Kernel::ALL {
-        let ideal = grid.get(kernel, SchemeKind::Ideal).sim.total_cycles.max(1);
-        let tpi = grid.get(kernel, SchemeKind::Tpi).sim.total_cycles;
-        let hw = grid.get(kernel, SchemeKind::FullMap).sim.total_cycles;
-        let sc = grid.get(kernel, SchemeKind::Sc).sim.total_cycles;
+        let ideal = grid.get(kernel, SchemeId::IDEAL).sim.total_cycles.max(1);
+        let tpi = grid.get(kernel, SchemeId::TPI).sim.total_cycles;
+        let hw = grid.get(kernel, SchemeId::FULL_MAP).sim.total_cycles;
+        let sc = grid.get(kernel, SchemeId::SC).sim.total_cycles;
         t.row([
             kernel.name().to_string(),
             ideal.to_string(),
@@ -995,8 +1000,8 @@ pub fn e19_coherence_overhead(scale: Scale, runner: &Runner) -> ExperimentOutput
         "HW cycles",
         "HW misses",
     ]);
-    let rt = grid.get(Kernel::Arc2d, SchemeKind::Tpi);
-    let rh = grid.get(Kernel::Arc2d, SchemeKind::FullMap);
+    let rt = grid.get(Kernel::Arc2d, SchemeId::TPI);
+    let rh = grid.get(Kernel::Arc2d, SchemeId::FULL_MAP);
     for (pt, ph) in rt.sim.profile.iter().zip(&rh.sim.profile).take(12) {
         tl.row([
             pt.epoch.to_string(),
@@ -1070,7 +1075,7 @@ pub fn e20_doacross(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .into_iter()
         .filter(|g| n % g == 0)
         .collect();
-    let mut sweep_grid = runner.grid().scale(scale).scheme(SchemeKind::Tpi).sweep(
+    let mut sweep_grid = runner.grid().scale(scale).scheme(SchemeId::TPI).sweep(
         [SchedulePolicy::StaticBlock, SchedulePolicy::StaticCyclic],
         |cfg, &p| cfg.policy = p,
     );
@@ -1085,7 +1090,7 @@ pub fn e20_doacross(scale: Scale, runner: &Runner) -> ExperimentOutput {
     for &g in &grains {
         let mut row = vec![format!("{g} cols")];
         for vi in 0..2 {
-            let r = sweep_grid.at_program(&format!("wavefront-{n}-g{g}"), SchemeKind::Tpi, vi);
+            let r = sweep_grid.at_program(&format!("wavefront-{n}-g{g}"), SchemeId::TPI, vi);
             row.push(r.sim.total_cycles.to_string());
         }
         t.row(row);
@@ -1101,10 +1106,10 @@ pub fn e20_doacross(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .scale(scale)
         .program(&format!("wavefront-{n}-g8"), pipeline(8))
         .base(cyclic)
-        .schemes(SchemeKind::MAIN)
+        .schemes(main_schemes())
         .run()
         .expect("wavefront is synchronized");
-    for scheme in SchemeKind::MAIN {
+    for scheme in main_schemes() {
         let r = schemes_grid.at_program(&format!("wavefront-{n}-g8"), scheme, 0);
         t_row_push(
             &mut s,
@@ -1134,7 +1139,7 @@ pub fn e21_two_level(scale: Scale, runner: &Runner) -> ExperimentOutput {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep([None, Some(L1Config::paper_default())], |cfg, &l1| {
             cfg.l1 = l1;
         })
@@ -1151,8 +1156,8 @@ pub fn e21_two_level(scale: Scale, runner: &Runner) -> ExperimentOutput {
         "plain hit share",
     ]);
     for kernel in Kernel::ALL {
-        let one = grid.at(kernel, SchemeKind::Tpi, 0);
-        let two = grid.at(kernel, SchemeKind::Tpi, 1);
+        let one = grid.at(kernel, SchemeId::TPI, 0);
+        let two = grid.at(kernel, SchemeId::TPI, 1);
         let plain_share = two.sim.agg.read_hits as f64 / two.sim.agg.reads.max(1) as f64;
         t.row([
             kernel.name().to_string(),
@@ -1186,7 +1191,7 @@ pub fn e22_fetch_granularity(scale: Scale, runner: &Runner) -> ExperimentOutput 
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(
             [FetchGranularity::Line, FetchGranularity::Word],
             |cfg, &g| cfg.coherence_fetch = g,
@@ -1203,8 +1208,8 @@ pub fn e22_fetch_granularity(scale: Scale, runner: &Runner) -> ExperimentOutput 
         "word rd words",
     ]);
     for kernel in Kernel::ALL {
-        let line = grid.at(kernel, SchemeKind::Tpi, 0);
-        let word = grid.at(kernel, SchemeKind::Tpi, 1);
+        let line = grid.at(kernel, SchemeId::TPI, 0);
+        let word = grid.at(kernel, SchemeId::TPI, 1);
         t.row([
             kernel.name().to_string(),
             line.sim.total_cycles.to_string(),

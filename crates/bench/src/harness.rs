@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiment implementations.
 
 use tpi::{run_kernel, ExperimentConfig, ExperimentResult, Runner};
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 use tpi_workloads::{Kernel, Scale};
 
 /// Runs `kernel` under `cfg` with no memoization — the reference path the
@@ -19,11 +19,17 @@ pub fn run(kernel: Kernel, scale: Scale, cfg: &ExperimentConfig) -> ExperimentRe
 
 /// The paper configuration with the scheme swapped.
 #[must_use]
-pub fn cfg_for(scheme: SchemeKind) -> ExperimentConfig {
+pub fn cfg_for(scheme: impl Into<SchemeId>) -> ExperimentConfig {
     ExperimentConfig::builder()
         .scheme(scheme)
         .build()
         .expect("the paper machine is valid")
+}
+
+/// The paper's main comparison schemes, in registry order.
+#[must_use]
+pub fn main_schemes() -> Vec<SchemeId> {
+    registry::global().main_schemes()
 }
 
 /// Runs every benchmark under every main scheme on `runner`; yields
@@ -33,17 +39,18 @@ pub fn cfg_for(scheme: SchemeKind) -> ExperimentConfig {
 ///
 /// Panics if any kernel traces with a race (a bug in the suite).
 #[must_use]
-pub fn full_matrix(scale: Scale, runner: &Runner) -> Vec<(Kernel, SchemeKind, ExperimentResult)> {
+pub fn full_matrix(scale: Scale, runner: &Runner) -> Vec<(Kernel, SchemeId, ExperimentResult)> {
+    let main = main_schemes();
     let grid = runner
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .schemes(SchemeKind::MAIN)
+        .schemes(main.iter().copied())
         .run()
         .expect("the suite is race-free");
     let mut out = Vec::new();
     for kernel in Kernel::ALL {
-        for scheme in SchemeKind::MAIN {
+        for &scheme in &main {
             out.push((kernel, scheme, grid.get(kernel, scheme).clone()));
         }
     }
@@ -56,14 +63,20 @@ mod tests {
 
     #[test]
     fn cfg_for_swaps_scheme_only() {
-        let c = cfg_for(SchemeKind::Sc);
-        assert_eq!(c.scheme, SchemeKind::Sc);
+        let c = cfg_for(SchemeId::SC);
+        assert_eq!(c.scheme, SchemeId::SC);
         assert_eq!(c.procs, ExperimentConfig::paper().procs);
     }
 
     #[test]
+    fn main_schemes_are_the_paper_four() {
+        let labels: Vec<&str> = main_schemes().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["BASE", "SC", "TPI", "HW"]);
+    }
+
+    #[test]
     fn single_run_works() {
-        let r = run(Kernel::Ocean, Scale::Test, &cfg_for(SchemeKind::Tpi));
+        let r = run(Kernel::Ocean, Scale::Test, &cfg_for(SchemeId::TPI));
         assert!(r.sim.total_cycles > 0);
     }
 

@@ -47,7 +47,7 @@ fn bench_baseline_matches_golden_schema() {
         .get("cells")
         .and_then(Json::as_array)
         .expect("cells array");
-    assert_eq!(cells.len(), 12, "pinned 2 kernels x 3 schemes x 2 procs");
+    assert_eq!(cells.len(), 20, "pinned 2 kernels x 5 schemes x 2 procs");
     for cell in cells {
         for key in ["kernel", "scheme"] {
             assert!(
@@ -70,7 +70,7 @@ fn bench_baseline_matches_golden_schema() {
 
     // The grid-total block is what the CI perf gate compares against.
     let totals = doc.get("totals").expect("totals");
-    assert_eq!(totals.get("cells").and_then(Json::as_u64), Some(12));
+    assert_eq!(totals.get("cells").and_then(Json::as_u64), Some(20));
     for key in ["median_wall_ms", "p95_wall_ms", "cells_per_sec"] {
         let v = totals.get(key).and_then(Json::as_f64).expect(key);
         assert!(v.is_finite() && v > 0.0);

@@ -96,6 +96,7 @@ pub enum LineState {
 struct WordMeta {
     tag: u16,
     version: u64,
+    lease: u64,
 }
 
 /// One resident cache line.
@@ -219,6 +220,18 @@ impl Line {
     /// Sets the shadow version of `word`.
     pub fn set_version(&mut self, word: u32, version: u64) {
         self.meta[word as usize].version = version;
+    }
+
+    /// Read-lease expiry timestamp of `word` (Tardis-style timestamp
+    /// coherence; unused by the other schemes).
+    #[must_use]
+    pub fn lease(&self, word: u32) -> u64 {
+        self.meta[word as usize].lease
+    }
+
+    /// Sets the read-lease expiry timestamp of `word`.
+    pub fn set_lease(&mut self, word: u32, lease: u64) {
+        self.meta[word as usize].lease = lease;
     }
 
     /// Invalidates words whose timetag lies in `[lo, hi]`; returns how many
@@ -441,9 +454,12 @@ mod tests {
         l.set_word_accessed(2);
         l.set_timetag(2, 9);
         l.set_version(2, 42);
+        l.set_lease(2, 17);
         assert!(l.word_valid(2) && l.word_dirty(2) && l.word_accessed(2));
         assert_eq!(l.timetag(2), 9);
         assert_eq!(l.version(2), 42);
+        assert_eq!(l.lease(2), 17);
+        assert_eq!(l.lease(3), 0);
         assert!(l.any_valid() && l.any_dirty());
         assert!(!l.all_valid(4));
         for w in 0..4 {

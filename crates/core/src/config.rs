@@ -4,7 +4,7 @@ use tpi_cache::{CacheConfig, ResetStrategy, WriteBufferKind, WritePolicy};
 use tpi_compiler::OptLevel;
 use tpi_mem::{Cycle, LineGeometry};
 use tpi_net::NetworkConfig;
-use tpi_proto::{EngineConfig, SchemeKind};
+use tpi_proto::{EngineConfig, SchemeId};
 use tpi_sim::SimOptions;
 use tpi_trace::{SchedulePolicy, TraceOptions};
 
@@ -18,8 +18,9 @@ use tpi_trace::{SchedulePolicy, TraceOptions};
 /// HSCD schemes, and weak consistency throughout.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
-    /// Coherence scheme under test.
-    pub scheme: SchemeKind,
+    /// Coherence scheme under test (a registry id; legacy
+    /// [`tpi_proto::SchemeKind`] values convert into it).
+    pub scheme: SchemeId,
     /// Compiler optimization level (marking quality).
     pub opt_level: OptLevel,
     /// Number of processors.
@@ -63,6 +64,10 @@ pub struct ExperimentConfig {
     pub rotate_serial: bool,
     /// What a failed TPI tag check refetches.
     pub coherence_fetch: tpi_proto::FetchGranularity,
+    /// Logical-timestamp lease length granted to reads (TARDIS).
+    pub tardis_lease: u64,
+    /// Competitive update/invalidate threshold (HYB).
+    pub hybrid_threshold: u32,
 }
 
 impl ExperimentConfig {
@@ -73,10 +78,10 @@ impl ExperimentConfig {
     ///
     /// ```
     /// use tpi::ExperimentConfig;
-    /// use tpi_proto::SchemeKind;
+    /// use tpi_proto::SchemeId;
     ///
     /// let cfg = ExperimentConfig::builder()
-    ///     .scheme(SchemeKind::Sc)
+    ///     .scheme(SchemeId::SC)
     ///     .line_words(8)
     ///     .cache_bytes(128 * 1024)
     ///     .build()
@@ -93,7 +98,7 @@ impl ExperimentConfig {
     #[must_use]
     pub fn paper() -> Self {
         ExperimentConfig {
-            scheme: SchemeKind::Tpi,
+            scheme: SchemeId::TPI,
             opt_level: OptLevel::Full,
             procs: 16,
             cache_bytes: 64 * 1024,
@@ -114,6 +119,8 @@ impl ExperimentConfig {
             l1: None,
             rotate_serial: false,
             coherence_fetch: tpi_proto::FetchGranularity::Line,
+            tardis_lease: 8,
+            hybrid_threshold: 4,
         }
     }
 
@@ -160,6 +167,8 @@ impl ExperimentConfig {
             verify_freshness: self.verify_freshness,
             l1: self.l1,
             coherence_fetch: self.coherence_fetch,
+            tardis_lease: self.tardis_lease,
+            hybrid_threshold: self.hybrid_threshold,
         }
     }
 
@@ -212,6 +221,8 @@ pub enum ConfigError {
     },
     /// LimitLESS was selected with zero hardware pointers.
     NoLimitlessPointers,
+    /// The scheme id is not in the global registry.
+    UnknownScheme(SchemeId),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -229,6 +240,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::NoLimitlessPointers => {
                 write!(f, "LimitLESS needs at least one hardware pointer")
+            }
+            ConfigError::UnknownScheme(id) => {
+                write!(f, "scheme \"{}\" is not registered", id.as_str())
             }
         }
     }
@@ -258,9 +272,14 @@ macro_rules! setters {
 }
 
 impl ConfigBuilder {
+    /// Coherence scheme under test: a registry [`SchemeId`] or a legacy
+    /// [`tpi_proto::SchemeKind`].
+    pub fn scheme(mut self, scheme: impl Into<SchemeId>) -> Self {
+        self.cfg.scheme = scheme.into();
+        self
+    }
+
     setters! {
-        /// Coherence scheme under test.
-        scheme: SchemeKind,
         /// Compiler optimization level (marking quality).
         opt_level: OptLevel,
         /// Number of processors.
@@ -302,6 +321,10 @@ impl ConfigBuilder {
         rotate_serial: bool,
         /// What a failed TPI tag check refetches.
         coherence_fetch: tpi_proto::FetchGranularity,
+        /// Logical-timestamp lease length granted to reads (TARDIS).
+        tardis_lease: u64,
+        /// Competitive update/invalidate threshold (HYB).
+        hybrid_threshold: u32,
     }
 
     /// Validates the combination and produces the configuration.
@@ -338,7 +361,10 @@ impl ConfigBuilder {
                 strategy: cfg.reset_strategy,
             });
         }
-        if cfg.scheme == SchemeKind::LimitLess && cfg.limitless_pointers == 0 {
+        if tpi_proto::registry::global().get(cfg.scheme).is_err() {
+            return Err(ConfigError::UnknownScheme(cfg.scheme));
+        }
+        if cfg.scheme == SchemeId::LIMITLESS && cfg.limitless_pointers == 0 {
             return Err(ConfigError::NoLimitlessPointers);
         }
         Ok(cfg)
@@ -408,7 +434,7 @@ mod tests {
     #[test]
     fn builder_applies_every_setter() {
         let cfg = ExperimentConfig::builder()
-            .scheme(SchemeKind::Sc)
+            .scheme(SchemeId::SC)
             .opt_level(OptLevel::Intra)
             .procs(8)
             .cache_bytes(32 * 1024)
@@ -429,9 +455,13 @@ mod tests {
             .l1(Some(tpi_proto::L1Config::paper_default()))
             .rotate_serial(true)
             .coherence_fetch(tpi_proto::FetchGranularity::Word)
+            .tardis_lease(16)
+            .hybrid_threshold(2)
             .build()
             .unwrap();
-        assert_eq!(cfg.scheme, SchemeKind::Sc);
+        assert_eq!(cfg.scheme, SchemeId::SC);
+        assert_eq!(cfg.tardis_lease, 16);
+        assert_eq!(cfg.hybrid_threshold, 2);
         assert_eq!(cfg.procs, 8);
         assert_eq!(cfg.line_words, 8);
         assert_eq!(cfg.assoc, 2);
@@ -477,12 +507,25 @@ mod tests {
         ));
         assert!(matches!(
             ExperimentConfig::builder()
-                .scheme(SchemeKind::LimitLess)
+                .scheme(SchemeId::LIMITLESS)
                 .limitless_pointers(0)
                 .build()
                 .unwrap_err(),
             ConfigError::NoLimitlessPointers
         ));
+    }
+
+    #[test]
+    fn builder_accepts_any_registered_scheme_and_rejects_others() {
+        for scheme in tpi_proto::registry::global().all() {
+            let cfg = ExperimentConfig::builder().scheme(scheme.id()).build();
+            assert!(cfg.is_ok(), "{} must build", scheme.id().as_str());
+        }
+        let err = ExperimentConfig::builder()
+            .scheme(SchemeId::new("mesi"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownScheme(SchemeId::new("mesi")));
     }
 
     #[test]

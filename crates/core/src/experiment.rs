@@ -66,12 +66,12 @@ pub fn run_kernel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpi_proto::SchemeKind;
+    use tpi_proto::{registry, SchemeId};
 
     #[test]
     fn all_schemes_run_all_kernels_at_test_scale() {
         for kernel in Kernel::ALL {
-            for scheme in SchemeKind::MAIN {
+            for scheme in registry::global().main_schemes() {
                 let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
                 let r = run_kernel(kernel, Scale::Test, &cfg)
                     .unwrap_or_else(|e| panic!("{kernel} under {scheme}: {e}"));
@@ -87,7 +87,7 @@ mod tests {
         // kernel: TPI within range of the directory scheme, both far ahead
         // of no-caching.
         let mut cycles = std::collections::HashMap::new();
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
             let r = run_kernel(Kernel::Flo52, Scale::Test, &cfg).unwrap();
             cycles.insert(scheme.label(), r.sim.total_cycles);
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn limitless_runs_too() {
         let cfg = ExperimentConfig::builder()
-            .scheme(SchemeKind::LimitLess)
+            .scheme(SchemeId::LIMITLESS)
             .limitless_pointers(2)
             .build()
             .unwrap();

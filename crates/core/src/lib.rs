@@ -17,7 +17,7 @@
 //!
 //! ```
 //! use tpi::Runner;
-//! use tpi_proto::SchemeKind;
+//! use tpi_proto::{registry, SchemeId};
 //! use tpi_workloads::{Kernel, Scale};
 //!
 //! // The Runner compiles and traces the kernel once, then simulates both
@@ -27,10 +27,10 @@
 //!     .grid()
 //!     .kernel(Kernel::Flo52)
 //!     .scale(Scale::Test)
-//!     .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+//!     .schemes([SchemeId::TPI, SchemeId::FULL_MAP])
 //!     .run()?;
-//! let tpi = grid.get(Kernel::Flo52, SchemeKind::Tpi);
-//! let hw = grid.get(Kernel::Flo52, SchemeKind::FullMap);
+//! let tpi = grid.get(Kernel::Flo52, SchemeId::TPI);
+//! let hw = grid.get(Kernel::Flo52, SchemeId::FULL_MAP);
 //! println!(
 //!     "TPI: {} cycles ({:.2}% miss), HW: {} cycles ({:.2}% miss)",
 //!     tpi.sim.total_cycles,

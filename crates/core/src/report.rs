@@ -148,18 +148,18 @@ pub fn load_balance(title: impl Into<String>, r: &ExperimentResult) -> Table {
 mod tests {
     use super::*;
     use crate::{run_kernel, ExperimentConfig};
-    use tpi_proto::SchemeKind;
+    use tpi_proto::SchemeId;
     use tpi_workloads::{Kernel, Scale};
 
-    fn result(scheme: SchemeKind) -> ExperimentResult {
+    fn result(scheme: SchemeId) -> ExperimentResult {
         let cfg = ExperimentConfig::builder().scheme(scheme).build().unwrap();
         run_kernel(Kernel::Arc2d, Scale::Test, &cfg).expect("runs")
     }
 
     #[test]
     fn all_reports_render() {
-        let tpi = result(SchemeKind::Tpi);
-        let hw = result(SchemeKind::FullMap);
+        let tpi = result(SchemeId::TPI);
+        let hw = result(SchemeId::FULL_MAP);
         let cmp = scheme_comparison("cmp", &[("TPI", &tpi), ("HW", &hw)]);
         assert_eq!(cmp.len(), 2);
         let mc = miss_classes("classes", &tpi);
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn miss_class_shares_sum_to_one() {
-        let r = result(SchemeKind::Tpi);
+        let r = result(SchemeId::TPI);
         let total: u64 = MissClass::ALL.iter().map(|&c| r.sim.agg.misses(c)).sum();
         assert_eq!(total, r.sim.agg.read_misses());
     }

@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use tpi::Runner;
-//! use tpi_proto::SchemeKind;
+//! use tpi_proto::{registry, SchemeId};
 //! use tpi_workloads::{Kernel, Scale};
 //!
 //! let runner = Runner::new();
@@ -34,10 +34,10 @@
 //!     .grid()
 //!     .kernels([Kernel::Flo52, Kernel::Ocean])
 //!     .scale(Scale::Test)
-//!     .schemes(SchemeKind::MAIN)
+//!     .schemes(registry::global().main_schemes())
 //!     .run()?;
-//! let tpi = grid.get(Kernel::Flo52, SchemeKind::Tpi);
-//! let hw = grid.get(Kernel::Flo52, SchemeKind::FullMap);
+//! let tpi = grid.get(Kernel::Flo52, SchemeId::TPI);
+//! let hw = grid.get(Kernel::Flo52, SchemeId::FULL_MAP);
 //! assert!(tpi.sim.total_cycles > 0 && hw.sim.total_cycles > 0);
 //! // 8 cells, but each kernel was built, marked, and interpreted once.
 //! assert_eq!(runner.stats().traces_built, 2);
@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tpi_compiler::{mark_program, CompilerOptions, Marking};
 use tpi_ir::Program;
-use tpi_proto::{build_engine, SchemeKind};
+use tpi_proto::{build_engine, SchemeId};
 use tpi_sim::{run_trace, verify_accounting};
 use tpi_trace::{generate_trace, Trace, TraceError, TraceOptions};
 use tpi_workloads::{Kernel, Scale};
@@ -890,7 +890,7 @@ pub struct GridBuilder<'r> {
     base: ExperimentConfig,
     kernels: Vec<Kernel>,
     programs: Vec<(Arc<str>, Arc<Program>)>,
-    schemes: Vec<SchemeKind>,
+    schemes: Vec<SchemeId>,
     variants: Vec<VariantFn>,
 }
 
@@ -930,18 +930,19 @@ impl<'r> GridBuilder<'r> {
         self
     }
 
-    /// Adds schemes to cross with every kernel and variant. Without any,
+    /// Adds schemes to cross with every kernel and variant — registry
+    /// [`SchemeId`]s or legacy [`tpi_proto::SchemeKind`]s. Without any,
     /// the base configuration's scheme runs alone.
     #[must_use]
-    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeKind>) -> Self {
-        self.schemes.extend(schemes);
+    pub fn schemes<S: Into<SchemeId>>(mut self, schemes: impl IntoIterator<Item = S>) -> Self {
+        self.schemes.extend(schemes.into_iter().map(Into::into));
         self
     }
 
     /// Adds one scheme.
     #[must_use]
-    pub fn scheme(self, scheme: SchemeKind) -> Self {
-        self.schemes([scheme])
+    pub fn scheme(self, scheme: impl Into<SchemeId>) -> Self {
+        self.schemes([scheme.into()])
     }
 
     /// Sweeps a parameter: one variant per value, applied via `apply`.
@@ -1037,7 +1038,7 @@ impl<'r> GridBuilder<'r> {
 pub struct GridResult {
     outcome: GridOutcome,
     sources: Vec<ProgramSource>,
-    schemes: Vec<SchemeKind>,
+    schemes: Vec<SchemeId>,
     n_variants: usize,
 }
 
@@ -1048,7 +1049,13 @@ impl GridResult {
     ///
     /// Panics if the coordinates were not part of the grid.
     #[must_use]
-    pub fn at(&self, kernel: Kernel, scheme: SchemeKind, variant: usize) -> &ExperimentResult {
+    pub fn at(
+        &self,
+        kernel: Kernel,
+        scheme: impl Into<SchemeId>,
+        variant: usize,
+    ) -> &ExperimentResult {
+        let scheme = scheme.into();
         let si = self
             .schemes
             .iter()
@@ -1065,7 +1072,7 @@ impl GridResult {
 
     /// The result for `(kernel, scheme)` (single-variant grids).
     #[must_use]
-    pub fn get(&self, kernel: Kernel, scheme: SchemeKind) -> &ExperimentResult {
+    pub fn get(&self, kernel: Kernel, scheme: impl Into<SchemeId>) -> &ExperimentResult {
         self.at(kernel, scheme, 0)
     }
 
@@ -1076,7 +1083,13 @@ impl GridResult {
     ///
     /// Panics if the coordinates were not part of the grid.
     #[must_use]
-    pub fn at_program(&self, name: &str, scheme: SchemeKind, variant: usize) -> &ExperimentResult {
+    pub fn at_program(
+        &self,
+        name: &str,
+        scheme: impl Into<SchemeId>,
+        variant: usize,
+    ) -> &ExperimentResult {
+        let scheme = scheme.into();
         let si = self
             .schemes
             .iter()
@@ -1107,6 +1120,7 @@ impl GridResult {
 mod tests {
     use super::*;
     use crate::run_kernel;
+    use tpi_proto::{registry, SchemeId};
 
     #[test]
     fn memoized_equals_fresh() {
@@ -1134,7 +1148,7 @@ mod tests {
             .grid()
             .kernel(Kernel::Ocean)
             .scale(Scale::Test)
-            .schemes(SchemeKind::MAIN)
+            .schemes(registry::global().main_schemes())
             .run()
             .unwrap();
         let stats = runner.stats();
@@ -1142,9 +1156,28 @@ mod tests {
         assert_eq!(stats.trace_hits, 3);
         assert_eq!(stats.cells_simulated, 4);
         // And every scheme really ran.
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             assert_eq!(grid.get(Kernel::Ocean, scheme).sim.scheme, scheme.label());
         }
+    }
+
+    #[test]
+    fn registry_schemes_run_through_the_grid() {
+        let runner = Runner::new();
+        let grid = runner
+            .grid()
+            .kernel(Kernel::Ocean)
+            .scale(Scale::Test)
+            .schemes([SchemeId::TARDIS, SchemeId::HYBRID])
+            .run()
+            .unwrap();
+        let tardis = grid.get(Kernel::Ocean, SchemeId::TARDIS);
+        let hybrid = grid.get(Kernel::Ocean, SchemeId::HYBRID);
+        assert_eq!(tardis.sim.scheme, "TARDIS");
+        assert_eq!(hybrid.sim.scheme, "HYB");
+        assert!(tardis.sim.total_cycles > 0 && hybrid.sim.total_cycles > 0);
+        // Both rode the same cached trace as any other scheme would.
+        assert_eq!(runner.stats().traces_built, 1);
     }
 
     #[test]
@@ -1155,7 +1188,7 @@ mod tests {
 
         // Scheme-only change: trace reused.
         let mut scheme_only = base;
-        scheme_only.scheme = SchemeKind::Sc;
+        scheme_only.scheme = SchemeId::SC;
         runner
             .run_kernel(Kernel::Trfd, Scale::Test, &scheme_only)
             .unwrap();
@@ -1283,7 +1316,7 @@ mod tests {
             .grid()
             .kernel(Kernel::Flo52)
             .scale(Scale::Test)
-            .scheme(SchemeKind::Tpi)
+            .scheme(SchemeId::TPI)
             .sweep([4u32, 8], |cfg, &w| cfg.line_words = w)
             .sweep([1u32, 2], |cfg, &a| cfg.assoc = a)
             .run()

@@ -1,0 +1,411 @@
+//! The competitive hybrid update/invalidate engine.
+//!
+//! Pure write-update protocols keep sharer copies fresh but flood the
+//! network when a producer writes data nobody reads anymore; pure
+//! invalidation protocols pay a full coherence miss for every
+//! producer/consumer hand-off. The hybrid scheme (Dahlgren & Stenström)
+//! splits the difference *competitively*: a write pushes single-word
+//! updates to the other sharers, but each sharer keeps a per-line counter
+//! of updates received since its last local access — once the counter
+//! reaches a threshold the copy is clearly dead weight and gets
+//! invalidated instead, cutting that sharer out of future update traffic.
+//!
+//! Memory is kept current by write-through, so the directory only tracks
+//! sharers (presence bits), never an owner. Invalidation misses are
+//! classified per Tullsen–Eggers like the full-map scheme; compiler marks
+//! are ignored — the pushed updates are what keep copies fresh, which is
+//! exactly what the staleness oracle verifies.
+
+use crate::stats::{EngineStats, MissClass};
+use crate::write_path::WritePath;
+use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
+use tpi_cache::{Cache, Line};
+use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_net::{Network, TrafficClass};
+
+/// The hybrid update/invalidate coherence engine.
+#[derive(Debug)]
+pub struct HybridEngine {
+    cfg: EngineConfig,
+    caches: Vec<Cache>,
+    wpath: WritePath,
+    net: Network,
+    stats: EngineStats,
+    mem_versions: FastMap<u64, u64>,
+    ever_cached: Vec<FastSet<u64>>,
+    /// Directory: per-line sharer bitmask (memory is always current, so
+    /// presence is all it tracks).
+    sharers: FastMap<u64, u64>,
+    /// Per-processor, per-line count of updates received since the last
+    /// local access (the competitive counter).
+    counters: Vec<FastMap<u64, u32>>,
+    /// Classification waiting for the next miss after an invalidation
+    /// (Tullsen–Eggers), per processor and line.
+    pending_class: Vec<FastMap<u64, MissClass>>,
+    updates_sent: u64,
+    invals_sent: u64,
+}
+
+impl HybridEngine {
+    /// Builds a hybrid engine from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.procs > 64` (sharer bitmask representation).
+    #[must_use]
+    pub fn new(cfg: EngineConfig) -> Self {
+        assert!(
+            cfg.procs <= 64,
+            "hybrid sharer bitmask holds at most 64 processors"
+        );
+        let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
+        let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
+        let net = Network::new(cfg.net);
+        let stats = EngineStats::new(cfg.procs);
+        let n = cfg.procs as usize;
+        HybridEngine {
+            cfg,
+            caches,
+            wpath,
+            net,
+            stats,
+            mem_versions: FastMap::default(),
+            ever_cached: vec![FastSet::default(); n],
+            sharers: FastMap::default(),
+            counters: vec![FastMap::default(); n],
+            pending_class: vec![FastMap::default(); n],
+            updates_sent: 0,
+            invals_sent: 0,
+        }
+    }
+
+    fn mem_version(&self, addr: WordAddr) -> u64 {
+        self.mem_versions.get(&addr.0).copied().unwrap_or(0)
+    }
+
+    fn bump_mem_version(&mut self, addr: WordAddr, version: u64) {
+        let e = self.mem_versions.entry(addr.0).or_insert(0);
+        *e = (*e).max(version);
+    }
+
+    fn drop_sharer(&mut self, la: LineAddr, p: usize) {
+        if let Some(mask) = self.sharers.get_mut(&la.0) {
+            *mask &= !(1u64 << p);
+        }
+        self.counters[p].remove(&la.0);
+    }
+
+    /// Refills `line_addr` from (always-current) memory and registers the
+    /// processor as a sharer. Word versions never move backwards. A silent
+    /// victim eviction deregisters that line's sharer bit.
+    fn fill(&mut self, p: usize, line_addr: LineAddr, req_word: u32, req_version: u64) {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        let base = geom.first_word(line_addr).0;
+        let word_versions: Vec<u64> = (0..wpl)
+            .map(|w| self.mem_version(WordAddr(base + u64::from(w))))
+            .collect();
+        let victim = if self.caches[p].peek(line_addr).is_none() {
+            self.caches[p].insert(Line::new(line_addr, wpl)) // write-through: no writeback
+        } else {
+            None
+        };
+        if let Some(v) = victim {
+            self.drop_sharer(v.addr, p);
+        }
+        let line = self.caches[p]
+            .touch_mut(line_addr)
+            .expect("line just ensured resident");
+        for w in 0..wpl {
+            let v = if w == req_word {
+                req_version
+            } else {
+                word_versions[w as usize]
+            };
+            if !line.word_valid(w) || line.version(w) <= v {
+                line.set_word_valid(w, true);
+                line.set_version(w, v);
+            }
+        }
+        line.set_word_accessed(req_word);
+        self.ever_cached[p].insert(line_addr.0);
+        *self.sharers.entry(line_addr.0).or_insert(0) |= 1u64 << p;
+        self.counters[p].insert(line_addr.0, 0);
+    }
+
+    /// Pushes a write of `addr` (now at `version`) to every *other*
+    /// sharer: an in-place word update while the sharer's competitive
+    /// counter is below the threshold, an invalidation once it trips.
+    fn push_to_sharers(&mut self, p: usize, la: LineAddr, w: u32, version: u64) {
+        let Some(&mask) = self.sharers.get(&la.0) else {
+            return;
+        };
+        let mut others = mask & !(1u64 << p);
+        while others != 0 {
+            let q = others.trailing_zeros() as usize;
+            others &= others - 1;
+            if self.caches[q].peek(la).is_none() {
+                // Silently evicted: the pushed message finds no copy;
+                // lazily retire the stale presence bit.
+                self.drop_sharer(la, q);
+                continue;
+            }
+            let count = self.counters[q].entry(la.0).or_insert(0);
+            *count += 1;
+            if *count >= self.cfg.hybrid_threshold {
+                // Competition lost: invalidate (request + ack headers).
+                let line = self.caches[q].remove(la).expect("peeked resident");
+                let class = if line.word_accessed(w) {
+                    MissClass::CoherenceTrue
+                } else {
+                    MissClass::FalseSharing
+                };
+                self.pending_class[q].insert(la.0, class);
+                self.drop_sharer(la, q);
+                self.stats.proc_mut(q).invals_received += 1;
+                self.net.record(TrafficClass::Coherence, 0);
+                self.net.record(TrafficClass::Coherence, 0);
+                self.invals_sent += 1;
+            } else {
+                // Push the word: the sharer's copy stays current.
+                let line = self.caches[q].touch_mut(la).expect("peeked resident");
+                if !line.word_valid(w) || line.version(w) <= version {
+                    line.set_word_valid(w, true);
+                    line.set_version(w, version);
+                }
+                self.net.record(TrafficClass::Coherence, 1);
+                self.updates_sent += 1;
+            }
+        }
+    }
+}
+
+impl CoherenceEngine for HybridEngine {
+    fn name(&self) -> &'static str {
+        "HYB"
+    }
+
+    fn read(
+        &mut self,
+        proc: ProcId,
+        addr: WordAddr,
+        kind: ReadKind,
+        version: u64,
+        _now: Cycle,
+    ) -> AccessOutcome {
+        let p = proc.0 as usize;
+        self.stats.proc_mut(p).reads += 1;
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        if kind == ReadKind::Critical {
+            // Critical data stays uncached, as in the HSCD schemes.
+            let stall = 1 + self.net.word_fetch();
+            self.net.record(TrafficClass::Read, 0);
+            self.net.record(TrafficClass::Read, 1);
+            self.stats
+                .proc_mut(p)
+                .record_miss(MissClass::Uncached, stall);
+            return AccessOutcome::miss(stall, MissClass::Uncached);
+        }
+        // Compiler marks are ignored: pushed updates keep copies fresh.
+        if let Some(line) = self.caches[p].touch_mut(la) {
+            if line.word_valid(w) {
+                line.set_word_accessed(w);
+                assert!(
+                    !self.cfg.verify_freshness || line.version(w) == version,
+                    "HYB hit observed a stale version at {addr}: cached {} vs required {version}",
+                    line.version(w)
+                );
+                self.stats.proc_mut(p).read_hits += 1;
+                // A local access wins the competition round.
+                self.counters[p].insert(la.0, 0);
+                return AccessOutcome::hit();
+            }
+        }
+        let class = self.pending_class[p].remove(&la.0).unwrap_or_else(|| {
+            if self.ever_cached[p].contains(&la.0) {
+                MissClass::Replacement
+            } else {
+                MissClass::Cold
+            }
+        });
+        let line_words = geom.words_per_line();
+        // Memory is always current (write-through): a two-hop clean fetch.
+        let stall = 1 + self.net.line_fetch(line_words);
+        self.net.record(TrafficClass::Read, 0);
+        self.net.record(TrafficClass::Read, line_words);
+        self.fill(p, la, w, version);
+        self.stats.proc_mut(p).record_miss(class, stall);
+        AccessOutcome::miss(stall, class)
+    }
+
+    fn write(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
+        let p = proc.0 as usize;
+        self.stats.proc_mut(p).writes += 1;
+        self.bump_mem_version(addr, version);
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        self.push_to_sharers(p, la, w, version);
+        if self.caches[p].peek(la).is_some() {
+            let line = self.caches[p].touch_mut(la).expect("resident");
+            line.set_word_valid(w, true);
+            line.set_version(w, version);
+            line.set_word_accessed(w);
+            self.counters[p].insert(la.0, 0);
+        } else {
+            self.stats.proc_mut(p).write_misses += 1;
+            let line_words = geom.words_per_line();
+            self.net.record(TrafficClass::Read, 0);
+            self.net.record(TrafficClass::Read, line_words);
+            self.fill(p, la, w, version);
+        }
+        self.wpath.write(p, addr, now, &mut self.net);
+        1
+    }
+
+    fn write_critical(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
+        let p = proc.0 as usize;
+        self.stats.proc_mut(p).writes += 1;
+        self.bump_mem_version(addr, version);
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        // Unlike the HSCD schemes, the sharers must still be told: hybrid
+        // ignores compiler marks, so their plain copies would otherwise go
+        // stale.
+        self.push_to_sharers(p, la, w, version);
+        // The writer's own copy of critical data stays uncached.
+        if let Some(line) = self.caches[p].touch_mut(la) {
+            line.set_word_valid(w, false);
+        }
+        self.wpath.write(p, addr, now, &mut self.net);
+        1
+    }
+
+    fn epoch_boundary(&mut self, per_proc_now: &[Cycle]) -> Vec<Cycle> {
+        self.wpath.boundary(per_proc_now)
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
+        Some(self.wpath.buffer_stats())
+    }
+
+    fn op_counts(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hybrid_updates_sent", self.updates_sent),
+            ("hybrid_invals_sent", self.invals_sent),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId(0);
+    const P1: ProcId = ProcId(1);
+
+    fn engine() -> HybridEngine {
+        let mut cfg = EngineConfig::paper_default(1 << 20);
+        cfg.verify_freshness = true;
+        HybridEngine::new(cfg)
+    }
+
+    #[test]
+    fn updates_keep_consumer_copies_fresh() {
+        let mut e = engine();
+        let a = WordAddr(0);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        e.write(P0, a, 1, 1);
+        // The pushed update means no coherence miss for the consumer —
+        // the hand-off a pure invalidation protocol always charges.
+        assert_eq!(e.read(P1, a, ReadKind::Plain, 1, 2).miss, None);
+        assert!(e.op_counts().contains(&("hybrid_updates_sent", 1)));
+    }
+
+    #[test]
+    fn marked_reads_hit_too() {
+        let mut e = engine();
+        let a = WordAddr(16);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        e.write(P0, a, 1, 1);
+        assert_eq!(e.read(P1, a, ReadKind::Bypass, 1, 2).miss, None);
+    }
+
+    #[test]
+    fn repeated_updates_trip_the_invalidation_threshold() {
+        let mut e = engine();
+        let a = WordAddr(32);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        // Default threshold 4: three updates land, the fourth invalidates.
+        for v in 1..=4 {
+            e.write(P0, a, v, v);
+        }
+        assert!(e.op_counts().contains(&("hybrid_updates_sent", 3)));
+        assert!(e.op_counts().contains(&("hybrid_invals_sent", 1)));
+        let m = e.read(P1, a, ReadKind::Plain, 4, 10);
+        assert_eq!(m.miss, Some(MissClass::CoherenceTrue));
+    }
+
+    #[test]
+    fn local_access_resets_the_competition() {
+        let mut e = engine();
+        let a = WordAddr(48);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        for v in 1..=10 {
+            e.write(P0, a, v, v);
+            // The consumer keeps reading, so its copy keeps winning.
+            assert_eq!(e.read(P1, a, ReadKind::Plain, v, v).miss, None);
+        }
+        assert!(e.op_counts().contains(&("hybrid_invals_sent", 0)));
+    }
+
+    #[test]
+    fn untouched_word_invalidation_is_false_sharing() {
+        let mut e = engine();
+        let a = WordAddr(64); // line 16, word 0
+        let sibling = WordAddr(65); // same line, word 1
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        for v in 1..=4 {
+            e.write(P0, sibling, v, v);
+        }
+        // P1 never touched the written word: a false-sharing casualty.
+        let m = e.read(P1, a, ReadKind::Plain, 0, 10);
+        assert_eq!(m.miss, Some(MissClass::FalseSharing));
+    }
+
+    #[test]
+    fn critical_writes_still_update_sharers() {
+        let mut e = engine();
+        let a = WordAddr(128);
+        let _ = e.read(P1, a, ReadKind::Plain, 0, 0);
+        e.write_critical(P0, a, 1, 1);
+        // The sharer's plain copy was pushed the new value...
+        assert_eq!(e.read(P1, a, ReadKind::Plain, 1, 2).miss, None);
+        // ...while the writer's own critical word stays uncached.
+        let m = e.read(P0, a, ReadKind::Critical, 1, 3);
+        assert_eq!(m.miss, Some(MissClass::Uncached));
+    }
+
+    #[test]
+    fn boundary_only_drains_buffers() {
+        let mut e = engine();
+        e.write(P0, WordAddr(0), 1, 0);
+        let stalls = e.epoch_boundary(&[1000; 16]);
+        assert_eq!(stalls[0], 0, "port long since free");
+    }
+}

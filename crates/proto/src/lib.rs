@@ -29,25 +29,37 @@
 
 pub mod base;
 pub mod fullmap;
+pub mod hybrid;
 pub mod ideal;
+pub mod registry;
 pub mod sc;
 pub mod stats;
 pub mod storage;
+pub mod tardis;
 pub mod tpi;
 mod write_path;
 
 pub use base::BaseEngine;
 pub use fullmap::DirectoryEngine;
+pub use hybrid::HybridEngine;
 pub use ideal::IdealEngine;
+pub use registry::{RegistryError, Scheme, SchemeCaps, SchemeId, SchemeRegistry};
 pub use sc::ScEngine;
 pub use stats::{EngineStats, MissClass, ProcStats};
+pub use tardis::TardisEngine;
 pub use tpi::TpiEngine;
 
 use tpi_cache::{CacheConfig, ResetStrategy, WriteBufferKind, WritePolicy};
 use tpi_mem::{Cycle, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, NetworkConfig};
 
-/// Which coherence scheme to build.
+/// Which built-in coherence scheme to build.
+///
+/// **Deprecated alias**: new code should use [`SchemeId`] and the
+/// [`registry`] — this closed enum only names the original six built-ins
+/// and exists so that pre-registry configs and call sites keep working.
+/// Every `SchemeKind` converts losslessly into a [`SchemeId`]
+/// (`SchemeKind::Tpi.into()`), and the two compare equal across types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// No caching of shared data.
@@ -138,6 +150,14 @@ pub struct EngineConfig {
     /// What a failed tag check refetches (TPI; line-absent misses always
     /// fetch whole lines).
     pub coherence_fetch: FetchGranularity,
+    /// Logical-timestamp lease length granted to Tardis reads: how far
+    /// past the reader's clock a fetched word stays self-usable before the
+    /// next use must revalidate at the home.
+    pub tardis_lease: u64,
+    /// Competitive update/invalidate threshold of the hybrid scheme: a
+    /// sharer that receives this many consecutive updates to a line
+    /// without a local access is invalidated instead.
+    pub hybrid_threshold: u32,
 }
 
 /// What a TPI coherence miss (failed tag check on a resident line)
@@ -206,6 +226,8 @@ impl EngineConfig {
             verify_freshness: cfg!(debug_assertions),
             l1: None,
             coherence_fetch: FetchGranularity::Line,
+            tardis_lease: 8,
+            hybrid_threshold: 4,
         }
     }
 
@@ -311,29 +333,35 @@ pub trait CoherenceEngine {
     }
 }
 
-/// Builds the engine for `kind`.
+/// Builds the engine for `scheme` through the global [`registry`].
+///
+/// Accepts anything convertible to a [`SchemeId`] — the id itself or a
+/// legacy [`SchemeKind`].
+///
+/// # Panics
+///
+/// Panics if `scheme` is not registered; resolve user input through
+/// [`registry::global()`]`.lookup(..)` first to report the error
+/// structurally.
 ///
 /// # Examples
 ///
 /// ```
 /// use tpi_mem::{ProcId, ReadKind, WordAddr};
-/// use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+/// use tpi_proto::{build_engine, EngineConfig, SchemeId};
 ///
-/// let mut engine = build_engine(SchemeKind::Tpi, EngineConfig::paper_default(1 << 20));
+/// let mut engine = build_engine(SchemeId::TPI, EngineConfig::paper_default(1 << 20));
 /// let miss = engine.read(ProcId(0), WordAddr(64), ReadKind::Plain, 0, 0);
 /// assert!(miss.miss.is_some());
 /// let hit = engine.read(ProcId(0), WordAddr(64), ReadKind::Plain, 0, 200);
 /// assert!(hit.miss.is_none());
 /// ```
 #[must_use]
-pub fn build_engine(kind: SchemeKind, cfg: EngineConfig) -> Box<dyn CoherenceEngine> {
-    match kind {
-        SchemeKind::Base => Box::new(BaseEngine::new(cfg)),
-        SchemeKind::Sc => Box::new(ScEngine::new(cfg)),
-        SchemeKind::Tpi => Box::new(TpiEngine::new(cfg)),
-        SchemeKind::FullMap => Box::new(DirectoryEngine::full_map(cfg)),
-        SchemeKind::LimitLess => Box::new(DirectoryEngine::limitless(cfg)),
-        SchemeKind::Ideal => Box::new(IdealEngine::new(cfg)),
+pub fn build_engine(scheme: impl Into<SchemeId>, cfg: EngineConfig) -> Box<dyn CoherenceEngine> {
+    let id = scheme.into();
+    match registry::global().get(id) {
+        Ok(s) => s.build(cfg),
+        Err(e) => panic!("build_engine: {e}"),
     }
 }
 
@@ -359,18 +387,17 @@ mod tests {
 
     #[test]
     fn build_all_engines() {
-        for kind in [
-            SchemeKind::Base,
-            SchemeKind::Sc,
-            SchemeKind::Tpi,
-            SchemeKind::FullMap,
-            SchemeKind::LimitLess,
-            SchemeKind::Ideal,
-        ] {
-            let e = build_engine(kind, EngineConfig::paper_default(1024));
+        for scheme in registry::global().all() {
+            let e = build_engine(scheme.id(), EngineConfig::paper_default(1024));
             assert!(!e.name().is_empty());
             assert_eq!(e.stats().per_proc().len(), 16);
         }
+    }
+
+    #[test]
+    fn build_engine_accepts_legacy_kind() {
+        let e = build_engine(SchemeKind::FullMap, EngineConfig::paper_default(1024));
+        assert_eq!(e.name(), "HW");
     }
 
     #[test]

@@ -28,11 +28,15 @@ pub enum MissClass {
     Conservative,
     /// Remote access to data the scheme never caches (BASE).
     Uncached,
+    /// The cached copy's read lease expired and the refetch found the word
+    /// unchanged (Tardis-style timestamp coherence): an unnecessary miss
+    /// that renews the lease.
+    LeaseRenewal,
 }
 
 impl MissClass {
     /// All classes, for iteration and table rendering.
-    pub const ALL: [MissClass; 7] = [
+    pub const ALL: [MissClass; 8] = [
         MissClass::Cold,
         MissClass::Replacement,
         MissClass::Reset,
@@ -40,6 +44,7 @@ impl MissClass {
         MissClass::FalseSharing,
         MissClass::Conservative,
         MissClass::Uncached,
+        MissClass::LeaseRenewal,
     ];
 
     /// Dense index for counters.
@@ -53,6 +58,7 @@ impl MissClass {
             MissClass::FalseSharing => 4,
             MissClass::Conservative => 5,
             MissClass::Uncached => 6,
+            MissClass::LeaseRenewal => 7,
         }
     }
 
@@ -60,7 +66,10 @@ impl MissClass {
     /// information): the paper's central comparison.
     #[must_use]
     pub fn is_unnecessary(self) -> bool {
-        matches!(self, MissClass::FalseSharing | MissClass::Conservative)
+        matches!(
+            self,
+            MissClass::FalseSharing | MissClass::Conservative | MissClass::LeaseRenewal
+        )
     }
 }
 
@@ -74,6 +83,7 @@ impl std::fmt::Display for MissClass {
             MissClass::FalseSharing => write!(f, "false-sharing"),
             MissClass::Conservative => write!(f, "conservative"),
             MissClass::Uncached => write!(f, "uncached"),
+            MissClass::LeaseRenewal => write!(f, "lease-renewal"),
         }
     }
 }
@@ -86,7 +96,7 @@ pub struct ProcStats {
     /// Reads satisfied by the cache.
     pub read_hits: u64,
     /// Read misses per class.
-    pub miss_by_class: [u64; 7],
+    pub miss_by_class: [u64; 8],
     /// Sum of read-miss latencies (for average miss latency).
     pub miss_latency_sum: Cycle,
     /// Write accesses issued.
@@ -211,7 +221,7 @@ mod tests {
 
     #[test]
     fn class_indices_are_dense_and_distinct() {
-        let mut seen = [false; 7];
+        let mut seen = [false; 8];
         for c in MissClass::ALL {
             assert!(!seen[c.index()], "duplicate index for {c}");
             seen[c.index()] = true;
@@ -223,6 +233,7 @@ mod tests {
     fn unnecessary_classification() {
         assert!(MissClass::FalseSharing.is_unnecessary());
         assert!(MissClass::Conservative.is_unnecessary());
+        assert!(MissClass::LeaseRenewal.is_unnecessary());
         assert!(!MissClass::CoherenceTrue.is_unnecessary());
         assert!(!MissClass::Cold.is_unnecessary());
     }

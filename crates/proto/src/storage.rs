@@ -127,6 +127,36 @@ pub fn tpi(p: StorageParams) -> StorageOverhead {
     }
 }
 
+/// Timestamp width charged to the Tardis lease/write timestamps.
+pub const TARDIS_TS_BITS: u64 = 32;
+
+/// Width of the per-line competitive update counter of the hybrid
+/// update/invalidate scheme (counts up to the invalidation threshold).
+pub const HYBRID_COUNTER_BITS: u64 = 3;
+
+/// Tardis timestamp coherence: a write timestamp and a read-lease
+/// timestamp per cache *word*, and the same pair per memory word (the
+/// home must remember the lease it granted). No sharer lists anywhere.
+#[must_use]
+pub fn tardis(p: StorageParams) -> StorageOverhead {
+    let per_word = 2 * TARDIS_TS_BITS;
+    StorageOverhead {
+        sram_bits: (per_word * p.line_words * p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: (per_word * p.line_words * p.mem_blocks_per_node * p.processors) as u128,
+    }
+}
+
+/// Hybrid update/invalidate: full-map presence bits per memory block
+/// (updates are pushed to exact sharers), plus 2 state bits and a
+/// [`HYBRID_COUNTER_BITS`]-bit competitive counter per cache line.
+#[must_use]
+pub fn hybrid(p: StorageParams) -> StorageOverhead {
+    StorageOverhead {
+        sram_bits: ((2 + HYBRID_COUNTER_BITS) * p.cache_lines_per_node * p.processors) as u128,
+        dram_bits: ((p.processors + 2) * p.mem_blocks_per_node * p.processors) as u128,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +201,25 @@ mod tests {
         assert_eq!(tpi(p).sram_bits, base / 2);
         p.line_words = 8;
         assert_eq!(tpi(p).sram_bits, base);
+    }
+
+    #[test]
+    fn tardis_and_hybrid_magnitudes() {
+        let p = StorageParams::paper_figure5();
+        // Tardis pays for two 32-bit timestamps per cached word...
+        let t = tardis(p);
+        assert_eq!(
+            t.sram_bits,
+            tpi(p).sram_bits * (2 * TARDIS_TS_BITS / p.tag_bits) as u128
+        );
+        // ...and per memory word, but far less than a full-map directory.
+        assert!(t.dram_bits > 0);
+        assert!(t.dram_bits < full_map(p).dram_bits);
+        // Hybrid keeps full-map presence bits plus a small per-line counter.
+        let h = hybrid(p);
+        assert_eq!(h.dram_bits, full_map(p).dram_bits);
+        assert!(h.sram_bits > full_map(p).sram_bits);
+        assert!(h.sram_bits < tpi(p).sram_bits);
     }
 
     #[test]

@@ -319,7 +319,7 @@ mod tests {
         let key = CellKey {
             kernel: tpi_workloads::Kernel::Flo52,
             scale: tpi_workloads::Scale::Test,
-            scheme: tpi_proto::SchemeKind::Tpi,
+            scheme: tpi_proto::SchemeId::TPI,
             opt_level: tpi_compiler::OptLevel::Full,
             procs: 16,
             line_words: 4,

@@ -124,6 +124,7 @@ pub fn templates() -> Vec<&'static str> {
         r#"{"kernels":["TRFD","QCD2"],"schemes":["SC","TPI"]}"#,
         r#"{"kernels":["SPEC77"],"schemes":["BASE","TPI"],"procs":[8,16]}"#,
         r#"{"kernels":["ARC2D"],"schemes":["TPI","HW"],"line_words":8}"#,
+        r#"{"kernels":["FLO52"],"schemes":["tardis","hyb"]}"#,
     ]
 }
 

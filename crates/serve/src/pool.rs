@@ -470,14 +470,14 @@ fn compute(runner: &Runner, key: &CellKey) -> CellOutcome {
 mod tests {
     use super::*;
     use tpi_compiler::OptLevel;
-    use tpi_proto::SchemeKind;
+    use tpi_proto::SchemeId;
     use tpi_workloads::{Kernel, Scale};
 
     fn key(seed: u64) -> CellKey {
         CellKey {
             kernel: Kernel::Flo52,
             scale: Scale::Test,
-            scheme: SchemeKind::Tpi,
+            scheme: SchemeId::TPI,
             opt_level: OptLevel::Full,
             procs: 16,
             line_words: 4,

@@ -10,18 +10,8 @@
 use crate::json::{escape, Json};
 use tpi::{ConfigError, ExperimentConfig, ExperimentResult};
 use tpi_compiler::OptLevel;
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 use tpi_workloads::{Kernel, Scale};
-
-/// Schemes the API accepts (everything the engine factory can build).
-pub const ALL_SCHEMES: [SchemeKind; 6] = [
-    SchemeKind::Base,
-    SchemeKind::Sc,
-    SchemeKind::Tpi,
-    SchemeKind::FullMap,
-    SchemeKind::LimitLess,
-    SchemeKind::Ideal,
-];
 
 /// Optimization levels the API accepts.
 pub const ALL_OPT_LEVELS: [OptLevel; 3] = [OptLevel::Naive, OptLevel::Intra, OptLevel::Full];
@@ -51,7 +41,7 @@ pub struct CellKey {
     /// Problem size.
     pub scale: Scale,
     /// Coherence scheme.
-    pub scheme: SchemeKind,
+    pub scheme: SchemeId,
     /// Compiler optimization level.
     pub opt_level: OptLevel,
     /// Processor count.
@@ -106,7 +96,7 @@ pub struct GridRequest {
     /// Problem size for every cell.
     pub scale: Scale,
     /// Schemes, in request order.
-    pub schemes: Vec<SchemeKind>,
+    pub schemes: Vec<SchemeId>,
     /// Optimization levels, in request order.
     pub opt_levels: Vec<OptLevel>,
     /// Processor counts, in request order.
@@ -153,30 +143,34 @@ impl BadRequest {
     }
 }
 
-fn parse_kernel(name: &str) -> Option<Kernel> {
+fn parse_kernel(name: &str) -> Result<Kernel, String> {
     Kernel::ALL
         .into_iter()
         .chain(Kernel::EXTENDED)
         .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown kernel {name:?}"))
 }
 
-fn parse_scheme(name: &str) -> Option<SchemeKind> {
-    ALL_SCHEMES
-        .into_iter()
-        .find(|s| s.label().eq_ignore_ascii_case(name))
+/// Resolves a scheme name (id or label, case-insensitive) against the
+/// global registry; the error message lists every registered scheme.
+fn parse_scheme(name: &str) -> Result<SchemeId, String> {
+    registry::global()
+        .lookup(name)
+        .map(|s| s.id())
+        .map_err(|e| e.to_string())
 }
 
-fn parse_opt_level(name: &str) -> Option<OptLevel> {
+fn parse_opt_level(name: &str) -> Result<OptLevel, String> {
     ALL_OPT_LEVELS
         .into_iter()
         .find(|l| opt_label(*l).eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown opt_level {name:?}"))
 }
 
 fn string_list<T>(
     doc: &Json,
     key: &str,
-    what: &str,
-    parse_one: impl Fn(&str) -> Option<T>,
+    parse_one: impl Fn(&str) -> Result<T, String>,
 ) -> Result<Option<Vec<T>>, BadRequest> {
     let Some(value) = doc.get(key) else {
         return Ok(None);
@@ -193,7 +187,7 @@ fn string_list<T>(
             let name = item
                 .as_str()
                 .ok_or_else(|| BadRequest::field(format!("\"{key}\" must contain strings")))?;
-            parse_one(name).ok_or_else(|| BadRequest::field(format!("unknown {what} {name:?}")))
+            parse_one(name).map_err(BadRequest::field)
         })
         .collect::<Result<Vec<T>, BadRequest>>()
         .map(Some)
@@ -224,11 +218,11 @@ impl GridRequest {
             return Err(BadRequest::field("request body must be an object".into()));
         }
         let paper = ExperimentConfig::paper();
-        let kernels = string_list(doc, "kernels", "kernel", parse_kernel)?
-            .unwrap_or_else(|| Kernel::ALL.to_vec());
-        let schemes = string_list(doc, "schemes", "scheme", parse_scheme)?
-            .unwrap_or_else(|| vec![SchemeKind::Tpi]);
-        let opt_levels = string_list(doc, "opt_levels", "opt_level", parse_opt_level)?
+        let kernels =
+            string_list(doc, "kernels", parse_kernel)?.unwrap_or_else(|| Kernel::ALL.to_vec());
+        let schemes =
+            string_list(doc, "schemes", parse_scheme)?.unwrap_or_else(|| vec![SchemeId::TPI]);
+        let opt_levels = string_list(doc, "opt_levels", parse_opt_level)?
             .unwrap_or_else(|| vec![OptLevel::Full]);
         let scale = match doc.get("scale") {
             None => Scale::Test,
@@ -436,25 +430,23 @@ pub fn kernels_body() -> String {
     Json::obj([("kernels", Json::Arr(items))]).render()
 }
 
-/// The `GET /v1/schemes` body.
+/// The `GET /v1/schemes` body: one metadata object per registered scheme,
+/// in registration order, straight from the global [`registry`].
 #[must_use]
 pub fn schemes_body() -> String {
-    let describe = |s: SchemeKind| -> &'static str {
-        match s {
-            SchemeKind::Base => "no caching of shared data",
-            SchemeKind::Sc => "software cache-bypass",
-            SchemeKind::Tpi => "two-phase invalidation (the paper's scheme)",
-            SchemeKind::FullMap => "full-map directory, write-back MSI",
-            SchemeKind::LimitLess => "LimitLESS directory with software traps",
-            SchemeKind::Ideal => "perfect-coherence oracle (lower bound)",
-        }
-    };
-    let items: Vec<Json> = ALL_SCHEMES
-        .into_iter()
+    let items: Vec<Json> = registry::global()
+        .all()
+        .iter()
         .map(|s| {
             Json::obj([
+                ("id", Json::from(s.id().as_str())),
                 ("label", Json::from(s.label())),
-                ("description", Json::from(describe(s))),
+                ("description", Json::from(s.description())),
+                ("paper_main", Json::Bool(s.paper_main())),
+                (
+                    "storage_bits_per_word",
+                    Json::from(s.storage_bits_per_word()),
+                ),
             ])
         })
         .collect();
@@ -486,21 +478,48 @@ mod tests {
         .unwrap();
         let req = GridRequest::parse(&doc).unwrap();
         assert_eq!(req.kernels, vec![Kernel::Flo52, Kernel::Ocean]);
-        assert_eq!(req.schemes, vec![SchemeKind::Tpi, SchemeKind::FullMap]);
+        assert_eq!(req.schemes, vec![SchemeId::TPI, SchemeId::FULL_MAP]);
         assert_eq!(req.procs, vec![8, 16]);
         assert_eq!(req.cells().len(), 2 * 2 * 2 * 2);
         // Cell order is kernels-major.
         let cells = req.cells();
         assert_eq!(cells[0].kernel, Kernel::Flo52);
-        assert_eq!(cells[0].scheme, SchemeKind::Tpi);
+        assert_eq!(cells[0].scheme, SchemeId::TPI);
         assert_eq!(cells.last().unwrap().kernel, Kernel::Ocean);
+    }
+
+    #[test]
+    fn schemes_resolve_by_id_or_label_case_insensitively() {
+        let doc = parse(r#"{"schemes":["tardis","hyb","Tpi","hw"]}"#).unwrap();
+        let req = GridRequest::parse(&doc).unwrap();
+        assert_eq!(
+            req.schemes,
+            vec![
+                SchemeId::TARDIS,
+                SchemeId::HYBRID,
+                SchemeId::TPI,
+                SchemeId::FULL_MAP
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_the_registry() {
+        let doc = parse(r#"{"schemes":["MESI"]}"#).unwrap();
+        let err = GridRequest::parse(&doc).unwrap_err();
+        assert_eq!(err.code, "bad_field");
+        assert!(
+            err.message.contains("registered:") && err.message.contains("tardis"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
     fn defaults_cover_the_paper_suite() {
         let req = GridRequest::parse(&parse("{}").unwrap()).unwrap();
         assert_eq!(req.kernels, Kernel::ALL.to_vec());
-        assert_eq!(req.schemes, vec![SchemeKind::Tpi]);
+        assert_eq!(req.schemes, vec![SchemeId::TPI]);
         assert_eq!(req.procs, vec![16]);
         assert_eq!(req.cells().len(), 6);
     }
@@ -528,8 +547,30 @@ mod tests {
     fn cell_key_expands_to_valid_config() {
         let req = GridRequest::parse(&parse(r#"{"kernels":["TRFD"]}"#).unwrap()).unwrap();
         let cfg = req.cells()[0].config().unwrap();
-        assert_eq!(cfg.scheme, SchemeKind::Tpi);
+        assert_eq!(cfg.scheme, SchemeId::TPI);
         assert_eq!(cfg.procs, 16);
+    }
+
+    #[test]
+    fn schemes_body_carries_registry_metadata() {
+        let doc = parse(&schemes_body()).unwrap();
+        let items = doc.get("schemes").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), registry::global().all().len());
+        let tardis = items
+            .iter()
+            .find(|s| s.get("id").and_then(Json::as_str) == Some("tardis"))
+            .expect("tardis is registered");
+        assert_eq!(tardis.get("label").and_then(Json::as_str), Some("TARDIS"));
+        assert_eq!(tardis.get("paper_main"), Some(&Json::Bool(false)));
+        assert!(tardis
+            .get("storage_bits_per_word")
+            .and_then(Json::as_u64)
+            .is_some());
+        let main: usize = items
+            .iter()
+            .filter(|s| s.get("paper_main") == Some(&Json::Bool(true)))
+            .count();
+        assert_eq!(main, 4, "the paper's main comparison is four-way");
     }
 
     #[test]

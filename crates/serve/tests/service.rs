@@ -219,6 +219,27 @@ fn discovery_health_and_routing() {
     assert_eq!(schemes.status, 200);
     let body = String::from_utf8(schemes.body).unwrap();
     assert!(body.contains("TPI") && body.contains("HW"), "{body}");
+    // Metadata objects, not bare labels: every entry carries the scheme's
+    // registry identity and storage cost.
+    let doc = parse(&body).unwrap();
+    let items = doc.get("schemes").and_then(Json::as_array).unwrap();
+    for item in items {
+        for field in [
+            "id",
+            "label",
+            "description",
+            "paper_main",
+            "storage_bits_per_word",
+        ] {
+            assert!(item.get(field).is_some(), "missing {field}: {body}");
+        }
+    }
+    assert!(
+        items
+            .iter()
+            .any(|s| s.get("id").and_then(Json::as_str) == Some("tardis")),
+        "{body}"
+    );
 
     let health = get(addr, "/healthz", CLIENT_TIMEOUT).unwrap();
     assert_eq!(health.status, 200);

@@ -12,7 +12,7 @@
 //! ```
 //! use tpi_compiler::{mark_program, CompilerOptions};
 //! use tpi_ir::{ProgramBuilder, subs};
-//! use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+//! use tpi_proto::{build_engine, EngineConfig, SchemeId};
 //! use tpi_sim::{run_trace, SimOptions};
 //! use tpi_trace::{generate_trace, TraceOptions};
 //!
@@ -26,7 +26,7 @@
 //! let marking = mark_program(&prog, &CompilerOptions::default());
 //! let trace = generate_trace(&prog, &marking, &TraceOptions::default())?;
 //! let mut engine = build_engine(
-//!     SchemeKind::Tpi,
+//!     SchemeId::TPI,
 //!     EngineConfig::paper_default(trace.layout.total_words()),
 //! );
 //! let result = run_trace(&trace, engine.as_mut(), &SimOptions::default());

@@ -432,7 +432,7 @@ mod tests {
     use super::*;
     use tpi_compiler::{mark_program, CompilerOptions};
     use tpi_ir::{subs, ProgramBuilder};
-    use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+    use tpi_proto::{build_engine, registry, EngineConfig, SchemeId};
     use tpi_trace::{generate_trace, TraceOptions};
 
     fn producer_consumer_trace() -> Trace {
@@ -450,18 +450,18 @@ mod tests {
         generate_trace(&prog, &marking, &TraceOptions::default()).unwrap()
     }
 
-    fn run(kind: SchemeKind, trace: &Trace) -> SimResult {
+    fn run(scheme: SchemeId, trace: &Trace) -> SimResult {
         let cfg = EngineConfig::paper_default(trace.layout.total_words());
-        let mut engine = build_engine(kind, cfg);
+        let mut engine = build_engine(scheme, cfg);
         run_trace(trace, engine.as_mut(), &SimOptions::default())
     }
 
     #[test]
     fn accounting_identity_holds_for_all_schemes() {
         let trace = producer_consumer_trace();
-        for kind in SchemeKind::MAIN {
-            let r = run(kind, &trace);
-            verify_accounting(&r).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        for scheme in registry::global().all().iter().map(|s| s.id()) {
+            let r = run(scheme, &trace);
+            verify_accounting(&r).unwrap_or_else(|e| panic!("{scheme}: {e}"));
             assert!(r.total_cycles > 0);
             assert_eq!(r.epochs, 2);
         }
@@ -470,9 +470,9 @@ mod tests {
     #[test]
     fn scheme_ordering_on_producer_consumer() {
         let trace = producer_consumer_trace();
-        let base = run(SchemeKind::Base, &trace);
-        let tpi = run(SchemeKind::Tpi, &trace);
-        let hw = run(SchemeKind::FullMap, &trace);
+        let base = run(SchemeId::BASE, &trace);
+        let tpi = run(SchemeId::TPI, &trace);
+        let hw = run(SchemeId::FULL_MAP, &trace);
         // Caching schemes beat no-caching on this kernel.
         assert!(tpi.total_cycles < base.total_cycles);
         assert!(hw.total_cycles < base.total_cycles);
@@ -489,8 +489,8 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let trace = producer_consumer_trace();
-        let r1 = run(SchemeKind::Tpi, &trace);
-        let r2 = run(SchemeKind::Tpi, &trace);
+        let r1 = run(SchemeId::TPI, &trace);
+        let r2 = run(SchemeId::TPI, &trace);
         assert_eq!(r1.total_cycles, r2.total_cycles);
         assert_eq!(r1.traffic, r2.traffic);
     }
@@ -498,7 +498,7 @@ mod tests {
     #[test]
     fn busy_cycles_do_not_exceed_total() {
         let trace = producer_consumer_trace();
-        let r = run(SchemeKind::Tpi, &trace);
+        let r = run(SchemeId::TPI, &trace);
         for &b in &r.busy_cycles {
             assert!(b <= r.total_cycles);
         }
@@ -507,7 +507,7 @@ mod tests {
     #[test]
     fn host_profile_counts_every_event_once() {
         let trace = producer_consumer_trace();
-        let r = run(SchemeKind::Tpi, &trace);
+        let r = run(SchemeId::TPI, &trace);
         let total_events: usize = trace.epochs.iter().map(EpochEvents::len).sum();
         assert_eq!(r.host.events, total_events as u64);
         assert!(r.host.replay_nanos > 0, "replay loop must record wall time");
@@ -526,8 +526,8 @@ mod tests {
     #[test]
     fn write_through_schemes_report_buffer_stats() {
         let trace = producer_consumer_trace();
-        assert!(run(SchemeKind::Tpi, &trace).wbuffer.is_some());
-        assert!(run(SchemeKind::Sc, &trace).wbuffer.is_some());
-        assert!(run(SchemeKind::FullMap, &trace).wbuffer.is_none());
+        assert!(run(SchemeId::TPI, &trace).wbuffer.is_some());
+        assert!(run(SchemeId::SC, &trace).wbuffer.is_some());
+        assert!(run(SchemeId::FULL_MAP, &trace).wbuffer.is_none());
     }
 }

@@ -3,7 +3,7 @@
 //! never produce).
 
 use tpi_mem::{ArrayDecl, Epoch, LineGeometry, MemLayout, ProcId, ReadKind, Sharing, WordAddr};
-use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+use tpi_proto::{build_engine, EngineConfig, SchemeId};
 use tpi_sim::{run_trace, SimOptions};
 use tpi_trace::{EpochEvents, EpochExecKind, Event, Trace};
 
@@ -36,7 +36,7 @@ fn waiting_on_a_never_posted_event_is_detected() {
         vec![Event::WaitEvent { event: 0, index: 7 }],
         vec![Event::Compute(3)],
     ]);
-    let mut engine = build_engine(SchemeKind::Tpi, {
+    let mut engine = build_engine(SchemeId::TPI, {
         let mut c = EngineConfig::paper_default(64);
         c.procs = 2;
         c.net = tpi_net::NetworkConfig::paper_default(2);
@@ -58,7 +58,7 @@ fn lock_holders_serialize_in_clock_order() {
         ]
     };
     let trace = trace_of(vec![crit(0), crit(1)]);
-    let mut engine = build_engine(SchemeKind::Tpi, {
+    let mut engine = build_engine(SchemeId::TPI, {
         let mut c = EngineConfig::paper_default(64);
         c.procs = 2;
         c.net = tpi_net::NetworkConfig::paper_default(2);
@@ -89,7 +89,7 @@ fn posted_wait_costs_only_the_sync() {
             Event::Compute(1),
         ],
     ]);
-    let mut engine = build_engine(SchemeKind::Tpi, {
+    let mut engine = build_engine(SchemeId::TPI, {
         let mut c = EngineConfig::paper_default(64);
         c.procs = 2;
         c.net = tpi_net::NetworkConfig::paper_default(2);
@@ -118,7 +118,7 @@ fn uncontended_lock_is_cheap() {
         ],
         vec![],
     ]);
-    let mut engine = build_engine(SchemeKind::Tpi, {
+    let mut engine = build_engine(SchemeId::TPI, {
         let mut c = EngineConfig::paper_default(64);
         c.procs = 2;
         c.net = tpi_net::NetworkConfig::paper_default(2);

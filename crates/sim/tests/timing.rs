@@ -3,7 +3,7 @@
 
 use tpi_compiler::{mark_program, CompilerOptions};
 use tpi_ir::{subs, ProgramBuilder};
-use tpi_proto::{build_engine, EngineConfig, SchemeKind};
+use tpi_proto::{build_engine, EngineConfig, SchemeId};
 use tpi_sim::{run_trace, SimOptions, SimResult};
 use tpi_trace::{generate_trace, Trace, TraceOptions};
 
@@ -14,7 +14,7 @@ fn simulate(build: impl FnOnce(&mut ProgramBuilder) -> tpi_ir::ProcIdx, setup: u
     let marking = mark_program(&prog, &CompilerOptions::default());
     let trace = generate_trace(&prog, &marking, &TraceOptions::default()).unwrap();
     let mut engine = build_engine(
-        SchemeKind::Tpi,
+        SchemeId::TPI,
         EngineConfig::paper_default(trace.layout.total_words()),
     );
     run_trace(
@@ -132,7 +132,7 @@ fn write_heavy_epochs_slow_later_reads() {
     });
     let run = |t: &Trace| {
         let mut e = build_engine(
-            SchemeKind::Tpi,
+            SchemeId::TPI,
             EngineConfig::paper_default(t.layout.total_words()),
         );
         run_trace(t, e.as_mut(), &SimOptions::default())

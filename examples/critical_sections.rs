@@ -12,7 +12,7 @@
 use tpi::tables::{pct, Table};
 use tpi::{run_program, ExperimentConfig};
 use tpi_ir::{subs, Program, ProgramBuilder};
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 
 const N: i64 = 4096;
 const BINS: u64 = 64;
@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("locked", locked_histogram()),
         ("privatized", privatized_histogram()),
     ] {
-        for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+        for scheme in [SchemeId::TPI, SchemeId::FULL_MAP] {
             let cfg = ExperimentConfig::builder().scheme(scheme).build()?;
             let r = run_program(&prog, &cfg)?;
             t.row([

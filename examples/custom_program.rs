@@ -8,7 +8,7 @@
 
 use tpi::{report, Runner};
 use tpi_ir::{parse_program, program_to_source, subs, ProgramBuilder};
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build: a red-black Gauss–Seidel sweep (disjoint strided sections:
@@ -50,9 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = runner
         .grid()
         .program("red-black", program)
-        .schemes(SchemeKind::MAIN)
+        .schemes(registry::global().main_schemes())
         .run()?;
-    let rows: Vec<(&str, &tpi::ExperimentResult)> = SchemeKind::MAIN
+    let rows: Vec<(&str, &tpi::ExperimentResult)> = registry::global()
+        .main_schemes()
         .iter()
         .map(|&s| (s.label(), grid.at_program("red-black", s, 0)))
         .collect();
@@ -60,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         report::scheme_comparison("Red-black Gauss-Seidel, 128 points, 16 processors", &rows)
     );
-    let tpi_result = grid.at_program("red-black", SchemeKind::Tpi, 0);
+    let tpi_result = grid.at_program("red-black", SchemeId::TPI, 0);
     println!(
         "{}",
         report::marking_summary("Compiler marking (TPI)", tpi_result)

@@ -14,7 +14,7 @@
 use tpi::tables::Table;
 use tpi::{run_program, ExperimentConfig};
 use tpi_ir::{subs, Cond, Program, ProgramBuilder};
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 
 const N: i64 = 64;
 
@@ -60,9 +60,7 @@ fn pipeline(g: i64) -> Program {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
-        .build()?;
+    let cfg = ExperimentConfig::builder().scheme(SchemeId::TPI).build()?;
     let mut t = Table::new(format!(
         "{N}x{N} wavefront on 16 processors under TPI, varying post granularity"
     ));
@@ -89,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("static-cyclic", tpi_trace::SchedulePolicy::StaticCyclic),
     ] {
         let c = ExperimentConfig::builder()
-            .scheme(SchemeKind::Tpi)
+            .scheme(SchemeId::TPI)
             .policy(policy)
             .build()?;
         let r = run_program(&pipeline(8), &c)?;

@@ -7,7 +7,7 @@
 
 use tpi::tables::{pct, Table};
 use tpi::Runner;
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 use tpi_workloads::{Kernel, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,10 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid()
         .kernel(kernel)
         .scale(Scale::Paper)
-        .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+        .schemes([SchemeId::TPI, SchemeId::FULL_MAP])
         .run()?;
-    let tpi = grid.get(kernel, SchemeKind::Tpi);
-    let hw = grid.get(kernel, SchemeKind::FullMap);
+    let tpi = grid.get(kernel, SchemeId::TPI);
+    let hw = grid.get(kernel, SchemeId::FULL_MAP);
 
     table.row([
         "execution cycles".to_string(),

@@ -10,7 +10,7 @@
 
 use tpi::tables::{pct, Table};
 use tpi::Runner;
-use tpi_proto::SchemeKind;
+use tpi_proto::registry;
 use tpi_workloads::{Kernel, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid()
         .kernels(Kernel::ALL)
         .scale(scale)
-        .schemes(SchemeKind::MAIN)
+        .schemes(registry::global().main_schemes())
         .run()?;
 
     for kernel in Kernel::ALL {
         let mut miss_row = vec![kernel.name().to_string()];
         let mut cycles = Vec::new();
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             let r = grid.get(kernel, scheme);
             miss_row.push(pct(r.sim.miss_rate()));
             cycles.push(r.sim.total_cycles);

@@ -13,7 +13,7 @@
 
 use tpi::tables::{pct, Table};
 use tpi::Runner;
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
 
@@ -40,11 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .grid()
         .kernel(kernel)
         .scale(Scale::Paper)
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .sweep(policies.map(|(_, p)| p), |cfg, p| cfg.policy = *p)
         .run()?;
     for (i, (name, _)) in policies.into_iter().enumerate() {
-        let r = grid.at(kernel, SchemeKind::Tpi, i);
+        let r = grid.at(kernel, SchemeId::TPI, i);
         let cons = r.sim.agg.misses(tpi_proto::MissClass::Conservative) as f64
             / r.sim.agg.read_misses().max(1) as f64;
         t.row([

@@ -4,11 +4,11 @@
 
 use tpi::{run_kernel, run_program, ExperimentConfig};
 use tpi_ir::{subs, ProgramBuilder};
-use tpi_proto::{MissClass, SchemeKind};
+use tpi_proto::{registry, MissClass, SchemeId};
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
@@ -17,7 +17,7 @@ fn mdg_runs_soundly_under_every_scheme() {
     // The shadow-version debug_asserts inside the engines verify that no
     // verified hit ever observes stale data, including around the
     // lock-serialized accumulation.
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         let r = run_kernel(Kernel::Mdg, Scale::Test, &cfg(scheme))
             .unwrap_or_else(|e| panic!("{scheme}: {e}"));
         assert!(r.sim.total_cycles > 0);
@@ -36,7 +36,7 @@ fn mdg_sound_under_wild_schedules_and_tiny_tags() {
         },
     ] {
         let c = ExperimentConfig::builder()
-            .scheme(SchemeKind::Tpi)
+            .scheme(SchemeId::TPI)
             .policy(policy)
             .tag_bits(2)
             .build()
@@ -65,13 +65,13 @@ fn lock_contention_serializes_execution() {
     };
     let prog = build();
     let c1 = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .procs(1)
         .build()
         .unwrap();
     let serial = run_program(&prog, &c1).unwrap();
     let c16 = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .procs(16)
         .build()
         .unwrap();
@@ -88,12 +88,12 @@ fn lock_contention_serializes_execution() {
 
 #[test]
 fn hscd_critical_reads_are_uncached_but_directory_reads_cohere() {
-    let r_tpi = run_kernel(Kernel::Mdg, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+    let r_tpi = run_kernel(Kernel::Mdg, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
     assert!(
         r_tpi.sim.agg.misses(MissClass::Uncached) > 0,
         "TPI critical reads bypass the cache"
     );
-    let r_hw = run_kernel(Kernel::Mdg, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+    let r_hw = run_kernel(Kernel::Mdg, Scale::Test, &cfg(SchemeId::FULL_MAP)).unwrap();
     assert_eq!(
         r_hw.sim.agg.misses(MissClass::Uncached),
         0,
@@ -124,7 +124,7 @@ fn critical_data_read_after_the_epoch_is_fresh() {
         });
     });
     let prog = p.finish(main).unwrap();
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         let c = ExperimentConfig::builder()
             .scheme(scheme)
             .tag_bits(3)
@@ -168,7 +168,7 @@ fn validator_rejects_misplaced_criticals() {
 fn coalescing_buffer_does_not_swallow_critical_ordering() {
     use tpi_cache::WriteBufferKind;
     let c = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .wbuffer(WriteBufferKind::Coalescing)
         .build()
         .unwrap();

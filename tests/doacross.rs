@@ -3,7 +3,7 @@
 
 use tpi::{run_program, ExperimentConfig};
 use tpi_ir::{subs, Cond, Program, ProgramBuilder};
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 
 /// A forward wavefront: iteration `i` consumes iteration `i-1`'s value,
 /// ordered by post/wait. Iteration 1 starts the chain without waiting.
@@ -36,14 +36,14 @@ fn wavefront(n: i64, work: u32) -> Program {
     p.finish(main).expect("wavefront is well-formed")
 }
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
 fn wavefront_runs_and_pipelines() {
     let prog = wavefront(256, 8);
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         let r = run_program(&prog, &cfg(scheme)).unwrap_or_else(|e| panic!("{scheme}: {e}"));
         assert!(r.sim.total_cycles > 0, "{scheme}");
         assert!(r.trace.posts >= 256, "{scheme}: posts missing");
@@ -55,8 +55,8 @@ fn wavefront_is_serialized_by_the_dependence_chain() {
     // The chain forces ~n sequential steps: total time must grow linearly
     // with n even though the loop is "parallel".
     // Heavy per-link work makes the chain dominate the fixed costs.
-    let short = run_program(&wavefront(64, 64), &cfg(SchemeKind::Tpi)).unwrap();
-    let long = run_program(&wavefront(256, 64), &cfg(SchemeKind::Tpi)).unwrap();
+    let short = run_program(&wavefront(64, 64), &cfg(SchemeId::TPI)).unwrap();
+    let long = run_program(&wavefront(256, 64), &cfg(SchemeId::TPI)).unwrap();
     let ratio = long.sim.total_cycles as f64 / short.sim.total_cycles as f64;
     assert!(
         ratio > 2.5,
@@ -78,7 +78,7 @@ fn unsynchronized_wavefront_is_a_race() {
         });
     });
     let prog = p.finish(main).unwrap();
-    assert!(run_program(&prog, &cfg(SchemeKind::Tpi)).is_err());
+    assert!(run_program(&prog, &cfg(SchemeId::TPI)).is_err());
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn wavefront_values_are_fresh_under_every_scheme() {
     // The shadow versions inside the engines verify each consumer observed
     // its producer's value; tight tags stress the tag machinery too.
     let prog = wavefront(128, 4);
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         let c = ExperimentConfig::builder()
             .scheme(scheme)
             .tag_bits(3)
@@ -125,8 +125,8 @@ fn validator_rejects_sync_outside_doall() {
 #[test]
 fn doacross_is_deterministic() {
     let prog = wavefront(512, 16);
-    let a = run_program(&prog, &cfg(SchemeKind::FullMap)).unwrap();
-    let b = run_program(&prog, &cfg(SchemeKind::FullMap)).unwrap();
+    let a = run_program(&prog, &cfg(SchemeId::FULL_MAP)).unwrap();
+    let b = run_program(&prog, &cfg(SchemeId::FULL_MAP)).unwrap();
     assert_eq!(a.sim.total_cycles, b.sim.total_cycles);
     // The chain bounds time from below: >= n dependent steps of `work`.
     assert!(a.sim.total_cycles >= 512 * 16);

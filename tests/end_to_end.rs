@@ -2,17 +2,17 @@
 //! engine → timing) on every benchmark under every scheme.
 
 use tpi::{run_kernel, ExperimentConfig};
-use tpi_proto::{MissClass, SchemeKind};
+use tpi_proto::{registry, MissClass, SchemeId};
 use tpi_workloads::{Kernel, Scale};
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
 #[test]
 fn every_kernel_runs_under_every_scheme() {
     for kernel in Kernel::ALL {
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             let r = run_kernel(kernel, Scale::Test, &cfg(scheme))
                 .unwrap_or_else(|e| panic!("{kernel}/{scheme}: {e}"));
             assert!(r.sim.total_cycles > 0);
@@ -29,7 +29,7 @@ fn every_kernel_runs_under_every_scheme() {
 
 #[test]
 fn determinism_across_runs() {
-    for scheme in SchemeKind::MAIN {
+    for scheme in registry::global().main_schemes() {
         let a = run_kernel(Kernel::Qcd2, Scale::Test, &cfg(scheme)).unwrap();
         let b = run_kernel(Kernel::Qcd2, Scale::Test, &cfg(scheme)).unwrap();
         assert_eq!(a.sim.total_cycles, b.sim.total_cycles, "{scheme}");
@@ -41,7 +41,7 @@ fn determinism_across_runs() {
 #[test]
 fn base_never_caches_shared_data() {
     for kernel in Kernel::ALL {
-        let r = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Base)).unwrap();
+        let r = run_kernel(kernel, Scale::Test, &cfg(SchemeId::BASE)).unwrap();
         // All shared reads are uncached remote accesses.
         assert!(r.sim.agg.misses(MissClass::Uncached) > 0, "{kernel}");
         assert_eq!(
@@ -57,13 +57,13 @@ fn base_never_caches_shared_data() {
 #[test]
 fn tpi_has_no_false_sharing_and_hw_has_no_conservative_misses() {
     for kernel in Kernel::ALL {
-        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
         assert_eq!(
             t.sim.agg.misses(MissClass::FalseSharing),
             0,
             "{kernel}: word-granular TPI cannot false-share"
         );
-        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeId::FULL_MAP)).unwrap();
         assert_eq!(
             h.sim.agg.misses(MissClass::Conservative),
             0,
@@ -80,7 +80,8 @@ fn tpi_has_no_false_sharing_and_hw_has_no_conservative_misses() {
 #[test]
 fn tpi_and_hw_beat_base_and_sc_everywhere() {
     for kernel in Kernel::ALL {
-        let cycles: Vec<u64> = SchemeKind::MAIN
+        let cycles: Vec<u64> = registry::global()
+            .main_schemes()
             .iter()
             .map(|&s| {
                 run_kernel(kernel, Scale::Test, &cfg(s))
@@ -101,8 +102,8 @@ fn headline_tpi_comparable_to_hw() {
     // "the performance of the proposed HSCD scheme can be comparable to
     // that of a full-map hardware directory scheme"
     for kernel in Kernel::ALL {
-        let tpi = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
-        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        let tpi = run_kernel(kernel, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
+        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeId::FULL_MAP)).unwrap();
         let ratio = tpi.sim.total_cycles as f64 / hw.sim.total_cycles as f64;
         assert!(
             (0.3..=2.5).contains(&ratio),
@@ -115,8 +116,8 @@ fn headline_tpi_comparable_to_hw() {
 fn sc_bypasses_lose_intertask_locality_on_broadcast_tables() {
     // SPEC77's coefficient table: TPI keeps it cached, SC re-fetches it on
     // every single read.
-    let tpi = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
-    let sc = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeKind::Sc)).unwrap();
+    let tpi = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
+    let sc = run_kernel(Kernel::Spec77, Scale::Test, &cfg(SchemeId::SC)).unwrap();
     assert!(
         sc.sim.miss_rate() > 4.0 * tpi.sim.miss_rate(),
         "SC {:.3} vs TPI {:.3}",
@@ -128,8 +129,8 @@ fn sc_bypasses_lose_intertask_locality_on_broadcast_tables() {
 #[test]
 fn trfd_write_traffic_dominates_under_tpi() {
     use tpi_net::TrafficClass;
-    let tpi = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
-    let hw = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+    let tpi = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
+    let hw = run_kernel(Kernel::Trfd, Scale::Test, &cfg(SchemeId::FULL_MAP)).unwrap();
     assert!(
         tpi.sim.traffic.words(TrafficClass::Write) > 2 * hw.sim.traffic.words(TrafficClass::Write),
         "write-through TPI must emit far more write traffic on TRFD: {} vs {}",
@@ -140,7 +141,7 @@ fn trfd_write_traffic_dominates_under_tpi() {
 
 #[test]
 fn marking_summary_reaches_result() {
-    let r = run_kernel(Kernel::Ocean, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+    let r = run_kernel(Kernel::Ocean, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
     assert!(r.marking.shared_reads > 0);
     assert!(r.marking.marked > 0);
     assert_eq!(r.marking.marked + r.marking.plain, r.marking.shared_reads);

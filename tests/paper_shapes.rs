@@ -8,10 +8,10 @@
 
 use tpi::{run_kernel, ExperimentConfig};
 use tpi_proto::storage::{full_map, tpi as tpi_storage, StorageParams};
-use tpi_proto::{MissClass, SchemeKind};
+use tpi_proto::{MissClass, SchemeId};
 use tpi_workloads::{Kernel, Scale};
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
@@ -31,12 +31,12 @@ fn headline_geomean_band_test_scale() {
     // mean, SC and BASE far behind.
     let mut logs = [0.0f64; 3]; // BASE, SC, TPI (normalized to HW)
     for kernel in Kernel::ALL {
-        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap))
+        let hw = run_kernel(kernel, Scale::Test, &cfg(SchemeId::FULL_MAP))
             .unwrap()
             .sim
             .total_cycles
             .max(1) as f64;
-        for (i, s) in [SchemeKind::Base, SchemeKind::Sc, SchemeKind::Tpi]
+        for (i, s) in [SchemeId::BASE, SchemeId::SC, SchemeId::TPI]
             .into_iter()
             .enumerate()
         {
@@ -72,9 +72,9 @@ fn unnecessary_miss_mechanism_swap() {
     // E4: TPI's unnecessary misses are compiler conservatism, never false
     // sharing; HW's are false sharing, never conservatism.
     for kernel in Kernel::ALL {
-        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::Tpi)).unwrap();
+        let t = run_kernel(kernel, Scale::Test, &cfg(SchemeId::TPI)).unwrap();
         assert_eq!(t.sim.agg.misses(MissClass::FalseSharing), 0, "{kernel}");
-        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeKind::FullMap)).unwrap();
+        let h = run_kernel(kernel, Scale::Test, &cfg(SchemeId::FULL_MAP)).unwrap();
         assert_eq!(h.sim.agg.misses(MissClass::Conservative), 0, "{kernel}");
     }
 }
@@ -84,8 +84,8 @@ fn unnecessary_miss_mechanism_swap() {
 fn paper_scale_shapes() {
     // E3/E7 at evaluation scale: the bands recorded in EXPERIMENTS.md.
     for kernel in Kernel::ALL {
-        let hw = run_kernel(kernel, Scale::Paper, &cfg(SchemeKind::FullMap)).unwrap();
-        let tpi = run_kernel(kernel, Scale::Paper, &cfg(SchemeKind::Tpi)).unwrap();
+        let hw = run_kernel(kernel, Scale::Paper, &cfg(SchemeId::FULL_MAP)).unwrap();
+        let tpi = run_kernel(kernel, Scale::Paper, &cfg(SchemeId::TPI)).unwrap();
         let ratio = tpi.sim.total_cycles as f64 / hw.sim.total_cycles.max(1) as f64;
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -102,9 +102,9 @@ fn paper_scale_shapes() {
     // E12: the coalescing buffer eliminates a large share of TRFD's write
     // traffic.
     use tpi_net::TrafficClass;
-    let fifo = run_kernel(Kernel::Trfd, Scale::Paper, &cfg(SchemeKind::Tpi)).unwrap();
+    let fifo = run_kernel(Kernel::Trfd, Scale::Paper, &cfg(SchemeId::TPI)).unwrap();
     let coal_cfg = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .wbuffer(tpi_cache::WriteBufferKind::Coalescing)
         .build()
         .unwrap();
@@ -117,12 +117,12 @@ fn paper_scale_shapes() {
         "TRFD write-word elimination {saved:.2} below the E12 band"
     );
     // E8: tiny tags stay within a percent of 8-bit tags.
-    let full = run_kernel(Kernel::Qcd2, Scale::Paper, &cfg(SchemeKind::Tpi))
+    let full = run_kernel(Kernel::Qcd2, Scale::Paper, &cfg(SchemeId::TPI))
         .unwrap()
         .sim
         .total_cycles;
     let tiny_cfg = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .tag_bits(2)
         .build()
         .unwrap();

@@ -13,7 +13,7 @@
 
 use tpi_compiler::{mark_program, CompilerOptions, OptLevel};
 use tpi_ir::{subs, Cond, Program, ProgramBuilder};
-use tpi_proto::{build_engine, DirectoryEngine, EngineConfig, SchemeKind};
+use tpi_proto::{build_engine, DirectoryEngine, EngineConfig, SchemeId};
 use tpi_sim::{run_trace, verify_accounting, SimOptions};
 use tpi_testkit::prelude::*;
 use tpi_trace::{generate_trace, SchedulePolicy, TraceOptions};
@@ -179,7 +179,7 @@ fn exercise(program: &Program, level: OptLevel, policy: SchedulePolicy, tag_bits
         rotate_serial: false,
     };
     let trace = generate_trace(program, &marking, &opts).expect("race-free by construction");
-    for scheme in [SchemeKind::Tpi, SchemeKind::Sc] {
+    for scheme in [SchemeId::TPI, SchemeId::SC] {
         let mut cfg = EngineConfig::paper_default(trace.layout.total_words());
         cfg.procs = 8;
         cfg.net = tpi_net::NetworkConfig::paper_default(8);

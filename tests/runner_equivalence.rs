@@ -6,10 +6,10 @@
 use tpi::{run_kernel, run_program, ExperimentConfig, Runner};
 use tpi_compiler::OptLevel;
 use tpi_ir::{subs, ProgramBuilder};
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 use tpi_workloads::{Kernel, Scale};
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
@@ -22,11 +22,11 @@ fn memoized_grid_equals_fresh_runs() {
         .grid()
         .kernels([Kernel::Flo52, Kernel::Ocean, Kernel::Qcd2])
         .scale(Scale::Test)
-        .schemes(SchemeKind::MAIN)
+        .schemes(registry::global().main_schemes())
         .run()
         .unwrap();
     for kernel in [Kernel::Flo52, Kernel::Ocean, Kernel::Qcd2] {
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             let memo = grid.get(kernel, scheme);
             let fresh = run_kernel(kernel, Scale::Test, &cfg(scheme)).unwrap();
             assert_eq!(
@@ -53,7 +53,7 @@ fn parallel_equals_serial() {
             .grid()
             .kernels(Kernel::ALL)
             .scale(Scale::Test)
-            .schemes([SchemeKind::Tpi, SchemeKind::FullMap])
+            .schemes([SchemeId::TPI, SchemeId::FULL_MAP])
             .sweep([2u32, 8], |c, bits| c.tag_bits = *bits)
             .run()
             .unwrap()
@@ -79,7 +79,7 @@ fn no_cache_mode_equals_memoized() {
             .grid()
             .kernels([Kernel::Trfd, Kernel::Spec77])
             .scale(Scale::Test)
-            .schemes(SchemeKind::MAIN)
+            .schemes(registry::global().main_schemes())
             .run()
             .unwrap()
     };
@@ -110,14 +110,16 @@ fn rendered_tables_are_identical() {
         .grid()
         .kernel(Kernel::Arc2d)
         .scale(Scale::Test)
-        .schemes(SchemeKind::MAIN)
+        .schemes(registry::global().main_schemes())
         .run()
         .unwrap();
-    let memo_rows: Vec<_> = SchemeKind::MAIN
+    let memo_rows: Vec<_> = registry::global()
+        .main_schemes()
         .iter()
         .map(|&s| (s.label(), grid.get(Kernel::Arc2d, s)))
         .collect();
-    let fresh: Vec<_> = SchemeKind::MAIN
+    let fresh: Vec<_> = registry::global()
+        .main_schemes()
         .iter()
         .map(|&s| (s, run_kernel(Kernel::Arc2d, Scale::Test, &cfg(s)).unwrap()))
         .collect();
@@ -131,7 +133,7 @@ fn cache_keys_track_stage_dependencies() {
     // opt level          -> marking and trace rebuild;
     // schedule or seed   -> trace rebuilds, marking survives.
     let runner = Runner::new();
-    let base = cfg(SchemeKind::Tpi);
+    let base = cfg(SchemeId::TPI);
 
     runner
         .run_kernel(Kernel::Ocean, Scale::Test, &base)
@@ -144,7 +146,7 @@ fn cache_keys_track_stage_dependencies() {
 
     // A pure machine change shares everything upstream.
     let machine = ExperimentConfig::builder()
-        .scheme(SchemeKind::FullMap)
+        .scheme(SchemeId::FULL_MAP)
         .cache_bytes(32 * 1024)
         .build()
         .unwrap();
@@ -157,7 +159,7 @@ fn cache_keys_track_stage_dependencies() {
 
     // A compiler change invalidates the marking (and hence the trace).
     let naive = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .opt_level(OptLevel::Naive)
         .build()
         .unwrap();
@@ -169,7 +171,7 @@ fn cache_keys_track_stage_dependencies() {
 
     // A schedule change invalidates only the trace.
     let cyclic = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .policy(tpi_trace::SchedulePolicy::StaticCyclic)
         .build()
         .unwrap();
@@ -198,15 +200,15 @@ fn custom_programs_memoize_and_match_run_program() {
         });
         p.finish(main).unwrap()
     };
-    let fresh = run_program(&prog, &cfg(SchemeKind::Tpi)).unwrap();
+    let fresh = run_program(&prog, &cfg(SchemeId::TPI)).unwrap();
     let runner = Runner::new();
     let grid = runner
         .grid()
         .program("pc", prog)
-        .schemes([SchemeKind::Tpi, SchemeKind::Sc])
+        .schemes([SchemeId::TPI, SchemeId::SC])
         .run()
         .unwrap();
-    let memo = grid.at_program("pc", SchemeKind::Tpi, 0);
+    let memo = grid.at_program("pc", SchemeId::TPI, 0);
     assert_eq!(memo.sim.total_cycles, fresh.sim.total_cycles);
     assert_eq!(memo.sim.agg, fresh.sim.agg);
     assert_eq!(

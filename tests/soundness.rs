@@ -11,12 +11,12 @@
 use tpi::{run_kernel, ConfigBuilder, ExperimentConfig};
 use tpi_cache::{ResetStrategy, WritePolicy};
 use tpi_compiler::OptLevel;
-use tpi_proto::SchemeKind;
+use tpi_proto::SchemeId;
 use tpi_trace::SchedulePolicy;
 use tpi_workloads::{Kernel, Scale};
 
 fn tpi_cfg() -> ConfigBuilder {
-    ExperimentConfig::builder().scheme(SchemeKind::Tpi)
+    ExperimentConfig::builder().scheme(SchemeId::TPI)
 }
 
 #[test]
@@ -112,7 +112,7 @@ fn sc_is_sound_too() {
             },
         ] {
             let cfg = tpi_cfg()
-                .scheme(SchemeKind::Sc)
+                .scheme(SchemeId::SC)
                 .policy(policy)
                 .build()
                 .unwrap();
@@ -125,7 +125,7 @@ fn sc_is_sound_too() {
 fn directory_is_sound_under_every_schedule() {
     for kernel in Kernel::ALL {
         let cfg = tpi_cfg()
-            .scheme(SchemeKind::FullMap)
+            .scheme(SchemeId::FULL_MAP)
             .policy(SchedulePolicy::Dynamic { chunk: 2 })
             .build()
             .unwrap();
@@ -175,7 +175,7 @@ fn serial_rotation_is_sound_and_hurts_hw_more() {
             .sim
             .total_cycles;
         let cfg = tpi_cfg()
-            .scheme(SchemeKind::FullMap)
+            .scheme(SchemeId::FULL_MAP)
             .rotate_serial(rotate)
             .build()
             .unwrap();
@@ -231,6 +231,29 @@ fn word_granular_coherence_fetch_is_sound() {
             .build()
             .unwrap();
         run_kernel(kernel, Scale::Test, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    }
+}
+
+#[test]
+fn mark_ignoring_schemes_are_fresh_on_every_kernel() {
+    // Tardis and the hybrid update/invalidate protocol ignore compiler
+    // marks entirely, so the marking-replay oracle cannot vouch for them.
+    // Freshness verification makes their soundness executable instead: any
+    // cache hit observing stale data panics inside the engine.
+    for kernel in Kernel::ALL {
+        for scheme in [SchemeId::TARDIS, SchemeId::HYBRID] {
+            for level in [OptLevel::Naive, OptLevel::Intra, OptLevel::Full] {
+                let cfg = tpi_cfg()
+                    .scheme(scheme)
+                    .opt_level(level)
+                    .verify_freshness(true)
+                    .build()
+                    .unwrap();
+                let r = run_kernel(kernel, Scale::Test, &cfg)
+                    .unwrap_or_else(|e| panic!("{kernel} {scheme} {level}: {e}"));
+                assert!(r.sim.total_cycles > 0, "{kernel} {scheme} {level}");
+            }
+        }
     }
 }
 

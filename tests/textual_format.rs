@@ -3,9 +3,9 @@
 
 use tpi::{run_program, ExperimentConfig};
 use tpi_ir::parse_program;
-use tpi_proto::SchemeKind;
+use tpi_proto::{registry, SchemeId};
 
-fn cfg(scheme: SchemeKind) -> ExperimentConfig {
+fn cfg(scheme: SchemeId) -> ExperimentConfig {
     ExperimentConfig::builder().scheme(scheme).build().unwrap()
 }
 
@@ -21,7 +21,7 @@ fn shipped_sample_programs_parse_and_run() {
         count += 1;
         let src = std::fs::read_to_string(&path).unwrap();
         let program = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        for scheme in SchemeKind::MAIN {
+        for scheme in registry::global().main_schemes() {
             let r = run_program(&program, &cfg(scheme))
                 .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", path.display()));
             assert!(r.sim.total_cycles > 0);
@@ -70,7 +70,7 @@ end
         p.finish(main).unwrap()
     };
 
-    for scheme in [SchemeKind::Tpi, SchemeKind::FullMap] {
+    for scheme in [SchemeId::TPI, SchemeId::FULL_MAP] {
         let rt = run_program(&text, &cfg(scheme)).unwrap();
         let rb = run_program(&built, &cfg(scheme)).unwrap();
         assert_eq!(rt.sim.total_cycles, rb.sim.total_cycles, "{scheme}");
@@ -106,7 +106,7 @@ fn parsed_doacross_prefix_sum_is_correctly_ordered() {
     let src = std::fs::read_to_string("examples/programs/histogram.tpi").unwrap();
     let program = parse_program(&src).unwrap();
     let c = ExperimentConfig::builder()
-        .scheme(SchemeKind::Tpi)
+        .scheme(SchemeId::TPI)
         .tag_bits(3)
         .policy(tpi_trace::SchedulePolicy::StaticCyclic)
         .build()
