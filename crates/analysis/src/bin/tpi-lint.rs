@@ -66,13 +66,28 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Argument errors: `Usage` mistakes get the full usage dump, `Field`
+/// carries a structured bad-value error already rendered with the same
+/// stable code the serve wire layer uses (`error[bad_field]: …`), so a
+/// typo in `--schemes` lists the registry instead of dumping usage.
+enum CliError {
+    Usage(String),
+    Field(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
 fn kernel_by_name(name: &str) -> Option<Kernel> {
     Kernel::ALL
         .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(name))
 }
 
-fn parse_args() -> Result<Option<Options>, String> {
+fn parse_args() -> Result<Option<Options>, CliError> {
     let mut opts = Options {
         files: Vec::new(),
         kernels: Vec::new(),
@@ -88,7 +103,10 @@ fn parse_args() -> Result<Option<Options>, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or(CliError::Usage(format!("{flag} needs a value")))
+        };
         match arg.as_str() {
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -104,7 +122,7 @@ fn parse_args() -> Result<Option<Options>, String> {
                 opts.scale = match value("--scale")?.as_str() {
                     "test" => Scale::Test,
                     "paper" => Scale::Paper,
-                    s => return Err(format!("unknown scale {s:?}")),
+                    s => return Err(CliError::Usage(format!("unknown scale {s:?}"))),
                 }
             }
             "--schemes" => {
@@ -118,7 +136,9 @@ fn parse_args() -> Result<Option<Options>, String> {
                     if let Some(mode) = OracleMode::parse(name) {
                         opts.modes.push(mode);
                     } else {
-                        let scheme = registry::global().lookup(name).map_err(|e| e.to_string())?;
+                        let scheme = registry::global()
+                            .lookup(name)
+                            .map_err(|e| CliError::Field(format!("error[{}]: {e}", e.code())))?;
                         opts.freshness_schemes.push(scheme.id());
                     }
                 }
@@ -129,14 +149,14 @@ fn parse_args() -> Result<Option<Options>, String> {
                     "intra" => vec![OptLevel::Intra],
                     "full" => vec![OptLevel::Full],
                     "all" => ALL_LEVELS.to_vec(),
-                    s => return Err(format!("unknown opt level {s:?}")),
+                    s => return Err(CliError::Usage(format!("unknown opt level {s:?}"))),
                 }
             }
             "--format" => {
                 opts.json = match value("--format")?.as_str() {
                     "human" => false,
                     "json" => true,
-                    s => return Err(format!("unknown format {s:?}")),
+                    s => return Err(CliError::Usage(format!("unknown format {s:?}"))),
                 }
             }
             "--tag-bits" => {
@@ -148,7 +168,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--deny" => {
                 let what = value("--deny")?;
                 if what != "violations" {
-                    return Err(format!("unknown deny class {what:?}"));
+                    return Err(CliError::Usage(format!("unknown deny class {what:?}")));
                 }
                 opts.deny_violations = true;
             }
@@ -157,12 +177,14 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| "--max-print needs an integer".to_string())?;
             }
-            f if f.starts_with('-') => return Err(format!("unknown flag {f:?}")),
+            f if f.starts_with('-') => return Err(CliError::Usage(format!("unknown flag {f:?}"))),
             file => opts.files.push(file.to_string()),
         }
     }
     if opts.kernels.is_empty() && opts.files.is_empty() {
-        return Err("no targets: pass FILES, --kernel, or --all-kernels".to_string());
+        return Err(CliError::Usage(
+            "no targets: pass FILES, --kernel, or --all-kernels".to_string(),
+        ));
     }
     Ok(Some(opts))
 }
@@ -380,7 +402,11 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,
-        Err(msg) => return usage_error(&msg),
+        Err(CliError::Usage(msg)) => return usage_error(&msg),
+        Err(CliError::Field(msg)) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
     };
     match run(&opts) {
         Ok(violations) if opts.deny_violations && violations > 0 => {

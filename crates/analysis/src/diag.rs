@@ -29,6 +29,10 @@ pub enum Code {
     /// `TPI900 soundness-violation`: the dynamic oracle observed a read
     /// that could be served stale data.
     Tpi900,
+    /// `TPI901 model-violation`: the `tpi-model` checker found an
+    /// interleaving under which a coherence engine breaks a safety
+    /// invariant (freshness, accounting, or a scheme-specific property).
+    Tpi901,
     /// `TPI999 custom-pass`: reserved for passes registered by library
     /// users outside this crate.
     Tpi999,
@@ -45,6 +49,7 @@ impl Code {
             Code::Tpi004 => "TPI004",
             Code::Tpi005 => "TPI005",
             Code::Tpi900 => "TPI900",
+            Code::Tpi901 => "TPI901",
             Code::Tpi999 => "TPI999",
         }
     }
@@ -59,6 +64,7 @@ impl Code {
             Code::Tpi004 => "distance-saturation",
             Code::Tpi005 => "dead-shared-array",
             Code::Tpi900 => "soundness-violation",
+            Code::Tpi901 => "model-violation",
             Code::Tpi999 => "custom-pass",
         }
     }
@@ -239,6 +245,7 @@ mod tests {
             (Code::Tpi004, "TPI004", "distance-saturation"),
             (Code::Tpi005, "TPI005", "dead-shared-array"),
             (Code::Tpi900, "TPI900", "soundness-violation"),
+            (Code::Tpi901, "TPI901", "model-violation"),
             (Code::Tpi999, "TPI999", "custom-pass"),
         ] {
             assert_eq!(code.as_str(), s);

@@ -19,8 +19,15 @@
 //!   sweeps kernels across compiler optimization levels through the
 //!   memoizing [`tpi::Runner`], asserting the aggressive levels introduce
 //!   zero violations.
+//! * **Interleaving-level model checker** ([`model`]): drives the real
+//!   coherence engines through every interleaving of tiny bounded access
+//!   programs, checking freshness, miss accounting, and the per-scheme
+//!   structural invariants after every single step (`TPI901`
+//!   model-violation), with counterexamples shrunk to minimal traces.
+//!   The `tpi-model` binary drives it from the command line.
 //!
-//! The `tpi-lint` binary drives both halves from the command line:
+//! The `tpi-lint` binary drives the first two halves from the command
+//! line:
 //!
 //! ```text
 //! tpi-lint --all-kernels --schemes tpi,sc,tardis,hybrid --deny violations
@@ -57,6 +64,7 @@
 
 pub mod diag;
 pub mod differential;
+pub mod model;
 pub mod oracle;
 pub mod passes;
 
@@ -64,6 +72,9 @@ pub use diag::{diagnostics_json, Code, Diagnostic, Severity};
 pub use differential::{
     check_all_kernels, check_freshness, check_sources, total_freshness_violations,
     total_violations, CellReport, DifferentialOptions, FreshnessReport, ALL_LEVELS,
+};
+pub use model::{
+    check_schemes, model_config, ModelOptions, ModelReport, ModelViolation, SchemeReport,
 };
 pub use oracle::{check_trace, OracleMode, OracleReport, OracleStats, Violation};
 pub use passes::{lint_program, LintContext, LintOptions, LintPass, PassRegistry};

@@ -1,0 +1,103 @@
+//! Black-box tests of the `tpi-lint` and `tpi-model` command lines:
+//! exit codes, the structured unknown-scheme error both binaries share
+//! with the serve wire layer, and the shape of `tpi-model` output.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {bin}: {e}"))
+}
+
+const UNKNOWN_SCHEME: &str = "error[bad_field]: unknown scheme \"frobnicate\" \
+     (registered: base, sc, tpi, hw, ll, ideal, tardis, hybrid)";
+
+#[test]
+fn lint_rejects_unknown_scheme_with_structured_error() {
+    let out = run(
+        env!("CARGO_BIN_EXE_tpi-lint"),
+        &["--schemes", "frobnicate", "--all-kernels"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.trim(), UNKNOWN_SCHEME);
+    // A field error is not a usage error: no usage dump.
+    assert!(
+        !stderr.contains("USAGE"),
+        "field errors must not dump usage"
+    );
+}
+
+#[test]
+fn lint_still_dumps_usage_on_usage_errors() {
+    let out = run(env!("CARGO_BIN_EXE_tpi-lint"), &["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn model_rejects_unknown_scheme_with_structured_error() {
+    let out = run(
+        env!("CARGO_BIN_EXE_tpi-model"),
+        &["--schemes", "frobnicate"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.trim(), UNKNOWN_SCHEME);
+    assert!(
+        !stderr.contains("USAGE"),
+        "field errors must not dump usage"
+    );
+}
+
+#[test]
+fn model_rejects_out_of_range_bounds_as_field_errors() {
+    let out = run(env!("CARGO_BIN_EXE_tpi-model"), &["--procs", "9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim(),
+        "error[bad_field]: --procs must be in 2..=4, got 9"
+    );
+}
+
+#[test]
+fn model_verifies_two_schemes_and_reports_states() {
+    let out = run(
+        env!("CARGO_BIN_EXE_tpi-model"),
+        &[
+            "--schemes",
+            "tpi,tardis",
+            "--procs",
+            "2",
+            "--words",
+            "1",
+            "--deny",
+            "violations",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 scheme(s)"));
+    assert!(stdout.contains("verified"));
+    assert!(stdout.contains("explored"));
+    assert!(stdout.contains("0 violation(s)"));
+}
+
+#[test]
+fn model_json_output_is_structured() {
+    let out = run(
+        env!("CARGO_BIN_EXE_tpi-model"),
+        &["--schemes", "base", "--words", "1", "--format", "json"],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"schema\":\"tpi-model/1\""));
+    assert!(stdout.contains("\"scheme\":\"base\""));
+    assert!(stdout.contains("\"violations\":[]"));
+    assert!(stdout.trim_end().ends_with("}"));
+}

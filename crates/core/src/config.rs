@@ -18,8 +18,8 @@ use tpi_trace::{SchedulePolicy, TraceOptions};
 /// HSCD schemes, and weak consistency throughout.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
-    /// Coherence scheme under test (a registry id; legacy
-    /// [`tpi_proto::SchemeKind`] values convert into it).
+    /// Coherence scheme under test (a registry [`SchemeId`], resolved
+    /// through [`tpi_proto::registry::global()`]).
     pub scheme: SchemeId,
     /// Compiler optimization level (marking quality).
     pub opt_level: OptLevel,
@@ -272,8 +272,8 @@ macro_rules! setters {
 }
 
 impl ConfigBuilder {
-    /// Coherence scheme under test: a registry [`SchemeId`] or a legacy
-    /// [`tpi_proto::SchemeKind`].
+    /// Coherence scheme under test: anything convertible into a registry
+    /// [`SchemeId`].
     pub fn scheme(mut self, scheme: impl Into<SchemeId>) -> Self {
         self.cfg.scheme = scheme.into();
         self

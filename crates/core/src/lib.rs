@@ -65,6 +65,7 @@ pub mod experiment;
 pub mod prof;
 pub mod report;
 pub mod runner;
+pub mod stepper;
 pub mod sync;
 pub mod tables;
 
@@ -75,6 +76,7 @@ pub use runner::{
     CacheStats, CellGrid, CellId, GridBuilder, GridOutcome, GridResult, PreparedCell,
     ProgramSource, RunSpec, Runner, RunnerStats, StageCache,
 };
+pub use stepper::EngineStepper;
 pub use sync::{
     catch_cell_panic, into_inner_unpoisoned, lock_unpoisoned, panic_message,
     wait_timeout_unpoisoned, wait_unpoisoned,

@@ -930,9 +930,10 @@ impl<'r> GridBuilder<'r> {
         self
     }
 
-    /// Adds schemes to cross with every kernel and variant — registry
-    /// [`SchemeId`]s or legacy [`tpi_proto::SchemeKind`]s. Without any,
-    /// the base configuration's scheme runs alone.
+    /// Adds schemes to cross with every kernel and variant — anything
+    /// convertible into registry [`SchemeId`]s (e.g.
+    /// `registry::global().main_schemes()`). Without any, the base
+    /// configuration's scheme runs alone.
     #[must_use]
     pub fn schemes<S: Into<SchemeId>>(mut self, schemes: impl IntoIterator<Item = S>) -> Self {
         self.schemes.extend(schemes.into_iter().map(Into::into));

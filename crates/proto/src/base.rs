@@ -43,11 +43,59 @@ impl BaseEngine {
             ever_cached,
         }
     }
+
+    /// Checks the defining BASE property: no cache ever holds a valid
+    /// word of the shared segment (`tpi-model` invariant
+    /// `base-no-shared-lines`).
+    pub(crate) fn check_no_shared_lines(&self) -> Result<(), String> {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut bad = None;
+            cache.for_each_line(|line| {
+                for w in 0..wpl {
+                    let addr = WordAddr(geom.first_word(line.addr).0 + w as u64);
+                    if line.word_valid(w) && self.cfg.is_shared(addr) && bad.is_none() {
+                        bad = Some(addr);
+                    }
+                }
+            });
+            if let Some(addr) = bad {
+                return Err(format!(
+                    "proc {p} caches shared word {} (BASE never caches shared data)",
+                    addr.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only sabotage: force a valid copy of shared word `addr` into
+    /// proc 0's cache, violating `base-no-shared-lines`.
+    #[doc(hidden)]
+    pub fn debug_cache_shared_word(&mut self, addr: WordAddr) {
+        let geom = self.cfg.cache.geometry;
+        let la = geom.line_of(addr);
+        let w = geom.word_in_line(addr);
+        if self.caches[0].peek(la).is_none() {
+            let _ = self.caches[0].insert(Line::new(la, geom.words_per_line()));
+        }
+        let line = self.caches[0].touch_mut(la).expect("resident");
+        line.set_word_valid(w, true);
+    }
 }
 
 impl CoherenceEngine for BaseEngine {
     fn name(&self) -> &'static str {
         "BASE"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn read(

@@ -272,11 +272,34 @@ impl DirectoryEngine {
         }
         Ok(())
     }
+
+    /// Test-only sabotage for the `tpi-model` seeded-violation tests:
+    /// clear processor `p`'s presence bit (and ownership) for the line of
+    /// `addr` while its copy stays resident — the lost-sharer directory
+    /// bug [`DirectoryEngine::verify_invariants`] exists to catch.
+    #[doc(hidden)]
+    pub fn debug_drop_sharer_bit(&mut self, p: usize, addr: WordAddr) {
+        let la = self.cfg.cache.geometry.line_of(addr);
+        if let Some(e) = self.directory.get_mut(&la.0) {
+            if e.owner == Some(p as u32) {
+                e.owner = None;
+            }
+            e.sharers &= !Self::bit(p as u32);
+        }
+    }
 }
 
 impl CoherenceEngine for DirectoryEngine {
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn read(

@@ -178,11 +178,91 @@ impl HybridEngine {
             }
         }
     }
+
+    /// Checks directory coverage (`tpi-model` invariant
+    /// `hybrid-sharer-mask`): every cache holding a line with at least
+    /// one valid word must have its presence bit set, or writes to the
+    /// line would never be pushed to that copy. The converse is *not*
+    /// an invariant — silently evicted sharers are retired lazily, so
+    /// stale presence bits are expected.
+    pub(crate) fn check_sharer_mask(&self) -> Result<(), String> {
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut bad = None;
+            cache.for_each_line(|line| {
+                if line.any_valid() && bad.is_none() {
+                    let mask = self.sharers.get(&line.addr.0).copied().unwrap_or(0);
+                    if mask & (1u64 << p) == 0 {
+                        bad = Some(line.addr);
+                    }
+                }
+            });
+            if let Some(la) = bad {
+                return Err(format!(
+                    "proc {p} caches line {} but its directory presence bit \
+                     is clear: future writes would never update or \
+                     invalidate this copy",
+                    la.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that no cached copy runs ahead of always-current memory
+    /// (`tpi-model` invariant `hybrid-word-version`): under write-through,
+    /// memory is bumped before any copy, so a cached valid word's version
+    /// never exceeds the home's.
+    pub(crate) fn check_word_versions(&self) -> Result<(), String> {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut bad = None;
+            cache.for_each_line(|line| {
+                for w in 0..wpl {
+                    if line.word_valid(w) && bad.is_none() {
+                        let a = WordAddr(geom.first_word(line.addr).0 + u64::from(w));
+                        let mem = self.mem_versions.get(&a.0).copied().unwrap_or(0);
+                        if line.version(w) > mem {
+                            bad = Some((a, line.version(w), mem));
+                        }
+                    }
+                }
+            });
+            if let Some((a, cached, mem)) = bad {
+                return Err(format!(
+                    "proc {p} caches word {} at version {cached} ahead of \
+                     write-through memory at {mem}",
+                    a.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only sabotage for the `tpi-model` seeded-violation tests:
+    /// clear processor `p`'s presence bit for the line of `addr` while it
+    /// still holds the copy — the lost-sharer directory bug that would
+    /// leave the copy permanently stale.
+    #[doc(hidden)]
+    pub fn debug_drop_sharer_bit(&mut self, p: usize, addr: WordAddr) {
+        let la = self.cfg.cache.geometry.line_of(addr);
+        if let Some(mask) = self.sharers.get_mut(&la.0) {
+            *mask &= !(1u64 << p);
+        }
+    }
 }
 
 impl CoherenceEngine for HybridEngine {
     fn name(&self) -> &'static str {
         "HYB"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn read(

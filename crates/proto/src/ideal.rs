@@ -59,6 +59,14 @@ impl CoherenceEngine for IdealEngine {
         "IDEAL"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn read(
         &mut self,
         proc: ProcId,

@@ -1,0 +1,169 @@
+//! Scheme-specific safety invariants for the `tpi-model` model checker.
+//!
+//! Every registered [`crate::Scheme`] may supply a catalog of
+//! [`ModelInvariant`]s through [`crate::Scheme::model_invariants`]. The
+//! checker calls each invariant's `check` function against the live
+//! engine after every exploration step and every epoch boundary; a check
+//! downcasts the `dyn CoherenceEngine` back to its concrete type (via
+//! [`CoherenceEngine::as_any`]) and inspects the protocol bookkeeping the
+//! trait interface deliberately hides — directories, timetags, leases,
+//! sharer masks.
+//!
+//! The catalogs here cover the built-in schemes; see `DESIGN.md`
+//! ("Model checking the protocols") for what a new scheme must supply.
+
+use crate::base::BaseEngine;
+use crate::fullmap::DirectoryEngine;
+use crate::hybrid::HybridEngine;
+use crate::tardis::TardisEngine;
+use crate::tpi::TpiEngine;
+use crate::CoherenceEngine;
+
+/// One scheme-specific safety invariant checked after every model step.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInvariant {
+    /// Stable kebab-case name, quoted in counterexample traces.
+    pub name: &'static str,
+    /// One-line statement of the property.
+    pub description: &'static str,
+    /// Checks the invariant against a live engine. `Err` carries a
+    /// human-readable description of the violation.
+    pub check: fn(&dyn CoherenceEngine) -> Result<(), String>,
+}
+
+/// Downcasts `engine` to `T`, or explains which type the invariant
+/// expected — an invariant paired with the wrong scheme is itself a bug
+/// worth surfacing, not a silent pass.
+fn downcast<T: 'static>(engine: &dyn CoherenceEngine) -> Result<&T, String> {
+    engine.as_any().downcast_ref::<T>().ok_or_else(|| {
+        format!(
+            "invariant expected a {} engine but got {}",
+            std::any::type_name::<T>(),
+            engine.name()
+        )
+    })
+}
+
+/// Invariants of the BASE (uncached-shared) engine.
+#[must_use]
+pub fn base_invariants() -> Vec<ModelInvariant> {
+    vec![ModelInvariant {
+        name: "base-no-shared-lines",
+        description: "no cache ever holds a valid word of the shared segment",
+        check: |e| downcast::<BaseEngine>(e)?.check_no_shared_lines(),
+    }]
+}
+
+/// Invariants of the TPI (two-phase invalidation) engine.
+#[must_use]
+pub fn tpi_invariants() -> Vec<ModelInvariant> {
+    vec![ModelInvariant {
+        name: "tpi-phase-discipline",
+        description: "phase resets never preserve an out-of-phase timetag",
+        check: |e| downcast::<TpiEngine>(e)?.check_phase_discipline(),
+    }]
+}
+
+/// Invariants of the directory engines (full-map HW and LimitLess).
+#[must_use]
+pub fn directory_invariants() -> Vec<ModelInvariant> {
+    vec![ModelInvariant {
+        name: "dir-consistency",
+        description: "directory entries and cached copies match exactly \
+                      (owner exclusive, presence bits shared, no orphans)",
+        check: |e| downcast::<DirectoryEngine>(e)?.verify_invariants(),
+    }]
+}
+
+/// Invariants of the Tardis timestamp-lease engine.
+#[must_use]
+pub fn tardis_invariants() -> Vec<ModelInvariant> {
+    vec![
+        ModelInvariant {
+            name: "tardis-stale-copy-lease",
+            description: "a stale cached copy is leased strictly below the \
+                          home write timestamp",
+            check: |e| downcast::<TardisEngine>(e)?.check_stale_copy_leases(),
+        },
+        ModelInvariant {
+            name: "tardis-lease-grant",
+            description: "every cached lease is bounded by the home's \
+                          max(rts, wts)",
+            check: |e| downcast::<TardisEngine>(e)?.check_lease_grants(),
+        },
+    ]
+}
+
+/// Invariants of the hybrid update/invalidate engine.
+#[must_use]
+pub fn hybrid_invariants() -> Vec<ModelInvariant> {
+    vec![
+        ModelInvariant {
+            name: "hybrid-sharer-mask",
+            description: "every cache holding a valid copy has its \
+                          directory presence bit set",
+            check: |e| downcast::<HybridEngine>(e)?.check_sharer_mask(),
+        },
+        ModelInvariant {
+            name: "hybrid-word-version",
+            description: "no cached word runs ahead of write-through memory",
+            check: |e| downcast::<HybridEngine>(e)?.check_word_versions(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::global;
+    use crate::{build_engine, EngineConfig, SchemeId};
+
+    #[test]
+    fn builtin_invariants_pass_on_fresh_engines() {
+        for scheme in global().all() {
+            let engine = build_engine(scheme.id(), EngineConfig::paper_default(1024));
+            for inv in scheme.model_invariants() {
+                (inv.check)(engine.as_ref())
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", scheme.id(), inv.name));
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_names_are_stable_and_scheme_prefixed() {
+        let expect = [
+            (SchemeId::BASE, vec!["base-no-shared-lines"]),
+            (SchemeId::SC, vec![]),
+            (SchemeId::TPI, vec!["tpi-phase-discipline"]),
+            (SchemeId::FULL_MAP, vec!["dir-consistency"]),
+            (SchemeId::LIMITLESS, vec!["dir-consistency"]),
+            (SchemeId::IDEAL, vec![]),
+            (
+                SchemeId::TARDIS,
+                vec!["tardis-stale-copy-lease", "tardis-lease-grant"],
+            ),
+            (
+                SchemeId::HYBRID,
+                vec!["hybrid-sharer-mask", "hybrid-word-version"],
+            ),
+        ];
+        for (id, names) in expect {
+            let got: Vec<&str> = global()
+                .get(id)
+                .unwrap()
+                .model_invariants()
+                .iter()
+                .map(|i| i.name)
+                .collect();
+            assert_eq!(got, names, "{id}");
+        }
+    }
+
+    #[test]
+    fn mismatched_downcast_reports_instead_of_passing() {
+        let engine = build_engine(SchemeId::SC, EngineConfig::paper_default(1024));
+        let inv = &tpi_invariants()[0];
+        let err = (inv.check)(engine.as_ref()).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

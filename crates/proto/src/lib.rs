@@ -1,25 +1,29 @@
 //! Coherence schemes for the TPI study: BASE, SC, TPI, and directory
 //! protocols (full-map and LimitLess), behind one [`CoherenceEngine`]
-//! interface.
+//! interface. Schemes are resolved by [`SchemeId`] through the pluggable
+//! [`registry`].
 //!
-//! The four schemes reproduce Section 4.2 of the paper:
+//! The four main schemes reproduce Section 4.2 of the paper:
 //!
-//! * [`SchemeKind::Base`] — shared data is never cached; every shared
+//! * [`SchemeId::BASE`] — shared data is never cached; every shared
 //!   access is a remote memory access (the Cray T3D / Paragon usage model).
-//! * [`SchemeKind::Sc`] — software cache-bypass: compiler-marked
+//! * [`SchemeId::SC`] — software cache-bypass: compiler-marked
 //!   potentially-stale loads always go to memory (a cache-block invalidate
 //!   followed by a load on a stock microprocessor), so only task-local reuse
 //!   survives. Write-through, write-allocate.
-//! * [`SchemeKind::Tpi`] — the paper's two-phase invalidation scheme:
+//! * [`SchemeId::TPI`] — the paper's two-phase invalidation scheme:
 //!   per-word timetags checked against the compiler's Time-Read distance,
 //!   line fills stamping non-requested words `epoch - 1`, two-phase tag
 //!   resets. Write-through, write-allocate.
-//! * [`SchemeKind::FullMap`] — a three-state (Invalid / Read-Shared /
+//! * [`SchemeId::FULL_MAP`] — a three-state (Invalid / Read-Shared /
 //!   Write-Exclusive) invalidation protocol with a full-map directory and
-//!   write-back caches.
-//! * [`SchemeKind::LimitLess`] — the directory protocol with `i` hardware
+//!   write-back caches (label "HW").
+//! * [`SchemeId::LIMITLESS`] — the directory protocol with `i` hardware
 //!   pointers and a software trap on overflow (used in the paper's storage
 //!   comparison; implemented here as a protocol variant too).
+//!
+//! The registry also carries the IDEAL oracle and the post-paper TARDIS
+//! and HYB protocols; see [`registry::global()`].
 //!
 //! All engines run under weak consistency: reads stall the processor,
 //! writes retire through (infinite) write buffers and must be globally
@@ -31,6 +35,7 @@ pub mod base;
 pub mod fullmap;
 pub mod hybrid;
 pub mod ideal;
+pub mod invariant;
 pub mod registry;
 pub mod sc;
 pub mod stats;
@@ -43,6 +48,7 @@ pub use base::BaseEngine;
 pub use fullmap::DirectoryEngine;
 pub use hybrid::HybridEngine;
 pub use ideal::IdealEngine;
+pub use invariant::ModelInvariant;
 pub use registry::{RegistryError, Scheme, SchemeCaps, SchemeId, SchemeRegistry};
 pub use sc::ScEngine;
 pub use stats::{EngineStats, MissClass, ProcStats};
@@ -61,6 +67,7 @@ use tpi_net::{Network, NetworkConfig};
 /// Every `SchemeKind` converts losslessly into a [`SchemeId`]
 /// (`SchemeKind::Tpi.into()`), and the two compare equal across types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[deprecated(note = "use SchemeId and the scheme registry instead")]
 pub enum SchemeKind {
     /// No caching of shared data.
     Base,
@@ -77,6 +84,7 @@ pub enum SchemeKind {
     Ideal,
 }
 
+#[allow(deprecated)]
 impl SchemeKind {
     /// The four schemes of the paper's main evaluation.
     pub const MAIN: [SchemeKind; 4] = [
@@ -100,6 +108,7 @@ impl SchemeKind {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for SchemeKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
@@ -272,9 +281,22 @@ impl AccessOutcome {
 ///
 /// The timing simulator drives an engine with per-processor `now` clocks;
 /// engines return stall cycles and account traffic into their [`Network`].
-pub trait CoherenceEngine {
+///
+/// `Debug` is a supertrait so model-checking tooling can fingerprint the
+/// complete protocol state; all engines derive it.
+pub trait CoherenceEngine: std::fmt::Debug {
     /// Scheme label for reports.
     fn name(&self) -> &'static str;
+
+    /// The concrete engine as [`std::any::Any`], so scheme-specific
+    /// tooling (the [`invariant`] checks of `tpi-model`) can downcast a
+    /// boxed engine back to its real type. Implementations return `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable [`std::any::Any`] access, for the `tpi-model` sabotage
+    /// hooks that hand-break a live engine to prove the checker catches
+    /// each invariant. Implementations return `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 
     /// Processes a load by `proc` at local time `now`. `version` is the
     /// value generation the load must observe (simulation shadow state).
@@ -370,6 +392,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn labels() {
         assert_eq!(SchemeKind::Tpi.to_string(), "TPI");
         assert_eq!(SchemeKind::FullMap.label(), "HW");
@@ -395,6 +418,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn build_engine_accepts_legacy_kind() {
         let e = build_engine(SchemeKind::FullMap, EngineConfig::paper_default(1024));
         assert_eq!(e.name(), "HW");

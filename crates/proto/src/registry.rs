@@ -1,5 +1,5 @@
 //! Pluggable scheme registry: the open-ended successor to the closed
-//! [`SchemeKind`] enum.
+//! [`crate::SchemeKind`] enum.
 //!
 //! A coherence protocol plugs into the study by implementing the
 //! [`Scheme`] trait — a stable [`SchemeId`], a table label, a storage-cost
@@ -19,18 +19,18 @@
 use std::sync::OnceLock;
 
 use crate::hybrid::HybridEngine;
+use crate::invariant::{self, ModelInvariant};
 use crate::storage::{self, StorageOverhead, StorageParams};
 use crate::tardis::TardisEngine;
 use crate::{
-    BaseEngine, CoherenceEngine, DirectoryEngine, EngineConfig, IdealEngine, ScEngine, SchemeKind,
-    TpiEngine,
+    BaseEngine, CoherenceEngine, DirectoryEngine, EngineConfig, IdealEngine, ScEngine, TpiEngine,
 };
 
 /// Stable identifier of a registered scheme (lower-case, e.g. `"tpi"`).
 ///
 /// `SchemeId` is a `Copy` newtype over the scheme's interned id string, so
 /// it can sit in `Copy + Hash` config and cache-key structs exactly like
-/// the old [`SchemeKind`] enum did. Equality and hashing are by id
+/// the old [`crate::SchemeKind`] enum did. Equality and hashing are by id
 /// content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SchemeId(&'static str);
@@ -83,28 +83,38 @@ impl std::fmt::Display for SchemeId {
     }
 }
 
-impl From<SchemeKind> for SchemeId {
-    fn from(kind: SchemeKind) -> SchemeId {
-        match kind {
-            SchemeKind::Base => SchemeId::BASE,
-            SchemeKind::Sc => SchemeId::SC,
-            SchemeKind::Tpi => SchemeId::TPI,
-            SchemeKind::FullMap => SchemeId::FULL_MAP,
-            SchemeKind::LimitLess => SchemeId::LIMITLESS,
-            SchemeKind::Ideal => SchemeId::IDEAL,
+/// Conversions bridging the deprecated [`crate::SchemeKind`] enum into
+/// registry ids. Confined to this module so the `#[allow(deprecated)]`
+/// fence covers only the bridge (and the alias definition itself).
+mod kind_bridge {
+    #![allow(deprecated)]
+
+    use super::SchemeId;
+    use crate::SchemeKind;
+
+    impl From<SchemeKind> for SchemeId {
+        fn from(kind: SchemeKind) -> SchemeId {
+            match kind {
+                SchemeKind::Base => SchemeId::BASE,
+                SchemeKind::Sc => SchemeId::SC,
+                SchemeKind::Tpi => SchemeId::TPI,
+                SchemeKind::FullMap => SchemeId::FULL_MAP,
+                SchemeKind::LimitLess => SchemeId::LIMITLESS,
+                SchemeKind::Ideal => SchemeId::IDEAL,
+            }
         }
     }
-}
 
-impl PartialEq<SchemeKind> for SchemeId {
-    fn eq(&self, other: &SchemeKind) -> bool {
-        *self == SchemeId::from(*other)
+    impl PartialEq<SchemeKind> for SchemeId {
+        fn eq(&self, other: &SchemeKind) -> bool {
+            *self == SchemeId::from(*other)
+        }
     }
-}
 
-impl PartialEq<SchemeId> for SchemeKind {
-    fn eq(&self, other: &SchemeId) -> bool {
-        SchemeId::from(*self) == *other
+    impl PartialEq<SchemeId> for SchemeKind {
+        fn eq(&self, other: &SchemeId) -> bool {
+            SchemeId::from(*self) == *other
+        }
     }
 }
 
@@ -162,6 +172,17 @@ pub trait Scheme: Sync {
 
     /// Builds a fresh engine for one simulation run.
     fn build(&self, cfg: EngineConfig) -> Box<dyn CoherenceEngine>;
+
+    /// Scheme-specific safety invariants for `tpi-model`, checked against
+    /// the live engine after every exploration step.
+    ///
+    /// The default is empty, but schemes with internal bookkeeping
+    /// (directories, timetags, leases) should supply the invariants that
+    /// make that bookkeeping checkable; see `DESIGN.md` ("Model checking
+    /// the protocols").
+    fn model_invariants(&self) -> Vec<ModelInvariant> {
+        Vec::new()
+    }
 }
 
 /// Errors from registry registration and lookup.
@@ -195,6 +216,19 @@ impl std::fmt::Display for RegistryError {
                     known.join(", ")
                 )
             }
+        }
+    }
+}
+
+impl RegistryError {
+    /// Stable machine-readable error code, shared with the serve wire
+    /// layer's structured `BadRequest` errors so CLI drivers and `/v1`
+    /// endpoints reject bad scheme names identically.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            RegistryError::Duplicate { .. } => "duplicate_scheme",
+            RegistryError::Unknown { .. } => "bad_field",
         }
     }
 }
@@ -272,7 +306,8 @@ macro_rules! builtin_scheme {
     (
         $ty:ident, $id:expr, $label:expr, $desc:expr,
         main: $main:expr, caps: $caps:expr,
-        storage: $storage:expr, build: $build:expr
+        storage: $storage:expr, build: $build:expr,
+        invariants: $invariants:expr
     ) => {
         #[doc = concat!("Built-in registry entry for the ", $label, " scheme.")]
         pub struct $ty;
@@ -301,6 +336,10 @@ macro_rules! builtin_scheme {
                 #[allow(clippy::redundant_closure_call)]
                 ($build)(cfg)
             }
+            fn model_invariants(&self) -> Vec<ModelInvariant> {
+                #[allow(clippy::redundant_closure_call)]
+                ($invariants)()
+            }
         }
     };
 }
@@ -311,7 +350,8 @@ builtin_scheme!(
     main: true,
     caps: SchemeCaps { needs_epoch_boundary: false, uses_compiler_marks: false, timestamp_bits: None },
     storage: |_p: StorageParams| StorageOverhead::default(),
-    build: |cfg| Box::new(BaseEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(BaseEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::base_invariants
 );
 
 builtin_scheme!(
@@ -320,7 +360,8 @@ builtin_scheme!(
     main: true,
     caps: SchemeCaps { needs_epoch_boundary: true, uses_compiler_marks: true, timestamp_bits: None },
     storage: |_p: StorageParams| StorageOverhead::default(),
-    build: |cfg| Box::new(ScEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(ScEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: Vec::new
 );
 
 builtin_scheme!(
@@ -329,7 +370,8 @@ builtin_scheme!(
     main: true,
     caps: SchemeCaps { needs_epoch_boundary: true, uses_compiler_marks: true, timestamp_bits: Some(8) },
     storage: storage::tpi,
-    build: |cfg| Box::new(TpiEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(TpiEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::tpi_invariants
 );
 
 builtin_scheme!(
@@ -338,7 +380,8 @@ builtin_scheme!(
     main: true,
     caps: SchemeCaps { needs_epoch_boundary: false, uses_compiler_marks: false, timestamp_bits: None },
     storage: storage::full_map,
-    build: |cfg| Box::new(DirectoryEngine::full_map(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(DirectoryEngine::full_map(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::directory_invariants
 );
 
 builtin_scheme!(
@@ -347,7 +390,8 @@ builtin_scheme!(
     main: false,
     caps: SchemeCaps { needs_epoch_boundary: false, uses_compiler_marks: false, timestamp_bits: None },
     storage: storage::limitless_as_tabulated,
-    build: |cfg| Box::new(DirectoryEngine::limitless(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(DirectoryEngine::limitless(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::directory_invariants
 );
 
 builtin_scheme!(
@@ -356,7 +400,8 @@ builtin_scheme!(
     main: false,
     caps: SchemeCaps { needs_epoch_boundary: false, uses_compiler_marks: false, timestamp_bits: None },
     storage: |_p: StorageParams| StorageOverhead::default(),
-    build: |cfg| Box::new(IdealEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(IdealEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: Vec::new
 );
 
 builtin_scheme!(
@@ -369,7 +414,8 @@ builtin_scheme!(
         timestamp_bits: Some(storage::TARDIS_TS_BITS as u32),
     },
     storage: storage::tardis,
-    build: |cfg| Box::new(TardisEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(TardisEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::tardis_invariants
 );
 
 builtin_scheme!(
@@ -378,7 +424,8 @@ builtin_scheme!(
     main: false,
     caps: SchemeCaps { needs_epoch_boundary: true, uses_compiler_marks: false, timestamp_bits: None },
     storage: storage::hybrid,
-    build: |cfg| Box::new(HybridEngine::new(cfg)) as Box<dyn CoherenceEngine>
+    build: |cfg| Box::new(HybridEngine::new(cfg)) as Box<dyn CoherenceEngine>,
+    invariants: invariant::hybrid_invariants
 );
 
 /// The built-in schemes, in registration (and therefore table) order.
@@ -488,7 +535,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn scheme_id_interops_with_scheme_kind() {
+        use crate::SchemeKind;
         assert_eq!(SchemeId::from(SchemeKind::FullMap), SchemeId::FULL_MAP);
         assert!(SchemeId::TPI == SchemeKind::Tpi);
         assert!(SchemeKind::LimitLess == SchemeId::LIMITLESS);

@@ -145,11 +145,97 @@ impl TardisEngine {
         line.set_word_accessed(req_word);
         self.ever_cached[p].insert(line_addr.0);
     }
+
+    /// Checks that every *stale* cached copy is already expired
+    /// (`tpi-model` invariant `tardis-stale-copy-lease`): if a cached
+    /// word's version is behind memory, some write has happened, and that
+    /// write's timestamp was chosen past every outstanding lease — so the
+    /// stale copy's lease must sit strictly below the home `wts`. A stale
+    /// copy leased at or beyond `wts` could be consumed after the write
+    /// in logical time.
+    pub(crate) fn check_stale_copy_leases(&self) -> Result<(), String> {
+        self.for_each_cached_word(|p, a, line, w| {
+            let cached = line.version(w);
+            let mem = self.mem_versions.get(&a.0).copied().unwrap_or(0);
+            if cached < mem && line.lease(w) >= self.wts(a) {
+                return Err(format!(
+                    "proc {p} holds stale word {} (version {cached} < memory {mem}) \
+                     with live lease {} >= write timestamp {}",
+                    a.0,
+                    line.lease(w),
+                    self.wts(a)
+                ));
+            }
+            Ok(())
+        })
+    }
+
+    /// Checks that no cache holds a lease the home never granted
+    /// (`tpi-model` invariant `tardis-lease-grant`): every cached word's
+    /// lease is bounded by `max(rts, wts)` at the home, since `rts`
+    /// records the largest read lease handed out and a writer's own copy
+    /// is leased exactly at its write timestamp.
+    pub(crate) fn check_lease_grants(&self) -> Result<(), String> {
+        self.for_each_cached_word(|p, a, line, w| {
+            let bound = self.rts(a).max(self.wts(a));
+            if line.lease(w) > bound {
+                return Err(format!(
+                    "proc {p} holds word {} leased to {} but the home only \
+                     granted up to {bound} (rts {}, wts {})",
+                    a.0,
+                    line.lease(w),
+                    self.rts(a),
+                    self.wts(a)
+                ));
+            }
+            Ok(())
+        })
+    }
+
+    /// Visits every valid cached word, short-circuiting on the first
+    /// error.
+    fn for_each_cached_word(
+        &self,
+        mut f: impl FnMut(usize, WordAddr, &Line, u32) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut res = Ok(());
+            cache.for_each_line(|line| {
+                for w in 0..wpl {
+                    if res.is_ok() && line.word_valid(w) {
+                        let a = WordAddr(geom.first_word(line.addr).0 + u64::from(w));
+                        res = f(p, a, line, w);
+                    }
+                }
+            });
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Test-only sabotage for the `tpi-model` seeded-violation tests:
+    /// rewind the home write timestamp of `addr` to zero, as if a write
+    /// had been ordered before leases it actually succeeded — the
+    /// timestamp-ordering bug Tardis's correctness proof rules out.
+    #[doc(hidden)]
+    pub fn debug_rewind_wts(&mut self, addr: WordAddr) {
+        self.mem_wts.insert(addr.0, 0);
+    }
 }
 
 impl CoherenceEngine for TardisEngine {
     fn name(&self) -> &'static str {
         "TARDIS"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn read(

@@ -49,6 +49,10 @@ pub struct TpiEngine {
     /// Scratch buffer of per-word memory versions, reused across
     /// [`TpiEngine::fill`] calls so the hot fill path never allocates.
     fill_versions: Vec<u64>,
+    /// Test-only sabotage: when set, epoch boundaries advance the tag
+    /// clock but never apply its reset events (see
+    /// [`TpiEngine::debug_skip_resets`]).
+    skip_resets: bool,
 }
 
 /// Cheap monotonic counters over the engine's hot operations; purely
@@ -96,7 +100,68 @@ impl TpiEngine {
             l1s,
             ops: OpCounters::default(),
             fill_versions,
+            skip_resets: false,
         }
+    }
+
+    /// Test-only sabotage for the `tpi-model` seeded-violation tests:
+    /// keep advancing the epoch clock but drop its phase-reset events, so
+    /// out-of-phase words survive a tag-range invalidation and alias to
+    /// fresh epochs — exactly the bug two-phase invalidation exists to
+    /// prevent (`tpi-phase-discipline` catches it).
+    #[doc(hidden)]
+    pub fn debug_skip_resets(&mut self) {
+        self.skip_resets = true;
+    }
+
+    /// Checks the two-phase reset discipline (`tpi-model` invariant
+    /// `tpi-phase-discipline`): no cached valid word's timetag may be
+    /// older than the reset machinery allows. With tag modulus `m` and
+    /// half `h = m/2`, a surviving word in the same phase half as the
+    /// current tag is at most `t mod h` epochs old, one in the other half
+    /// at most `(t mod h) + h`; under [`tpi_cache::ResetStrategy::FullFlushOnWrap`] every
+    /// survivor is at most `t` old. Anything older must have been wiped
+    /// by a reset — if it wasn't, its tag can alias a future epoch.
+    pub(crate) fn check_phase_discipline(&self) -> Result<(), String> {
+        let geom = self.cfg.cache.geometry;
+        let wpl = geom.words_per_line();
+        let t = u64::from(self.clock.hw_tag());
+        let h = self.clock.modulus() / 2;
+        for (p, cache) in self.caches.iter().enumerate() {
+            let mut bad: Option<(u64, u16, u64, u64)> = None;
+            cache.for_each_line(|line| {
+                for w in 0..wpl {
+                    if !line.word_valid(w) {
+                        continue;
+                    }
+                    let tag = line.timetag(w);
+                    let age = self.clock.age_of(tag);
+                    let limit = match self.cfg.reset_strategy {
+                        tpi_cache::ResetStrategy::FullFlushOnWrap => t,
+                        tpi_cache::ResetStrategy::TwoPhase => {
+                            let same_half = (u64::from(tag) < h) == (t < h);
+                            if same_half {
+                                t % h
+                            } else {
+                                (t % h) + h
+                            }
+                        }
+                    };
+                    if age > limit && bad.is_none() {
+                        let addr = geom.first_word(line.addr).0 + u64::from(w);
+                        bad = Some((addr, tag, age, limit));
+                    }
+                }
+            });
+            if let Some((addr, tag, age, limit)) = bad {
+                return Err(format!(
+                    "proc {p} word {addr} kept out-of-phase timetag {tag} \
+                     (age {age} > allowed {limit} at epoch tag {t}): a phase \
+                     reset failed to invalidate it"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The hardware epoch clock (exposed for tests and ablation tooling).
@@ -200,6 +265,14 @@ impl TpiEngine {
 impl CoherenceEngine for TpiEngine {
     fn name(&self) -> &'static str {
         "TPI"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn read(
@@ -436,10 +509,12 @@ impl CoherenceEngine for TpiEngine {
             }
         }
         if let Some(ev) = self.clock.advance() {
-            for (p, stall) in stalls.iter_mut().enumerate() {
-                let dropped = self.caches[p].apply_reset(ev);
-                self.stats.proc_mut(p).reset_words += dropped;
-                *stall += self.cfg.reset_cycles;
+            if !self.skip_resets {
+                for (p, stall) in stalls.iter_mut().enumerate() {
+                    let dropped = self.caches[p].apply_reset(ev);
+                    self.stats.proc_mut(p).reset_words += dropped;
+                    *stall += self.cfg.reset_cycles;
+                }
             }
         }
         stalls

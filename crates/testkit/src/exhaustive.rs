@@ -1,0 +1,97 @@
+//! Exhaustive bounded enumeration, for tools that sweep *every* small
+//! structure instead of sampling (the `tpi-model` checker enumerates all
+//! per-processor access programs up to a depth bound with these).
+//!
+//! Everything here is deliberately generic and allocation-simple: the
+//! structures being enumerated are tiny (a handful of slots over a
+//! handful of options), so clarity beats cleverness.
+
+/// All sequences over `alphabet` of length `0..=max_len`, shortest first,
+/// in lexicographic order of alphabet indices within each length.
+///
+/// The count is `Σ_{k=0..=max_len} |alphabet|^k`; keep both small.
+pub fn sequences<T: Clone>(alphabet: &[T], max_len: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<T>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(frontier.len() * alphabet.len());
+        for seq in &frontier {
+            for sym in alphabet {
+                let mut longer = seq.clone();
+                longer.push(sym.clone());
+                next.push(longer);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+/// The cartesian power: every way to fill `slots` positions from
+/// `options` (count `|options|^slots`), in lexicographic order.
+pub fn assignments<T: Clone>(slots: usize, options: &[T]) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    for _ in 0..slots {
+        let mut next = Vec::with_capacity(out.len() * options.len());
+        for partial in &out {
+            for opt in options {
+                let mut longer = partial.clone();
+                longer.push(opt.clone());
+                next.push(longer);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Deduplicates `items` under a canonicalization function: an item is
+/// kept only if it is the first to map to its canonical form. Use to
+/// quotient an enumeration by a symmetry (e.g. processor permutation).
+/// Returns the survivors and the number dropped.
+pub fn canonical_subset<T, K: Ord>(items: Vec<T>, canon: impl Fn(&T) -> K) -> (Vec<T>, usize) {
+    let mut seen = std::collections::BTreeSet::new();
+    let before = items.len();
+    let kept: Vec<T> = items
+        .into_iter()
+        .filter(|it| seen.insert(canon(it)))
+        .collect();
+    let dropped = before - kept.len();
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_counts_sum_of_powers() {
+        // 2 symbols up to length 3: 1 + 2 + 4 + 8 = 15.
+        let seqs = sequences(&[0u8, 1], 3);
+        assert_eq!(seqs.len(), 15);
+        assert_eq!(seqs[0], Vec::<u8>::new());
+        assert!(seqs.contains(&vec![1, 0, 1]));
+        // Zero-length bound: only the empty sequence.
+        assert_eq!(sequences(&[0u8, 1], 0).len(), 1);
+    }
+
+    #[test]
+    fn assignments_is_cartesian_power() {
+        let all = assignments(3, &['a', 'b']);
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], vec!['a', 'a', 'a']);
+        assert_eq!(all[7], vec!['b', 'b', 'b']);
+        // Zero slots: one empty assignment.
+        assert_eq!(assignments(0, &['a']).len(), 1);
+    }
+
+    #[test]
+    fn canonical_subset_quotients_by_symmetry() {
+        // Pairs up to swap symmetry: (a,b) ~ (b,a).
+        let pairs = vec![(1, 2), (2, 1), (3, 3), (1, 2)];
+        let (kept, dropped) = canonical_subset(pairs, |&(a, b): &(i32, i32)| (a.min(b), a.max(b)));
+        assert_eq!(kept, vec![(1, 2), (3, 3)]);
+        assert_eq!(dropped, 2);
+    }
+}

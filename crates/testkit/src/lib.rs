@@ -9,7 +9,9 @@
 //!   as strategies, [`prop_oneof!`], `prop::collection::vec`, …), so the
 //!   property suites read exactly as they would under the real crate, and
 //! * a wall-clock micro-benchmark harness ([`mod@bench`]) for the
-//!   `harness = false` bench targets.
+//!   `harness = false` bench targets, and
+//! * bounded exhaustive enumeration helpers ([`mod@exhaustive`]) for
+//!   tools that sweep every small structure instead of sampling.
 //!
 //! Generation is seeded from the test's module path and case index, so
 //! every run of every machine explores the same inputs — reproducible
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod exhaustive;
 mod rng;
 mod strategy;
 
