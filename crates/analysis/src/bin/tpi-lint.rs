@@ -9,9 +9,10 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use tpi::proto::{registry, SchemeId};
+use tpi::proto::SchemeId;
 use tpi::runner::ProgramSource;
 use tpi::{ExperimentConfig, Runner};
+use tpi_analysis::cli::{kernel_by_name, scheme_by_name, CliError};
 use tpi_analysis::diag::json_string;
 use tpi_analysis::differential::{
     check_freshness, check_sources, DifferentialOptions, FreshnessReport, ALL_LEVELS,
@@ -66,27 +67,6 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Argument errors: `Usage` mistakes get the full usage dump, `Field`
-/// carries a structured bad-value error already rendered with the same
-/// stable code the serve wire layer uses (`error[bad_field]: …`), so a
-/// typo in `--schemes` lists the registry instead of dumping usage.
-enum CliError {
-    Usage(String),
-    Field(String),
-}
-
-impl From<String> for CliError {
-    fn from(msg: String) -> Self {
-        CliError::Usage(msg)
-    }
-}
-
-fn kernel_by_name(name: &str) -> Option<Kernel> {
-    Kernel::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-}
-
 fn parse_args() -> Result<Option<Options>, CliError> {
     let mut opts = Options {
         files: Vec::new(),
@@ -114,9 +94,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
             }
             "--all-kernels" => opts.kernels = Kernel::ALL.to_vec(),
             "--kernel" => {
-                let name = value("--kernel")?;
-                let k = kernel_by_name(&name).ok_or(format!("unknown kernel {name:?}"))?;
-                opts.kernels.push(k);
+                opts.kernels.push(kernel_by_name(&value("--kernel")?)?);
             }
             "--scale" => {
                 opts.scale = match value("--scale")?.as_str() {
@@ -136,10 +114,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
                     if let Some(mode) = OracleMode::parse(name) {
                         opts.modes.push(mode);
                     } else {
-                        let scheme = registry::global()
-                            .lookup(name)
-                            .map_err(|e| CliError::Field(format!("error[{}]: {e}", e.code())))?;
-                        opts.freshness_schemes.push(scheme.id());
+                        opts.freshness_schemes.push(scheme_by_name(name)?);
                     }
                 }
             }
@@ -402,11 +377,7 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,
-        Err(CliError::Usage(msg)) => return usage_error(&msg),
-        Err(CliError::Field(msg)) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return e.exit(USAGE),
     };
     match run(&opts) {
         Ok(violations) if opts.deny_violations && violations > 0 => {

@@ -9,6 +9,7 @@
 
 use std::process::ExitCode;
 use tpi::proto::{registry, SchemeId};
+use tpi_analysis::cli::{parse_bounded, parse_scheme_list, CliError};
 use tpi_analysis::diag::json_string;
 use tpi_analysis::diagnostics_json;
 use tpi_analysis::model::{check_schemes, ModelOptions, ModelReport};
@@ -41,26 +42,6 @@ struct Options {
     deny_violations: bool,
 }
 
-/// Argument errors: `Usage` gets the full usage dump, `Field` is a
-/// structured bad-value error rendered exactly like the serve wire
-/// layer's `BadRequest` (same stable code), without the usage text.
-enum CliError {
-    Usage(String),
-    Field(String),
-}
-
-fn parse_bounded(flag: &str, value: &str, lo: u64, hi: u64) -> Result<u64, CliError> {
-    let n: u64 = value
-        .parse()
-        .map_err(|_| CliError::Usage(format!("{flag} needs an integer")))?;
-    if n < lo || n > hi {
-        return Err(CliError::Field(format!(
-            "error[bad_field]: {flag} must be in {lo}..={hi}, got {n}"
-        )));
-    }
-    Ok(n)
-}
-
 fn parse_args() -> Result<Option<Options>, CliError> {
     let mut opts = Options {
         schemes: registry::global().all().iter().map(|s| s.id()).collect(),
@@ -80,16 +61,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
                 return Ok(None);
             }
             "--schemes" => {
-                let list = value("--schemes")?;
-                if list != "all" {
-                    opts.schemes.clear();
-                    for name in list.split(',').map(str::trim) {
-                        let scheme = registry::global()
-                            .lookup(name)
-                            .map_err(|e| CliError::Field(format!("error[{}]: {e}", e.code())))?;
-                        opts.schemes.push(scheme.id());
-                    }
-                }
+                opts.schemes = parse_scheme_list(&value("--schemes")?)?;
             }
             "--procs" => {
                 opts.model.procs = parse_bounded("--procs", &value("--procs")?, 2, 4)? as u32;
@@ -206,14 +178,7 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,
-        Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-        Err(CliError::Field(msg)) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return e.exit(USAGE),
     };
     let report = check_schemes(&opts.schemes, &opts.model);
     if opts.json {

@@ -1,0 +1,170 @@
+//! Shared command-line error handling for the workspace's tools
+//! (`tpi-lint`, `tpi-model`, `tpi-run`, `tpi-fuzz`).
+//!
+//! Argument failures split into two classes with different renderings:
+//!
+//! * [`CliError::Usage`] — the invocation itself is malformed (unknown
+//!   flag, missing value). Tools print the message followed by their full
+//!   usage text and exit 2.
+//! * [`CliError::Field`] — the invocation is well-formed but a value is
+//!   out of range or names something that does not exist. The message is
+//!   already rendered with the same stable code the serve wire layer uses
+//!   (`error[bad_field]: …`), including the list of known names, and is
+//!   printed bare (no usage dump) with exit 2 — a typo in `--schemes` or
+//!   `--kernel` lists the registry instead of drowning it in usage text.
+
+use std::process::ExitCode;
+use tpi::proto::{registry, SchemeId};
+use tpi_workloads::Kernel;
+
+/// An argument error, split by rendering: `Usage` gets the tool's usage
+/// dump appended, `Field` is a structured bad-value error printed bare.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation; render with the tool's usage text.
+    Usage(String),
+    /// Bad value for a well-formed flag; message is already fully
+    /// rendered (`error[bad_field]: …`).
+    Field(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl CliError {
+    /// Renders the error to stderr (appending `usage` for the `Usage`
+    /// class) and returns the conventional argument-error exit code 2.
+    pub fn exit(&self, usage: &str) -> ExitCode {
+        match self {
+            CliError::Usage(msg) => eprintln!("error: {msg}\n\n{usage}"),
+            CliError::Field(msg) => eprintln!("{msg}"),
+        }
+        ExitCode::from(2)
+    }
+}
+
+/// Parses an integer flag value and range-checks it.
+///
+/// # Errors
+///
+/// `Usage` if the value is not an integer, `Field` if it is out of
+/// `lo..=hi`.
+pub fn parse_bounded(flag: &str, value: &str, lo: u64, hi: u64) -> Result<u64, CliError> {
+    let n: u64 = value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} needs an integer")))?;
+    if n < lo || n > hi {
+        return Err(CliError::Field(format!(
+            "error[bad_field]: {flag} must be in {lo}..={hi}, got {n}"
+        )));
+    }
+    Ok(n)
+}
+
+/// Resolves one scheme name through the global registry.
+///
+/// # Errors
+///
+/// `Field` with the registry's structured unknown-name listing.
+pub fn scheme_by_name(name: &str) -> Result<SchemeId, CliError> {
+    registry::global()
+        .lookup(name)
+        .map(|s| s.id())
+        .map_err(|e| CliError::Field(format!("error[{}]: {e}", e.code())))
+}
+
+/// Parses a `--schemes` list: `all`, or comma-separated registry names.
+///
+/// # Errors
+///
+/// `Field` for any unknown scheme name.
+pub fn parse_scheme_list(list: &str) -> Result<Vec<SchemeId>, CliError> {
+    if list == "all" {
+        return Ok(registry::global().all().iter().map(|s| s.id()).collect());
+    }
+    list.split(',').map(str::trim).map(scheme_by_name).collect()
+}
+
+/// Resolves a kernel name against the full suite (the paper's six plus
+/// the extension workloads), case-insensitively.
+///
+/// # Errors
+///
+/// `Field` with an `error[bad_field]` listing of every known kernel.
+pub fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
+    Kernel::ALL
+        .into_iter()
+        .chain(Kernel::EXTENDED)
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = Kernel::ALL
+                .into_iter()
+                .chain(Kernel::EXTENDED)
+                .map(Kernel::name)
+                .collect();
+            CliError::Field(format!(
+                "error[bad_field]: unknown kernel {name:?} (known: {})",
+                known.join(", ")
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_splits_usage_and_field() {
+        assert!(matches!(
+            parse_bounded("--n", "x", 0, 9),
+            Err(CliError::Usage(_))
+        ));
+        let err = parse_bounded("--n", "12", 0, 9).unwrap_err();
+        match err {
+            CliError::Field(msg) => {
+                assert_eq!(msg, "error[bad_field]: --n must be in 0..=9, got 12");
+            }
+            CliError::Usage(_) => panic!("range errors are Field errors"),
+        }
+        assert_eq!(parse_bounded("--n", "9", 0, 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn scheme_lists_resolve_and_reject() {
+        assert_eq!(parse_scheme_list("all").unwrap().len(), 8);
+        let ids = parse_scheme_list("tpi, tardis").unwrap();
+        assert_eq!(ids, vec![SchemeId::TPI, SchemeId::TARDIS]);
+        let err = parse_scheme_list("tpi,nope").unwrap_err();
+        match err {
+            CliError::Field(msg) => {
+                assert!(
+                    msg.starts_with("error[bad_field]: unknown scheme \"nope\""),
+                    "{msg}"
+                );
+                assert!(msg.contains("registered:"), "{msg}");
+            }
+            CliError::Usage(_) => panic!("unknown schemes are Field errors"),
+        }
+    }
+
+    #[test]
+    fn kernels_resolve_case_insensitively_and_list_on_error() {
+        assert_eq!(kernel_by_name("ocean").unwrap(), Kernel::Ocean);
+        assert_eq!(kernel_by_name("MDG").unwrap(), Kernel::Mdg);
+        let err = kernel_by_name("NOPE").unwrap_err();
+        match err {
+            CliError::Field(msg) => {
+                assert!(
+                    msg.starts_with("error[bad_field]: unknown kernel \"NOPE\""),
+                    "{msg}"
+                );
+                assert!(msg.contains("SPEC77"), "{msg}");
+                assert!(msg.contains("MDG"), "{msg}");
+            }
+            CliError::Usage(_) => panic!("unknown kernels are Field errors"),
+        }
+    }
+}

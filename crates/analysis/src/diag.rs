@@ -33,6 +33,11 @@ pub enum Code {
     /// interleaving under which a coherence engine breaks a safety
     /// invariant (freshness, accounting, or a scheme-specific property).
     Tpi901,
+    /// `TPI902 fuzz-violation`: the `tpi-fuzz` differential harness found
+    /// a generated kernel on which a scheme violates freshness, the
+    /// miss-accounting identity, a structural invariant, cross-scheme
+    /// agreement, the staleness oracle, or a static-lint guarantee.
+    Tpi902,
     /// `TPI999 custom-pass`: reserved for passes registered by library
     /// users outside this crate.
     Tpi999,
@@ -50,6 +55,7 @@ impl Code {
             Code::Tpi005 => "TPI005",
             Code::Tpi900 => "TPI900",
             Code::Tpi901 => "TPI901",
+            Code::Tpi902 => "TPI902",
             Code::Tpi999 => "TPI999",
         }
     }
@@ -65,6 +71,7 @@ impl Code {
             Code::Tpi005 => "dead-shared-array",
             Code::Tpi900 => "soundness-violation",
             Code::Tpi901 => "model-violation",
+            Code::Tpi902 => "fuzz-violation",
             Code::Tpi999 => "custom-pass",
         }
     }
@@ -246,6 +253,7 @@ mod tests {
             (Code::Tpi005, "TPI005", "dead-shared-array"),
             (Code::Tpi900, "TPI900", "soundness-violation"),
             (Code::Tpi901, "TPI901", "model-violation"),
+            (Code::Tpi902, "TPI902", "fuzz-violation"),
             (Code::Tpi999, "TPI999", "custom-pass"),
         ] {
             assert_eq!(code.as_str(), s);

@@ -62,12 +62,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod diag;
 pub mod differential;
 pub mod model;
 pub mod oracle;
 pub mod passes;
 
+pub use cli::CliError;
 pub use diag::{diagnostics_json, Code, Diagnostic, Severity};
 pub use differential::{
     check_all_kernels, check_freshness, check_sources, total_freshness_violations,

@@ -1,10 +1,14 @@
-//! `tpi-run` — compile, mark, and simulate a textual-format program.
+//! `tpi-run` — compile, mark, and simulate a textual-format program or a
+//! named suite kernel.
 //!
 //! ```text
 //! tpi-run program.tpi                       # run under TPI on the paper machine
+//! tpi-run --kernel ocean                    # run a suite kernel by name
+//! tpi-run --kernel fshare --scale test      # a fuzz-promoted kernel, test size
 //! tpi-run program.tpi --scheme all          # compare every registered scheme
 //! tpi-run program.tpi --scheme tardis       # any registry name (id or label) works
 //! tpi-run program.tpi --scheme hw --procs 32 --line-words 16 --tag-bits 4
+//! tpi-run --kernel ldreuse --scheme all --misses   # per-scheme miss-class matrix
 //! tpi-run program.tpi --show-program        # echo the parsed IR
 //! tpi-run program.tpi --show-marking        # dump the compiler's decisions
 //! tpi-run program.tpi --verify              # panic if any hit observes stale data
@@ -19,29 +23,62 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tpi::tables::{pct, Table};
 use tpi::{ExperimentConfig, Runner};
+use tpi_analysis::cli::{kernel_by_name, parse_bounded, CliError};
 use tpi_compiler::{mark_program, OptLevel};
-use tpi_ir::{display, parse_program, RefSite};
+use tpi_ir::{display, parse_program, Program, RefSite};
 use tpi_mem::ReadKind;
-use tpi_proto::{registry, SchemeId};
+use tpi_proto::{registry, MissClass, SchemeId};
+use tpi_workloads::Scale;
 
-fn usage() -> ExitCode {
-    let known: Vec<&str> = registry::global()
-        .all()
-        .iter()
-        .map(|s| s.id().as_str())
-        .collect();
-    eprintln!(
-        "usage: tpi-run <file> [--scheme {}|all] [--procs N]\n\
-         \x20       [--line-words N] [--tag-bits N] [--cache-kb N] [--opt naive|intra|full]\n\
-         \x20       [--show-program] [--show-marking] [--verify] [--export] [--lint] [--profile]",
-        known.join("|")
-    );
-    ExitCode::FAILURE
+const USAGE: &str = "\
+tpi-run: compile, mark, and simulate a program under the coherence schemes
+
+USAGE:
+    tpi-run <file.tpi> [OPTIONS]
+    tpi-run --kernel <name> [OPTIONS]
+
+OPTIONS:
+    --kernel <name>       run a suite kernel (SPEC77, OCEAN, FLO52, QCD2,
+                          TRFD, ARC2D, MDG, FSHARE, LDREUSE, MIGRATE)
+    --scale test|paper    problem size for --kernel    [default: paper]
+    --scheme <s>|all      scheme(s) to simulate        [default: tpi]
+    --procs <n>           processors, 1-1024
+    --line-words <n>      cache line size in words, 1-64
+    --tag-bits <n>        timetag width in bits, 1-32
+    --cache-kb <n>        per-node cache size in KB, 1-65536
+    --opt naive|intra|full  compiler analysis level
+    --misses              per-scheme miss-class breakdown table
+    --verify              panic if any hit observes stale data
+    --export              canonicalize: reprint the parsed program
+    --lint                static lints only, no simulation
+    --profile             machine-parsable stage profile on stdout
+    --show-program        echo the parsed IR
+    --show-marking        dump the compiler's decisions
+    -h, --help            show this help
+";
+
+struct Options {
+    source: Source,
+    scale: Scale,
+    schemes: Vec<SchemeId>,
+    cfg: ExperimentConfig,
+    show_program: bool,
+    show_marking: bool,
+    export: bool,
+    lint: bool,
+    profile: bool,
+    misses: bool,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut file = None;
+enum Source {
+    File(String),
+    Kernel(tpi_workloads::Kernel),
+}
+
+fn parse_args() -> Result<Option<Options>, CliError> {
+    let mut file: Option<String> = None;
+    let mut kernel = None;
+    let mut scale = Scale::Paper;
     let mut schemes: Vec<SchemeId> = vec![SchemeId::TPI];
     let mut builder = ExperimentConfig::builder();
     let mut show_program = false;
@@ -49,88 +86,168 @@ fn main() -> ExitCode {
     let mut export = false;
     let mut lint = false;
     let mut profile = false;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
+    let mut misses = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--kernel" => kernel = Some(kernel_by_name(&value("--kernel")?)?),
+            "--scale" => {
+                scale = match value("--scale")?.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    s => {
+                        return Err(CliError::Field(format!(
+                            "error[bad_field]: unknown scale {s:?} (known: test, paper)"
+                        )))
+                    }
+                };
+            }
             "--scheme" => {
-                let Some(v) = it.next() else { return usage() };
+                let v = value("--scheme")?;
                 schemes = if v.eq_ignore_ascii_case("all") {
                     registry::global().all().iter().map(|s| s.id()).collect()
                 } else {
                     // Registry names (id or label), case-insensitive; the
                     // error already lists everything registered.
-                    match registry::global().lookup(v) {
-                        Ok(s) => vec![s.id()],
-                        Err(e) => {
-                            eprintln!("{e}");
-                            return ExitCode::FAILURE;
-                        }
+                    vec![tpi_analysis::cli::scheme_by_name(&v)?]
+                };
+            }
+            "--procs" => {
+                builder =
+                    builder.procs(parse_bounded("--procs", &value("--procs")?, 1, 1024)? as u32);
+            }
+            "--line-words" => {
+                builder = builder.line_words(parse_bounded(
+                    "--line-words",
+                    &value("--line-words")?,
+                    1,
+                    64,
+                )? as u32);
+            }
+            "--tag-bits" => {
+                builder = builder.tag_bits(parse_bounded(
+                    "--tag-bits",
+                    &value("--tag-bits")?,
+                    1,
+                    32,
+                )? as u32);
+            }
+            "--cache-kb" => {
+                builder = builder.cache_bytes(
+                    parse_bounded("--cache-kb", &value("--cache-kb")?, 1, 65536)? as usize * 1024,
+                );
+            }
+            "--opt" => {
+                builder = match value("--opt")?.as_str() {
+                    "naive" => builder.opt_level(OptLevel::Naive),
+                    "intra" => builder.opt_level(OptLevel::Intra),
+                    "full" => builder.opt_level(OptLevel::Full),
+                    s => {
+                        return Err(CliError::Field(format!(
+                            "error[bad_field]: unknown opt level {s:?} (known: naive, intra, full)"
+                        )))
                     }
                 };
             }
-            "--procs" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => builder = builder.procs(v),
-                None => return usage(),
-            },
-            "--line-words" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => builder = builder.line_words(v),
-                None => return usage(),
-            },
-            "--tag-bits" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => builder = builder.tag_bits(v),
-                None => return usage(),
-            },
-            "--cache-kb" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(v) => builder = builder.cache_bytes(v * 1024),
-                None => return usage(),
-            },
-            "--opt" => match it.next().map(String::as_str) {
-                Some("naive") => builder = builder.opt_level(OptLevel::Naive),
-                Some("intra") => builder = builder.opt_level(OptLevel::Intra),
-                Some("full") => builder = builder.opt_level(OptLevel::Full),
-                _ => return usage(),
-            },
             "--verify" => builder = builder.verify_freshness(true),
             "--export" => export = true,
             "--lint" => lint = true,
             "--profile" => profile = true,
+            "--misses" => misses = true,
             "--show-program" => show_program = true,
             "--show-marking" => show_marking = true,
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_owned());
             }
-            _ => return usage(),
+            f => return Err(CliError::Usage(format!("unknown flag {f:?}"))),
         }
     }
-    let Some(file) = file else { return usage() };
-    let cfg = match builder.build() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
-            return ExitCode::FAILURE;
+    let source = match (file, kernel) {
+        (None, Some(k)) => Source::Kernel(k),
+        (Some(f), None) => Source::File(f),
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "give either a file or --kernel, not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "no program: give a file or --kernel".into(),
+            ))
         }
     };
-    let src = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {file}: {e}");
-            return ExitCode::FAILURE;
+    let cfg = builder
+        .build()
+        .map_err(|e| CliError::Field(format!("error[bad_field]: invalid configuration: {e}")))?;
+    Ok(Some(Options {
+        source,
+        scale,
+        schemes,
+        cfg,
+        show_program,
+        show_marking,
+        export,
+        lint,
+        profile,
+        misses,
+    }))
+}
+
+/// Cross-scheme miss-class matrix: one row per scheme, one column per
+/// miss cause (counts of read misses).
+fn miss_matrix(name: &str, opts: &Options, grid: &tpi::GridResult) -> Table {
+    let mut t = Table::new(format!("{name}: read misses by cause"));
+    let mut headers = vec!["scheme".to_string(), "reads".to_string()];
+    headers.extend(MissClass::ALL.iter().map(ToString::to_string));
+    t.headers(headers);
+    for &scheme in &opts.schemes {
+        let r = grid.at_program(name, scheme, 0);
+        let mut row = vec![scheme.label().to_string(), r.sim.agg.reads.to_string()];
+        row.extend(
+            MissClass::ALL
+                .iter()
+                .map(|&c| r.sim.agg.misses(c).to_string()),
+        );
+        t.row(row);
+    }
+    t
+}
+
+fn run(opts: &Options) -> ExitCode {
+    let (name, program): (String, Arc<Program>) = match &opts.source {
+        Source::File(file) => {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_program(&src) {
+                Ok(p) => (file.clone(), Arc::new(p)),
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        Source::Kernel(k) => (k.name().to_string(), Arc::new(k.build(opts.scale))),
     };
-    let program = match parse_program(&src) {
-        Ok(p) => Arc::new(p),
-        Err(e) => {
-            eprintln!("{file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if export {
-        // Canonicalize: print the parsed program back in the textual
-        // format and exit.
+    let cfg = opts.cfg;
+    if opts.export {
+        // Canonicalize: print the program back in the textual format.
         print!("{}", tpi_ir::program_to_source(&program));
         return ExitCode::SUCCESS;
     }
-    if lint {
+    if opts.lint {
         // Static analysis only: run the tpi-lint pass registry and exit
         // without simulating (the full oracle lives in `tpi-lint`).
         let options = tpi_analysis::LintOptions {
@@ -141,13 +258,13 @@ fn main() -> ExitCode {
         for d in &diagnostics {
             println!("{}", d.human());
         }
-        println!("{file}: {} diagnostic(s)", diagnostics.len());
+        println!("{name}: {} diagnostic(s)", diagnostics.len());
         return ExitCode::SUCCESS;
     }
-    if show_program {
+    if opts.show_program {
         println!("{}", display::program_to_string(&program));
     }
-    if show_marking {
+    if opts.show_marking {
         let marking = mark_program(&program, &cfg.compiler_options());
         let mut t = Table::new(format!("Compiler marking ({} analysis)", cfg.opt_level));
         t.headers(["site", "verdict"]);
@@ -173,19 +290,19 @@ fn main() -> ExitCode {
     let run_started = std::time::Instant::now();
     let grid = match runner
         .grid()
-        .program(&file, Arc::clone(&program))
+        .program(&name, Arc::clone(&program))
         .base(cfg)
-        .schemes(schemes.iter().copied())
+        .schemes(opts.schemes.iter().copied())
         .run()
     {
         Ok(g) => g,
         Err(e) => {
-            eprintln!("{file}: {e}");
+            eprintln!("{name}: {e}");
             return ExitCode::FAILURE;
         }
     };
     let wall_nanos = u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    if profile {
+    if opts.profile {
         // Machine-parsable: one `profile ...` line per stage and counter,
         // then the profiled total and the measured wall clock around the
         // grid run (integration tests diff the two).
@@ -202,7 +319,7 @@ fn main() -> ExitCode {
         println!("profile total_nanos={}", report.total_nanos());
         println!("profile wall_nanos={wall_nanos}");
     }
-    let mut t = Table::new(format!("{file} on {} processors", cfg.procs));
+    let mut t = Table::new(format!("{name} on {} processors", cfg.procs));
     t.headers([
         "scheme",
         "cycles",
@@ -212,8 +329,8 @@ fn main() -> ExitCode {
         "lock waits",
     ]);
     let mut hot: Option<Table> = None;
-    for &scheme in &schemes {
-        let r = grid.at_program(&file, scheme, 0);
+    for &scheme in &opts.schemes {
+        let r = grid.at_program(&name, scheme, 0);
         t.row([
             scheme.label().to_string(),
             r.sim.total_cycles.to_string(),
@@ -231,10 +348,21 @@ fn main() -> ExitCode {
         }
     }
     println!("{t}");
+    if opts.misses {
+        println!("{}", miss_matrix(&name, opts, &grid));
+    }
     if let Some(hot) = hot {
         if !hot.is_empty() {
             println!("{hot}");
         }
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Some(opts)) => run(&opts),
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => e.exit(USAGE),
+    }
 }

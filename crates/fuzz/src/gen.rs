@@ -1,0 +1,449 @@
+//! Seeded random kernel generator over the `tpi-ir` epoch grammar.
+//!
+//! Kernels are *data-race-free by construction* so every generated
+//! program is a legal input to the whole pipeline (the trace interpreter
+//! rejects racy schedules): within each DOALL epoch exactly one array is
+//! written, at a subscript injective in the loop variable, and only the
+//! writing iteration reads its own element (or its own row for 2-D
+//! outputs). Accumulator updates go through a single program-wide lock.
+//! Serial epochs run on one task and are unconstrained.
+//!
+//! Every built program is canonicalized through a
+//! [`program_to_source`] / [`parse_program`] round trip, so the `.tpi`
+//! source string *is* the kernel's identity: the corpus a seed produces
+//! is byte-stable, and reproducers re-parse to exactly the program the
+//! harness checked.
+
+use std::sync::Arc;
+use tpi_ir::{
+    parse_program, program_to_source, subs, Affine, ArrayHandle, ArrayRef, BodyBuilder, Cond,
+    LockId, OpaqueFn, Program, ProgramBuilder, Subscript, VarId,
+};
+use tpi_testkit::{splitmix64, Rng};
+
+/// Generator parameters: the corpus is a pure function of these.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Master seed; kernel `index` draws from an independent substream.
+    pub seed: u64,
+    /// Serial-nest depth budget (1..=4): how deep DOALLs may sit inside
+    /// serial loops.
+    pub depth: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { seed: 1, depth: 3 }
+    }
+}
+
+/// One generated kernel: canonical source plus the re-parsed program.
+#[derive(Debug, Clone)]
+pub struct GenKernel {
+    /// Position in the corpus stream.
+    pub index: usize,
+    /// Stable name (`fuzz-<seed>-<index>`), used as the runner cache key.
+    pub name: String,
+    /// Canonical `.tpi` source (round-trip fixpoint).
+    pub source: String,
+    /// The program the harness checks (parsed back from `source`).
+    pub program: Arc<Program>,
+}
+
+/// Generates the `index`-th kernel of the corpus `opts` describes.
+///
+/// # Panics
+///
+/// Panics if a built program fails its own round trip — that is itself a
+/// generator bug worth a loud failure.
+#[must_use]
+pub fn generate_kernel(opts: &GenOptions, index: usize) -> GenKernel {
+    let mut rng = Rng::new(splitmix64(opts.seed ^ splitmix64(index as u64 + 1)));
+    let built = build_random(&mut rng, opts.depth.max(1));
+    let source = program_to_source(&built);
+    let program = parse_program(&source).expect("generated kernels round-trip");
+    GenKernel {
+        index,
+        name: format!("fuzz-{}-{}", opts.seed, index),
+        source,
+        program: Arc::new(program),
+    }
+}
+
+/// A loop variable usable in subscripts, with its inclusive value range.
+#[derive(Clone, Copy)]
+struct Scope {
+    var: VarId,
+    lo: i64,
+    hi: i64,
+}
+
+/// An array the generator may reference.
+#[derive(Clone)]
+struct ArrInfo {
+    h: ArrayHandle,
+    dims: Vec<u64>,
+    private: bool,
+}
+
+/// Immutable generation context: the declared world of one program.
+struct Ctx {
+    /// DOALL trip count.
+    n: i64,
+    /// Inner serial (second-dimension) trip count.
+    jn: i64,
+    arrays: Vec<ArrInfo>,
+    acc: Option<(ArrayHandle, LockId)>,
+    opaques: Vec<OpaqueFn>,
+}
+
+fn build_random(rng: &mut Rng, depth: usize) -> Program {
+    let mut p = ProgramBuilder::new();
+    let n = 8 + 4 * rng.below(5) as i64;
+    let jn = 2 + rng.below(3) as i64;
+    let d1 = (3 * (n + 2) + 9) as u64;
+    let d2 = (3 * (jn - 1) + 5) as u64;
+
+    let mut arrays = Vec::new();
+    for k in 0..(2 + rng.below(3)) {
+        let name = format!("D{k}");
+        let dims = if rng.below(10) < 3 {
+            vec![(n + 2) as u64, d2]
+        } else {
+            vec![d1]
+        };
+        arrays.push(ArrInfo {
+            h: p.shared_dyn(&name, dims.clone()),
+            dims,
+            private: false,
+        });
+    }
+    let acc = if rng.below(2) == 0 {
+        Some((p.shared("ACC", [8]), p.lock()))
+    } else {
+        None
+    };
+    if rng.below(2) == 0 {
+        arrays.push(ArrInfo {
+            h: p.private_dyn("P", vec![d1]),
+            dims: vec![d1],
+            private: true,
+        });
+    }
+    let opaques = vec![p.opaque(), p.opaque()];
+    let ctx = Ctx {
+        n,
+        jn,
+        arrays,
+        acc,
+        opaques,
+    };
+
+    let helper = if rng.below(10) < 4 {
+        let epochs = 1 + rng.below(2) as usize;
+        Some(p.proc("helper", |f| {
+            for _ in 0..epochs {
+                gen_doall(rng, &ctx, f, &mut Vec::new());
+            }
+        }))
+    } else {
+        None
+    };
+
+    let items = 3 + rng.below(3) as usize;
+    let main = p.proc("main", |f| {
+        let mut scopes = Vec::new();
+        let mut helper = helper;
+        // The first item is always a DOALL so every kernel has at least
+        // one parallel epoch.
+        gen_doall(rng, &ctx, f, &mut scopes);
+        for _ in 1..items {
+            if helper.is_some() && rng.below(10) < 3 {
+                f.call(helper.take().expect("checked"));
+                continue;
+            }
+            gen_item(rng, &ctx, f, depth, &mut scopes);
+        }
+    });
+    p.finish(main).expect("generated programs validate")
+}
+
+/// Emits one top-level (or serial-nested) item.
+fn gen_item(
+    rng: &mut Rng,
+    ctx: &Ctx,
+    f: &mut BodyBuilder<'_>,
+    depth: usize,
+    scopes: &mut Vec<Scope>,
+) {
+    match rng.below(9) {
+        0..=3 => gen_doall(rng, ctx, f, scopes),
+        4 | 5 if depth > 1 => {
+            let hi = 1 + rng.below(2) as i64;
+            let inner = 1 + rng.below(2) as usize;
+            f.serial(0, hi, |t, f| {
+                scopes.push(Scope { var: t, lo: 0, hi });
+                for _ in 0..inner {
+                    gen_item(rng, ctx, f, depth - 1, scopes);
+                }
+                scopes.pop();
+            });
+        }
+        4 | 5 => gen_doall(rng, ctx, f, scopes),
+        6 | 7 => gen_serial_stmt(rng, ctx, f, scopes),
+        _ => {
+            // Serial initialization sweep: single-task epoch, so any
+            // subscript shape is race-free.
+            let a = pick(rng, &ctx.arrays).clone();
+            let hi = ctx.n - 1;
+            f.serial(0, hi, |v, f| {
+                let scopes = vec![Scope { var: v, lo: 0, hi }];
+                let w = ref_into(rng, ctx, &a, &scopes);
+                let reads = gen_reads(rng, ctx, &scopes, None, 2);
+                f.store(w, reads, cost(rng));
+            });
+        }
+    }
+}
+
+/// Emits a statement that lives in a serial segment (single task).
+fn gen_serial_stmt(rng: &mut Rng, ctx: &Ctx, f: &mut BodyBuilder<'_>, scopes: &[Scope]) {
+    match rng.below(3) {
+        0 => {
+            let a = pick(rng, &ctx.arrays).clone();
+            let w = ref_into(rng, ctx, &a, scopes);
+            let reads = gen_reads(rng, ctx, scopes, None, 2);
+            f.store(w, reads, cost(rng));
+        }
+        1 => {
+            let reads = gen_reads(rng, ctx, scopes, None, 3);
+            if reads.is_empty() {
+                f.compute(cost(rng));
+            } else {
+                f.load(reads, cost(rng));
+            }
+        }
+        _ => f.compute(cost(rng)),
+    }
+}
+
+/// Emits one DOALL epoch obeying the race-freedom discipline.
+fn gen_doall(rng: &mut Rng, ctx: &Ctx, f: &mut BodyBuilder<'_>, scopes: &mut Vec<Scope>) {
+    let lo = rng.below(3) as i64;
+    let hi = lo + ctx.n - 1;
+    let step = if rng.below(10) < 2 { 2 } else { 1 };
+    let w = pick(rng, &ctx.arrays).clone();
+    let self_read = rng.below(10) < 4;
+    let extra = rng.below(3);
+    f.doall_step(lo, hi, step, |i, f| {
+        scopes.push(Scope { var: i, lo, hi });
+        if w.dims.len() == 2 {
+            // Row `i` belongs to this iteration: the store runs in an
+            // inner serial loop over the second dimension.
+            let jhi = ctx.jn - 1;
+            let c2 = 1 + rng.below(3) as i64;
+            let d2 = rng.below(4) as i64;
+            f.serial(0, jhi, |j, f| {
+                let sub2 = Affine::scaled_var(j, c2) + d2;
+                let wref = w.h.at(subs![i, sub2]);
+                let mut reads = Vec::new();
+                if self_read {
+                    // Reads of the output stay inside the owned row.
+                    let row = [Scope {
+                        var: j,
+                        lo: 0,
+                        hi: jhi,
+                    }];
+                    let s = sub_for(rng, ctx, w.dims[1], &row, false);
+                    reads.push(w.h.at(vec![Subscript::from(Affine::var(i)), s]));
+                }
+                scopes.push(Scope {
+                    var: j,
+                    lo: 0,
+                    hi: jhi,
+                });
+                reads.extend(gen_reads(rng, ctx, scopes, Some(&w), 2));
+                scopes.pop();
+                f.store(wref, reads, cost(rng));
+            });
+        } else {
+            let c = 1 + rng.below(3) as i64;
+            let d = rng.below(3) as i64;
+            let ws = Affine::scaled_var(i, c) + d;
+            let wref = w.h.at(subs![ws.clone()]);
+            let mut reads = Vec::new();
+            if self_read {
+                reads.push(w.h.at(subs![ws]));
+            }
+            reads.extend(gen_reads(rng, ctx, scopes, Some(&w), 2));
+            f.store(wref, reads, cost(rng));
+        }
+        for _ in 0..extra {
+            gen_doall_extra(rng, ctx, f, scopes, &w);
+        }
+        scopes.pop();
+    });
+}
+
+/// Extra read-only / critical / branch statements inside a DOALL body.
+fn gen_doall_extra(
+    rng: &mut Rng,
+    ctx: &Ctx,
+    f: &mut BodyBuilder<'_>,
+    scopes: &[Scope],
+    w: &ArrInfo,
+) {
+    match rng.below(8) {
+        0..=2 => {
+            let reads = gen_reads(rng, ctx, scopes, Some(w), 3);
+            if reads.is_empty() {
+                f.compute(cost(rng));
+            } else {
+                f.load(reads, cost(rng));
+            }
+        }
+        3 | 4 => {
+            if let Some((acc, lock)) = ctx.acc {
+                let o1 = pick(rng, &ctx.opaques).to_owned();
+                let o2 = pick(rng, &ctx.opaques).to_owned();
+                let mut reads = vec![acc.at(subs![o2])];
+                reads.extend(gen_reads(rng, ctx, scopes, Some(w), 1));
+                f.critical(lock, |f| f.store(acc.at(subs![o1]), reads, cost(rng)));
+            } else {
+                f.compute(cost(rng));
+            }
+        }
+        5 | 6 => {
+            let i = scopes.last().expect("doall var in scope").var;
+            let modulus = 2 + rng.below(2) as i64;
+            let phase = rng.below(modulus as u64) as i64;
+            let cond = if rng.below(10) < 2 {
+                Cond::Always
+            } else {
+                Cond::EveryN {
+                    var: i,
+                    modulus,
+                    phase,
+                }
+            };
+            let reads = gen_reads(rng, ctx, scopes, Some(w), 2);
+            if rng.below(2) == 0 {
+                f.if_else(
+                    cond,
+                    |f| {
+                        if reads.is_empty() {
+                            f.compute(1);
+                        } else {
+                            f.load(reads, 2);
+                        }
+                    },
+                    |f| f.compute(1),
+                );
+            } else {
+                f.if_then(cond, |f| {
+                    if reads.is_empty() {
+                        f.compute(1);
+                    } else {
+                        f.load(reads, 2);
+                    }
+                });
+            }
+        }
+        _ => f.compute(cost(rng)),
+    }
+}
+
+/// 0..=`max` read references drawn from arrays other than the epoch's
+/// output (`avoid`); private arrays are always fair game (per-task
+/// replicas never share).
+fn gen_reads(
+    rng: &mut Rng,
+    ctx: &Ctx,
+    scopes: &[Scope],
+    avoid: Option<&ArrInfo>,
+    max: u64,
+) -> Vec<ArrayRef> {
+    let count = rng.below(max + 1);
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let candidates: Vec<&ArrInfo> = ctx
+            .arrays
+            .iter()
+            .filter(|a| a.private || avoid.is_none_or(|w| w.private || a.h.id() != w.h.id()))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let a = (*pick(rng, &candidates)).clone();
+        out.push(ref_into(rng, ctx, &a, scopes));
+    }
+    out
+}
+
+/// A fully in-bounds reference into `a` using the vars in scope.
+fn ref_into(rng: &mut Rng, ctx: &Ctx, a: &ArrInfo, scopes: &[Scope]) -> ArrayRef {
+    let subs: Vec<Subscript> = a
+        .dims
+        .iter()
+        .map(|&extent| sub_for(rng, ctx, extent, scopes, false))
+        .collect();
+    a.h.at(subs)
+}
+
+/// One in-bounds subscript for a dimension of the given extent.
+///
+/// `plain_only` forbids opaque subscripts (used where the caller must be
+/// able to reason about the touched words).
+fn sub_for(rng: &mut Rng, ctx: &Ctx, extent: u64, scopes: &[Scope], plain_only: bool) -> Subscript {
+    let roll = rng.below(10);
+    if !plain_only && roll < 2 {
+        return Subscript::from(pick(rng, &ctx.opaques).to_owned());
+    }
+    if roll < 3 || scopes.is_empty() {
+        return Subscript::from(Affine::konst(rng.below(extent) as i64));
+    }
+    let s = *pick(rng, scopes);
+    let limit = extent as i64 - 1;
+    let c_max = if s.hi <= 0 { 3 } else { (limit / s.hi).min(3) };
+    if c_max < 1 {
+        return Subscript::from(Affine::konst(rng.below(extent) as i64));
+    }
+    let c = 1 + rng.below(c_max as u64) as i64;
+    let d_hi = (limit - c * s.hi).min(4);
+    let d_lo = (-(c * s.lo)).max(-4);
+    let d = d_lo + rng.below((d_hi - d_lo + 1) as u64) as i64;
+    Subscript::from(Affine::scaled_var(s.var, c) + d)
+}
+
+fn cost(rng: &mut Rng) -> u32 {
+    1 + rng.below(6) as u32
+}
+
+fn pick<'a, T>(rng: &mut Rng, items: &'a [T]) -> &'a T {
+    &items[rng.below(items.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_round_trips() {
+        let opts = GenOptions { seed: 42, depth: 3 };
+        for index in 0..16 {
+            let a = generate_kernel(&opts, index);
+            let b = generate_kernel(&opts, index);
+            assert_eq!(a.source, b.source, "kernel {index} must be byte-stable");
+            // Canonical source is a round-trip fixpoint.
+            assert_eq!(a.source, program_to_source(&a.program));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_kernels() {
+        let opts = GenOptions { seed: 7, depth: 2 };
+        let a = generate_kernel(&opts, 0);
+        let b = generate_kernel(&opts, 1);
+        assert_ne!(a.source, b.source);
+    }
+}

@@ -1,0 +1,523 @@
+//! Greedy structural minimizer for violating kernels.
+//!
+//! Mirrors the shrink discipline of the model checker's counterexample
+//! reducer: enumerate single structural simplifications, accept one only
+//! if the caller's predicate still holds on the simplified program, and
+//! iterate to a fixpoint — the result is 1-minimal with respect to the
+//! mutation vocabulary:
+//!
+//! 1. **Drop a statement** (any statement anywhere in any procedure,
+//!    which removes whole epochs when the statement is a loop).
+//! 2. **Shrink a loop**: collapse to a single iteration, halve the trip
+//!    count, or reduce a stride to 1.
+//! 3. **Simplify a subscript**: opaque → `0`, drop the additive offset,
+//!    collapse to a bare variable, or constant-fold to `0`.
+//! 4. **Drop a read** (or a store's destination, turning it into a pure
+//!    use).
+//! 5. **Drop an unreferenced array declaration** (garbage left behind by
+//!    the other passes), remapping the surviving ids.
+//! 6. **Drop an uncalled procedure** (left behind once its call site is
+//!    removed), remapping the surviving indices.
+//! 7. **Drop unused lock declarations** (shrink the lock count to the
+//!    number of locks actually guarding a critical section).
+//!
+//! Every candidate is re-canonicalized through a
+//! [`program_to_source`] / [`parse_program`] round trip before the
+//! predicate runs, so accepted programs are always well-formed,
+//! validated, and printable as self-contained `.tpi` reproducers; a
+//! candidate that no longer parses or validates is silently rejected.
+
+use std::sync::Arc;
+use tpi_ir::{parse_program, program_to_source, Affine, Assign, Loop, Program, Stmt, Subscript};
+
+/// Shrinks `program` while `still_violates` keeps holding, to a
+/// 1-minimal fixpoint. The predicate is never called on programs that
+/// fail validation.
+pub fn minimize(program: &Arc<Program>, still_violates: impl Fn(&Arc<Program>) -> bool) -> Program {
+    let mut cur = Arc::clone(program);
+    loop {
+        let mut changed = false;
+        for pass in [
+            Pass::DropStmt,
+            Pass::ShrinkLoop,
+            Pass::SimplifySubscript,
+            Pass::DropRead,
+            Pass::DropArray,
+            Pass::DropProc,
+            Pass::DropLocks,
+        ] {
+            // Re-run each pass until it stops finding an accepted
+            // mutation, then move on (greedy, first-accept).
+            while let Some(next) = try_pass(&cur, pass, &still_violates) {
+                cur = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (*cur).clone();
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Pass {
+    DropStmt,
+    ShrinkLoop,
+    SimplifySubscript,
+    DropRead,
+    DropArray,
+    DropProc,
+    DropLocks,
+}
+
+/// Tries every mutation the pass knows, in order; returns the first
+/// accepted candidate.
+fn try_pass(
+    cur: &Arc<Program>,
+    pass: Pass,
+    still_violates: &impl Fn(&Arc<Program>) -> bool,
+) -> Option<Arc<Program>> {
+    let limit = match pass {
+        Pass::DropStmt => count_stmts(cur),
+        Pass::ShrinkLoop => count_loops(cur) * LOOP_OPS,
+        Pass::SimplifySubscript => count_subs(cur) * SUB_OPS,
+        Pass::DropRead => count_refs(cur),
+        Pass::DropArray => cur.arrays.len(),
+        Pass::DropProc => cur.procs.len(),
+        Pass::DropLocks => 1,
+    };
+    for k in 0..limit {
+        let mut cand = (**cur).clone();
+        let mutated = match pass {
+            Pass::DropStmt => {
+                let mut k = k as i64;
+                on_nth_slot(&mut cand, &mut k, &mut |body, i| {
+                    body.remove(i);
+                    true
+                })
+            }
+            Pass::ShrinkLoop => {
+                let op = k % LOOP_OPS;
+                let mut k = (k / LOOP_OPS) as i64;
+                on_nth_loop(&mut cand, &mut k, &mut |l| shrink_loop(l, op))
+            }
+            Pass::SimplifySubscript => {
+                let op = k % SUB_OPS;
+                on_slot_in_assigns(&mut cand, k / SUB_OPS, sub_slots, &mut |a, slot| {
+                    let mut idx = slot;
+                    for r in a.write.iter_mut().chain(a.reads.iter_mut()) {
+                        if idx < r.subs.len() {
+                            return simplify_sub(&mut r.subs[idx], op);
+                        }
+                        idx -= r.subs.len();
+                    }
+                    false
+                })
+            }
+            Pass::DropRead => on_slot_in_assigns(&mut cand, k, ref_slots, &mut |a, slot| {
+                if slot == 0 {
+                    if a.write.is_none() {
+                        return false;
+                    }
+                    a.write = None;
+                } else {
+                    a.reads.remove(slot - 1);
+                }
+                true
+            }),
+            Pass::DropArray => drop_array(&mut cand, k),
+            Pass::DropProc => drop_proc(&mut cand, k),
+            Pass::DropLocks => drop_unused_locks(&mut cand),
+        };
+        if !mutated {
+            continue;
+        }
+        // Canonicalize: reject anything that no longer prints + parses.
+        let Ok(reparsed) = parse_program(&program_to_source(&cand)) else {
+            continue;
+        };
+        let candidate = Arc::new(reparsed);
+        if still_violates(&candidate) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+const LOOP_OPS: usize = 3;
+
+fn shrink_loop(l: &mut Loop, op: usize) -> bool {
+    match op {
+        // Collapse to a single iteration.
+        0 => {
+            if !l.lo.is_constant() || !l.hi.is_constant() || l.hi.constant() <= l.lo.constant() {
+                return false;
+            }
+            l.hi = Affine::konst(l.lo.constant());
+            true
+        }
+        // Halve the trip count.
+        1 => {
+            if !l.lo.is_constant() || !l.hi.is_constant() {
+                return false;
+            }
+            let (lo, hi) = (l.lo.constant(), l.hi.constant());
+            let mid = lo + (hi - lo) / 2;
+            if mid >= hi {
+                return false;
+            }
+            l.hi = Affine::konst(mid);
+            true
+        }
+        // Reduce the stride to 1.
+        _ => {
+            if l.step == 1 {
+                return false;
+            }
+            l.step = 1;
+            true
+        }
+    }
+}
+
+const SUB_OPS: usize = 3;
+
+fn simplify_sub(s: &mut Subscript, op: usize) -> bool {
+    match (op, &*s) {
+        // Opaque (or anything) → constant 0.
+        (0, Subscript::Opaque(_)) => {
+            *s = Subscript::from(Affine::konst(0));
+            true
+        }
+        (0, Subscript::Affine(a)) => {
+            if a.is_constant() && a.constant() == 0 {
+                return false;
+            }
+            *s = Subscript::from(Affine::konst(0));
+            true
+        }
+        // Drop the additive offset.
+        (1, Subscript::Affine(a)) => {
+            if a.constant() == 0 {
+                return false;
+            }
+            let trimmed = a.clone() - a.constant();
+            *s = Subscript::from(trimmed);
+            true
+        }
+        // Collapse to the first variable, bare.
+        (2, Subscript::Affine(a)) => {
+            let Some(&(v, c)) = a.terms().first() else {
+                return false;
+            };
+            if a.terms().len() == 1 && c == 1 && a.constant() == 0 {
+                return false;
+            }
+            *s = Subscript::from(Affine::var(v));
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Removes array `k` if nothing references it, shifting higher ids down.
+fn drop_array(p: &mut Program, k: usize) -> bool {
+    if k >= p.arrays.len() {
+        return false;
+    }
+    let id = k as u32;
+    let mut referenced = false;
+    visit_assigns_mut(p, &mut |a| {
+        for r in a.write.iter().chain(a.reads.iter()) {
+            if r.array.0 == id {
+                referenced = true;
+            }
+        }
+    });
+    if referenced {
+        return false;
+    }
+    p.arrays.remove(k);
+    visit_assigns_mut(p, &mut |a| {
+        for r in a.write.iter_mut().chain(a.reads.iter_mut()) {
+            if r.array.0 > id {
+                r.array.0 -= 1;
+            }
+        }
+    });
+    true
+}
+
+/// Removes procedure `k` if it is not the entry and nothing calls it,
+/// shifting higher indices down.
+fn drop_proc(p: &mut Program, k: usize) -> bool {
+    if k >= p.procs.len() || p.entry.0 as usize == k {
+        return false;
+    }
+    let idx = k as u32;
+    let mut called = false;
+    visit_stmts(p, &mut |s| {
+        if matches!(s, Stmt::Call(c) if c.0 == idx) {
+            called = true;
+        }
+    });
+    if called {
+        return false;
+    }
+    p.procs.remove(k);
+    if p.entry.0 > idx {
+        p.entry.0 -= 1;
+    }
+    let fix = |stmts: &mut Vec<Stmt>| {
+        fn go(stmts: &mut [Stmt], idx: u32) {
+            for s in stmts {
+                match s {
+                    Stmt::Call(c) if c.0 > idx => c.0 -= 1,
+                    Stmt::Loop(l) | Stmt::Doall(l) => go(&mut l.body, idx),
+                    Stmt::Critical(c) => go(&mut c.body, idx),
+                    Stmt::If(i) => {
+                        go(&mut i.then_body, idx);
+                        go(&mut i.else_body, idx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        go(stmts, idx);
+    };
+    for pr in &mut p.procs {
+        fix(&mut pr.body);
+    }
+    true
+}
+
+/// Shrinks `num_locks` to the number of locks actually guarding a
+/// critical section (locks are only referenced by id, so trailing unused
+/// declarations can simply fall off).
+fn drop_unused_locks(p: &mut Program) -> bool {
+    let mut needed = 0;
+    visit_stmts(p, &mut |s| {
+        if let Stmt::Critical(c) = s {
+            needed = needed.max(c.lock.0 + 1);
+        }
+    });
+    if p.num_locks <= needed {
+        return false;
+    }
+    p.num_locks = needed;
+    true
+}
+
+// ---- counting / targeting walkers -------------------------------------
+//
+// Each walker visits the statement tree of every procedure in a fixed
+// pre-order; `k` counts down to the targeted site and the closure
+// reports whether it actually mutated anything.
+
+fn count_stmts(p: &Program) -> usize {
+    fn go(stmts: &[Stmt]) -> usize {
+        stmts.iter().map(|s| 1 + go(children(s))).sum()
+    }
+    p.procs.iter().map(|pr| go(&pr.body)).sum()
+}
+
+fn children(s: &Stmt) -> &[Stmt] {
+    match s {
+        Stmt::Loop(l) | Stmt::Doall(l) => &l.body,
+        Stmt::Critical(c) => &c.body,
+        Stmt::If(_) => &[], // handled specially: two arms
+        _ => &[],
+    }
+}
+
+fn count_loops(p: &Program) -> usize {
+    let mut n = 0;
+    visit_stmts(p, &mut |s| {
+        if matches!(s, Stmt::Loop(_) | Stmt::Doall(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn count_subs(p: &Program) -> usize {
+    let mut n = 0;
+    visit_assigns(p, &mut |a| {
+        n += a.write.iter().map(|w| w.subs.len()).sum::<usize>();
+        n += a.reads.iter().map(|r| r.subs.len()).sum::<usize>();
+    });
+    n
+}
+
+fn count_refs(p: &Program) -> usize {
+    let mut n = 0;
+    visit_assigns(p, &mut |a| n += 1 + a.reads.len());
+    n
+}
+
+fn visit_stmts(p: &Program, f: &mut impl FnMut(&Stmt)) {
+    fn go(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+        for s in stmts {
+            f(s);
+            if let Stmt::If(i) = s {
+                go(&i.then_body, f);
+                go(&i.else_body, f);
+            } else {
+                go(children(s), f);
+            }
+        }
+    }
+    for pr in &p.procs {
+        go(&pr.body, f);
+    }
+}
+
+fn visit_assigns(p: &Program, f: &mut impl FnMut(&Assign)) {
+    visit_stmts(p, &mut |s| {
+        if let Stmt::Assign(a) = s {
+            f(a);
+        }
+    });
+}
+
+/// Runs `op` on the `k`-th statement slot (its containing body and
+/// index), pre-order across all procedures.
+fn on_nth_slot(
+    p: &mut Program,
+    k: &mut i64,
+    op: &mut impl FnMut(&mut Vec<Stmt>, usize) -> bool,
+) -> bool {
+    fn go(
+        stmts: &mut Vec<Stmt>,
+        k: &mut i64,
+        op: &mut impl FnMut(&mut Vec<Stmt>, usize) -> bool,
+    ) -> bool {
+        let mut i = 0;
+        while i < stmts.len() {
+            if *k == 0 {
+                *k = -1;
+                return op(stmts, i);
+            }
+            *k -= 1;
+            let done = match &mut stmts[i] {
+                Stmt::Loop(l) | Stmt::Doall(l) => go(&mut l.body, k, op),
+                Stmt::Critical(c) => go(&mut c.body, k, op),
+                Stmt::If(s) => {
+                    go(&mut s.then_body, k, op) || (*k >= 0 && go(&mut s.else_body, k, op))
+                }
+                _ => false,
+            };
+            if done {
+                return true;
+            }
+            if *k < 0 {
+                return false;
+            }
+            i += 1;
+        }
+        false
+    }
+    for pr in &mut p.procs {
+        if go(&mut pr.body, k, op) {
+            return true;
+        }
+        if *k < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+fn on_nth_loop(p: &mut Program, k: &mut i64, op: &mut impl FnMut(&mut Loop) -> bool) -> bool {
+    fn go(stmts: &mut [Stmt], k: &mut i64, op: &mut impl FnMut(&mut Loop) -> bool) -> bool {
+        for s in stmts {
+            let done = match s {
+                Stmt::Loop(l) | Stmt::Doall(l) => {
+                    if *k == 0 {
+                        *k = -1;
+                        return op(l);
+                    }
+                    *k -= 1;
+                    go(&mut l.body, k, op)
+                }
+                Stmt::Critical(c) => go(&mut c.body, k, op),
+                Stmt::If(i) => {
+                    go(&mut i.then_body, k, op) || (*k >= 0 && go(&mut i.else_body, k, op))
+                }
+                _ => false,
+            };
+            if done {
+                return true;
+            }
+            if *k < 0 {
+                return false;
+            }
+        }
+        false
+    }
+    for pr in &mut p.procs {
+        if go(&mut pr.body, k, op) {
+            return true;
+        }
+        if *k < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+fn visit_assigns_mut(p: &mut Program, f: &mut impl FnMut(&mut Assign)) {
+    fn go(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Assign)) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => f(a),
+                Stmt::Loop(l) | Stmt::Doall(l) => go(&mut l.body, f),
+                Stmt::Critical(c) => go(&mut c.body, f),
+                Stmt::If(i) => {
+                    go(&mut i.then_body, f);
+                    go(&mut i.else_body, f);
+                }
+                _ => {}
+            }
+        }
+    }
+    for pr in &mut p.procs {
+        go(&mut pr.body, f);
+    }
+}
+
+fn sub_slots(a: &Assign) -> usize {
+    a.write.iter().map(|w| w.subs.len()).sum::<usize>()
+        + a.reads.iter().map(|r| r.subs.len()).sum::<usize>()
+}
+
+fn ref_slots(a: &Assign) -> usize {
+    1 + a.reads.len()
+}
+
+/// Runs `op` on the assign owning global slot `k`, where each assign in
+/// pre-order contributes `slots_of(assign)` consecutive slots. Returns
+/// whether `op` reported a real mutation.
+fn on_slot_in_assigns(
+    p: &mut Program,
+    k: usize,
+    slots_of: impl Fn(&Assign) -> usize,
+    op: &mut impl FnMut(&mut Assign, usize) -> bool,
+) -> bool {
+    let mut remaining = k;
+    let mut consumed = false;
+    let mut result = false;
+    visit_assigns_mut(p, &mut |a| {
+        if consumed {
+            return;
+        }
+        let n = slots_of(a);
+        if remaining < n {
+            result = op(a, remaining);
+            consumed = true;
+        } else {
+            remaining -= n;
+        }
+    });
+    result
+}

@@ -117,13 +117,11 @@ struct SiteRule {
 
 /// SplitMix64: the standard 64-bit finalizer — a bijective hash good
 /// enough to turn `(seed, site, n)` into an i.i.d.-looking stream. Also
-/// the jitter source for the load generator's retry backoff.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// the jitter source for the load generator's retry backoff. The
+/// implementation is the workspace-wide one in `tpi-testkit`, re-exported
+/// so the fault plan and the load generator keep hashing identically to
+/// the seeded test corpora.
+pub(crate) use tpi_testkit::splitmix64;
 
 /// A seeded fault-injection plan. See the [module docs](self).
 #[derive(Debug)]

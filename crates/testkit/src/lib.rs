@@ -24,7 +24,7 @@ pub mod exhaustive;
 mod rng;
 mod strategy;
 
-pub use rng::Rng;
+pub use rng::{splitmix64, Rng};
 pub use strategy::{
     any, Any, ArbitraryValue, BoxedStrategy, Just, Map, OptionStrategy, Strategy, Union,
     VecStrategy, Weighted,

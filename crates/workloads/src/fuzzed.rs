@@ -1,0 +1,163 @@
+//! Adversarial workloads promoted from the `tpi-fuzz` corpus.
+//!
+//! Differential fuzzing (see `crates/fuzz`) surfaces generated kernels
+//! whose *sharing patterns* stress the schemes far harder than the
+//! Perfect-Club-like suite, even when every engine handles them
+//! correctly. The three most discriminating patterns are promoted here
+//! as named, scalable workloads so the experiment pipeline (and the
+//! paper-style tables in `EXPERIMENTS.md`) can measure them:
+//!
+//! * [`false_share`] (`FSHARE`) — column-interleaved ping-pong writes:
+//!   two alternating DOALL epochs write the even and odd words of one
+//!   array while reading their just-written neighbours, so nearly every
+//!   cache line is written by one processor and read-or-written by
+//!   another within a line's lifetime. Maximizes the false-sharing miss
+//!   class for line sizes above one word.
+//! * [`long_reuse`] (`LDREUSE`) — a table read again only after many
+//!   unrelated epochs: the reuse distance exceeds the hardware timetag
+//!   range, so schemes that only count epochs in hardware pay for the
+//!   gap — Tardis renews every expired lease, SC conservatively misses
+//!   every read — while TPI's *compiler* proves the table was never
+//!   re-written and keeps its hits. The sharpest separation between
+//!   compiler-assisted and purely hardware timestamp schemes.
+//! * [`migrate`] (`MIGRATE`) — a block-shifted read-modify-write sweep:
+//!   each serial step the DOALL's footprint slides by one processor
+//!   block, so dirty lines perpetually change owners (the three-hop
+//!   dirty-remote fetch pattern). Maximizes true-sharing coherence
+//!   misses.
+
+use crate::Scale;
+use tpi_ir::{subs, Program, ProgramBuilder};
+
+/// Builds the FSHARE kernel (heavy false sharing).
+#[must_use]
+pub fn false_share(scale: Scale) -> Program {
+    let (n, steps) = match scale {
+        Scale::Test => (64i64, 3i64),
+        Scale::Paper => (4096, 6),
+    };
+    let mut p = ProgramBuilder::new();
+    let w = p.shared("W", [2 * n as u64 + 2]);
+    let main = p.proc("main", |f| {
+        // Define every word once so later reads are always fresh.
+        f.doall(0, 2 * n + 1, |i, f| f.store(w.at(subs![i]), vec![], 1));
+        f.serial(0, steps - 1, |_t, f| {
+            // Even words: stride-2 writes interleave processors within
+            // every line (for any line size > 1 word).
+            f.doall(0, n, |i, f| {
+                f.store(w.at(subs![i * 2]), vec![w.at(subs![i * 2])], 2);
+            });
+            // Odd words: each write shares its line with even words some
+            // other processor just wrote, and the neighbour reads pull
+            // those dirty lines straight back.
+            f.doall(0, n - 1, |i, f| {
+                f.store(
+                    w.at(subs![i * 2 + 1]),
+                    vec![w.at(subs![i * 2]), w.at(subs![i * 2 + 2])],
+                    2,
+                );
+            });
+        });
+    });
+    p.finish(main).expect("FSHARE is well-formed")
+}
+
+/// Builds the LDREUSE kernel (reuse distance beyond the timetag range).
+#[must_use]
+pub fn long_reuse(scale: Scale) -> Program {
+    // The spacer loop contributes 2 parallel epochs per iteration; both
+    // presets push the producer→consumer distance past the paper
+    // machine's 8-bit timetag range (256 epochs).
+    let (n, spacer_epochs) = match scale {
+        Scale::Test => (64i64, 140i64),
+        Scale::Paper => (1024, 160),
+    };
+    let mut p = ProgramBuilder::new();
+    let table = p.shared("TABLE", [n as u64]);
+    let a = p.shared("A", [n as u64]);
+    let b = p.shared("B", [n as u64]);
+    let main = p.proc("main", |f| {
+        // The table is produced once, up front...
+        f.doall(0, n - 1, |i, f| f.store(table.at(subs![i]), vec![], 2));
+        f.doall(0, n - 1, |i, f| f.store(a.at(subs![i]), vec![], 1));
+        // ...then a long run of unrelated ping-pong epochs ages every
+        // cached copy past the timetag range.
+        f.serial(0, spacer_epochs - 1, |_t, f| {
+            f.doall(0, n - 1, |i, f| {
+                f.store(b.at(subs![i]), vec![a.at(subs![i])], 2);
+            });
+            f.doall(0, n - 1, |i, f| {
+                f.store(a.at(subs![i]), vec![b.at(subs![i])], 2);
+            });
+        });
+        // The distant consumers: every processor re-reads its block of
+        // the (never re-written, still perfectly valid) table.
+        f.doall(0, n - 1, |i, f| {
+            f.store(a.at(subs![i]), vec![table.at(subs![i]), a.at(subs![i])], 3);
+        });
+    });
+    p.finish(main).expect("LDREUSE is well-formed")
+}
+
+/// Builds the MIGRATE kernel (perpetually migrating dirty lines).
+#[must_use]
+pub fn migrate(scale: Scale) -> Program {
+    let (n, steps) = match scale {
+        Scale::Test => (64i64, 8i64),
+        Scale::Paper => (2048, 16),
+    };
+    let shift = n / 8; // one half processor block at P=16
+    let mut p = ProgramBuilder::new();
+    let m = p.shared("M", [(n + shift * steps) as u64]);
+    let main = p.proc("main", |f| {
+        f.doall(0, n + shift * steps - 1, |i, f| {
+            f.store(m.at(subs![i]), vec![], 1)
+        });
+        // Each step the whole footprint slides by `shift`, so the words a
+        // processor read-modify-writes were dirtied by a *different*
+        // processor one epoch earlier: the canonical migratory-data,
+        // three-hop dirty-remote pattern.
+        f.serial(0, steps - 1, |t, f| {
+            f.doall(0, n - 1, |i, f| {
+                f.store(
+                    m.at(subs![i + t * shift]),
+                    vec![m.at(subs![i + t * shift])],
+                    3,
+                );
+            });
+        });
+    });
+    p.finish(main).expect("MIGRATE is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_compiler::{mark_program, CompilerOptions};
+    use tpi_trace::{generate_trace, TraceOptions};
+
+    fn trace_of(prog: &Program) -> tpi_trace::Trace {
+        let marking = mark_program(prog, &CompilerOptions::default());
+        generate_trace(prog, &marking, &TraceOptions::default()).expect("race-free")
+    }
+
+    #[test]
+    fn false_share_interleaves_lines() {
+        let t = trace_of(&false_share(Scale::Test));
+        // init + steps * (even epoch + odd epoch)
+        assert_eq!(t.stats.parallel_epochs, 1 + 3 * 2);
+        assert!(t.stats.reads > 0);
+    }
+
+    #[test]
+    fn long_reuse_spaces_producer_and_consumer() {
+        let t = trace_of(&long_reuse(Scale::Test));
+        assert_eq!(t.stats.parallel_epochs, 2 + 140 * 2 + 1);
+    }
+
+    #[test]
+    fn migrate_slides_its_footprint() {
+        let t = trace_of(&migrate(Scale::Test));
+        assert_eq!(t.stats.parallel_epochs, 1 + 8);
+    }
+}

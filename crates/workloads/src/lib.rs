@@ -33,6 +33,7 @@
 
 pub mod arc2d;
 pub mod flo52;
+pub mod fuzzed;
 pub mod mdg;
 pub mod ocean;
 pub mod qcd2;
@@ -69,6 +70,15 @@ pub enum Kernel {
     /// Molecular dynamics with lock-guarded accumulation (extension
     /// workload, not part of the paper's six-benchmark suite).
     Mdg,
+    /// Column-interleaved ping-pong writes maximizing false sharing
+    /// (promoted from the fuzz corpus).
+    FalseShare,
+    /// A table re-read only after the timetag range is exhausted
+    /// (promoted from the fuzz corpus).
+    LongReuse,
+    /// A block-shifted read-modify-write sweep with perpetually
+    /// migrating dirty lines (promoted from the fuzz corpus).
+    Migrate,
 }
 
 impl Kernel {
@@ -82,9 +92,15 @@ impl Kernel {
         Kernel::Arc2d,
     ];
 
-    /// Extension workloads demonstrating Section 5 features beyond the
-    /// paper's suite.
-    pub const EXTENDED: [Kernel; 1] = [Kernel::Mdg];
+    /// Extension workloads beyond the paper's suite: the Section 5
+    /// critical-section demonstration plus the adversarial sharing
+    /// patterns promoted from the fuzz corpus.
+    pub const EXTENDED: [Kernel; 4] = [
+        Kernel::Mdg,
+        Kernel::FalseShare,
+        Kernel::LongReuse,
+        Kernel::Migrate,
+    ];
 
     /// Benchmark name as the paper prints it.
     #[must_use]
@@ -97,6 +113,9 @@ impl Kernel {
             Kernel::Spec77 => "SPEC77",
             Kernel::Arc2d => "ARC2D",
             Kernel::Mdg => "MDG",
+            Kernel::FalseShare => "FSHARE",
+            Kernel::LongReuse => "LDREUSE",
+            Kernel::Migrate => "MIGRATE",
         }
     }
 
@@ -121,6 +140,9 @@ impl Kernel {
             Kernel::Spec77 => spec77::build(scale),
             Kernel::Arc2d => arc2d::build(scale),
             Kernel::Mdg => mdg::build(scale),
+            Kernel::FalseShare => fuzzed::false_share(scale),
+            Kernel::LongReuse => fuzzed::long_reuse(scale),
+            Kernel::Migrate => fuzzed::migrate(scale),
         }
     }
 
@@ -135,6 +157,9 @@ impl Kernel {
             Kernel::Spec77 => "spectral transform: broadcast-read coefficient table",
             Kernel::Arc2d => "ADI sweeps: alternating row/column passes, false sharing",
             Kernel::Mdg => "molecular dynamics: lock-guarded force accumulation (Section 5)",
+            Kernel::FalseShare => "fuzz-promoted: column-interleaved writes, maximal false sharing",
+            Kernel::LongReuse => "fuzz-promoted: reuse distance past the timetag/lease range",
+            Kernel::Migrate => "fuzz-promoted: block-shifted RMW sweep, migratory dirty lines",
         }
     }
 }
@@ -196,6 +221,19 @@ mod tests {
                 generate_trace(&prog, &marking, &opts)
                     .unwrap_or_else(|e| panic!("{k} under {policy}: {e}"));
             }
+        }
+    }
+
+    #[test]
+    fn extended_kernels_build_and_trace_race_free() {
+        for k in Kernel::EXTENDED {
+            let prog = k.build(Scale::Test);
+            assert!(prog.num_assigns > 0, "{k} is empty");
+            assert!(!k.description().is_empty());
+            let marking = mark_program(&prog, &CompilerOptions::default());
+            let trace = generate_trace(&prog, &marking, &TraceOptions::default())
+                .unwrap_or_else(|e| panic!("{k}: {e}"));
+            assert!(trace.stats.parallel_epochs > 1, "{k} is not parallel");
         }
     }
 

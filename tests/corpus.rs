@@ -1,0 +1,74 @@
+//! Regression gate over the committed fuzz corpus.
+//!
+//! Every `.tpi` file under `tests/corpus/` is a minimized reproducer the
+//! fuzzer minted against a deliberately *sabotaged* engine (the header
+//! comments name the hook and the exact `tpi-fuzz` invocation). On
+//! healthy engines the same kernels must pass the entire differential
+//! predicate — lints, trace generation, the staleness oracle, freshness-
+//! verified simulation under every registry scheme, miss accounting,
+//! structural invariants, and cross-scheme agreement. A failure here
+//! means a regression reached an engine, the compiler, or the oracle.
+
+use std::sync::Arc;
+use tpi_fuzz::{check_kernel, FuzzOptions};
+use tpi_ir::parse_program;
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus must exist")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tpi"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_present_and_annotated() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "expected at least three committed reproducers, found {}",
+        files.len()
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("! error[TPI902] fuzz-violation:"),
+            "{} must open with its TPI902 provenance comment",
+            path.display()
+        );
+        assert!(
+            text.lines().any(|l| l.starts_with("! reproduce: tpi-fuzz")),
+            "{} must record its reproduction command",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_reproducers_pass_on_healthy_engines() {
+    let schemes = FuzzOptions::default().schemes;
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let program = Arc::new(
+            parse_program(&text)
+                .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display())),
+        );
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        // A fixed seed keeps the verdict reproducible; the exact value is
+        // immaterial because healthy engines must be clean under any.
+        let violations = check_kernel(&name, &program, 0xC0FFEE, &schemes);
+        assert!(
+            violations.is_empty(),
+            "{} violates on healthy engines: {:?}",
+            path.display(),
+            violations
+                .iter()
+                .map(|v| v.diagnostic().human())
+                .collect::<Vec<_>>()
+        );
+    }
+}
