@@ -9,10 +9,10 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use tpi::cli::{kernel_by_name, scheme_by_name, CliError};
 use tpi::proto::SchemeId;
 use tpi::runner::ProgramSource;
 use tpi::{ExperimentConfig, Runner};
-use tpi_analysis::cli::{kernel_by_name, scheme_by_name, CliError};
 use tpi_analysis::diag::json_string;
 use tpi_analysis::differential::{
     check_freshness, check_sources, DifferentialOptions, FreshnessReport, ALL_LEVELS,

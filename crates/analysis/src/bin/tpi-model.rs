@@ -8,8 +8,8 @@
 //! ```
 
 use std::process::ExitCode;
+use tpi::cli::{parse_bounded, parse_scheme_list, CliError};
 use tpi::proto::{registry, SchemeId};
-use tpi_analysis::cli::{parse_bounded, parse_scheme_list, CliError};
 use tpi_analysis::diag::json_string;
 use tpi_analysis::diagnostics_json;
 use tpi_analysis::model::{check_schemes, ModelOptions, ModelReport};

@@ -21,9 +21,9 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use tpi::cli::{kernel_by_name, parse_bounded, CliError};
 use tpi::tables::{pct, Table};
 use tpi::{ExperimentConfig, Runner};
-use tpi_analysis::cli::{kernel_by_name, parse_bounded, CliError};
 use tpi_compiler::{mark_program, OptLevel};
 use tpi_ir::{display, parse_program, Program, RefSite};
 use tpi_mem::ReadKind;
@@ -117,7 +117,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
                 } else {
                     // Registry names (id or label), case-insensitive; the
                     // error already lists everything registered.
-                    vec![tpi_analysis::cli::scheme_by_name(&v)?]
+                    vec![tpi::cli::scheme_by_name(&v)?]
                 };
             }
             "--procs" => {

@@ -1,5 +1,6 @@
 //! Shared command-line error handling for the workspace's tools
-//! (`tpi-lint`, `tpi-model`, `tpi-run`, `tpi-fuzz`).
+//! (`tpi-lint`, `tpi-model`, `tpi-run`, `tpi-fuzz`, `tpi-serve`,
+//! `tpi-loadgen`, `tpi-chaos`, `tpi-router`).
 //!
 //! Argument failures split into two classes with different renderings:
 //!
@@ -14,7 +15,7 @@
 //!   `--kernel` lists the registry instead of drowning it in usage text.
 
 use std::process::ExitCode;
-use tpi::proto::{registry, SchemeId};
+use tpi_proto::{registry, SchemeId};
 use tpi_workloads::Kernel;
 
 /// An argument error, split by rendering: `Usage` gets the tool's usage

@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod config;
 pub mod experiment;
 pub mod prof;
@@ -69,6 +70,7 @@ pub mod stepper;
 pub mod sync;
 pub mod tables;
 
+pub use cli::CliError;
 pub use config::{ConfigBuilder, ConfigError, ExperimentConfig};
 pub use experiment::{run_kernel, run_program, ExperimentResult};
 pub use prof::{ProfileReport, Profiler, StageProfile};

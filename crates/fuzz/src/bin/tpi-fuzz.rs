@@ -6,7 +6,7 @@
 //! ```
 
 use std::process::ExitCode;
-use tpi_analysis::cli::{parse_bounded, parse_scheme_list, CliError};
+use tpi::cli::{parse_bounded, parse_scheme_list, CliError};
 use tpi_fuzz::{run_fuzz, FuzzOptions, FuzzReport, Sabotage};
 
 const USAGE: &str = "\

@@ -1,74 +1,151 @@
-//! `tpi-chaos` — seeded chaos soak against an in-process `tpi-serve`.
+//! `tpi-chaos` — seeded chaos soaks: single server, or a replicated
+//! fleet.
 //!
 //! ```text
-//! tpi-chaos                         # default soak, seed 42
+//! tpi-chaos                         # default single-server soak, seed 42
 //! tpi-chaos --seed 7 --connections 16 --requests 8
 //! tpi-chaos --faults seed=7,worker_panic=0.2,conn_drop=0.1
+//! tpi-chaos --router                # 3 real replicas, kill one mid-burst
+//! tpi-chaos --router --seed 9 --out results/router_bench.json
 //! ```
 //!
-//! Starts a server with every fault site armed, drives it with the
-//! retrying load generator plus raw garbage-byte probes, shuts it down,
-//! and asserts the failure-isolation invariants (every request
-//! terminally answered, no wedged in-flight slots, the cache
-//! byte-identical to a fresh serial run outside the deliberately
-//! corrupted slots, the server alive after garbage). Exit code 0 iff
-//! every invariant held. Runs are reproducible per `--seed`.
+//! The default mode starts a server in-process with every fault site
+//! armed, drives it with the retrying load generator plus raw
+//! garbage-byte probes, shuts it down, and asserts the
+//! failure-isolation invariants (every request terminally answered, no
+//! wedged in-flight slots, the cache byte-identical to a fresh serial
+//! run outside the deliberately corrupted slots, the server alive after
+//! garbage).
+//!
+//! `--router` spawns real `tpi-serve` child processes with per-replica
+//! disk caches behind a `tpi-router`, SIGKILLs the seeded victim
+//! mid-burst, and asserts the fleet invariants: zero failed client
+//! requests, failover engaged, the dead replica drained from the ring,
+//! and the restarted replica byte-identically warm from its disk cache
+//! with zero recomputes. Exit code 0 iff every invariant held. Runs are
+//! reproducible per `--seed`.
 
 use std::process::ExitCode;
-use tpi_serve::chaos::{self, ChaosConfig};
+use tpi::cli::{parse_bounded, CliError};
+use tpi_serve::chaos::{self, ChaosConfig, RouterChaosConfig};
 
-fn main() -> ExitCode {
-    let mut config = ChaosConfig::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+const USAGE: &str = "usage: tpi-chaos [--seed N] [--connections N] [--requests M] \
+     [--workers N] [--queue N] [--faults SPEC] \
+     [--router] [--replicas N] [--serve-bin PATH] [--out FILE]";
+
+struct Cli {
+    single: ChaosConfig,
+    fleet: RouterChaosConfig,
+    router_mode: bool,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, CliError> {
+    let mut cli = Cli {
+        single: ChaosConfig::default(),
+        fleet: RouterChaosConfig::default(),
+        router_mode: false,
+        out: None,
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Option<String> {
-            let v = it.next().cloned();
-            if v.is_none() {
-                eprintln!("{name} needs a value");
-            }
-            v
-        };
         match flag.as_str() {
-            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
-                Some(v) => config.seed = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--connections" => match value("--connections").and_then(|v| v.parse().ok()) {
-                Some(v) => config.connections = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--requests" => match value("--requests").and_then(|v| v.parse().ok()) {
-                Some(v) => config.requests_per_connection = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
-                Some(v) => config.workers = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--queue" => match value("--queue").and_then(|v| v.parse().ok()) {
-                Some(v) => config.queue_cap = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--faults" => match value("--faults") {
-                Some(spec) => config.spec = Some(spec),
-                None => return ExitCode::FAILURE,
-            },
-            "--help" | "-h" => {
-                println!(
-                    "usage: tpi-chaos [--seed N] [--connections N] [--requests M] \
-                     [--workers N] [--queue N] [--faults SPEC]"
-                );
-                return ExitCode::SUCCESS;
+            "--help" | "-h" => return Ok(None),
+            "--router" => {
+                cli.router_mode = true;
+                continue;
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                return ExitCode::FAILURE;
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--seed" => {
+                let seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("{flag} needs an integer")))?;
+                cli.single.seed = seed;
+                cli.fleet.seed = seed;
             }
+            "--connections" => {
+                let n = parse_bounded(flag, value, 1, 4096)? as usize;
+                cli.single.connections = n;
+                cli.fleet.connections = n;
+            }
+            "--requests" => {
+                let n = parse_bounded(flag, value, 1, 1 << 20)? as usize;
+                cli.single.requests_per_connection = n;
+                cli.fleet.requests_per_connection = n;
+            }
+            "--workers" => {
+                let n = parse_bounded(flag, value, 1, 1024)? as usize;
+                cli.single.workers = n;
+                cli.fleet.workers = n;
+            }
+            "--queue" => {
+                cli.single.queue_cap = parse_bounded(flag, value, 1, 1 << 20)? as usize;
+            }
+            "--replicas" => {
+                cli.fleet.replicas = parse_bounded(flag, value, 1, 64)? as usize;
+            }
+            "--serve-bin" => cli.fleet.serve_bin = Some(std::path::PathBuf::from(value)),
+            "--faults" => {
+                cli.single.spec = Some(value.clone());
+                cli.fleet.spec = Some(value.clone());
+            }
+            "--out" => cli.out = Some(std::path::PathBuf::from(value)),
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
         }
     }
+    Ok(Some(cli))
+}
 
-    match chaos::run(&config) {
+fn write_out(path: &std::path::Path, rendered: &str) -> bool {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return false;
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => return e.exit(USAGE),
+    };
+
+    if cli.router_mode {
+        return match chaos::run_router(&cli.fleet) {
+            Ok(report) => {
+                println!("{report}");
+                if let Some(path) = &cli.out {
+                    if !write_out(path, &report.to_json().render()) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if report.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("tpi-chaos: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match chaos::run(&cli.single) {
         Ok(report) => {
             println!("{report}");
             if report.passed() {

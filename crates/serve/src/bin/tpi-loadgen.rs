@@ -1,4 +1,5 @@
-//! `tpi-loadgen` — concurrent load against a running `tpi-serve`.
+//! `tpi-loadgen` — concurrent load against a running `tpi-serve` (or
+//! `tpi-router`).
 //!
 //! ```text
 //! tpi-loadgen --addr 127.0.0.1:8080                  # 64 conns x 8 reqs
@@ -8,11 +9,13 @@
 //! tpi-loadgen --addr HOST:PORT --retries 5 --retry-seed 7
 //! ```
 //!
-//! Transient failures (socket errors, 503 `overloaded`, 500
-//! `cell_panicked`) are retried with seeded full-jitter exponential
-//! backoff under a per-request budget (`--retries`, default 3); the
-//! report's `retries`, `retries_exhausted`, and `attempts_histogram`
-//! fields say how hard the run had to work.
+//! Transient failures (connection-level errors, 503 `overloaded` /
+//! `upstream_unavailable`, 500 `cell_panicked`) are retried with seeded
+//! full-jitter exponential backoff under a per-request budget
+//! (`--retries`, default 3); the report's `retries`, `io_retries`,
+//! `retries_exhausted`, and `attempts_histogram` fields say how hard the
+//! run had to work — `io_retries` isolates the attempts that died on the
+//! socket (refused, reset mid-body) from HTTP-level backpressure.
 //!
 //! Drives N concurrent keep-alive connections of mixed grid requests and
 //! prints a JSON report (throughput, p50/p95/p99 latency) to stdout;
@@ -26,11 +29,12 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Duration;
+use tpi::cli::{parse_bounded, CliError};
 use tpi_serve::loadgen::{self, LoadgenConfig, RetryPolicy};
 
-fn resolve(addr: &str) -> Option<SocketAddr> {
-    addr.to_socket_addrs().ok()?.next()
-}
+const USAGE: &str = "usage: tpi-loadgen --addr HOST:PORT [--connections N] [--requests M] \
+     [--retries N] [--retry-base-ms N] [--retry-max-ms N] [--retry-seed N] \
+     [--out FILE] [--expect-cache-hits]";
 
 fn metric_value(metrics_text: &str, name: &str) -> Option<u64> {
     metrics_text
@@ -40,64 +44,87 @@ fn metric_value(metrics_text: &str, name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+struct Cli {
+    config: LoadgenConfig,
+    out: Option<std::path::PathBuf>,
+    expect_cache_hits: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, CliError> {
     let mut addr: Option<String> = None;
-    let mut connections = 64usize;
-    let mut requests = 8usize;
+    let mut connections = 64u64;
+    let mut requests = 8u64;
     let mut out: Option<std::path::PathBuf> = None;
     let mut expect_cache_hits = false;
     let mut retry = RetryPolicy::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--addr" => addr = it.next().cloned(),
-            "--connections" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => connections = v,
-                None => return usage(),
-            },
-            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => requests = v,
-                None => return usage(),
-            },
-            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => retry.budget = v,
-                None => return usage(),
-            },
-            "--retry-base-ms" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => retry.base_backoff = Duration::from_millis(v),
-                None => return usage(),
-            },
-            "--retry-max-ms" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => retry.max_backoff = Duration::from_millis(v),
-                None => return usage(),
-            },
-            "--retry-seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => retry.seed = v,
-                None => return usage(),
-            },
-            "--out" => out = it.next().map(std::path::PathBuf::from),
-            "--expect-cache-hits" => expect_cache_hits = true,
-            "--help" | "-h" => return usage(),
-            other => {
-                eprintln!("unknown flag {other}");
-                return usage();
+            "--help" | "-h" => return Ok(None),
+            "--expect-cache-hits" => {
+                expect_cache_hits = true;
+                continue;
             }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => addr = Some(value.clone()),
+            "--connections" => connections = parse_bounded(flag, value, 1, 4096)?,
+            "--requests" => requests = parse_bounded(flag, value, 1, 1 << 20)?,
+            "--retries" => {
+                retry.budget =
+                    u32::try_from(parse_bounded(flag, value, 0, 1000)?).expect("bounded");
+            }
+            "--retry-base-ms" => {
+                retry.base_backoff = Duration::from_millis(parse_bounded(flag, value, 1, 60_000)?);
+            }
+            "--retry-max-ms" => {
+                retry.max_backoff = Duration::from_millis(parse_bounded(flag, value, 1, 600_000)?);
+            }
+            "--retry-seed" => {
+                retry.seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("{flag} needs an integer")))?;
+            }
+            "--out" => out = Some(std::path::PathBuf::from(value)),
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
         }
     }
-    let Some(addr) = addr.as_deref().and_then(resolve) else {
-        eprintln!("--addr HOST:PORT is required");
-        return usage();
-    };
-
+    let addr: SocketAddr = addr
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".to_owned()))?
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| CliError::Field("error[bad_field]: cannot resolve --addr".to_owned()))?;
     let mut config = LoadgenConfig::new(addr);
-    config.connections = connections.max(1);
-    config.requests_per_connection = requests.max(1);
+    config.connections = connections as usize;
+    config.requests_per_connection = requests as usize;
     config.retry = retry;
-    let report = loadgen::run(&config);
+    Ok(Some(Cli {
+        config,
+        out,
+        expect_cache_hits,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => return e.exit(USAGE),
+    };
+    let addr = cli.config.addr;
+    let report = loadgen::run(&cli.config);
     let rendered = report.to_json().render();
     println!("{rendered}");
-    if let Some(path) = out {
+    if let Some(path) = cli.out {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
@@ -119,7 +146,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if expect_cache_hits {
+    if cli.expect_cache_hits {
         let metrics = match loadgen::get(addr, "/metrics", Duration::from_secs(10)) {
             Ok(response) if response.status == 200 => {
                 String::from_utf8_lossy(&response.body).into_owned()
@@ -150,13 +177,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
-}
-
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: tpi-loadgen --addr HOST:PORT [--connections N] [--requests M] \
-         [--retries N] [--retry-base-ms N] [--retry-max-ms N] [--retry-seed N] \
-         [--out FILE] [--expect-cache-hits]"
-    );
-    ExitCode::FAILURE
 }

@@ -1,0 +1,112 @@
+//! `tpi-router` — replicating front for a fleet of `tpi-serve` replicas.
+//!
+//! ```text
+//! tpi-router --replica 127.0.0.1:8081 --replica 127.0.0.1:8082
+//! tpi-router --addr 0.0.0.0:8080 --replica HOST:PORT --replica HOST:PORT
+//! tpi-router --probe-ms 500 --lease-ms 2500 --attempts 4
+//! ```
+//!
+//! The router consistent-hashes grid cells across the replicas, probes
+//! `/healthz` on a lease (a missed lease marks the replica draining and
+//! reassigns its hash range), and fails a forward over to the next
+//! healthy replica on connection errors or retryable 5xx — killing a
+//! replica mid-burst costs latency, never failed client requests. See
+//! DESIGN.md, "Replication and persistence".
+//!
+//! On startup the bound address is printed to stdout as
+//! `tpi-router listening on http://HOST:PORT`; the process runs until a
+//! client posts `/admin/shutdown`, then reports a final stats line to
+//! stderr. Replicas are left running — the router fronts the fleet, it
+//! does not own it.
+
+use std::io::Write;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+use tpi::cli::{parse_bounded, CliError};
+use tpi_serve::router::{Router, RouterConfig};
+
+const USAGE: &str = "usage: tpi-router --replica HOST:PORT [--replica HOST:PORT ...] \
+     [--addr HOST:PORT] [--probe-ms N] [--lease-ms N] [--attempts N] \
+     [--attempt-timeout-ms N] [--timeout-ms N]";
+
+fn resolve(addr: &str) -> Result<SocketAddr, CliError> {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| CliError::Field(format!("error[bad_field]: cannot resolve {addr:?}")))
+}
+
+fn parse_args(args: &[String]) -> Result<Option<RouterConfig>, CliError> {
+    let mut config = RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            return Ok(None);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--replica" => config.replicas.push(resolve(value)?),
+            "--probe-ms" => {
+                config.probe_interval =
+                    Duration::from_millis(parse_bounded(flag, value, 10, 60_000)?);
+            }
+            "--lease-ms" => {
+                config.lease = Duration::from_millis(parse_bounded(flag, value, 50, 600_000)?);
+            }
+            "--attempts" => {
+                config.max_attempts =
+                    u32::try_from(parse_bounded(flag, value, 1, 64)?).expect("bounded by 64");
+            }
+            "--attempt-timeout-ms" => {
+                config.attempt_timeout =
+                    Duration::from_millis(parse_bounded(flag, value, 10, 600_000)?);
+            }
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(parse_bounded(flag, value, 1, 86_400_000)?);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+        }
+    }
+    if config.replicas.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --replica HOST:PORT is required".to_owned(),
+        ));
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => return e.exit(USAGE),
+    };
+
+    let replicas = config.replicas.len();
+    let router = match Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("tpi-router: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("tpi-router: fronting {replicas} replicas");
+    // The ready line: parsed by supervisors and tests, never hard-coded.
+    println!("tpi-router listening on http://{}", router.addr());
+    let _ = std::io::stdout().flush();
+
+    router.wait_for_shutdown_request();
+    eprintln!("tpi-router: shutdown requested, draining");
+    let stats = router.shutdown();
+    eprintln!("{stats}");
+    ExitCode::SUCCESS
+}

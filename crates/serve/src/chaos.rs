@@ -23,6 +23,7 @@
 //! generator's retry jitter both derive from the one `--seed`.
 
 use crate::fault::{FaultPlan, FaultSite};
+use crate::json::Json;
 use crate::loadgen::{self, LoadgenConfig, LoadgenReport, RetryPolicy};
 use crate::pool::{CellError, CellStore};
 use crate::server::{ServeConfig, ServeStats, Server};
@@ -227,7 +228,7 @@ fn verify_cache(store: &CellStore, corrupted: &[CellKey]) -> (usize, Vec<String>
             continue;
         }
         let served = match outcome.as_ref() {
-            Ok(result) => render_cell(&key, result).render(),
+            Ok(value) => value.rendered(&key),
             Err(CellError::Failed(message)) => render_cell_error(&key, message).render(),
             Err(other) => {
                 mismatches.push(format!("{key:?}: transient outcome {other:?} was cached"));
@@ -379,6 +380,551 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
         cells_verified,
         cells_corrupted: corrupted.len(),
         garbage_probes,
+        invariants,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fleet chaos: `tpi-chaos --router`
+// ---------------------------------------------------------------------
+
+/// Parameters for the replicated soak (`tpi-chaos --router`): real
+/// `tpi-serve` child processes behind an in-process
+/// [`Router`](crate::router::Router), with a
+/// seeded `replica_kill` fault SIGKILLing one replica mid-burst.
+#[derive(Debug, Clone)]
+pub struct RouterChaosConfig {
+    /// Seed for the fault plan, the victim choice, and retry jitter.
+    pub seed: u64,
+    /// Replica processes to spawn.
+    pub replicas: usize,
+    /// Concurrent load-generator connections per burst.
+    pub connections: usize,
+    /// Requests per connection per burst.
+    pub requests_per_connection: usize,
+    /// Worker threads per replica.
+    pub workers: usize,
+    /// Fault spec override; `None` uses [`default_router_spec`].
+    pub spec: Option<String>,
+    /// Path to the `tpi-serve` binary. `None` looks next to the current
+    /// executable (the cargo target directory), which is right for the
+    /// `tpi-chaos` binary; tests pass `CARGO_BIN_EXE_tpi-serve`.
+    pub serve_bin: Option<std::path::PathBuf>,
+    /// Root for the per-replica `--cache-dir`s. `None` uses a scratch
+    /// directory under the system temp dir, removed on success.
+    pub cache_root: Option<std::path::PathBuf>,
+}
+
+impl Default for RouterChaosConfig {
+    fn default() -> Self {
+        RouterChaosConfig {
+            seed: 42,
+            replicas: 3,
+            connections: 8,
+            requests_per_connection: 6,
+            workers: 2,
+            spec: None,
+            serve_bin: None,
+            cache_root: None,
+        }
+    }
+}
+
+/// The default fleet fault spec: kill exactly one replica, 300 ms into
+/// the burst. (The per-replica process faults stay off — the point of
+/// this soak is surviving *process* death, not re-testing the
+/// single-server sites.)
+#[must_use]
+pub fn default_router_spec(seed: u64) -> String {
+    format!("seed={seed},replica_kill=1:300@1")
+}
+
+/// Everything a fleet soak observed.
+#[derive(Debug)]
+pub struct RouterChaosReport {
+    /// The fault spec the run injected.
+    pub spec: String,
+    /// Which replica the plan killed (`None` if the site never fired).
+    pub victim: Option<usize>,
+    /// The mid-kill burst tallies.
+    pub load: LoadgenReport,
+    /// The guaranteed post-kill burst tallies.
+    pub load_after_kill: LoadgenReport,
+    /// The router's final stats line.
+    pub router: crate::router::RouterStats,
+    /// The invariant verdicts, in assertion order.
+    pub invariants: Vec<Invariant>,
+}
+
+impl RouterChaosReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.invariants.iter().all(|i| i.held)
+    }
+
+    /// The report as JSON — `tpi-chaos --router --out` writes this, and
+    /// CI commits it as `results/router_bench.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let invariants: Vec<Json> = self
+            .invariants
+            .iter()
+            .map(|i| {
+                Json::obj([
+                    ("name", Json::from(i.name)),
+                    ("held", Json::Bool(i.held)),
+                    ("detail", Json::from(i.detail.clone())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("spec", Json::from(self.spec.clone())),
+            ("victim", self.victim.map_or(Json::Null, Json::from)),
+            ("load", self.load.to_json()),
+            ("load_after_kill", self.load_after_kill.to_json()),
+            (
+                "router",
+                Json::obj([
+                    (
+                        "experiment_requests",
+                        Json::from(self.router.experiment_requests),
+                    ),
+                    ("cells_forwarded", Json::from(self.router.cells_forwarded)),
+                    ("cells_joined", Json::from(self.router.cells_joined)),
+                    ("failovers", Json::from(self.router.failovers)),
+                    (
+                        "cells_unavailable",
+                        Json::from(self.router.cells_unavailable),
+                    ),
+                    ("healthy_replicas", Json::from(self.router.healthy_replicas)),
+                ]),
+            ),
+            ("invariants", Json::Arr(invariants)),
+            ("passed", Json::Bool(self.passed())),
+        ])
+    }
+}
+
+impl std::fmt::Display for RouterChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[tpi-chaos --router] spec: {}", self.spec)?;
+        match self.victim {
+            Some(victim) => writeln!(f, "[tpi-chaos --router] victim: replica {victim}")?,
+            None => writeln!(f, "[tpi-chaos --router] victim: none (site never fired)")?,
+        }
+        writeln!(
+            f,
+            "[tpi-chaos --router] burst: {} requests, {} ok, {} retries ({} io-level)",
+            self.load.requests, self.load.ok, self.load.retries, self.load.io_retries
+        )?;
+        writeln!(
+            f,
+            "[tpi-chaos --router] post-kill burst: {} requests, {} ok, {} retries ({} io-level)",
+            self.load_after_kill.requests,
+            self.load_after_kill.ok,
+            self.load_after_kill.retries,
+            self.load_after_kill.io_retries
+        )?;
+        writeln!(f, "[tpi-chaos --router] {}", self.router)?;
+        for inv in &self.invariants {
+            writeln!(
+                f,
+                "[tpi-chaos --router] {} {}: {}",
+                if inv.held { "PASS" } else { "FAIL" },
+                inv.name,
+                inv.detail
+            )?;
+        }
+        write!(
+            f,
+            "[tpi-chaos --router] {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// One spawned `tpi-serve` child and what we know about it.
+struct ReplicaProc {
+    child: std::sync::Mutex<std::process::Child>,
+    addr: SocketAddr,
+    cache_dir: std::path::PathBuf,
+}
+
+/// Where the `tpi-serve` binary lives: explicit config, or next to the
+/// current executable.
+fn serve_binary(config: &RouterChaosConfig) -> Result<std::path::PathBuf, String> {
+    if let Some(bin) = &config.serve_bin {
+        return Ok(bin.clone());
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me.with_file_name("tpi-serve");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "cannot find tpi-serve next to {} — pass --serve-bin",
+            me.display()
+        ))
+    }
+}
+
+/// Spawns one replica on an ephemeral port and parses its ready line.
+fn spawn_replica(
+    bin: &std::path::Path,
+    cache_dir: &std::path::Path,
+    workers: usize,
+) -> Result<ReplicaProc, String> {
+    let mut child = std::process::Command::new(bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--cache-dir",
+        ])
+        .arg(cache_dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("no stdout pipe")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading ready line: {e}"))?;
+    // "tpi-serve listening on http://HOST:PORT"
+    let addr = line
+        .rsplit("http://")
+        .next()
+        .and_then(|a| a.trim().parse::<SocketAddr>().ok())
+        .ok_or_else(|| format!("bad ready line {line:?}"))?;
+    Ok(ReplicaProc {
+        child: std::sync::Mutex::new(child),
+        addr,
+        cache_dir: cache_dir.to_path_buf(),
+    })
+}
+
+fn kill_replica(replica: &ReplicaProc) {
+    let mut child = tpi::lock_unpoisoned(&replica.child);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Reads one counter out of a Prometheus text body.
+fn metric_value(metrics_text: &str, name: &str) -> Option<u64> {
+    metrics_text
+        .lines()
+        .find(|line| line.starts_with(name) && line[name.len()..].starts_with(' '))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn scrape(addr: SocketAddr) -> Option<String> {
+    let response = loadgen::get(addr, "/metrics", Duration::from_secs(5)).ok()?;
+    (response.status == 200).then(|| String::from_utf8_lossy(&response.body).into_owned())
+}
+
+/// Polls the router's `/healthz` until `healthy_replicas` reaches
+/// `want`, within `deadline_in`.
+fn wait_for_healthy(router_addr: SocketAddr, want: usize, deadline_in: Duration) -> bool {
+    let deadline = std::time::Instant::now() + deadline_in;
+    while std::time::Instant::now() < deadline {
+        if let Ok(response) = loadgen::get(router_addr, "/healthz", Duration::from_secs(2)) {
+            if let Ok(doc) = crate::json::parse(&String::from_utf8_lossy(&response.body)) {
+                if doc
+                    .get("healthy_replicas")
+                    .and_then(crate::json::Json::as_u64)
+                    == Some(want as u64)
+                {
+                    return true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// The fixed grid the warm-restart phase replays directly against the
+/// victim: warmed before the kill, it must come back byte-identical and
+/// compute-free from the disk cache after the restart.
+const WARMUP_BODY: &str =
+    r#"{"kernels":["FLO52","OCEAN"],"schemes":["TPI","HW"],"opt_levels":["full"],"procs":[8]}"#;
+
+/// Runs the replicated soak. See [`RouterChaosConfig`] and the module
+/// docs; the headline invariant is that SIGKILLing a replica mid-burst
+/// costs **zero** failed client requests.
+///
+/// # Errors
+///
+/// Fails on setup problems (missing binary, bad spec, bind failure) —
+/// invariant violations are reported in the [`RouterChaosReport`].
+#[allow(clippy::too_many_lines)]
+pub fn run_router(config: &RouterChaosConfig) -> Result<RouterChaosReport, String> {
+    let spec = config
+        .spec
+        .clone()
+        .unwrap_or_else(|| default_router_spec(config.seed));
+    let plan = Arc::new(FaultPlan::parse(&spec)?);
+    let bin = serve_binary(config)?;
+    let n = config.replicas.max(1);
+    let root = config.cache_root.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "tpi-router-chaos-{}-{}",
+            std::process::id(),
+            config.seed
+        ))
+    });
+
+    let mut replicas = Vec::with_capacity(n);
+    for i in 0..n {
+        replicas.push(spawn_replica(
+            &bin,
+            &root.join(format!("r{i}")),
+            config.workers,
+        )?);
+    }
+    let kill_fleet = |replicas: &[ReplicaProc]| {
+        for replica in replicas {
+            kill_replica(replica);
+        }
+    };
+
+    // The victim is a pure function of the seed; warm its disk cache
+    // directly (bypassing the router) and record the served bytes —
+    // the warm-restart phase must reproduce them without computing.
+    let victim = (config.seed % n as u64) as usize;
+    let warm_before = match loadgen::post(
+        replicas[victim].addr,
+        "/v1/experiments",
+        WARMUP_BODY,
+        Duration::from_secs(60),
+    ) {
+        Ok(response) if response.status == 200 => response.body,
+        Ok(response) => {
+            kill_fleet(&replicas);
+            return Err(format!("warmup returned {}", response.status));
+        }
+        Err(e) => {
+            kill_fleet(&replicas);
+            return Err(format!("warmup failed: {e}"));
+        }
+    };
+
+    let router = crate::router::Router::start(crate::router::RouterConfig {
+        replicas: replicas.iter().map(|r| r.addr).collect(),
+        probe_interval: Duration::from_millis(150),
+        lease: Duration::from_millis(700),
+        max_attempts: 2 * n as u32,
+        retry: RetryPolicy {
+            budget: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            seed: config.seed,
+        },
+        ..crate::router::RouterConfig::default()
+    })
+    .map_err(|e| {
+        kill_fleet(&replicas);
+        format!("router bind failed: {e}")
+    })?;
+    let router_addr = router.addr();
+
+    let load_config = LoadgenConfig {
+        addr: router_addr,
+        connections: config.connections,
+        requests_per_connection: config.requests_per_connection,
+        timeout: Duration::from_secs(30),
+        retry: RetryPolicy {
+            budget: 8,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            seed: config.seed,
+        },
+    };
+
+    // Burst with the killer armed: once the router has seen traffic, the
+    // plan's offset elapses and the victim is SIGKILLed mid-flight.
+    let killed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let load = std::thread::scope(|scope| {
+        let killer = {
+            let plan = Arc::clone(&plan);
+            let killed = Arc::clone(&killed);
+            let victim_proc = &replicas[victim];
+            scope.spawn(move || {
+                if !plan.fires(FaultSite::ReplicaKill) {
+                    return;
+                }
+                let offset = plan.site_arg_ms(FaultSite::ReplicaKill).unwrap_or(300);
+                // Wait for the burst to actually be underway before the
+                // offset starts counting, so a fast burst still dies
+                // mid-flight rather than after the fact.
+                let wait_deadline = std::time::Instant::now() + Duration::from_secs(10);
+                while std::time::Instant::now() < wait_deadline {
+                    let seen = scrape(router_addr)
+                        .and_then(|m| metric_value(&m, "tpi_router_forward_attempts_total"))
+                        .unwrap_or(0);
+                    if seen > 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                std::thread::sleep(Duration::from_millis(offset));
+                kill_replica(victim_proc);
+                killed.store(true, std::sync::atomic::Ordering::Release);
+            })
+        };
+        let load = loadgen::run(&load_config);
+        killer.join().expect("killer thread");
+        load
+    });
+    let kill_fired = killed.load(std::sync::atomic::Ordering::Acquire);
+
+    // A second, smaller burst with the victim certainly dead: guarantees
+    // post-kill traffic regardless of how the first burst raced the
+    // killer, so the failover path is always exercised.
+    let load_after_kill = loadgen::run(&LoadgenConfig {
+        connections: 4,
+        requests_per_connection: 3,
+        ..load_config
+    });
+
+    let drained = kill_fired && wait_for_healthy(router_addr, n - 1, Duration::from_secs(10));
+
+    // Warm restart: same binary, same --cache-dir. The replica must come
+    // back serving the warmup grid byte-identically without recomputing
+    // a single cell.
+    let mut warm_detail = String::new();
+    let warm_ok = kill_fired
+        && match spawn_replica(&bin, &replicas[victim].cache_dir, config.workers) {
+            Ok(restarted) => {
+                let outcome = (|| -> Result<String, String> {
+                    let response = loadgen::post(
+                        restarted.addr,
+                        "/v1/experiments",
+                        WARMUP_BODY,
+                        Duration::from_secs(60),
+                    )
+                    .map_err(|e| format!("restarted replica unreachable: {e}"))?;
+                    if response.status != 200 {
+                        return Err(format!("restarted replica returned {}", response.status));
+                    }
+                    if response.body != warm_before {
+                        return Err("served bytes differ across the restart".to_owned());
+                    }
+                    let metrics =
+                        scrape(restarted.addr).ok_or("restarted replica /metrics unreachable")?;
+                    let computed =
+                        metric_value(&metrics, "tpi_serve_cells_computed_total").unwrap_or(99);
+                    let disk_hits =
+                        metric_value(&metrics, "tpi_disk_cache_hits_total").unwrap_or(0);
+                    if computed != 0 {
+                        return Err(format!("{computed} cells recomputed after restart"));
+                    }
+                    if disk_hits == 0 {
+                        return Err("no disk-cache hits after restart".to_owned());
+                    }
+                    Ok(format!(
+                        "byte-identical, 0 recomputes, {disk_hits} disk hits"
+                    ))
+                })();
+                kill_replica(&restarted);
+                match outcome {
+                    Ok(detail) => {
+                        warm_detail = detail;
+                        true
+                    }
+                    Err(e) => {
+                        warm_detail = e;
+                        false
+                    }
+                }
+            }
+            Err(e) => {
+                warm_detail = format!("restart failed: {e}");
+                false
+            }
+        };
+
+    let router_inflight = router.inflight_cells();
+    let stats = router.shutdown();
+    kill_fleet(&replicas);
+    if config.cache_root.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    let answered = |l: &LoadgenReport| {
+        l.ok + l.invalid_bodies + l.io_errors + l.non_2xx.iter().map(|(_, c)| c).sum::<usize>()
+    };
+    let failed = |l: &LoadgenReport| l.requests - l.ok;
+    let invariants = vec![
+        Invariant {
+            name: "replica kill fired",
+            held: kill_fired,
+            detail: if kill_fired {
+                format!("replica {victim} SIGKILLed")
+            } else {
+                "the replica_kill site never fired".to_owned()
+            },
+        },
+        Invariant {
+            name: "zero failed client requests across replica death",
+            held: failed(&load) == 0 && failed(&load_after_kill) == 0,
+            detail: format!(
+                "{}+{} failed of {}+{}",
+                failed(&load),
+                failed(&load_after_kill),
+                load.requests,
+                load_after_kill.requests
+            ),
+        },
+        Invariant {
+            name: "every request terminally answered",
+            held: answered(&load) == load.requests
+                && answered(&load_after_kill) == load_after_kill.requests,
+            detail: format!(
+                "{}+{} accounted for",
+                answered(&load),
+                answered(&load_after_kill)
+            ),
+        },
+        Invariant {
+            name: "failover engaged",
+            held: stats.failovers > 0,
+            detail: format!(
+                "{} failovers, {} cells forwarded",
+                stats.failovers, stats.cells_forwarded
+            ),
+        },
+        Invariant {
+            name: "dead replica drained from the ring",
+            held: drained,
+            detail: if drained {
+                format!("{} of {n} replicas healthy after lease expiry", n - 1)
+            } else {
+                "victim still marked healthy past the lease".to_owned()
+            },
+        },
+        Invariant {
+            name: "no wedged router slots after drain",
+            held: router_inflight == 0,
+            detail: format!("{router_inflight} cells still in flight"),
+        },
+        Invariant {
+            name: "killed replica restarts warm from its disk cache",
+            held: warm_ok,
+            detail: warm_detail,
+        },
+    ];
+
+    Ok(RouterChaosReport {
+        spec,
+        victim: kill_fired.then_some(victim),
+        load,
+        load_after_kill,
+        router: stats,
         invariants,
     })
 }

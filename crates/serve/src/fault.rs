@@ -19,15 +19,25 @@
 //! # Spec grammar (`--faults`)
 //!
 //! Comma-separated `key=value` pairs. `seed=N` seeds the PRNG; every
-//! other key is a site rule `site=RATE[:ARG][@MAX]`:
+//! other key is a site rule `site=RATE[:ARG_MS][@MAX]`:
 //!
 //! * `RATE` — probability per occurrence, `0.0..=1.0` (`1` = always).
-//! * `:ARG` — site argument; only `cell_latency` uses it (milliseconds).
+//! * `:ARG_MS` — site argument in milliseconds. `cell_latency` and
+//!   `disk_slow` read it as the injected delay; `replica_kill` reads it
+//!   as the burst offset at which the fleet harness kills the replica.
+//!   Other sites ignore it.
 //! * `@MAX` — cap on total fires (`worker_panic=1@1`: exactly the first
 //!   occurrence panics, then the site goes quiet).
 //!
+//! The persistence and fleet sites compose with the original seven:
+//! `disk_torn_write` corrupts the bytes a disk-cache write leaves behind
+//! (as a crash between write and fsync would), `disk_slow` stalls disk
+//! reads/writes by `ARG_MS`, and `replica_kill` tells the router chaos
+//! harness to SIGKILL a serving replica `ARG_MS` into the load burst.
+//!
 //! ```text
 //! --faults seed=42,worker_panic=0.05,cell_latency=0.2:5,conn_drop=0.02
+//! --faults seed=7,disk_torn_write=0.1,disk_slow=0.2:3,replica_kill=1:300@1
 //! ```
 
 use crate::wire::CellKey;
@@ -59,11 +69,22 @@ pub enum FaultSite {
     RespTruncate,
     /// Refuse an experiment request with a transient 503 `overloaded`.
     Overload,
+    /// Leave a torn (truncated, checksum-less) record behind instead of
+    /// the atomic temp-file + fsync + rename a disk-cache write normally
+    /// performs — what a crash between write and rename looks like on
+    /// recovery.
+    DiskTornWrite,
+    /// Extra latency added to every disk-cache read and write.
+    DiskSlow,
+    /// Kill a serving replica mid-burst (fired by the `tpi-chaos
+    /// --router` fleet harness, which SIGKILLs the chosen replica
+    /// process `ARG_MS` into the load burst).
+    ReplicaKill,
 }
 
 impl FaultSite {
     /// Every site, in spec/metrics order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::WorkerPanic,
         FaultSite::WorkerExit,
         FaultSite::CellLatency,
@@ -71,6 +92,9 @@ impl FaultSite {
         FaultSite::ConnDrop,
         FaultSite::RespTruncate,
         FaultSite::Overload,
+        FaultSite::DiskTornWrite,
+        FaultSite::DiskSlow,
+        FaultSite::ReplicaKill,
     ];
 
     /// Number of sites (array dimension for per-site counters).
@@ -87,6 +111,9 @@ impl FaultSite {
             FaultSite::ConnDrop => "conn_drop",
             FaultSite::RespTruncate => "resp_truncate",
             FaultSite::Overload => "overload",
+            FaultSite::DiskTornWrite => "disk_torn_write",
+            FaultSite::DiskSlow => "disk_slow",
+            FaultSite::ReplicaKill => "replica_kill",
         }
     }
 
@@ -229,6 +256,24 @@ impl FaultPlan {
             .then(|| Duration::from_millis(rule.arg_ms))
     }
 
+    /// [`fires`](Self::fires) for `disk_slow`, returning the injected
+    /// disk-latency when it fires. Called once per disk-cache read or
+    /// write.
+    #[must_use]
+    pub fn disk_latency(&self) -> Option<Duration> {
+        let rule = self.rules[FaultSite::DiskSlow.index()]?;
+        self.fires(FaultSite::DiskSlow)
+            .then(|| Duration::from_millis(rule.arg_ms))
+    }
+
+    /// The `ARG_MS` argument configured for `site`, if the site is armed
+    /// at all. Does not count an occurrence — the router chaos harness
+    /// uses it to schedule `replica_kill` before the burst starts.
+    #[must_use]
+    pub fn site_arg_ms(&self, site: FaultSite) -> Option<u64> {
+        self.rules[site.index()].map(|r| r.arg_ms)
+    }
+
     /// [`fires`](Self::fires) for `cache_corrupt`. When it fires the
     /// key is recorded (see [`corrupted_cells`](Self::corrupted_cells))
     /// so verification layers know which slots to exclude.
@@ -309,6 +354,19 @@ mod tests {
     fn latency_site_carries_its_argument() {
         let plan = FaultPlan::parse("cell_latency=1:25").unwrap();
         assert_eq!(plan.cell_latency(), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn disk_sites_parse_and_carry_arguments() {
+        let plan = FaultPlan::parse("seed=7,disk_slow=1:3,replica_kill=1:250@1").unwrap();
+        assert_eq!(plan.disk_latency(), Some(Duration::from_millis(3)));
+        assert_eq!(plan.site_arg_ms(FaultSite::ReplicaKill), Some(250));
+        assert_eq!(plan.site_arg_ms(FaultSite::DiskTornWrite), None);
+        assert!(plan.fires(FaultSite::ReplicaKill));
+        assert!(!plan.fires(FaultSite::ReplicaKill), "fire cap respected");
+        let torn = FaultPlan::parse("disk_torn_write=1@1").unwrap();
+        assert!(torn.fires(FaultSite::DiskTornWrite));
+        assert!(!torn.fires(FaultSite::DiskTornWrite));
     }
 
     #[test]

@@ -25,7 +25,16 @@
 //! retries transient failures with jittered backoff ([`loadgen`]), and
 //! a deterministic seeded fault plan ([`fault`]) plus a chaos soak
 //! ([`chaos`], the `tpi-chaos` binary) exercise every failure path.
-//! See `DESIGN.md` ("The experiment service") for the architecture.
+//!
+//! Replication and persistence ride on top of the single-node server:
+//! a crash-safe content-addressed disk cache ([`disk`], `--cache-dir`)
+//! makes restarts warm and byte-identical (corrupt records are
+//! quarantined, never served), and the `tpi-router` binary ([`router`])
+//! fronts N replicas with consistent hashing, health leases, failover,
+//! and fleet-wide single-flight — `tpi-chaos --router` SIGKILLs a real
+//! replica mid-burst and asserts zero failed client requests plus a
+//! warm restart from its disk cache. See `DESIGN.md` ("The experiment
+//! service", "Replication and persistence") for the architecture.
 //!
 //! # Quickstart
 //!
@@ -49,15 +58,19 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod disk;
 pub mod fault;
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
+pub mod router;
 pub mod server;
 pub mod wire;
 
+pub use disk::{DiskCache, RecoveryReport};
 pub use fault::{FaultPlan, FaultSite};
+pub use router::{Router, RouterConfig};
 pub use server::{ServeConfig, ServeStats, Server};
 pub use wire::{CellKey, GridRequest};

@@ -10,10 +10,16 @@
 //! backoff with full jitter (deterministically seeded, so two runs with
 //! the same seed sleep the same schedule), a per-request retry budget,
 //! and `Retry-After` honored when the server sends one. Retryable
-//! outcomes are socket errors (the connection is re-established), 503
-//! `overloaded` backpressure, and 500 `cell_panicked` (the service
-//! guarantees a panicked cell is never cached, so a retry recomputes
-//! it). Everything else — 4xx, 503 `shutting_down` — is terminal.
+//! outcomes are connection-level failures — refused connections, resets
+//! mid-body, timeouts — for which the connection is torn down and
+//! re-established, 503 `overloaded` / `upstream_unavailable`
+//! backpressure, and 500 `cell_panicked` (the service guarantees a
+//! panicked cell is never cached, so a retry recomputes it). Everything
+//! else — 4xx, 503 `shutting_down` — is terminal. Connection-level
+//! retried attempts are counted separately
+//! ([`LoadgenReport::io_retries`]) from HTTP-level ones, so a run
+//! against a replica that was killed mid-burst shows exactly how many
+//! attempts died on the socket versus backpressure.
 
 use crate::fault::splitmix64;
 use crate::http::{read_response, Response};
@@ -144,8 +150,13 @@ pub struct LoadgenReport {
     pub invalid_bodies: usize,
     /// Requests that died on a socket error after exhausting retries.
     pub io_errors: usize,
-    /// Retried attempts across all requests.
+    /// Retried attempts across all requests (HTTP-level and
+    /// connection-level together).
     pub retries: u64,
+    /// The subset of [`retries`](Self::retries) whose failed attempt
+    /// died at the connection level (refused, reset mid-body, timed
+    /// out) rather than on a retryable HTTP status.
+    pub io_retries: u64,
     /// Requests whose retry budget ran out while still failing
     /// transiently.
     pub retries_exhausted: usize,
@@ -201,6 +212,7 @@ impl LoadgenReport {
             ("invalid_bodies", Json::from(self.invalid_bodies)),
             ("io_errors", Json::from(self.io_errors)),
             ("retries", Json::from(self.retries)),
+            ("io_retries", Json::from(self.io_retries)),
             ("retries_exhausted", Json::from(self.retries_exhausted)),
             ("attempts_histogram", Json::Arr(attempts)),
             ("elapsed_seconds", Json::from(self.elapsed_seconds)),
@@ -226,6 +238,7 @@ struct Tally {
     invalid_bodies: usize,
     io_errors: usize,
     retries: u64,
+    io_retries: u64,
     retries_exhausted: usize,
     attempts_histogram: Vec<(u32, usize)>,
 }
@@ -275,6 +288,7 @@ impl Tally {
         self.invalid_bodies += other.invalid_bodies;
         self.io_errors += other.io_errors;
         self.retries += other.retries;
+        self.io_retries += other.io_retries;
         self.retries_exhausted += other.retries_exhausted;
     }
 }
@@ -345,12 +359,17 @@ fn error_code(body: &[u8]) -> Option<String> {
 }
 
 /// Whether a response is worth retrying. 503 `overloaded` is explicit
-/// backpressure; 500 `cell_panicked` is transient by contract (panicked
-/// cells are never cached, so a retry recomputes). 503 `shutting_down`
-/// and everything else are terminal.
+/// backpressure and 503 `upstream_unavailable` is the router briefly
+/// without a live owner for a cell (failover or re-probe fixes it); 500
+/// `cell_panicked` is transient by contract (panicked cells are never
+/// cached, so a retry recomputes). 503 `shutting_down` /
+/// `all_replicas_draining` and everything else are terminal.
 fn retryable(response: &Response) -> bool {
     match response.status {
-        503 => error_code(&response.body).as_deref() == Some("overloaded"),
+        503 => matches!(
+            error_code(&response.body).as_deref(),
+            Some("overloaded" | "upstream_unavailable")
+        ),
         500 => error_code(&response.body).as_deref() == Some("cell_panicked"),
         _ => false,
     }
@@ -410,11 +429,28 @@ fn drive_connection(config: &LoadgenConfig, conn_index: usize, mix: &[&str]) -> 
                 tally.retries_exhausted += 1;
                 break None;
             }
+            // This attempt will be retried; a `None` last_transient
+            // means it died at the connection level, not on a status.
+            if last_transient.is_none() {
+                tally.io_retries += 1;
+            }
             std::thread::sleep(config.retry.backoff(conn_index, i, attempt, suggested));
             if conn.is_none() {
                 conn = connect(config).ok();
             }
         };
+        // A `connection: close` response (shutdown, some 4xx paths)
+        // means the server side of this socket is gone: drop it now so
+        // the next request reconnects instead of burning an attempt on
+        // a dead write.
+        if let Some(response) = &terminal {
+            if response
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+            {
+                conn = None;
+            }
+        }
         tally.count_attempts(attempt);
         match terminal {
             Some(response) if response.status == 200 => {
@@ -491,6 +527,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         invalid_bodies: tally.invalid_bodies,
         io_errors: tally.io_errors,
         retries: tally.retries,
+        io_retries: tally.io_retries,
         retries_exhausted: tally.retries_exhausted,
         attempts_histogram: tally.attempts_histogram,
         elapsed_seconds: elapsed,
@@ -531,6 +568,7 @@ mod tests {
             invalid_bodies: 0,
             io_errors: 0,
             retries: 3,
+            io_retries: 1,
             retries_exhausted: 1,
             attempts_histogram: vec![(1, 3), (4, 1)],
             elapsed_seconds: 1.0,

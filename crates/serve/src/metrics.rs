@@ -164,6 +164,16 @@ pub struct Metrics {
     /// Faults injected, per [`FaultSite`] (always zero when the fault
     /// layer is disabled).
     pub faults_injected: [AtomicU64; FaultSite::COUNT],
+    /// Cells served from a verified disk-cache record (warm restarts).
+    pub disk_hits: AtomicU64,
+    /// Records durably written to the disk cache.
+    pub disk_writes: AtomicU64,
+    /// Disk-cache records quarantined (torn or corrupted — at startup or
+    /// on a failed runtime read). Quarantined records are never served.
+    pub disk_quarantined: AtomicU64,
+    /// Completed results evicted from the bounded in-memory LRU (the
+    /// disk store, when configured, still holds them).
+    pub memory_evictions: AtomicU64,
 }
 
 impl Metrics {
@@ -234,7 +244,7 @@ impl Metrics {
             );
         }
 
-        let simple: [(&str, &str, u64); 9] = [
+        let simple: [(&str, &str, u64); 13] = [
             (
                 "tpi_serve_cells_cached_total",
                 "Grid cells answered from the completed-result cache.",
@@ -279,6 +289,26 @@ impl Metrics {
                 "tpi_worker_restarts_total",
                 "Worker threads respawned by the pool's supervision.",
                 self.worker_restarts.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_disk_cache_hits_total",
+                "Cells served from a verified disk-cache record.",
+                self.disk_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_disk_cache_writes_total",
+                "Records durably written to the disk cache.",
+                self.disk_writes.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_disk_cache_quarantined_total",
+                "Disk-cache records quarantined instead of served (torn or corrupted).",
+                self.disk_quarantined.load(Ordering::Relaxed),
+            ),
+            (
+                "tpi_serve_memory_evictions_total",
+                "Completed results evicted from the bounded in-memory LRU.",
+                self.memory_evictions.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in simple {

@@ -28,9 +28,11 @@
 //!    [`CellError::ShuttingDown`] so its waiters resolve before the
 //!    final stats line.
 
+use crate::disk::DiskCache;
 use crate::fault::{FaultPlan, FaultSite, INJECTED_PANIC_PREFIX};
+use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::wire::CellKey;
+use crate::wire::{render_cell, CellKey};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -55,8 +57,40 @@ pub enum CellError {
     ShuttingDown,
 }
 
+/// A successful cell value: either computed in this process, or
+/// recovered verbatim from the disk cache. Both render to the same
+/// response bytes — [`CellValue::rendered`] is the byte-identity
+/// contract the chaos harness and the persistence tests check.
+#[derive(Debug)]
+pub enum CellValue {
+    /// Computed by a worker in this process (boxed: an
+    /// [`ExperimentResult`] dwarfs the recovered variant).
+    Computed(Box<ExperimentResult>),
+    /// Recovered from a verified disk-cache record: the parsed form of
+    /// the exact JSON this cell was served as before the restart.
+    Recovered(Json),
+}
+
+impl CellValue {
+    /// The cell's response JSON node.
+    #[must_use]
+    pub fn to_json(&self, key: &CellKey) -> Json {
+        match self {
+            CellValue::Computed(result) => render_cell(key, result),
+            CellValue::Recovered(json) => json.clone(),
+        }
+    }
+
+    /// The cell's response bytes. Rendering is deterministic, so a
+    /// recovered cell reproduces its pre-restart bytes exactly.
+    #[must_use]
+    pub fn rendered(&self, key: &CellKey) -> String {
+        self.to_json(key).render()
+    }
+}
+
 /// What one cell computation produced.
-pub type CellOutcome = Result<ExperimentResult, CellError>;
+pub type CellOutcome = Result<CellValue, CellError>;
 
 use tpi::ExperimentResult;
 
@@ -124,35 +158,142 @@ pub struct CellJob {
     pub slot: Arc<FlightSlot>,
 }
 
+/// Default bound on the in-memory completed-result LRU.
+pub const DEFAULT_MEMORY_CELLS: usize = 1024;
+
+/// The bounded in-memory layer: completed results with last-use ticks.
+/// Eviction is an O(n) scan for the least-recent tick — n is the memory
+/// bound (a thousand or so), the map is behind a leaf lock, and
+/// evictions only happen on inserts past the bound.
+struct MemoryLru {
+    map: HashMap<CellKey, (Arc<CellOutcome>, u64)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl MemoryLru {
+    fn new(cap: usize) -> MemoryLru {
+        MemoryLru {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &CellKey) -> Option<Arc<CellOutcome>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(outcome, used)| {
+            *used = tick;
+            Arc::clone(outcome)
+        })
+    }
+
+    /// Inserts and evicts down to the bound; returns how many entries
+    /// were evicted.
+    fn insert(&mut self, key: CellKey, outcome: Arc<CellOutcome>) -> u64 {
+        self.tick += 1;
+        self.map.insert(key, (outcome, self.tick));
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// Completed results plus the in-flight table. Lock order is always
 /// `inflight` before `done`; both are leaf locks held only for map
-/// operations.
-#[derive(Default)]
+/// operations (and, on the miss path, one disk-cache probe).
+///
+/// With a [`DiskCache`] attached the store is two-level: the `done` map
+/// is a bounded LRU (so memory stays flat no matter how many distinct
+/// cells the fleet has seen) and every successful computation is also
+/// persisted, so a restarted replica answers its old cells from disk —
+/// byte-identically — without recomputing.
 pub struct CellStore {
     inflight: Mutex<HashMap<CellKey, Arc<FlightSlot>>>,
-    done: Mutex<HashMap<CellKey, Arc<CellOutcome>>>,
+    done: Mutex<MemoryLru>,
+    disk: Option<Arc<DiskCache>>,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Default for CellStore {
+    fn default() -> CellStore {
+        CellStore::new(DEFAULT_MEMORY_CELLS, None, None)
+    }
 }
 
 impl CellStore {
+    /// A store bounded to `memory_cells` completed results in memory,
+    /// optionally backed by a persistent `disk` cache.
+    #[must_use]
+    pub fn new(
+        memory_cells: usize,
+        disk: Option<Arc<DiskCache>>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> CellStore {
+        CellStore {
+            inflight: Mutex::new(HashMap::new()),
+            done: Mutex::new(MemoryLru::new(memory_cells)),
+            disk,
+            metrics,
+        }
+    }
+
+    /// The attached disk cache, if any.
+    #[must_use]
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
+    }
+
     fn inflight(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<FlightSlot>>> {
         lock_unpoisoned(&self.inflight)
     }
 
-    fn done(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<CellOutcome>>> {
+    fn done(&self) -> MutexGuard<'_, MemoryLru> {
         lock_unpoisoned(&self.done)
     }
 
-    /// Decides how to obtain `key`: cached, joined, or led. Registering
-    /// the leader is atomic with the lookups, so two concurrent requests
-    /// can never both lead the same cell.
+    fn memory_insert(&self, key: CellKey, outcome: Arc<CellOutcome>) {
+        let evicted = self.done().insert(key, outcome);
+        if evicted > 0 {
+            if let Some(metrics) = &self.metrics {
+                metrics
+                    .memory_evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Decides how to obtain `key`: cached (memory or a verified disk
+    /// record), joined, or led. Registering the leader is atomic with
+    /// the lookups, so two concurrent requests can never both lead the
+    /// same cell. A disk hit is promoted into the memory LRU.
     #[must_use]
     pub fn plan(&self, key: CellKey) -> CellPlan {
         let mut inflight = self.inflight();
         if let Some(outcome) = self.done().get(&key) {
-            return CellPlan::Cached(Arc::clone(outcome));
+            return CellPlan::Cached(outcome);
         }
         if let Some(slot) = inflight.get(&key) {
             return CellPlan::Joined(Arc::clone(slot));
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(json) = disk.get(&key) {
+                let outcome = Arc::new(Ok(CellValue::Recovered(json)));
+                self.memory_insert(key, Arc::clone(&outcome));
+                return CellPlan::Cached(outcome);
+            }
         }
         let slot = FlightSlot::new();
         inflight.insert(key, Arc::clone(&slot));
@@ -164,22 +305,29 @@ impl CellStore {
     /// they are deterministic results of the cell's inputs. Transient
     /// server states — `Overloaded`, `Panicked`, `ShuttingDown` — are
     /// *not* cached, so the next request retries the cell.
+    ///
+    /// Computed successes are also persisted to the disk cache (before
+    /// the in-memory publish, so a crash after the waiters observe the
+    /// result cannot lose it).
     pub fn finish(&self, job: &CellJob, outcome: CellOutcome) {
         let outcome = Arc::new(outcome);
+        if let (Some(disk), Ok(value)) = (&self.disk, outcome.as_ref()) {
+            disk.put(&job.key, &value.rendered(&job.key));
+        }
         {
             let mut inflight = self.inflight();
             if matches!(outcome.as_ref(), Ok(_) | Err(CellError::Failed(_))) {
-                self.done().insert(job.key, Arc::clone(&outcome));
+                self.memory_insert(job.key, Arc::clone(&outcome));
             }
             inflight.remove(&job.key);
         }
         job.slot.complete(outcome);
     }
 
-    /// Number of completed cells held by the result cache.
+    /// Number of completed cells held by the in-memory result cache.
     #[must_use]
     pub fn results_cached(&self) -> usize {
-        self.done().len()
+        self.done().map.len()
     }
 
     /// Number of cells currently in flight. Zero once every request has
@@ -196,8 +344,9 @@ impl CellStore {
     #[must_use]
     pub fn snapshot(&self) -> Vec<(CellKey, Arc<CellOutcome>)> {
         self.done()
+            .map
             .iter()
-            .map(|(k, v)| (*k, Arc::clone(v)))
+            .map(|(k, (v, _))| (*k, Arc::clone(v)))
             .collect()
     }
 }
@@ -427,7 +576,7 @@ fn worker_loop(shared: &PoolShared) {
             shared.metrics.cell_panics.fetch_add(1, Ordering::Relaxed);
             Err(CellError::Panicked(message))
         });
-        if let (Some(plan), Ok(result)) = (&shared.fault, &mut outcome) {
+        if let (Some(plan), Ok(CellValue::Computed(result))) = (&shared.fault, &mut outcome) {
             if plan.corrupts(&job.key) {
                 shared.metrics.fault(FaultSite::CacheCorrupt);
                 // A detectable lie: flip the headline counter the
@@ -461,7 +610,9 @@ fn compute(runner: &Runner, key: &CellKey) -> CellOutcome {
         .config()
         .map_err(|e| CellError::Failed(format!("invalid machine: {e}")))?;
     match runner.run_kernel_safe(key.kernel, key.scale, &config) {
-        Ok(result) => result.map_err(|e| CellError::Failed(e.to_string())),
+        Ok(result) => result
+            .map(|result| CellValue::Computed(Box::new(result)))
+            .map_err(|e| CellError::Failed(e.to_string())),
         Err(panic_message) => Err(CellError::Panicked(panic_message)),
     }
 }
@@ -508,6 +659,70 @@ mod tests {
             delay,
         );
         (pool, store)
+    }
+
+    #[test]
+    fn memory_lru_evicts_and_disk_recovers_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("tpi-pool-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics = Arc::new(Metrics::default());
+        let (disk, _) = DiskCache::open(&dir, None, Arc::clone(&metrics)).unwrap();
+        let disk = Arc::new(disk);
+        let store = Arc::new(CellStore::new(
+            2,
+            Some(Arc::clone(&disk)),
+            Some(Arc::clone(&metrics)),
+        ));
+        let pool = WorkerPool::start(
+            1,
+            8,
+            Arc::new(Runner::serial()),
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            None,
+            Duration::ZERO,
+        );
+        let mut rendered = Vec::new();
+        for seed in 70..73 {
+            let CellPlan::Lead(job) = store.plan(key(seed)) else {
+                panic!("fresh cells must be led");
+            };
+            let slot = Arc::clone(&job.slot);
+            pool.submit_batch(vec![job]).unwrap();
+            let outcome = slot
+                .wait_until(Instant::now() + Duration::from_secs(30))
+                .unwrap();
+            let Ok(value) = outcome.as_ref() else {
+                panic!("cell computes: {outcome:?}");
+            };
+            rendered.push(value.rendered(&key(seed)));
+        }
+        // Three results through a 2-cell memory bound: one eviction,
+        // every result still on disk.
+        assert_eq!(store.results_cached(), 2);
+        assert!(metrics.memory_evictions.load(Ordering::Relaxed) >= 1);
+        assert_eq!(disk.entries(), 3);
+        // The evicted cell (the least-recently used: seed 70) comes back
+        // as a Cached plan via the disk, byte-identical to the original.
+        let CellPlan::Cached(outcome) = store.plan(key(70)) else {
+            panic!("disk-held cell must be a cache hit");
+        };
+        let Ok(value) = outcome.as_ref() else {
+            panic!("recovered cell is a success: {outcome:?}");
+        };
+        assert!(matches!(value, CellValue::Recovered(_)));
+        assert_eq!(value.rendered(&key(70)), rendered[0]);
+        // A cold store over the same directory is warm too.
+        let cold = CellStore::new(8, Some(Arc::clone(&disk)), None);
+        let CellPlan::Cached(outcome) = cold.plan(key(71)) else {
+            panic!("restart must be warm");
+        };
+        assert_eq!(
+            outcome.as_ref().as_ref().unwrap().rendered(&key(71)),
+            rendered[1]
+        );
+        pool.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

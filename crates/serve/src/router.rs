@@ -1,0 +1,1069 @@
+//! `tpi-router` — a replicating HTTP front for a fleet of `tpi-serve`
+//! replicas.
+//!
+//! ```text
+//! clients ──► router accept loop ──► per-cell placement (hash ring)
+//!                                        │ global single-flight
+//!                                        ▼
+//!                      replica A ◄── forward with per-attempt deadline
+//!                      replica B ◄── failover on connect error / 5xx
+//!                      replica C ◄── (jittered backoff between tries)
+//!                          ▲
+//!                  health prober (lease: miss it → draining)
+//! ```
+//!
+//! The router owns three jobs and deliberately nothing else:
+//!
+//! 1. **Placement.** Every cell key hashes onto a consistent-hash ring
+//!    ([`VNODES`] virtual nodes per replica), so identical cells always
+//!    prefer the same replica and its memory/disk caches stay hot. When
+//!    a replica dies, only its arc of the ring moves.
+//! 2. **Health.** A prober thread `GET /healthz`s every replica each
+//!    [`RouterConfig::probe_interval`]. A replica that has not answered
+//!    within [`RouterConfig::lease`] is marked *draining*: it receives
+//!    no new cells until a probe succeeds again. Probing is the only
+//!    thing that changes health — forwarding failures just fail over,
+//!    so one flaky connection can't flap the ring.
+//! 3. **Failover.** A forward that dies on the socket or returns a 5xx
+//!    is retried on the next healthy replica in ring order, with the
+//!    same full-jitter backoff the load generator uses. Killing a
+//!    replica mid-burst therefore costs latency, never correctness:
+//!    `tpi-chaos --router` asserts exactly zero failed client requests.
+//!
+//! Identical in-flight cells are deduplicated *globally* at the router
+//! (one upstream forward no matter how many clients ask), which is
+//! strictly stronger than each replica's own single-flight table. The
+//! router keeps no result cache — replicas own caching (memory LRU over
+//! the crash-safe disk store, see [`crate::disk`]) — so a replica
+//! restart's warmness stays observable end to end.
+//!
+//! When every replica is draining the router answers `503` with code
+//! `all_replicas_draining` and a `Retry-After` header: an explicit,
+//! immediate "come back later", never a hang.
+
+use crate::disk::fnv1a;
+use crate::fault::splitmix64;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{parse, Json};
+use crate::loadgen::{self, RetryPolicy};
+use crate::wire::{error_body, kernels_body, schemes_body, CellKey, GridRequest};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tpi::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
+
+/// Virtual nodes per replica on the consistent-hash ring. 64 keeps the
+/// arc sizes within a few percent of even for small fleets while the
+/// ring stays tiny (3 replicas → 192 points).
+pub const VNODES: usize = 64;
+
+/// Everything tunable about one router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address. Port 0 asks the OS for an ephemeral port; the
+    /// bound address is reported by [`Router::addr`].
+    pub addr: String,
+    /// The replica fleet. Fixed for the router's lifetime; *health* is
+    /// dynamic, membership is not.
+    pub replicas: Vec<SocketAddr>,
+    /// How often the prober `GET /healthz`s each replica.
+    pub probe_interval: Duration,
+    /// A replica that has not answered a probe within this window is
+    /// marked draining and its hash range reassigned.
+    pub lease: Duration,
+    /// Socket timeout (connect/read/write) for one forward attempt.
+    pub attempt_timeout: Duration,
+    /// Forward attempts per cell before giving up with 503
+    /// `upstream_unavailable`.
+    pub max_attempts: u32,
+    /// Jittered backoff between forward attempts (the same policy the
+    /// load generator uses; `Retry-After` from replicas is honored).
+    pub retry: RetryPolicy,
+    /// Per-request deadline: a request whose cells haven't all resolved
+    /// by then gets a 504.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Largest grid a single request may expand to.
+    pub max_cells_per_request: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            replicas: Vec::new(),
+            probe_interval: Duration::from_millis(500),
+            lease: Duration::from_millis(2500),
+            attempt_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            retry: RetryPolicy::default(),
+            request_timeout: Duration::from_secs(60),
+            max_body_bytes: 1024 * 1024,
+            max_cells_per_request: 1024,
+        }
+    }
+}
+
+/// The final stats line a graceful shutdown reports.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterStats {
+    /// Requests served on the experiments endpoint.
+    pub experiment_requests: u64,
+    /// Cells resolved by an upstream forward this router led.
+    pub cells_forwarded: u64,
+    /// Cells that joined an identical in-flight forward (global
+    /// single-flight).
+    pub cells_joined: u64,
+    /// Forward attempts that failed and moved to another replica.
+    pub failovers: u64,
+    /// Cells that exhausted every attempt (`upstream_unavailable`).
+    pub cells_unavailable: u64,
+    /// Requests refused because every replica was draining.
+    pub rejected_draining: u64,
+    /// Replicas healthy at shutdown.
+    pub healthy_replicas: usize,
+}
+
+impl std::fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[tpi-router final: {} experiment requests; cells {} forwarded / {} joined; \
+             {} failovers / {} unavailable; {} refused draining; {} replicas healthy]",
+            self.experiment_requests,
+            self.cells_forwarded,
+            self.cells_joined,
+            self.failovers,
+            self.cells_unavailable,
+            self.rejected_draining,
+            self.healthy_replicas,
+        )
+    }
+}
+
+/// One replica's dynamic health state. `last_ok` starts at router boot
+/// so a fresh fleet gets a full lease of grace before the first verdict.
+struct Replica {
+    addr: SocketAddr,
+    healthy: AtomicBool,
+    last_ok: Mutex<Instant>,
+}
+
+/// How one cell's forward resolved. `Cell` is the happy path: the
+/// replica's rendered cell object, spliced verbatim into the response
+/// (parse→render is byte-stable, so routed bytes equal direct bytes).
+#[derive(Debug, Clone)]
+enum CellReply {
+    Cell(Json),
+    /// A terminal upstream response (e.g. a structured per-cell 4xx/5xx
+    /// that retrying cannot fix) to relay as the whole response.
+    Relay {
+        status: u16,
+        body: String,
+    },
+    /// Every attempt failed (socket error or retryable 5xx each time).
+    Unavailable,
+    /// No healthy replica existed when the cell needed one.
+    AllDraining,
+}
+
+/// A slot one leader fills and any number of waiters block on — the
+/// router-global single-flight table's value type.
+struct CellSlot {
+    state: Mutex<Option<CellReply>>,
+    cond: Condvar,
+}
+
+impl CellSlot {
+    fn new() -> Arc<CellSlot> {
+        Arc::new(CellSlot {
+            state: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, reply: CellReply) {
+        *lock_unpoisoned(&self.state) = Some(reply);
+        self.cond.notify_all();
+    }
+
+    fn wait_until(&self, deadline: Instant) -> Option<CellReply> {
+        let mut state = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(reply) = state.as_ref() {
+                return Some(reply.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timeout) = wait_timeout_unpoisoned(&self.cond, state, deadline - now);
+            state = next;
+            if timeout.timed_out() && state.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Fixed-shape router counters, rendered on `GET /metrics`.
+#[derive(Default)]
+struct RouterMetrics {
+    experiment_requests: AtomicU64,
+    cells_forwarded: AtomicU64,
+    cells_joined: AtomicU64,
+    forward_attempts: AtomicU64,
+    failovers: AtomicU64,
+    cells_unavailable: AtomicU64,
+    rejected_draining: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    bad_requests: AtomicU64,
+    rejected_timeout: AtomicU64,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    addr: SocketAddr,
+    replicas: Vec<Replica>,
+    /// `(point, replica index)` sorted by point; membership is static so
+    /// the ring is built once.
+    ring: Vec<(u64, usize)>,
+    inflight: Mutex<HashMap<CellKey, Arc<CellSlot>>>,
+    metrics: RouterMetrics,
+    shutdown: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+    active_conns: AtomicUsize,
+    started: Instant,
+}
+
+impl RouterShared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let (lock, cond) = &self.shutdown_signal;
+        *lock_unpoisoned(lock) = true;
+        cond.notify_all();
+        // Poke the blocking accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn inflight(&self) -> MutexGuard<'_, HashMap<CellKey, Arc<CellSlot>>> {
+        lock_unpoisoned(&self.inflight)
+    }
+
+    fn healthy_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.healthy.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// The replica preference order for `key`: ring order starting at
+    /// the cell's hash point, each replica once. Health is filtered at
+    /// attempt time, not here, so failover and re-probe compose.
+    fn placement(&self, key: &CellKey) -> Vec<usize> {
+        let hash = splitmix64(fnv1a(key.canonical().as_bytes()));
+        let start = self.ring.partition_point(|&(point, _)| point < hash);
+        let mut order = Vec::with_capacity(self.replicas.len());
+        for i in 0..self.ring.len() {
+            let (_, replica) = self.ring[(start + i) % self.ring.len()];
+            if !order.contains(&replica) {
+                order.push(replica);
+                if order.len() == self.replicas.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// A running router instance.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    prober_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds, spawns the health prober and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica list is empty or the address cannot be
+    /// bound.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        if config.replicas.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one replica",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let now = Instant::now();
+        let replicas: Vec<Replica> = config
+            .replicas
+            .iter()
+            .map(|&addr| Replica {
+                addr,
+                healthy: AtomicBool::new(true),
+                last_ok: Mutex::new(now),
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(replicas.len() * VNODES);
+        for (index, replica) in replicas.iter().enumerate() {
+            let base = fnv1a(replica.addr.to_string().as_bytes());
+            let mut point = base;
+            for _ in 0..VNODES {
+                point = splitmix64(point);
+                ring.push((point, index));
+            }
+        }
+        ring.sort_unstable();
+        let shared = Arc::new(RouterShared {
+            config,
+            addr,
+            replicas,
+            ring,
+            inflight: Mutex::new(HashMap::new()),
+            metrics: RouterMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            active_conns: AtomicUsize::new(0),
+            started: now,
+        });
+        let prober_shared = Arc::clone(&shared);
+        let prober_handle = std::thread::Builder::new()
+            .name("tpi-router-prober".to_owned())
+            .spawn(move || prober_loop(&prober_shared))
+            .expect("spawn prober");
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("tpi-router-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Router {
+            shared,
+            accept_handle: Some(accept_handle),
+            prober_handle: Some(prober_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Replicas currently holding a health lease.
+    #[must_use]
+    pub fn healthy_replicas(&self) -> usize {
+        self.shared.healthy_replicas()
+    }
+
+    /// Cells with a forward currently in flight. Zero once every client
+    /// request has been terminally answered — `tpi-chaos --router`
+    /// asserts exactly that at drain.
+    #[must_use]
+    pub fn inflight_cells(&self) -> usize {
+        self.shared.inflight().len()
+    }
+
+    /// Blocks until some client posts `/admin/shutdown` (or another
+    /// thread calls [`Router::shutdown`]).
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cond) = &self.shared.shutdown_signal;
+        let mut requested = lock_unpoisoned(lock);
+        while !*requested {
+            requested = wait_unpoisoned(cond, requested);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let open connections finish
+    /// their in-flight responses (bounded), and report final counters.
+    /// Replicas are *not* shut down — the router fronts the fleet, it
+    /// does not own it.
+    pub fn shutdown(mut self) -> RouterStats {
+        self.shared.request_shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_conns.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let m = &self.shared.metrics;
+        RouterStats {
+            experiment_requests: m.experiment_requests.load(Ordering::Relaxed),
+            cells_forwarded: m.cells_forwarded.load(Ordering::Relaxed),
+            cells_joined: m.cells_joined.load(Ordering::Relaxed),
+            failovers: m.failovers.load(Ordering::Relaxed),
+            cells_unavailable: m.cells_unavailable.load(Ordering::Relaxed),
+            rejected_draining: m.rejected_draining.load(Ordering::Relaxed),
+            healthy_replicas: self.shared.healthy_replicas(),
+        }
+    }
+}
+
+/// Probes every replica, renews or expires leases, sleeps one interval
+/// (woken early by shutdown), repeats. Probing is the *only* writer of
+/// replica health.
+fn prober_loop(shared: &Arc<RouterShared>) {
+    let timeout = shared.config.probe_interval.max(Duration::from_millis(50));
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        for replica in &shared.replicas {
+            let alive = loadgen::get(replica.addr, "/healthz", timeout)
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            if alive {
+                shared.metrics.probes_ok.fetch_add(1, Ordering::Relaxed);
+                *lock_unpoisoned(&replica.last_ok) = Instant::now();
+                replica.healthy.store(true, Ordering::Release);
+            } else {
+                shared.metrics.probes_failed.fetch_add(1, Ordering::Relaxed);
+                let expired = lock_unpoisoned(&replica.last_ok).elapsed() > shared.config.lease;
+                if expired {
+                    replica.healthy.store(false, Ordering::Release);
+                }
+            }
+        }
+        let (lock, cond) = &shared.shutdown_signal;
+        let guard = lock_unpoisoned(lock);
+        if *guard {
+            return;
+        }
+        let _ = wait_timeout_unpoisoned(cond, guard, shared.config.probe_interval);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("tpi-router-conn".to_owned())
+                    .spawn(move || {
+                        connection_loop(&stream, &conn_shared);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// How long a connection blocks in `read` before re-checking the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+fn connection_loop(stream: &TcpStream, shared: &Arc<RouterShared>) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Idle) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Closed | HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(message)) => {
+                let body = error_body("bad_request", &message);
+                let mut out = stream;
+                let _ = write_response(
+                    &mut out,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    &[],
+                    false,
+                );
+                return;
+            }
+            Err(HttpError::BodyTooLarge(n)) => {
+                let body = error_body("body_too_large", &format!("{n} bytes exceeds the limit"));
+                let mut out = stream;
+                let _ = write_response(
+                    &mut out,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    &[],
+                    false,
+                );
+                return;
+            }
+        };
+        let response = route(shared, &request);
+        let keep_alive = request.keep_alive && !shared.shutting_down();
+        let headers: Vec<(&str, String)> = response
+            .extra_headers
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let mut out = stream;
+        if write_response(
+            &mut out,
+            response.status,
+            response.content_type,
+            response.body.as_bytes(),
+            &headers,
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+struct RouteResponse {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    extra_headers: Vec<(&'static str, String)>,
+}
+
+impl RouteResponse {
+    fn json(status: u16, body: String) -> RouteResponse {
+        RouteResponse {
+            status,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    fn retryable_503(body: String) -> RouteResponse {
+        let mut response = RouteResponse::json(503, body);
+        response.extra_headers.push(("retry-after", "1".to_owned()));
+        response
+    }
+}
+
+fn route(shared: &Arc<RouterShared>, request: &Request) -> RouteResponse {
+    let path = request
+        .target
+        .split('?')
+        .next()
+        .unwrap_or(request.target.as_str());
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/experiments") => {
+            if shared.shutting_down() {
+                return RouteResponse::json(
+                    503,
+                    error_body("shutting_down", "the router is shutting down"),
+                );
+            }
+            handle_experiments(shared, &request.body)
+        }
+        // Discovery is served locally: the router links the same kernel
+        // and scheme tables as every replica, so the bytes are identical
+        // and the endpoints stay up even with the whole fleet draining.
+        ("GET", "/v1/kernels") => RouteResponse::json(200, kernels_body()),
+        ("GET", "/v1/schemes") => RouteResponse::json(200, schemes_body()),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/metrics") => RouteResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render_metrics(shared),
+            extra_headers: Vec::new(),
+        },
+        ("POST", "/admin/shutdown") => {
+            shared.request_shutdown();
+            RouteResponse::json(200, "{\"status\":\"shutting down\"}".to_owned())
+        }
+        (
+            _,
+            "/v1/experiments" | "/v1/kernels" | "/v1/schemes" | "/healthz" | "/metrics"
+            | "/admin/shutdown",
+        ) => RouteResponse::json(405, error_body("method_not_allowed", "wrong method")),
+        _ => RouteResponse::json(
+            404,
+            error_body("not_found", &format!("no route for {path}")),
+        ),
+    }
+}
+
+fn handle_healthz(shared: &Arc<RouterShared>) -> RouteResponse {
+    let replicas: Vec<Json> = shared
+        .replicas
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("addr", Json::from(r.addr.to_string())),
+                ("healthy", Json::Bool(r.healthy.load(Ordering::Acquire))),
+            ])
+        })
+        .collect();
+    let healthy = shared.healthy_replicas();
+    let body = Json::obj([
+        (
+            "status",
+            Json::from(if healthy > 0 { "ok" } else { "draining" }),
+        ),
+        (
+            "uptime_seconds",
+            Json::from(shared.started.elapsed().as_secs()),
+        ),
+        ("replicas", Json::Arr(replicas)),
+        ("healthy_replicas", Json::from(healthy)),
+        ("inflight_cells", Json::from(shared.inflight().len())),
+    ])
+    .render();
+    RouteResponse::json(200, body)
+}
+
+fn render_metrics(shared: &Arc<RouterShared>) -> String {
+    let m = &shared.metrics;
+    let mut out = String::with_capacity(2048);
+    let counters: [(&str, &str, u64); 11] = [
+        (
+            "tpi_router_experiment_requests_total",
+            "Experiment requests handled by the router",
+            m.experiment_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_cells_forwarded_total",
+            "Cells resolved by an upstream forward",
+            m.cells_forwarded.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_cells_joined_total",
+            "Cells that joined an identical in-flight forward",
+            m.cells_joined.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_forward_attempts_total",
+            "Individual forward attempts, including retries",
+            m.forward_attempts.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_failovers_total",
+            "Forward attempts that failed and moved to another replica",
+            m.failovers.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_cells_unavailable_total",
+            "Cells that exhausted every forward attempt",
+            m.cells_unavailable.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_rejected_draining_total",
+            "Requests refused because every replica was draining",
+            m.rejected_draining.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_rejected_timeout_total",
+            "Requests that exceeded the router deadline",
+            m.rejected_timeout.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_probes_ok_total",
+            "Health probes answered 200",
+            m.probes_ok.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_probes_failed_total",
+            "Health probes that failed or timed out",
+            m.probes_failed.load(Ordering::Relaxed),
+        ),
+        (
+            "tpi_router_bad_requests_total",
+            "Requests rejected with a 400",
+            m.bad_requests.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP tpi_replica_healthy Whether the replica holds a health lease (1) or is draining (0)\n\
+         # TYPE tpi_replica_healthy gauge\n",
+    );
+    for replica in &shared.replicas {
+        let healthy = u64::from(replica.healthy.load(Ordering::Acquire));
+        out.push_str(&format!(
+            "tpi_replica_healthy{{replica=\"{}\"}} {healthy}\n",
+            replica.addr
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP tpi_router_uptime_seconds Seconds since the router started\n\
+         # TYPE tpi_router_uptime_seconds gauge\n\
+         tpi_router_uptime_seconds {}\n",
+        shared.started.elapsed().as_secs()
+    ));
+    out
+}
+
+fn handle_experiments(shared: &Arc<RouterShared>, body: &[u8]) -> RouteResponse {
+    shared
+        .metrics
+        .experiment_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let bad = |code: &'static str, message: String| {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        RouteResponse::json(400, error_body(code, &message))
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return bad("bad_json", "body is not UTF-8".to_owned());
+    };
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return bad("bad_json", e.to_string()),
+    };
+    let grid = match GridRequest::parse(&doc) {
+        Ok(grid) => grid,
+        Err(e) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return RouteResponse::json(400, e.body());
+        }
+    };
+    let cells = grid.cells();
+    if cells.len() > shared.config.max_cells_per_request {
+        return bad(
+            "too_many_cells",
+            format!(
+                "{} cells exceeds the per-request limit of {}",
+                cells.len(),
+                shared.config.max_cells_per_request
+            ),
+        );
+    }
+
+    let deadline = Instant::now() + shared.config.request_timeout;
+    let mut rendered = Vec::with_capacity(cells.len());
+    for key in cells {
+        let reply = resolve_cell(shared, key, deadline);
+        match reply {
+            Some(CellReply::Cell(json)) => rendered.push(json),
+            Some(CellReply::Relay { status, body }) => {
+                return RouteResponse::json(status, body);
+            }
+            Some(CellReply::Unavailable) => {
+                return RouteResponse::retryable_503(error_body(
+                    "upstream_unavailable",
+                    "every forward attempt for a cell failed; retry after the suggested delay",
+                ));
+            }
+            Some(CellReply::AllDraining) => {
+                shared
+                    .metrics
+                    .rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                return RouteResponse::retryable_503(error_body(
+                    "all_replicas_draining",
+                    "no replica holds a health lease; retry after the suggested delay",
+                ));
+            }
+            None => {
+                shared
+                    .metrics
+                    .rejected_timeout
+                    .fetch_add(1, Ordering::Relaxed);
+                return RouteResponse::json(
+                    504,
+                    error_body(
+                        "timeout",
+                        "router deadline exceeded before all cells resolved",
+                    ),
+                );
+            }
+        }
+    }
+    let count = rendered.len();
+    let body = Json::obj([("cells", Json::Arr(rendered)), ("count", Json::from(count))]).render();
+    RouteResponse::json(200, body)
+}
+
+/// Resolves one cell through the global single-flight table: join an
+/// identical in-flight forward, or lead one. `None` means the deadline
+/// passed first.
+fn resolve_cell(shared: &Arc<RouterShared>, key: CellKey, deadline: Instant) -> Option<CellReply> {
+    let slot = {
+        let mut inflight = shared.inflight();
+        if let Some(slot) = inflight.get(&key) {
+            shared.metrics.cells_joined.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::clone(slot);
+            drop(inflight);
+            return slot.wait_until(deadline);
+        }
+        let slot = CellSlot::new();
+        inflight.insert(key, Arc::clone(&slot));
+        slot
+    };
+    let reply = forward_cell(shared, &key, deadline);
+    // Publish before removing so joiners that already hold the slot and
+    // latecomers that will miss the table both see a terminal answer.
+    slot.complete(reply.clone());
+    shared.inflight().remove(&key);
+    if matches!(reply, CellReply::Cell(_)) {
+        shared
+            .metrics
+            .cells_forwarded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Some(reply)
+}
+
+/// Leads one cell's forward: walk the healthy replicas in ring order,
+/// one attempt each with a per-attempt deadline, jittered backoff
+/// between attempts, until an attempt succeeds, a terminal upstream
+/// answer arrives, or the budget runs out.
+fn forward_cell(shared: &Arc<RouterShared>, key: &CellKey, deadline: Instant) -> CellReply {
+    let order = shared.placement(key);
+    let body = key.single_cell_body();
+    let cell_hash = splitmix64(fnv1a(key.canonical().as_bytes()));
+    let mut saw_healthy = false;
+    for attempt in 1..=shared.config.max_attempts {
+        if Instant::now() >= deadline {
+            break;
+        }
+        // Re-evaluate health every attempt: a re-probed replica rejoins,
+        // a drained one drops out, and the preference order stays stable.
+        let candidates: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| shared.replicas[i].healthy.load(Ordering::Acquire))
+            .collect();
+        if candidates.is_empty() {
+            return CellReply::AllDraining;
+        }
+        saw_healthy = true;
+        let target = candidates[(attempt as usize - 1) % candidates.len()];
+        let replica = &shared.replicas[target];
+        shared
+            .metrics
+            .forward_attempts
+            .fetch_add(1, Ordering::Relaxed);
+        let timeout = shared
+            .config
+            .attempt_timeout
+            .min(deadline.saturating_duration_since(Instant::now()))
+            .max(Duration::from_millis(10));
+        let mut suggested = None;
+        match loadgen::post(replica.addr, "/v1/experiments", &body, timeout) {
+            Ok(response) if response.status == 200 => {
+                if let Some(cell) = extract_single_cell(&response.body) {
+                    return CellReply::Cell(cell);
+                }
+                // A 200 with an unusable body is a replica bug; treat it
+                // like a failed attempt and fail over.
+            }
+            Ok(response) if response.status >= 500 || response.status == 503 => {
+                // Retryable upstream trouble (overload, shutdown, panic):
+                // honor a suggested delay, then fail over.
+                suggested = response
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs);
+            }
+            Ok(response) => {
+                // A structured 4xx for a request the router itself
+                // validated is terminal — relay it rather than guessing.
+                return CellReply::Relay {
+                    status: response.status,
+                    body: String::from_utf8_lossy(&response.body).into_owned(),
+                };
+            }
+            Err(_) => {
+                // Connect refused / reset / timed out: the classic
+                // killed-replica signature. Fail over.
+            }
+        }
+        shared.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        if attempt < shared.config.max_attempts {
+            std::thread::sleep(shared.config.retry.backoff(
+                cell_hash as usize,
+                target,
+                attempt,
+                suggested,
+            ));
+        }
+    }
+    shared
+        .metrics
+        .cells_unavailable
+        .fetch_add(1, Ordering::Relaxed);
+    if saw_healthy {
+        CellReply::Unavailable
+    } else {
+        CellReply::AllDraining
+    }
+}
+
+/// Pulls the single cell object out of a replica's grid response body.
+fn extract_single_cell(body: &[u8]) -> Option<Json> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = parse(text).ok()?;
+    let cells = doc.get("cells")?.as_array()?;
+    if cells.len() == 1 {
+        Some(cells[0].clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key(seed: u64) -> CellKey {
+        let doc = parse(&format!(
+            r#"{{"kernels":["FLO52"],"schemes":["TPI"],"seed":{seed}}}"#
+        ))
+        .unwrap();
+        GridRequest::parse(&doc).unwrap().cells()[0]
+    }
+
+    fn ring_shared(replicas: &[&str]) -> RouterShared {
+        let now = Instant::now();
+        let replicas: Vec<Replica> = replicas
+            .iter()
+            .map(|a| Replica {
+                addr: a.parse().unwrap(),
+                healthy: AtomicBool::new(true),
+                last_ok: Mutex::new(now),
+            })
+            .collect();
+        let mut ring = Vec::new();
+        for (index, replica) in replicas.iter().enumerate() {
+            let mut point = fnv1a(replica.addr.to_string().as_bytes());
+            for _ in 0..VNODES {
+                point = splitmix64(point);
+                ring.push((point, index));
+            }
+        }
+        ring.sort_unstable();
+        RouterShared {
+            config: RouterConfig::default(),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            replicas,
+            ring,
+            inflight: Mutex::new(HashMap::new()),
+            metrics: RouterMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            active_conns: AtomicUsize::new(0),
+            started: now,
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_and_covers_every_replica() {
+        let shared = ring_shared(&["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]);
+        for seed in 0..20 {
+            let key = test_key(seed);
+            let order = shared.placement(&key);
+            assert_eq!(order.len(), 3);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "a permutation of the fleet");
+            assert_eq!(order, shared.placement(&key), "placement is deterministic");
+        }
+    }
+
+    #[test]
+    fn placement_spreads_cells_across_the_fleet() {
+        let shared = ring_shared(&["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]);
+        let mut owners = [0usize; 3];
+        for seed in 0..60 {
+            owners[shared.placement(&test_key(seed))[0]] += 1;
+        }
+        assert!(
+            owners.iter().all(|&n| n > 0),
+            "60 distinct cells should land on every replica: {owners:?}"
+        );
+    }
+
+    #[test]
+    fn killing_a_replica_moves_only_its_cells() {
+        let shared = ring_shared(&["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]);
+        let keys: Vec<CellKey> = (0..60).map(test_key).collect();
+        let before: Vec<usize> = keys.iter().map(|k| shared.placement(k)[0]).collect();
+        // A draining replica keeps its ring points; only the healthy
+        // filter at attempt time changes. The *preference order* of the
+        // survivors must be untouched for cells they already owned.
+        for (key, &owner) in keys.iter().zip(&before) {
+            if owner != 1 {
+                let order = shared.placement(key);
+                let survivors: Vec<usize> = order.iter().copied().filter(|&i| i != 1).collect();
+                assert_eq!(
+                    survivors.first(),
+                    Some(&owner),
+                    "cells not owned by the dead replica keep their owner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cell_slot_joins_see_the_leaders_reply() {
+        let slot = CellSlot::new();
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait_until(Instant::now() + Duration::from_secs(5)))
+        };
+        slot.complete(CellReply::Unavailable);
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Some(CellReply::Unavailable)
+        ));
+        // A slot that is never filled times out instead of hanging.
+        let empty = CellSlot::new();
+        assert!(empty
+            .wait_until(Instant::now() + Duration::from_millis(20))
+            .is_none());
+    }
+
+    #[test]
+    fn extract_single_cell_accepts_exactly_one_cell() {
+        let one = br#"{"cells":[{"kernel":"FLO52","total_cycles":1}],"count":1}"#;
+        assert!(extract_single_cell(one).is_some());
+        for bad in [
+            &b"not json"[..],
+            br#"{"cells":[],"count":0}"#,
+            br#"{"cells":[{},{}],"count":2}"#,
+            br#"{"count":1}"#,
+        ] {
+            assert!(extract_single_cell(bad).is_none());
+        }
+    }
+}

@@ -21,17 +21,18 @@
 //! deterministic failures at every one of those seams; it is absent —
 //! and free — in normal operation. See `DESIGN.md` ("Failure model").
 
+use crate::disk::{DiskCache, RecoveryReport};
 use crate::fault::{FaultPlan, FaultSite};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{parse, Json};
 use crate::metrics::{Endpoint, Metrics};
-use crate::pool::{CellError, CellOutcome, CellPlan, CellStore, WorkerPool};
+use crate::pool::{CellError, CellOutcome, CellPlan, CellStore, WorkerPool, DEFAULT_MEMORY_CELLS};
 use crate::wire::{
-    error_body, kernels_body, render_cell, render_cell_error, schemes_body, BadRequest, CellKey,
-    GridRequest,
+    error_body, kernels_body, render_cell_error, schemes_body, BadRequest, CellKey, GridRequest,
 };
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -60,6 +61,13 @@ pub struct ServeConfig {
     /// Deterministic fault injection (the `--faults` flag). `None` — the
     /// default — means no faults and no injection overhead.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Directory for the crash-safe persistent result cache (the
+    /// `--cache-dir` flag). `None` — the default — keeps the store
+    /// memory-only, exactly the pre-persistence behavior.
+    pub cache_dir: Option<PathBuf>,
+    /// Bound on the in-memory completed-result LRU, in cells (the
+    /// `--memory-cells` flag).
+    pub memory_cells: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +81,8 @@ impl Default for ServeConfig {
             max_cells_per_request: 1024,
             cell_delay: Duration::ZERO,
             fault: None,
+            cache_dir: None,
+            memory_cells: DEFAULT_MEMORY_CELLS,
         }
     }
 }
@@ -133,6 +143,9 @@ struct Shared {
     shutdown_signal: (Mutex<bool>, Condvar),
     active_conns: AtomicUsize,
     started: Instant,
+    /// What the disk-cache recovery scan found at startup (`None` when
+    /// the server runs memory-only).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Shared {
@@ -167,8 +180,19 @@ impl Server {
         let addr = listener.local_addr()?;
         let runner = Arc::new(Runner::new());
         let metrics = Arc::new(Metrics::default());
-        let store = Arc::new(CellStore::default());
         let fault = config.fault.clone();
+        let (disk, recovery) = match &config.cache_dir {
+            Some(dir) => {
+                let (disk, report) = DiskCache::open(dir, fault.clone(), Arc::clone(&metrics))?;
+                (Some(Arc::new(disk)), Some(report))
+            }
+            None => (None, None),
+        };
+        let store = Arc::new(CellStore::new(
+            config.memory_cells,
+            disk,
+            Some(Arc::clone(&metrics)),
+        ));
         let pool = WorkerPool::start(
             config.workers,
             config.queue_cap,
@@ -190,6 +214,7 @@ impl Server {
             shutdown_signal: (Mutex::new(false), Condvar::new()),
             active_conns: AtomicUsize::new(0),
             started: Instant::now(),
+            recovery,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
@@ -206,6 +231,13 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// What the disk-cache recovery scan found at startup (`None` when
+    /// no `cache_dir` is configured).
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.recovery
     }
 
     /// Cells currently in flight. Zero once every request has been
@@ -487,7 +519,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Endpoint, RouteResponse) {
 }
 
 fn handle_healthz(shared: &Arc<Shared>) -> RouteResponse {
-    let body = Json::obj([
+    let mut members = vec![
         ("status", Json::from("ok")),
         (
             "uptime_seconds",
@@ -497,9 +529,20 @@ fn handle_healthz(shared: &Arc<Shared>) -> RouteResponse {
         ("queue_depth", Json::from(shared.pool.queue_depth())),
         ("queue_capacity", Json::from(shared.pool.capacity())),
         ("results_cached", Json::from(shared.store.results_cached())),
-    ])
-    .render();
-    RouteResponse::json(200, body)
+    ];
+    if let Some(disk) = shared.store.disk() {
+        let stats = disk.stats();
+        members.push((
+            "disk",
+            Json::obj([
+                ("entries", Json::from(disk.entries())),
+                ("hits", Json::from(stats.hits)),
+                ("writes", Json::from(stats.writes)),
+                ("quarantined", Json::from(stats.quarantined)),
+            ]),
+        ));
+    }
+    RouteResponse::json(200, Json::obj(members).render())
 }
 
 fn bad_request(shared: &Shared, err: &BadRequest) -> RouteResponse {
@@ -643,7 +686,7 @@ fn handle_experiments(shared: &Arc<Shared>, body: &[u8]) -> RouteResponse {
             },
         };
         match outcome.as_ref() {
-            Ok(result) => rendered.push(render_cell(&key, result)),
+            Ok(value) => rendered.push(value.to_json(&key)),
             Err(CellError::Overloaded) => return overloaded(shared),
             Err(CellError::Failed(message)) => rendered.push(render_cell_error(&key, message)),
             Err(CellError::Panicked(message)) => {

@@ -75,6 +75,48 @@ impl CellKey {
             .build()
     }
 
+    /// A canonical, stable, human-readable identity string. The disk
+    /// cache stores it inside every record (so a hash collision can be
+    /// told from a hit) and the router hashes it onto the replica ring —
+    /// both sides must render identical strings for identical keys, so
+    /// the format is part of the on-disk contract and versioned with it.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "kernel={} scale={} scheme={} opt={} procs={} line_words={} cache_bytes={} tag_bits={} seed={}",
+            self.kernel.name(),
+            scale_label(self.scale),
+            self.scheme.as_str(),
+            opt_label(self.opt_level),
+            self.procs,
+            self.line_words,
+            self.cache_bytes,
+            self.tag_bits,
+            self.seed,
+        )
+    }
+
+    /// A request body whose grid expands to exactly this cell — how the
+    /// router forwards one cell to the replica that owns it.
+    #[must_use]
+    pub fn single_cell_body(&self) -> String {
+        Json::obj([
+            ("kernels", Json::Arr(vec![Json::from(self.kernel.name())])),
+            ("scale", Json::from(scale_label(self.scale))),
+            ("schemes", Json::Arr(vec![Json::from(self.scheme.as_str())])),
+            (
+                "opt_levels",
+                Json::Arr(vec![Json::from(opt_label(self.opt_level))]),
+            ),
+            ("procs", Json::Arr(vec![Json::from(self.procs)])),
+            ("line_words", Json::from(self.line_words)),
+            ("cache_bytes", Json::from(self.cache_bytes)),
+            ("tag_bits", Json::from(self.tag_bits)),
+            ("seed", Json::from(self.seed)),
+        ])
+        .render()
+    }
+
     /// The cell's coordinates as a JSON object (no results).
     #[must_use]
     pub fn coordinates(&self) -> Vec<(&'static str, Json)> {
@@ -571,6 +613,24 @@ mod tests {
             .filter(|s| s.get("paper_main") == Some(&Json::Bool(true)))
             .count();
         assert_eq!(main, 4, "the paper's main comparison is four-way");
+    }
+
+    #[test]
+    fn single_cell_body_roundtrips_to_the_same_key() {
+        let req = GridRequest::parse(
+            &parse(r#"{"kernels":["ocean"],"schemes":["tardis"],"opt_levels":["intra"],"procs":[8],"seed":5}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        let key = req.cells()[0];
+        let body = key.single_cell_body();
+        let reparsed = GridRequest::parse(&parse(&body).unwrap()).unwrap();
+        assert_eq!(reparsed.cells(), vec![key]);
+        assert_eq!(
+            key.canonical(),
+            "kernel=OCEAN scale=test scheme=tardis opt=intra procs=8 \
+             line_words=4 cache_bytes=65536 tag_bits=8 seed=5"
+        );
     }
 
     #[test]

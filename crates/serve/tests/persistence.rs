@@ -1,0 +1,147 @@
+//! End-to-end tests of the crash-safe persistent result cache.
+//!
+//! The two properties the disk store promises, proven over real server
+//! restarts on a shared `--cache-dir`:
+//!
+//! 1. **Warm restarts.** A cold process over a warm directory serves
+//!    byte-identical responses with zero recomputed cells.
+//! 2. **Corruption is quarantined, never served.** A flipped byte in an
+//!    on-disk record is detected by the checksum, the record is
+//!    quarantined, and the cell is recomputed — the response stays
+//!    byte-identical to a fresh serial run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+use tpi::Runner;
+use tpi_serve::json::{parse, Json};
+use tpi_serve::loadgen::post;
+use tpi_serve::server::{ServeConfig, Server};
+use tpi_serve::wire::{render_cell, GridRequest};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+const BODY: &str = r#"{"kernels":["FLO52","OCEAN"],"schemes":["TPI","HW"],"procs":[8]}"#;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tpi-persistence-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn start_with_cache(dir: &Path) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port")
+}
+
+/// What the server must return for `BODY`, computed by a fresh serial
+/// runner through the same rendering pipeline.
+fn expected_response() -> String {
+    let runner = Runner::serial();
+    let grid = GridRequest::parse(&parse(BODY).unwrap()).unwrap();
+    let rendered: Vec<Json> = grid
+        .cells()
+        .iter()
+        .map(|key| {
+            let config = key.config().unwrap();
+            let result = runner.run_kernel(key.kernel, key.scale, &config).unwrap();
+            render_cell(key, &result)
+        })
+        .collect();
+    let count = rendered.len();
+    Json::obj([("cells", Json::Arr(rendered)), ("count", Json::from(count))]).render()
+}
+
+#[test]
+fn a_cold_restart_serves_byte_identical_results_with_zero_recomputes() {
+    let dir = scratch_dir("warm");
+    let cells = GridRequest::parse(&parse(BODY).unwrap())
+        .unwrap()
+        .cells()
+        .len();
+
+    let server = start_with_cache(&dir);
+    let first = post(server.addr(), "/v1/experiments", BODY, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(first.status, 200);
+    let stats = server.shutdown();
+    assert_eq!(stats.cells_computed as usize, cells, "cold cache computes");
+
+    // A brand-new process-equivalent: fresh Server, same directory.
+    let server = start_with_cache(&dir);
+    let recovery = server.recovery_report().expect("disk cache is configured");
+    assert_eq!(recovery.valid, cells, "{recovery:?}");
+    assert_eq!(recovery.quarantined, 0, "{recovery:?}");
+    let second = post(server.addr(), "/v1/experiments", BODY, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.body, first.body,
+        "a warm restart must serve byte-identical results"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&second.body),
+        expected_response(),
+        "and those bytes match a fresh serial runner"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.cells_computed, 0, "a warm restart computes nothing");
+    assert_eq!(stats.cells_cached as usize, cells);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_flipped_byte_is_quarantined_and_recomputed_never_served() {
+    let dir = scratch_dir("corrupt");
+    let cells = GridRequest::parse(&parse(BODY).unwrap())
+        .unwrap()
+        .cells()
+        .len();
+
+    let server = start_with_cache(&dir);
+    let first = post(server.addr(), "/v1/experiments", BODY, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(first.status, 200);
+    server.shutdown();
+
+    // Flip one byte in the middle of one record.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "cell"))
+        .expect("at least one persisted record");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // The startup recovery scan must catch it.
+    let server = start_with_cache(&dir);
+    let recovery = server.recovery_report().expect("disk cache is configured");
+    assert_eq!(recovery.quarantined, 1, "{recovery:?}");
+    assert_eq!(recovery.valid, cells - 1, "{recovery:?}");
+    assert!(
+        !victim.exists(),
+        "the corrupt record is no longer a servable .cell file"
+    );
+
+    // The response is still byte-identical — the poisoned cell was
+    // recomputed, not served.
+    let second = post(server.addr(), "/v1/experiments", BODY, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body);
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.cells_computed, 1,
+        "exactly the quarantined cell is recomputed"
+    );
+    assert_eq!(stats.cells_cached as usize, cells - 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
