@@ -11,7 +11,12 @@
 //!
 //! The harness runs a **pinned** kernel × scheme × procs grid (chosen to
 //! cover the simulator's hot paths: TPI's per-word timetag machinery, the
-//! full-map directory, and SC's invalidation storms) `reps` times. Every
+//! full-map directory, and SC's invalidation storms) `reps` times. At the
+//! default paper scale the grid also carries two 64-processor
+//! `--scale large` cells (the large-scale replay path of EXPERIMENTS.md
+//! E24), and report mode appends an informational `sharding` section
+//! comparing serial vs sharded replay on prebuilt 64/256-processor
+//! traces — see [`measure_sharding`]. Every
 //! repetition of every cell is a *fresh, serial, unmemoized* pipeline run —
 //! build → mark → interpret → simulate — so the numbers measure the engine,
 //! not the artifact cache. Per cell it reports the median and p95 wall time
@@ -33,13 +38,18 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use tpi::{ExperimentConfig, ProfileReport, Runner};
-use tpi_proto::SchemeId;
+use tpi_proto::{build_engine, SchemeId};
 use tpi_serve::json::{parse, Json};
+use tpi_sim::{run_trace, run_trace_sharded, ShardOptions};
 use tpi_workloads::{Kernel, Scale};
 
 /// Format version of `BENCH_sim.json`. Bump on any incompatible layout
 /// change and teach [`parse_baseline`] the migration.
-const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: cells carry a per-cell `scale`, the paper grid grows two
+/// large-scale 64-processor cells, and the report adds `host_cores` plus
+/// an informational `sharding` section (serial vs sharded replay).
+const SCHEMA_VERSION: u64 = 2;
 
 /// The pinned measurement grid. Deliberately small (20 cells): wide enough
 /// to exercise TPI, the hardware directory, software-flush SC, Tardis's
@@ -55,6 +65,46 @@ const SCHEMES: [SchemeId; 5] = [
 ];
 const PROCS: [u32; 2] = [8, 16];
 
+/// Large-scale serial cells appended to the paper grid (and its gate):
+/// one kernel, the two cheapest schemes, 64 processors at
+/// [`Scale::Large`]. These keep the 64-processor replay path on the
+/// regression radar without blowing the CI smoke budget; the 256-processor
+/// points live in the informational [`measure_sharding`] section.
+const LARGE_KERNEL: Kernel = Kernel::Ocean;
+const LARGE_SCHEMES: [SchemeId; 2] = [SchemeId::SC, SchemeId::TPI];
+const LARGE_PROCS: u32 = 64;
+
+/// Replay-shard count used by the sharding comparison section.
+const SHARDS: usize = 8;
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Paper => "paper",
+        Scale::Test => "test",
+        Scale::Large => "large",
+    }
+}
+
+/// The pinned (kernel, scheme, procs, scale) cell list for one run.
+fn grid(scale: Scale) -> Vec<(Kernel, SchemeId, u32, Scale)> {
+    let mut g = Vec::new();
+    for kernel in KERNELS {
+        for scheme in SCHEMES {
+            for procs in PROCS {
+                g.push((kernel, scheme, procs, scale));
+            }
+        }
+    }
+    // The large-scale cells ride the paper grid only: `--scale test` runs
+    // must stay smoke-test sized.
+    if scale == Scale::Paper {
+        for scheme in LARGE_SCHEMES {
+            g.push((LARGE_KERNEL, scheme, LARGE_PROCS, Scale::Large));
+        }
+    }
+    g
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: perf [--reps N] [--out PATH] [--check BASELINE] [--tolerance PCT] \
@@ -68,6 +118,7 @@ struct CellReport {
     kernel: &'static str,
     scheme: &'static str,
     procs: u32,
+    scale: &'static str,
     /// Sorted per-repetition wall times, milliseconds.
     wall_ms: Vec<f64>,
     /// Events the simulator replayed in one repetition (identical across
@@ -91,7 +142,10 @@ impl CellReport {
         }
     }
     fn key(&self) -> String {
-        format!("{}/{}/p{}", self.kernel, self.scheme, self.procs)
+        format!(
+            "{}/{}/p{}/{}",
+            self.kernel, self.scheme, self.procs, self.scale
+        )
     }
 }
 
@@ -129,50 +183,47 @@ fn measure(scale: Scale, reps: usize) -> (Vec<CellReport>, Vec<f64>, ProfileRepo
     let mut cells = Vec::new();
     let mut rep_totals_ms = vec![0.0_f64; reps];
     let mut profile = ProfileReport::default();
-    for kernel in KERNELS {
-        for scheme in SCHEMES {
-            for procs in PROCS {
-                let cfg = ExperimentConfig::builder()
-                    .scheme(scheme)
-                    .procs(procs)
-                    .build()
-                    .expect("the pinned grid is valid");
-                let mut wall_ms = Vec::with_capacity(reps);
-                let mut sim_events = 0;
-                for (rep, total) in rep_totals_ms.iter_mut().enumerate() {
-                    // A fresh serial runner per repetition: no memoization
-                    // across reps or sibling cells, no thread-pool jitter.
-                    let runner = Runner::serial();
-                    let started = Instant::now();
-                    let result = runner
-                        .run_kernel(kernel, scale, &cfg)
-                        .unwrap_or_else(|e| panic!("{kernel:?}: {e}"));
-                    let elapsed = started.elapsed().as_secs_f64() * 1e3;
-                    wall_ms.push(elapsed);
-                    *total += elapsed;
-                    if rep == 0 {
-                        sim_events = result.sim.host.events;
-                        merge_profile(&mut profile, &runner.profile());
-                    }
-                }
-                wall_ms.sort_by(f64::total_cmp);
-                let cell = CellReport {
-                    kernel: kernel.name(),
-                    scheme: scheme.label(),
-                    procs,
-                    wall_ms,
-                    sim_events,
-                };
-                eprintln!(
-                    "[{:<18} median {:>8.2} ms  p95 {:>8.2} ms  {} events]",
-                    cell.key(),
-                    cell.median_ms(),
-                    cell.p95_ms(),
-                    cell.sim_events,
-                );
-                cells.push(cell);
+    for (kernel, scheme, procs, cell_scale) in grid(scale) {
+        let cfg = ExperimentConfig::builder()
+            .scheme(scheme)
+            .procs(procs)
+            .build()
+            .expect("the pinned grid is valid");
+        let mut wall_ms = Vec::with_capacity(reps);
+        let mut sim_events = 0;
+        for (rep, total) in rep_totals_ms.iter_mut().enumerate() {
+            // A fresh serial runner per repetition: no memoization
+            // across reps or sibling cells, no thread-pool jitter.
+            let runner = Runner::serial();
+            let started = Instant::now();
+            let result = runner
+                .run_kernel(kernel, cell_scale, &cfg)
+                .unwrap_or_else(|e| panic!("{kernel:?}: {e}"));
+            let elapsed = started.elapsed().as_secs_f64() * 1e3;
+            wall_ms.push(elapsed);
+            *total += elapsed;
+            if rep == 0 {
+                sim_events = result.sim.host.events;
+                merge_profile(&mut profile, &runner.profile());
             }
         }
+        wall_ms.sort_by(f64::total_cmp);
+        let cell = CellReport {
+            kernel: kernel.name(),
+            scheme: scheme.label(),
+            procs,
+            scale: scale_name(cell_scale),
+            wall_ms,
+            sim_events,
+        };
+        eprintln!(
+            "[{:<24} median {:>8.2} ms  p95 {:>8.2} ms  {} events]",
+            cell.key(),
+            cell.median_ms(),
+            cell.p95_ms(),
+            cell.sim_events,
+        );
+        cells.push(cell);
     }
     rep_totals_ms.sort_by(f64::total_cmp);
     profile
@@ -181,9 +232,107 @@ fn measure(scale: Scale, reps: usize) -> (Vec<CellReport>, Vec<f64>, ProfileRepo
     (cells, rep_totals_ms, profile)
 }
 
+/// One serial-vs-sharded replay comparison on a prebuilt trace.
+struct ShardCell {
+    kernel: &'static str,
+    scheme: &'static str,
+    procs: u32,
+    /// Sorted per-repetition serial replay times, milliseconds.
+    serial_ms: Vec<f64>,
+    /// Sorted per-repetition sharded replay times, milliseconds.
+    sharded_ms: Vec<f64>,
+    sim_events: u64,
+}
+
+impl ShardCell {
+    fn speedup(&self) -> f64 {
+        let sharded = nearest_rank(&self.sharded_ms, 0.5);
+        if sharded > 0.0 {
+            nearest_rank(&self.serial_ms, 0.5) / sharded
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures the sharded replay loop against the serial one on prebuilt
+/// large-scale traces (the pipeline front half is deliberately excluded:
+/// sharding only changes the replay loop). Informational — the `--check`
+/// gate never re-measures this section; the speedup here documents the
+/// scan-free per-shard replay win, which holds even on a single host core
+/// (serial replay re-scans all `P` processor clocks per event, a sharded
+/// sync-free epoch replays each processor's run flat).
+fn measure_sharding(reps: usize) -> Vec<ShardCell> {
+    let mut out = Vec::new();
+    for procs in [64_u32, 256] {
+        for scheme in LARGE_SCHEMES {
+            let cfg = ExperimentConfig::builder()
+                .scheme(scheme)
+                .procs(procs)
+                .build()
+                .expect("the sharding grid is valid");
+            let program = LARGE_KERNEL.build(Scale::Large);
+            let marking = tpi_compiler::mark_program(&program, &cfg.compiler_options());
+            let trace = tpi_trace::generate_trace(&program, &marking, &cfg.trace_options())
+                .expect("large-scale kernels are race-free");
+            let engine_cfg = cfg.engine_config(trace.layout.total_words());
+            let shard_opts = ShardOptions {
+                shards: SHARDS,
+                ..ShardOptions::default()
+            };
+            let mut serial_ms = Vec::with_capacity(reps);
+            let mut sharded_ms = Vec::with_capacity(reps);
+            let mut sim_events = 0;
+            for _ in 0..reps {
+                let mut engine = build_engine(scheme, engine_cfg.clone());
+                let started = Instant::now();
+                let serial = run_trace(&trace, engine.as_mut(), &cfg.sim_options());
+                serial_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                let started = Instant::now();
+                let sharded =
+                    run_trace_sharded(&trace, scheme, &engine_cfg, &cfg.sim_options(), &shard_opts);
+                sharded_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    serial.total_cycles, sharded.total_cycles,
+                    "sharded replay must stay bit-identical"
+                );
+                sim_events = serial.host.events;
+            }
+            serial_ms.sort_by(f64::total_cmp);
+            sharded_ms.sort_by(f64::total_cmp);
+            let cell = ShardCell {
+                kernel: LARGE_KERNEL.name(),
+                scheme: scheme.label(),
+                procs,
+                serial_ms,
+                sharded_ms,
+                sim_events,
+            };
+            eprintln!(
+                "[shard {}/{}/p{procs}  serial {:>8.2} ms  sharded {:>8.2} ms  {:.2}x]",
+                cell.kernel,
+                cell.scheme,
+                nearest_rank(&cell.serial_ms, 0.5),
+                nearest_rank(&cell.sharded_ms, 0.5),
+                cell.speedup(),
+            );
+            out.push(cell);
+        }
+    }
+    out
+}
+
 /// Rounds to 3 decimal places so the committed file stays diff-friendly.
 fn ms(v: f64) -> Json {
     Json::Num((v * 1e3).round() / 1e3)
+}
+
+/// Host cores visible to this process (recorded so a committed sharding
+/// speedup can be read in context).
+fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 fn render_report(
@@ -192,6 +341,7 @@ fn render_report(
     cells: &[CellReport],
     rep_totals_ms: &[f64],
     profile: &ProfileReport,
+    sharding: &[ShardCell],
 ) -> String {
     let cell_objs: Vec<Json> = cells
         .iter()
@@ -200,6 +350,7 @@ fn render_report(
                 ("kernel", Json::from(c.kernel)),
                 ("scheme", Json::from(c.scheme)),
                 ("procs", Json::from(c.procs)),
+                ("scale", Json::from(c.scale)),
                 ("median_wall_ms", ms(c.median_ms())),
                 ("p95_wall_ms", ms(c.p95_ms())),
                 ("cells_per_sec", ms(c.cells_per_sec())),
@@ -235,17 +386,42 @@ fn render_report(
             ])
         })
         .collect();
+    let shard_objs: Vec<Json> = sharding
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("kernel", Json::from(s.kernel)),
+                ("scheme", Json::from(s.scheme)),
+                ("procs", Json::from(s.procs)),
+                ("serial_median_wall_ms", ms(nearest_rank(&s.serial_ms, 0.5))),
+                (
+                    "sharded_median_wall_ms",
+                    ms(nearest_rank(&s.sharded_ms, 0.5)),
+                ),
+                ("speedup", ms(s.speedup())),
+                ("sim_events", Json::from(s.sim_events)),
+            ])
+        })
+        .collect();
+    let shard_serial_total: f64 = sharding
+        .iter()
+        .map(|s| nearest_rank(&s.serial_ms, 0.5))
+        .sum();
+    let shard_sharded_total: f64 = sharding
+        .iter()
+        .map(|s| nearest_rank(&s.sharded_ms, 0.5))
+        .sum();
+    let shard_speedup = if shard_sharded_total > 0.0 {
+        shard_serial_total / shard_sharded_total
+    } else {
+        0.0
+    };
     let doc = Json::obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("generator", Json::from("tpi-bench perf")),
-        (
-            "scale",
-            Json::from(match scale {
-                Scale::Paper => "paper",
-                Scale::Test => "test",
-            }),
-        ),
+        ("scale", Json::from(scale_name(scale))),
         ("reps", Json::from(reps)),
+        ("host_cores", Json::from(host_cores())),
         ("cells", Json::Arr(cell_objs)),
         (
             "totals",
@@ -254,6 +430,23 @@ fn render_report(
                 ("median_wall_ms", ms(median_total)),
                 ("p95_wall_ms", ms(nearest_rank(rep_totals_ms, 0.95))),
                 ("cells_per_sec", ms(total_cells_per_sec)),
+            ]),
+        ),
+        (
+            // Serial vs sharded replay on prebuilt large-scale traces.
+            // Informational: `--check` does not re-measure this section.
+            "sharding",
+            Json::obj([
+                ("shards", Json::from(SHARDS)),
+                ("cells", Json::Arr(shard_objs)),
+                (
+                    "totals",
+                    Json::obj([
+                        ("serial_median_wall_ms", ms(shard_serial_total)),
+                        ("sharded_median_wall_ms", ms(shard_sharded_total)),
+                        ("speedup", ms(shard_speedup)),
+                    ]),
+                ),
             ]),
         ),
         (
@@ -338,12 +531,13 @@ fn parse_baseline(text: &str) -> Result<(String, f64, Vec<BaselineCell>), String
             .and_then(Json::as_str)
             .ok_or("cell.scheme")?;
         let procs = c.get("procs").and_then(Json::as_u64).ok_or("cell.procs")?;
+        let cell_scale = c.get("scale").and_then(Json::as_str).ok_or("cell.scale")?;
         let median = c
             .get("median_wall_ms")
             .and_then(Json::as_f64)
             .ok_or("cell.median_wall_ms")?;
         out.push(BaselineCell {
-            key: format!("{kernel}/{scheme}/p{procs}"),
+            key: format!("{kernel}/{scheme}/p{procs}/{cell_scale}"),
             median_wall_ms: median,
         });
     }
@@ -371,10 +565,7 @@ fn check(
             return ExitCode::FAILURE;
         }
     };
-    let want_scale = match scale {
-        Scale::Paper => "paper",
-        Scale::Test => "test",
-    };
+    let want_scale = scale_name(scale);
     if base_scale != want_scale {
         eprintln!("{baseline_path}: baseline is scale={base_scale}, this run is {want_scale}");
         return ExitCode::FAILURE;
@@ -403,7 +594,7 @@ fn check(
             "ok"
         };
         eprintln!(
-            "CELL {:<18} baseline {:>8.2} ms  now {:>8.2} ms  ratio {:.2}  {note}",
+            "CELL {:<24} baseline {:>8.2} ms  now {:>8.2} ms  ratio {:.2}  {note}",
             cell.key(),
             base.median_wall_ms,
             cell.median_ms(),
@@ -476,6 +667,7 @@ fn main() -> ExitCode {
             "--scale" => match it.next().map(String::as_str) {
                 Some("paper") => scale = Scale::Paper,
                 Some("test") => scale = Scale::Test,
+                Some("large") => scale = Scale::Large,
                 _ => return usage(),
             },
             _ => return usage(),
@@ -490,7 +682,14 @@ fn main() -> ExitCode {
         let grid_median_ms = nearest_rank(&rep_totals_ms, 0.5);
         return check(&baseline, scale, &cells, grid_median_ms, tolerance);
     }
-    let report = render_report(scale, reps, &cells, &rep_totals_ms, &profile);
+    // Sharding comparison: report mode only (the gate never re-measures
+    // it), and only at the committed paper scale.
+    let sharding = if scale == Scale::Paper {
+        measure_sharding(reps)
+    } else {
+        Vec::new()
+    };
+    let report = render_report(scale, reps, &cells, &rep_totals_ms, &profile, &sharding);
     if let Err(e) = std::fs::write(&out_path, report + "\n") {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

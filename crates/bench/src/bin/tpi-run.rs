@@ -40,9 +40,11 @@ USAGE:
 OPTIONS:
     --kernel <name>       run a suite kernel (SPEC77, OCEAN, FLO52, QCD2,
                           TRFD, ARC2D, MDG, FSHARE, LDREUSE, MIGRATE)
-    --scale test|paper    problem size for --kernel    [default: paper]
+    --scale test|paper|large  problem size for --kernel [default: paper]
     --scheme <s>|all      scheme(s) to simulate        [default: tpi]
-    --procs <n>           processors, 1-1024
+    --procs <n>           processors, 1-4096
+    --shards <n>          shard the replay loop, 1-256 (execution knob:
+                          results are bit-identical for any value)
     --line-words <n>      cache line size in words, 1-64
     --tag-bits <n>        timetag width in bits, 1-32
     --cache-kb <n>        per-node cache size in KB, 1-65536
@@ -68,6 +70,9 @@ struct Options {
     lint: bool,
     profile: bool,
     misses: bool,
+    /// Replay-loop shard count (`None` leaves the runner's default, which
+    /// honours the `TPI_SIM_SHARDS` environment variable).
+    shards: Option<usize>,
 }
 
 enum Source {
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
     let mut lint = false;
     let mut profile = false;
     let mut misses = false;
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -103,9 +109,10 @@ fn parse_args() -> Result<Option<Options>, CliError> {
                 scale = match value("--scale")?.as_str() {
                     "test" => Scale::Test,
                     "paper" => Scale::Paper,
+                    "large" => Scale::Large,
                     s => {
                         return Err(CliError::Field(format!(
-                            "error[bad_field]: unknown scale {s:?} (known: test, paper)"
+                            "error[bad_field]: unknown scale {s:?} (known: test, paper, large)"
                         )))
                     }
                 };
@@ -122,7 +129,10 @@ fn parse_args() -> Result<Option<Options>, CliError> {
             }
             "--procs" => {
                 builder =
-                    builder.procs(parse_bounded("--procs", &value("--procs")?, 1, 1024)? as u32);
+                    builder.procs(parse_bounded("--procs", &value("--procs")?, 1, 4096)? as u32);
+            }
+            "--shards" => {
+                shards = Some(parse_bounded("--shards", &value("--shards")?, 1, 256)? as usize);
             }
             "--line-words" => {
                 builder = builder.line_words(parse_bounded(
@@ -198,6 +208,7 @@ fn parse_args() -> Result<Option<Options>, CliError> {
         lint,
         profile,
         misses,
+        shards,
     }))
 }
 
@@ -286,7 +297,10 @@ fn run(opts: &Options) -> ExitCode {
             s.shared_reads, s.marked, s.plain, s.covered
         );
     }
-    let runner = Runner::new();
+    let runner = match opts.shards {
+        Some(s) => Runner::new().with_sim_shards(s),
+        None => Runner::new(),
+    };
     let run_started = std::time::Instant::now();
     let grid = match runner
         .grid()

@@ -1032,6 +1032,9 @@ pub fn e20_doacross(scale: Scale, runner: &Runner) -> ExperimentOutput {
     let n: i64 = match scale {
         Scale::Test => 32,
         Scale::Paper => 96,
+        // E20 studies sync granularity, not processor count; a modest
+        // widening keeps the wavefront tractable at large proc counts.
+        Scale::Large => 128,
     };
     let pipeline = |g: i64| -> Program {
         let mut p = ProgramBuilder::new();

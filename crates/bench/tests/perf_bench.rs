@@ -31,7 +31,7 @@ fn bench_baseline_matches_golden_schema() {
 
     assert_eq!(
         doc.get("schema_version").and_then(Json::as_u64),
-        Some(1),
+        Some(2),
         "schema_version pin"
     );
     assert_eq!(
@@ -41,15 +41,25 @@ fn bench_baseline_matches_golden_schema() {
     let scale = doc.get("scale").and_then(Json::as_str).expect("scale");
     assert!(!scale.is_empty());
     assert!(doc.get("reps").and_then(Json::as_u64).expect("reps") >= 1);
+    assert!(
+        doc.get("host_cores")
+            .and_then(Json::as_u64)
+            .expect("host_cores")
+            >= 1
+    );
 
     // Every cell carries the full measurement record.
     let cells = doc
         .get("cells")
         .and_then(Json::as_array)
         .expect("cells array");
-    assert_eq!(cells.len(), 20, "pinned 2 kernels x 5 schemes x 2 procs");
+    assert_eq!(
+        cells.len(),
+        22,
+        "pinned 2 kernels x 5 schemes x 2 procs, plus 2 large-scale cells"
+    );
     for cell in cells {
-        for key in ["kernel", "scheme"] {
+        for key in ["kernel", "scheme", "scale"] {
             assert!(
                 cell.get(key).and_then(Json::as_str).is_some(),
                 "cell.{key} is a string"
@@ -67,14 +77,57 @@ fn bench_baseline_matches_golden_schema() {
                 > 0
         );
     }
+    // The large-scale 64-processor cells are part of the gated grid.
+    let large: Vec<_> = cells
+        .iter()
+        .filter(|c| c.get("scale").and_then(Json::as_str) == Some("large"))
+        .collect();
+    assert_eq!(large.len(), 2, "two 64-processor large-scale cells");
+    for c in &large {
+        assert_eq!(c.get("procs").and_then(Json::as_u64), Some(64));
+    }
 
     // The grid-total block is what the CI perf gate compares against.
     let totals = doc.get("totals").expect("totals");
-    assert_eq!(totals.get("cells").and_then(Json::as_u64), Some(20));
+    assert_eq!(totals.get("cells").and_then(Json::as_u64), Some(22));
     for key in ["median_wall_ms", "p95_wall_ms", "cells_per_sec"] {
         let v = totals.get(key).and_then(Json::as_f64).expect(key);
         assert!(v.is_finite() && v > 0.0);
     }
+
+    // The sharding section documents the serial-vs-sharded replay win on
+    // prebuilt large-scale traces (informational for the gate, but its
+    // shape — and the committed >= 2x section speedup — is part of the
+    // schema contract).
+    let sharding = doc.get("sharding").expect("sharding");
+    assert!(
+        sharding
+            .get("shards")
+            .and_then(Json::as_u64)
+            .expect("shards")
+            >= 2
+    );
+    let shard_cells = sharding
+        .get("cells")
+        .and_then(Json::as_array)
+        .expect("sharding.cells");
+    assert!(!shard_cells.is_empty());
+    for c in shard_cells {
+        for key in ["serial_median_wall_ms", "sharded_median_wall_ms", "speedup"] {
+            let v = c.get(key).and_then(Json::as_f64).expect(key);
+            assert!(v.is_finite() && v > 0.0, "sharding cell {key}");
+        }
+        assert!(c.get("procs").and_then(Json::as_u64).expect("procs") >= 64);
+    }
+    let speedup = sharding
+        .get("totals")
+        .and_then(|t| t.get("speedup"))
+        .and_then(Json::as_f64)
+        .expect("sharding.totals.speedup");
+    assert!(
+        speedup >= 2.0,
+        "committed sharding section speedup {speedup} < 2x"
+    );
 
     // Stage/counter attribution rides along for cross-machine triage.
     let profile = doc.get("profile").expect("profile");

@@ -24,6 +24,13 @@ pub struct ExperimentConfig {
     /// Compiler optimization level (marking quality).
     pub opt_level: OptLevel,
     /// Number of processors.
+    ///
+    /// The paper's machine is 16 processors, but this is the scalability
+    /// axis of the large-scale study (EXPERIMENTS.md E24): 64, 256, and
+    /// 1024 are the studied points, and the builder accepts anything in
+    /// `1..=`[`ExperimentConfig::MAX_PROCS`]. Pair large counts with
+    /// [`Scale::Large`](tpi_workloads::Scale) kernels so the widest DOALL
+    /// still covers every processor.
     pub procs: u32,
     /// Cache capacity per node, bytes.
     pub cache_bytes: usize,
@@ -71,6 +78,14 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Upper bound on [`procs`](ExperimentConfig::procs) accepted by the
+    /// builder (and therefore by every front end that builds through it,
+    /// including the `tpi-serve` wire layer). Directory state, network
+    /// queues, and per-processor replay state all grow linearly in the
+    /// processor count, so an unbounded axis would let one request
+    /// exhaust memory; 4096 is 4x the largest studied point (1024).
+    pub const MAX_PROCS: u32 = 4096;
+
     /// Starts a [`ConfigBuilder`] from the paper's defaults. This is the
     /// preferred way to describe a non-default machine: invalid
     /// combinations are rejected at [`build`](ConfigBuilder::build) time
@@ -201,6 +216,8 @@ impl Default for ExperimentConfig {
 pub enum ConfigError {
     /// `procs` was zero.
     NoProcessors,
+    /// `procs` exceeded [`ExperimentConfig::MAX_PROCS`].
+    TooManyProcessors(u32),
     /// `line_words` outside `1..=64` (the per-word state bitmasks are 64
     /// bits wide).
     LineWords(u32),
@@ -229,6 +246,11 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::NoProcessors => write!(f, "need at least one processor"),
+            ConfigError::TooManyProcessors(p) => write!(
+                f,
+                "procs {p} exceeds the supported maximum of {}",
+                ExperimentConfig::MAX_PROCS
+            ),
             ConfigError::LineWords(w) => {
                 write!(f, "line_words must be in 1..=64, got {w}")
             }
@@ -340,6 +362,9 @@ impl ConfigBuilder {
         let cfg = self.cfg;
         if cfg.procs == 0 {
             return Err(ConfigError::NoProcessors);
+        }
+        if cfg.procs > ExperimentConfig::MAX_PROCS {
+            return Err(ConfigError::TooManyProcessors(cfg.procs));
         }
         if !(1..=64).contains(&cfg.line_words) {
             return Err(ConfigError::LineWords(cfg.line_words));
@@ -494,6 +519,14 @@ mod tests {
             ExperimentConfig::builder().procs(0).build().unwrap_err(),
             ConfigError::NoProcessors
         );
+        assert_eq!(
+            ExperimentConfig::builder().procs(5000).build().unwrap_err(),
+            ConfigError::TooManyProcessors(5000)
+        );
+        // Every studied point of the scalability axis builds.
+        for procs in [64, 256, 1024] {
+            assert!(ExperimentConfig::builder().procs(procs).build().is_ok());
+        }
         assert_eq!(
             ExperimentConfig::builder().assoc(0).build().unwrap_err(),
             ConfigError::ZeroAssociativity

@@ -187,6 +187,12 @@ impl CoherenceEngine for BaseEngine {
     fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
         Some(self.wpath.buffer_stats())
     }
+
+    fn shard_safe(&self) -> bool {
+        // Shared data is never cached, so the engine has no cross-
+        // processor state at all beyond commutative traffic counters.
+        true
+    }
 }
 
 #[cfg(test)]

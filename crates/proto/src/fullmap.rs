@@ -24,27 +24,31 @@
 //! penalty (and the entry falls back to a software full map, so precision
 //! is unaffected).
 
+use crate::sharers::SharerSet;
 use crate::stats::{EngineStats, MissClass};
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
 use tpi_cache::{Cache, Line, LineState};
 use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct DirEntry {
     /// Write-exclusive holder, if any.
     owner: Option<u32>,
-    /// Presence bits of read-shared holders.
-    sharers: u64,
+    /// Presence bits of read-shared holders. The bitmap grows with the
+    /// machine ([`SharerSet`]), so the full-map *storage* cost the paper
+    /// charges against this scheme — O(P) bits per line — is modelled
+    /// faithfully rather than capped at a single machine word.
+    sharers: SharerSet,
 }
 
 impl DirEntry {
-    fn is_empty(self) -> bool {
-        self.owner.is_none() && self.sharers == 0
+    fn is_empty(&self) -> bool {
+        self.owner.is_none() && self.sharers.is_empty()
     }
 
-    fn holder_count(self) -> u32 {
-        self.sharers.count_ones() + u32::from(self.owner.is_some())
+    fn holder_count(&self) -> u32 {
+        self.sharers.count() + u32::from(self.owner.is_some())
     }
 }
 
@@ -68,11 +72,9 @@ pub struct DirectoryEngine {
 impl DirectoryEngine {
     /// Builds the full-map variant.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.procs > 64` (presence bits are a `u64`; the paper
-    /// simulates 16 processors — larger machines are covered analytically
-    /// by the storage model).
+    /// Presence bits grow with the machine ([`SharerSet`]), so the same
+    /// engine serves the paper's 16-processor simulations and the
+    /// large-scale 64–1024-processor study (EXPERIMENTS.md E24).
     #[must_use]
     pub fn full_map(cfg: EngineConfig) -> Self {
         Self::build(cfg, None, "HW")
@@ -80,10 +82,6 @@ impl DirectoryEngine {
 
     /// Builds the LimitLess variant with `cfg.limitless_pointers` hardware
     /// pointers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.procs > 64`.
     #[must_use]
     pub fn limitless(cfg: EngineConfig) -> Self {
         let ll = Some((cfg.limitless_pointers, cfg.limitless_trap_cycles));
@@ -91,10 +89,6 @@ impl DirectoryEngine {
     }
 
     fn build(cfg: EngineConfig, limitless: Option<(u32, Cycle)>, name: &'static str) -> Self {
-        assert!(
-            cfg.procs <= 64,
-            "directory presence bits support at most 64 processors"
-        );
         let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
         let net = Network::new(cfg.net);
         let stats = EngineStats::new(cfg.procs);
@@ -110,10 +104,6 @@ impl DirectoryEngine {
             name,
             cfg,
         }
-    }
-
-    fn bit(p: u32) -> u64 {
-        1u64 << p
     }
 
     fn mem_version(&self, addr: WordAddr) -> u64 {
@@ -162,16 +152,18 @@ impl DirectoryEngine {
     /// Invalidates every holder except `except`; returns how many copies
     /// dropped.
     fn invalidate_sharers(&mut self, la: LineAddr, word: u32, except: u32) -> u32 {
-        let entry = self.directory.get(&la.0).copied().unwrap_or_default();
+        let holders: Vec<u32> = self
+            .directory
+            .get(&la.0)
+            .map(|e| e.sharers.iter().filter(|&q| q != except).collect())
+            .unwrap_or_default();
         let mut dropped = 0;
-        for q in 0..self.cfg.procs {
-            if q != except && entry.sharers & Self::bit(q) != 0 {
-                self.invalidate_copy(q, la, word);
-                dropped += 1;
-            }
+        for q in holders {
+            self.invalidate_copy(q, la, word);
+            dropped += 1;
         }
         if let Some(e) = self.directory.get_mut(&la.0) {
-            e.sharers &= Self::bit(except);
+            e.sharers.retain_only(except);
         }
         dropped
     }
@@ -218,7 +210,7 @@ impl DirectoryEngine {
             if e.owner == Some(p as u32) {
                 e.owner = None;
             }
-            e.sharers &= !Self::bit(p as u32);
+            e.sharers.remove(p as u32);
             if e.is_empty() {
                 self.directory.remove(&la.0);
             }
@@ -236,7 +228,7 @@ impl DirectoryEngine {
         for (addr, e) in &self.directory {
             let la = LineAddr(*addr);
             if let Some(o) = e.owner {
-                if e.sharers & !Self::bit(o) != 0 {
+                if e.sharers.iter().any(|q| q != o) {
                     return Err(format!("{la}: owner {o} coexists with sharers"));
                 }
                 match self.caches[o as usize].peek(la) {
@@ -244,12 +236,10 @@ impl DirectoryEngine {
                     _ => return Err(format!("{la}: owner {o} has no exclusive copy")),
                 }
             }
-            for q in 0..self.cfg.procs {
-                if e.sharers & Self::bit(q) != 0 {
-                    match self.caches[q as usize].peek(la) {
-                        Some(l) if l.state == LineState::Shared => {}
-                        _ => return Err(format!("{la}: presence bit {q} without shared copy")),
-                    }
+            for q in e.sharers.iter() {
+                match self.caches[q as usize].peek(la) {
+                    Some(l) if l.state == LineState::Shared => {}
+                    _ => return Err(format!("{la}: presence bit {q} without shared copy")),
                 }
             }
         }
@@ -257,10 +247,10 @@ impl DirectoryEngine {
         for (p, cache) in self.caches.iter().enumerate() {
             let mut bad: Option<String> = None;
             cache.for_each_line(|l| {
-                let e = self.directory.get(&l.addr.0).copied().unwrap_or_default();
+                let e = self.directory.get(&l.addr.0);
                 let present = match l.state {
-                    LineState::Exclusive => e.owner == Some(p as u32),
-                    LineState::Shared => e.sharers & Self::bit(p as u32) != 0,
+                    LineState::Exclusive => e.is_some_and(|e| e.owner == Some(p as u32)),
+                    LineState::Shared => e.is_some_and(|e| e.sharers.contains(p as u32)),
                 };
                 if !present && bad.is_none() {
                     bad = Some(format!("{}: cached at P{p} but not in directory", l.addr));
@@ -284,7 +274,7 @@ impl DirectoryEngine {
             if e.owner == Some(p as u32) {
                 e.owner = None;
             }
-            e.sharers &= !Self::bit(p as u32);
+            e.sharers.remove(p as u32);
         }
     }
 }
@@ -357,13 +347,17 @@ impl CoherenceEngine for DirectoryEngine {
             self.stats.proc_mut(o as usize).write_backs += 1;
             let e = self.directory.entry(la.0).or_default();
             e.owner = None;
-            e.sharers |= Self::bit(o);
+            e.sharers.insert(o);
         } else {
             stall = 1 + self.net.line_fetch(line_words);
             self.net.record(TrafficClass::Read, 0);
             self.net.record(TrafficClass::Read, line_words);
         }
-        self.directory.entry(la.0).or_default().sharers |= Self::bit(p as u32);
+        self.directory
+            .entry(la.0)
+            .or_default()
+            .sharers
+            .insert(p as u32);
         stall += self.trap_penalty(p, la);
         self.fill(p, la, w, version, LineState::Shared);
         self.stats.proc_mut(p).record_miss(class, stall);
@@ -396,7 +390,7 @@ impl CoherenceEngine for DirectoryEngine {
                 {
                     let e = self.directory.entry(la.0).or_default();
                     e.owner = Some(p as u32);
-                    e.sharers = 0;
+                    e.sharers.clear();
                 }
                 let line = self.caches[p].touch_mut(la).expect("resident");
                 line.state = LineState::Exclusive;
@@ -434,7 +428,7 @@ impl CoherenceEngine for DirectoryEngine {
                 {
                     let e = self.directory.entry(la.0).or_default();
                     e.owner = Some(p as u32);
-                    e.sharers = 0;
+                    e.sharers.clear();
                 }
                 self.fill(p, la, w, version, LineState::Exclusive);
                 let line = self.caches[p].touch_mut(la).expect("just filled");
@@ -624,10 +618,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
-    fn rejects_too_many_procs() {
-        let mut cfg = EngineConfig::paper_default(0);
+    fn presence_bits_scale_past_one_word() {
+        // 128 sharers spans two bitmap words; an upgrade must invalidate
+        // every one of them and the directory must stay consistent.
+        let mut cfg = EngineConfig::paper_default(1 << 20);
         cfg.procs = 128;
-        let _ = DirectoryEngine::full_map(cfg);
+        let mut e = DirectoryEngine::full_map(cfg);
+        let a = WordAddr(0);
+        for q in 0..128 {
+            let _ = e.read(ProcId(q), a, ReadKind::Plain, 0, 0);
+        }
+        e.verify_invariants().unwrap();
+        e.write(ProcId(127), a, 1, 10);
+        e.verify_invariants().unwrap();
+        assert_eq!(e.stats().proc(127).upgrades, 1);
+        let dropped: u64 = (0..127).map(|q| e.stats().proc(q).invals_received).sum();
+        assert_eq!(dropped, 127, "all 127 other sharers invalidated");
     }
 }

@@ -16,6 +16,7 @@
 //! are ignored — the pushed updates are what keep copies fresh, which is
 //! exactly what the staleness oracle verifies.
 
+use crate::sharers::SharerSet;
 use crate::stats::{EngineStats, MissClass};
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
@@ -33,9 +34,10 @@ pub struct HybridEngine {
     stats: EngineStats,
     mem_versions: FastMap<u64, u64>,
     ever_cached: Vec<FastSet<u64>>,
-    /// Directory: per-line sharer bitmask (memory is always current, so
-    /// presence is all it tracks).
-    sharers: FastMap<u64, u64>,
+    /// Directory: per-line sharer presence set (memory is always current,
+    /// so presence is all it tracks). Grows with the machine, so the
+    /// engine runs unchanged at the E24 large-scale processor counts.
+    sharers: FastMap<u64, SharerSet>,
     /// Per-processor, per-line count of updates received since the last
     /// local access (the competitive counter).
     counters: Vec<FastMap<u64, u32>>,
@@ -47,17 +49,11 @@ pub struct HybridEngine {
 }
 
 impl HybridEngine {
-    /// Builds a hybrid engine from `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.procs > 64` (sharer bitmask representation).
+    /// Builds a hybrid engine from `cfg`. The sharer presence set grows
+    /// with the machine ([`SharerSet`]), so any processor count the
+    /// experiment axis allows works here.
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Self {
-        assert!(
-            cfg.procs <= 64,
-            "hybrid sharer bitmask holds at most 64 processors"
-        );
         let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
         let net = Network::new(cfg.net);
@@ -90,7 +86,7 @@ impl HybridEngine {
 
     fn drop_sharer(&mut self, la: LineAddr, p: usize) {
         if let Some(mask) = self.sharers.get_mut(&la.0) {
-            *mask &= !(1u64 << p);
+            mask.remove(p as u32);
         }
         self.counters[p].remove(&la.0);
     }
@@ -129,7 +125,10 @@ impl HybridEngine {
         }
         line.set_word_accessed(req_word);
         self.ever_cached[p].insert(line_addr.0);
-        *self.sharers.entry(line_addr.0).or_insert(0) |= 1u64 << p;
+        self.sharers
+            .entry(line_addr.0)
+            .or_default()
+            .insert(p as u32);
         self.counters[p].insert(line_addr.0, 0);
     }
 
@@ -137,13 +136,15 @@ impl HybridEngine {
     /// sharer: an in-place word update while the sharer's competitive
     /// counter is below the threshold, an invalidation once it trips.
     fn push_to_sharers(&mut self, p: usize, la: LineAddr, w: u32, version: u64) {
-        let Some(&mask) = self.sharers.get(&la.0) else {
+        let Some(mask) = self.sharers.get(&la.0) else {
             return;
         };
-        let mut others = mask & !(1u64 << p);
-        while others != 0 {
-            let q = others.trailing_zeros() as usize;
-            others &= others - 1;
+        let others: Vec<usize> = mask
+            .iter()
+            .map(|q| q as usize)
+            .filter(|&q| q != p)
+            .collect();
+        for q in others {
             if self.caches[q].peek(la).is_none() {
                 // Silently evicted: the pushed message finds no copy;
                 // lazily retire the stale presence bit.
@@ -190,8 +191,11 @@ impl HybridEngine {
             let mut bad = None;
             cache.for_each_line(|line| {
                 if line.any_valid() && bad.is_none() {
-                    let mask = self.sharers.get(&line.addr.0).copied().unwrap_or(0);
-                    if mask & (1u64 << p) == 0 {
+                    let present = self
+                        .sharers
+                        .get(&line.addr.0)
+                        .is_some_and(|m| m.contains(p as u32));
+                    if !present {
                         bad = Some(line.addr);
                     }
                 }
@@ -247,7 +251,7 @@ impl HybridEngine {
     pub fn debug_drop_sharer_bit(&mut self, p: usize, addr: WordAddr) {
         let la = self.cfg.cache.geometry.line_of(addr);
         if let Some(mask) = self.sharers.get_mut(&la.0) {
-            *mask &= !(1u64 << p);
+            mask.remove(p as u32);
         }
     }
 }

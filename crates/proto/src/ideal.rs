@@ -130,6 +130,11 @@ impl CoherenceEngine for IdealEngine {
     fn stats(&self) -> &EngineStats {
         &self.stats
     }
+
+    fn shard_safe(&self) -> bool {
+        // Per-processor caches with oracle hits: no global state.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -38,10 +38,12 @@ pub mod ideal;
 pub mod invariant;
 pub mod registry;
 pub mod sc;
+pub mod sharers;
 pub mod stats;
 pub mod storage;
 pub mod tardis;
 pub mod tpi;
+mod versions;
 mod write_path;
 
 pub use base::BaseEngine;
@@ -283,8 +285,10 @@ impl AccessOutcome {
 /// engines return stall cycles and account traffic into their [`Network`].
 ///
 /// `Debug` is a supertrait so model-checking tooling can fingerprint the
-/// complete protocol state; all engines derive it.
-pub trait CoherenceEngine: std::fmt::Debug {
+/// complete protocol state; all engines derive it. `Send` is a supertrait
+/// so the shard-parallel simulator can move engines onto worker threads;
+/// engines are plain data and satisfy it structurally.
+pub trait CoherenceEngine: std::fmt::Debug + Send {
     /// Scheme label for reports.
     fn name(&self) -> &'static str;
 
@@ -353,6 +357,44 @@ pub trait CoherenceEngine: std::fmt::Debug {
     fn op_counts(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Whether this engine's per-event outcomes are a pure function of
+    /// per-processor state, epoch-start global state, and commutative
+    /// global accumulators — the invariant that lets the shard-parallel
+    /// simulator replay disjoint processor sets on engine replicas and
+    /// merge at epoch boundaries with bit-identical results.
+    ///
+    /// True for the epoch-disciplined schemes (BASE, SC, TPI, IDEAL):
+    /// their only cross-processor state is the memory version table,
+    /// which commits at epoch boundaries (matching the write-buffer
+    /// drain). False for the order-sensitive schemes: the directory
+    /// engines observe mid-epoch sharer/owner state (three-hop dirty
+    /// fetches, false-sharing invalidations) and Tardis stamps leases
+    /// from a live global read-timestamp table; those replay through the
+    /// serial core.
+    fn shard_safe(&self) -> bool {
+        false
+    }
+
+    /// Switches on recording of memory-version commits so the shard
+    /// runner can exchange them between replicas (see
+    /// [`CoherenceEngine::drain_version_updates`]). Off by default:
+    /// serial runs must not pay for an ever-growing update log.
+    fn enable_shard_tracking(&mut self) {}
+
+    /// Takes the `(word address, version)` pairs committed to the memory
+    /// version table since the last drain. Empty unless
+    /// [`CoherenceEngine::enable_shard_tracking`] was called.
+    fn drain_version_updates(&mut self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+
+    /// Max-merges another shard's drained version commits into this
+    /// engine's memory version table. Versions grow monotonically, so the
+    /// merge is commutative and idempotent — shard order cannot matter.
+    /// Must not disturb any observational counter (the serial path never
+    /// calls this, and the shard merge must stay bit-identical to it).
+    fn apply_version_updates(&mut self, _updates: &[(u64, u64)]) {}
 }
 
 /// Builds the engine for `scheme` through the global [`registry`].

@@ -13,10 +13,11 @@
 //! like TPI.
 
 use crate::stats::{EngineStats, MissClass};
+use crate::versions::EpochVersions;
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
 use tpi_cache::{Cache, Line};
-use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The SC coherence engine.
@@ -27,7 +28,9 @@ pub struct ScEngine {
     wpath: WritePath,
     net: Network,
     stats: EngineStats,
-    mem_versions: FastMap<u64, u64>,
+    /// Per-word memory versions, committed at epoch boundaries (the write
+    /// buffer's drain instant); the writer sees its own stores at once.
+    versions: EpochVersions,
     ever_cached: Vec<FastSet<u64>>,
 }
 
@@ -35,6 +38,7 @@ impl ScEngine {
     /// Builds an SC engine from `cfg`.
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Self {
+        let procs = cfg.procs;
         let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
         let net = Network::new(cfg.net);
@@ -46,18 +50,17 @@ impl ScEngine {
             wpath,
             net,
             stats,
-            mem_versions: FastMap::default(),
+            versions: EpochVersions::new(procs),
             ever_cached,
         }
     }
 
-    fn mem_version(&self, addr: WordAddr) -> u64 {
-        self.mem_versions.get(&addr.0).copied().unwrap_or(0)
+    fn mem_version(&self, p: usize, addr: WordAddr) -> u64 {
+        self.versions.read(p, addr)
     }
 
-    fn bump_mem_version(&mut self, addr: WordAddr, version: u64) {
-        let e = self.mem_versions.entry(addr.0).or_insert(0);
-        *e = (*e).max(version);
+    fn bump_mem_version(&mut self, p: usize, addr: WordAddr, version: u64) {
+        self.versions.bump(p, addr, version);
     }
 
     /// Refills `line_addr` from memory. Word versions never move backwards:
@@ -68,7 +71,7 @@ impl ScEngine {
         let wpl = geom.words_per_line();
         let base = geom.first_word(line_addr).0;
         let word_versions: Vec<u64> = (0..wpl)
-            .map(|w| self.mem_version(WordAddr(base + u64::from(w))))
+            .map(|w| self.mem_version(p, WordAddr(base + u64::from(w))))
             .collect();
         let cache = &mut self.caches[p];
         if cache.peek(line_addr).is_none() {
@@ -169,7 +172,7 @@ impl CoherenceEngine for ScEngine {
     fn write(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
         let p = proc.0 as usize;
         self.stats.proc_mut(p).writes += 1;
-        self.bump_mem_version(addr, version);
+        self.bump_mem_version(p, addr, version);
         let geom = self.cfg.cache.geometry;
         let la = geom.line_of(addr);
         let w = geom.word_in_line(addr);
@@ -192,7 +195,7 @@ impl CoherenceEngine for ScEngine {
     fn write_critical(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
         let p = proc.0 as usize;
         self.stats.proc_mut(p).writes += 1;
-        self.bump_mem_version(addr, version);
+        self.bump_mem_version(p, addr, version);
         let geom = self.cfg.cache.geometry;
         let la = geom.line_of(addr);
         let w = geom.word_in_line(addr);
@@ -207,6 +210,9 @@ impl CoherenceEngine for ScEngine {
     }
 
     fn epoch_boundary(&mut self, per_proc_now: &[Cycle]) -> Vec<Cycle> {
+        // The barrier drains every write buffer, so the versions written
+        // this epoch become globally visible here.
+        self.versions.commit_boundary();
         self.wpath.boundary(per_proc_now)
     }
 
@@ -224,6 +230,22 @@ impl CoherenceEngine for ScEngine {
 
     fn write_buffer_stats(&self) -> Option<tpi_cache::WriteBufferStats> {
         Some(self.wpath.buffer_stats())
+    }
+
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    fn enable_shard_tracking(&mut self) {
+        self.versions.enable_tracking();
+    }
+
+    fn drain_version_updates(&mut self) -> Vec<(u64, u64)> {
+        self.versions.drain_updates()
+    }
+
+    fn apply_version_updates(&mut self, updates: &[(u64, u64)]) {
+        self.versions.apply_updates(updates);
     }
 }
 

@@ -1,0 +1,123 @@
+//! Growable per-line presence bitmap shared by the directory engines.
+//!
+//! Full-map directories ([`crate::fullmap`]) and the hybrid
+//! update/invalidate directory ([`crate::hybrid`]) both track which
+//! processors hold a copy of each line. A single machine word caps that
+//! set at 64 processors; the large-scale study (EXPERIMENTS.md E24) runs
+//! the same engines at 256 and 1024, so the presence set here grows on
+//! demand in 64-bit words. This also keeps the storage model honest: the
+//! full-map cost the paper charges in its directory-storage comparison is
+//! O(P) bits per line, which is exactly what this representation pays.
+
+/// A set of processor ids backed by a lazily-grown `Vec` of 64-bit words.
+///
+/// The empty set allocates nothing, so a `FastMap<u64, SharerSet>`
+/// directory is no heavier than the old `u64`-mask one until a line
+/// actually gains a sharer above processor 63.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharerSet {
+    words: Vec<u64>,
+}
+
+impl SharerSet {
+    /// Adds processor `p` to the set.
+    pub fn insert(&mut self, p: u32) {
+        let (w, b) = (p as usize / 64, p % 64);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Removes processor `p` from the set (no-op if absent).
+    pub fn remove(&mut self, p: u32) {
+        let (w, b) = (p as usize / 64, p % 64);
+        if let Some(word) = self.words.get_mut(w) {
+            *word &= !(1u64 << b);
+        }
+    }
+
+    /// Whether processor `p` is in the set.
+    #[must_use]
+    pub fn contains(&self, p: u32) -> bool {
+        let (w, b) = (p as usize / 64, p % 64);
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Drops every member except `p` (which keeps its current value).
+    pub fn retain_only(&mut self, p: u32) {
+        let had = self.contains(p);
+        self.words.clear();
+        if had {
+            self.insert(p);
+        }
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates the members (processor ids) in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_ops() {
+        let mut s = SharerSet::default();
+        assert!(s.is_empty());
+        for p in [0, 63, 64, 1023] {
+            s.insert(p);
+        }
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64) && !s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 1023]);
+        s.remove(63);
+        assert!(!s.contains(63));
+        s.retain_only(64);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64]);
+        s.retain_only(7); // 7 was not present: set goes empty
+        assert!(s.is_empty());
+        s.insert(200);
+        s.clear();
+        assert!(s.is_empty());
+        // An empty set never allocated and equals the default.
+        assert_eq!(SharerSet::default(), {
+            let mut t = SharerSet::default();
+            t.insert(5);
+            t.remove(5);
+            t.retain_only(5);
+            t
+        });
+    }
+}

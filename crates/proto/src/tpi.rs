@@ -23,10 +23,11 @@
 //! necessary `CoherenceTrue` miss.
 
 use crate::stats::{EngineStats, MissClass};
+use crate::versions::EpochVersions;
 use crate::write_path::WritePath;
 use crate::{AccessOutcome, CoherenceEngine, EngineConfig};
 use tpi_cache::{Cache, Line, TagClock, WriteBufferStats, WritePolicy};
-use tpi_mem::{Cycle, FastMap, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
+use tpi_mem::{Cycle, FastSet, LineAddr, ProcId, ReadKind, WordAddr};
 use tpi_net::{Network, TrafficClass};
 
 /// The TPI coherence engine.
@@ -38,8 +39,10 @@ pub struct TpiEngine {
     wpath: WritePath,
     net: Network,
     stats: EngineStats,
-    /// Logical current version of every written word ("memory contents").
-    mem_versions: FastMap<u64, u64>,
+    /// Logical current version of every written word ("memory contents"),
+    /// visible to other processors at the next epoch boundary (the write
+    /// buffer's drain instant); the writer sees its own stores at once.
+    versions: EpochVersions,
     /// Lines each processor has ever cached (cold/replacement split).
     ever_cached: Vec<FastSet<u64>>,
     /// Optional on-chip L1s (two-level TPI, Section 3).
@@ -73,6 +76,7 @@ impl TpiEngine {
     /// Builds a TPI engine from `cfg`.
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Self {
+        let procs = cfg.procs;
         let caches = (0..cfg.procs).map(|_| Cache::new(cfg.cache)).collect();
         let clock = TagClock::new(cfg.tag_bits, cfg.reset_strategy);
         let wpath = WritePath::new(cfg.procs, cfg.wbuffer, cfg.net.word_cycles);
@@ -95,7 +99,7 @@ impl TpiEngine {
             wpath,
             net,
             stats,
-            mem_versions: FastMap::default(),
+            versions: EpochVersions::new(procs),
             ever_cached,
             l1s,
             ops: OpCounters::default(),
@@ -200,16 +204,17 @@ impl TpiEngine {
         ((self.clock.epoch().0 + m - 1) % m) as u16
     }
 
-    fn mem_version(&self, addr: WordAddr) -> u64 {
-        self.mem_versions.get(&addr.0).copied().unwrap_or(0)
+    /// The version of `addr` as processor `p` observes it (memory plus
+    /// `p`'s own buffered stores).
+    fn mem_version(&self, p: usize, addr: WordAddr) -> u64 {
+        self.versions.read(p, addr)
     }
 
     /// Versions grow monotonically per word; critical writes may be
     /// replayed out of their true order, so memory keeps the max.
-    fn bump_mem_version(&mut self, addr: WordAddr, version: u64) {
+    fn bump_mem_version(&mut self, p: usize, addr: WordAddr, version: u64) {
         self.ops.version_bumps += 1;
-        let e = self.mem_versions.entry(addr.0).or_insert(0);
-        *e = (*e).max(version);
+        self.versions.bump(p, addr, version);
     }
 
     /// Brings `line_addr` into processor `p`'s cache with the TPI fill
@@ -224,7 +229,7 @@ impl TpiEngine {
         let prev = self.prev_tag();
         let base = geom.first_word(line_addr).0;
         for w in 0..wpl {
-            let v = self.mem_version(WordAddr(base + u64::from(w)));
+            let v = self.mem_version(p, WordAddr(base + u64::from(w)));
             self.fill_versions[w as usize] = v;
         }
         let cache = &mut self.caches[p];
@@ -380,7 +385,7 @@ impl CoherenceEngine for TpiEngine {
             let stall = 1 + l2_cost + self.net.word_fetch();
             self.net.record(TrafficClass::Read, 0);
             self.net.record(TrafficClass::Read, 1);
-            let mem_version = self.mem_version(addr).max(version);
+            let mem_version = self.mem_version(p, addr).max(version);
             let cur_tag = self.clock.hw_tag();
             let line = self.caches[p].touch_mut(la).expect("resident");
             line.set_word_valid(w, true);
@@ -404,7 +409,7 @@ impl CoherenceEngine for TpiEngine {
     fn write(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
         let p = proc.0 as usize;
         self.stats.proc_mut(p).writes += 1;
-        self.bump_mem_version(addr, version);
+        self.bump_mem_version(p, addr, version);
         let geom = self.cfg.cache.geometry;
         let la = geom.line_of(addr);
         let w = geom.word_in_line(addr);
@@ -453,7 +458,7 @@ impl CoherenceEngine for TpiEngine {
     fn write_critical(&mut self, proc: ProcId, addr: WordAddr, version: u64, now: Cycle) -> Cycle {
         let p = proc.0 as usize;
         self.stats.proc_mut(p).writes += 1;
-        self.bump_mem_version(addr, version);
+        self.bump_mem_version(p, addr, version);
         let geom = self.cfg.cache.geometry;
         let la = geom.line_of(addr);
         let w = geom.word_in_line(addr);
@@ -473,6 +478,9 @@ impl CoherenceEngine for TpiEngine {
     }
 
     fn epoch_boundary(&mut self, per_proc_now: &[Cycle]) -> Vec<Cycle> {
+        // The barrier drains every write buffer, so the versions written
+        // this epoch become globally visible here.
+        self.versions.commit_boundary();
         let mut stalls = self.wpath.boundary(per_proc_now);
         if self.cfg.write_policy == WritePolicy::BackAtBoundary {
             // Burst-flush every dirty word: the whole drain lands on the
@@ -543,6 +551,22 @@ impl CoherenceEngine for TpiEngine {
             ("tpi_restamps", self.ops.restamps),
             ("tpi_version_bumps", self.ops.version_bumps),
         ]
+    }
+
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    fn enable_shard_tracking(&mut self) {
+        self.versions.enable_tracking();
+    }
+
+    fn drain_version_updates(&mut self) -> Vec<(u64, u64)> {
+        self.versions.drain_updates()
+    }
+
+    fn apply_version_updates(&mut self, updates: &[(u64, u64)]) {
+        self.versions.apply_updates(updates);
     }
 }
 

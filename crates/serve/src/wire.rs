@@ -28,6 +28,7 @@ fn scale_label(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
         Scale::Paper => "paper",
+        Scale::Large => "large",
     }
 }
 
@@ -271,9 +272,10 @@ impl GridRequest {
             Some(v) => match v.as_str() {
                 Some(s) if s.eq_ignore_ascii_case("test") => Scale::Test,
                 Some(s) if s.eq_ignore_ascii_case("paper") => Scale::Paper,
+                Some(s) if s.eq_ignore_ascii_case("large") => Scale::Large,
                 _ => {
                     return Err(BadRequest::field(
-                        "\"scale\" must be \"test\" or \"paper\"".into(),
+                        "\"scale\" must be \"test\", \"paper\", or \"large\"".into(),
                     ))
                 }
             },
@@ -292,9 +294,12 @@ impl GridRequest {
                     .map(|item| {
                         item.as_u64()
                             .and_then(|n| u32::try_from(n).ok())
-                            .filter(|&n| n > 0)
+                            .filter(|&n| n > 0 && n <= ExperimentConfig::MAX_PROCS)
                             .ok_or_else(|| {
-                                BadRequest::field("\"procs\" must contain positive integers".into())
+                                BadRequest::field(format!(
+                                    "\"procs\" must contain integers in 1..={}",
+                                    ExperimentConfig::MAX_PROCS
+                                ))
                             })
                     })
                     .collect::<Result<Vec<u32>, BadRequest>>()?

@@ -374,19 +374,7 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
         lock_acquires,
         lock_wait_cycles,
         profile,
-        miss_by_array: {
-            let mut v: Vec<(String, u64)> = array_misses
-                .into_iter()
-                .enumerate()
-                .filter(|&(_, n)| n > 0)
-                .map(|(i, n)| {
-                    let id = tpi_mem::ArrayId(i as u32);
-                    (trace.layout.decl(id).name().to_owned(), n)
-                })
-                .collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            v
-        },
+        miss_by_array: miss_by_array_table(&trace.layout, &array_misses),
         host: SimHostProfile {
             replay_nanos,
             boundary_nanos,
@@ -398,8 +386,27 @@ pub fn run_trace(trace: &Trace, engine: &mut dyn CoherenceEngine, opts: &SimOpti
 
 /// Saturating nanoseconds since `start` (a duration that overflows `u64`
 /// nanoseconds pins at `u64::MAX` instead of panicking).
-fn elapsed_nanos_since(start: Instant) -> u64 {
+pub(crate) fn elapsed_nanos_since(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renders a dense per-array miss tally as the report's sorted
+/// `(array name, misses)` table (shared by the serial and sharded paths).
+pub(crate) fn miss_by_array_table(
+    layout: &tpi_mem::MemLayout,
+    array_misses: &[u64],
+) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = array_misses
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| {
+            let id = tpi_mem::ArrayId(i as u32);
+            (layout.decl(id).name().to_owned(), n)
+        })
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
 }
 
 /// Checks the bookkeeping identity `hits + misses == reads` per processor

@@ -20,9 +20,14 @@ use tpi_ir::{subs, Program, ProgramBuilder};
 /// Builds the ARC2D kernel.
 #[must_use]
 pub fn build(scale: Scale) -> Program {
-    let (n, steps) = match scale {
-        Scale::Test => (16i64, 2i64),
-        Scale::Paper => (96, 5),
+    // `stride` thins the inner serial loops at `Large` scale so the DOALL
+    // axis can reach 1024 rows/columns without a quadratic event blow-up.
+    // The false-sharing signature is untouched: the y-sweep's column reads
+    // still touch one word per line of rows other processors just wrote.
+    let (n, steps, stride) = match scale {
+        Scale::Test => (16i64, 2i64, 1i64),
+        Scale::Paper => (96, 5, 1),
+        Scale::Large => (1024, 2, 32),
     };
     let mut p = ProgramBuilder::new();
     let q = p.shared("Q", [n as u64, n as u64]);
@@ -30,12 +35,14 @@ pub fn build(scale: Scale) -> Program {
     let d = p.private("D", [n as u64]);
     let main = p.proc("main", |f| {
         f.doall(0, n - 1, |i, f| {
-            f.serial(0, n - 1, |j, f| f.store(q.at(subs![i, j]), vec![], 2));
+            f.serial_step(0, n - 1, stride, |j, f| {
+                f.store(q.at(subs![i, j]), vec![], 2)
+            });
         });
         f.serial(0, steps - 1, |_t, f| {
             // x-sweep: rows of R from a row stencil of Q.
             f.doall(0, n - 1, |i, f| {
-                f.serial(1, n - 2, |j, f| {
+                f.serial_step(1, n - 2, stride, |j, f| {
                     f.store(
                         r.at(subs![i, j]),
                         vec![
@@ -57,7 +64,7 @@ pub fn build(scale: Scale) -> Program {
             // y-sweep: columns of Q from a column stencil of R, via a
             // private tridiagonal scratch.
             f.doall(0, n - 1, |j, f| {
-                f.serial(1, n - 2, |i, f| {
+                f.serial_step(1, n - 2, stride, |i, f| {
                     f.store(
                         d.at(subs![i]),
                         vec![

@@ -16,9 +16,14 @@ use tpi_ir::{subs, Cond, Program, ProgramBuilder};
 /// Builds the FLO52 kernel.
 #[must_use]
 pub fn build(scale: Scale) -> Program {
-    let (n, steps) = match scale {
-        Scale::Test => (16i64, 2i64),
-        Scale::Paper => (96, 4),
+    // `stride` thins the inner serial loops at `Large` scale so the DOALL
+    // axis can reach 1024+ rows without a quadratic event blow-up; halo
+    // reads still cross processor-block boundaries (the `i±1` terms are
+    // on the doall axis, which stays dense).
+    let (n, steps, stride) = match scale {
+        Scale::Test => (16i64, 2i64, 1i64),
+        Scale::Paper => (96, 4, 1),
+        Scale::Large => (1056, 2, 16),
     };
     let mut p = ProgramBuilder::new();
     let w = p.shared("W", [n as u64, n as u64]);
@@ -30,7 +35,7 @@ pub fn build(scale: Scale) -> Program {
     let stencil = p.proc("eulstep", |f| {
         // Fine-grid stencil: W2 <- stencil(W).
         f.doall(1, n - 2, |i, f| {
-            f.serial(1, n - 2, |j, f| {
+            f.serial_step(1, n - 2, stride, |j, f| {
                 f.store(
                     w2.at(subs![i, j]),
                     vec![
@@ -46,7 +51,7 @@ pub fn build(scale: Scale) -> Program {
         });
         // Update: W <- smooth(W2).
         f.doall(1, n - 2, |i, f| {
-            f.serial(1, n - 2, |j, f| {
+            f.serial_step(1, n - 2, stride, |j, f| {
                 f.store(
                     w.at(subs![i, j]),
                     vec![w2.at(subs![i, j]), w2.at(subs![i, j - 1])],
@@ -56,9 +61,10 @@ pub fn build(scale: Scale) -> Program {
         });
     });
     let coarse = p.proc("coarse", |f| {
-        // Coarse-grid correction: stride-2 sections.
+        // Coarse-grid correction: stride-2 sections (scaled by the
+        // large-scale thinning factor on the serial axis).
         f.doall_step(2, n - 3, 2, |i, f| {
-            f.serial_step(2, n - 3, 2, |j, f| {
+            f.serial_step(2, n - 3, 2 * stride, |j, f| {
                 f.store(
                     w.at(subs![i, j]),
                     vec![
@@ -73,7 +79,9 @@ pub fn build(scale: Scale) -> Program {
     });
     let main = p.proc("main", |f| {
         f.doall(0, n - 1, |i, f| {
-            f.serial(0, n - 1, |j, f| f.store(w.at(subs![i, j]), vec![], 2));
+            f.serial_step(0, n - 1, stride, |j, f| {
+                f.store(w.at(subs![i, j]), vec![], 2)
+            });
         });
         f.serial(0, steps - 1, |t, f| {
             f.call(stencil);

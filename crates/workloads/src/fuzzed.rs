@@ -35,6 +35,7 @@ pub fn false_share(scale: Scale) -> Program {
     let (n, steps) = match scale {
         Scale::Test => (64i64, 3i64),
         Scale::Paper => (4096, 6),
+        Scale::Large => (16384, 8),
     };
     let mut p = ProgramBuilder::new();
     let w = p.shared("W", [2 * n as u64 + 2]);
@@ -71,6 +72,9 @@ pub fn long_reuse(scale: Scale) -> Program {
     let (n, spacer_epochs) = match scale {
         Scale::Test => (64i64, 140i64),
         Scale::Paper => (1024, 160),
+        // The spacer count must stay past the 8-bit timetag range (256
+        // epochs at 2 per iteration); the table itself widens.
+        Scale::Large => (2048, 140),
     };
     let mut p = ProgramBuilder::new();
     let table = p.shared("TABLE", [n as u64]);
@@ -105,6 +109,7 @@ pub fn migrate(scale: Scale) -> Program {
     let (n, steps) = match scale {
         Scale::Test => (64i64, 8i64),
         Scale::Paper => (2048, 16),
+        Scale::Large => (16384, 12),
     };
     let shift = n / 8; // one half processor block at P=16
     let mut p = ProgramBuilder::new();

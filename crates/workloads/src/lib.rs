@@ -50,6 +50,15 @@ pub enum Scale {
     /// Evaluation instances (hundreds of thousands of events), sized so
     /// the shared data exceeds one 64 KB node cache.
     Paper,
+    /// Large-machine instances (around a million events) for the 64–1024
+    /// processor scalability study (EXPERIMENTS.md E24): every main
+    /// compute DOALL has at least 1024 iterations so no processor idles
+    /// at the top of the paper's range. The 2-D kernels widen their
+    /// parallel axis and *stride* their inner serial loops instead of
+    /// growing quadratically, which preserves each kernel's sharing
+    /// pattern (cross-block stencils, transposes, false sharing) while
+    /// keeping single cells around a few seconds of simulation.
+    Large,
 }
 
 /// One benchmark of the suite.
@@ -258,6 +267,58 @@ mod tests {
             let tw: u64 = t.arrays.iter().map(tpi_mem::ArrayDecl::len_words).sum();
             let pw: u64 = p.arrays.iter().map(tpi_mem::ArrayDecl::len_words).sum();
             assert!(pw > 4 * tw, "{k}: paper scale should be much larger");
+        }
+    }
+
+    /// Widest constant-bounded DOALL trip count anywhere in the program.
+    fn max_doall_trip(prog: &tpi_ir::Program) -> i64 {
+        fn walk(stmts: &[tpi_ir::Stmt], widest: &mut i64) {
+            for s in stmts {
+                match s {
+                    tpi_ir::Stmt::Doall(l) => {
+                        if l.lo.is_constant() && l.hi.is_constant() {
+                            let trips = (l.hi.constant() - l.lo.constant()) / l.step + 1;
+                            *widest = (*widest).max(trips);
+                        }
+                        walk(&l.body, widest);
+                    }
+                    tpi_ir::Stmt::Loop(l) => walk(&l.body, widest),
+                    tpi_ir::Stmt::If(b) => {
+                        walk(&b.then_body, widest);
+                        walk(&b.else_body, widest);
+                    }
+                    tpi_ir::Stmt::Critical(c) => walk(&c.body, widest),
+                    _ => {}
+                }
+            }
+        }
+        let mut widest = 0;
+        for p in &prog.procs {
+            walk(&p.body, &mut widest);
+        }
+        widest
+    }
+
+    #[test]
+    fn large_scale_widens_every_kernel_to_1024_tasks() {
+        // The scalability study (E24) runs up to 1024 processors; every
+        // kernel's widest DOALL must provide at least one task per
+        // processor or the big machines would idle by construction.
+        for k in Kernel::ALL.into_iter().chain(Kernel::EXTENDED) {
+            let prog = k.build(Scale::Large);
+            assert!(
+                max_doall_trip(&prog) >= 1024,
+                "{k}: widest Large-scale DOALL has {} iterations",
+                max_doall_trip(&prog)
+            );
+        }
+    }
+
+    #[test]
+    fn large_scale_builds_and_validates() {
+        for k in Kernel::ALL.into_iter().chain(Kernel::EXTENDED) {
+            let prog = k.build(Scale::Large);
+            assert!(prog.num_assigns > 0, "{k} is empty at Large scale");
         }
     }
 }

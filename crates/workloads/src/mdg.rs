@@ -26,6 +26,9 @@ pub fn build(scale: Scale) -> Program {
     let (n, bins, steps) = match scale {
         Scale::Test => (256i64, 32u64, 2i64),
         Scale::Paper => (4096, 128, 4),
+        // One-dimensional particle axis: widening `n` alone keeps the
+        // force/integrate DOALLs far past 1024 iterations.
+        Scale::Large => (16384, 256, 4),
     };
     let shift = n / 8; // two processor blocks at P=16
     let mut p = ProgramBuilder::new();

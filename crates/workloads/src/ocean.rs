@@ -16,9 +16,14 @@ use tpi_ir::{subs, Program, ProgramBuilder};
 /// Builds the OCEAN kernel.
 #[must_use]
 pub fn build(scale: Scale) -> Program {
-    let (n, steps) = match scale {
-        Scale::Test => (16i64, 2i64),
-        Scale::Paper => (128, 4),
+    // `stride` thins the inner serial loops at `Large` scale so the DOALL
+    // axis can reach 1024+ rows without a quadratic event blow-up; the
+    // butterfly/transpose sharing pattern is unchanged (`half` stays a
+    // multiple of the stride so paired reads land on written words).
+    let (n, steps, stride) = match scale {
+        Scale::Test => (16i64, 2i64, 1i64),
+        Scale::Paper => (128, 4, 1),
+        Scale::Large => (1024, 2, 16),
     };
     let half = n / 2;
     let mut p = ProgramBuilder::new();
@@ -26,13 +31,15 @@ pub fn build(scale: Scale) -> Program {
     let b = p.shared("B", [n as u64, n as u64]);
     let main = p.proc("main", |f| {
         f.doall(0, n - 1, |r, f| {
-            f.serial(0, n - 1, |c, f| f.store(a.at(subs![r, c]), vec![], 2));
+            f.serial_step(0, n - 1, stride, |c, f| {
+                f.store(a.at(subs![r, c]), vec![], 2)
+            });
         });
         f.serial(0, steps - 1, |_t, f| {
             // Butterfly pass within each row: B(r, c) pairs A(r, c) with
             // A(r, c + n/2).
             f.doall(0, n - 1, |r, f| {
-                f.serial(0, half - 1, |c, f| {
+                f.serial_step(0, half - 1, stride, |c, f| {
                     f.store(
                         b.at(subs![r, c]),
                         vec![
@@ -53,7 +60,7 @@ pub fn build(scale: Scale) -> Program {
             });
             // Transpose-consume: A(c, r) = f(B(r, c)) — column reads of B.
             f.doall(0, n - 1, |c, f| {
-                f.serial(0, n - 1, |r, f| {
+                f.serial_step(0, n - 1, stride, |r, f| {
                     f.store(a.at(subs![c, r]), vec![b.at(subs![r, c])], 2);
                 });
             });

@@ -21,6 +21,9 @@ pub fn build(scale: Scale) -> Program {
     let (sites, steps, gsize) = match scale {
         Scale::Test => (512i64, 2i64, 128u64),
         Scale::Paper => (8192, 4, 2048),
+        // The lattice is one-dimensional: widening `sites` alone keeps
+        // every DOALL far past 1024 iterations.
+        Scale::Large => (16384, 8, 4096),
     };
     // Two processor-blocks at P=16: guarantees cross-processor consumption
     // under static block scheduling.

@@ -17,9 +17,15 @@ use tpi_ir::{subs, Program, ProgramBuilder};
 /// Builds the SPEC77 kernel.
 #[must_use]
 pub fn build(scale: Scale) -> Program {
+    // At `Large` scale the latitude (DOALL) axis widens past 1024 while
+    // the spectral order `m` shrinks, keeping the broadcast-table pattern
+    // (every processor reads `P` every epoch) at around two million
+    // events. The table-init DOALL stays `m` wide — it is one epoch of
+    // setup, not part of the scalability question.
     let (lat, m, steps, inner) = match scale {
         Scale::Test => (16i64, 8i64, 2i64, 2i64),
         Scale::Paper => (128, 64, 6, 3),
+        Scale::Large => (1024, 48, 3, 2),
     };
     let mut p = ProgramBuilder::new();
     let coef = p.shared("P", [m as u64, m as u64]);

@@ -19,9 +19,14 @@ use tpi_ir::{subs, Program, ProgramBuilder};
 /// Builds the TRFD kernel.
 #[must_use]
 pub fn build(scale: Scale) -> Program {
-    let (n, steps, k_inner) = match scale {
-        Scale::Test => (12i64, 2i64, 3i64),
-        Scale::Paper => (56, 5, 4),
+    // `stride` thins the inner serial loops at `Large` scale so the DOALL
+    // axis can reach 1024 without a quadratic event blow-up; the column
+    // reads and the transposed second pass keep their cross-processor
+    // character on the thinned grid.
+    let (n, steps, k_inner, stride) = match scale {
+        Scale::Test => (12i64, 2i64, 3i64, 1i64),
+        Scale::Paper => (56, 5, 4, 1),
+        Scale::Large => (1024, 2, 2, 32),
     };
     let mut p = ProgramBuilder::new();
     let x = p.shared("X", [n as u64, n as u64]);
@@ -30,7 +35,9 @@ pub fn build(scale: Scale) -> Program {
     let main = p.proc("main", |f| {
         // Initialization epochs.
         f.doall(0, n - 1, |i, f| {
-            f.serial(0, n - 1, |j, f| f.store(x.at(subs![i, j]), vec![], 2));
+            f.serial_step(0, n - 1, stride, |j, f| {
+                f.store(x.at(subs![i, j]), vec![], 2)
+            });
         });
         f.doall(0, n - 1, |i, f| f.store(v.at(subs![i]), vec![], 2));
         f.serial(0, steps - 1, |_t, f| {
@@ -38,7 +45,7 @@ pub fn build(scale: Scale) -> Program {
             // accumulator is stored through on every step (redundant
             // writes), and the X column reads cross processor blocks.
             f.doall(0, n - 1, |i, f| {
-                f.serial(0, n - 1, |j, f| {
+                f.serial_step(0, n - 1, stride, |j, f| {
                     f.serial(0, k_inner - 1, |k, f| {
                         f.store(
                             xij.at(subs![i, j]),
@@ -50,7 +57,7 @@ pub fn build(scale: Scale) -> Program {
             });
             // Second transform, transposed: X(i,j) = f(XIJ(i,j), XIJ(j,i)).
             f.doall(0, n - 1, |j, f| {
-                f.serial(0, n - 1, |i, f| {
+                f.serial_step(0, n - 1, stride, |i, f| {
                     f.store(
                         x.at(subs![i, j]),
                         vec![xij.at(subs![i, j]), xij.at(subs![j, i])],

@@ -7,6 +7,7 @@ use tpi::{run_kernel, run_program, ExperimentConfig, Runner};
 use tpi_compiler::OptLevel;
 use tpi_ir::{subs, ProgramBuilder};
 use tpi_proto::{registry, SchemeId};
+use tpi_testkit::prelude::*;
 use tpi_workloads::{Kernel, Scale};
 
 fn cfg(scheme: SchemeId) -> ExperimentConfig {
@@ -216,4 +217,104 @@ fn custom_programs_memoize_and_match_run_program() {
         1,
         "both schemes share the trace"
     );
+}
+
+/// Field-by-field [`tpi_sim::SimResult`] identity, excluding only the
+/// host-side wall-clock self-measurement (which is never deterministic).
+fn assert_sim_identical(a: &tpi_sim::SimResult, b: &tpi_sim::SimResult, ctx: &str) {
+    assert_eq!(a.scheme, b.scheme, "{ctx}: scheme");
+    assert_eq!(a.total_cycles, b.total_cycles, "{ctx}: total_cycles");
+    assert_eq!(a.busy_cycles, b.busy_cycles, "{ctx}: busy_cycles");
+    assert_eq!(a.agg, b.agg, "{ctx}: agg");
+    assert_eq!(a.per_proc, b.per_proc, "{ctx}: per_proc");
+    assert_eq!(a.traffic, b.traffic, "{ctx}: traffic");
+    assert_eq!(a.wbuffer, b.wbuffer, "{ctx}: wbuffer");
+    assert_eq!(a.epochs, b.epochs, "{ctx}: epochs");
+    assert_eq!(a.lock_acquires, b.lock_acquires, "{ctx}: lock_acquires");
+    assert_eq!(
+        a.lock_wait_cycles, b.lock_wait_cycles,
+        "{ctx}: lock_wait_cycles"
+    );
+    assert_eq!(a.profile, b.profile, "{ctx}: profile");
+    assert_eq!(a.miss_by_array, b.miss_by_array, "{ctx}: miss_by_array");
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_for_every_scheme() {
+    // The tentpole pin: for EVERY registered scheme, a sharded runner must
+    // produce results bit-identical to the serial replay loop. MDG
+    // exercises the sync-ful dispatcher path (lock-guarded critical
+    // sections route through the owner shard's engine replica); FSHARE
+    // exercises heavy cross-shard false sharing. Shard-safe engines
+    // (BASE, SC, TPI, IDEAL) take the flat per-shard path; order-sensitive
+    // ones (HW, LL, TARDIS, HYB) must detect themselves and fall back —
+    // either way the observable result is the same.
+    let schemes: Vec<SchemeId> = registry::global().all().iter().map(|s| s.id()).collect();
+    assert!(schemes.len() >= 8, "the full registry is under test");
+    for kernel in [Kernel::Mdg, Kernel::FalseShare] {
+        for &scheme in &schemes {
+            let serial = Runner::serial()
+                .with_sim_shards(1)
+                .run_kernel(kernel, Scale::Test, &cfg(scheme))
+                .unwrap();
+            let sharded = Runner::serial()
+                .with_sim_shards(4)
+                .run_kernel(kernel, Scale::Test, &cfg(scheme))
+                .unwrap();
+            assert_sim_identical(&serial.sim, &sharded.sim, &format!("{kernel}/{scheme}"));
+            assert_eq!(serial.marking, sharded.marking, "{kernel}/{scheme}");
+            assert_eq!(serial.trace, sharded.trace, "{kernel}/{scheme}");
+        }
+    }
+}
+
+#[test]
+fn shard_counts_one_two_seven_and_sixty_four_agree() {
+    // `sim_shards` is an execution knob, not a model parameter: any count
+    // (including one exceeding the processor count, which clamps) must
+    // yield the identical result.
+    let reference = Runner::serial()
+        .with_sim_shards(1)
+        .run_kernel(Kernel::Qcd2, Scale::Test, &cfg(SchemeId::TPI))
+        .unwrap();
+    for shards in [2usize, 7, 64] {
+        let got = Runner::serial()
+            .with_sim_shards(shards)
+            .run_kernel(Kernel::Qcd2, Scale::Test, &cfg(SchemeId::TPI))
+            .unwrap();
+        assert_sim_identical(&reference.sim, &got.sim, &format!("shards={shards}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shard_count_never_changes_results(
+        seed in any::<u64>(),
+        shards in prop_oneof![Just(2usize), Just(3), Just(7), Just(64)],
+        scheme in prop_oneof![Just(SchemeId::TPI), Just(SchemeId::SC)],
+    ) {
+        // Randomized seeds vary the opaque-subscript gather targets, so
+        // the shard-count-independence claim is checked across many
+        // distinct traces, not one golden input.
+        let config = ExperimentConfig::builder()
+            .scheme(scheme)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let serial = Runner::serial()
+            .with_sim_shards(1)
+            .run_kernel(Kernel::Qcd2, Scale::Test, &config)
+            .unwrap();
+        let sharded = Runner::serial()
+            .with_sim_shards(shards)
+            .run_kernel(Kernel::Qcd2, Scale::Test, &config)
+            .unwrap();
+        prop_assert_eq!(serial.sim.total_cycles, sharded.sim.total_cycles);
+        prop_assert_eq!(&serial.sim.agg, &sharded.sim.agg);
+        prop_assert_eq!(&serial.sim.per_proc, &sharded.sim.per_proc);
+        prop_assert_eq!(&serial.sim.traffic, &sharded.sim.traffic);
+        prop_assert_eq!(&serial.sim.miss_by_array, &sharded.sim.miss_by_array);
+    }
 }
